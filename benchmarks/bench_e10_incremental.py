@@ -1,0 +1,109 @@
+"""E10 (extension) — incremental maintenance vs recompute-from-scratch.
+
+A 90-day stream arrives one day at a time; after each day a fresh Task 1
+report is needed.  The incremental miner re-mines only the newly closed
+unit; the from-scratch baseline re-runs the whole task on the
+accumulated database.  Expected shape: per-day incremental cost is flat
+(it depends on the day's volume, not the history), while from-scratch
+cost grows linearly with history — so total cost is O(n) vs O(n^2) in
+the number of days.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.baselines import sequential_valid_periods
+from repro.core.transactions import TransactionDatabase
+from repro.datagen import periodic_dataset
+from repro.mining import RuleThresholds, ValidPeriodTask
+from repro.mining.incremental import IncrementalValidPeriodMiner
+from repro.temporal import Granularity
+
+TASK = ValidPeriodTask(
+    granularity=Granularity.DAY,
+    thresholds=RuleThresholds(0.35, 0.7),
+    min_coverage=2,
+    max_rule_size=2,
+)
+N_DAYS = 90
+REPORT_EVERY = 10
+
+
+def summarize(report):
+    return {
+        (record.key, tuple((p.first_unit, p.last_unit) for p in record.periods))
+        for record in report
+    }
+
+
+@pytest.fixture(scope="module")
+def stream():
+    dataset = periodic_dataset(n_transactions=4000, n_days=N_DAYS, seed=31)
+    db = dataset.database
+    return db
+
+
+def drive_incremental(db):
+    miner = IncrementalValidPeriodMiner(TASK, catalog=db.catalog)
+    reports = 0
+    last_day = None
+    for transaction in db:
+        day = transaction.timestamp.date()
+        if last_day is not None and day != last_day:
+            if reports % REPORT_EVERY == 0:
+                miner.report()
+            reports += 1
+        last_day = day
+        miner.append(
+            transaction.timestamp, list(db.catalog.decode(transaction.items))
+        )
+    return miner.report()
+
+
+def drive_from_scratch(db):
+    accumulated = TransactionDatabase(catalog=db.catalog)
+    report = None
+    reports = 0
+    last_day = None
+    for transaction in db:
+        day = transaction.timestamp.date()
+        if last_day is not None and day != last_day:
+            if reports % REPORT_EVERY == 0:
+                report = sequential_valid_periods(accumulated, TASK)
+            reports += 1
+        last_day = day
+        accumulated.append(transaction)
+    return sequential_valid_periods(accumulated, TASK)
+
+
+def test_e10_incremental(benchmark, stream):
+    final = benchmark.pedantic(lambda: drive_incremental(stream), rounds=2, iterations=1)
+    emit("E10", "incremental", f"findings={len(final)}")
+    assert len(final) > 0
+
+
+def test_e10_from_scratch(benchmark, stream):
+    final = benchmark.pedantic(
+        lambda: drive_from_scratch(stream), rounds=1, iterations=1
+    )
+    emit("E10", "from_scratch", f"findings={len(final)}")
+    assert len(final) > 0
+
+
+def test_e10_equivalence_and_speed(stream):
+    started = time.perf_counter()
+    incremental = drive_incremental(stream)
+    incremental_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    scratch = drive_from_scratch(stream)
+    scratch_seconds = time.perf_counter() - started
+    emit(
+        "E10",
+        f"incremental_s={incremental_seconds:.2f}",
+        f"from_scratch_s={scratch_seconds:.2f}",
+        f"speedup={scratch_seconds / max(incremental_seconds, 1e-9):.1f}x",
+    )
+    assert summarize(incremental) == summarize(scratch)
+    assert incremental_seconds < scratch_seconds

@@ -1,0 +1,82 @@
+"""E11 (extension) — output-pruning rates.
+
+The era's systems report how many mined rules survive pruning (the
+mined / misleading / insignificant / kept breakdown).  We mine a dense
+rule set from the summer window of the seasonal dataset at permissive
+thresholds, then apply the pruning pipeline at increasing strictness.
+Expected shape: permissive mining yields many redundant specializations;
+the pruning pipeline removes a large fraction while keeping every
+embedded ground-truth rule.
+"""
+
+from datetime import datetime
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.apriori import AprioriOptions, apriori
+from repro.core.rulegen import generate_rules
+from repro.core.items import Itemset
+from repro.core.rulegen import RuleKey
+from repro.mining.constrained import restrict_database
+from repro.mining.pruning import PruningPolicy, prune_rules
+from repro.temporal import Granularity, TimeInterval
+
+WINDOW = TimeInterval(datetime(2025, 6, 1), datetime(2025, 9, 1))
+
+
+@pytest.fixture(scope="module")
+def summer_rules(seasonal_bench_data):
+    db = seasonal_bench_data.database
+    summer = restrict_database(db, WINDOW, Granularity.DAY)
+    frequent = apriori(summer, 0.05, AprioriOptions(max_size=3))
+    rules = generate_rules(frequent, 0.3)
+    return seasonal_bench_data, frequent, rules
+
+
+def embedded_keys(dataset):
+    catalog = dataset.database.catalog
+    keys = set()
+    for rule in dataset.embedded:
+        if not isinstance(rule.feature, TimeInterval):
+            continue
+        if not WINDOW.overlaps(rule.feature):
+            continue
+        ids = [catalog.id(label) for label in rule.labels]
+        for consequent in ids:
+            antecedent = [i for i in ids if i != consequent]
+            keys.add(RuleKey(Itemset(antecedent), Itemset([consequent])))
+    return keys
+
+
+@pytest.mark.parametrize(
+    "label,policy",
+    [
+        ("global", PruningPolicy(misleading_gamma=1.0, significance_alpha=0.01)),
+        (
+            "global+local",
+            PruningPolicy(
+                misleading_gamma=1.0, significance_alpha=0.01, interest_delta=1.1
+            ),
+        ),
+    ],
+)
+def test_e11_pruning_rates(benchmark, summer_rules, label, policy):
+    dataset, frequent, rules = summer_rules
+    outcome = benchmark.pedantic(
+        lambda: prune_rules(rules, policy, frequent=frequent), rounds=3, iterations=1
+    )
+    emit(
+        "E11",
+        f"policy={label}",
+        f"mined={len(rules)}",
+        f"misleading={len(outcome.misleading)}",
+        f"insignificant={len(outcome.insignificant)}",
+        f"uninteresting={len(outcome.uninteresting)}",
+        f"kept={len(outcome.kept)}",
+    )
+    # Shape: a real fraction is pruned, and the ground truth survives.
+    assert len(outcome.kept) < len(rules)
+    kept_keys = {rule.key() for rule in outcome.kept}
+    for key in embedded_keys(dataset):
+        assert key in kept_keys, key

@@ -1,0 +1,46 @@
+"""E5 — min-support sweep on Quest data (the era's standard curve).
+
+Runtime and rule counts of the Apriori pipeline on T10.I4 data as
+min-support falls.  Expected shape: runtime grows super-linearly and the
+number of frequent itemsets/rules explodes as the threshold drops —
+exactly the curve every 1990s mining paper shows, and the reason the
+paper restricts its temporal search space.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core import apriori, generate_rules
+from repro.datagen import PROFILES
+
+MINSUPS = [0.02, 0.01, 0.005]
+
+_results = {}
+
+
+@pytest.mark.parametrize("min_support", MINSUPS)
+def test_e5_minsup_sweep(benchmark, quest_db_cache, min_support):
+    db = quest_db_cache(PROFILES["T10.I4.D10K"])
+
+    def pipeline():
+        frequent = apriori(db, min_support)
+        rules = generate_rules(frequent, 0.6, max_consequent_size=1)
+        return frequent, rules
+
+    frequent, rules = benchmark.pedantic(pipeline, rounds=2, iterations=1)
+    _results[min_support] = (len(frequent), len(rules))
+    emit(
+        "E5",
+        f"minsup={min_support}",
+        f"frequent_itemsets={len(frequent)}",
+        f"rules={len(rules)}",
+    )
+    assert len(frequent) > 0
+
+
+def test_e5_counts_explode_as_threshold_drops(quest_db_cache):
+    db = quest_db_cache(PROFILES["T10.I4.D10K"])
+    counts = [len(apriori(db, s)) for s in MINSUPS]
+    emit("E5", "itemset counts by falling minsup:", counts)
+    assert counts == sorted(counts)  # monotone non-decreasing
+    assert counts[-1] > counts[0]

@@ -1,0 +1,54 @@
+"""E6 — size-up: runtime vs number of transactions.
+
+Both the plain Apriori substrate and the full valid-period task are
+timed on growing databases with the same statistical parameters.
+Expected shape: near-linear growth (the candidate lattice stays fixed
+while the scan cost scales with |D|) — the "sizeup" curve of the era's
+evaluations (cf. Figure 13 of the parallel-Apriori literature the paper
+sits alongside).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core import apriori
+from repro.datagen import QuestConfig
+from repro.mining import RuleThresholds, TemporalMiner, ValidPeriodTask
+from repro.temporal import Granularity
+
+SIZES = [2500, 5000, 10000, 20000]
+
+
+def config_for(n):
+    return QuestConfig(
+        n_transactions=n,
+        avg_transaction_size=8,
+        avg_pattern_size=4,
+        n_items=500,
+        n_patterns=100,
+        seed=17,
+    )
+
+
+@pytest.mark.parametrize("n_transactions", SIZES)
+def test_e6_apriori_sizeup(benchmark, quest_db_cache, n_transactions):
+    db = quest_db_cache(config_for(n_transactions))
+    result = benchmark.pedantic(lambda: apriori(db, 0.01), rounds=2, iterations=1)
+    emit("E6", f"D={n_transactions}", f"frequent={len(result)}")
+    assert len(db) == n_transactions
+
+
+@pytest.mark.parametrize("n_transactions", SIZES[:3])
+def test_e6_valid_periods_sizeup(benchmark, quest_db_cache, n_transactions):
+    db = quest_db_cache(config_for(n_transactions))
+    miner = TemporalMiner(db)
+    task = ValidPeriodTask(
+        granularity=Granularity.MONTH,
+        thresholds=RuleThresholds(0.02, 0.6),
+        min_coverage=2,
+        max_rule_size=3,
+    )
+    report = benchmark.pedantic(
+        lambda: miner.valid_periods(task), rounds=2, iterations=1
+    )
+    emit("E6", f"task=VP D={n_transactions}", f"findings={len(report)}")

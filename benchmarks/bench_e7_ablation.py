@@ -1,0 +1,95 @@
+"""E7 — ablation of the paper's algorithmic machinery.
+
+Three ways to compute the same temporal results:
+
+* ``sequential``  — the naive baseline: run the full Apriori + rule
+  pipeline independently in every time unit (no sharing, no pruning);
+* ``shared``      — one level-wise search with shared per-unit counting
+  and the temporal anti-monotone prune (the engine's generic path);
+* ``interleaved`` — shared counting plus cycle pruning and cycle
+  skipping (periodicity task only).
+
+Expected shape: shared beats sequential as the number of units grows
+(the per-unit pipeline pays candidate-generation and rule-generation
+overhead in every unit); interleaved beats shared on cyclic search by
+skipping off-cycle units.  All three return identical findings — the
+agreement is asserted, not assumed.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.baselines import sequential_periodicities, sequential_valid_periods
+from repro.mining import (
+    PeriodicityTask,
+    RuleThresholds,
+    TemporalMiner,
+    ValidPeriodTask,
+    discover_cyclic_interleaved,
+    discover_periodicities,
+    discover_valid_periods,
+)
+from repro.temporal import CyclicPeriodicity, Granularity
+
+VP_TASK = ValidPeriodTask(
+    granularity=Granularity.DAY,
+    thresholds=RuleThresholds(0.25, 0.6),
+    min_coverage=3,
+    max_rule_size=2,
+)
+P_TASK = PeriodicityTask(
+    granularity=Granularity.DAY,
+    thresholds=RuleThresholds(0.25, 0.6),
+    max_period=10,
+    min_repetitions=8,
+    max_rule_size=2,
+)
+
+
+def vp_summary(report):
+    return {
+        (r.key, tuple((p.first_unit, p.last_unit) for p in r.periods)) for r in report
+    }
+
+
+def cycle_summary(report):
+    return {
+        (f.key, f.periodicity.period, f.periodicity.offset)
+        for f in report
+        if isinstance(f.periodicity, CyclicPeriodicity)
+    }
+
+
+def test_e7_valid_periods_shared_vs_sequential(benchmark, periodic_bench_data):
+    db = periodic_bench_data.database
+    shared = benchmark.pedantic(
+        lambda: discover_valid_periods(db, VP_TASK), rounds=2, iterations=1
+    )
+    naive = sequential_valid_periods(db, VP_TASK)
+    emit(
+        "E7",
+        "task=VP",
+        f"shared_s={shared.elapsed_seconds:.3f}",
+        f"sequential_s={naive.elapsed_seconds:.3f}",
+        f"speedup={naive.elapsed_seconds / max(shared.elapsed_seconds, 1e-9):.2f}x",
+    )
+    assert vp_summary(shared) == vp_summary(naive)
+
+
+def test_e7_periodicities_three_way(benchmark, periodic_bench_data):
+    db = periodic_bench_data.database
+    interleaved = benchmark.pedantic(
+        lambda: discover_cyclic_interleaved(db, P_TASK), rounds=2, iterations=1
+    )
+    shared = discover_periodicities(db, P_TASK)
+    naive = sequential_periodicities(db, P_TASK)
+    emit(
+        "E7",
+        "task=P",
+        f"interleaved_s={interleaved.elapsed_seconds:.3f}",
+        f"shared_s={shared.elapsed_seconds:.3f}",
+        f"sequential_s={naive.elapsed_seconds:.3f}",
+    )
+    assert cycle_summary(interleaved) == cycle_summary(shared) == cycle_summary(naive)
+    # Cycle pruning/skipping must not be slower than the generic path.
+    assert interleaved.elapsed_seconds <= shared.elapsed_seconds * 1.5

@@ -1,0 +1,57 @@
+"""E8 — end-to-end latency of the IQMI loop (Figure 1 of the paper).
+
+One scripted session: data understanding (SQL + SHOW), then all three
+mining tasks, then result analysis, then conclusion.  Expected shape:
+the whole interactive loop completes at interactive latency (well under
+ten seconds on commodity hardware for the bundled dataset sizes), which
+is the property that makes the *iterative* process of Figure 1 viable.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.system import IqmsSession
+
+SCRIPT = """
+SHOW SUMMARY;
+SHOW VOLUME BY month;
+SELECT COUNT(DISTINCT item) AS items FROM transactions;
+MINE PERIODS FROM sales AT GRANULARITY month
+  WITH SUPPORT >= 0.25, CONFIDENCE >= 0.6
+  HAVING COVERAGE >= 2, SIZE <= 2;
+MINE PERIODICITIES FROM daily AT GRANULARITY day
+  WITH SUPPORT >= 0.25, CONFIDENCE >= 0.6
+  HAVING PERIOD <= 8, REPETITIONS >= 8, SIZE <= 2;
+MINE RULES FROM sales DURING PERIOD '2025-06-01' TO '2025-09-01'
+  WITH SUPPORT >= 0.3, CONFIDENCE >= 0.6 HAVING SIZE <= 2;
+"""
+
+
+def run_session(seasonal_db, periodic_db):
+    session = IqmsSession()
+    session.load_database("sales", seasonal_db)
+    session.load_database("daily", periodic_db, persist=False)
+    results = session.run_script(SCRIPT)
+    session.analyse_item("season0_a")
+    session.conclude("loop complete")
+    return session, results
+
+
+def test_e8_full_iqmi_loop(benchmark, seasonal_bench_data, periodic_bench_data):
+    session, results = benchmark.pedantic(
+        lambda: run_session(
+            seasonal_bench_data.database, periodic_bench_data.database
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    mining_results = [r for r in results if hasattr(r.payload, "task_name")]
+    emit(
+        "E8",
+        f"statements={len(results)}",
+        f"mining_rounds={session.workflow.iterations}",
+        f"findings={[len(r.payload) for r in mining_results]}",
+    )
+    assert session.workflow.is_finished()
+    assert session.workflow.iterations == 3
+    assert all(len(r.payload) > 0 for r in mining_results)

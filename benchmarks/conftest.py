@@ -1,0 +1,80 @@
+"""Shared fixtures and helpers for the experiment benchmarks.
+
+Each ``bench_e*.py`` regenerates one experiment from EXPERIMENTS.md.
+Datasets are cached per session; every benchmark prints the table rows
+the experiment reports (visible with ``pytest benchmarks/
+--benchmark-only -s``, and summarized in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.datagen import (
+    PROFILES,
+    QuestConfig,
+    generate_baskets,
+    periodic_dataset,
+    seasonal_dataset,
+)
+
+RESULTS_FILE = Path(__file__).resolve().parent.parent / "bench_results.txt"
+
+
+def emit(*columns: object) -> None:
+    """Record one experiment table row.
+
+    Rows go to stderr (visible with ``pytest -s``) and are appended to
+    ``bench_results.txt`` at the repo root, which EXPERIMENTS.md quotes.
+    """
+    row = "  ".join(str(c) for c in columns)
+    print(row, file=sys.stderr)
+    with RESULTS_FILE.open("a") as handle:
+        handle.write(row + "\n")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    """Start every benchmark session with an empty results file."""
+    RESULTS_FILE.write_text("")
+    yield
+
+
+@pytest.fixture(scope="session")
+def seasonal_bench_data():
+    """E1/E2: one year, 6k transactions, 3 embedded seasonal rules."""
+    return seasonal_dataset(n_transactions=6000, n_seasonal_rules=3)
+
+
+@pytest.fixture(scope="session")
+def periodic_bench_data():
+    """E3/E7: 180 days, 8k transactions, weekend + payday rules."""
+    return periodic_dataset(n_transactions=8000, n_days=180)
+
+
+@pytest.fixture(scope="session")
+def quest_db_cache():
+    """Timestamped Quest databases built on demand and cached."""
+    from datetime import datetime, timedelta
+
+    from repro.core import TransactionDatabase
+
+    cache = {}
+
+    def build(config: QuestConfig):
+        key = (config.name(), config.seed)
+        if key not in cache:
+            baskets = generate_baskets(config)
+            db = TransactionDatabase()
+            start = datetime(2025, 1, 1)
+            span_seconds = 365 * 86400
+            step = span_seconds / max(len(baskets), 1)
+            for index, basket in enumerate(baskets):
+                db.add(start + timedelta(seconds=index * step), basket)
+            cache[key] = db
+        return cache[key]
+
+    return build

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Multi-granularity discovery plus output pruning.
+
+A mixed dataset contains both a *seasonal* rule (valid June-August — best
+described at month granularity) and a *weekend* rule (no valid month or
+week exists; only days work).  The granularity ladder attributes each
+rule to its most compact temporal description, then the pruning pipeline
+strips redundant specializations before presentation.
+
+Run:  python examples/granularity_ladder.py
+"""
+
+from datetime import datetime
+
+from repro.datagen import EmbeddedRule, TemporalDatasetSpec, generate_temporal_dataset
+from repro.datagen.quest import QuestConfig
+from repro.mining import RuleThresholds, ValidPeriodTask
+from repro.mining.granularity_search import (
+    describe_findings,
+    discover_across_granularities,
+)
+from repro.mining.pruning import prune_temporal_specializations
+from repro.system.profile import support_profile
+from repro.temporal import CalendarPattern, Granularity, TimeInterval
+
+
+def build_dataset():
+    spec = TemporalDatasetSpec(
+        quest=QuestConfig(
+            n_transactions=7000,
+            avg_transaction_size=6,
+            avg_pattern_size=3,
+            n_items=250,
+            n_patterns=50,
+            seed=41,
+        ),
+        start=datetime(2025, 1, 1),
+        end=datetime(2026, 1, 1),
+        embedded=(
+            EmbeddedRule(
+                labels=("bbq_grill", "charcoal"),
+                feature=TimeInterval(datetime(2025, 6, 1), datetime(2025, 9, 1)),
+                probability=0.65,
+            ),
+            EmbeddedRule(
+                labels=("brunch_mix", "juice"),
+                feature=CalendarPattern(weekdays=frozenset({5, 6})),
+                probability=0.65,
+            ),
+        ),
+        granularity=Granularity.DAY,
+        seed=43,
+    )
+    return generate_temporal_dataset(spec)
+
+
+def main() -> None:
+    dataset = build_dataset()
+    db = dataset.database
+    print(f"dataset: {db.summary()}\n")
+
+    # Quick data understanding: profiles show WHY different granularities
+    # suit different rules.
+    for labels, granularity in (
+        (["bbq_grill", "charcoal"], Granularity.MONTH),
+        (["brunch_mix", "juice"], Granularity.WEEK),
+    ):
+        print(support_profile(db, labels, granularity).format(db.catalog))
+    print()
+
+    task = ValidPeriodTask(
+        granularity=Granularity.MONTH,  # overridden by the ladder
+        thresholds=RuleThresholds(min_support=0.35, min_confidence=0.7),
+        min_coverage=2,
+        max_rule_size=3,
+    )
+    findings, reports = discover_across_granularities(db, task)
+    print("multi-granularity findings (coarsest description per rule):")
+    print(describe_findings(findings, db.catalog))
+
+    # Prune temporal specializations at the granularity with most noise.
+    day_report = reports[Granularity.DAY]
+    slim = prune_temporal_specializations(day_report)
+    print(
+        f"\nday-level report: {len(day_report)} findings, "
+        f"{len(slim)} after specialization pruning"
+    )
+
+
+if __name__ == "__main__":
+    main()

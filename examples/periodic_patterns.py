@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Periodic patterns — weekend and payday effects (Task 2).
+
+Generates half a year of daily data with two embedded recurrences:
+
+* a weekend rule (held every Saturday and Sunday),
+* a payday rule (held on the 1st-7th of every month).
+
+Then runs the periodicity task twice: pure cyclic search (finds the
+weekly cycles, cannot express day-of-month) and calendar-augmented
+search (finds both), plus the interleaved cycle-pruning algorithm.
+
+Run:  python examples/periodic_patterns.py
+"""
+
+from repro import Granularity, RuleThresholds, TemporalMiner
+from repro.datagen import periodic_dataset
+from repro.mining import PeriodicityTask
+from repro.system.reporting import report_table
+from repro.temporal import CalendarPattern
+
+
+def main() -> None:
+    dataset = periodic_dataset(n_transactions=9000, n_days=182)
+    db = dataset.database
+    print(f"dataset: {db.summary()}\n")
+
+    thresholds = RuleThresholds(min_support=0.25, min_confidence=0.6)
+    miner = TemporalMiner(db)
+
+    # Pure cyclic search.
+    cyclic_task = PeriodicityTask(
+        granularity=Granularity.DAY,
+        thresholds=thresholds,
+        max_period=10,
+        min_repetitions=10,
+        max_rule_size=2,
+    )
+    cyclic = miner.periodicities(cyclic_task)
+    print("cyclic search (period <= 10 days):")
+    print(report_table(cyclic, db.catalog))
+    print(
+        "\nnote: the payday rule (days 1..7 of each month) has NO exact\n"
+        "day-cycle because months differ in length - this is exactly why\n"
+        "the paper's calendar features exist.\n"
+    )
+
+    # Calendar-augmented search.
+    calendar_task = PeriodicityTask(
+        granularity=Granularity.DAY,
+        thresholds=thresholds,
+        max_period=10,
+        min_repetitions=10,
+        min_match=0.9,
+        calendar_patterns=(
+            CalendarPattern.parse("weekday=5|6"),
+            CalendarPattern.parse("day=1..7"),
+        ),
+        max_rule_size=2,
+    )
+    augmented = miner.periodicities(calendar_task)
+    calendric_only = [
+        f for f in augmented if f.periodicity.describe().startswith("calendar")
+    ]
+    print("calendar-augmented search (calendric findings):")
+    for finding in calendric_only:
+        print("  " + finding.format(db.catalog))
+
+    # The optimized interleaved algorithm returns the same cycles.
+    fast = miner.periodicities(cyclic_task, interleaved=True)
+    print(
+        f"\ninterleaved (cycle pruning + skipping): {len(fast)} findings "
+        f"in {fast.elapsed_seconds:.3f}s vs generic {cyclic.elapsed_seconds:.3f}s"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""A scripted IQMS session — the IQMI process of Figure 1, in TML.
+
+Drives the integrated query-and-mining system exactly as an analyst at
+the ``iqms`` prompt would: understand the data with SQL/SHOW, design and
+run the three mining tasks in TML, analyse and iterate, conclude.
+
+Run:  python examples/tml_session.py
+For the interactive version, run ``iqms`` and type ``.demo``.
+"""
+
+from repro.datagen import seasonal_dataset
+from repro.system import IqmsSession
+
+
+SCRIPT = """
+-- 1. data understanding ------------------------------------------------
+SHOW SUMMARY;
+SHOW VOLUME BY month;
+SHOW ITEMS LIMIT 5;
+SELECT COUNT(DISTINCT item) AS distinct_items FROM transactions;
+PROFILE 'season0_a', 'season0_b' FROM sales BY month;
+
+-- sanity-check the plan before the heavier runs
+EXPLAIN MINE PERIODS FROM sales AT GRANULARITY month
+  WITH SUPPORT >= 0.25, CONFIDENCE >= 0.6;
+
+-- 2/3. task design + ad hoc mining ------------------------------------
+MINE PERIODS FROM sales AT GRANULARITY month
+  WITH SUPPORT >= 0.25, CONFIDENCE >= 0.6
+  HAVING COVERAGE >= 2, SIZE <= 2;
+
+MINE PERIODICITIES FROM sales AT GRANULARITY month
+  WITH SUPPORT >= 0.25, CONFIDENCE >= 0.6
+  HAVING PERIOD <= 6, REPETITIONS >= 2, SIZE <= 2;
+
+MINE RULES FROM sales DURING PERIOD '2025-06-01' TO '2025-09-01'
+  WITH SUPPORT >= 0.3, CONFIDENCE >= 0.6
+  HAVING SIZE <= 2;
+
+MINE RULES FROM sales DURING CALENDAR 'month=12'
+  WITH SUPPORT >= 0.3, CONFIDENCE >= 0.6
+  HAVING SIZE <= 2;
+"""
+
+
+def main() -> None:
+    session = IqmsSession()
+    dataset = seasonal_dataset(n_transactions=6000, n_seasonal_rules=2)
+    session.load_database("sales", dataset.database)
+
+    for result in session.run_script(SCRIPT):
+        print(f"iqms> {result.statement.render()}")
+        print(result.text)
+        print()
+
+    # 4. result analysis.
+    print("-- 4. result analysis -------------------------------------")
+    filtered = session.analyse_item("season1_a")
+    print("rules mentioning season1_a in the last report:")
+    print(filtered.format(dataset.database.catalog))
+    session.conclude("december rule confirmed via DURING CALENDAR")
+
+    print("\n-- the IQMI workflow log ----------------------------------")
+    print(session.workflow.format_log())
+    print(f"\nmining iterations this session: {session.workflow.iterations}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for offline legacy editable installs.
+
+All metadata lives in pyproject.toml; this file only exists because the
+build environment has no ``wheel`` package, so ``pip install -e .`` must
+fall back to the legacy ``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

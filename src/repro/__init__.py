@@ -1,0 +1,109 @@
+"""Temporal association rule mining — algorithms, language and system.
+
+A faithful, laptop-scale reproduction of Chen & Petrounias,
+*"Discovering Temporal Association Rules: Algorithms, Language and
+System"* (ICDE 2000): the three temporal mining tasks (valid periods,
+periodicities, mining under a given temporal feature), the TML mining
+language, and the IQMS integrated query-and-mining system — plus every
+substrate they need (Apriori, temporal algebra, SQLite store, synthetic
+data generators, baselines).
+
+Quickstart::
+
+    from datetime import datetime
+    from repro import (
+        TransactionDatabase, TemporalMiner, ValidPeriodTask,
+        RuleThresholds, Granularity,
+    )
+
+    db = TransactionDatabase()
+    db.add(datetime(2026, 6, 1), ["sunscreen", "sunglasses"])
+    # ... more transactions ...
+    miner = TemporalMiner(db)
+    report = miner.valid_periods(ValidPeriodTask(
+        granularity=Granularity.MONTH,
+        thresholds=RuleThresholds(min_support=0.2, min_confidence=0.6),
+    ))
+    print(report.format(db.catalog))
+"""
+
+from repro.core import (
+    AprioriOptions,
+    AssociationRule,
+    FrequentItemsets,
+    ItemCatalog,
+    Itemset,
+    RuleKey,
+    Transaction,
+    TransactionDatabase,
+    apriori,
+    fpgrowth,
+    generate_rules,
+    mine_rules,
+    partition,
+)
+from repro.errors import ReproError
+from repro.mining import (
+    ConstrainedRule,
+    ConstrainedTask,
+    MiningReport,
+    PeriodicityFinding,
+    PeriodicityTask,
+    RuleThresholds,
+    TemporalMiner,
+    ValidPeriod,
+    ValidPeriodRule,
+    ValidPeriodTask,
+)
+from repro.system import IqmsSession
+from repro.temporal import (
+    CalendarExpression,
+    CalendarPattern,
+    CalendricPeriodicity,
+    CyclicPeriodicity,
+    Granularity,
+    IntervalSet,
+    TimeInterval,
+)
+from repro.tml import TmlExecutor, parse_script, parse_statement
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AprioriOptions",
+    "AssociationRule",
+    "CalendarExpression",
+    "CalendarPattern",
+    "CalendricPeriodicity",
+    "ConstrainedRule",
+    "ConstrainedTask",
+    "CyclicPeriodicity",
+    "FrequentItemsets",
+    "Granularity",
+    "IntervalSet",
+    "IqmsSession",
+    "ItemCatalog",
+    "Itemset",
+    "MiningReport",
+    "PeriodicityFinding",
+    "PeriodicityTask",
+    "ReproError",
+    "RuleKey",
+    "RuleThresholds",
+    "TemporalMiner",
+    "TimeInterval",
+    "TmlExecutor",
+    "Transaction",
+    "TransactionDatabase",
+    "ValidPeriod",
+    "ValidPeriodRule",
+    "ValidPeriodTask",
+    "apriori",
+    "fpgrowth",
+    "generate_rules",
+    "mine_rules",
+    "parse_script",
+    "parse_statement",
+    "partition",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Baselines: the time-blind pipeline and the naive per-unit miner."""
+
+from repro.baselines.sequential import (
+    SequentialScan,
+    sequential_periodicities,
+    sequential_scan,
+    sequential_valid_periods,
+)
+from repro.baselines.traditional import (
+    TraditionalResult,
+    mine_traditional,
+    rules_missed_globally,
+)
+
+__all__ = [
+    "SequentialScan",
+    "TraditionalResult",
+    "mine_traditional",
+    "rules_missed_globally",
+    "sequential_periodicities",
+    "sequential_scan",
+    "sequential_valid_periods",
+]

@@ -1,0 +1,39 @@
+"""Core (non-temporal) association rule mining substrate.
+
+Implements the classical Agrawal–Srikant machinery the paper builds on:
+itemsets, timestamped transactions, hash-tree support counting, the
+Apriori algorithm and ap-genrules rule generation.
+"""
+
+from repro.core.apriori import (
+    AprioriOptions,
+    FrequentItemsets,
+    apriori,
+    brute_force_frequent_itemsets,
+    generate_candidates,
+)
+from repro.core.fpgrowth import fpgrowth
+from repro.core.partition import partition
+from repro.core.items import Item, ItemCatalog, Itemset, itemset_from_any
+from repro.core.rulegen import AssociationRule, RuleKey, generate_rules, mine_rules
+from repro.core.transactions import Transaction, TransactionDatabase
+
+__all__ = [
+    "AprioriOptions",
+    "AssociationRule",
+    "FrequentItemsets",
+    "Item",
+    "ItemCatalog",
+    "Itemset",
+    "RuleKey",
+    "Transaction",
+    "TransactionDatabase",
+    "apriori",
+    "brute_force_frequent_itemsets",
+    "fpgrowth",
+    "generate_candidates",
+    "generate_rules",
+    "partition",
+    "itemset_from_any",
+    "mine_rules",
+]

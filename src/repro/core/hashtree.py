@@ -1,0 +1,175 @@
+"""The Agrawal–Srikant hash tree for candidate support counting.
+
+Apriori's inner loop asks, for each transaction, which candidate
+k-itemsets it contains.  Checking every candidate against every
+transaction is O(|C_k| * |D|); the hash tree prunes that to candidates
+sharing hashed prefixes with the transaction.
+
+Structure: interior nodes hash the next item of a candidate into one of
+``fanout`` buckets; leaf nodes hold up to ``leaf_capacity`` candidates and
+split when they overflow (unless already at depth ``k``, in which case the
+leaf simply grows).  Support counts live in a single central dictionary, so
+a leaf reached through several branch positions of the same transaction can
+never double-count: matches are collected into a per-transaction set first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.items import Item, Itemset
+
+
+class _Node:
+    __slots__ = ("children", "candidates", "depth")
+
+    def __init__(self, depth: int):
+        self.children: Optional[Dict[int, "_Node"]] = None
+        self.candidates: Optional[List[Tuple[Item, ...]]] = []
+        self.depth = depth
+
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class HashTree:
+    """Hash tree over a fixed set of k-itemset candidates.
+
+    >>> tree = HashTree([Itemset.of(1, 2), Itemset.of(1, 3), Itemset.of(2, 3)])
+    >>> tree.count_transaction((1, 2, 3))
+    >>> tree.counts()[Itemset.of(1, 2)]
+    1
+    """
+
+    def __init__(
+        self,
+        candidates: Sequence[Itemset] = (),
+        fanout: int = 8,
+        leaf_capacity: int = 16,
+    ):
+        if fanout < 2:
+            raise ValueError("fanout must be >= 2")
+        if leaf_capacity < 1:
+            raise ValueError("leaf_capacity must be >= 1")
+        sizes = {len(c) for c in candidates}
+        if len(sizes) > 1:
+            raise ValueError(f"all candidates must share one size, got sizes {sizes}")
+        self._k = sizes.pop() if sizes else 0
+        self._fanout = fanout
+        self._leaf_capacity = leaf_capacity
+        self._root = _Node(depth=0)
+        self._counts: Dict[Tuple[Item, ...], int] = {}
+        for candidate in candidates:
+            self._insert(candidate.items)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    @property
+    def k(self) -> int:
+        """The candidate size this tree was built for."""
+        return self._k
+
+    def _hash(self, item: Item) -> int:
+        return item % self._fanout
+
+    def _insert(self, items: Tuple[Item, ...]) -> None:
+        if items in self._counts:
+            return
+        self._counts[items] = 0
+        node = self._root
+        while not node.is_leaf():
+            assert node.children is not None
+            bucket = self._hash(items[node.depth])
+            child = node.children.get(bucket)
+            if child is None:
+                child = _Node(node.depth + 1)
+                node.children[bucket] = child
+            node = child
+        assert node.candidates is not None
+        node.candidates.append(items)
+        if len(node.candidates) > self._leaf_capacity and node.depth < self._k:
+            self._split(node)
+
+    def _split(self, node: _Node) -> None:
+        stored = node.candidates or []
+        node.children = {}
+        node.candidates = None
+        for items in stored:
+            bucket = self._hash(items[node.depth])
+            child = node.children.get(bucket)
+            if child is None:
+                child = _Node(node.depth + 1)
+                node.children[bucket] = child
+            assert child.candidates is not None
+            child.candidates.append(items)
+        for child in node.children.values():
+            assert child.candidates is not None
+            if len(child.candidates) > self._leaf_capacity and child.depth < self._k:
+                self._split(child)
+
+    # ------------------------------------------------------------------
+    # counting
+    # ------------------------------------------------------------------
+
+    def count_transaction(self, transaction_items: Sequence[Item]) -> None:
+        """Increment every candidate contained in the given transaction.
+
+        ``transaction_items`` must be sorted ascending (as
+        :class:`~repro.core.items.Itemset` guarantees).
+        """
+        if self._k == 0 or len(transaction_items) < self._k:
+            return
+        matched: Set[Tuple[Item, ...]] = set()
+        self._visit(self._root, transaction_items, 0, matched)
+        for items in matched:
+            self._counts[items] += 1
+
+    def _visit(
+        self,
+        node: _Node,
+        items: Sequence[Item],
+        start: int,
+        matched: Set[Tuple[Item, ...]],
+    ) -> None:
+        if node.is_leaf():
+            assert node.candidates is not None
+            for candidate in node.candidates:
+                if candidate not in matched and self._contains(items, candidate):
+                    matched.add(candidate)
+            return
+        assert node.children is not None
+        # Branch on each remaining transaction item, keeping enough items
+        # after the branch point to complete a candidate of size k.
+        max_start = len(items) - (self._k - node.depth) + 1
+        visited_children: Set[int] = set()
+        for position in range(start, max_start):
+            bucket = self._hash(items[position])
+            child = node.children.get(bucket)
+            if child is None:
+                continue
+            key = id(child) ^ position  # distinct (child, position) pairs
+            if key in visited_children:
+                continue
+            visited_children.add(key)
+            self._visit(child, items, position + 1, matched)
+
+    @staticmethod
+    def _contains(transaction: Sequence[Item], candidate: Tuple[Item, ...]) -> bool:
+        j = 0
+        n = len(transaction)
+        for item in candidate:
+            while j < n and transaction[j] < item:
+                j += 1
+            if j >= n or transaction[j] != item:
+                return False
+            j += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    def counts(self) -> Dict[Itemset, int]:
+        """Final support counts keyed by candidate itemset."""
+        return {Itemset(items): count for items, count in self._counts.items()}

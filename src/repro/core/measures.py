@@ -1,0 +1,126 @@
+"""Interestingness measures for association rules.
+
+Beyond the paper's support/confidence framework, this module provides the
+era-standard secondary measures (lift, leverage, conviction) and the
+statistical-significance p-value of Megiddo & Srikant (KDD 1998): the
+probability, under independence of X and Y, that X ∪ Y co-occurs in at
+least the observed number of transactions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.errors import MiningParameterError
+
+
+def validate_fraction(name: str, value: float) -> None:
+    """Raise unless ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise MiningParameterError(f"{name} must be in [0, 1], got {value}")
+
+
+def confidence(support_xy: float, support_x: float) -> float:
+    """conf(X ⇒ Y) = supp(X ∪ Y) / supp(X); 0.0 when X never occurs."""
+    if support_x <= 0.0:
+        return 0.0
+    return min(support_xy / support_x, 1.0)
+
+
+def lift(support_xy: float, support_x: float, support_y: float) -> float:
+    """lift(X ⇒ Y) = supp(X ∪ Y) / (supp(X) * supp(Y)).
+
+    1.0 means independence; > 1 positive correlation.  Returns ``inf``
+    when either marginal support is zero but the joint is positive.
+    """
+    denominator = support_x * support_y
+    if denominator <= 0.0:
+        return math.inf if support_xy > 0.0 else 0.0
+    return support_xy / denominator
+
+
+def leverage(support_xy: float, support_x: float, support_y: float) -> float:
+    """leverage = supp(X ∪ Y) − supp(X) * supp(Y) (Piatetsky-Shapiro)."""
+    return support_xy - support_x * support_y
+
+
+def conviction(support_y: float, rule_confidence: float) -> float:
+    """conviction = (1 − supp(Y)) / (1 − conf).
+
+    ``inf`` for exact rules (confidence 1).
+    """
+    if rule_confidence >= 1.0:
+        return math.inf
+    return (1.0 - support_y) / (1.0 - rule_confidence)
+
+
+def rule_p_value(
+    n_transactions: int,
+    count_xy: int,
+    support_x: float,
+    support_y: float,
+) -> float:
+    """Megiddo–Srikant significance: P[Binomial(n, px*py) >= count_xy].
+
+    A small value means X and Y are unlikely to co-occur that often by
+    chance, i.e. the rule is statistically significant.
+    """
+    if n_transactions <= 0:
+        return 1.0
+    if count_xy <= 0:
+        return 1.0
+    p = support_x * support_y
+    if p <= 0.0:
+        return 0.0
+    if p >= 1.0:
+        return 1.0
+    return _binomial_sf(count_xy - 1, n_transactions, p)
+
+
+def _binomial_sf(k: int, n: int, p: float) -> float:
+    """P[Binomial(n, p) > k], numerically robust for mining-scale n.
+
+    Uses scipy when available (regularized incomplete beta), otherwise a
+    log-space summation fallback.
+    """
+    try:
+        from scipy.stats import binom
+
+        return float(binom.sf(k, n, p))
+    except Exception:  # pragma: no cover - scipy is installed in this repo
+        return _binomial_sf_fallback(k, n, p)
+
+
+def _binomial_sf_fallback(k: int, n: int, p: float) -> float:
+    if k >= n:
+        return 0.0
+    if k < 0:
+        return 1.0
+    log_p = math.log(p)
+    log_q = math.log1p(-p)
+    total = 0.0
+    for i in range(k + 1, n + 1):
+        log_term = (
+            math.lgamma(n + 1)
+            - math.lgamma(i + 1)
+            - math.lgamma(n - i + 1)
+            + i * log_p
+            + (n - i) * log_q
+        )
+        total += math.exp(log_term)
+        if total >= 1.0:
+            return 1.0
+    return min(total, 1.0)
+
+
+def is_significant(
+    n_transactions: int,
+    count_xy: int,
+    support_x: float,
+    support_y: float,
+    alpha: float = 0.05,
+) -> bool:
+    """True when the rule's p-value is at most ``alpha``."""
+    validate_fraction("alpha", alpha)
+    return rule_p_value(n_transactions, count_xy, support_x, support_y) <= alpha

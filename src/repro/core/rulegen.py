@@ -1,0 +1,263 @@
+"""Association-rule generation from frequent itemsets (ap-genrules).
+
+Given the frequent itemsets and a confidence threshold, generate every
+rule ``X ⇒ Y`` with ``X ∪ Y`` frequent, ``X ∩ Y = ∅`` and confidence at
+least the threshold.  Follows the Agrawal–Srikant *ap-genrules* recursion:
+start from 1-item consequents and grow consequents level-wise, pruning by
+the anti-monotonicity of confidence in the consequent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.core.apriori import FrequentItemsets, apriori_join
+from repro.core.items import ItemCatalog, Itemset
+from repro.core.measures import (
+    confidence as _confidence,
+    conviction as _conviction,
+    leverage as _leverage,
+    lift as _lift,
+    rule_p_value,
+    validate_fraction,
+)
+from repro.errors import MiningParameterError
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """An association rule X ⇒ Y with its measures.
+
+    Attributes:
+        antecedent: the itemset X.
+        consequent: the itemset Y (disjoint from X).
+        support: relative support of X ∪ Y.
+        confidence: supp(X ∪ Y) / supp(X).
+        support_count: absolute count of X ∪ Y.
+        n_transactions: size of the database the rule was mined from.
+        antecedent_support: relative support of X.
+        consequent_support: relative support of Y.
+    """
+
+    antecedent: Itemset
+    consequent: Itemset
+    support: float
+    confidence: float
+    support_count: int
+    n_transactions: int
+    antecedent_support: float
+    consequent_support: float
+
+    @property
+    def itemset(self) -> Itemset:
+        """X ∪ Y, the rule's full itemset."""
+        return self.antecedent.union(self.consequent)
+
+    @property
+    def lift(self) -> float:
+        return _lift(self.support, self.antecedent_support, self.consequent_support)
+
+    @property
+    def leverage(self) -> float:
+        return _leverage(self.support, self.antecedent_support, self.consequent_support)
+
+    @property
+    def conviction(self) -> float:
+        return _conviction(self.consequent_support, self.confidence)
+
+    @property
+    def p_value(self) -> float:
+        return rule_p_value(
+            self.n_transactions,
+            self.support_count,
+            self.antecedent_support,
+            self.consequent_support,
+        )
+
+    def key(self) -> "RuleKey":
+        """The structural identity (X, Y), ignoring measures."""
+        return RuleKey(self.antecedent, self.consequent)
+
+    def format(self, catalog: Optional[ItemCatalog] = None) -> str:
+        """Render e.g. ``"{bread, butter} => {milk}"`` (labels if possible)."""
+        if catalog is not None:
+            left = catalog.format(self.antecedent)
+            right = catalog.format(self.consequent)
+        else:
+            left = ", ".join(str(i) for i in self.antecedent)
+            right = ", ".join(str(i) for i in self.consequent)
+        return f"{{{left}}} => {{{right}}}"
+
+    def __str__(self) -> str:
+        return (
+            f"{self.format()}  (supp={self.support:.4f}, conf={self.confidence:.4f})"
+        )
+
+
+@dataclass(frozen=True)
+class RuleKey:
+    """The (antecedent, consequent) identity of a rule.
+
+    Temporal mining tracks the *same rule* across time units; the measures
+    change per unit but the key stays fixed, so the key — not the full
+    :class:`AssociationRule` — is what temporal structures are indexed by.
+    """
+
+    antecedent: Itemset
+    consequent: Itemset
+
+    @property
+    def itemset(self) -> Itemset:
+        return self.antecedent.union(self.consequent)
+
+    def format(self, catalog: Optional[ItemCatalog] = None) -> str:
+        if catalog is not None:
+            left = catalog.format(self.antecedent)
+            right = catalog.format(self.consequent)
+        else:
+            left = ", ".join(str(i) for i in self.antecedent)
+            right = ", ".join(str(i) for i in self.consequent)
+        return f"{{{left}}} => {{{right}}}"
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def generate_rules(
+    frequent: FrequentItemsets,
+    min_confidence: float,
+    max_consequent_size: int = 0,
+) -> List[AssociationRule]:
+    """All rules meeting ``min_confidence`` from the given frequent itemsets.
+
+    Args:
+        frequent: output of :func:`repro.core.apriori.apriori`.
+        min_confidence: threshold in [0, 1].
+        max_consequent_size: cap on |Y| (0 = unbounded).
+
+    Returns:
+        Rules sorted by (descending confidence, descending support, key).
+    """
+    validate_fraction("min_confidence", min_confidence)
+    if max_consequent_size < 0:
+        raise MiningParameterError("max_consequent_size must be >= 0")
+    n = frequent.n_transactions
+    rules: List[AssociationRule] = []
+    for itemset, count_xy in frequent.items():
+        if len(itemset) < 2:
+            continue
+        rules.extend(
+            _rules_from_itemset(itemset, count_xy, frequent, min_confidence, max_consequent_size)
+        )
+    rules.sort(
+        key=lambda r: (-r.confidence, -r.support, r.antecedent.items, r.consequent.items)
+    )
+    return rules
+
+
+def _rules_from_itemset(
+    itemset: Itemset,
+    count_xy: int,
+    frequent: FrequentItemsets,
+    min_confidence: float,
+    max_consequent_size: int,
+) -> Iterator[AssociationRule]:
+    """ap-genrules for one frequent itemset."""
+    n = frequent.n_transactions
+    support_xy = count_xy / n if n else 0.0
+
+    def build(consequent: Itemset) -> Optional[AssociationRule]:
+        antecedent = itemset.difference(consequent)
+        count_x = frequent.count(antecedent)
+        if count_x == 0:
+            # Every subset of a frequent itemset is frequent, so a zero
+            # count indicates inconsistent input rather than infrequency.
+            return None
+        conf = _confidence(count_xy / n, count_x / n)
+        if conf + 1e-12 < min_confidence:
+            return None
+        count_y = frequent.count(consequent)
+        return AssociationRule(
+            antecedent=antecedent,
+            consequent=consequent,
+            support=support_xy,
+            confidence=conf,
+            support_count=count_xy,
+            n_transactions=n,
+            antecedent_support=count_x / n,
+            consequent_support=count_y / n if count_y else _subset_support(consequent, frequent),
+        )
+
+    # Level 1: single-item consequents.
+    current: List[Itemset] = []
+    for item in itemset:
+        rule = build(Itemset((item,)))
+        if rule is not None:
+            yield rule
+            current.append(rule.consequent)
+
+    # Grow consequents: if X − Y ⇒ Y fails confidence, any rule with a
+    # larger consequent containing Y fails too (its antecedent is smaller,
+    # so its confidence can only drop).
+    size = 2
+    while current and (max_consequent_size == 0 or size <= max_consequent_size):
+        if size >= len(itemset):
+            break
+        next_level: List[Itemset] = []
+        for candidate in apriori_join(sorted(current)):
+            rule = build(candidate)
+            if rule is not None:
+                yield rule
+                next_level.append(rule.consequent)
+        current = next_level
+        size += 1
+
+
+def _subset_support(itemset: Itemset, frequent: FrequentItemsets) -> float:
+    """Support of an itemset that may not itself be in the frequent map.
+
+    Consequent supports are needed only for secondary measures; when the
+    consequent happens to be infrequent on its own (impossible if it is a
+    subset of a frequent itemset, but guarded for robustness) we report 0.
+    """
+    count = frequent.count(itemset)
+    return count / frequent.n_transactions if frequent.n_transactions else 0.0
+
+
+def mine_rules(
+    database,
+    min_support: float,
+    min_confidence: float,
+    options=None,
+    engine: str = "apriori",
+) -> List[AssociationRule]:
+    """Convenience: frequent-itemset mining followed by rule generation.
+
+    This is the *traditional*, time-blind pipeline that the paper's
+    temporal tasks are compared against.
+
+    Args:
+        engine: ``"apriori"`` (default), ``"fpgrowth"`` or ``"partition"``
+            — all three return identical rules (a tested invariant);
+            ``options`` applies to the Apriori engine only.
+    """
+    from repro.core.apriori import apriori
+
+    if engine == "apriori":
+        frequent = apriori(database, min_support, options=options)
+    elif engine == "fpgrowth":
+        from repro.core.fpgrowth import fpgrowth
+
+        max_size = options.max_size if options is not None else 0
+        frequent = fpgrowth(database, min_support, max_size=max_size)
+    elif engine == "partition":
+        from repro.core.partition import partition
+
+        max_size = options.max_size if options is not None else 0
+        frequent = partition(database, min_support, max_size=max_size)
+    else:
+        raise MiningParameterError(
+            f"unknown engine {engine!r} (apriori, fpgrowth, partition)"
+        )
+    return generate_rules(frequent, min_confidence)

@@ -1,0 +1,253 @@
+"""Timestamped transactions and the in-memory transaction database.
+
+A :class:`Transaction` is a set of items plus a timestamp — the temporal
+component that the ICDE 2000 paper observes "is usually attached to
+transactions in databases" and that traditional association mining
+overlooks.  Timestamps are ordinary :class:`datetime.datetime` values.
+
+:class:`TransactionDatabase` is the in-memory store all mining algorithms
+consume.  The SQLite-backed store (:mod:`repro.db.sqlite_store`) loads into
+this structure for mining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.items import Item, ItemCatalog, Itemset
+from repro.errors import TransactionError
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One market-basket transaction with its valid-time instant.
+
+    Attributes:
+        tid: unique transaction identifier.
+        timestamp: the instant the transaction occurred.
+        items: the purchased itemset.
+    """
+
+    tid: int
+    timestamp: datetime
+    items: Itemset
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.timestamp, datetime):
+            raise TransactionError(
+                f"transaction {self.tid}: timestamp must be datetime, "
+                f"got {type(self.timestamp).__name__}"
+            )
+
+    def contains(self, itemset: Itemset) -> bool:
+        """True when this transaction supports ``itemset``."""
+        return itemset.issubset(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class TransactionDatabase:
+    """An ordered collection of timestamped transactions.
+
+    Transactions are kept sorted by timestamp (then tid), which the
+    temporal partitioner exploits to slice unit sub-databases with binary
+    search instead of a full scan.
+
+    >>> from datetime import datetime
+    >>> db = TransactionDatabase()
+    >>> _ = db.add(datetime(2026, 1, 1), [1, 2, 3])
+    >>> _ = db.add(datetime(2026, 1, 2), [1, 3])
+    >>> len(db)
+    2
+    >>> db.support_count(Itemset.of(1, 3))
+    2
+    """
+
+    def __init__(
+        self,
+        transactions: Optional[Iterable[Transaction]] = None,
+        catalog: Optional[ItemCatalog] = None,
+    ):
+        self._transactions: List[Transaction] = []
+        self._catalog = catalog if catalog is not None else ItemCatalog()
+        self._sorted = True
+        self._next_tid = 0
+        if transactions is not None:
+            for transaction in transactions:
+                self.append(transaction)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @property
+    def catalog(self) -> ItemCatalog:
+        """The item catalog shared by all transactions in this database."""
+        return self._catalog
+
+    def append(self, transaction: Transaction) -> None:
+        """Append an already-built :class:`Transaction`."""
+        if self._transactions and transaction.timestamp < self._transactions[-1].timestamp:
+            self._sorted = False
+        self._transactions.append(transaction)
+        self._next_tid = max(self._next_tid, transaction.tid + 1)
+
+    def add(
+        self,
+        timestamp: datetime,
+        items: Iterable[object],
+        tid: Optional[int] = None,
+    ) -> Transaction:
+        """Create and append a transaction.
+
+        ``items`` may be item ids or labels; labels are registered in the
+        catalog on first use.
+        """
+        ids: List[Item] = []
+        for element in items:
+            if isinstance(element, str):
+                ids.append(self._catalog.add(element))
+            elif isinstance(element, int):
+                ids.append(element)
+            else:
+                raise TransactionError(f"cannot interpret {element!r} as an item")
+        if tid is None:
+            tid = self._next_tid
+        transaction = Transaction(tid=tid, timestamp=timestamp, items=Itemset(ids))
+        self.append(transaction)
+        return transaction
+
+    def extend(self, transactions: Iterable[Transaction]) -> None:
+        for transaction in transactions:
+            self.append(transaction)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._transactions.sort(key=lambda t: (t.timestamp, t.tid))
+            self._sorted = True
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __iter__(self) -> Iterator[Transaction]:
+        self._ensure_sorted()
+        return iter(self._transactions)
+
+    def __getitem__(self, index: int) -> Transaction:
+        self._ensure_sorted()
+        return self._transactions[index]
+
+    @property
+    def transactions(self) -> Sequence[Transaction]:
+        """All transactions sorted by (timestamp, tid)."""
+        self._ensure_sorted()
+        return tuple(self._transactions)
+
+    def is_empty(self) -> bool:
+        return not self._transactions
+
+    def time_span(self) -> Tuple[datetime, datetime]:
+        """(earliest, latest) timestamps; raises on an empty database."""
+        if not self._transactions:
+            raise TransactionError("time_span() on an empty database")
+        self._ensure_sorted()
+        return self._transactions[0].timestamp, self._transactions[-1].timestamp
+
+    def items_universe(self) -> Itemset:
+        """The union of all items appearing in any transaction."""
+        seen: set = set()
+        for transaction in self._transactions:
+            seen.update(transaction.items)
+        return Itemset(seen)
+
+    def average_transaction_size(self) -> float:
+        """Mean basket size (the 'T' in Quest dataset names)."""
+        if not self._transactions:
+            return 0.0
+        return sum(len(t) for t in self._transactions) / len(self._transactions)
+
+    # ------------------------------------------------------------------
+    # counting and slicing
+    # ------------------------------------------------------------------
+
+    def support_count(self, itemset: Itemset) -> int:
+        """Number of transactions containing ``itemset`` (absolute support)."""
+        return sum(1 for t in self._transactions if t.contains(itemset))
+
+    def support(self, itemset: Itemset) -> float:
+        """Relative support in [0, 1]; 0.0 on an empty database."""
+        if not self._transactions:
+            return 0.0
+        return self.support_count(itemset) / len(self._transactions)
+
+    def restrict(
+        self, predicate: Callable[[Transaction], bool]
+    ) -> "TransactionDatabase":
+        """A new database holding the transactions matching ``predicate``.
+
+        The catalog is shared, so item ids remain comparable across the
+        original and the slice.
+        """
+        sliced = TransactionDatabase(catalog=self._catalog)
+        for transaction in self:
+            if predicate(transaction):
+                sliced.append(transaction)
+        return sliced
+
+    def between(self, start: datetime, end: datetime) -> "TransactionDatabase":
+        """Transactions with ``start <= timestamp < end`` (half-open).
+
+        Uses binary search over the sorted transaction list.
+        """
+        import bisect
+
+        self._ensure_sorted()
+        stamps = [t.timestamp for t in self._transactions]
+        lo = bisect.bisect_left(stamps, start)
+        hi = bisect.bisect_left(stamps, end)
+        sliced = TransactionDatabase(catalog=self._catalog)
+        for transaction in self._transactions[lo:hi]:
+            sliced.append(transaction)
+        return sliced
+
+    def item_frequencies(self) -> Dict[Item, int]:
+        """Absolute support of every single item."""
+        counts: Dict[Item, int] = {}
+        for transaction in self._transactions:
+            for item in transaction.items:
+                counts[item] = counts.get(item, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # display
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"TransactionDatabase(n={len(self._transactions)}, "
+            f"items={len(self._catalog)})"
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """Summary statistics used by the IQMS 'data understanding' step."""
+        if not self._transactions:
+            return {
+                "transactions": 0,
+                "distinct_items": 0,
+                "avg_size": 0.0,
+                "span": None,
+            }
+        start, end = self.time_span()
+        return {
+            "transactions": len(self._transactions),
+            "distinct_items": len(self.items_universe()),
+            "avg_size": round(self.average_transaction_size(), 3),
+            "span": (start.isoformat(), end.isoformat()),
+        }

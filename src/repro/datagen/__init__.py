@@ -1,0 +1,28 @@
+"""Synthetic data: the Quest generator plus temporal rule embedding."""
+
+from repro.datagen.profiles import PROFILES, parse_profile
+from repro.datagen.quest import QuestConfig, generate_baskets, item_label
+from repro.datagen.temporal import (
+    EmbeddedRule,
+    EmbeddedTrend,
+    TemporalDataset,
+    TemporalDatasetSpec,
+    generate_temporal_dataset,
+    periodic_dataset,
+    seasonal_dataset,
+)
+
+__all__ = [
+    "PROFILES",
+    "EmbeddedRule",
+    "EmbeddedTrend",
+    "QuestConfig",
+    "TemporalDataset",
+    "TemporalDatasetSpec",
+    "generate_baskets",
+    "generate_temporal_dataset",
+    "item_label",
+    "parse_profile",
+    "periodic_dataset",
+    "seasonal_dataset",
+]

@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.datagen``."""
+
+import sys
+
+from repro.datagen.cli import main
+
+sys.exit(main())

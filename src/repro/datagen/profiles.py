@@ -1,0 +1,56 @@
+"""Named dataset profiles and T·I·D name parsing.
+
+Benchmarks refer to datasets by the literature's conventional names
+(``T10.I4.D100K``); :func:`parse_profile` turns such a name into a
+:class:`~repro.datagen.quest.QuestConfig`, and :data:`PROFILES` registers
+the scaled-down variants the benchmark suite actually runs (laptop-scale,
+per the repro calibration).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict
+
+from repro.datagen.quest import QuestConfig
+from repro.errors import MiningParameterError
+
+_NAME_RE = re.compile(
+    r"^T(?P<t>\d+(?:\.\d+)?)\.I(?P<i>\d+(?:\.\d+)?)\.D(?P<d>\d+)(?P<suffix>[KM]?)$",
+    re.IGNORECASE,
+)
+
+
+def parse_profile(
+    name: str,
+    n_items: int = 1000,
+    n_patterns: int = 200,
+    seed: int = 0,
+) -> QuestConfig:
+    """Parse ``"T10.I4.D100K"``-style names into a :class:`QuestConfig`.
+
+    >>> parse_profile("T5.I2.D10K").n_transactions
+    10000
+    """
+    match = _NAME_RE.match(name.strip())
+    if match is None:
+        raise MiningParameterError(f"cannot parse dataset name {name!r}")
+    multiplier = {"": 1, "K": 1000, "M": 1_000_000}[match.group("suffix").upper()]
+    return QuestConfig(
+        n_transactions=int(match.group("d")) * multiplier,
+        avg_transaction_size=float(match.group("t")),
+        avg_pattern_size=float(match.group("i")),
+        n_items=n_items,
+        n_patterns=n_patterns,
+        seed=seed,
+    )
+
+
+PROFILES: Dict[str, QuestConfig] = {
+    # The classic names, scaled to laptop size for the benchmark suite.
+    "T5.I2.D10K": parse_profile("T5.I2.D10K", n_items=500, n_patterns=100, seed=1),
+    "T10.I4.D10K": parse_profile("T10.I4.D10K", n_items=1000, n_patterns=200, seed=2),
+    "T10.I4.D20K": parse_profile("T10.I4.D20K", n_items=1000, n_patterns=200, seed=3),
+    "T15.I4.D10K": parse_profile("T15.I4.D10K", n_items=1000, n_patterns=200, seed=4),
+    "T10.I6.D20K": parse_profile("T10.I6.D20K", n_items=1000, n_patterns=200, seed=5),
+}

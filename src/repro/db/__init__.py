@@ -1,0 +1,40 @@
+"""Persistent storage and the integrated query function.
+
+The paper's IQMS couples a mining language to a relational DBMS (Oracle);
+here the DBMS role is played by SQLite (see DESIGN.md substitutions).
+"""
+
+from repro.db.query import (
+    QueryResult,
+    basket_size_distribution,
+    item_support_in_window,
+    run_query,
+    summarize,
+    top_items,
+    volume_by_unit,
+)
+from repro.db.sampling import (
+    head,
+    sample_transactions,
+    select_calendar,
+    select_items,
+    select_time_window,
+)
+from repro.db.sqlite_store import SqliteStore, load_csv
+
+__all__ = [
+    "QueryResult",
+    "SqliteStore",
+    "basket_size_distribution",
+    "head",
+    "item_support_in_window",
+    "load_csv",
+    "run_query",
+    "sample_transactions",
+    "select_calendar",
+    "select_items",
+    "select_time_window",
+    "summarize",
+    "top_items",
+    "volume_by_unit",
+]

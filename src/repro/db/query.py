@@ -1,0 +1,163 @@
+"""The ad-hoc query function of the integrated system.
+
+In the IQMI mining process the first step is *data understanding*: "the
+data in any database can firstly be analysed ... to get some useful
+information (e.g., summary information about the data for designing
+mining tasks)".  This module provides that query function: raw read-only
+SQL over the store plus canned summaries mining users always need
+(volume over time, hot items, basket-size distribution).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+from datetime import datetime
+from typing import List, Optional, Sequence, Tuple
+
+from repro.db.sqlite_store import SqliteStore
+from repro.errors import DatabaseError
+from repro.temporal.granularity import Granularity, unit_index, unit_label
+
+_FORBIDDEN_PREFIXES = (
+    "insert", "update", "delete", "drop", "alter", "create", "replace",
+    "attach", "detach", "pragma", "vacuum", "reindex",
+)
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """A relational result: column names plus rows."""
+
+    columns: Tuple[str, ...]
+    rows: Tuple[Tuple[object, ...], ...]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def format(self, limit: int = 20) -> str:
+        """Plain-text table rendering (elided past ``limit`` rows)."""
+        shown = self.rows if limit == 0 else self.rows[:limit]
+        widths = [len(c) for c in self.columns]
+        rendered = [[_cell(v) for v in row] for row in shown]
+        for row in rendered:
+            for i, value in enumerate(row):
+                widths[i] = max(widths[i], len(value))
+        lines = [
+            " | ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for row in rendered:
+            lines.append(" | ".join(v.ljust(widths[i]) for i, v in enumerate(row)))
+        if limit and len(self.rows) > limit:
+            lines.append(f"... {len(self.rows) - limit} more row(s)")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def run_query(
+    store: SqliteStore, sql: str, parameters: Sequence[object] = ()
+) -> QueryResult:
+    """Execute read-only SQL against the store.
+
+    Mutating statements are rejected — the query function exists for data
+    understanding, not data management.
+    """
+    head = sql.strip().split(None, 1)
+    if not head:
+        raise DatabaseError("empty query")
+    if head[0].lower() in _FORBIDDEN_PREFIXES:
+        raise DatabaseError(
+            f"only read-only queries are allowed, got {head[0].upper()}"
+        )
+    try:
+        cursor = store.connection.execute(sql, tuple(parameters))
+    except sqlite3.Error as error:
+        raise DatabaseError(f"query failed: {error}") from error
+    columns = tuple(d[0] for d in cursor.description or ())
+    rows = tuple(tuple(row) for row in cursor.fetchall())
+    return QueryResult(columns=columns, rows=rows)
+
+
+def summarize(store: SqliteStore) -> QueryResult:
+    """Headline statistics: transactions, items, rows, span."""
+    counts = store.connection.execute(
+        "SELECT COUNT(DISTINCT tid), COUNT(DISTINCT item), COUNT(*),"
+        " MIN(ts), MAX(ts) FROM transactions"
+    ).fetchone()
+    return QueryResult(
+        columns=("transactions", "distinct_items", "item_rows", "first_ts", "last_ts"),
+        rows=(tuple(counts),),
+    )
+
+
+def top_items(store: SqliteStore, limit: int = 10) -> QueryResult:
+    """Most supported items with absolute and relative support."""
+    total = max(store.count_transactions(), 1)
+    cursor = store.connection.execute(
+        "SELECT item, COUNT(DISTINCT tid) AS n FROM transactions"
+        " GROUP BY item ORDER BY n DESC, item LIMIT ?",
+        (limit,),
+    )
+    rows = tuple((item, n, n / total) for item, n in cursor.fetchall())
+    return QueryResult(columns=("item", "count", "support"), rows=rows)
+
+
+def volume_by_unit(
+    store: SqliteStore, granularity: Granularity = Granularity.MONTH
+) -> QueryResult:
+    """Transactions per time unit — the first thing a task designer plots."""
+    cursor = store.connection.execute(
+        "SELECT ts, tid FROM transactions GROUP BY tid ORDER BY ts"
+    )
+    buckets: dict = {}
+    for stamp_text, _tid in cursor.fetchall():
+        index = unit_index(datetime.fromisoformat(stamp_text), granularity)
+        buckets[index] = buckets.get(index, 0) + 1
+    rows = tuple(
+        (unit_label(index, granularity), count)
+        for index, count in sorted(buckets.items())
+    )
+    return QueryResult(columns=(str(granularity), "transactions"), rows=rows)
+
+
+def basket_size_distribution(store: SqliteStore) -> QueryResult:
+    """Histogram of basket sizes (the 'T' parameter of the dataset)."""
+    cursor = store.connection.execute(
+        "SELECT size, COUNT(*) FROM ("
+        " SELECT tid, COUNT(*) AS size FROM transactions GROUP BY tid)"
+        " GROUP BY size ORDER BY size"
+    )
+    return QueryResult(
+        columns=("basket_size", "transactions"),
+        rows=tuple(tuple(row) for row in cursor.fetchall()),
+    )
+
+
+def item_support_in_window(
+    store: SqliteStore, item: str, start: datetime, end: datetime
+) -> float:
+    """Relative support of one item within ``[start, end)``.
+
+    A data-understanding probe for picking min-support thresholds.
+    """
+    total = store.connection.execute(
+        "SELECT COUNT(DISTINCT tid) FROM transactions WHERE ts >= ? AND ts < ?",
+        (start.isoformat(), end.isoformat()),
+    ).fetchone()[0]
+    if not total:
+        return 0.0
+    with_item = store.connection.execute(
+        "SELECT COUNT(DISTINCT tid) FROM transactions"
+        " WHERE item = ? AND ts >= ? AND ts < ?",
+        (item, start.isoformat(), end.isoformat()),
+    ).fetchone()[0]
+    return with_item / total

@@ -1,0 +1,76 @@
+"""Data selection and sampling for mining-task design.
+
+The paper highlights that "data selection and sampling for different data
+mining tasks are easy to achieve with the query function that is
+integrated in the system".  These helpers implement the standard
+selections a task designer uses before committing to a full run.
+"""
+
+from __future__ import annotations
+
+import random
+from datetime import datetime
+from typing import Iterable, Optional, Sequence
+
+from repro.core.transactions import TransactionDatabase
+from repro.errors import MiningParameterError
+from repro.temporal.calendar_algebra import CalendarExpression, CalendarPattern
+
+
+def sample_transactions(
+    database: TransactionDatabase,
+    fraction: float,
+    seed: Optional[int] = None,
+) -> TransactionDatabase:
+    """Bernoulli sample of transactions (each kept with ``fraction``).
+
+    Keeps the shared item catalog so supports remain comparable with the
+    full database.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise MiningParameterError(f"fraction must be in (0, 1], got {fraction}")
+    rng = random.Random(seed)
+    return database.restrict(lambda _t: rng.random() < fraction)
+
+
+def select_time_window(
+    database: TransactionDatabase, start: datetime, end: datetime
+) -> TransactionDatabase:
+    """Transactions with ``start <= timestamp < end``."""
+    return database.between(start, end)
+
+
+def select_calendar(
+    database: TransactionDatabase,
+    calendar: "CalendarPattern | CalendarExpression",
+) -> TransactionDatabase:
+    """Transactions whose timestamp matches a calendar pattern."""
+    return database.restrict(lambda t: calendar.matches_instant(t.timestamp))
+
+
+def select_items(
+    database: TransactionDatabase, labels: Iterable[str]
+) -> TransactionDatabase:
+    """Transactions containing at least one of the given item labels.
+
+    Unknown labels are ignored (they cannot occur in any transaction).
+    """
+    catalog = database.catalog
+    wanted = {catalog.id(label) for label in labels if label in catalog}
+    if not wanted:
+        return database.restrict(lambda _t: False)
+    return database.restrict(
+        lambda t: any(item in wanted for item in t.items)
+    )
+
+
+def head(database: TransactionDatabase, n: int) -> TransactionDatabase:
+    """The first ``n`` transactions in time order."""
+    if n < 0:
+        raise MiningParameterError(f"n must be >= 0, got {n}")
+    subset = TransactionDatabase(catalog=database.catalog)
+    for index, transaction in enumerate(database):
+        if index >= n:
+            break
+        subset.append(transaction)
+    return subset

@@ -1,0 +1,269 @@
+"""SQLite-backed transaction store.
+
+The paper's IQMS prototype integrates its mining language with Oracle
+SQL; the Oracle role — a persistent relational store with an ad-hoc query
+function — is played here by the Python standard library's ``sqlite3``
+(see the substitution table in DESIGN.md).
+
+Relational schema (one row per item occurrence, the classic basket
+layout)::
+
+    CREATE TABLE transactions (
+        tid   INTEGER NOT NULL,
+        ts    TEXT    NOT NULL,   -- ISO-8601 timestamp
+        item  TEXT    NOT NULL,
+        PRIMARY KEY (tid, item)
+    );
+
+The store converts to/from the in-memory
+:class:`~repro.core.transactions.TransactionDatabase` that the mining
+algorithms consume.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from datetime import datetime
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.items import ItemCatalog
+from repro.core.transactions import Transaction, TransactionDatabase
+from repro.errors import DatabaseError, SchemaError
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS transactions (
+    tid   INTEGER NOT NULL,
+    ts    TEXT    NOT NULL,
+    item  TEXT    NOT NULL,
+    PRIMARY KEY (tid, item)
+);
+CREATE INDEX IF NOT EXISTS idx_transactions_ts ON transactions (ts);
+CREATE INDEX IF NOT EXISTS idx_transactions_item ON transactions (item);
+"""
+
+
+class SqliteStore:
+    """A persistent transaction store over SQLite.
+
+    Usable as a context manager; ``":memory:"`` gives an ephemeral store.
+
+    >>> store = SqliteStore(":memory:")
+    >>> store.insert_transaction(datetime(2026, 1, 1), ["bread", "milk"])
+    1
+    >>> store.count_transactions()
+    1
+    """
+
+    def __init__(self, path: Union[str, Path] = ":memory:"):
+        self.path = str(path)
+        try:
+            self._connection = sqlite3.connect(self.path)
+        except sqlite3.Error as error:
+            raise DatabaseError(f"cannot open {self.path!r}: {error}") from error
+        self._connection.executescript(_SCHEMA)
+        self._connection.commit()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "SqliteStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The raw connection (used by the ad-hoc query function)."""
+        return self._connection
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    def next_tid(self) -> int:
+        row = self._connection.execute("SELECT MAX(tid) FROM transactions").fetchone()
+        return (row[0] or 0) + 1
+
+    def insert_transaction(
+        self,
+        timestamp: datetime,
+        items: Iterable[str],
+        tid: Optional[int] = None,
+    ) -> int:
+        """Insert one transaction; returns its tid."""
+        labels = sorted(set(items))
+        if not labels:
+            raise DatabaseError("cannot insert an empty transaction")
+        if tid is None:
+            tid = self.next_tid()
+        try:
+            self._connection.executemany(
+                "INSERT INTO transactions (tid, ts, item) VALUES (?, ?, ?)",
+                [(tid, timestamp.isoformat(), label) for label in labels],
+            )
+        except sqlite3.IntegrityError as error:
+            self._connection.rollback()
+            raise DatabaseError(f"duplicate tid {tid}: {error}") from error
+        self._connection.commit()
+        return tid
+
+    def insert_many(
+        self, transactions: Iterable[Tuple[datetime, Sequence[str]]]
+    ) -> int:
+        """Bulk insert; returns the number of transactions inserted."""
+        tid = self.next_tid()
+        rows: List[Tuple[int, str, str]] = []
+        count = 0
+        for timestamp, items in transactions:
+            labels = sorted(set(items))
+            if not labels:
+                continue
+            rows.extend((tid, timestamp.isoformat(), label) for label in labels)
+            tid += 1
+            count += 1
+        if rows:
+            self._connection.executemany(
+                "INSERT INTO transactions (tid, ts, item) VALUES (?, ?, ?)", rows
+            )
+            self._connection.commit()
+        return count
+
+    def save_database(self, database: TransactionDatabase, replace: bool = False) -> int:
+        """Persist an in-memory database; returns transactions written."""
+        if replace:
+            self.clear()
+        catalog = database.catalog
+        rows: List[Tuple[int, str, str]] = []
+        for transaction in database:
+            stamp = transaction.timestamp.isoformat()
+            for item in transaction.items:
+                rows.append((transaction.tid, stamp, catalog.label(item)))
+        self._connection.executemany(
+            "INSERT INTO transactions (tid, ts, item) VALUES (?, ?, ?)", rows
+        )
+        self._connection.commit()
+        return len(database)
+
+    def clear(self) -> None:
+        """Delete every transaction."""
+        self._connection.execute("DELETE FROM transactions")
+        self._connection.commit()
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def count_transactions(self) -> int:
+        row = self._connection.execute(
+            "SELECT COUNT(DISTINCT tid) FROM transactions"
+        ).fetchone()
+        return int(row[0])
+
+    def count_items(self) -> int:
+        row = self._connection.execute(
+            "SELECT COUNT(DISTINCT item) FROM transactions"
+        ).fetchone()
+        return int(row[0])
+
+    def time_span(self) -> Optional[Tuple[datetime, datetime]]:
+        row = self._connection.execute(
+            "SELECT MIN(ts), MAX(ts) FROM transactions"
+        ).fetchone()
+        if row[0] is None:
+            return None
+        return datetime.fromisoformat(row[0]), datetime.fromisoformat(row[1])
+
+    def load_database(
+        self,
+        where: str = "",
+        parameters: Sequence[object] = (),
+        catalog: Optional[ItemCatalog] = None,
+    ) -> TransactionDatabase:
+        """Load (a filtered view of) the store into memory for mining.
+
+        Args:
+            where: optional SQL ``WHERE`` body over columns
+                ``tid``/``ts``/``item`` (e.g. ``"ts >= ?"``); applied per
+                item row, after which complete transactions are rebuilt.
+            parameters: bound parameters for ``where``.
+            catalog: optional shared catalog (labels register on load).
+        """
+        sql = "SELECT tid, ts, item FROM transactions"
+        if where:
+            sql += f" WHERE {where}"
+        sql += " ORDER BY ts, tid"
+        try:
+            cursor = self._connection.execute(sql, tuple(parameters))
+        except sqlite3.Error as error:
+            raise DatabaseError(f"load query failed: {error}") from error
+        database = TransactionDatabase(catalog=catalog)
+        current_tid: Optional[int] = None
+        current_stamp: Optional[datetime] = None
+        current_items: List[str] = []
+        for tid, stamp_text, item in cursor:
+            if tid != current_tid:
+                if current_tid is not None:
+                    database.add(current_stamp, current_items, tid=current_tid)
+                current_tid = tid
+                try:
+                    current_stamp = datetime.fromisoformat(stamp_text)
+                except (TypeError, ValueError) as error:
+                    raise DatabaseError(
+                        f"transaction {tid} has a malformed timestamp "
+                        f"{stamp_text!r}: {error}"
+                    ) from error
+                current_items = []
+            current_items.append(item)
+        if current_tid is not None:
+            database.add(current_stamp, current_items, tid=current_tid)
+        return database
+
+
+def load_csv(
+    store: SqliteStore,
+    path: Union[str, Path],
+    timestamp_column: str = "ts",
+    tid_column: str = "tid",
+    item_column: str = "item",
+    delimiter: str = ",",
+) -> int:
+    """Load a long-format CSV (tid, ts, item) into a store.
+
+    Returns the number of distinct transactions loaded.  Raises
+    :class:`SchemaError` when the header lacks the expected columns.
+    """
+    import csv
+
+    grouped: Dict[int, Tuple[datetime, List[str]]] = {}
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle, delimiter=delimiter)
+        header = reader.fieldnames or []
+        for column in (timestamp_column, tid_column, item_column):
+            if column not in header:
+                raise SchemaError(
+                    f"CSV {path} lacks column {column!r}; found {header}"
+                )
+        for row in reader:
+            tid = int(row[tid_column])
+            stamp = datetime.fromisoformat(row[timestamp_column])
+            entry = grouped.get(tid)
+            if entry is None:
+                grouped[tid] = (stamp, [row[item_column]])
+            else:
+                entry[1].append(row[item_column])
+    rows = [
+        (tid, stamp.isoformat(), item)
+        for tid, (stamp, items) in sorted(grouped.items())
+        for item in sorted(set(items))
+    ]
+    store.connection.executemany(
+        "INSERT INTO transactions (tid, ts, item) VALUES (?, ?, ?)", rows
+    )
+    store.connection.commit()
+    return len(grouped)

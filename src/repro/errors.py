@@ -1,0 +1,83 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch a single base class at the
+system boundary (e.g. the IQMS REPL catches :class:`ReproError` and prints
+the message instead of a traceback).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ItemError(ReproError):
+    """Invalid item or itemset construction."""
+
+
+class TransactionError(ReproError):
+    """Invalid transaction or transaction-database operation."""
+
+
+class MiningParameterError(ReproError):
+    """A mining threshold or parameter is out of its valid range."""
+
+
+class TemporalError(ReproError):
+    """Invalid temporal object (interval, calendar pattern, periodicity)."""
+
+
+class GranularityError(TemporalError):
+    """Unknown or incompatible time granularity."""
+
+
+class CalendarPatternError(TemporalError):
+    """Malformed calendar pattern or calendar expression."""
+
+
+class PeriodicityError(TemporalError):
+    """Malformed periodicity specification."""
+
+
+class DatabaseError(ReproError):
+    """Failure in the SQLite-backed transaction store."""
+
+
+class SchemaError(DatabaseError):
+    """The relational schema does not match what the loader expects."""
+
+
+class TmlError(ReproError):
+    """Base class for Temporal Mining Language errors."""
+
+
+class TmlLexError(TmlError):
+    """Lexical error while tokenizing TML source text."""
+
+    def __init__(self, message: str, position: int, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class TmlParseError(TmlError):
+    """Syntax error while parsing TML source text."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        if line:
+            super().__init__(f"{message} (line {line}, column {column})")
+        else:
+            super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class TmlExecutionError(TmlError):
+    """Semantic or runtime error while executing a TML statement."""
+
+
+class WorkflowError(ReproError):
+    """Illegal transition in the IQMI mining-process workflow."""

@@ -1,0 +1,238 @@
+"""Temporal partitioning and shared per-unit support counting.
+
+All three temporal mining tasks view the database as a sequence of *time
+units* at a granularity.  :class:`TemporalContext` buckets the
+transactions per unit once, and counts candidate itemsets **per unit in a
+single scan** — the shared-counting optimization that the naive baseline
+(mine every unit independently, :mod:`repro.baselines.sequential`)
+forgoes.
+
+The level-wise :func:`per_unit_frequent_itemsets` is the temporal
+analogue of Apriori: an itemset is *locally frequent* in unit ``u`` when
+its support within ``D[u]`` meets ``min_support``; candidates for size
+k+1 are generated from the union of locally frequent k-itemsets across
+units (a superset of the per-unit lattices, hence sound), and an itemset
+is kept while it is locally frequent in at least ``min_units`` units —
+the temporal anti-monotone prune.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.apriori import generate_candidates, _min_count
+from repro.core.counting import make_counter
+from repro.core.items import Item, Itemset
+from repro.core.transactions import TransactionDatabase
+from repro.errors import MiningParameterError, TransactionError
+from repro.temporal.granularity import Granularity, unit_index, unit_label
+
+
+class TemporalContext:
+    """A transaction database partitioned into time units.
+
+    Attributes:
+        granularity: the unit granularity.
+        first_unit / last_unit: absolute unit indices spanning the data.
+    """
+
+    def __init__(self, database: TransactionDatabase, granularity: Granularity):
+        if database.is_empty():
+            raise TransactionError("cannot build a temporal context over an empty database")
+        self.database = database
+        self.granularity = granularity
+        start, end = database.time_span()
+        self.first_unit = unit_index(start, granularity)
+        self.last_unit = unit_index(end, granularity)
+        self._baskets: List[List[Tuple[Item, ...]]] = [
+            [] for _ in range(self.n_units)
+        ]
+        for transaction in database:
+            offset = unit_index(transaction.timestamp, granularity) - self.first_unit
+            self._baskets[offset].append(transaction.items.items)
+        self.unit_sizes = np.array([len(b) for b in self._baskets], dtype=np.int64)
+
+    @property
+    def n_units(self) -> int:
+        """Number of units spanned (including empty ones)."""
+        return self.last_unit - self.first_unit + 1
+
+    @property
+    def unit_range(self) -> range:
+        """Absolute unit indices covered by the context."""
+        return range(self.first_unit, self.last_unit + 1)
+
+    def baskets_in_unit(self, offset: int) -> Sequence[Tuple[Item, ...]]:
+        """Baskets of the unit at relative ``offset`` (0-based)."""
+        return self._baskets[offset]
+
+    def to_offset(self, absolute_unit: int) -> int:
+        """Relative offset of an absolute unit index."""
+        return absolute_unit - self.first_unit
+
+    def to_absolute(self, offset: int) -> int:
+        """Absolute unit index of a relative offset."""
+        return offset + self.first_unit
+
+    def label(self, offset: int) -> str:
+        """Human-readable label of the unit at ``offset``."""
+        return unit_label(self.to_absolute(offset), self.granularity)
+
+    # ------------------------------------------------------------------
+    # counting
+    # ------------------------------------------------------------------
+
+    def count_items_per_unit(self) -> Dict[Item, np.ndarray]:
+        """Per-unit absolute support of every single item (one scan)."""
+        counts: Dict[Item, np.ndarray] = {}
+        n = self.n_units
+        for offset, baskets in enumerate(self._baskets):
+            for basket in baskets:
+                for item in basket:
+                    row = counts.get(item)
+                    if row is None:
+                        row = np.zeros(n, dtype=np.int64)
+                        counts[item] = row
+                    row[offset] += 1
+        return counts
+
+    def count_candidates_per_unit(
+        self,
+        candidates: Sequence[Itemset],
+        unit_mask: Optional[np.ndarray] = None,
+        counting: str = "auto",
+    ) -> Dict[Itemset, np.ndarray]:
+        """Per-unit supports of ``candidates`` in one scan of the data.
+
+        Args:
+            candidates: same-size candidate itemsets.
+            unit_mask: optional boolean array (length ``n_units``); units
+                where it is ``False`` are skipped entirely — the hook the
+                cycle-skipping optimization uses.
+            counting: counting strategy per unit (see
+                :mod:`repro.core.counting`).
+        """
+        n = self.n_units
+        results: Dict[Itemset, np.ndarray] = {
+            c: np.zeros(n, dtype=np.int64) for c in candidates
+        }
+        if not candidates:
+            return results
+        for offset, baskets in enumerate(self._baskets):
+            if unit_mask is not None and not unit_mask[offset]:
+                continue
+            if not baskets:
+                continue
+            counter = make_counter(candidates, strategy=counting)
+            for basket in baskets:
+                counter.count_transaction(basket)
+            for itemset, count in counter.counts().items():
+                if count:
+                    results[itemset][offset] = count
+        return results
+
+    def local_min_counts(self, min_support: float) -> np.ndarray:
+        """Per-unit absolute thresholds implementing relative min-support.
+
+        Empty units get threshold 1 (unsatisfiable), so nothing is
+        locally frequent in them.
+        """
+        thresholds = np.array(
+            [
+                _min_count(min_support, int(size)) if size else 1
+                for size in self.unit_sizes
+            ],
+            dtype=np.int64,
+        )
+        return thresholds
+
+
+@dataclass
+class PerUnitCounts:
+    """Per-unit support counts for all retained itemsets.
+
+    Attributes:
+        context: the temporal context counted against.
+        counts: itemset → int64 array of per-unit absolute supports.
+        min_support: the local (per-unit) relative support threshold used.
+    """
+
+    context: TemporalContext
+    counts: Dict[Itemset, np.ndarray]
+    min_support: float
+
+    def support_array(self, itemset: Itemset) -> np.ndarray:
+        """Per-unit counts for ``itemset`` (zeros when never retained)."""
+        row = self.counts.get(itemset)
+        if row is None:
+            return np.zeros(self.context.n_units, dtype=np.int64)
+        return row
+
+    def locally_frequent_mask(self, itemset: Itemset) -> np.ndarray:
+        """Boolean per-unit mask: locally frequent at ``min_support``."""
+        thresholds = self.context.local_min_counts(self.min_support)
+        return self.support_array(itemset) >= thresholds
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+
+def per_unit_frequent_itemsets(
+    context: TemporalContext,
+    min_support: float,
+    min_units: int = 1,
+    max_size: int = 0,
+    counting: str = "auto",
+) -> PerUnitCounts:
+    """Level-wise mining of itemsets locally frequent in >= ``min_units`` units.
+
+    Returns per-unit counts for every retained itemset.  All subsets of a
+    retained itemset are retained too (per-unit anti-monotonicity), which
+    downstream rule evaluation relies on.
+
+    Args:
+        context: the partitioned database.
+        min_support: per-unit relative support threshold in (0, 1].
+        min_units: survival threshold — an itemset must be locally
+            frequent in at least this many units to stay in the search
+            (the temporal prune; 1 keeps everything frequent anywhere).
+        max_size: cap on itemset size (0 = unbounded).
+        counting: per-unit counting strategy.
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise MiningParameterError(f"min_support must be in (0, 1], got {min_support}")
+    if min_units < 1:
+        raise MiningParameterError(f"min_units must be >= 1, got {min_units}")
+    thresholds = context.local_min_counts(min_support)
+    retained: Dict[Itemset, np.ndarray] = {}
+
+    # Level 1: single items in one scan.
+    item_counts = context.count_items_per_unit()
+    frontier: List[Itemset] = []
+    for item, row in item_counts.items():
+        frequent_units = int(np.count_nonzero(row >= thresholds))
+        if frequent_units >= min_units:
+            singleton = Itemset((item,))
+            retained[singleton] = row
+            frontier.append(singleton)
+    frontier.sort()
+
+    k = 2
+    while frontier and (max_size == 0 or k <= max_size):
+        candidates = generate_candidates(frontier)
+        if not candidates:
+            break
+        counted = context.count_candidates_per_unit(candidates, counting=counting)
+        frontier = []
+        for itemset, row in counted.items():
+            frequent_units = int(np.count_nonzero(row >= thresholds))
+            if frequent_units >= min_units:
+                retained[itemset] = row
+                frontier.append(itemset)
+        frontier.sort()
+        k += 1
+    return PerUnitCounts(context=context, counts=retained, min_support=min_support)

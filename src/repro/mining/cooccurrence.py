@@ -1,0 +1,126 @@
+"""Co-temporal rule analysis — which rules share their valid periods?
+
+A result-analysis tool for Task 1 output: two rules are *co-temporal*
+when their valid periods cover (nearly) the same stretches of time.
+Groups of co-temporal rules usually share one underlying cause (a
+season, a promotion, an event), so surfacing the groups turns a long
+rule list into a short phenomenon list — the kind of judgment the IQMI
+"result analysis" stage is about.
+
+Similarity is the temporal Jaccard of the rules' period interval-sets;
+grouping is single-linkage over the similarity graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.items import ItemCatalog
+from repro.core.rulegen import RuleKey
+from repro.errors import MiningParameterError
+from repro.mining.results import MiningReport, ValidPeriodRule
+from repro.temporal.interval import IntervalSet
+
+
+def period_interval_set(record: ValidPeriodRule) -> IntervalSet:
+    """The rule's valid periods as one canonical interval set."""
+    return IntervalSet(period.interval for period in record.periods)
+
+
+def temporal_jaccard(left: IntervalSet, right: IntervalSet) -> float:
+    """|∩| / |∪| of two interval sets, measured in seconds."""
+    intersection = left.intersection(right).total_duration().total_seconds()
+    union = left.union(right).total_duration().total_seconds()
+    return intersection / union if union > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class CotemporalGroup:
+    """One group of rules sharing their valid periods.
+
+    Attributes:
+        keys: the member rules.
+        extent: the union of the members' valid periods.
+    """
+
+    keys: Tuple[RuleKey, ...]
+    extent: IntervalSet
+
+    def format(self, catalog: Optional[ItemCatalog] = None) -> str:
+        members = "; ".join(key.format(catalog) for key in self.keys)
+        window = self.extent.span()
+        stamp = (
+            f"{window.start.date()}..{window.end.date()}" if window else "(empty)"
+        )
+        return f"[{stamp}] {members}"
+
+
+def cotemporal_groups(
+    report: MiningReport,
+    min_similarity: float = 0.8,
+) -> List[CotemporalGroup]:
+    """Group a valid-periods report into co-temporal rule clusters.
+
+    Args:
+        report: a Task 1 report (:class:`ValidPeriodRule` records).
+        min_similarity: temporal Jaccard threshold for linking two rules.
+
+    Returns:
+        Groups sorted by (earliest start, first key); singleton groups
+        are included, so every input rule appears exactly once.
+    """
+    if not 0.0 < min_similarity <= 1.0:
+        raise MiningParameterError("min_similarity must be in (0, 1]")
+    records = [r for r in report if isinstance(r, ValidPeriodRule)]
+    extents = [period_interval_set(record) for record in records]
+    n = len(records)
+
+    # Single-linkage connected components over the similarity graph.
+    parent = list(range(n))
+
+    def find(node: int) -> int:
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    for i in range(n):
+        for j in range(i + 1, n):
+            if temporal_jaccard(extents[i], extents[j]) >= min_similarity:
+                parent[find(i)] = find(j)
+
+    members: Dict[int, List[int]] = {}
+    for index in range(n):
+        members.setdefault(find(index), []).append(index)
+
+    groups = []
+    for indices in members.values():
+        extent = IntervalSet()
+        for index in indices:
+            extent = extent.union(extents[index])
+        keys = tuple(
+            sorted(
+                (records[i].key for i in indices),
+                key=lambda k: (k.antecedent.items, k.consequent.items),
+            )
+        )
+        groups.append(CotemporalGroup(keys=keys, extent=extent))
+    from datetime import datetime as _datetime
+
+    groups.sort(
+        key=lambda g: (
+            g.extent.span().start if g.extent.span() else _datetime.min,
+            g.keys[0].antecedent.items,
+        )
+    )
+    return groups
+
+
+def describe_groups(
+    groups: Sequence[CotemporalGroup], catalog: Optional[ItemCatalog] = None
+) -> str:
+    """Multi-line rendering, one group per line."""
+    if not groups:
+        return "(no co-temporal groups)"
+    return "\n".join(group.format(catalog) for group in groups)

@@ -1,0 +1,80 @@
+"""The :class:`TemporalMiner` facade — one object, three mining tasks.
+
+This is the programmatic kernel that both the TML executor and the IQMS
+system drive.  It caches the temporal partitioning per granularity so an
+interactive session that refines thresholds (the IQMI iterative loop)
+does not re-bucket the data every time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.apriori import AprioriOptions
+from repro.core.transactions import TransactionDatabase
+from repro.mining.constrained import mine_with_feature
+from repro.mining.context import TemporalContext
+from repro.mining.periodicities import discover_cyclic_interleaved, discover_periodicities
+from repro.mining.results import MiningReport
+from repro.mining.tasks import ConstrainedTask, PeriodicityTask, ValidPeriodTask
+from repro.mining.valid_periods import discover_valid_periods
+from repro.temporal.granularity import Granularity
+
+
+class TemporalMiner:
+    """High-level entry point for temporal association rule discovery.
+
+    >>> miner = TemporalMiner(database)                    # doctest: +SKIP
+    >>> report = miner.valid_periods(ValidPeriodTask(...)) # doctest: +SKIP
+    """
+
+    def __init__(self, database: TransactionDatabase):
+        self.database = database
+        self._contexts: Dict[Granularity, TemporalContext] = {}
+
+    def context(self, granularity: Granularity) -> TemporalContext:
+        """The (cached) temporal partitioning at ``granularity``."""
+        context = self._contexts.get(granularity)
+        if context is None:
+            context = TemporalContext(self.database, granularity)
+            self._contexts[granularity] = context
+        return context
+
+    def invalidate(self) -> None:
+        """Drop cached partitionings (call after mutating the database)."""
+        self._contexts.clear()
+
+    # ------------------------------------------------------------------
+    # the three tasks
+    # ------------------------------------------------------------------
+
+    def valid_periods(self, task: ValidPeriodTask) -> MiningReport:
+        """Task 1 — discover the valid periods of rules."""
+        return discover_valid_periods(
+            self.database, task, context=self.context(task.granularity)
+        )
+
+    def periodicities(
+        self, task: PeriodicityTask, interleaved: bool = False
+    ) -> MiningReport:
+        """Task 2 — discover rule periodicities.
+
+        ``interleaved=True`` selects the cycle-pruning/cycle-skipping
+        algorithm (exact cyclic search only; see
+        :func:`repro.mining.periodicities.discover_cyclic_interleaved`).
+        """
+        if interleaved:
+            return discover_cyclic_interleaved(
+                self.database, task, context=self.context(task.granularity)
+            )
+        return discover_periodicities(
+            self.database, task, context=self.context(task.granularity)
+        )
+
+    def with_feature(
+        self,
+        task: ConstrainedTask,
+        apriori_options: Optional[AprioriOptions] = None,
+    ) -> MiningReport:
+        """Task 3 — mine rules inside a given temporal feature."""
+        return mine_with_feature(self.database, task, apriori_options=apriori_options)

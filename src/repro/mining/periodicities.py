@@ -1,0 +1,422 @@
+"""Task 2 — discovery of the periodicities of association rules.
+
+Two search spaces are covered:
+
+* **Cyclic periodicities** (period ``p``, offset ``o``): the rule holds in
+  (at least ``min_match`` of) the units ``u ≡ o (mod p)``.  With
+  ``min_match = 1.0`` this is exactly the cyclic-association-rules notion
+  of Özden, Ramaswamy & Silberschatz, whose *cycle pruning* and *cycle
+  skipping* optimizations :func:`discover_cyclic_interleaved` reproduces.
+* **Calendric periodicities**: the rule holds in (at least ``min_match``
+  of) the units matching a calendar pattern, e.g. "every December".
+
+Both consume the per-unit validity sequences of candidate rules; the
+generic path (:func:`discover_periodicities`) computes validity everywhere
+and post-hoc detects periodicities, while the interleaved path prunes the
+search *during* counting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.apriori import generate_candidates
+from repro.core.counting import make_counter
+from repro.core.items import Itemset
+from repro.core.rulegen import RuleKey
+from repro.core.transactions import TransactionDatabase
+from repro.errors import MiningParameterError
+from repro.mining.context import PerUnitCounts, TemporalContext, per_unit_frequent_itemsets
+from repro.mining.results import MiningReport, PeriodicityFinding
+from repro.mining.rulespace import RuleUnitSeries, candidate_rules, enumerate_rule_splits, rule_series
+from repro.mining.tasks import PeriodicityTask
+from repro.temporal.periodicity import CalendricPeriodicity, CyclicPeriodicity
+
+_EPS = 1e-9
+
+Cycle = Tuple[int, int]
+"""A cyclic periodicity as (period, absolute offset)."""
+
+
+def cycles_of_sequence(
+    valid: np.ndarray,
+    first_unit: int,
+    max_period: int,
+    min_repetitions: int,
+    min_match: float,
+) -> List[Tuple[Cycle, int, int]]:
+    """All qualifying cycles of a validity sequence.
+
+    Args:
+        valid: boolean per-unit validity, index 0 = absolute ``first_unit``.
+        first_unit: absolute unit index of offset 0.
+        max_period: largest period searched.
+        min_repetitions: least member units required inside the window.
+        min_match: required fraction of member units that are valid.
+
+    Returns:
+        ``((period, absolute_offset), n_members, n_valid)`` triples sorted
+        by period then offset.
+    """
+    n = len(valid)
+    results: List[Tuple[Cycle, int, int]] = []
+    for period in range(1, max_period + 1):
+        for relative in range(min(period, n)):
+            members = valid[relative::period]
+            n_members = len(members)
+            if n_members < min_repetitions:
+                continue
+            n_valid = int(np.count_nonzero(members))
+            if n_valid / n_members >= min_match - _EPS:
+                absolute_offset = (first_unit + relative) % period
+                results.append(((period, absolute_offset), n_members, n_valid))
+    return results
+
+
+def prune_submultiple_cycles(
+    cycles: Sequence[Tuple[Cycle, int, int]]
+) -> List[Tuple[Cycle, int, int]]:
+    """Drop cycles implied by a shorter cycle already present.
+
+    ``(p, o)`` is a *sub-multiple duplicate* when some kept ``(q, r)`` has
+    ``q`` dividing ``p`` and ``o ≡ r (mod q)`` — its member units are a
+    subset of the shorter cycle's, so it conveys nothing new.
+    """
+    kept: List[Tuple[Cycle, int, int]] = []
+    for entry in sorted(cycles, key=lambda e: (e[0][0], e[0][1])):
+        (period, offset), _, _ = entry
+        dominated = any(
+            period % q == 0 and offset % q == r for (q, r), _, _ in kept
+        )
+        if not dominated:
+            kept.append(entry)
+    return kept
+
+
+def _member_mask(cycle: Cycle, first_unit: int, n_units: int) -> np.ndarray:
+    period, offset = cycle
+    relative = (offset - first_unit) % period
+    mask = np.zeros(n_units, dtype=bool)
+    mask[relative::period] = True
+    return mask
+
+
+def _calendar_member_mask(
+    periodicity: CalendricPeriodicity, context: TemporalContext
+) -> np.ndarray:
+    mask = np.zeros(context.n_units, dtype=bool)
+    for offset in range(context.n_units):
+        if periodicity.matches_unit(context.to_absolute(offset)):
+            mask[offset] = True
+    return mask
+
+
+def _findings_for_series(
+    series: RuleUnitSeries,
+    context: TemporalContext,
+    task: PeriodicityTask,
+) -> List[PeriodicityFinding]:
+    findings: List[PeriodicityFinding] = []
+    cycles = cycles_of_sequence(
+        series.valid,
+        context.first_unit,
+        task.max_period,
+        task.min_repetitions,
+        task.min_match,
+    )
+    if task.prune_submultiples:
+        cycles = prune_submultiple_cycles(cycles)
+    for cycle, n_members, n_valid in cycles:
+        mask = _member_mask(cycle, context.first_unit, context.n_units)
+        findings.append(
+            PeriodicityFinding(
+                key=series.key,
+                periodicity=CyclicPeriodicity(
+                    period=cycle[0], offset=cycle[1], granularity=context.granularity
+                ),
+                n_member_units=n_members,
+                n_valid_units=n_valid,
+                match_ratio=n_valid / n_members,
+                temporal_support=series.temporal_support(context.unit_sizes, mask),
+                temporal_confidence=series.temporal_confidence(mask),
+            )
+        )
+    for pattern in task.calendar_patterns:
+        periodicity = CalendricPeriodicity(pattern, context.granularity)
+        mask = _calendar_member_mask(periodicity, context)
+        n_members = int(np.count_nonzero(mask))
+        if n_members < task.min_repetitions:
+            continue
+        n_valid = int(np.count_nonzero(series.valid & mask))
+        if n_valid / n_members < task.min_match - _EPS:
+            continue
+        findings.append(
+            PeriodicityFinding(
+                key=series.key,
+                periodicity=periodicity,
+                n_member_units=n_members,
+                n_valid_units=n_valid,
+                match_ratio=n_valid / n_members,
+                temporal_support=series.temporal_support(context.unit_sizes, mask),
+                temporal_confidence=series.temporal_confidence(mask),
+            )
+        )
+    return findings
+
+
+def discover_periodicities(
+    database: TransactionDatabase,
+    task: PeriodicityTask,
+    context: Optional[TemporalContext] = None,
+    counts: Optional[PerUnitCounts] = None,
+) -> MiningReport:
+    """Run Task 2 end to end (generic path: count everywhere, then detect).
+
+    Returns a :class:`MiningReport` of :class:`PeriodicityFinding` records
+    sorted by rule then period.
+    """
+    started = time.perf_counter()
+    if context is None:
+        context = TemporalContext(database, task.granularity)
+    if counts is None:
+        counts = per_unit_frequent_itemsets(
+            context,
+            task.thresholds.min_support,
+            min_units=task.min_repetitions,
+            max_size=task.max_rule_size,
+        )
+    series_list = candidate_rules(
+        counts,
+        task.thresholds.min_confidence,
+        min_valid_units=task.min_repetitions,
+        max_consequent_size=task.max_consequent_size,
+    )
+    findings: List[PeriodicityFinding] = []
+    for series in series_list:
+        findings.extend(_findings_for_series(series, context, task))
+    elapsed = time.perf_counter() - started
+    return MiningReport(
+        task_name="periodicities",
+        results=tuple(findings),
+        n_transactions=len(database),
+        n_units=context.n_units,
+        elapsed_seconds=elapsed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Interleaved algorithm: cycle pruning + cycle skipping
+# ----------------------------------------------------------------------
+
+
+def _sequence_cycles_exact(
+    valid: np.ndarray, first_unit: int, max_period: int, min_repetitions: int
+) -> Set[Cycle]:
+    """Cycles (min_match = 1.0) of a validity sequence, as a set."""
+    return {
+        cycle
+        for cycle, _, _ in cycles_of_sequence(
+            valid, first_unit, max_period, min_repetitions, 1.0
+        )
+    }
+
+
+def _cycle_units(cycles: Set[Cycle], first_unit: int, n_units: int) -> np.ndarray:
+    """Union member mask of a set of cycles."""
+    mask = np.zeros(n_units, dtype=bool)
+    for cycle in cycles:
+        mask |= _member_mask(cycle, first_unit, n_units)
+    return mask
+
+
+def discover_cyclic_interleaved(
+    database: TransactionDatabase,
+    task: PeriodicityTask,
+    context: Optional[TemporalContext] = None,
+) -> MiningReport:
+    """Optimized cyclic discovery with cycle pruning and cycle skipping.
+
+    Requires ``min_match == 1.0`` and no calendar patterns (the exact
+    cyclic setting in which the two optimizations are sound):
+
+    * **cycle pruning** — a candidate itemset can only have cycles common
+      to all the cycles of its subsets, so candidates whose inherited
+      cycle set is empty are dropped before counting;
+    * **cycle skipping** — a candidate is only counted in units belonging
+      to one of its still-live candidate cycles.
+
+    Produces exactly the cyclic findings of :func:`discover_periodicities`
+    (a property the test suite asserts) while scanning far fewer
+    (unit, candidate) pairs.
+    """
+    if task.min_match < 1.0 - _EPS:
+        raise MiningParameterError(
+            "the interleaved algorithm requires min_match == 1.0"
+        )
+    if task.calendar_patterns:
+        raise MiningParameterError(
+            "the interleaved algorithm searches cyclic periodicities only"
+        )
+    started = time.perf_counter()
+    if context is None:
+        context = TemporalContext(database, task.granularity)
+    thresholds = context.local_min_counts(task.thresholds.min_support)
+    n_units = context.n_units
+    first_unit = context.first_unit
+
+    counts: Dict[Itemset, np.ndarray] = {}
+    itemset_cycles: Dict[Itemset, Set[Cycle]] = {}
+
+    # Level 1: one full scan (no skipping possible before cycles exist).
+    for item, row in context.count_items_per_unit().items():
+        singleton = Itemset((item,))
+        support_valid = row >= thresholds
+        cycles = _sequence_cycles_exact(
+            support_valid, first_unit, task.max_period, task.min_repetitions
+        )
+        if cycles:
+            counts[singleton] = row
+            itemset_cycles[singleton] = cycles
+
+    frontier = sorted(itemset_cycles)
+    k = 2
+    while frontier and (task.max_rule_size == 0 or k <= task.max_rule_size):
+        joined = generate_candidates(frontier)
+        # Cycle pruning: inherit the intersection of the subsets' cycles.
+        candidate_cycles: Dict[Itemset, Set[Cycle]] = {}
+        for candidate in joined:
+            inherited: Optional[Set[Cycle]] = None
+            ok = True
+            for subset in candidate.subsets_of_size(k - 1):
+                subset_cycles = itemset_cycles.get(subset)
+                if subset_cycles is None:
+                    ok = False
+                    break
+                inherited = (
+                    set(subset_cycles)
+                    if inherited is None
+                    else inherited & subset_cycles
+                )
+            if ok and inherited:
+                candidate_cycles[candidate] = inherited
+        if not candidate_cycles:
+            break
+        # Cycle skipping: count each candidate only in its live-cycle units.
+        candidate_masks = {
+            candidate: _cycle_units(cycles, first_unit, n_units)
+            for candidate, cycles in candidate_cycles.items()
+        }
+        per_candidate_counts = {
+            candidate: np.zeros(n_units, dtype=np.int64)
+            for candidate in candidate_cycles
+        }
+        for offset in range(n_units):
+            active = [c for c, mask in candidate_masks.items() if mask[offset]]
+            baskets = context.baskets_in_unit(offset)
+            if not active or not baskets:
+                continue
+            counter = make_counter(active)
+            for basket in baskets:
+                counter.count_transaction(basket)
+            for itemset, count in counter.counts().items():
+                if count:
+                    per_candidate_counts[itemset][offset] = count
+        # Re-derive surviving cycles from actual counts.
+        frontier = []
+        for candidate, row in per_candidate_counts.items():
+            support_valid = (row >= thresholds) & candidate_masks[candidate]
+            survivors = {
+                cycle
+                for cycle in candidate_cycles[candidate]
+                if bool(
+                    support_valid[
+                        _member_mask(cycle, first_unit, n_units)
+                    ].all()
+                )
+            }
+            if survivors:
+                counts[candidate] = row
+                itemset_cycles[candidate] = survivors
+                frontier.append(candidate)
+        frontier.sort()
+        k += 1
+
+    # Rule phase: a rule's cycles are the itemset's support-cycles filtered
+    # by per-unit confidence.
+    findings: List[PeriodicityFinding] = []
+    min_confidence = task.thresholds.min_confidence
+    for itemset in sorted(itemset_cycles):
+        if len(itemset) < 2:
+            continue
+        itemset_row = counts[itemset]
+        for key in enumerate_rule_splits(itemset, task.max_consequent_size):
+            antecedent_row = counts.get(key.antecedent)
+            if antecedent_row is None:
+                continue
+            with np.errstate(divide="ignore", invalid="ignore"):
+                confidence = np.where(
+                    antecedent_row > 0,
+                    itemset_row / np.maximum(antecedent_row, 1),
+                    0.0,
+                )
+            valid = (itemset_row >= thresholds) & (
+                confidence >= min_confidence - 1e-12
+            )
+            rule_cycles: List[Tuple[Cycle, int, int]] = []
+            for cycle in itemset_cycles[itemset]:
+                mask = _member_mask(cycle, first_unit, n_units)
+                n_members = int(np.count_nonzero(mask))
+                if n_members < task.min_repetitions:
+                    continue
+                if bool(valid[mask].all()):
+                    rule_cycles.append((cycle, n_members, n_members))
+            if task.prune_submultiples:
+                rule_cycles = prune_submultiple_cycles(rule_cycles)
+            for cycle, n_members, n_valid in rule_cycles:
+                mask = _member_mask(cycle, first_unit, n_units)
+                denominator_support = int(context.unit_sizes[mask].sum())
+                denominator_confidence = int(antecedent_row[mask].sum())
+                numerator = int(itemset_row[mask].sum())
+                findings.append(
+                    PeriodicityFinding(
+                        key=key,
+                        periodicity=CyclicPeriodicity(
+                            period=cycle[0],
+                            offset=cycle[1],
+                            granularity=context.granularity,
+                        ),
+                        n_member_units=n_members,
+                        n_valid_units=n_valid,
+                        match_ratio=1.0,
+                        temporal_support=(
+                            numerator / denominator_support
+                            if denominator_support
+                            else 0.0
+                        ),
+                        temporal_confidence=(
+                            numerator / denominator_confidence
+                            if denominator_confidence
+                            else 0.0
+                        ),
+                    )
+                )
+    elapsed = time.perf_counter() - started
+    findings.sort(
+        key=lambda f: (
+            f.key.antecedent.items,
+            f.key.consequent.items,
+            f.periodicity.period,  # type: ignore[union-attr]
+            f.periodicity.offset,  # type: ignore[union-attr]
+        )
+    )
+    return MiningReport(
+        task_name="periodicities",
+        results=tuple(findings),
+        n_transactions=len(database),
+        n_units=context.n_units,
+        elapsed_seconds=elapsed,
+    )

@@ -1,0 +1,307 @@
+"""Pruning of uninteresting temporal association rules.
+
+The paper motivates its restricted tasks by the "two-dimensional solution
+space" — rules x temporal features — being too large to report wholesale.
+Beyond restricting the *search*, the companion literature prunes the
+*output*; this module implements the three classic output prunes, applied
+to this library's rule and report types:
+
+* **misleading rules** — ``X ⇒ y`` is misleading when some generalization
+  ``X' ⊂ X`` predicts ``y`` at least ``gamma`` times as confidently: the
+  extra antecedent items *reduce* the likelihood of ``y``.
+* **statistically insignificant rules** — the Megiddo–Srikant binomial
+  p-value of the rule exceeds ``alpha`` (the co-occurrence is explainable
+  by chance).
+* **uninteresting specializations** — ``X ⇒ y`` adds nothing over a kept
+  ``X' ⇒ y`` unless its confidence is at least ``delta`` times the
+  generalization's (the local-pruning interest criterion).
+
+All three need sub-rule confidences; when a
+:class:`~repro.core.apriori.FrequentItemsets` is supplied they are exact,
+otherwise they are computed against the rules present in the input list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.apriori import FrequentItemsets
+from repro.core.items import Itemset
+from repro.core.measures import rule_p_value
+from repro.core.rulegen import AssociationRule, RuleKey
+from repro.errors import MiningParameterError
+from repro.mining.results import ConstrainedRule, MiningReport
+
+
+@dataclass(frozen=True)
+class PruningPolicy:
+    """What to prune and how aggressively.
+
+    Attributes:
+        misleading_gamma: prune ``X ⇒ y`` when a generalization is at
+            least this factor more confident (>= 1.0; 0 disables).
+        significance_alpha: prune rules with p-value above this (None
+            disables).
+        interest_delta: keep a specialization only when its confidence is
+            at least ``delta`` times its best kept generalization's
+            (<= 1.0 keeps everything; 0 disables).
+    """
+
+    misleading_gamma: float = 1.0
+    significance_alpha: Optional[float] = 0.05
+    interest_delta: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.misleading_gamma < 0:
+            raise MiningParameterError("misleading_gamma must be >= 0")
+        if self.significance_alpha is not None and not (
+            0.0 < self.significance_alpha <= 1.0
+        ):
+            raise MiningParameterError("significance_alpha must be in (0, 1]")
+        if self.interest_delta < 0:
+            raise MiningParameterError("interest_delta must be >= 0")
+
+
+@dataclass
+class PruningOutcome:
+    """The verdicts of one pruning pass."""
+
+    kept: List[AssociationRule]
+    misleading: List[AssociationRule]
+    insignificant: List[AssociationRule]
+    uninteresting: List[AssociationRule]
+
+    def summary(self) -> str:
+        return (
+            f"kept={len(self.kept)} misleading={len(self.misleading)} "
+            f"insignificant={len(self.insignificant)} "
+            f"uninteresting={len(self.uninteresting)}"
+        )
+
+
+class _ConfidenceOracle:
+    """Confidence of arbitrary sub-rules, exact when counts are known."""
+
+    def __init__(
+        self,
+        rules: Sequence[AssociationRule],
+        frequent: Optional[FrequentItemsets],
+    ):
+        self._frequent = frequent
+        self._by_key: Dict[RuleKey, float] = {
+            rule.key(): rule.confidence for rule in rules
+        }
+        self._consequent_support: Dict[Itemset, float] = {
+            rule.consequent: rule.consequent_support for rule in rules
+        }
+
+    def confidence(self, antecedent: Itemset, consequent: Itemset) -> Optional[float]:
+        """conf(antecedent ⇒ consequent), or None when unknowable.
+
+        The empty antecedent's "confidence" is supp(consequent), matching
+        the misleading-rule definition that admits ``X' = ∅``.
+        """
+        if len(antecedent) == 0:
+            support = self._consequent_support.get(consequent)
+            if support is not None:
+                return support
+            if self._frequent is not None:
+                return self._frequent.support(consequent)
+            return None
+        known = self._by_key.get(RuleKey(antecedent, consequent))
+        if known is not None:
+            return known
+        if self._frequent is not None:
+            count_x = self._frequent.count(antecedent)
+            count_xy = self._frequent.count(antecedent.union(consequent))
+            if count_x > 0 and count_xy > 0:
+                return count_xy / count_x
+        return None
+
+    def generalizations(self, rule: AssociationRule) -> Iterable[Tuple[Itemset, float]]:
+        """(antecedent', confidence) for every proper subset antecedent'."""
+        antecedent = rule.antecedent
+        for size in range(0, len(antecedent)):
+            for subset in antecedent.subsets_of_size(size):
+                confidence = self.confidence(subset, rule.consequent)
+                if confidence is not None:
+                    yield subset, confidence
+
+
+def prune_rules(
+    rules: Sequence[AssociationRule],
+    policy: PruningPolicy = PruningPolicy(),
+    frequent: Optional[FrequentItemsets] = None,
+) -> PruningOutcome:
+    """Apply the full pruning pipeline to a rule list.
+
+    Order matters and follows the classic pipeline: global prunes first
+    (misleading, insignificance), then the local interest prune processed
+    general-to-specific so specializations are judged against *kept*
+    generalizations only.
+    """
+    oracle = _ConfidenceOracle(rules, frequent)
+    misleading: List[AssociationRule] = []
+    insignificant: List[AssociationRule] = []
+    survivors: List[AssociationRule] = []
+
+    for rule in rules:
+        if policy.misleading_gamma and _is_misleading(rule, oracle, policy):
+            misleading.append(rule)
+            continue
+        if policy.significance_alpha is not None and _is_insignificant(rule, policy):
+            insignificant.append(rule)
+            continue
+        survivors.append(rule)
+
+    uninteresting: List[AssociationRule] = []
+    kept: List[AssociationRule] = []
+    if policy.interest_delta:
+        kept_confidence: Dict[RuleKey, float] = {}
+        # General-to-specific: shorter antecedents first.
+        for rule in sorted(survivors, key=lambda r: (len(r.antecedent), r.antecedent.items)):
+            interesting = True
+            for subset, _conf in _kept_generalizations(rule, kept_confidence):
+                if rule.confidence < policy.interest_delta * _conf:
+                    interesting = False
+                    break
+            if interesting:
+                kept.append(rule)
+                kept_confidence[rule.key()] = rule.confidence
+            else:
+                uninteresting.append(rule)
+        # Restore the input ordering for the kept rules.
+        kept_keys = {rule.key() for rule in kept}
+        kept = [rule for rule in survivors if rule.key() in kept_keys]
+    else:
+        kept = survivors
+
+    return PruningOutcome(
+        kept=kept,
+        misleading=misleading,
+        insignificant=insignificant,
+        uninteresting=uninteresting,
+    )
+
+
+def _is_misleading(
+    rule: AssociationRule, oracle: _ConfidenceOracle, policy: PruningPolicy
+) -> bool:
+    # Misleading iff some generalization is strictly more confident by the
+    # gamma factor: the extra antecedent items lower the chance of y.
+    # (Exact ties are not misleading — they are handled, if at all, by the
+    # interest prune.)
+    threshold = max(
+        policy.misleading_gamma * rule.confidence, rule.confidence + 1e-12
+    )
+    return any(
+        confidence >= threshold
+        for _subset, confidence in oracle.generalizations(rule)
+    )
+
+
+def _is_insignificant(rule: AssociationRule, policy: PruningPolicy) -> bool:
+    p_value = rule_p_value(
+        rule.n_transactions,
+        rule.support_count,
+        rule.antecedent_support,
+        rule.consequent_support,
+    )
+    return p_value > policy.significance_alpha  # type: ignore[operator]
+
+
+def _kept_generalizations(
+    rule: AssociationRule, kept_confidence: Dict[RuleKey, float]
+) -> Iterable[Tuple[Itemset, float]]:
+    antecedent = rule.antecedent
+    for size in range(1, len(antecedent)):
+        for subset in antecedent.subsets_of_size(size):
+            confidence = kept_confidence.get(RuleKey(subset, rule.consequent))
+            if confidence is not None:
+                yield subset, confidence
+
+
+def prune_constrained_report(
+    report: MiningReport,
+    policy: PruningPolicy = PruningPolicy(),
+    frequent: Optional[FrequentItemsets] = None,
+) -> Tuple[MiningReport, PruningOutcome]:
+    """Prune a Task 3 report; returns (pruned report, verdicts)."""
+    records = list(report)
+    rules = [record.rule for record in records if isinstance(record, ConstrainedRule)]
+    outcome = prune_rules(rules, policy, frequent)
+    kept_keys = {rule.key() for rule in outcome.kept}
+    kept_records = tuple(
+        record
+        for record in records
+        if isinstance(record, ConstrainedRule) and record.key in kept_keys
+    )
+    pruned_report = MiningReport(
+        task_name=report.task_name + "(pruned)",
+        results=kept_records,
+        n_transactions=report.n_transactions,
+        n_units=report.n_units,
+        elapsed_seconds=report.elapsed_seconds,
+    )
+    return pruned_report, outcome
+
+
+def prune_temporal_specializations(report: MiningReport) -> MiningReport:
+    """Drop ⟨rule, TF⟩ findings dominated by a generalization's finding.
+
+    A valid-period (or periodicity) finding for ``X ⇒ y`` is dominated
+    when some ``X' ⊂ X`` with the same consequent reports a temporal
+    feature covering every unit of it — the specialized rule holds in a
+    subset of the time its generalization already holds, so it adds no
+    temporal information.
+    """
+    records = list(report)
+    by_key: Dict[RuleKey, object] = {}
+    for record in records:
+        key = getattr(record, "key", None)
+        if isinstance(key, RuleKey):
+            by_key[key] = record
+    kept = []
+    for record in records:
+        key = getattr(record, "key", None)
+        if not isinstance(key, RuleKey) or len(key.antecedent) <= 1:
+            kept.append(record)
+            continue
+        dominated = False
+        for size in range(1, len(key.antecedent)):
+            for subset in key.antecedent.subsets_of_size(size):
+                parent = by_key.get(RuleKey(subset, key.consequent))
+                if parent is not None and _feature_covers(parent, record):
+                    dominated = True
+                    break
+            if dominated:
+                break
+        if not dominated:
+            kept.append(record)
+    return MiningReport(
+        task_name=report.task_name + "(despecialized)",
+        results=tuple(kept),
+        n_transactions=report.n_transactions,
+        n_units=report.n_units,
+        elapsed_seconds=report.elapsed_seconds,
+    )
+
+
+def _feature_covers(parent: object, child: object) -> bool:
+    """Does the parent finding's temporal extent cover the child's?"""
+    parent_periods = getattr(parent, "periods", None)
+    child_periods = getattr(child, "periods", None)
+    if parent_periods is not None and child_periods is not None:
+        return all(
+            any(
+                p.first_unit <= c.first_unit and c.last_unit <= p.last_unit
+                for p in parent_periods
+            )
+            for c in child_periods
+        )
+    parent_periodicity = getattr(parent, "periodicity", None)
+    child_periodicity = getattr(child, "periodicity", None)
+    if parent_periodicity is not None and child_periodicity is not None:
+        return parent_periodicity == child_periodicity
+    return False

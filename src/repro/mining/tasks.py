@@ -1,0 +1,187 @@
+"""Task descriptions for the three temporal mining tasks.
+
+The paper identifies "three forms of interesting mining tasks for temporal
+association rules with certain constraints":
+
+1. discovery of **valid time periods** during which association rules hold
+   (:class:`ValidPeriodTask`),
+2. discovery of possible **periodicities** that association rules have
+   (:class:`PeriodicityTask`),
+3. discovery of **association rules with (given) temporal features**
+   (:class:`ConstrainedTask`).
+
+Each task value is a plain, validated parameter record; the algorithms
+live in their own modules and the :class:`~repro.mining.engine.TemporalMiner`
+facade dispatches on the task type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.errors import MiningParameterError
+from repro.temporal.calendar_algebra import CalendarExpression, CalendarPattern
+from repro.temporal.granularity import Granularity
+from repro.temporal.interval import IntervalSet, TimeInterval
+from repro.temporal.periodicity import CalendricPeriodicity, CyclicPeriodicity
+
+TemporalFeature = Union[
+    TimeInterval,
+    IntervalSet,
+    CyclicPeriodicity,
+    CalendricPeriodicity,
+    CalendarPattern,
+    CalendarExpression,
+]
+"""Any temporal feature a rule can be paired with (the TF of ⟨AR, TF⟩)."""
+
+
+def _check_fraction(name: str, value: float, low_open: bool = False) -> None:
+    lo_ok = value > 0.0 if low_open else value >= 0.0
+    if not (lo_ok and value <= 1.0):
+        bound = "(0, 1]" if low_open else "[0, 1]"
+        raise MiningParameterError(f"{name} must be in {bound}, got {value}")
+
+
+@dataclass(frozen=True)
+class RuleThresholds:
+    """The classical support/confidence thresholds, applied per time unit."""
+
+    min_support: float
+    min_confidence: float
+
+    def __post_init__(self) -> None:
+        _check_fraction("min_support", self.min_support, low_open=True)
+        _check_fraction("min_confidence", self.min_confidence)
+
+
+@dataclass(frozen=True)
+class ValidPeriodTask:
+    """Task 1 — find rules and the maximal periods in which they hold.
+
+    A rule *holds* in a time unit when its per-unit support and confidence
+    meet the thresholds.  A period ``[u1..u2]`` is *valid* for the rule
+    when it starts and ends in units where the rule holds, the rule holds
+    in at least ``min_frequency`` of its units, and it spans at least
+    ``min_coverage`` units.  Only maximal such periods are reported.
+
+    Attributes:
+        granularity: time-unit granularity.
+        thresholds: per-unit support/confidence thresholds.
+        min_frequency: fraction of units inside the period in which the
+            rule must hold (1.0 = every unit; lower tolerates gaps).
+        min_coverage: minimum period length in units.
+        max_rule_size: cap on |X ∪ Y| (0 = unbounded).
+        max_consequent_size: cap on |Y| (0 = unbounded).
+    """
+
+    granularity: Granularity
+    thresholds: RuleThresholds
+    min_frequency: float = 1.0
+    min_coverage: int = 2
+    max_rule_size: int = 0
+    max_consequent_size: int = 1
+
+    def __post_init__(self) -> None:
+        _check_fraction("min_frequency", self.min_frequency, low_open=True)
+        if self.min_coverage < 1:
+            raise MiningParameterError("min_coverage must be >= 1")
+        if self.max_rule_size < 0 or self.max_consequent_size < 0:
+            raise MiningParameterError("size caps must be >= 0")
+
+    @property
+    def min_valid_units(self) -> int:
+        """Fewest units a rule must hold in to possibly have a valid period."""
+        import math
+
+        return max(1, math.ceil(self.min_coverage * self.min_frequency - 1e-9))
+
+
+@dataclass(frozen=True)
+class PeriodicityTask:
+    """Task 2 — find the periodicities association rules obey.
+
+    Searches cyclic periodicities (period, offset) up to ``max_period``
+    and, optionally, a supplied space of calendar patterns.  A periodicity
+    fits a rule when the rule holds in at least ``min_match`` of the
+    periodicity's units inside the data window, with at least
+    ``min_repetitions`` member units observed.
+
+    Attributes:
+        granularity: time-unit granularity.
+        thresholds: per-unit support/confidence thresholds.
+        max_period: largest cyclic period searched (in units).
+        min_match: required fraction of member units where the rule holds
+            (1.0 reproduces exact cyclic rules).
+        min_repetitions: member units that must fall inside the window.
+        calendar_patterns: calendar patterns to test as calendric
+            periodicities (empty = cyclic search only).
+        prune_submultiples: drop a cycle when a divisor cycle with the
+            congruent offset was already found (e.g. keep period 7 and
+            drop period 14 duplicates).
+        max_rule_size / max_consequent_size: as in :class:`ValidPeriodTask`.
+    """
+
+    granularity: Granularity
+    thresholds: RuleThresholds
+    max_period: int = 12
+    min_match: float = 1.0
+    min_repetitions: int = 2
+    calendar_patterns: Tuple[CalendarPattern, ...] = ()
+    prune_submultiples: bool = True
+    max_rule_size: int = 0
+    max_consequent_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_period < 1:
+            raise MiningParameterError("max_period must be >= 1")
+        _check_fraction("min_match", self.min_match, low_open=True)
+        if self.min_repetitions < 1:
+            raise MiningParameterError("min_repetitions must be >= 1")
+        for pattern in self.calendar_patterns:
+            if not pattern.is_compatible_with(self.granularity):
+                raise MiningParameterError(
+                    f"calendar pattern {pattern} is finer than granularity "
+                    f"{self.granularity}"
+                )
+
+
+@dataclass(frozen=True)
+class ConstrainedTask:
+    """Task 3 — mine rules inside a *given* temporal feature.
+
+    The feature selects a sub-database (all transactions falling in the
+    feature's units/intervals); rules are mined there with the classical
+    thresholds.
+
+    Attributes:
+        feature: the temporal feature restricting the data.
+        thresholds: support/confidence thresholds over the restriction.
+        granularity: unit granularity used to interpret unit-based
+            features (defaults to the feature's own granularity when it
+            has one).
+        required_items: item labels that every reported rule's itemset
+            must contain (empty = no constraint).
+        max_rule_size / max_consequent_size: as in :class:`ValidPeriodTask`.
+    """
+
+    feature: TemporalFeature
+    thresholds: RuleThresholds
+    granularity: Optional[Granularity] = None
+    required_items: Tuple[str, ...] = ()
+    max_rule_size: int = 0
+    max_consequent_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_rule_size < 0 or self.max_consequent_size < 0:
+            raise MiningParameterError("size caps must be >= 0")
+
+    def effective_granularity(self) -> Granularity:
+        """The granularity used to materialize unit-based features."""
+        if self.granularity is not None:
+            return self.granularity
+        feature_granularity = getattr(self.feature, "granularity", None)
+        if isinstance(feature_granularity, Granularity):
+            return feature_granularity
+        return Granularity.DAY

@@ -1,0 +1,189 @@
+"""Task 1 — discovery of the valid time periods of association rules.
+
+Given per-unit rule validity (the boolean sequence from
+:mod:`repro.mining.rulespace`), a *valid period* is a unit interval
+``[a..b]`` that
+
+* starts and ends at units where the rule holds,
+* spans at least ``min_coverage`` units, and
+* contains the rule's validity in at least ``min_frequency`` of its units
+  (1.0 = an unbroken run; lower values tolerate gaps).
+
+Only **maximal** qualifying intervals are reported: an interval contained
+in a strictly larger qualifying interval is suppressed.  With
+``min_frequency == 1.0`` this reduces to the maximal runs of consecutive
+valid units, which the tests cross-check.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.transactions import TransactionDatabase
+from repro.mining.context import PerUnitCounts, TemporalContext, per_unit_frequent_itemsets
+from repro.mining.results import MiningReport, ValidPeriod, ValidPeriodRule
+from repro.mining.rulespace import RuleUnitSeries, candidate_rules
+from repro.mining.tasks import ValidPeriodTask
+from repro.temporal.interval import TimeInterval
+
+_EPS = 1e-9
+
+
+def maximal_valid_windows(
+    valid: Sequence[bool], min_frequency: float, min_coverage: int
+) -> List[Tuple[int, int, int]]:
+    """Maximal qualifying windows of a boolean validity sequence.
+
+    Returns ``(start_offset, end_offset, n_valid)`` triples with inclusive
+    offsets into ``valid``, sorted by start.
+
+    >>> maximal_valid_windows([1, 1, 0, 1, 1, 1], 1.0, 2)
+    [(0, 1, 2), (3, 5, 3)]
+    >>> maximal_valid_windows([1, 1, 0, 1, 1, 1], 0.8, 2)
+    [(0, 5, 5)]
+    """
+    flags = np.asarray(valid, dtype=bool)
+    positions = np.flatnonzero(flags)
+    v = len(positions)
+    if v == 0:
+        return []
+    if min_frequency >= 1.0 - _EPS:
+        return _maximal_runs(positions, min_coverage)
+    # Candidate windows start and end at valid units: index them by the
+    # positions array.  lengths[i, j] = window length; valid count = j-i+1.
+    starts = positions[:, None]
+    ends = positions[None, :]
+    lengths = ends - starts + 1
+    n_valid = np.arange(v)[None, :] - np.arange(v)[:, None] + 1
+    with np.errstate(divide="ignore", invalid="ignore"):
+        frequency = np.where(lengths > 0, n_valid / np.maximum(lengths, 1), 0.0)
+    qualify = (
+        (lengths >= min_coverage)
+        & (n_valid >= 1)
+        & (frequency >= min_frequency - _EPS)
+    )
+    # Also admit singleton windows when coverage allows.
+    if not qualify.any():
+        return []
+    # reach[i, j] = exists qualifying window [i' <= i, j' >= j].
+    reach = np.logical_or.accumulate(qualify, axis=0)
+    reach = np.logical_or.accumulate(reach[:, ::-1], axis=1)[:, ::-1]
+    windows: List[Tuple[int, int, int]] = []
+    for i, j in zip(*np.nonzero(qualify)):
+        dominated = (i > 0 and reach[i - 1, j]) or (j < v - 1 and reach[i, j + 1])
+        if not dominated:
+            windows.append((int(positions[i]), int(positions[j]), int(j - i + 1)))
+    windows.sort()
+    return windows
+
+
+def _maximal_runs(positions: np.ndarray, min_coverage: int) -> List[Tuple[int, int, int]]:
+    """Maximal runs of consecutive valid offsets, length >= min_coverage."""
+    runs: List[Tuple[int, int, int]] = []
+    run_start = int(positions[0])
+    previous = run_start
+    for position in positions[1:]:
+        position = int(position)
+        if position == previous + 1:
+            previous = position
+            continue
+        if previous - run_start + 1 >= min_coverage:
+            runs.append((run_start, previous, previous - run_start + 1))
+        run_start = position
+        previous = position
+    if previous - run_start + 1 >= min_coverage:
+        runs.append((run_start, previous, previous - run_start + 1))
+    return runs
+
+
+def periods_for_series(
+    series: RuleUnitSeries,
+    context: TemporalContext,
+    min_frequency: float,
+    min_coverage: int,
+) -> List[ValidPeriod]:
+    """Materialize the maximal valid periods of one rule with measures."""
+    windows = maximal_valid_windows(series.valid, min_frequency, min_coverage)
+    periods: List[ValidPeriod] = []
+    for start_offset, end_offset, n_valid in windows:
+        mask = np.zeros(context.n_units, dtype=bool)
+        mask[start_offset : end_offset + 1] = True
+        n_units = end_offset - start_offset + 1
+        periods.append(
+            ValidPeriod(
+                interval=TimeInterval.from_units(
+                    context.to_absolute(start_offset),
+                    context.to_absolute(end_offset),
+                    context.granularity,
+                ),
+                first_unit=context.to_absolute(start_offset),
+                last_unit=context.to_absolute(end_offset),
+                n_units=n_units,
+                n_valid_units=n_valid,
+                frequency=n_valid / n_units,
+                temporal_support=series.temporal_support(context.unit_sizes, mask),
+                temporal_confidence=series.temporal_confidence(mask),
+            )
+        )
+    return periods
+
+
+def discover_valid_periods(
+    database: TransactionDatabase,
+    task: ValidPeriodTask,
+    context: Optional[TemporalContext] = None,
+    counts: Optional[PerUnitCounts] = None,
+) -> MiningReport:
+    """Run Task 1 end to end.
+
+    Args:
+        database: the timestamped transaction database.
+        task: task parameters.
+        context: optional pre-built temporal context (reused by the
+            engine across tasks at the same granularity).
+        counts: optional pre-computed per-unit counts (must match the
+            task's thresholds; used by ablation benchmarks).
+
+    Returns:
+        A :class:`MiningReport` of :class:`ValidPeriodRule` records.
+    """
+    started = time.perf_counter()
+    if context is None:
+        context = TemporalContext(database, task.granularity)
+    if counts is None:
+        counts = per_unit_frequent_itemsets(
+            context,
+            task.thresholds.min_support,
+            min_units=task.min_valid_units,
+            max_size=task.max_rule_size,
+        )
+    series_list = candidate_rules(
+        counts,
+        task.thresholds.min_confidence,
+        min_valid_units=task.min_valid_units,
+        max_consequent_size=task.max_consequent_size,
+    )
+    findings: List[ValidPeriodRule] = []
+    for series in series_list:
+        periods = periods_for_series(
+            series, context, task.min_frequency, task.min_coverage
+        )
+        if periods:
+            findings.append(
+                ValidPeriodRule(
+                    key=series.key,
+                    granularity=context.granularity,
+                    periods=tuple(periods),
+                )
+            )
+    elapsed = time.perf_counter() - started
+    return MiningReport(
+        task_name="valid_periods",
+        results=tuple(findings),
+        n_transactions=len(database),
+        n_units=context.n_units,
+        elapsed_seconds=elapsed,
+    )

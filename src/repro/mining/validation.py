@@ -1,0 +1,149 @@
+"""Temporal holdout validation — do discovered rules generalize?
+
+A periodicity mined from history is a *prediction*: "this rule holds
+every Saturday" claims something about Saturdays not yet seen.  The
+honest check is a temporal split — mine on the earlier part, re-measure
+on the later part — which this module implements for periodicity
+findings (the feature type that makes forward claims; a valid period is
+a closed statement about the past).
+
+This is an extension beyond the paper (whose evaluation is qualitative),
+but it is the natural "result analysis" step before acting on a
+discovered periodicity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.items import ItemCatalog
+from repro.core.transactions import TransactionDatabase
+from repro.errors import MiningParameterError
+from repro.mining.context import TemporalContext
+from repro.mining.results import MiningReport, PeriodicityFinding
+from repro.mining.rulespace import rule_series
+from repro.mining.context import per_unit_frequent_itemsets
+from repro.mining.tasks import PeriodicityTask
+
+
+def holdout_split(
+    database: TransactionDatabase, train_fraction: float = 0.7
+) -> Tuple[TransactionDatabase, TransactionDatabase]:
+    """Split a database at a time point into (train, test).
+
+    The split point is chosen so the train part holds ``train_fraction``
+    of the *time span* (not of the transactions): temporal findings are
+    per-unit statements, so the unit axis is what must be divided.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise MiningParameterError("train_fraction must be in (0, 1)")
+    start, end = database.time_span()
+    cut = start + (end - start) * train_fraction
+    return database.between(start, cut), database.between(cut, end + _one_microsecond())
+
+
+def _one_microsecond():
+    from datetime import timedelta
+
+    return timedelta(microseconds=1)
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """One finding's out-of-sample performance.
+
+    Attributes:
+        finding: the periodicity finding (mined on the train part).
+        test_member_units: member units observed in the test window.
+        test_valid_units: of those, units where the rule actually held.
+        test_match_ratio: the out-of-sample match ratio (NaN-free: 0.0
+            when no member units fall in the test window).
+    """
+
+    finding: PeriodicityFinding
+    test_member_units: int
+    test_valid_units: int
+    test_match_ratio: float
+
+    def generalizes(self, min_match: float) -> bool:
+        """True when the test-window match ratio meets ``min_match``."""
+        return self.test_member_units > 0 and self.test_match_ratio >= min_match
+
+    def format(self, catalog: Optional[ItemCatalog] = None) -> str:
+        return (
+            f"{self.finding.key.format(catalog)} / "
+            f"{self.finding.periodicity.describe()}: "
+            f"train_match={self.finding.match_ratio:.2f} "
+            f"test_match={self.test_match_ratio:.2f} "
+            f"({self.test_valid_units}/{self.test_member_units} test units)"
+        )
+
+
+def validate_periodicities(
+    report: MiningReport,
+    test_database: TransactionDatabase,
+    task: PeriodicityTask,
+) -> List[ValidationResult]:
+    """Re-measure every periodicity finding on unseen (later) data.
+
+    Args:
+        report: a Task 2 report mined on the train part.
+        test_database: the held-out later part.
+        task: the task the report was mined with (thresholds define what
+            "the rule holds in a unit" means).
+
+    Returns:
+        One :class:`ValidationResult` per finding, in report order.
+    """
+    findings = [f for f in report if isinstance(f, PeriodicityFinding)]
+    if not findings or test_database.is_empty():
+        return [
+            ValidationResult(
+                finding=f,
+                test_member_units=0,
+                test_valid_units=0,
+                test_match_ratio=0.0,
+            )
+            for f in findings
+        ]
+    context = TemporalContext(test_database, task.granularity)
+    counts = per_unit_frequent_itemsets(
+        context,
+        task.thresholds.min_support,
+        min_units=1,
+        max_size=task.max_rule_size,
+    )
+    results: List[ValidationResult] = []
+    for finding in findings:
+        series = rule_series(counts, finding.key, task.thresholds.min_confidence)
+        member_offsets = [
+            offset
+            for offset in range(context.n_units)
+            if finding.periodicity.matches_unit(context.to_absolute(offset))
+            and context.unit_sizes[offset] > 0
+        ]
+        n_members = len(member_offsets)
+        n_valid = int(sum(1 for o in member_offsets if series.valid[o]))
+        results.append(
+            ValidationResult(
+                finding=finding,
+                test_member_units=n_members,
+                test_valid_units=n_valid,
+                test_match_ratio=n_valid / n_members if n_members else 0.0,
+            )
+        )
+    return results
+
+
+def generalization_rate(
+    results: Sequence[ValidationResult], min_match: float = 0.8
+) -> float:
+    """Fraction of findings that generalize to the test window."""
+    testable = [r for r in results if r.test_member_units > 0]
+    if not testable:
+        return 0.0
+    return sum(1 for r in testable if r.generalizes(min_match)) / len(testable)

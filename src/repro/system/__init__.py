@@ -1,0 +1,35 @@
+"""IQMS — the integrated query and mining system (paper Section 2)."""
+
+from repro.system.profile import TemporalProfile, support_profile
+from repro.system.export import report_rows, to_csv, to_json, write_report
+from repro.system.reporting import (
+    compare_reports,
+    filter_by_item,
+    filter_report,
+    render_table,
+    report_table,
+    result_keys,
+    top_by_support,
+)
+from repro.system.session import IqmsSession
+from repro.system.workflow import Activity, MiningWorkflow, Stage
+
+__all__ = [
+    "Activity",
+    "TemporalProfile",
+    "IqmsSession",
+    "MiningWorkflow",
+    "Stage",
+    "compare_reports",
+    "filter_by_item",
+    "filter_report",
+    "render_table",
+    "report_rows",
+    "report_table",
+    "result_keys",
+    "to_csv",
+    "to_json",
+    "top_by_support",
+    "support_profile",
+    "write_report",
+]

@@ -1,0 +1,229 @@
+"""Exporting mining results to CSV and JSON.
+
+The IQMI loop ends with *knowledge* that usually leaves the system —
+into a spreadsheet, a report, a downstream job.  These exporters flatten
+any :class:`~repro.mining.results.MiningReport` into rows with stable
+column sets per task type.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.items import ItemCatalog
+from repro.errors import ReproError
+from repro.mining.results import (
+    ConstrainedRule,
+    MiningReport,
+    PeriodicityFinding,
+    ValidPeriod,
+    ValidPeriodRule,
+)
+
+VALID_PERIOD_COLUMNS = (
+    "antecedent",
+    "consequent",
+    "period_start",
+    "period_end",
+    "n_units",
+    "frequency",
+    "temporal_support",
+    "temporal_confidence",
+)
+PERIODICITY_COLUMNS = (
+    "antecedent",
+    "consequent",
+    "periodicity",
+    "n_member_units",
+    "match_ratio",
+    "temporal_support",
+    "temporal_confidence",
+)
+CONSTRAINED_COLUMNS = (
+    "antecedent",
+    "consequent",
+    "feature",
+    "support",
+    "confidence",
+    "lift",
+)
+ITEMSET_PERIOD_COLUMNS = (
+    "itemset",
+    "period_start",
+    "period_end",
+    "n_units",
+    "frequency",
+    "temporal_support",
+)
+TREND_COLUMNS = (
+    "itemset",
+    "direction",
+    "slope",
+    "r_squared",
+    "start_support",
+    "end_support",
+)
+
+
+def _sides(key, catalog: Optional[ItemCatalog]) -> Tuple[str, str]:
+    if catalog is not None:
+        return catalog.format(key.antecedent), catalog.format(key.consequent)
+    return (
+        ", ".join(str(i) for i in key.antecedent),
+        ", ".join(str(i) for i in key.consequent),
+    )
+
+
+def report_rows(
+    report: MiningReport, catalog: Optional[ItemCatalog] = None
+) -> Tuple[Tuple[str, ...], List[Dict[str, object]]]:
+    """Flatten a report into (columns, row dicts)."""
+    rows: List[Dict[str, object]] = []
+    if report.task_name.startswith("valid_periods"):
+        for record in report:
+            assert isinstance(record, ValidPeriodRule)
+            antecedent, consequent = _sides(record.key, catalog)
+            for period in record.periods:
+                rows.append(
+                    {
+                        "antecedent": antecedent,
+                        "consequent": consequent,
+                        "period_start": period.interval.start.isoformat(),
+                        "period_end": period.interval.end.isoformat(),
+                        "n_units": period.n_units,
+                        "frequency": round(period.frequency, 6),
+                        "temporal_support": round(period.temporal_support, 6),
+                        "temporal_confidence": round(period.temporal_confidence, 6),
+                    }
+                )
+        return VALID_PERIOD_COLUMNS, rows
+    if report.task_name.startswith("periodicities"):
+        for record in report:
+            assert isinstance(record, PeriodicityFinding)
+            antecedent, consequent = _sides(record.key, catalog)
+            rows.append(
+                {
+                    "antecedent": antecedent,
+                    "consequent": consequent,
+                    "periodicity": record.periodicity.describe(),
+                    "n_member_units": record.n_member_units,
+                    "match_ratio": round(record.match_ratio, 6),
+                    "temporal_support": round(record.temporal_support, 6),
+                    "temporal_confidence": round(record.temporal_confidence, 6),
+                }
+            )
+        return PERIODICITY_COLUMNS, rows
+    if report.task_name.startswith("itemset_periods"):
+        from repro.mining.itemset_periods import ItemsetPeriods
+
+        for record in report:
+            assert isinstance(record, ItemsetPeriods)
+            rendered = (
+                catalog.format(record.itemset)
+                if catalog is not None
+                else ", ".join(str(i) for i in record.itemset)
+            )
+            for period in record.periods:
+                rows.append(
+                    {
+                        "itemset": rendered,
+                        "period_start": period.interval.start.isoformat(),
+                        "period_end": period.interval.end.isoformat(),
+                        "n_units": period.n_units,
+                        "frequency": round(period.frequency, 6),
+                        "temporal_support": round(period.temporal_support, 6),
+                    }
+                )
+        return ITEMSET_PERIOD_COLUMNS, rows
+    if report.task_name.startswith("trends"):
+        from repro.mining.trends import TrendFinding
+
+        for record in report:
+            assert isinstance(record, TrendFinding)
+            rendered = (
+                catalog.format(record.itemset)
+                if catalog is not None
+                else ", ".join(str(i) for i in record.itemset)
+            )
+            rows.append(
+                {
+                    "itemset": rendered,
+                    "direction": record.direction,
+                    "slope": round(record.slope, 6),
+                    "r_squared": round(record.r_squared, 6),
+                    "start_support": round(record.start_support, 6),
+                    "end_support": round(record.end_support, 6),
+                }
+            )
+        return TREND_COLUMNS, rows
+    if report.task_name.startswith("constrained"):
+        for record in report:
+            assert isinstance(record, ConstrainedRule)
+            antecedent, consequent = _sides(record.key, catalog)
+            lift = record.rule.lift
+            rows.append(
+                {
+                    "antecedent": antecedent,
+                    "consequent": consequent,
+                    "feature": record.feature_description,
+                    "support": round(record.rule.support, 6),
+                    "confidence": round(record.rule.confidence, 6),
+                    "lift": round(lift, 6) if lift != float("inf") else "inf",
+                }
+            )
+        return CONSTRAINED_COLUMNS, rows
+    raise ReproError(f"cannot export report of task {report.task_name!r}")
+
+
+def to_csv(
+    report: MiningReport,
+    catalog: Optional[ItemCatalog] = None,
+) -> str:
+    """Render a report as CSV text (header + one row per finding)."""
+    columns, rows = report_rows(report, catalog)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns)
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def to_json(
+    report: MiningReport,
+    catalog: Optional[ItemCatalog] = None,
+    indent: int = 2,
+) -> str:
+    """Render a report as a JSON document with run metadata."""
+    _columns, rows = report_rows(report, catalog)
+    document = {
+        "task": report.task_name,
+        "n_transactions": report.n_transactions,
+        "n_units": report.n_units,
+        "elapsed_seconds": round(report.elapsed_seconds, 6),
+        "findings": rows,
+    }
+    return json.dumps(document, indent=indent)
+
+
+def write_report(
+    report: MiningReport,
+    path: str,
+    catalog: Optional[ItemCatalog] = None,
+) -> int:
+    """Write a report to ``path`` (.csv or .json by extension).
+
+    Returns the number of rows written.
+    """
+    lowered = path.lower()
+    if lowered.endswith(".csv"):
+        text = to_csv(report, catalog)
+    elif lowered.endswith(".json"):
+        text = to_json(report, catalog)
+    else:
+        raise ReproError(f"unsupported export extension for {path!r} (.csv/.json)")
+    with open(path, "w", newline="") as handle:
+        handle.write(text)
+    return len(report_rows(report, catalog)[1])

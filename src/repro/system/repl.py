@@ -1,0 +1,183 @@
+"""The IQMI terminal front-end — an interactive TML/SQL shell.
+
+The paper's prototype exposes an "integrated query and mining interface";
+this REPL is its terminal counterpart.  Statements end with ``;`` and may
+span lines; dot-commands control the session::
+
+    iqms> SHOW SUMMARY;
+    iqms> MINE PERIODS FROM sales AT GRANULARITY month
+     ...>   WITH SUPPORT >= 0.2, CONFIDENCE >= 0.6 HAVING COVERAGE >= 2;
+    iqms> .table          -- last report as a table
+    iqms> .log            -- the IQMI workflow log
+    iqms> .quit
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.system.session import IqmsSession
+
+_HELP = """\
+TML statements (end with ';'):
+  SHOW SUMMARY; | SHOW ITEMS LIMIT n; | SHOW VOLUME BY <granularity>;
+  SELECT ... ;                                   -- SQL over the store
+  MINE PERIODS FROM <src> AT GRANULARITY <g>
+    WITH SUPPORT >= s, CONFIDENCE >= c
+    HAVING FREQUENCY >= f, COVERAGE >= n [, SIZE <= k, CONSEQUENT <= m];
+  MINE PERIODICITIES FROM <src> AT GRANULARITY <g>
+    WITH SUPPORT >= s, CONFIDENCE >= c
+    HAVING PERIOD <= p, MATCH >= m, REPETITIONS >= r
+    [INCLUDING CALENDAR '<pattern>'] [USING INTERLEAVED];
+  MINE RULES FROM <src>
+    DURING PERIOD '<start>' TO '<end>' | CALENDAR '<pattern>'
+         | EVERY <p> <g> [OFFSET <o>] | <named-calendar>
+         | <calendar> AND|OR|MINUS <calendar>
+    [CONTAINING '<item>' ...]
+    WITH SUPPORT >= s, CONFIDENCE >= c;
+  MINE ITEMSETS FROM <src> AT GRANULARITY <g> WITH SUPPORT >= s;
+  MINE TRENDS FROM <src> AT GRANULARITY <g> WITH SUPPORT >= s
+    [HAVING CHANGE >= c, FIT >= r];
+  PROFILE '<item>' [, '<item>'] FROM <src> BY <g>;
+  EXPLAIN MINE ...;                              -- describe, don't run
+
+Dot commands:
+  .help               this text
+  .demo               load a bundled synthetic demo dataset as 'sales'
+  .load <name> <csv>  load a (tid,ts,item) CSV as dataset <name>
+  .datasets           list registered datasets
+  .table              render the last mining report as a table
+  .filter <item>      filter the last report by item label
+  .profile <src> <g> <item...>   support-over-time sparkline of an itemset
+  .export <path>      write the last mining report to <path>.csv/.json
+  .log                show the IQMI workflow log
+  .quit               leave the shell
+"""
+
+
+def _demo_session(session: IqmsSession) -> str:
+    from repro.datagen import seasonal_dataset
+
+    dataset = seasonal_dataset(n_transactions=4000, n_seasonal_rules=2)
+    session.load_database("sales", dataset.database)
+    return (
+        f"loaded demo dataset 'sales': {len(dataset.database)} transactions, "
+        f"{len(dataset.embedded)} embedded seasonal rules"
+    )
+
+
+def _dispatch_dot(session: IqmsSession, line: str) -> Optional[str]:
+    """Handle a dot-command; returns output text, or None to quit."""
+    parts = line.split()
+    command = parts[0]
+    if command in (".quit", ".exit"):
+        return None
+    if command == ".help":
+        return _HELP
+    if command == ".demo":
+        return _demo_session(session)
+    if command == ".load":
+        if len(parts) != 3:
+            return "usage: .load <name> <csv-path>"
+        loaded = session.load_csv(parts[1], parts[2])
+        return f"loaded {loaded} transactions as {parts[1]!r}"
+    if command == ".datasets":
+        datasets = session.datasets()
+        if not datasets:
+            return "(no datasets; try .demo or .load)"
+        return "\n".join(f"{name}: {size} transactions" for name, size in datasets.items())
+    if command == ".table":
+        return session.last_table()
+    if command == ".filter":
+        if len(parts) != 2:
+            return "usage: .filter <item-label>"
+        report = session.analyse_item(parts[1])
+        return report.format(session._last_catalog())
+    if command == ".profile":
+        if len(parts) < 4:
+            return "usage: .profile <source> <granularity> <item> [<item> ...]"
+        from repro.system.profile import support_profile
+        from repro.temporal import Granularity
+
+        database = session.environment.resolve(parts[1])
+        profile = support_profile(
+            database, parts[3:], Granularity.parse(parts[2])
+        )
+        session.workflow.record(f"profiled {parts[3:]} by {parts[2]}")
+        return profile.format(database.catalog)
+    if command == ".export":
+        if len(parts) != 2:
+            return "usage: .export <path.csv|path.json>"
+        from repro.system.export import write_report
+
+        report = session._require_report()
+        written = write_report(report, parts[1], session._last_catalog())
+        session.workflow.record(f"exported {written} rows to {parts[1]}")
+        return f"wrote {written} row(s) to {parts[1]}"
+    if command == ".log":
+        return session.workflow.format_log()
+    return f"unknown command {command!r}; try .help"
+
+
+def repl(
+    session: Optional[IqmsSession] = None,
+    stdin=None,
+    stdout=None,
+) -> None:
+    """Run the interactive loop (injectable streams for testing)."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    session = session if session is not None else IqmsSession()
+    buffer: List[str] = []
+
+    def emit(text: str) -> None:
+        stdout.write(text + "\n")
+        stdout.flush()
+
+    emit("IQMS — integrated query and mining system (type .help)")
+    while True:
+        prompt = " ...> " if buffer else "iqms> "
+        stdout.write(prompt)
+        stdout.flush()
+        line = stdin.readline()
+        if not line:
+            break
+        line = line.rstrip("\n")
+        stripped = line.strip()
+        if not buffer and stripped.startswith("."):
+            try:
+                output = _dispatch_dot(session, stripped)
+            except ReproError as error:
+                emit(f"error: {error}")
+                continue
+            if output is None:
+                break
+            emit(output)
+            continue
+        if not stripped and not buffer:
+            continue
+        buffer.append(line)
+        if stripped.endswith(";"):
+            statement = "\n".join(buffer)
+            buffer = []
+            try:
+                result = session.run(statement)
+                emit(result.text)
+            except ReproError as error:
+                emit(f"error: {error}")
+    emit("bye")
+
+
+def main() -> int:
+    """Console entry point (``iqms``)."""
+    try:
+        repl()
+    except KeyboardInterrupt:
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

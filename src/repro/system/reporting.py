@@ -1,0 +1,202 @@
+"""Result-analysis helpers for the IQMS session.
+
+The IQMI loop ends each round with *result analysis*: "the mining
+results need to be further analysed to judge if the expected knowledge
+has been found or whether the mining task should be adjusted".  These
+helpers support that judgment: filtering, ranking and diffing mining
+reports, and rendering them as plain-text tables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.items import ItemCatalog
+from repro.core.rulegen import RuleKey
+from repro.mining.results import (
+    ConstrainedRule,
+    MiningReport,
+    PeriodicityFinding,
+    ValidPeriodRule,
+)
+
+
+def result_keys(report: MiningReport) -> Set[RuleKey]:
+    """The distinct rule keys appearing in any report type."""
+    keys: Set[RuleKey] = set()
+    for record in report:
+        key = getattr(record, "key", None)
+        if isinstance(key, RuleKey):
+            keys.add(key)
+    return keys
+
+
+def filter_report(
+    report: MiningReport, predicate: Callable[[object], bool]
+) -> MiningReport:
+    """A copy of ``report`` keeping only records where ``predicate`` holds."""
+    kept = tuple(record for record in report if predicate(record))
+    return MiningReport(
+        task_name=report.task_name,
+        results=kept,
+        n_transactions=report.n_transactions,
+        n_units=report.n_units,
+        elapsed_seconds=report.elapsed_seconds,
+    )
+
+
+def filter_by_item(
+    report: MiningReport, label: str, catalog: ItemCatalog
+) -> MiningReport:
+    """Keep findings whose rule mentions the item ``label``.
+
+    Unknown labels yield an empty report rather than an error — in an
+    interactive analysis a typo should show "0 results", not a stack
+    trace.
+    """
+    if label not in catalog:
+        return filter_report(report, lambda _record: False)
+    item = catalog.id(label)
+
+    def mentions(record: object) -> bool:
+        key = getattr(record, "key", None)
+        return isinstance(key, RuleKey) and item in key.itemset
+
+    return filter_report(report, mentions)
+
+
+def top_by_support(report: MiningReport, limit: int = 10) -> List[object]:
+    """Records ranked by their (best) temporal support."""
+
+    def support_of(record: object) -> float:
+        if isinstance(record, ValidPeriodRule):
+            return max((p.temporal_support for p in record.periods), default=0.0)
+        if isinstance(record, PeriodicityFinding):
+            return record.temporal_support
+        if isinstance(record, ConstrainedRule):
+            return record.rule.support
+        return 0.0
+
+    return sorted(report, key=support_of, reverse=True)[:limit]
+
+
+def compare_reports(
+    before: MiningReport, after: MiningReport
+) -> Tuple[Set[RuleKey], Set[RuleKey], Set[RuleKey]]:
+    """(gained, lost, kept) rule keys between two mining rounds.
+
+    The bread-and-butter of iterative task adjustment: after changing a
+    threshold, what appeared and what disappeared?
+    """
+    keys_before = result_keys(before)
+    keys_after = result_keys(after)
+    return (
+        keys_after - keys_before,
+        keys_before - keys_after,
+        keys_after & keys_before,
+    )
+
+
+def render_table(
+    columns: Sequence[str], rows: Iterable[Sequence[object]], limit: int = 0
+) -> str:
+    """Generic fixed-width table rendering."""
+    materialized = [tuple(str(v) for v in row) for row in rows]
+    shown = materialized if limit == 0 else materialized[:limit]
+    widths = [len(c) for c in columns]
+    for row in shown:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = [
+        " | ".join(c.ljust(widths[i]) for i, c in enumerate(columns)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in shown:
+        lines.append(" | ".join(v.ljust(widths[i]) for i, v in enumerate(row)))
+    if limit and len(materialized) > limit:
+        lines.append(f"... {len(materialized) - limit} more row(s)")
+    return "\n".join(lines)
+
+
+def report_table(report: MiningReport, catalog: Optional[ItemCatalog] = None) -> str:
+    """Tabular rendering of a mining report, one row per finding."""
+    rows: List[Tuple[object, ...]] = []
+    if report.task_name.startswith("valid_periods"):
+        columns = ("rule", "period", "freq", "supp", "conf")
+        for record in report:
+            assert isinstance(record, ValidPeriodRule)
+            for period in record.periods:
+                rows.append(
+                    (
+                        record.key.format(catalog),
+                        period.label(record.granularity),
+                        f"{period.frequency:.2f}",
+                        f"{period.temporal_support:.3f}",
+                        f"{period.temporal_confidence:.3f}",
+                    )
+                )
+    elif report.task_name.startswith("periodicities"):
+        columns = ("rule", "periodicity", "match", "supp", "conf")
+        for record in report:
+            assert isinstance(record, PeriodicityFinding)
+            rows.append(
+                (
+                    record.key.format(catalog),
+                    record.periodicity.describe(),
+                    f"{record.match_ratio:.2f}",
+                    f"{record.temporal_support:.3f}",
+                    f"{record.temporal_confidence:.3f}",
+                )
+            )
+    elif report.task_name.startswith("itemset_periods"):
+        columns = ("itemset", "period", "freq", "supp")
+        for record in report:
+            rendered = (
+                catalog.format(record.itemset)
+                if catalog is not None
+                else ", ".join(str(i) for i in record.itemset)
+            )
+            for period in record.periods:
+                rows.append(
+                    (
+                        "{" + rendered + "}",
+                        period.label(record.granularity),
+                        f"{period.frequency:.2f}",
+                        f"{period.temporal_support:.3f}",
+                    )
+                )
+    elif report.task_name.startswith("trends"):
+        columns = ("itemset", "direction", "supp_change", "slope", "r2")
+        for record in report:
+            rendered = (
+                catalog.format(record.itemset)
+                if catalog is not None
+                else ", ".join(str(i) for i in record.itemset)
+            )
+            rows.append(
+                (
+                    "{" + rendered + "}",
+                    record.direction,
+                    f"{record.start_support:.3f} -> {record.end_support:.3f}",
+                    f"{record.slope:+.5f}",
+                    f"{record.r_squared:.2f}",
+                )
+            )
+    elif report.task_name.startswith("constrained"):
+        columns = ("rule", "feature", "supp", "conf", "lift")
+        for record in report:
+            assert isinstance(record, ConstrainedRule)
+            rows.append(
+                (
+                    record.rule.format(catalog),
+                    record.feature_description,
+                    f"{record.rule.support:.3f}",
+                    f"{record.rule.confidence:.3f}",
+                    f"{record.rule.lift:.2f}",
+                )
+            )
+    else:
+        from repro.errors import ReproError
+
+        raise ReproError(f"cannot tabulate report of task {report.task_name!r}")
+    return render_table(columns, rows)

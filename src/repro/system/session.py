@@ -1,0 +1,189 @@
+"""The IQMS session — the integrated query and mining system's kernel.
+
+An :class:`IqmsSession` ties together the pieces the paper's prototype
+integrates: the SQLite store (query function), the TML executor (ad-hoc
+mining function), the result-analysis helpers, and the IQMI workflow
+state machine.  It is both the programmatic API and what the terminal
+REPL (:mod:`repro.system.repl`) drives.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.transactions import TransactionDatabase
+from repro.db.query import QueryResult
+from repro.db.sqlite_store import SqliteStore
+from repro.errors import ReproError, TmlExecutionError
+from repro.mining.results import MiningReport
+from repro.system.reporting import (
+    compare_reports,
+    filter_by_item,
+    report_table,
+    result_keys,
+)
+from repro.system.workflow import MiningWorkflow, Stage
+from repro.tml.ast import (
+    ExplainStatement,
+    MineItemsetsStatement,
+    MineTrendsStatement,
+    MinePeriodicitiesStatement,
+    MinePeriodsStatement,
+    MineRulesStatement,
+    ShowStatement,
+    SqlStatement,
+)
+from repro.tml.executor import ExecutionEnvironment, ExecutionResult, TmlExecutor
+
+
+class IqmsSession:
+    """One interactive mining session over one store.
+
+    >>> session = IqmsSession()                          # doctest: +SKIP
+    >>> session.load_database("sales", database)         # doctest: +SKIP
+    >>> session.run("SHOW SUMMARY;")                     # doctest: +SKIP
+    >>> session.run("MINE PERIODS FROM sales ...;")      # doctest: +SKIP
+    """
+
+    def __init__(self, store: Optional[SqliteStore] = None):
+        self.store = store if store is not None else SqliteStore(":memory:")
+        self.environment = ExecutionEnvironment(store=self.store)
+        self.executor = TmlExecutor(self.environment)
+        self.workflow = MiningWorkflow()
+        self.history: List[ExecutionResult] = []
+        self.last_report: Optional[MiningReport] = None
+        self.previous_report: Optional[MiningReport] = None
+        self._last_mine_source: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # data management
+    # ------------------------------------------------------------------
+
+    def load_database(
+        self, name: str, database: TransactionDatabase, persist: bool = True
+    ) -> None:
+        """Register an in-memory dataset; optionally mirror to the store."""
+        self.environment.register(name, database)
+        if persist:
+            self.store.clear()
+            self.store.save_database(database)
+        self.workflow.record(f"loaded dataset {name!r} ({len(database)} transactions)")
+
+    def load_csv(self, name: str, path: Union[str, Path]) -> int:
+        """Load a (tid, ts, item) CSV into the store and register it."""
+        from repro.db.sqlite_store import load_csv
+
+        loaded = load_csv(self.store, path)
+        database = self.store.load_database()
+        self.environment.register(name, database)
+        self.workflow.record(f"loaded {loaded} transactions from {path}")
+        return loaded
+
+    def datasets(self) -> Dict[str, int]:
+        """Registered dataset names with their sizes."""
+        return {
+            name: len(database)
+            for name, database in self.environment.datasets.items()
+        }
+
+    # ------------------------------------------------------------------
+    # the IQMI loop
+    # ------------------------------------------------------------------
+
+    def run(self, text: str) -> ExecutionResult:
+        """Execute one TML/SQL statement, advancing the workflow."""
+        result = self.executor.execute(text)
+        self._account(result)
+        return result
+
+    def run_script(self, text: str) -> List[ExecutionResult]:
+        """Execute a multi-statement script, advancing the workflow."""
+        results = self.executor.execute_script(text)
+        for result in results:
+            self._account(result)
+        return results
+
+    def _account(self, result: ExecutionResult) -> None:
+        self.history.append(result)
+        statement = result.statement
+        from repro.tml.ast import ProfileStatement
+
+        if isinstance(statement, (SqlStatement, ShowStatement, ProfileStatement, ExplainStatement)):
+            if self.workflow.stage in (Stage.MINING,):
+                # Mining is always followed by analysis in the process.
+                self.workflow.advance(Stage.RESULT_ANALYSIS, "inspect results")
+            if self.workflow.stage is not Stage.DATA_UNDERSTANDING:
+                self.workflow.advance(Stage.DATA_UNDERSTANDING, "query the data")
+            else:
+                self.workflow.record(statement.render())
+            return
+        if isinstance(
+            statement,
+            (
+                MinePeriodsStatement,
+                MinePeriodicitiesStatement,
+                MineRulesStatement,
+                MineItemsetsStatement,
+                MineTrendsStatement,
+            ),
+        ):
+            if self.workflow.stage is not Stage.TASK_DESIGN:
+                self.workflow.advance(Stage.TASK_DESIGN, statement.render())
+            else:
+                self.workflow.record(statement.render())
+            self.workflow.advance(Stage.MINING, f"mine from {statement.source}")
+            self.workflow.advance(
+                Stage.RESULT_ANALYSIS,
+                f"{len(result.payload)} finding(s)",  # type: ignore[arg-type]
+            )
+            self.previous_report = self.last_report
+            if isinstance(result.payload, MiningReport):
+                self.last_report = result.payload
+            self._last_mine_source = statement.source
+
+    # ------------------------------------------------------------------
+    # result analysis
+    # ------------------------------------------------------------------
+
+    def analyse_item(self, label: str) -> MiningReport:
+        """Filter the last report to rules mentioning one item."""
+        report = self._require_report()
+        catalog = self._last_catalog()
+        filtered = filter_by_item(report, label, catalog)
+        self.workflow.record(f"filtered last report by item {label!r}")
+        return filtered
+
+    def compare_with_previous(self):
+        """(gained, lost, kept) keys vs the previous mining round."""
+        if self.last_report is None or self.previous_report is None:
+            raise TmlExecutionError("need two mining rounds to compare")
+        comparison = compare_reports(self.previous_report, self.last_report)
+        self.workflow.record(
+            f"compared rounds: +{len(comparison[0])} -{len(comparison[1])} "
+            f"={len(comparison[2])}"
+        )
+        return comparison
+
+    def last_table(self) -> str:
+        """The last mining report as a text table."""
+        report = self._require_report()
+        return report_table(report, self._last_catalog())
+
+    def conclude(self, note: str = "expected knowledge found") -> None:
+        """Declare the loop finished (Knowledge reached)."""
+        if self.workflow.stage is not Stage.RESULT_ANALYSIS:
+            raise TmlExecutionError(
+                "conclude() is only meaningful after analysing mining results"
+            )
+        self.workflow.advance(Stage.KNOWLEDGE, note)
+
+    def _require_report(self) -> MiningReport:
+        if self.last_report is None:
+            raise TmlExecutionError("no mining report yet — run a MINE statement")
+        return self.last_report
+
+    def _last_catalog(self):
+        if self._last_mine_source is None:
+            raise TmlExecutionError("no mining source yet")
+        return self.environment.resolve(self._last_mine_source).catalog

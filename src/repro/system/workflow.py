@@ -1,0 +1,128 @@
+"""The IQMI mining-process state machine (Figure 1 of the paper).
+
+The paper's "IQMI-based mining process" iterates::
+
+    Business Requirement → Data Understanding → Task Design →
+    Ad hoc Mining → Result Analysis → (adjust task, mine again) → Knowledge
+
+:class:`MiningWorkflow` tracks the session's position in that loop,
+validates transitions and keeps an auditable activity log.  The IQMS
+session advances the workflow automatically as the user queries, mines
+and analyses.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import WorkflowError
+
+
+class Stage(enum.Enum):
+    """The IQMI process stages."""
+
+    DATA_UNDERSTANDING = "data understanding"
+    TASK_DESIGN = "task design"
+    MINING = "ad hoc mining"
+    RESULT_ANALYSIS = "result analysis"
+    KNOWLEDGE = "knowledge"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+# Legal transitions; the loop structure of Figure 1.
+_TRANSITIONS = {
+    Stage.DATA_UNDERSTANDING: {
+        Stage.DATA_UNDERSTANDING,
+        Stage.TASK_DESIGN,
+    },
+    Stage.TASK_DESIGN: {
+        Stage.DATA_UNDERSTANDING,
+        Stage.TASK_DESIGN,
+        Stage.MINING,
+    },
+    Stage.MINING: {Stage.RESULT_ANALYSIS},
+    Stage.RESULT_ANALYSIS: {
+        Stage.RESULT_ANALYSIS,
+        Stage.DATA_UNDERSTANDING,
+        Stage.TASK_DESIGN,
+        Stage.MINING,
+        Stage.KNOWLEDGE,
+    },
+    Stage.KNOWLEDGE: set(),
+}
+
+
+@dataclass(frozen=True)
+class Activity:
+    """One logged step of the process."""
+
+    stage: Stage
+    description: str
+    timestamp: float
+
+    def format(self) -> str:
+        return f"[{self.stage}] {self.description}"
+
+
+class MiningWorkflow:
+    """Tracks and validates progress around the IQMI loop.
+
+    >>> flow = MiningWorkflow()
+    >>> flow.advance(Stage.TASK_DESIGN, "sketch seasonal task")
+    >>> flow.advance(Stage.MINING, "run MINE PERIODS")
+    >>> flow.advance(Stage.RESULT_ANALYSIS, "inspect 12 findings")
+    >>> flow.stage
+    <Stage.RESULT_ANALYSIS: 'result analysis'>
+    """
+
+    def __init__(self) -> None:
+        self._stage = Stage.DATA_UNDERSTANDING
+        self._log: List[Activity] = []
+        self._iterations = 0
+
+    @property
+    def stage(self) -> Stage:
+        return self._stage
+
+    @property
+    def iterations(self) -> int:
+        """How many mining rounds the session has completed."""
+        return self._iterations
+
+    @property
+    def log(self) -> Tuple[Activity, ...]:
+        return tuple(self._log)
+
+    def is_finished(self) -> bool:
+        return self._stage is Stage.KNOWLEDGE
+
+    def advance(self, to: Stage, description: str = "") -> None:
+        """Move to stage ``to``; raises :class:`WorkflowError` if illegal."""
+        if to not in _TRANSITIONS[self._stage]:
+            raise WorkflowError(
+                f"cannot move from '{self._stage}' to '{to}'; "
+                f"legal next stages: "
+                f"{sorted(str(s) for s in _TRANSITIONS[self._stage])}"
+            )
+        if to is Stage.RESULT_ANALYSIS and self._stage is Stage.MINING:
+            self._iterations += 1
+        self._stage = to
+        self._log.append(
+            Activity(stage=to, description=description, timestamp=time.time())
+        )
+
+    def record(self, description: str) -> None:
+        """Log an activity within the current stage (no transition)."""
+        self._log.append(
+            Activity(stage=self._stage, description=description, timestamp=time.time())
+        )
+
+    def format_log(self) -> str:
+        if not self._log:
+            return "(no activity yet)"
+        return "\n".join(activity.format() for activity in self._log)

@@ -1,0 +1,420 @@
+"""Calendar patterns and calendar expressions.
+
+The third kind of temporal feature in the paper is "a specific calendar":
+a symbolic description such as *every December*, *weekends*, *the first
+week of each month* or *business hours on weekdays*.  We model these as
+:class:`CalendarPattern` — a conjunction of per-field constraints over the
+calendar fields (year, month, day-of-month, weekday, hour), each either a
+wildcard or a set of admitted values — combined into richer
+:class:`CalendarExpression` values with union / intersection / difference.
+
+A pattern classifies *instants*; granularity-aware helpers lift that to
+time units (a unit matches when every instant in it matches, which for
+calendar-aligned units reduces to checking the unit's start).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import CalendarPatternError
+from repro.temporal.granularity import (
+    Granularity,
+    unit_bounds,
+    unit_start,
+)
+from repro.temporal.interval import IntervalSet, TimeInterval
+
+_MONTH_NAMES = {
+    "jan": 1, "feb": 2, "mar": 3, "apr": 4, "may": 5, "jun": 6,
+    "jul": 7, "aug": 8, "sep": 9, "oct": 10, "nov": 11, "dec": 12,
+}
+_WEEKDAY_NAMES = {
+    "mon": 0, "tue": 1, "wed": 2, "thu": 3, "fri": 4, "sat": 5, "sun": 6,
+}
+
+_FIELD_RANGES = {
+    "year": (1, 9999),
+    "month": (1, 12),
+    "day": (1, 31),
+    "weekday": (0, 6),
+    "hour": (0, 23),
+}
+
+# Field order from coarsest to finest; used to find the finest constrained
+# field when checking granularity compatibility.
+_FIELD_FINENESS = ("year", "month", "day", "weekday", "hour")
+
+# The finest calendar field still meaningful at each unit granularity.
+_GRANULARITY_FINEST = {
+    Granularity.YEAR: "year",
+    Granularity.QUARTER: "month",
+    Granularity.MONTH: "month",
+    Granularity.WEEK: "day",      # a week straddles months/days freely
+    Granularity.DAY: "weekday",
+    Granularity.HOUR: "hour",
+}
+
+
+@dataclass(frozen=True)
+class CalendarPattern:
+    """A conjunction of calendar-field constraints.
+
+    Each field is ``None`` (wildcard) or a frozen set of admitted values.
+    Weekdays follow :meth:`datetime.date.weekday` (0 = Monday).
+
+    >>> december = CalendarPattern(months=frozenset({12}))
+    >>> december.matches_instant(datetime(2026, 12, 25))
+    True
+    >>> weekends = CalendarPattern(weekdays=frozenset({5, 6}))
+    >>> weekends.matches_instant(datetime(2026, 7, 4))  # a Saturday
+    True
+    """
+
+    years: Optional[FrozenSet[int]] = None
+    months: Optional[FrozenSet[int]] = None
+    days: Optional[FrozenSet[int]] = None
+    weekdays: Optional[FrozenSet[int]] = None
+    hours: Optional[FrozenSet[int]] = None
+
+    def __post_init__(self) -> None:
+        for name, values in self._fields():
+            if values is None:
+                continue
+            if not values:
+                raise CalendarPatternError(f"field {name!r} admits no values")
+            low, high = _FIELD_RANGES[name]
+            bad = [v for v in values if not (low <= v <= high)]
+            if bad:
+                raise CalendarPatternError(
+                    f"field {name!r} values {sorted(bad)} outside [{low}, {high}]"
+                )
+
+    def _fields(self) -> Tuple[Tuple[str, Optional[FrozenSet[int]]], ...]:
+        return (
+            ("year", self.years),
+            ("month", self.months),
+            ("day", self.days),
+            ("weekday", self.weekdays),
+            ("hour", self.hours),
+        )
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def wildcard(cls) -> "CalendarPattern":
+        """The pattern matching every instant."""
+        return cls()
+
+    @classmethod
+    def parse(cls, text: str) -> "CalendarPattern":
+        """Parse compact pattern text.
+
+        Grammar: whitespace/comma-separated ``field=spec`` terms, where
+        ``spec`` is ``*`` or a comma-free list ``v1|v2|lo..hi`` of values
+        and ranges.  Month and weekday names (3-letter prefixes) are
+        accepted.
+
+        >>> CalendarPattern.parse("month=12 day=1..7")
+        CalendarPattern(... months=frozenset({12}), days=frozenset({1, 2, ..., 7}) ...)
+        """
+        kwargs: dict = {}
+        field_map = {
+            "year": "years",
+            "month": "months",
+            "day": "days",
+            "weekday": "weekdays",
+            "hour": "hours",
+        }
+        for term in text.replace(",", " ").split():
+            if "=" not in term:
+                raise CalendarPatternError(f"bad pattern term {term!r}")
+            name, _, spec = term.partition("=")
+            name = name.strip().lower()
+            if name not in field_map:
+                raise CalendarPatternError(f"unknown calendar field {name!r}")
+            if field_map[name] in kwargs:
+                raise CalendarPatternError(f"duplicate calendar field {name!r}")
+            spec = spec.strip()
+            if spec == "*" or spec == "":
+                continue
+            kwargs[field_map[name]] = frozenset(cls._parse_spec(name, spec))
+        return cls(**kwargs)
+
+    @staticmethod
+    def _parse_spec(name: str, spec: str) -> Iterable[int]:
+        values: List[int] = []
+        for piece in spec.split("|"):
+            piece = piece.strip().lower()
+            if not piece:
+                raise CalendarPatternError(f"empty value in field {name!r}")
+            if ".." in piece:
+                lo_text, _, hi_text = piece.partition("..")
+                lo = CalendarPattern._parse_value(name, lo_text)
+                hi = CalendarPattern._parse_value(name, hi_text)
+                if hi < lo:
+                    raise CalendarPatternError(
+                        f"descending range {piece!r} in field {name!r}"
+                    )
+                values.extend(range(lo, hi + 1))
+            else:
+                values.append(CalendarPattern._parse_value(name, piece))
+        return values
+
+    @staticmethod
+    def _parse_value(name: str, text: str) -> int:
+        text = text.strip().lower()
+        if name == "month" and text[:3] in _MONTH_NAMES:
+            return _MONTH_NAMES[text[:3]]
+        if name == "weekday" and text[:3] in _WEEKDAY_NAMES:
+            return _WEEKDAY_NAMES[text[:3]]
+        try:
+            return int(text)
+        except ValueError:
+            raise CalendarPatternError(
+                f"cannot parse {text!r} as a {name} value"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+
+    def matches_instant(self, instant: datetime) -> bool:
+        """True when ``instant`` satisfies every field constraint."""
+        if self.years is not None and instant.year not in self.years:
+            return False
+        if self.months is not None and instant.month not in self.months:
+            return False
+        if self.days is not None and instant.day not in self.days:
+            return False
+        if self.weekdays is not None and instant.weekday() not in self.weekdays:
+            return False
+        if self.hours is not None and instant.hour not in self.hours:
+            return False
+        return True
+
+    def finest_field(self) -> Optional[str]:
+        """Name of the finest constrained field (None for the wildcard)."""
+        finest = None
+        for name, values in self._fields():
+            if values is not None:
+                finest = name
+        return finest
+
+    def is_compatible_with(self, granularity: Granularity) -> bool:
+        """True when unit membership is well-defined at ``granularity``.
+
+        A pattern constraining hours cannot classify whole days: some
+        instants of the day match and others do not.
+        """
+        finest = self.finest_field()
+        if finest is None:
+            return True
+        allowed_up_to = _GRANULARITY_FINEST[granularity]
+        return _FIELD_FINENESS.index(finest) <= _FIELD_FINENESS.index(allowed_up_to)
+
+    def matches_unit(self, index: int, granularity: Granularity) -> bool:
+        """True when every instant of unit ``index`` matches the pattern.
+
+        Requires compatibility (see :meth:`is_compatible_with`); for
+        week-granularity units the pattern is checked against each of the
+        seven days, since a week can straddle month boundaries.
+        """
+        if not self.is_compatible_with(granularity):
+            raise CalendarPatternError(
+                f"pattern constrains {self.finest_field()!r}, finer than "
+                f"granularity {granularity}"
+            )
+        start, end = unit_bounds(index, granularity)
+        if granularity is Granularity.WEEK:
+            day = start
+            while day < end:
+                if not self.matches_instant(day):
+                    return False
+                day += timedelta(days=1)
+            return True
+        if granularity is Granularity.QUARTER:
+            # Check each of the three months in the quarter.
+            probe = start
+            while probe < end:
+                if not self.matches_instant(probe):
+                    return False
+                month = probe.month + 1
+                year = probe.year + (1 if month > 12 else 0)
+                month = 1 if month > 12 else month
+                probe = probe.replace(year=year, month=month)
+            return True
+        return self.matches_instant(start)
+
+    # ------------------------------------------------------------------
+    # materialization and display
+    # ------------------------------------------------------------------
+
+    def unit_indices(
+        self, first_unit: int, last_unit: int, granularity: Granularity
+    ) -> List[int]:
+        """Matching unit indices in ``first_unit..last_unit`` inclusive."""
+        return [
+            index
+            for index in range(first_unit, last_unit + 1)
+            if self.matches_unit(index, granularity)
+        ]
+
+    def to_interval_set(
+        self, window: TimeInterval, granularity: Granularity
+    ) -> IntervalSet:
+        """Materialize the matching units inside ``window``."""
+        from repro.temporal.granularity import units_between
+
+        indices = [
+            index
+            for index in units_between(window.start, window.end, granularity)
+            if self.matches_unit(index, granularity)
+        ]
+        materialized = IntervalSet.from_unit_indices(indices, granularity)
+        return materialized.intersection(IntervalSet((window,)))
+
+    def format(self) -> str:
+        """Compact text form accepted back by :meth:`parse`."""
+        parts: List[str] = []
+        for name, values in self._fields():
+            if values is not None:
+                rendered = "|".join(str(v) for v in sorted(values))
+                parts.append(f"{name}={rendered}")
+        return " ".join(parts) if parts else "*"
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+@dataclass(frozen=True)
+class CalendarExpression:
+    """An algebraic combination of calendar patterns.
+
+    ``op`` is one of ``"pattern"``, ``"union"``, ``"intersect"``,
+    ``"difference"``; leaves carry a :class:`CalendarPattern`.
+    """
+
+    op: str
+    pattern: Optional[CalendarPattern] = None
+    left: Optional["CalendarExpression"] = None
+    right: Optional["CalendarExpression"] = None
+
+    def __post_init__(self) -> None:
+        if self.op == "pattern":
+            if self.pattern is None:
+                raise CalendarPatternError("leaf expression requires a pattern")
+        elif self.op in ("union", "intersect", "difference"):
+            if self.left is None or self.right is None:
+                raise CalendarPatternError(f"{self.op} requires two operands")
+        else:
+            raise CalendarPatternError(f"unknown calendar operator {self.op!r}")
+
+    @classmethod
+    def of(cls, pattern: CalendarPattern) -> "CalendarExpression":
+        return cls(op="pattern", pattern=pattern)
+
+    @classmethod
+    def parse(cls, text: str) -> "CalendarExpression":
+        """Parse leaf pattern text (operators are built programmatically
+        or via TML, which constructs expressions from its own grammar)."""
+        return cls.of(CalendarPattern.parse(text))
+
+    def union(self, other: "CalendarExpression") -> "CalendarExpression":
+        return CalendarExpression(op="union", left=self, right=other)
+
+    def intersect(self, other: "CalendarExpression") -> "CalendarExpression":
+        return CalendarExpression(op="intersect", left=self, right=other)
+
+    def difference(self, other: "CalendarExpression") -> "CalendarExpression":
+        return CalendarExpression(op="difference", left=self, right=other)
+
+    def matches_instant(self, instant: datetime) -> bool:
+        if self.op == "pattern":
+            assert self.pattern is not None
+            return self.pattern.matches_instant(instant)
+        assert self.left is not None and self.right is not None
+        if self.op == "union":
+            return self.left.matches_instant(instant) or self.right.matches_instant(instant)
+        if self.op == "intersect":
+            return self.left.matches_instant(instant) and self.right.matches_instant(instant)
+        return self.left.matches_instant(instant) and not self.right.matches_instant(instant)
+
+    def matches_unit(self, index: int, granularity: Granularity) -> bool:
+        if self.op == "pattern":
+            assert self.pattern is not None
+            return self.pattern.matches_unit(index, granularity)
+        assert self.left is not None and self.right is not None
+        if self.op == "union":
+            return self.left.matches_unit(index, granularity) or self.right.matches_unit(
+                index, granularity
+            )
+        if self.op == "intersect":
+            return self.left.matches_unit(index, granularity) and self.right.matches_unit(
+                index, granularity
+            )
+        return self.left.matches_unit(index, granularity) and not self.right.matches_unit(
+            index, granularity
+        )
+
+    def is_compatible_with(self, granularity: Granularity) -> bool:
+        if self.op == "pattern":
+            assert self.pattern is not None
+            return self.pattern.is_compatible_with(granularity)
+        assert self.left is not None and self.right is not None
+        return self.left.is_compatible_with(granularity) and self.right.is_compatible_with(
+            granularity
+        )
+
+    def unit_indices(
+        self, first_unit: int, last_unit: int, granularity: Granularity
+    ) -> List[int]:
+        return [
+            index
+            for index in range(first_unit, last_unit + 1)
+            if self.matches_unit(index, granularity)
+        ]
+
+    def to_interval_set(
+        self, window: TimeInterval, granularity: Granularity
+    ) -> IntervalSet:
+        from repro.temporal.granularity import units_between
+
+        indices = [
+            index
+            for index in units_between(window.start, window.end, granularity)
+            if self.matches_unit(index, granularity)
+        ]
+        materialized = IntervalSet.from_unit_indices(indices, granularity)
+        return materialized.intersection(IntervalSet((window,)))
+
+    def format(self) -> str:
+        if self.op == "pattern":
+            assert self.pattern is not None
+            return self.pattern.format()
+        assert self.left is not None and self.right is not None
+        symbol = {"union": "OR", "intersect": "AND", "difference": "MINUS"}[self.op]
+        return f"({self.left.format()} {symbol} {self.right.format()})"
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+# Commonly used named calendars (the paper's motivating examples).
+WEEKENDS = CalendarPattern(weekdays=frozenset({5, 6}))
+WEEKDAYS = CalendarPattern(weekdays=frozenset({0, 1, 2, 3, 4}))
+DECEMBER = CalendarPattern(months=frozenset({12}))
+SUMMER = CalendarPattern(months=frozenset({6, 7, 8}))
+FIRST_WEEK_OF_MONTH = CalendarPattern(days=frozenset(range(1, 8)))
+
+NAMED_CALENDARS = {
+    "weekends": WEEKENDS,
+    "weekdays": WEEKDAYS,
+    "december": DECEMBER,
+    "summer": SUMMER,
+    "first_week_of_month": FIRST_WEEK_OF_MONTH,
+}

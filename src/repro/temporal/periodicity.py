@@ -1,0 +1,153 @@
+"""Periodicities — cyclic and calendric temporal features.
+
+The second kind of temporal feature in the paper is a *periodicity*: the
+rule holds in regularly recurring time units.  Two families are modelled:
+
+* :class:`CyclicPeriodicity` — "every p-th unit, at phase o" in the sense
+  of cyclic association rules: unit ``u`` belongs iff ``u mod p == o``.
+* :class:`CalendricPeriodicity` — a calendar-defined recurrence such as
+  "every December" or "every weekend", i.e. a
+  :class:`~repro.temporal.calendar_algebra.CalendarPattern` interpreted at
+  a granularity.
+
+Both expose the same small surface (``matches_unit``, ``unit_indices``,
+``describe``), which is all the mining algorithms need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, runtime_checkable
+
+from repro.errors import PeriodicityError
+from repro.temporal.calendar_algebra import CalendarPattern
+from repro.temporal.granularity import Granularity, unit_label
+
+
+@runtime_checkable
+class Periodicity(Protocol):
+    """Anything that classifies time units into a recurring subset."""
+
+    granularity: Granularity
+
+    def matches_unit(self, index: int) -> bool:
+        """True when unit ``index`` belongs to the periodic subset."""
+        ...
+
+    def unit_indices(self, first_unit: int, last_unit: int) -> List[int]:
+        """Member units within ``first_unit..last_unit`` inclusive."""
+        ...
+
+    def describe(self) -> str:
+        """Human-readable description."""
+        ...
+
+
+@dataclass(frozen=True)
+class CyclicPeriodicity:
+    """Units ``u`` with ``u ≡ offset (mod period)`` at a granularity.
+
+    >>> weekly = CyclicPeriodicity(period=7, offset=5, granularity=Granularity.DAY)
+    >>> weekly.matches_unit(5), weekly.matches_unit(12), weekly.matches_unit(6)
+    (True, True, False)
+    """
+
+    period: int
+    offset: int
+    granularity: Granularity
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise PeriodicityError(f"period must be >= 1, got {self.period}")
+        if not 0 <= self.offset < self.period:
+            raise PeriodicityError(
+                f"offset must be in [0, period), got {self.offset} with period {self.period}"
+            )
+
+    def matches_unit(self, index: int) -> bool:
+        return index % self.period == self.offset
+
+    def unit_indices(self, first_unit: int, last_unit: int) -> List[int]:
+        if last_unit < first_unit:
+            return []
+        first_member = first_unit + (self.offset - first_unit) % self.period
+        return list(range(first_member, last_unit + 1, self.period))
+
+    def next_member(self, index: int) -> int:
+        """Smallest member unit >= ``index`` (cycle-skipping helper)."""
+        return index + (self.offset - index) % self.period
+
+    def describe(self) -> str:
+        return (
+            f"every {self.period} {self.granularity}s at phase {self.offset}"
+            if self.period > 1
+            else f"every {self.granularity}"
+        )
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class CalendricPeriodicity:
+    """A calendar-pattern recurrence at a granularity.
+
+    >>> decembers = CalendricPeriodicity(CalendarPattern.parse("month=12"),
+    ...                                  Granularity.MONTH)
+    >>> decembers.describe()
+    'calendar[month=12] per month'
+    """
+
+    pattern: CalendarPattern
+    granularity: Granularity
+
+    def __post_init__(self) -> None:
+        if not self.pattern.is_compatible_with(self.granularity):
+            raise PeriodicityError(
+                f"pattern {self.pattern} is finer than granularity {self.granularity}"
+            )
+
+    def matches_unit(self, index: int) -> bool:
+        return self.pattern.matches_unit(index, self.granularity)
+
+    def unit_indices(self, first_unit: int, last_unit: int) -> List[int]:
+        return [
+            index
+            for index in range(first_unit, last_unit + 1)
+            if self.matches_unit(index)
+        ]
+
+    def describe(self) -> str:
+        return f"calendar[{self.pattern.format()}] per {self.granularity}"
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+def cyclic_from_units(
+    indices: List[int], granularity: Granularity
+) -> Optional[CyclicPeriodicity]:
+    """Infer the cyclic periodicity generating exactly ``indices``, if any.
+
+    Returns the periodicity when the indices form a full arithmetic
+    progression with a constant step >= 1, else ``None``.  Used by tests
+    and by result analysis to label recovered unit sets.
+    """
+    if len(indices) < 2:
+        return None
+    ordered = sorted(indices)
+    step = ordered[1] - ordered[0]
+    if step < 1:
+        return None
+    if any(b - a != step for a, b in zip(ordered, ordered[1:])):
+        return None
+    return CyclicPeriodicity(
+        period=step, offset=ordered[0] % step, granularity=granularity
+    )
+
+
+def describe_units(indices: List[int], granularity: Granularity, limit: int = 6) -> str:
+    """Render unit indices as human-readable labels, elided past ``limit``."""
+    labels = [unit_label(index, granularity) for index in indices[:limit]]
+    suffix = ", ..." if len(indices) > limit else ""
+    return "{" + ", ".join(labels) + suffix + "}"

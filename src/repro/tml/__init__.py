@@ -1,0 +1,72 @@
+"""TML — the Temporal Mining Language.
+
+A small declarative language for the paper's three temporal mining
+tasks, integrated with SQL passthrough (the 'integrated query and
+mining' idea of IQMS)::
+
+    MINE PERIODS FROM sales AT GRANULARITY month
+      WITH SUPPORT >= 0.2, CONFIDENCE >= 0.6
+      HAVING FREQUENCY >= 0.9, COVERAGE >= 2;
+
+    MINE PERIODICITIES FROM sales AT GRANULARITY day
+      WITH SUPPORT >= 0.2, CONFIDENCE >= 0.6
+      HAVING PERIOD <= 31, REPETITIONS >= 4
+      INCLUDING CALENDAR 'weekday=5|6';
+
+    MINE RULES FROM sales DURING CALENDAR 'month=12'
+      WITH SUPPORT >= 0.3, CONFIDENCE >= 0.6;
+
+    SELECT COUNT(DISTINCT tid) FROM transactions;
+"""
+
+from repro.tml.ast import (
+    CalendarFeature,
+    ExplainStatement,
+    NamedCalendarFeature,
+    CyclicFeature,
+    FeatureSpec,
+    MineItemsetsStatement,
+    MinePeriodicitiesStatement,
+    MinePeriodsStatement,
+    MineRulesStatement,
+    ProfileStatement,
+    CalendarComboFeature,
+    PeriodFeature,
+    ShowStatement,
+    SqlStatement,
+    Statement,
+)
+from repro.tml.executor import (
+    ExecutionEnvironment,
+    ExecutionResult,
+    TmlExecutor,
+    resolve_feature,
+)
+from repro.tml.lexer import tokenize
+from repro.tml.parser import parse_script, parse_statement, split_statements
+
+__all__ = [
+    "CalendarFeature",
+    "CyclicFeature",
+    "ExplainStatement",
+    "ExecutionEnvironment",
+    "ExecutionResult",
+    "FeatureSpec",
+    "CalendarComboFeature",
+    "MineItemsetsStatement",
+    "MinePeriodicitiesStatement",
+    "MinePeriodsStatement",
+    "MineRulesStatement",
+    "NamedCalendarFeature",
+    "PeriodFeature",
+    "ProfileStatement",
+    "ShowStatement",
+    "SqlStatement",
+    "Statement",
+    "TmlExecutor",
+    "parse_script",
+    "parse_statement",
+    "resolve_feature",
+    "split_statements",
+    "tokenize",
+]

@@ -1,0 +1,361 @@
+"""Execution of parsed TML statements.
+
+The executor binds statements to an :class:`ExecutionEnvironment` —
+named in-memory datasets for mining plus an optional SQLite store for the
+integrated query function — and dispatches:
+
+* ``MINE ...``   → the :class:`~repro.mining.engine.TemporalMiner` tasks,
+* ``SHOW ...``   → the canned data-understanding queries,
+* raw SQL        → :func:`repro.db.query.run_query`.
+
+Every execution returns an :class:`ExecutionResult` carrying both the
+structured payload and a rendered text form for the REPL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Dict, Optional, Union
+
+from repro.core.transactions import TransactionDatabase
+from repro.db.query import QueryResult, run_query, summarize, top_items, volume_by_unit
+from repro.db.sqlite_store import SqliteStore
+from repro.errors import TmlExecutionError
+from repro.mining.engine import TemporalMiner
+from repro.mining.results import MiningReport
+from repro.mining.tasks import (
+    ConstrainedTask,
+    PeriodicityTask,
+    RuleThresholds,
+    ValidPeriodTask,
+)
+from repro.temporal.calendar_algebra import CalendarPattern
+from repro.temporal.granularity import Granularity
+from repro.temporal.interval import TimeInterval
+from repro.temporal.periodicity import CyclicPeriodicity
+from repro.tml.ast import (
+    CalendarComboFeature,
+    CalendarFeature,
+    CyclicFeature,
+    ExplainStatement,
+    FeatureSpec,
+    MineItemsetsStatement,
+    MineTrendsStatement,
+    MinePeriodicitiesStatement,
+    MinePeriodsStatement,
+    MineRulesStatement,
+    NamedCalendarFeature,
+    ProfileStatement,
+    PeriodFeature,
+    ShowStatement,
+    SqlStatement,
+    Statement,
+)
+from repro.tml.parser import parse_script, parse_statement
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one statement: a payload plus its text rendering."""
+
+    statement: Statement
+    payload: Union[MiningReport, QueryResult]
+    text: str
+
+    def __str__(self) -> str:
+        return self.text
+
+
+class ExecutionEnvironment:
+    """Named datasets + optional store, shared across statements.
+
+    A dataset name used in ``FROM`` resolves to (in order):
+
+    1. a registered in-memory dataset,
+    2. the whole store (name ``transactions``) loaded on demand.
+    """
+
+    def __init__(self, store: Optional[SqliteStore] = None):
+        self.store = store
+        self.datasets: Dict[str, TransactionDatabase] = {}
+        self._miners: Dict[str, TemporalMiner] = {}
+
+    def register(self, name: str, database: TransactionDatabase) -> None:
+        """Expose an in-memory database under ``name``."""
+        self.datasets[name] = database
+        self._miners.pop(name, None)
+
+    def resolve(self, name: str) -> TransactionDatabase:
+        if name in self.datasets:
+            return self.datasets[name]
+        if self.store is not None and name == "transactions":
+            database = self.store.load_database()
+            self.datasets[name] = database
+            return database
+        known = sorted(self.datasets)
+        raise TmlExecutionError(
+            f"unknown source {name!r}; known sources: {known or '(none)'}"
+        )
+
+    def miner(self, name: str) -> TemporalMiner:
+        miner = self._miners.get(name)
+        if miner is None:
+            miner = TemporalMiner(self.resolve(name))
+            self._miners[name] = miner
+        return miner
+
+
+class TmlExecutor:
+    """Parses and runs TML text against an environment."""
+
+    def __init__(self, environment: ExecutionEnvironment):
+        self.environment = environment
+
+    # ------------------------------------------------------------------
+
+    def execute(self, text: str) -> ExecutionResult:
+        """Parse and run exactly one statement."""
+        return self.execute_statement(parse_statement(text))
+
+    def execute_script(self, text: str) -> list:
+        """Parse and run a multi-statement script, in order."""
+        return [self.execute_statement(s) for s in parse_script(text)]
+
+    def execute_statement(self, statement: Statement) -> ExecutionResult:
+        if isinstance(statement, MinePeriodsStatement):
+            return self._mine_periods(statement)
+        if isinstance(statement, MinePeriodicitiesStatement):
+            return self._mine_periodicities(statement)
+        if isinstance(statement, MineRulesStatement):
+            return self._mine_rules(statement)
+        if isinstance(statement, MineItemsetsStatement):
+            return self._mine_itemsets(statement)
+        if isinstance(statement, MineTrendsStatement):
+            return self._mine_trends(statement)
+        if isinstance(statement, ExplainStatement):
+            return self._explain(statement)
+        if isinstance(statement, ProfileStatement):
+            return self._profile(statement)
+        if isinstance(statement, ShowStatement):
+            return self._show(statement)
+        if isinstance(statement, SqlStatement):
+            return self._sql(statement)
+        raise TmlExecutionError(f"cannot execute {statement!r}")
+
+    # ------------------------------------------------------------------
+
+    def _mine_periods(self, statement: MinePeriodsStatement) -> ExecutionResult:
+        task = ValidPeriodTask(
+            granularity=statement.granularity,
+            thresholds=RuleThresholds(statement.min_support, statement.min_confidence),
+            min_frequency=statement.min_frequency,
+            min_coverage=statement.min_coverage,
+            max_rule_size=statement.max_size,
+            max_consequent_size=statement.max_consequent,
+        )
+        report = self.environment.miner(statement.source).valid_periods(task)
+        catalog = self.environment.resolve(statement.source).catalog
+        return ExecutionResult(statement, report, report.format(catalog, limit=50))
+
+    def _mine_periodicities(
+        self, statement: MinePeriodicitiesStatement
+    ) -> ExecutionResult:
+        patterns = tuple(
+            CalendarPattern.parse(text) for text in statement.calendars
+        )
+        task = PeriodicityTask(
+            granularity=statement.granularity,
+            thresholds=RuleThresholds(statement.min_support, statement.min_confidence),
+            max_period=statement.max_period,
+            min_match=statement.min_match,
+            min_repetitions=statement.min_repetitions,
+            calendar_patterns=patterns,
+            max_rule_size=statement.max_size,
+            max_consequent_size=statement.max_consequent,
+        )
+        report = self.environment.miner(statement.source).periodicities(
+            task, interleaved=statement.interleaved
+        )
+        catalog = self.environment.resolve(statement.source).catalog
+        return ExecutionResult(statement, report, report.format(catalog, limit=50))
+
+    def _mine_rules(self, statement: MineRulesStatement) -> ExecutionResult:
+        feature = resolve_feature(statement.feature)
+        task = ConstrainedTask(
+            feature=feature,
+            thresholds=RuleThresholds(statement.min_support, statement.min_confidence),
+            granularity=statement.granularity,
+            required_items=statement.containing,
+            max_rule_size=statement.max_size,
+            max_consequent_size=statement.max_consequent,
+        )
+        report = self.environment.miner(statement.source).with_feature(task)
+        catalog = self.environment.resolve(statement.source).catalog
+        return ExecutionResult(statement, report, report.format(catalog, limit=50))
+
+    def _mine_itemsets(self, statement: MineItemsetsStatement) -> ExecutionResult:
+        from repro.mining.itemset_periods import discover_itemset_periods
+
+        task = ValidPeriodTask(
+            granularity=statement.granularity,
+            # Itemsets are undirected; the confidence threshold is moot.
+            thresholds=RuleThresholds(statement.min_support, 0.0),
+            min_frequency=statement.min_frequency,
+            min_coverage=statement.min_coverage,
+            max_rule_size=statement.max_size,
+        )
+        database = self.environment.resolve(statement.source)
+        report = discover_itemset_periods(database, task)
+        return ExecutionResult(
+            statement, report, report.format(database.catalog, limit=50)
+        )
+
+    def _mine_trends(self, statement: MineTrendsStatement) -> ExecutionResult:
+        from repro.mining.trends import detect_trends
+
+        database = self.environment.resolve(statement.source)
+        report = detect_trends(
+            database,
+            statement.granularity,
+            min_support=statement.min_support,
+            min_total_change=statement.min_change,
+            min_r_squared=statement.min_fit,
+            max_size=statement.max_size,
+        )
+        return ExecutionResult(
+            statement, report, report.format(database.catalog, limit=50)
+        )
+
+    def _profile(self, statement: ProfileStatement) -> ExecutionResult:
+        from repro.system.profile import support_profile
+
+        database = self.environment.resolve(statement.source)
+        for label in statement.labels:
+            if label not in database.catalog:
+                raise TmlExecutionError(
+                    f"unknown item label {label!r} in source {statement.source!r}"
+                )
+        profile = support_profile(
+            database, list(statement.labels), statement.granularity
+        )
+        return ExecutionResult(statement, profile, profile.format(database.catalog))
+
+    def _explain(self, statement: ExplainStatement) -> ExecutionResult:
+        """Describe the task a MINE statement would run, without mining."""
+        inner = statement.inner
+        database = self.environment.resolve(inner.source)
+        properties = [
+            ("statement", type(inner).__name__),
+            ("source", inner.source),
+            ("transactions", len(database)),
+            ("min_support", inner.min_support),
+            ("min_confidence", inner.min_confidence),
+        ]
+        granularity = getattr(inner, "granularity", None)
+        if granularity is not None:
+            from repro.temporal.granularity import units_between
+
+            start, end = database.time_span()
+            properties.append(("granularity", str(granularity)))
+            properties.append(
+                ("units_spanned", len(units_between(start, end, granularity)) or 1)
+            )
+        if isinstance(inner, MineRulesStatement):
+            feature = resolve_feature(inner.feature)
+            from repro.mining.constrained import describe_feature, restrict_database
+
+            restricted = restrict_database(
+                database, feature, granularity or Granularity.DAY
+            )
+            properties.append(("feature", describe_feature(feature)))
+            properties.append(("transactions_in_feature", len(restricted)))
+        if isinstance(inner, MinePeriodicitiesStatement):
+            properties.append(("max_period", inner.max_period))
+            properties.append(
+                ("algorithm", "interleaved" if inner.interleaved else "generic")
+            )
+        result = QueryResult(
+            columns=("property", "value"),
+            rows=tuple((name, str(value)) for name, value in properties),
+        )
+        return ExecutionResult(statement, result, result.format(limit=0))
+
+    def _show(self, statement: ShowStatement) -> ExecutionResult:
+        store = self.environment.store
+        if store is None:
+            raise TmlExecutionError("SHOW requires a store-backed environment")
+        if statement.what == "summary":
+            result = summarize(store)
+        elif statement.what == "items":
+            result = top_items(store, limit=statement.limit or 10)
+        else:
+            result = volume_by_unit(
+                store, statement.granularity or Granularity.MONTH
+            )
+        return ExecutionResult(statement, result, result.format())
+
+    def _sql(self, statement: SqlStatement) -> ExecutionResult:
+        store = self.environment.store
+        if store is None:
+            raise TmlExecutionError("SQL requires a store-backed environment")
+        result = run_query(store, statement.sql)
+        return ExecutionResult(statement, result, result.format())
+
+
+def resolve_feature(spec: FeatureSpec):
+    """Turn an AST feature into a concrete temporal feature."""
+    if isinstance(spec, PeriodFeature):
+        return TimeInterval(
+            _parse_timestamp(spec.start_text), _parse_timestamp(spec.end_text)
+        )
+    if isinstance(spec, CalendarFeature):
+        return CalendarPattern.parse(spec.pattern_text)
+    if isinstance(spec, CyclicFeature):
+        return CyclicPeriodicity(
+            period=spec.period,
+            offset=spec.offset,
+            granularity=spec.granularity,
+        )
+    if isinstance(spec, NamedCalendarFeature):
+        from repro.temporal.calendar_algebra import NAMED_CALENDARS
+
+        pattern = NAMED_CALENDARS.get(spec.name.lower())
+        if pattern is None:
+            known = ", ".join(sorted(NAMED_CALENDARS))
+            raise TmlExecutionError(
+                f"unknown named calendar {spec.name!r}; known: {known}"
+            )
+        return pattern
+    if isinstance(spec, CalendarComboFeature):
+        from repro.temporal.calendar_algebra import CalendarExpression
+
+        left = _as_calendar_expression(resolve_feature(spec.left))
+        right = _as_calendar_expression(resolve_feature(spec.right))
+        if spec.op == "AND":
+            return left.intersect(right)
+        if spec.op == "OR":
+            return left.union(right)
+        return left.difference(right)
+    raise TmlExecutionError(f"unsupported feature {spec!r}")
+
+
+def _as_calendar_expression(feature):
+    from repro.temporal.calendar_algebra import CalendarExpression, CalendarPattern
+
+    if isinstance(feature, CalendarExpression):
+        return feature
+    if isinstance(feature, CalendarPattern):
+        return CalendarExpression.of(feature)
+    raise TmlExecutionError(
+        f"cannot combine {type(feature).__name__} in a calendar expression"
+    )
+
+
+def _parse_timestamp(text: str) -> datetime:
+    try:
+        return datetime.fromisoformat(text)
+    except ValueError:
+        raise TmlExecutionError(
+            f"cannot parse timestamp {text!r} (expected ISO-8601)"
+        ) from None

@@ -1,0 +1,138 @@
+"""Tokenizer for TML source text."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.errors import TmlLexError
+from repro.tml.tokens import KEYWORDS, Token, TokenType
+
+_KEYWORD_SET = set(KEYWORDS)
+_SINGLE = {
+    ",": TokenType.COMMA,
+    ";": TokenType.SEMICOLON,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+}
+
+
+class Lexer:
+    """Converts TML text into a token list ending with EOF.
+
+    Comments run from ``--`` to end of line (the SQL convention).
+    Strings are single-quoted with ``''`` as the escaped quote.
+    """
+
+    def __init__(self, text: str):
+        self.text = text
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    def tokenize(self) -> List[Token]:
+        tokens: List[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.type is TokenType.EOF:
+                return tokens
+
+    # ------------------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> str:
+        index = self.position + ahead
+        return self.text[index] if index < len(self.text) else ""
+
+    def _advance(self) -> str:
+        char = self.text[self.position]
+        self.position += 1
+        if char == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return char
+
+    def _skip_trivia(self) -> None:
+        while self.position < len(self.text):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "-" and self._peek(1) == "-":
+                while self.position < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        line, column, offset = self.line, self.column, self.position
+        if self.position >= len(self.text):
+            return Token(TokenType.EOF, "", line, column, offset)
+        char = self._peek()
+        if char in _SINGLE:
+            self._advance()
+            return Token(_SINGLE[char], char, line, column, offset)
+        if char in "<>=":
+            self._advance()
+            if char in "<>" and self._peek() == "=":
+                self._advance()
+                return Token(TokenType.OP, char + "=", line, column, offset)
+            return Token(TokenType.OP, char, line, column, offset)
+        if char == "'":
+            return self._string(line, column, offset)
+        if char.isdigit() or (char == "." and self._peek(1).isdigit()):
+            return self._number(line, column, offset)
+        if char.isalpha() or char == "_":
+            return self._word(line, column, offset)
+        raise TmlLexError(
+            f"unexpected character {char!r}", self.position, line, column
+        )
+
+    def _string(self, line: int, column: int, offset: int) -> Token:
+        self._advance()  # opening quote
+        chunks: List[str] = []
+        while True:
+            if self.position >= len(self.text):
+                raise TmlLexError("unterminated string", self.position, line, column)
+            char = self._advance()
+            if char == "'":
+                if self._peek() == "'":  # escaped quote
+                    self._advance()
+                    chunks.append("'")
+                    continue
+                return Token(TokenType.STRING, "".join(chunks), line, column, offset)
+            chunks.append(char)
+
+    def _number(self, line: int, column: int, offset: int) -> Token:
+        chunks: List[str] = []
+        seen_dot = False
+        while self.position < len(self.text):
+            char = self._peek()
+            if char.isdigit():
+                chunks.append(self._advance())
+            elif char == "." and not seen_dot and self._peek(1).isdigit():
+                seen_dot = True
+                chunks.append(self._advance())
+            else:
+                break
+        return Token(TokenType.NUMBER, "".join(chunks), line, column, offset)
+
+    def _word(self, line: int, column: int, offset: int) -> Token:
+        chunks: List[str] = []
+        while self.position < len(self.text):
+            char = self._peek()
+            if char.isalnum() or char == "_":
+                chunks.append(self._advance())
+            else:
+                break
+        word = "".join(chunks)
+        upper = word.upper()
+        if upper in _KEYWORD_SET:
+            return Token(TokenType.KEYWORD, upper, line, column, offset)
+        return Token(TokenType.IDENT, word, line, column, offset)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize TML text (convenience wrapper)."""
+    return Lexer(text).tokenize()

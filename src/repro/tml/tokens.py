@@ -1,0 +1,64 @@
+"""Token model of the Temporal Mining Language (TML).
+
+TML is the paper's mining language, "integrated with Oracle SQL"; here
+the SQL side is SQLite and the TML side is this grammar (see
+:mod:`repro.tml.parser` for the full syntax).  The lexer produces a flat
+token stream; keywords are case-insensitive, identifiers preserve case.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class TokenType(enum.Enum):
+    """Lexical categories of TML."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OP = "op"          # >= <= = < >
+    COMMA = "comma"
+    SEMICOLON = "semicolon"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    EOF = "eof"
+
+
+KEYWORDS: Tuple[str, ...] = (
+    "MINE", "RULES", "PERIODS", "PERIODICITIES",
+    "FROM", "DURING", "AT", "GRANULARITY", "WITH", "HAVING",
+    "SUPPORT", "CONFIDENCE", "FREQUENCY", "COVERAGE",
+    "PERIOD", "MATCH", "REPETITIONS", "SIZE", "CONSEQUENT",
+    "CALENDAR", "EVERY", "OFFSET", "TO", "INCLUDING", "USING",
+    "INTERLEAVED", "SHOW", "SUMMARY", "ITEMS", "VOLUME", "BY",
+    "LIMIT", "AND", "EXPLAIN", "OR", "MINUS", "CONTAINING",
+    "ITEMSETS", "PROFILE", "TRENDS", "CHANGE", "FIT",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source position.
+
+    ``line``/``column`` are 1-based for error messages; ``offset`` is the
+    absolute character index of the token's first character, which the
+    parser uses to slice raw SQL statements out of the source text.
+    """
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+    offset: int = 0
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def __str__(self) -> str:
+        if self.type is TokenType.EOF:
+            return "<end of input>"
+        return repr(self.value)

@@ -1,0 +1,106 @@
+"""Tests that the naive per-unit miner agrees with the optimized engine."""
+
+import pytest
+
+from repro.baselines.sequential import (
+    sequential_periodicities,
+    sequential_scan,
+    sequential_valid_periods,
+)
+from repro.mining.context import TemporalContext, per_unit_frequent_itemsets
+from repro.mining.periodicities import discover_periodicities
+from repro.mining.rulespace import candidate_rules
+from repro.mining.tasks import PeriodicityTask, RuleThresholds, ValidPeriodTask
+from repro.mining.valid_periods import discover_valid_periods
+from repro.temporal import CyclicPeriodicity, Granularity
+
+
+class TestSequentialScan:
+    def test_validity_matches_engine(self, seasonal_data):
+        db = seasonal_data.database
+        scan = sequential_scan(
+            db, Granularity.MONTH, 0.25, 0.6, max_rule_size=2, max_consequent_size=1
+        )
+        context = TemporalContext(db, Granularity.MONTH)
+        counts = per_unit_frequent_itemsets(context, 0.25, min_units=1, max_size=2)
+        engine_series = {
+            s.key: s
+            for s in candidate_rules(counts, 0.6, 1, max_consequent_size=1)
+        }
+        naive = {s.key: s for s in scan.series}
+        # Engine may track more candidates (valid nowhere); compare on
+        # rules valid somewhere.
+        for key, series in naive.items():
+            assert key in engine_series, key
+            assert list(series.valid) == list(engine_series[key].valid), key
+        for key, series in engine_series.items():
+            if series.n_valid_units() > 0:
+                assert key in naive, key
+
+
+class TestValidPeriodsAgreement:
+    def test_exact_agreement(self, seasonal_data):
+        task = ValidPeriodTask(
+            granularity=Granularity.MONTH,
+            thresholds=RuleThresholds(0.25, 0.6),
+            min_coverage=2,
+            max_rule_size=2,
+        )
+        engine = discover_valid_periods(seasonal_data.database, task)
+        naive = sequential_valid_periods(seasonal_data.database, task)
+
+        def summarize(report):
+            return {
+                (
+                    record.key,
+                    tuple(
+                        (p.first_unit, p.last_unit, p.n_valid_units)
+                        for p in record.periods
+                    ),
+                )
+                for record in report
+            }
+
+        assert summarize(engine) == summarize(naive)
+
+    def test_measures_agree_at_full_frequency(self, seasonal_data):
+        task = ValidPeriodTask(
+            granularity=Granularity.MONTH,
+            thresholds=RuleThresholds(0.25, 0.6),
+            min_frequency=1.0,
+            min_coverage=2,
+            max_rule_size=2,
+        )
+        engine = {r.key: r for r in discover_valid_periods(seasonal_data.database, task)}
+        naive = {r.key: r for r in sequential_valid_periods(seasonal_data.database, task)}
+        for key, record in naive.items():
+            counterpart = engine[key]
+            for naive_period, engine_period in zip(record.periods, counterpart.periods):
+                assert naive_period.temporal_support == pytest.approx(
+                    engine_period.temporal_support
+                )
+                assert naive_period.temporal_confidence == pytest.approx(
+                    engine_period.temporal_confidence
+                )
+
+
+class TestPeriodicitiesAgreement:
+    def test_cycles_agree(self, periodic_data):
+        task = PeriodicityTask(
+            granularity=Granularity.DAY,
+            thresholds=RuleThresholds(0.25, 0.6),
+            max_period=8,
+            min_repetitions=5,
+            max_rule_size=2,
+        )
+        engine = discover_periodicities(periodic_data.database, task)
+        naive = sequential_periodicities(periodic_data.database, task)
+
+        def cycles(report):
+            return {
+                (f.key, f.periodicity.period, f.periodicity.offset)
+                for f in report
+                if isinstance(f.periodicity, CyclicPeriodicity)
+            }
+
+        assert cycles(engine) == cycles(naive)

@@ -1,0 +1,50 @@
+"""Shared fixtures: small hand-built databases and cached synthetic data."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+import random
+
+import pytest
+
+from repro.core import TransactionDatabase
+from repro.datagen import periodic_dataset, seasonal_dataset
+
+
+@pytest.fixture
+def tiny_db() -> TransactionDatabase:
+    """Five transactions over five days — the classic bread/milk example."""
+    db = TransactionDatabase()
+    base = datetime(2026, 3, 2)  # a Monday
+    db.add(base + timedelta(days=0), ["bread", "butter", "milk"])
+    db.add(base + timedelta(days=1), ["bread", "butter"])
+    db.add(base + timedelta(days=2), ["bread", "milk"])
+    db.add(base + timedelta(days=3), ["beer", "diapers"])
+    db.add(base + timedelta(days=4), ["bread", "butter", "milk", "beer"])
+    return db
+
+
+@pytest.fixture
+def random_db() -> TransactionDatabase:
+    """300 random hourly transactions with a boosted {1, 2} pair."""
+    rng = random.Random(42)
+    db = TransactionDatabase()
+    start = datetime(2026, 1, 1)
+    for hour in range(300):
+        basket = {rng.randrange(15) for _ in range(rng.randrange(1, 6))}
+        if rng.random() < 0.35:
+            basket |= {1, 2}
+        db.add(start + timedelta(hours=hour), basket)
+    return db
+
+
+@pytest.fixture(scope="session")
+def seasonal_data():
+    """One year of daily data with two embedded seasonal rules."""
+    return seasonal_dataset(n_transactions=4000, n_seasonal_rules=2)
+
+
+@pytest.fixture(scope="session")
+def periodic_data():
+    """120 days of data with weekend and payday periodic rules."""
+    return periodic_dataset(n_transactions=5000, n_days=120)

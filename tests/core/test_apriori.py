@@ -1,0 +1,148 @@
+"""Unit tests for Apriori: candidate generation and full mining."""
+
+import random
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core.apriori import (
+    AprioriOptions,
+    apriori,
+    apriori_join,
+    apriori_prune,
+    brute_force_frequent_itemsets,
+    generate_candidates,
+)
+from repro.core.items import Itemset
+from repro.core.transactions import TransactionDatabase
+from repro.errors import MiningParameterError
+
+
+class TestJoin:
+    def test_joins_shared_prefix(self):
+        frequent = [Itemset([1, 2]), Itemset([1, 3]), Itemset([2, 3])]
+        assert apriori_join(frequent) == [Itemset([1, 2, 3])]
+
+    def test_no_join_without_shared_prefix(self):
+        assert apriori_join([Itemset([1, 2]), Itemset([3, 4])]) == []
+
+    def test_singletons_join_pairwise(self):
+        singles = [Itemset([i]) for i in (1, 2, 3)]
+        assert apriori_join(singles) == [
+            Itemset([1, 2]),
+            Itemset([1, 3]),
+            Itemset([2, 3]),
+        ]
+
+    def test_empty_input(self):
+        assert apriori_join([]) == []
+
+
+class TestPrune:
+    def test_prunes_candidate_with_infrequent_subset(self):
+        frequent = [Itemset([1, 2]), Itemset([1, 3])]  # {2,3} missing
+        candidates = [Itemset([1, 2, 3])]
+        assert apriori_prune(candidates, frequent) == []
+
+    def test_keeps_candidate_with_all_subsets(self):
+        frequent = [Itemset([1, 2]), Itemset([1, 3]), Itemset([2, 3])]
+        candidates = [Itemset([1, 2, 3])]
+        assert apriori_prune(candidates, frequent) == candidates
+
+    def test_generate_candidates_combines_join_and_prune(self):
+        frequent = [Itemset([1, 2]), Itemset([1, 3]), Itemset([1, 4]), Itemset([2, 3])]
+        # join gives {1,2,3} {1,2,4} {1,3,4}; prune keeps only {1,2,3}
+        assert generate_candidates(frequent) == [Itemset([1, 2, 3])]
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_min_support_range(self, tiny_db, bad):
+        with pytest.raises(MiningParameterError):
+            apriori(tiny_db, bad)
+
+    def test_bad_counting_option(self):
+        with pytest.raises(MiningParameterError):
+            AprioriOptions(counting="telepathy")
+
+    def test_bad_max_size(self):
+        with pytest.raises(MiningParameterError):
+            AprioriOptions(max_size=-1)
+
+
+class TestMining:
+    def test_empty_database(self):
+        result = apriori(TransactionDatabase(), 0.5)
+        assert len(result) == 0
+        assert result.n_transactions == 0
+
+    def test_tiny_example(self, tiny_db):
+        result = apriori(tiny_db, 0.6)
+        bread = tiny_db.catalog.encode_strict(["bread"])
+        bread_butter = tiny_db.catalog.encode_strict(["bread", "butter"])
+        assert result.count(bread) == 4
+        assert result.count(bread_butter) == 3
+        # beer appears twice: 0.4 < 0.6
+        beer = tiny_db.catalog.encode_strict(["beer"])
+        assert beer not in result
+
+    def test_min_support_boundary_is_inclusive(self, tiny_db):
+        # bread+milk appears in 3/5 = exactly 0.6
+        result = apriori(tiny_db, 0.6)
+        assert tiny_db.catalog.encode_strict(["bread", "milk"]) in result
+
+    def test_matches_brute_force(self, random_db):
+        fast = apriori(random_db, 0.05)
+        slow = brute_force_frequent_itemsets(random_db, 0.05)
+        assert fast.as_dict() == slow.as_dict()
+
+    def test_all_counting_strategies_agree(self, random_db):
+        reference = apriori(random_db, 0.04, AprioriOptions(counting="dict"))
+        tree = apriori(random_db, 0.04, AprioriOptions(counting="hashtree"))
+        auto = apriori(random_db, 0.04, AprioriOptions(counting="auto"))
+        assert reference.as_dict() == tree.as_dict() == auto.as_dict()
+
+    def test_transaction_reduction_is_transparent(self, random_db):
+        on = apriori(random_db, 0.05, AprioriOptions(transaction_reduction=True))
+        off = apriori(random_db, 0.05, AprioriOptions(transaction_reduction=False))
+        assert on.as_dict() == off.as_dict()
+
+    def test_max_size_caps_results(self, random_db):
+        capped = apriori(random_db, 0.02, AprioriOptions(max_size=2))
+        assert capped.max_size() <= 2
+        uncapped = apriori(random_db, 0.02)
+        # capped counts agree with uncapped on shared itemsets
+        for itemset, count in capped.items():
+            assert uncapped.count(itemset) == count
+
+    def test_downward_closure(self, random_db):
+        """Every subset of a frequent itemset is frequent (anti-monotone)."""
+        result = apriori(random_db, 0.05)
+        for itemset in result:
+            for size in range(1, len(itemset)):
+                for subset in itemset.subsets_of_size(size):
+                    assert subset in result
+
+    def test_support_counts_are_exact(self, random_db):
+        result = apriori(random_db, 0.05)
+        for itemset, count in result.items():
+            assert random_db.support_count(itemset) == count
+
+
+class TestFrequentItemsetsContainer:
+    def test_support_accessor(self, tiny_db):
+        result = apriori(tiny_db, 0.2)
+        bread = tiny_db.catalog.encode_strict(["bread"])
+        assert result.support(bread) == pytest.approx(0.8)
+        assert result.support(Itemset([999])) == 0.0
+
+    def test_of_size(self, tiny_db):
+        result = apriori(tiny_db, 0.4)
+        singles = result.of_size(1)
+        assert all(len(s) == 1 for s in singles)
+        assert singles == sorted(singles)
+
+    def test_iteration_and_contains(self, tiny_db):
+        result = apriori(tiny_db, 0.4)
+        for itemset in result:
+            assert itemset in result

@@ -1,0 +1,88 @@
+"""Unit tests for FP-growth, cross-checked against Apriori."""
+
+import random
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core.apriori import AprioriOptions, apriori
+from repro.core.fpgrowth import fpgrowth
+from repro.core.items import Itemset
+from repro.core.transactions import TransactionDatabase
+from repro.errors import MiningParameterError
+
+
+class TestAgreementWithApriori:
+    @pytest.mark.parametrize("min_support", [0.02, 0.05, 0.1, 0.3, 0.7])
+    def test_random_db(self, random_db, min_support):
+        assert (
+            fpgrowth(random_db, min_support).as_dict()
+            == apriori(random_db, min_support).as_dict()
+        )
+
+    def test_tiny_db(self, tiny_db):
+        for min_support in (0.2, 0.4, 0.6, 0.8, 1.0):
+            assert (
+                fpgrowth(tiny_db, min_support).as_dict()
+                == apriori(tiny_db, min_support).as_dict()
+            )
+
+    @pytest.mark.parametrize("max_size", [1, 2, 3])
+    def test_max_size(self, random_db, max_size):
+        assert (
+            fpgrowth(random_db, 0.05, max_size=max_size).as_dict()
+            == apriori(random_db, 0.05, AprioriOptions(max_size=max_size)).as_dict()
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_many_random_databases(self, seed):
+        rng = random.Random(seed)
+        db = TransactionDatabase()
+        base = datetime(2026, 1, 1)
+        for i in range(rng.randrange(1, 80)):
+            basket = {rng.randrange(10) for _ in range(rng.randrange(1, 6))}
+            db.add(base + timedelta(hours=i), basket)
+        for min_support in (0.05, 0.2, 0.5):
+            assert (
+                fpgrowth(db, min_support).as_dict()
+                == apriori(db, min_support).as_dict()
+            ), (seed, min_support)
+
+
+class TestEdgeCases:
+    def test_empty_database(self):
+        result = fpgrowth(TransactionDatabase(), 0.5)
+        assert len(result) == 0
+        assert result.n_transactions == 0
+
+    def test_nothing_frequent(self):
+        db = TransactionDatabase()
+        db.add(datetime(2026, 1, 1), [1])
+        db.add(datetime(2026, 1, 2), [2])
+        db.add(datetime(2026, 1, 3), [3])
+        assert len(fpgrowth(db, 0.5)) == 0
+
+    def test_single_transaction(self):
+        db = TransactionDatabase()
+        db.add(datetime(2026, 1, 1), [1, 2, 3])
+        result = fpgrowth(db, 1.0)
+        assert len(result) == 7  # all non-empty subsets
+
+    def test_identical_transactions_single_path(self):
+        db = TransactionDatabase()
+        for i in range(10):
+            db.add(datetime(2026, 1, 1 + i), [1, 2, 3, 4])
+        result = fpgrowth(db, 0.5)
+        assert len(result) == 15
+        assert all(count == 10 for count in result.as_dict().values())
+
+    def test_invalid_parameters(self, tiny_db):
+        with pytest.raises(MiningParameterError):
+            fpgrowth(tiny_db, 0.0)
+        with pytest.raises(MiningParameterError):
+            fpgrowth(tiny_db, 0.5, max_size=-1)
+
+    def test_counts_are_exact(self, random_db):
+        result = fpgrowth(random_db, 0.05)
+        for itemset, count in result.items():
+            assert random_db.support_count(itemset) == count

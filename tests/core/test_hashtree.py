@@ -1,0 +1,94 @@
+"""Unit tests for the hash tree; cross-checked against direct counting."""
+
+import random
+from itertools import combinations
+
+import pytest
+
+from repro.core.hashtree import HashTree
+from repro.core.items import Itemset
+
+
+def brute_counts(candidates, transactions):
+    counts = {c: 0 for c in candidates}
+    for transaction in transactions:
+        transaction_set = set(transaction)
+        for candidate in candidates:
+            if all(i in transaction_set for i in candidate):
+                counts[candidate] += 1
+    return counts
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        tree = HashTree([])
+        assert len(tree) == 0
+        tree.count_transaction((1, 2, 3))  # no-op
+        assert tree.counts() == {}
+
+    def test_rejects_mixed_sizes(self):
+        with pytest.raises(ValueError):
+            HashTree([Itemset([1]), Itemset([1, 2])])
+
+    def test_rejects_bad_fanout(self):
+        with pytest.raises(ValueError):
+            HashTree([Itemset([1, 2])], fanout=1)
+
+    def test_rejects_bad_leaf_capacity(self):
+        with pytest.raises(ValueError):
+            HashTree([Itemset([1, 2])], leaf_capacity=0)
+
+    def test_duplicate_candidates_collapse(self):
+        tree = HashTree([Itemset([1, 2]), Itemset([2, 1])])
+        assert len(tree) == 1
+
+    def test_k_property(self):
+        assert HashTree([Itemset([1, 2, 3])]).k == 3
+
+
+class TestCounting:
+    def test_single_candidate(self):
+        tree = HashTree([Itemset([1, 2])])
+        tree.count_transaction((1, 2, 3))
+        tree.count_transaction((2, 3))
+        assert tree.counts()[Itemset([1, 2])] == 1
+
+    def test_transaction_shorter_than_k_skipped(self):
+        tree = HashTree([Itemset([1, 2, 3])])
+        tree.count_transaction((1, 2))
+        assert tree.counts()[Itemset([1, 2, 3])] == 0
+
+    def test_no_double_count_same_transaction(self):
+        # Candidates engineered to share hash buckets through multiple
+        # branch positions.
+        candidates = [Itemset(c) for c in combinations(range(0, 32, 8), 2)]
+        tree = HashTree(candidates, fanout=8, leaf_capacity=1)
+        tree.count_transaction(tuple(range(0, 32, 8)))
+        for candidate, count in tree.counts().items():
+            assert count == 1, candidate
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    @pytest.mark.parametrize("leaf_capacity", [1, 4, 64])
+    def test_matches_brute_force(self, k, leaf_capacity):
+        rng = random.Random(k * 100 + leaf_capacity)
+        universe = list(range(30))
+        candidates = list(
+            {Itemset(rng.sample(universe, k)) for _ in range(120)}
+        )
+        transactions = [
+            tuple(sorted(rng.sample(universe, rng.randrange(k, 15))))
+            for _ in range(150)
+        ]
+        tree = HashTree(candidates, fanout=5, leaf_capacity=leaf_capacity)
+        for transaction in transactions:
+            tree.count_transaction(transaction)
+        assert tree.counts() == brute_counts(candidates, transactions)
+
+    def test_large_candidate_set_splits_leaves(self):
+        candidates = [Itemset(c) for c in combinations(range(12), 3)]  # 220
+        tree = HashTree(candidates, fanout=4, leaf_capacity=8)
+        transaction = tuple(range(12))
+        tree.count_transaction(transaction)
+        counts = tree.counts()
+        assert all(count == 1 for count in counts.values())
+        assert len(counts) == 220

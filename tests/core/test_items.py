@@ -1,0 +1,158 @@
+"""Unit tests for items, itemsets and catalogs."""
+
+import pytest
+
+from repro.core.items import ItemCatalog, Itemset, itemset_from_any
+from repro.errors import ItemError
+
+
+class TestItemsetConstruction:
+    def test_sorts_and_dedupes(self):
+        assert Itemset([3, 1, 2, 1]).items == (1, 2, 3)
+
+    def test_of_constructor(self):
+        assert Itemset.of(5, 2).items == (2, 5)
+
+    def test_empty(self):
+        assert len(Itemset.empty()) == 0
+        assert Itemset.empty().items == ()
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(ItemError):
+            Itemset([-1])
+
+    def test_rejects_non_int(self):
+        with pytest.raises(ItemError):
+            Itemset(["bread"])  # labels need a catalog
+
+    def test_equality_is_set_equality(self):
+        assert Itemset([1, 2]) == Itemset([2, 1])
+        assert Itemset([1, 2]) != Itemset([1, 3])
+
+    def test_hash_consistent_with_eq(self):
+        assert hash(Itemset([2, 1])) == hash(Itemset([1, 2]))
+
+    def test_ordering_is_lexicographic(self):
+        assert Itemset([1, 2]) < Itemset([1, 3])
+        assert Itemset([1]) < Itemset([1, 2])
+        assert Itemset([2]) > Itemset([1, 9])
+
+
+class TestItemsetAlgebra:
+    def test_union(self):
+        assert Itemset([1, 2]).union(Itemset([2, 3])) == Itemset([1, 2, 3])
+
+    def test_intersection(self):
+        assert Itemset([1, 2, 3]).intersection(Itemset([2, 3, 4])) == Itemset([2, 3])
+
+    def test_difference(self):
+        assert Itemset([1, 2, 3]).difference(Itemset([2])) == Itemset([1, 3])
+
+    def test_issubset_true(self):
+        assert Itemset([1, 3]).issubset(Itemset([1, 2, 3]))
+
+    def test_issubset_false(self):
+        assert not Itemset([1, 4]).issubset(Itemset([1, 2, 3]))
+
+    def test_empty_is_subset_of_everything(self):
+        assert Itemset.empty().issubset(Itemset([1]))
+        assert Itemset.empty().issubset(Itemset.empty())
+
+    def test_issuperset(self):
+        assert Itemset([1, 2, 3]).issuperset(Itemset([2]))
+
+    def test_isdisjoint(self):
+        assert Itemset([1, 2]).isdisjoint(Itemset([3, 4]))
+        assert not Itemset([1, 2]).isdisjoint(Itemset([2, 3]))
+
+    def test_subsets_of_size(self):
+        subsets = list(Itemset([1, 2, 3]).subsets_of_size(2))
+        assert subsets == [Itemset([1, 2]), Itemset([1, 3]), Itemset([2, 3])]
+
+    def test_subsets_of_size_out_of_range(self):
+        assert list(Itemset([1]).subsets_of_size(5)) == []
+        assert list(Itemset([1]).subsets_of_size(-1)) == []
+
+    def test_without_and_with_item(self):
+        assert Itemset([1, 2]).without(1) == Itemset([2])
+        assert Itemset([1, 2]).without(9) == Itemset([1, 2])
+        assert Itemset([1]).with_item(2) == Itemset([1, 2])
+
+    def test_prefix(self):
+        assert Itemset([1, 2, 3]).prefix(2) == (1, 2)
+
+    def test_contains(self):
+        assert 2 in Itemset([1, 2])
+        assert 5 not in Itemset([1, 2])
+
+
+class TestItemCatalog:
+    def test_add_is_idempotent(self):
+        catalog = ItemCatalog()
+        assert catalog.add("bread") == 0
+        assert catalog.add("bread") == 0
+        assert len(catalog) == 1
+
+    def test_ids_are_dense(self):
+        catalog = ItemCatalog(["a", "b", "c"])
+        assert [catalog.id(x) for x in "abc"] == [0, 1, 2]
+
+    def test_label_roundtrip(self):
+        catalog = ItemCatalog(["a", "b"])
+        assert catalog.label(catalog.id("b")) == "b"
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(ItemError):
+            ItemCatalog().id("ghost")
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ItemError):
+            ItemCatalog().label(3)
+
+    def test_rejects_empty_label(self):
+        with pytest.raises(ItemError):
+            ItemCatalog().add("")
+
+    def test_encode_registers(self):
+        catalog = ItemCatalog()
+        itemset = catalog.encode(["x", "y"])
+        assert catalog.decode(itemset) == ("x", "y")
+
+    def test_encode_strict_requires_known(self):
+        catalog = ItemCatalog(["x"])
+        with pytest.raises(ItemError):
+            catalog.encode_strict(["x", "ghost"])
+
+    def test_format(self):
+        catalog = ItemCatalog(["milk", "bread"])
+        assert catalog.format(Itemset([0, 1])) == "milk, bread"
+
+    def test_contains(self):
+        catalog = ItemCatalog(["a"])
+        assert "a" in catalog
+        assert "b" not in catalog
+
+
+class TestItemsetFromAny:
+    def test_passthrough(self):
+        itemset = Itemset([1])
+        assert itemset_from_any(itemset) is itemset
+
+    def test_int(self):
+        assert itemset_from_any(3) == Itemset([3])
+
+    def test_string_requires_catalog(self):
+        with pytest.raises(ItemError):
+            itemset_from_any("bread")
+
+    def test_string_with_catalog(self):
+        catalog = ItemCatalog(["bread"])
+        assert itemset_from_any("bread", catalog) == Itemset([0])
+
+    def test_mixed_iterable(self):
+        catalog = ItemCatalog(["bread"])
+        assert itemset_from_any(["bread", 7], catalog) == Itemset([0, 7])
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ItemError):
+            itemset_from_any(3.14)

@@ -1,0 +1,106 @@
+"""Unit tests for interestingness measures."""
+
+import math
+
+import pytest
+
+from repro.core.measures import (
+    confidence,
+    conviction,
+    is_significant,
+    leverage,
+    lift,
+    rule_p_value,
+    _binomial_sf,
+    _binomial_sf_fallback,
+)
+from repro.errors import MiningParameterError
+
+
+class TestConfidence:
+    def test_basic(self):
+        assert confidence(0.05, 0.10) == pytest.approx(0.5)
+
+    def test_zero_antecedent(self):
+        assert confidence(0.05, 0.0) == 0.0
+
+    def test_clamped_to_one(self):
+        assert confidence(0.2, 0.1999999) <= 1.0
+
+
+class TestLift:
+    def test_independence_is_one(self):
+        assert lift(0.06, 0.2, 0.3) == pytest.approx(1.0)
+
+    def test_positive_correlation(self):
+        assert lift(0.12, 0.2, 0.3) > 1.0
+
+    def test_zero_marginals_positive_joint(self):
+        assert lift(0.1, 0.0, 0.3) == math.inf
+
+    def test_zero_everything(self):
+        assert lift(0.0, 0.0, 0.0) == 0.0
+
+
+class TestLeverage:
+    def test_independence_is_zero(self):
+        assert leverage(0.06, 0.2, 0.3) == pytest.approx(0.0)
+
+    def test_sign_tracks_correlation(self):
+        assert leverage(0.1, 0.2, 0.3) > 0
+        assert leverage(0.01, 0.2, 0.3) < 0
+
+
+class TestConviction:
+    def test_exact_rule_is_infinite(self):
+        assert conviction(0.3, 1.0) == math.inf
+
+    def test_independence_is_one(self):
+        # Under independence conf(X => Y) = supp(Y), so conviction = 1.
+        assert conviction(0.4, 0.4) == pytest.approx(1.0)
+
+
+class TestPValue:
+    def test_empty_database(self):
+        assert rule_p_value(0, 0, 0.5, 0.5) == 1.0
+
+    def test_zero_count(self):
+        assert rule_p_value(100, 0, 0.5, 0.5) == 1.0
+
+    def test_impossible_joint(self):
+        assert rule_p_value(100, 5, 0.0, 0.5) == 0.0
+
+    def test_certain_joint(self):
+        assert rule_p_value(100, 5, 1.0, 1.0) == 1.0
+
+    def test_overrepresented_cooccurrence_is_significant(self):
+        # px = py = 0.3 -> expected 9 joint in 100; observing 40 is striking
+        assert rule_p_value(100, 40, 0.3, 0.3) < 1e-6
+
+    def test_expected_cooccurrence_is_not_significant(self):
+        assert rule_p_value(100, 9, 0.3, 0.3) > 0.3
+
+    def test_monotone_in_count(self):
+        low = rule_p_value(100, 15, 0.3, 0.3)
+        high = rule_p_value(100, 25, 0.3, 0.3)
+        assert high < low
+
+    def test_fallback_matches_scipy(self):
+        for k, n, p in [(3, 20, 0.2), (10, 50, 0.3), (0, 5, 0.5), (19, 20, 0.9)]:
+            assert _binomial_sf_fallback(k, n, p) == pytest.approx(
+                _binomial_sf(k, n, p), abs=1e-9
+            )
+
+    def test_fallback_edges(self):
+        assert _binomial_sf_fallback(20, 20, 0.5) == 0.0
+        assert _binomial_sf_fallback(-1, 20, 0.5) == 1.0
+
+
+class TestIsSignificant:
+    def test_threshold(self):
+        assert is_significant(100, 40, 0.3, 0.3, alpha=0.01)
+        assert not is_significant(100, 9, 0.3, 0.3, alpha=0.01)
+
+    def test_alpha_validation(self):
+        with pytest.raises(MiningParameterError):
+            is_significant(100, 40, 0.3, 0.3, alpha=1.5)

@@ -1,0 +1,72 @@
+"""Unit tests for the Partition algorithm."""
+
+import random
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core.apriori import AprioriOptions, apriori
+from repro.core.fpgrowth import fpgrowth
+from repro.core.partition import partition
+from repro.core.transactions import TransactionDatabase
+from repro.errors import MiningParameterError
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("n_partitions", [1, 2, 4, 7])
+    @pytest.mark.parametrize("min_support", [0.05, 0.2, 0.5])
+    def test_matches_apriori(self, random_db, n_partitions, min_support):
+        assert (
+            partition(random_db, min_support, n_partitions=n_partitions).as_dict()
+            == apriori(random_db, min_support).as_dict()
+        )
+
+    def test_three_engines_agree(self, random_db):
+        a = apriori(random_db, 0.04).as_dict()
+        f = fpgrowth(random_db, 0.04).as_dict()
+        p = partition(random_db, 0.04, n_partitions=3).as_dict()
+        assert a == f == p
+
+    def test_max_size(self, random_db):
+        assert (
+            partition(random_db, 0.05, n_partitions=3, max_size=2).as_dict()
+            == apriori(random_db, 0.05, AprioriOptions(max_size=2)).as_dict()
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_skewed_data(self, seed):
+        """A pattern confined to one partition must still be verified
+        globally (and rejected when globally infrequent)."""
+        rng = random.Random(seed)
+        db = TransactionDatabase()
+        base = datetime(2026, 1, 1)
+        for i in range(60):
+            # first third of the stream heavily features {1, 2}
+            if i < 20:
+                db.add(base + timedelta(hours=i), [1, 2, rng.randrange(5, 10)])
+            else:
+                db.add(base + timedelta(hours=i), {rng.randrange(5, 15)})
+        assert (
+            partition(db, 0.4, n_partitions=3).as_dict()
+            == apriori(db, 0.4).as_dict()
+        )
+
+
+class TestEdgeCases:
+    def test_empty_database(self):
+        result = partition(TransactionDatabase(), 0.5)
+        assert len(result) == 0
+
+    def test_more_partitions_than_transactions(self, tiny_db):
+        assert (
+            partition(tiny_db, 0.4, n_partitions=50).as_dict()
+            == apriori(tiny_db, 0.4).as_dict()
+        )
+
+    def test_validation(self, tiny_db):
+        with pytest.raises(MiningParameterError):
+            partition(tiny_db, 0.5, n_partitions=0)
+        with pytest.raises(MiningParameterError):
+            partition(tiny_db, 0.0)
+        with pytest.raises(MiningParameterError):
+            partition(tiny_db, 0.5, max_size=-1)

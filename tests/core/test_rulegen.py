@@ -1,0 +1,148 @@
+"""Unit tests for rule generation (ap-genrules)."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.core.apriori import apriori, brute_force_frequent_itemsets
+from repro.core.items import ItemCatalog, Itemset
+from repro.core.rulegen import AssociationRule, RuleKey, generate_rules, mine_rules
+from repro.errors import MiningParameterError
+
+
+def brute_force_rules(frequent, min_confidence):
+    """Reference rule generation: try every split of every itemset."""
+    rules = set()
+    n = frequent.n_transactions
+    for itemset in frequent:
+        if len(itemset) < 2:
+            continue
+        count_xy = frequent.count(itemset)
+        items = itemset.items
+        for consequent_size in range(1, len(items)):
+            for consequent_items in combinations(items, consequent_size):
+                consequent = Itemset(consequent_items)
+                antecedent = itemset.difference(consequent)
+                count_x = frequent.count(antecedent)
+                if count_x and count_xy / count_x >= min_confidence - 1e-12:
+                    rules.add((antecedent, consequent))
+    return rules
+
+
+class TestGenerateRules:
+    def test_matches_brute_force(self, random_db):
+        frequent = apriori(random_db, 0.04)
+        for min_confidence in (0.3, 0.6, 0.9):
+            fast = {
+                (r.antecedent, r.consequent)
+                for r in generate_rules(frequent, min_confidence)
+            }
+            slow = brute_force_rules(frequent, min_confidence)
+            assert fast == slow, min_confidence
+
+    def test_zero_confidence_yields_all_splits(self, tiny_db):
+        frequent = apriori(tiny_db, 0.4)
+        rules = generate_rules(frequent, 0.0)
+        assert {(r.antecedent, r.consequent) for r in rules} == brute_force_rules(
+            frequent, 0.0
+        )
+
+    def test_confidence_values_correct(self, tiny_db):
+        frequent = apriori(tiny_db, 0.4)
+        rules = generate_rules(frequent, 0.5)
+        for rule in rules:
+            count_xy = tiny_db.support_count(rule.itemset)
+            count_x = tiny_db.support_count(rule.antecedent)
+            assert rule.confidence == pytest.approx(count_xy / count_x)
+            assert rule.support == pytest.approx(count_xy / len(tiny_db))
+
+    def test_antecedent_and_consequent_disjoint(self, random_db):
+        frequent = apriori(random_db, 0.04)
+        for rule in generate_rules(frequent, 0.3):
+            assert rule.antecedent.isdisjoint(rule.consequent)
+            assert len(rule.antecedent) >= 1
+            assert len(rule.consequent) >= 1
+
+    def test_max_consequent_size(self, random_db):
+        frequent = apriori(random_db, 0.04)
+        rules = generate_rules(frequent, 0.2, max_consequent_size=1)
+        assert all(len(r.consequent) == 1 for r in rules)
+
+    def test_sorted_by_confidence_then_support(self, random_db):
+        frequent = apriori(random_db, 0.04)
+        rules = generate_rules(frequent, 0.2)
+        pairs = [(r.confidence, r.support) for r in rules]
+        assert pairs == sorted(pairs, key=lambda p: (-p[0], -p[1]))
+
+    def test_invalid_confidence(self, tiny_db):
+        frequent = apriori(tiny_db, 0.4)
+        with pytest.raises(MiningParameterError):
+            generate_rules(frequent, 1.5)
+
+    def test_invalid_max_consequent(self, tiny_db):
+        frequent = apriori(tiny_db, 0.4)
+        with pytest.raises(MiningParameterError):
+            generate_rules(frequent, 0.5, max_consequent_size=-2)
+
+
+class TestRuleObjects:
+    def test_key_identity(self, tiny_db):
+        rules = mine_rules(tiny_db, 0.4, 0.5)
+        for rule in rules:
+            key = rule.key()
+            assert key == RuleKey(rule.antecedent, rule.consequent)
+            assert key.itemset == rule.itemset
+
+    def test_format_with_catalog(self, tiny_db):
+        rules = mine_rules(tiny_db, 0.6, 0.9)
+        rendered = [r.format(tiny_db.catalog) for r in rules]
+        assert any("bread" in text for text in rendered)
+
+    def test_format_without_catalog(self):
+        rule_text = RuleKey(Itemset([1]), Itemset([2])).format()
+        assert rule_text == "{1} => {2}"
+
+    def test_derived_measures_well_defined(self, random_db):
+        for rule in mine_rules(random_db, 0.05, 0.4):
+            assert rule.lift >= 0.0
+            assert 0.0 <= rule.p_value <= 1.0
+            assert rule.leverage == pytest.approx(
+                rule.support - rule.antecedent_support * rule.consequent_support
+            )
+
+    def test_str_contains_measures(self, tiny_db):
+        rules = mine_rules(tiny_db, 0.6, 0.9)
+        assert "supp=" in str(rules[0])
+
+
+class TestMineRules:
+    def test_pipeline_consistency(self, random_db):
+        rules = mine_rules(random_db, 0.05, 0.5)
+        frequent = brute_force_frequent_itemsets(random_db, 0.05)
+        expected = brute_force_rules(frequent, 0.5)
+        assert {(r.antecedent, r.consequent) for r in rules} == expected
+
+
+class TestEngineDispatch:
+    def test_all_engines_give_same_rules(self, random_db):
+        reference = {
+            (r.antecedent, r.consequent)
+            for r in mine_rules(random_db, 0.05, 0.5)
+        }
+        for engine in ("fpgrowth", "partition"):
+            rules = mine_rules(random_db, 0.05, 0.5, engine=engine)
+            assert {(r.antecedent, r.consequent) for r in rules} == reference
+
+    def test_unknown_engine(self, random_db):
+        with pytest.raises(MiningParameterError):
+            mine_rules(random_db, 0.05, 0.5, engine="quantum")
+
+    def test_engine_respects_max_size(self, random_db):
+        from repro.core.apriori import AprioriOptions
+
+        for engine in ("fpgrowth", "partition"):
+            rules = mine_rules(
+                random_db, 0.05, 0.3, options=AprioriOptions(max_size=2),
+                engine=engine,
+            )
+            assert all(len(r.itemset) <= 2 for r in rules)

@@ -1,0 +1,58 @@
+"""Tests for the dataset-generation CLI (python -m repro.datagen)."""
+
+import csv
+
+import pytest
+
+from repro.datagen.cli import build_parser, main
+from repro.db.sqlite_store import SqliteStore, load_csv
+
+
+class TestParser:
+    def test_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--profile", "T5.I2.D1K"])
+
+    def test_profile_and_scenario_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["--out", "x.csv", "--profile", "T5.I2.D1K", "--scenario", "seasonal"]
+            )
+
+
+class TestGeneration:
+    def test_profile_csv(self, tmp_path, capsys):
+        out = tmp_path / "quest.csv"
+        assert main(["--profile", "T5.I2.D500", "--out", str(out)]) == 0
+        assert "wrote 500 transactions" in capsys.readouterr().out
+        with open(out) as handle:
+            rows = list(csv.DictReader(handle))
+        assert set(rows[0].keys()) == {"tid", "ts", "item"}
+        assert len({row["tid"] for row in rows}) == 500
+
+    def test_seasonal_csv_loads_into_store(self, tmp_path):
+        out = tmp_path / "sales.csv"
+        main(["--scenario", "seasonal", "--transactions", "300", "--out", str(out)])
+        with SqliteStore(":memory:") as store:
+            assert load_csv(store, out) == 300
+            items = {
+                row[0]
+                for row in store.connection.execute(
+                    "SELECT DISTINCT item FROM transactions"
+                )
+            }
+        assert any(label.startswith("season") for label in items)
+
+    def test_periodic_csv(self, tmp_path):
+        out = tmp_path / "daily.csv"
+        main(["--scenario", "periodic", "--transactions", "300", "--out", str(out)])
+        with open(out) as handle:
+            text = handle.read()
+        assert "weekend_a" in text
+
+    def test_seed_changes_output(self, tmp_path):
+        first = tmp_path / "a.csv"
+        second = tmp_path / "b.csv"
+        main(["--scenario", "seasonal", "--transactions", "200", "--out", str(first), "--seed", "1"])
+        main(["--scenario", "seasonal", "--transactions", "200", "--out", str(second), "--seed", "2"])
+        assert first.read_text() != second.read_text()

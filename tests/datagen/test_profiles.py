@@ -1,0 +1,48 @@
+"""Unit tests for dataset profile parsing."""
+
+import pytest
+
+from repro.datagen.profiles import PROFILES, parse_profile
+from repro.errors import MiningParameterError
+
+
+class TestParseProfile:
+    def test_basic(self):
+        config = parse_profile("T10.I4.D100K")
+        assert config.n_transactions == 100_000
+        assert config.avg_transaction_size == 10
+        assert config.avg_pattern_size == 4
+
+    def test_millions(self):
+        assert parse_profile("T5.I2.D2M").n_transactions == 2_000_000
+
+    def test_no_suffix(self):
+        assert parse_profile("T5.I2.D700").n_transactions == 700
+
+    def test_fractional_parameters(self):
+        config = parse_profile("T7.5.I2.5.D1K")
+        assert config.avg_transaction_size == 7.5
+        assert config.avg_pattern_size == 2.5
+
+    def test_case_insensitive(self):
+        assert parse_profile("t5.i2.d10k").n_transactions == 10_000
+
+    def test_extra_knobs_passed_through(self):
+        config = parse_profile("T5.I2.D1K", n_items=123, seed=9)
+        assert config.n_items == 123
+        assert config.seed == 9
+
+    @pytest.mark.parametrize("bad", ["X10.I4.D1K", "T10.D1K", "T10.I4", "garbage"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(MiningParameterError):
+            parse_profile(bad)
+
+
+class TestRegistry:
+    def test_registered_profiles_parse_back(self):
+        for name, config in PROFILES.items():
+            assert config.name() == name
+
+    def test_profiles_have_distinct_seeds(self):
+        seeds = [config.seed for config in PROFILES.values()]
+        assert len(set(seeds)) == len(seeds)

@@ -1,0 +1,110 @@
+"""Unit tests for the Quest generator."""
+
+import pytest
+
+from repro.datagen.quest import QuestConfig, generate_baskets, item_label
+from repro.errors import MiningParameterError
+
+
+class TestConfig:
+    def test_name(self):
+        config = QuestConfig(
+            n_transactions=100_000, avg_transaction_size=10, avg_pattern_size=4
+        )
+        assert config.name() == "T10.I4.D100K"
+
+    def test_name_millions(self):
+        config = QuestConfig(n_transactions=2_000_000)
+        assert config.name().endswith("D2M")
+
+    def test_name_small(self):
+        assert QuestConfig(n_transactions=500).name().endswith("D500")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_transactions=-1),
+            dict(n_transactions=10, avg_transaction_size=0),
+            dict(n_transactions=10, avg_pattern_size=0.5),
+            dict(n_transactions=10, n_items=0),
+            dict(n_transactions=10, n_patterns=0),
+            dict(n_transactions=10, correlation=1.5),
+            dict(n_transactions=10, corruption_mean=-0.1),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(MiningParameterError):
+            QuestConfig(**kwargs)
+
+
+class TestGeneration:
+    CONFIG = QuestConfig(
+        n_transactions=2000,
+        avg_transaction_size=8,
+        avg_pattern_size=3,
+        n_items=400,
+        n_patterns=80,
+        seed=5,
+    )
+
+    def test_transaction_count(self):
+        assert len(generate_baskets(self.CONFIG)) == 2000
+
+    def test_deterministic(self):
+        assert generate_baskets(self.CONFIG) == generate_baskets(self.CONFIG)
+
+    def test_seed_changes_data(self):
+        other = QuestConfig(
+            n_transactions=2000,
+            avg_transaction_size=8,
+            avg_pattern_size=3,
+            n_items=400,
+            n_patterns=80,
+            seed=6,
+        )
+        assert generate_baskets(self.CONFIG) != generate_baskets(other)
+
+    def test_baskets_sorted_unique_in_range(self):
+        for basket in generate_baskets(self.CONFIG):
+            assert basket == tuple(sorted(set(basket)))
+            assert all(0 <= item < 400 for item in basket)
+            assert len(basket) >= 1
+
+    def test_average_size_near_parameter(self):
+        baskets = generate_baskets(self.CONFIG)
+        average = sum(map(len, baskets)) / len(baskets)
+        assert 5.0 < average < 11.0
+
+    def test_support_skew_exists(self):
+        """Pattern structure should make some pairs far more frequent
+        than independence predicts."""
+        from collections import Counter
+
+        baskets = generate_baskets(self.CONFIG)
+        n = len(baskets)
+        singles = Counter()
+        pairs = Counter()
+        for basket in baskets:
+            for item in basket:
+                singles[item] += 1
+            if len(basket) <= 12:
+                from itertools import combinations
+
+                for pair in combinations(basket, 2):
+                    pairs[pair] += 1
+        # Some heavily-supported pair must co-occur far above independence.
+        best_lift = max(
+            count / (singles[pair[0]] * singles[pair[1]] / n)
+            for pair, count in pairs.most_common(20)
+        )
+        assert best_lift > 2.0
+
+    def test_zero_transactions(self):
+        config = QuestConfig(n_transactions=0)
+        assert generate_baskets(config) == []
+
+
+class TestItemLabel:
+    def test_format(self):
+        assert item_label(42) == "i0042"
+        assert item_label(0) == "i0000"

@@ -1,0 +1,138 @@
+"""Unit tests for temporal dataset generation and ground truth."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core.items import Itemset
+from repro.datagen.quest import QuestConfig
+from repro.datagen.temporal import (
+    EmbeddedRule,
+    TemporalDatasetSpec,
+    generate_temporal_dataset,
+    periodic_dataset,
+    seasonal_dataset,
+)
+from repro.errors import MiningParameterError
+from repro.temporal import CalendarPattern, Granularity, TimeInterval
+
+
+class TestEmbeddedRule:
+    def test_validation(self):
+        window = TimeInterval(datetime(2025, 1, 1), datetime(2025, 2, 1))
+        with pytest.raises(MiningParameterError):
+            EmbeddedRule(labels=("only_one",), feature=window)
+        with pytest.raises(MiningParameterError):
+            EmbeddedRule(labels=("a", "b"), feature=window, probability=0.0)
+        with pytest.raises(MiningParameterError):
+            EmbeddedRule(
+                labels=("a", "b"), feature=window, background_probability=1.1
+            )
+
+
+class TestSpec:
+    def test_rejects_inverted_window(self):
+        with pytest.raises(MiningParameterError):
+            TemporalDatasetSpec(
+                quest=QuestConfig(n_transactions=10),
+                start=datetime(2025, 2, 1),
+                end=datetime(2025, 1, 1),
+            )
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        spec = TemporalDatasetSpec(
+            quest=QuestConfig(n_transactions=500, n_items=100, n_patterns=20, seed=1),
+            start=datetime(2025, 1, 1),
+            end=datetime(2025, 3, 1),
+            seed=9,
+        )
+        first = generate_temporal_dataset(spec)
+        second = generate_temporal_dataset(spec)
+        assert [t.items for t in first.database] == [t.items for t in second.database]
+        assert [t.timestamp for t in first.database] == [
+            t.timestamp for t in second.database
+        ]
+
+    def test_timestamps_inside_window(self):
+        dataset = seasonal_dataset(n_transactions=300)
+        start, end = dataset.database.time_span()
+        assert start >= dataset.spec.start
+        assert end < dataset.spec.end
+
+    def test_embedded_labels_always_registered(self):
+        dataset = seasonal_dataset(n_transactions=50, n_seasonal_rules=3)
+        for rule in dataset.embedded:
+            for label in rule.labels:
+                assert label in dataset.database.catalog
+
+    def test_injection_contrast(self):
+        """Embedded itemset must be much denser inside its window."""
+        dataset = seasonal_dataset(n_transactions=2000, probability=0.7)
+        db = dataset.database
+        rule = dataset.embedded[0]
+        itemset = Itemset([db.catalog.id(label) for label in rule.labels])
+        window = rule.feature
+        inside = db.between(window.start, window.end)
+        outside_count = db.support_count(itemset) - inside.support_count(itemset)
+        outside_n = len(db) - len(inside)
+        assert inside.support(itemset) > 0.5
+        assert outside_count / max(outside_n, 1) < 0.05
+
+    def test_background_probability_leaks_outside(self):
+        window = TimeInterval(datetime(2025, 6, 1), datetime(2025, 7, 1))
+        spec = TemporalDatasetSpec(
+            quest=QuestConfig(n_transactions=2000, n_items=100, n_patterns=20, seed=2),
+            start=datetime(2025, 1, 1),
+            end=datetime(2026, 1, 1),
+            embedded=(
+                EmbeddedRule(
+                    labels=("x_a", "x_b"),
+                    feature=window,
+                    probability=0.8,
+                    background_probability=0.1,
+                ),
+            ),
+            seed=3,
+        )
+        dataset = generate_temporal_dataset(spec)
+        db = dataset.database
+        itemset = Itemset([db.catalog.id("x_a"), db.catalog.id("x_b")])
+        outside = db.restrict(lambda t: not window.contains(t.timestamp))
+        assert 0.05 < outside.support(itemset) < 0.2
+
+
+class TestReadyMadeDatasets:
+    def test_seasonal_windows_distinct(self):
+        dataset = seasonal_dataset(n_transactions=100, n_seasonal_rules=3)
+        windows = [rule.feature for rule in dataset.embedded]
+        assert len({(w.start, w.end) for w in windows}) == 3
+
+    def test_periodic_dataset_features(self):
+        dataset = periodic_dataset(n_transactions=200, n_days=30)
+        features = [rule.feature for rule in dataset.embedded]
+        assert any(
+            isinstance(f, CalendarPattern) and f.weekdays == frozenset({5, 6})
+            for f in features
+        )
+        assert any(
+            isinstance(f, CalendarPattern) and f.days == frozenset(range(1, 8))
+            for f in features
+        )
+
+    def test_periodic_dataset_weekend_density(self, periodic_data):
+        db = periodic_data.database
+        itemset = Itemset(
+            [db.catalog.id("weekend_a"), db.catalog.id("weekend_b")]
+        )
+        weekend = db.restrict(lambda t: t.timestamp.weekday() >= 5)
+        weekday = db.restrict(lambda t: t.timestamp.weekday() < 5)
+        assert weekend.support(itemset) > 0.5
+        assert weekday.support(itemset) < 0.05
+
+    def test_window_accessor(self):
+        dataset = seasonal_dataset(n_transactions=10)
+        window = dataset.window()
+        assert window.start == dataset.spec.start
+        assert window.end == dataset.spec.end

@@ -1,0 +1,77 @@
+"""Unit tests for data selection and sampling."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.db.sampling import (
+    head,
+    sample_transactions,
+    select_calendar,
+    select_items,
+    select_time_window,
+)
+from repro.errors import MiningParameterError
+from repro.temporal import CalendarPattern
+
+
+class TestSample:
+    def test_fraction_one_keeps_everything(self, tiny_db):
+        assert len(sample_transactions(tiny_db, 1.0, seed=1)) == len(tiny_db)
+
+    def test_seed_reproducible(self, seasonal_data):
+        db = seasonal_data.database
+        first = sample_transactions(db, 0.3, seed=42)
+        second = sample_transactions(db, 0.3, seed=42)
+        assert [t.tid for t in first] == [t.tid for t in second]
+
+    def test_fraction_roughly_respected(self, seasonal_data):
+        db = seasonal_data.database
+        sampled = sample_transactions(db, 0.25, seed=7)
+        assert 0.18 * len(db) < len(sampled) < 0.32 * len(db)
+
+    def test_invalid_fraction(self, tiny_db):
+        with pytest.raises(MiningParameterError):
+            sample_transactions(tiny_db, 0.0)
+        with pytest.raises(MiningParameterError):
+            sample_transactions(tiny_db, 1.5)
+
+    def test_catalog_shared(self, tiny_db):
+        assert sample_transactions(tiny_db, 0.5, seed=0).catalog is tiny_db.catalog
+
+
+class TestSelections:
+    def test_time_window(self, tiny_db):
+        selected = select_time_window(
+            tiny_db, datetime(2026, 3, 3), datetime(2026, 3, 5)
+        )
+        assert len(selected) == 2
+
+    def test_calendar(self, tiny_db):
+        # tiny_db spans Mon..Fri 2026-03-02..06
+        weekdays = select_calendar(tiny_db, CalendarPattern.parse("weekday=0|1"))
+        assert len(weekdays) == 2
+
+    def test_select_items(self, tiny_db):
+        with_beer = select_items(tiny_db, ["beer"])
+        assert len(with_beer) == 2
+
+    def test_select_items_unknown_label(self, tiny_db):
+        assert len(select_items(tiny_db, ["ghost"])) == 0
+
+    def test_select_items_union_semantics(self, tiny_db):
+        # beer or milk: all transactions except {bread, butter}
+        either = select_items(tiny_db, ["beer", "milk"])
+        assert len(either) == 4
+
+    def test_head(self, tiny_db):
+        first_two = head(tiny_db, 2)
+        assert len(first_two) == 2
+        assert first_two[0].timestamp <= first_two[1].timestamp
+
+    def test_head_negative(self, tiny_db):
+        with pytest.raises(MiningParameterError):
+            head(tiny_db, -1)
+
+    def test_head_larger_than_db(self, tiny_db):
+        assert len(head(tiny_db, 100)) == len(tiny_db)

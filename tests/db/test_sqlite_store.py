@@ -1,0 +1,149 @@
+"""Unit tests for the SQLite transaction store."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core.transactions import TransactionDatabase
+from repro.db.sqlite_store import SqliteStore, load_csv
+from repro.errors import DatabaseError, SchemaError
+
+
+@pytest.fixture
+def store():
+    with SqliteStore(":memory:") as s:
+        yield s
+
+
+class TestInsert:
+    def test_insert_and_count(self, store):
+        tid = store.insert_transaction(datetime(2026, 1, 1), ["bread", "milk"])
+        assert tid == 1
+        assert store.count_transactions() == 1
+        assert store.count_items() == 2
+
+    def test_duplicate_items_collapse(self, store):
+        store.insert_transaction(datetime(2026, 1, 1), ["bread", "bread"])
+        db = store.load_database()
+        assert len(db[0].items) == 1
+
+    def test_empty_transaction_rejected(self, store):
+        with pytest.raises(DatabaseError):
+            store.insert_transaction(datetime(2026, 1, 1), [])
+
+    def test_duplicate_tid_rejected(self, store):
+        store.insert_transaction(datetime(2026, 1, 1), ["a"], tid=7)
+        with pytest.raises(DatabaseError):
+            store.insert_transaction(datetime(2026, 1, 2), ["a"], tid=7)
+
+    def test_insert_many(self, store):
+        count = store.insert_many(
+            [
+                (datetime(2026, 1, 1), ["a", "b"]),
+                (datetime(2026, 1, 2), ["c"]),
+                (datetime(2026, 1, 3), []),  # skipped
+            ]
+        )
+        assert count == 2
+        assert store.count_transactions() == 2
+
+    def test_clear(self, store):
+        store.insert_transaction(datetime(2026, 1, 1), ["a"])
+        store.clear()
+        assert store.count_transactions() == 0
+
+
+class TestRoundTrip:
+    def test_save_and_load_database(self, store, tiny_db):
+        written = store.save_database(tiny_db)
+        assert written == 5
+        loaded = store.load_database()
+        assert len(loaded) == len(tiny_db)
+        original = [(t.timestamp, tiny_db.catalog.decode(t.items)) for t in tiny_db]
+        reloaded = [(t.timestamp, loaded.catalog.decode(t.items)) for t in loaded]
+        assert original == reloaded
+
+    def test_save_replace(self, store, tiny_db):
+        store.insert_transaction(datetime(2000, 1, 1), ["old"])
+        store.save_database(tiny_db, replace=True)
+        assert store.count_transactions() == 5
+
+    def test_load_with_where(self, store, tiny_db):
+        store.save_database(tiny_db)
+        loaded = store.load_database(where="ts >= ?", parameters=("2026-03-04",))
+        assert len(loaded) == 3
+
+    def test_load_bad_where_raises(self, store):
+        with pytest.raises(DatabaseError):
+            store.load_database(where="nonsense !!")
+
+    def test_time_span(self, store, tiny_db):
+        assert store.time_span() is None
+        store.save_database(tiny_db)
+        start, end = store.time_span()
+        assert start == datetime(2026, 3, 2)
+        assert end == datetime(2026, 3, 6)
+
+    def test_load_with_shared_catalog(self, store, tiny_db):
+        store.save_database(tiny_db)
+        loaded = store.load_database(catalog=tiny_db.catalog)
+        assert loaded.catalog is tiny_db.catalog
+
+
+class TestCsvLoader:
+    def test_load_csv(self, store, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text(
+            "tid,ts,item\n"
+            "1,2026-01-01T09:00:00,bread\n"
+            "1,2026-01-01T09:00:00,milk\n"
+            "2,2026-01-02T10:30:00,beer\n"
+        )
+        assert load_csv(store, path) == 2
+        db = store.load_database()
+        assert len(db) == 2
+        assert db.catalog.decode(db[0].items) == ("bread", "milk")
+
+    def test_missing_column_raises(self, store, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("id,when,what\n1,2026-01-01,x\n")
+        with pytest.raises(SchemaError):
+            load_csv(store, path)
+
+
+class TestLifecycle:
+    def test_persistence_on_disk(self, tmp_path, tiny_db):
+        path = tmp_path / "store.db"
+        with SqliteStore(path) as store:
+            store.save_database(tiny_db)
+        with SqliteStore(path) as reopened:
+            assert reopened.count_transactions() == 5
+
+    def test_bad_path_raises(self):
+        with pytest.raises(DatabaseError):
+            SqliteStore("/nonexistent-dir/zzz/store.db")
+
+
+class TestFailureInjection:
+    def test_malformed_timestamp_row(self, store):
+        """Rows corrupted outside the library surface as DatabaseError,
+        not a bare ValueError."""
+        store.connection.execute(
+            "INSERT INTO transactions (tid, ts, item) VALUES (1, 'last tuesday', 'x')"
+        )
+        store.connection.commit()
+        with pytest.raises(DatabaseError) as exc_info:
+            store.load_database()
+        assert "malformed timestamp" in str(exc_info.value)
+
+    def test_mixed_good_and_bad_rows(self, store, tiny_db):
+        store.save_database(tiny_db)
+        store.connection.execute(
+            "INSERT INTO transactions (tid, ts, item) VALUES (999, '????', 'x')"
+        )
+        store.connection.commit()
+        with pytest.raises(DatabaseError):
+            store.load_database()
+        # A WHERE clause that excludes the bad row loads cleanly.
+        loaded = store.load_database(where="tid < 999")
+        assert len(loaded) == len(tiny_db)

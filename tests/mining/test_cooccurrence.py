@@ -1,0 +1,98 @@
+"""Unit tests for co-temporal rule grouping."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.errors import MiningParameterError
+from repro.mining import RuleThresholds, TemporalMiner, ValidPeriodTask
+from repro.mining.cooccurrence import (
+    cotemporal_groups,
+    describe_groups,
+    period_interval_set,
+    temporal_jaccard,
+)
+from repro.temporal import Granularity, IntervalSet, TimeInterval
+
+
+def iset(*day_pairs, month=1):
+    return IntervalSet(
+        TimeInterval(datetime(2026, month, a), datetime(2026, month, b))
+        for a, b in day_pairs
+    )
+
+
+class TestTemporalJaccard:
+    def test_identical(self):
+        assert temporal_jaccard(iset((1, 10)), iset((1, 10))) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert temporal_jaccard(iset((1, 5)), iset((6, 9))) == 0.0
+
+    def test_partial(self):
+        assert temporal_jaccard(iset((1, 5)), iset((1, 9))) == pytest.approx(0.5)
+
+    def test_both_empty(self):
+        assert temporal_jaccard(IntervalSet(), IntervalSet()) == 0.0
+
+
+class TestGrouping:
+    @pytest.fixture(scope="class")
+    def report(self, seasonal_data):
+        miner = TemporalMiner(seasonal_data.database)
+        return miner.valid_periods(
+            ValidPeriodTask(
+                granularity=Granularity.MONTH,
+                thresholds=RuleThresholds(0.25, 0.6),
+                min_coverage=2,
+                max_rule_size=2,
+            )
+        )
+
+    def test_every_rule_in_exactly_one_group(self, report):
+        groups = cotemporal_groups(report)
+        keys = [key for group in groups for key in group.keys]
+        assert len(keys) == len(report)
+        assert len(set(keys)) == len(keys)
+
+    def test_mirror_rules_grouped_together(self, report, seasonal_data):
+        """a=>b and b=>a have identical periods: one group."""
+        catalog = seasonal_data.database.catalog
+        groups = cotemporal_groups(report)
+        for group in groups:
+            rendered = {key.format(catalog) for key in group.keys}
+            if "{season0_a} => {season0_b}" in rendered:
+                assert "{season0_b} => {season0_a}" in rendered
+
+    def test_distinct_seasons_not_grouped(self, report, seasonal_data):
+        catalog = seasonal_data.database.catalog
+        groups = cotemporal_groups(report)
+        for group in groups:
+            rendered = {key.format(catalog) for key in group.keys}
+            has0 = any("season0" in text for text in rendered)
+            has2 = any("season2" in text for text in rendered)
+            assert not (has0 and has2), rendered
+
+    def test_extent_covers_member_periods(self, report):
+        groups = cotemporal_groups(report)
+        by_key = {record.key: record for record in report}
+        for group in groups:
+            for key in group.keys:
+                member_extent = period_interval_set(by_key[key])
+                for interval in member_extent:
+                    assert group.extent.covers(interval)
+
+    def test_similarity_threshold_validation(self, report):
+        with pytest.raises(MiningParameterError):
+            cotemporal_groups(report, min_similarity=0.0)
+
+    def test_low_threshold_merges_more(self, report):
+        strict = cotemporal_groups(report, min_similarity=0.95)
+        loose = cotemporal_groups(report, min_similarity=0.05)
+        assert len(loose) <= len(strict)
+
+    def test_describe(self, report, seasonal_data):
+        groups = cotemporal_groups(report)
+        text = describe_groups(groups, seasonal_data.database.catalog)
+        assert "season0_a" in text
+        assert describe_groups([]) == "(no co-temporal groups)"

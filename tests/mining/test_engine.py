@@ -1,0 +1,98 @@
+"""Unit tests for the TemporalMiner facade."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.mining.engine import TemporalMiner
+from repro.mining.tasks import (
+    ConstrainedTask,
+    PeriodicityTask,
+    RuleThresholds,
+    ValidPeriodTask,
+)
+from repro.temporal import Granularity, TimeInterval
+
+
+class TestContextCaching:
+    def test_context_is_cached_per_granularity(self, seasonal_data):
+        miner = TemporalMiner(seasonal_data.database)
+        first = miner.context(Granularity.MONTH)
+        second = miner.context(Granularity.MONTH)
+        assert first is second
+        assert miner.context(Granularity.DAY) is not first
+
+    def test_invalidate_clears_cache(self, seasonal_data):
+        miner = TemporalMiner(seasonal_data.database)
+        first = miner.context(Granularity.MONTH)
+        miner.invalidate()
+        assert miner.context(Granularity.MONTH) is not first
+
+
+class TestDispatch:
+    def test_valid_periods(self, seasonal_data):
+        miner = TemporalMiner(seasonal_data.database)
+        report = miner.valid_periods(
+            ValidPeriodTask(
+                granularity=Granularity.MONTH,
+                thresholds=RuleThresholds(0.2, 0.6),
+                max_rule_size=2,
+            )
+        )
+        assert report.task_name == "valid_periods"
+        assert len(report) >= 2
+
+    def test_periodicities_generic_and_interleaved(self, periodic_data):
+        miner = TemporalMiner(periodic_data.database)
+        task = PeriodicityTask(
+            granularity=Granularity.DAY,
+            thresholds=RuleThresholds(0.25, 0.6),
+            max_period=8,
+            min_repetitions=5,
+            max_rule_size=2,
+        )
+        generic = miner.periodicities(task)
+        fast = miner.periodicities(task, interleaved=True)
+        assert {(f.key, f.periodicity.period, f.periodicity.offset) for f in generic} == {
+            (f.key, f.periodicity.period, f.periodicity.offset) for f in fast
+        }
+
+    def test_with_feature(self, seasonal_data):
+        miner = TemporalMiner(seasonal_data.database)
+        report = miner.with_feature(
+            ConstrainedTask(
+                feature=TimeInterval(datetime(2025, 6, 1), datetime(2025, 9, 1)),
+                thresholds=RuleThresholds(0.3, 0.6),
+                max_rule_size=2,
+            )
+        )
+        assert report.task_name == "constrained"
+        assert len(report) >= 2
+
+    def test_same_miner_runs_all_three_tasks(self, seasonal_data):
+        miner = TemporalMiner(seasonal_data.database)
+        thresholds = RuleThresholds(0.25, 0.6)
+        vp = miner.valid_periods(
+            ValidPeriodTask(
+                granularity=Granularity.MONTH, thresholds=thresholds, max_rule_size=2
+            )
+        )
+        p = miner.periodicities(
+            PeriodicityTask(
+                granularity=Granularity.MONTH,
+                thresholds=thresholds,
+                max_period=6,
+                min_repetitions=2,
+                max_rule_size=2,
+            )
+        )
+        cf = miner.with_feature(
+            ConstrainedTask(
+                feature=TimeInterval(datetime(2025, 6, 1), datetime(2025, 9, 1)),
+                thresholds=thresholds,
+                max_rule_size=2,
+            )
+        )
+        assert vp.task_name == "valid_periods"
+        assert p.task_name == "periodicities"
+        assert cf.task_name == "constrained"

@@ -1,0 +1,87 @@
+"""Unit tests for multi-granularity discovery."""
+
+import pytest
+
+from repro.core.items import Itemset
+from repro.core.rulegen import RuleKey
+from repro.errors import MiningParameterError
+from repro.mining import RuleThresholds, ValidPeriodTask
+from repro.mining.granularity_search import (
+    DEFAULT_LADDER,
+    describe_findings,
+    discover_across_granularities,
+)
+from repro.temporal import Granularity
+
+
+def task(**overrides):
+    defaults = dict(
+        granularity=Granularity.MONTH,  # overridden by the ladder
+        thresholds=RuleThresholds(0.25, 0.6),
+        min_coverage=2,
+        max_rule_size=2,
+    )
+    defaults.update(overrides)
+    return ValidPeriodTask(**defaults)
+
+
+class TestLadder:
+    def test_empty_ladder_rejected(self, seasonal_data):
+        with pytest.raises(MiningParameterError):
+            discover_across_granularities(seasonal_data.database, task(), ladder=())
+
+    def test_seasonal_rule_attributed_to_month(self, seasonal_data):
+        db = seasonal_data.database
+        findings, reports = discover_across_granularities(db, task())
+        catalog = db.catalog
+        season0 = RuleKey(
+            Itemset([catalog.id("season0_a")]), Itemset([catalog.id("season0_b")])
+        )
+        by_key = {f.record.key: f for f in findings}
+        assert season0 in by_key
+        assert by_key[season0].granularity is Granularity.MONTH
+        assert set(reports) == set(DEFAULT_LADDER)
+
+    def test_weekend_rule_needs_day_granularity(self, periodic_data):
+        db = periodic_data.database
+        findings, reports = discover_across_granularities(
+            db, task(thresholds=RuleThresholds(0.3, 0.6))
+        )
+        catalog = db.catalog
+        weekend = RuleKey(
+            Itemset([catalog.id("weekend_a")]), Itemset([catalog.id("weekend_b")])
+        )
+        by_key = {f.record.key: f for f in findings}
+        assert weekend in by_key
+        # No valid month or week exists for a weekend-only rule; only
+        # days qualify.
+        assert by_key[weekend].granularity is Granularity.DAY
+        month_keys = {r.key for r in reports[Granularity.MONTH]}
+        assert weekend not in month_keys
+
+    def test_each_rule_reported_once(self, seasonal_data):
+        findings, _reports = discover_across_granularities(
+            seasonal_data.database, task()
+        )
+        keys = [f.record.key for f in findings]
+        assert len(keys) == len(set(keys))
+
+    def test_findings_sorted(self, seasonal_data):
+        findings, _ = discover_across_granularities(seasonal_data.database, task())
+        keys = [
+            (f.record.key.antecedent.items, f.record.key.consequent.items)
+            for f in findings
+        ]
+        assert keys == sorted(keys)
+
+
+class TestDescribe:
+    def test_grouped_rendering(self, seasonal_data):
+        db = seasonal_data.database
+        findings, _ = discover_across_granularities(db, task())
+        text = describe_findings(findings, db.catalog)
+        assert "at month granularity:" in text
+        assert "season0_a" in text
+
+    def test_empty(self):
+        assert describe_findings([]) == "(no temporal rules found)"

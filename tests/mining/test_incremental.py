@@ -1,0 +1,219 @@
+"""Unit tests for incremental valid-period maintenance."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.baselines import sequential_valid_periods
+from repro.core.transactions import TransactionDatabase
+from repro.errors import MiningParameterError, TransactionError
+from repro.mining import RuleThresholds, ValidPeriodTask
+from repro.mining.incremental import IncrementalValidPeriodMiner
+from repro.temporal import Granularity
+
+
+TASK = ValidPeriodTask(
+    granularity=Granularity.DAY,
+    thresholds=RuleThresholds(0.4, 0.7),
+    min_coverage=2,
+    max_rule_size=2,
+)
+
+
+def summarize(report):
+    return {
+        (record.key, tuple((p.first_unit, p.last_unit) for p in record.periods))
+        for record in report
+    }
+
+
+def feed(miner, db):
+    for transaction in db:
+        miner.append(
+            transaction.timestamp,
+            list(db.catalog.decode(transaction.items)),
+        )
+
+
+class TestValidation:
+    def test_rejects_gap_tolerance(self):
+        task = ValidPeriodTask(
+            granularity=Granularity.DAY,
+            thresholds=RuleThresholds(0.4, 0.7),
+            min_frequency=0.8,
+        )
+        with pytest.raises(MiningParameterError):
+            IncrementalValidPeriodMiner(task)
+
+    def test_rejects_out_of_order(self):
+        miner = IncrementalValidPeriodMiner(TASK)
+        miner.append(datetime(2026, 1, 2), ["a", "b"])
+        with pytest.raises(TransactionError):
+            miner.append(datetime(2026, 1, 1), ["a", "b"])
+
+    def test_rejects_bad_item(self):
+        miner = IncrementalValidPeriodMiner(TASK)
+        with pytest.raises(TransactionError):
+            miner.append(datetime(2026, 1, 1), [2.5])
+
+
+class TestEquivalenceWithBatch:
+    def test_matches_from_scratch(self, periodic_data):
+        db = periodic_data.database
+        # Keep it quick: first 40 days only.
+        start, _ = db.time_span()
+        window = db.between(start, start + timedelta(days=40))
+        miner = IncrementalValidPeriodMiner(TASK, catalog=window.catalog)
+        feed(miner, window)
+        incremental = miner.report()
+        reference = sequential_valid_periods(window, TASK)
+        assert summarize(incremental) == summarize(reference)
+        assert incremental.n_transactions == len(window)
+
+    def test_report_is_idempotent(self, periodic_data):
+        db = periodic_data.database
+        start, _ = db.time_span()
+        window = db.between(start, start + timedelta(days=20))
+        miner = IncrementalValidPeriodMiner(TASK, catalog=window.catalog)
+        feed(miner, window)
+        first = miner.report()
+        second = miner.report()
+        assert summarize(first) == summarize(second)
+
+    def test_growth_in_batches_matches_one_shot(self, periodic_data):
+        db = periodic_data.database
+        start, _ = db.time_span()
+        window = db.between(start, start + timedelta(days=30))
+        batched = IncrementalValidPeriodMiner(TASK, catalog=window.catalog)
+        transactions = list(window)
+        third = len(transactions) // 3
+        for chunk in (
+            transactions[:third],
+            transactions[third : 2 * third],
+            transactions[2 * third :],
+        ):
+            batched.append_batch(
+                (t.timestamp, list(window.catalog.decode(t.items))) for t in chunk
+            )
+            batched.report()  # interleaved reporting must not corrupt state
+        reference = sequential_valid_periods(window, TASK)
+        assert summarize(batched.report()) == summarize(reference)
+
+
+class TestIncrementalBehaviour:
+    def test_new_unit_extends_runs(self):
+        miner = IncrementalValidPeriodMiner(TASK)
+        base = datetime(2026, 4, 6)
+        for day in range(2):
+            for _ in range(5):
+                miner.append(base + timedelta(days=day), ["a", "b"])
+        first = miner.report()
+        assert len(first) == 2  # a=>b and b=>a over a 2-day run
+        # A third day extends the same maximal period.
+        for _ in range(5):
+            miner.append(base + timedelta(days=2), ["a", "b"])
+        second = miner.report()
+        spans = {periods for _k, periods in summarize(second)}
+        assert all(last - first_ == 2 for ((first_, last),) in spans)
+
+    def test_only_dirty_units_recomputed(self):
+        miner = IncrementalValidPeriodMiner(TASK)
+        base = datetime(2026, 4, 6)
+        for day in range(5):
+            for _ in range(4):
+                miner.append(base + timedelta(days=day), ["a", "b"])
+        miner.report()
+        # Appending to a new day marks exactly one unit dirty.
+        miner.append(base + timedelta(days=5), ["a", "b"])
+        assert len(miner._dirty) == 1
+        refreshed = miner._refresh_dirty_units()
+        assert refreshed == 1
+
+    def test_empty_report(self):
+        miner = IncrementalValidPeriodMiner(TASK)
+        report = miner.report()
+        assert len(report) == 0
+        assert report.n_units == 0
+
+    def test_counts_properties(self):
+        miner = IncrementalValidPeriodMiner(TASK)
+        assert miner.n_transactions == 0
+        assert miner.n_units == 0
+        miner.append(datetime(2026, 4, 6), ["a", "b"])
+        miner.append(datetime(2026, 4, 9), ["a", "b"])
+        assert miner.n_transactions == 2
+        assert miner.n_units == 4  # spans 4 days including empty ones
+
+
+class TestIncrementalPeriodicities:
+    def test_requires_periodicity_task(self):
+        from repro.mining.incremental import IncrementalPeriodicityMiner
+
+        with pytest.raises(MiningParameterError):
+            IncrementalPeriodicityMiner(TASK)  # a ValidPeriodTask
+
+    def test_matches_sequential(self, periodic_data):
+        from repro.baselines import sequential_periodicities
+        from repro.mining.incremental import IncrementalPeriodicityMiner
+        from repro.mining.tasks import PeriodicityTask
+
+        db = periodic_data.database
+        start, _ = db.time_span()
+        window = db.between(start, start + timedelta(days=35))
+        task = PeriodicityTask(
+            granularity=Granularity.DAY,
+            thresholds=RuleThresholds(0.35, 0.7),
+            max_period=8,
+            min_repetitions=4,
+            max_rule_size=2,
+        )
+        miner = IncrementalPeriodicityMiner(task, catalog=window.catalog)
+        for transaction in window:
+            miner.append(
+                transaction.timestamp,
+                list(window.catalog.decode(transaction.items)),
+            )
+        incremental = miner.periodicity_report()
+        reference = sequential_periodicities(window, task)
+
+        def cycles(report):
+            return {
+                (f.key, f.periodicity.period, f.periodicity.offset,
+                 f.n_member_units, f.n_valid_units)
+                for f in report
+                if hasattr(f.periodicity, "period")
+            }
+
+        assert cycles(incremental) == cycles(reference)
+
+    def test_grows_with_stream(self, periodic_data):
+        from repro.mining.incremental import IncrementalPeriodicityMiner
+        from repro.mining.tasks import PeriodicityTask
+
+        db = periodic_data.database
+        start, _ = db.time_span()
+        task = PeriodicityTask(
+            granularity=Granularity.DAY,
+            thresholds=RuleThresholds(0.35, 0.7),
+            max_period=8,
+            min_repetitions=4,
+            max_rule_size=2,
+        )
+        miner = IncrementalPeriodicityMiner(task, catalog=db.catalog)
+        # 28 days give a weekly cycle its four required repetitions.
+        first_half = db.between(start, start + timedelta(days=28))
+        for transaction in first_half:
+            miner.append(
+                transaction.timestamp, list(db.catalog.decode(transaction.items))
+            )
+        early = miner.periodicity_report()
+        second_half = db.between(
+            start + timedelta(days=28), start + timedelta(days=56)
+        )
+        for transaction in second_half:
+            miner.append(
+                transaction.timestamp, list(db.catalog.decode(transaction.items))
+            )
+        late = miner.periodicity_report()
+        assert late.n_units > early.n_units
+        assert len(late) >= len(early) > 0

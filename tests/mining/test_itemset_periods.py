@@ -1,0 +1,92 @@
+"""Unit tests for itemset-level valid-period discovery."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core.items import Itemset
+from repro.mining import RuleThresholds, ValidPeriodTask
+from repro.mining.itemset_periods import discover_itemset_periods
+from repro.temporal import Granularity
+
+
+def task(**overrides):
+    defaults = dict(
+        granularity=Granularity.MONTH,
+        thresholds=RuleThresholds(0.25, 0.6),
+        min_coverage=2,
+        max_rule_size=2,
+    )
+    defaults.update(overrides)
+    return ValidPeriodTask(**defaults)
+
+
+class TestDiscovery:
+    def test_finds_embedded_bundle(self, seasonal_data):
+        db = seasonal_data.database
+        report = discover_itemset_periods(db, task())
+        catalog = db.catalog
+        bundle = Itemset([catalog.id("season0_a"), catalog.id("season0_b")])
+        by_itemset = {record.itemset: record for record in report}
+        assert bundle in by_itemset
+        period = by_itemset[bundle].periods[0]
+        assert period.interval.start == datetime(2025, 6, 1)
+        assert period.interval.end == datetime(2025, 9, 1)
+        assert period.temporal_support > 0.5
+
+    def test_min_size_excludes_singletons(self, seasonal_data):
+        report = discover_itemset_periods(seasonal_data.database, task(), min_size=2)
+        assert all(len(record.itemset) >= 2 for record in report)
+        inclusive = discover_itemset_periods(
+            seasonal_data.database, task(), min_size=1
+        )
+        assert any(len(record.itemset) == 1 for record in inclusive)
+        assert len(inclusive) > len(report)
+
+    def test_undirected_confidence_is_one(self, seasonal_data):
+        report = discover_itemset_periods(seasonal_data.database, task())
+        for record in report:
+            for period in record.periods:
+                assert period.temporal_confidence == 1.0
+
+    def test_periods_satisfy_thresholds(self, seasonal_data):
+        db = seasonal_data.database
+        report = discover_itemset_periods(db, task())
+        for record in report:
+            for period in record.periods:
+                assert period.n_units >= 2
+                assert period.frequency == 1.0
+                # temporal support over the window meets min_support
+                window = db.between(period.interval.start, period.interval.end)
+                assert window.support(record.itemset) == pytest.approx(
+                    period.temporal_support
+                )
+
+    def test_report_metadata_and_format(self, seasonal_data):
+        db = seasonal_data.database
+        report = discover_itemset_periods(db, task())
+        assert report.task_name == "itemset_periods"
+        text = report.format(db.catalog)
+        assert "season0_a" in text
+
+    def test_consistent_with_rule_level(self, seasonal_data):
+        """Every rule-level finding implies an itemset-level finding with
+        the same or wider periods (support is weaker than support+conf)."""
+        from repro.mining import discover_valid_periods
+
+        db = seasonal_data.database
+        the_task = task()
+        rule_report = discover_valid_periods(db, the_task)
+        itemset_report = discover_itemset_periods(db, the_task)
+        itemset_periods = {
+            record.itemset: record.periods for record in itemset_report
+        }
+        for record in rule_report:
+            full = record.key.itemset
+            assert full in itemset_periods
+            for rule_period in record.periods:
+                assert any(
+                    ip.first_unit <= rule_period.first_unit
+                    and rule_period.last_unit <= ip.last_unit
+                    for ip in itemset_periods[full]
+                )

@@ -1,0 +1,252 @@
+"""Unit tests for Task 2 — periodicity discovery."""
+
+import numpy as np
+import pytest
+
+from repro.core.items import Itemset
+from repro.core.rulegen import RuleKey
+from repro.errors import MiningParameterError
+from repro.mining.periodicities import (
+    cycles_of_sequence,
+    discover_cyclic_interleaved,
+    discover_periodicities,
+    prune_submultiple_cycles,
+)
+from repro.mining.tasks import PeriodicityTask, RuleThresholds
+from repro.temporal import CalendarPattern, CalendricPeriodicity, CyclicPeriodicity, Granularity
+
+
+def seq(*flags):
+    return np.array(flags, dtype=bool)
+
+
+class TestCyclesOfSequence:
+    def test_exact_cycle(self):
+        # valid at offsets 1, 4, 7 with first_unit 0 -> (3, 1)
+        cycles = cycles_of_sequence(
+            seq(0, 1, 0, 0, 1, 0, 0, 1, 0), 0, max_period=4, min_repetitions=3,
+            min_match=1.0,
+        )
+        assert ((3, 1), 3, 3) in cycles
+
+    def test_absolute_offset_accounts_for_first_unit(self):
+        # same sequence but first absolute unit is 10: offset = (10+1) % 3 = 2
+        cycles = cycles_of_sequence(
+            seq(0, 1, 0, 0, 1, 0, 0, 1, 0), 10, max_period=3, min_repetitions=3,
+            min_match=1.0,
+        )
+        assert ((3, 2), 3, 3) in cycles
+
+    def test_min_repetitions(self):
+        flags = seq(1, 0, 0, 0, 0, 0, 0, 1)
+        cycles = cycles_of_sequence(flags, 0, 7, min_repetitions=3, min_match=1.0)
+        assert all(n >= 3 for _, n, _ in cycles)
+
+    def test_min_match_tolerates_misses(self):
+        # offsets 0, 3, 9 valid; 6 invalid: 3/4 members = 0.75
+        flags = seq(1, 0, 0, 1, 0, 0, 0, 0, 0, 1)
+        exact = cycles_of_sequence(flags, 0, 3, 2, 1.0)
+        approx = cycles_of_sequence(flags, 0, 3, 2, 0.75)
+        assert ((3, 0), 4, 3) not in exact
+        assert ((3, 0), 4, 3) in approx
+
+    def test_all_valid_gives_period_one(self):
+        cycles = cycles_of_sequence(seq(1, 1, 1, 1), 0, 2, 2, 1.0)
+        assert ((1, 0), 4, 4) in cycles
+
+    def test_empty_and_short_sequences(self):
+        assert cycles_of_sequence(seq(), 0, 3, 1, 1.0) == []
+        assert cycles_of_sequence(seq(1), 0, 3, 2, 1.0) == []
+
+    def test_member_counts_are_window_based(self):
+        flags = seq(1, 0, 1, 0, 1)  # 5 units, period 2 offset 0 -> 3 members
+        cycles = cycles_of_sequence(flags, 0, 2, 2, 1.0)
+        assert ((2, 0), 3, 3) in cycles
+
+
+class TestPruneSubmultiples:
+    def test_multiple_pruned(self):
+        cycles = [((7, 2), 10, 10), ((14, 2), 5, 5), ((14, 9), 5, 5)]
+        kept = prune_submultiple_cycles(cycles)
+        assert [c for c, _, _ in kept] == [(7, 2)]
+
+    def test_incongruent_offset_kept(self):
+        cycles = [((7, 2), 10, 10), ((14, 3), 5, 5)]
+        kept = prune_submultiple_cycles(cycles)
+        assert len(kept) == 2
+
+    def test_non_divisor_kept(self):
+        cycles = [((4, 1), 10, 10), ((6, 1), 7, 7)]
+        kept = prune_submultiple_cycles(cycles)
+        assert len(kept) == 2
+
+    def test_empty(self):
+        assert prune_submultiple_cycles([]) == []
+
+
+class TestDiscoverPeriodicities:
+    def test_finds_weekend_cycles(self, periodic_data):
+        db = periodic_data.database
+        task = PeriodicityTask(
+            granularity=Granularity.DAY,
+            thresholds=RuleThresholds(0.2, 0.6),
+            max_period=10,
+            min_repetitions=5,
+            max_rule_size=2,
+        )
+        report = discover_periodicities(db, task)
+        catalog = db.catalog
+        weekend = RuleKey(
+            Itemset([catalog.id("weekend_a")]), Itemset([catalog.id("weekend_b")])
+        )
+        cycles = {
+            (f.periodicity.period, f.periodicity.offset)
+            for f in report
+            if f.key == weekend and isinstance(f.periodicity, CyclicPeriodicity)
+        }
+        # Saturday = day-unit phase 2, Sunday = phase 3 (epoch is a Thursday)
+        assert (7, 2) in cycles
+        assert (7, 3) in cycles
+
+    def test_calendar_patterns_found(self, periodic_data):
+        db = periodic_data.database
+        task = PeriodicityTask(
+            granularity=Granularity.DAY,
+            thresholds=RuleThresholds(0.2, 0.6),
+            max_period=1,
+            min_repetitions=5,
+            min_match=0.9,
+            calendar_patterns=(CalendarPattern.parse("weekday=5|6"),),
+            max_rule_size=2,
+        )
+        report = discover_periodicities(db, task)
+        catalog = db.catalog
+        weekend = RuleKey(
+            Itemset([catalog.id("weekend_a")]), Itemset([catalog.id("weekend_b")])
+        )
+        calendric = [
+            f
+            for f in report
+            if f.key == weekend and isinstance(f.periodicity, CalendricPeriodicity)
+        ]
+        assert calendric
+        assert calendric[0].match_ratio >= 0.9
+
+    def test_incompatible_calendar_rejected(self):
+        with pytest.raises(MiningParameterError):
+            PeriodicityTask(
+                granularity=Granularity.MONTH,
+                thresholds=RuleThresholds(0.2, 0.6),
+                calendar_patterns=(CalendarPattern.parse("weekday=5"),),
+            )
+
+    def test_submultiple_pruning_effective(self, periodic_data):
+        db = periodic_data.database
+        base = dict(
+            granularity=Granularity.DAY,
+            thresholds=RuleThresholds(0.2, 0.6),
+            max_period=14,
+            min_repetitions=4,
+            max_rule_size=2,
+        )
+        pruned = discover_periodicities(db, PeriodicityTask(**base))
+        unpruned = discover_periodicities(
+            db, PeriodicityTask(prune_submultiples=False, **base)
+        )
+        assert len(pruned) < len(unpruned)
+        pruned_cycles = {
+            (f.key, f.periodicity.period, f.periodicity.offset)
+            for f in pruned
+            if isinstance(f.periodicity, CyclicPeriodicity)
+        }
+        # every pruned-away cycle is a submultiple of a kept one
+        for finding in unpruned:
+            if not isinstance(finding.periodicity, CyclicPeriodicity):
+                continue
+            identity = (
+                finding.key,
+                finding.periodicity.period,
+                finding.periodicity.offset,
+            )
+            if identity in pruned_cycles:
+                continue
+            assert any(
+                key == finding.key
+                and finding.periodicity.period % period == 0
+                and finding.periodicity.offset % period == offset
+                for key, period, offset in pruned_cycles
+            ), identity
+
+
+class TestInterleavedEquivalence:
+    def test_matches_generic_on_periodic_data(self, periodic_data):
+        db = periodic_data.database
+        task = PeriodicityTask(
+            granularity=Granularity.DAY,
+            thresholds=RuleThresholds(0.25, 0.6),
+            max_period=9,
+            min_repetitions=5,
+            max_rule_size=3,
+        )
+        generic = discover_periodicities(db, task)
+        interleaved = discover_cyclic_interleaved(db, task)
+
+        def identity(finding):
+            return (
+                finding.key,
+                finding.periodicity.period,
+                finding.periodicity.offset,
+                finding.n_member_units,
+                finding.n_valid_units,
+            )
+
+        generic_ids = {
+            identity(f) for f in generic if isinstance(f.periodicity, CyclicPeriodicity)
+        }
+        interleaved_ids = {identity(f) for f in interleaved}
+        assert generic_ids == interleaved_ids
+
+    def test_measures_match_generic(self, periodic_data):
+        db = periodic_data.database
+        task = PeriodicityTask(
+            granularity=Granularity.DAY,
+            thresholds=RuleThresholds(0.25, 0.6),
+            max_period=8,
+            min_repetitions=5,
+            max_rule_size=2,
+        )
+        generic = {
+            (f.key, f.periodicity.period, f.periodicity.offset): f
+            for f in discover_periodicities(db, task)
+        }
+        for finding in discover_cyclic_interleaved(db, task):
+            identity = (
+                finding.key,
+                finding.periodicity.period,
+                finding.periodicity.offset,
+            )
+            counterpart = generic[identity]
+            assert finding.temporal_support == pytest.approx(
+                counterpart.temporal_support
+            )
+            assert finding.temporal_confidence == pytest.approx(
+                counterpart.temporal_confidence
+            )
+
+    def test_rejects_approximate_match(self, periodic_data):
+        task = PeriodicityTask(
+            granularity=Granularity.DAY,
+            thresholds=RuleThresholds(0.25, 0.6),
+            min_match=0.8,
+        )
+        with pytest.raises(MiningParameterError):
+            discover_cyclic_interleaved(periodic_data.database, task)
+
+    def test_rejects_calendar_patterns(self, periodic_data):
+        task = PeriodicityTask(
+            granularity=Granularity.DAY,
+            thresholds=RuleThresholds(0.25, 0.6),
+            calendar_patterns=(CalendarPattern.parse("weekday=5|6"),),
+        )
+        with pytest.raises(MiningParameterError):
+            discover_cyclic_interleaved(periodic_data.database, task)

@@ -1,0 +1,232 @@
+"""Unit tests for temporal rule pruning."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core import apriori, generate_rules, mine_rules
+from repro.core.items import Itemset
+from repro.core.rulegen import AssociationRule, RuleKey
+from repro.core.transactions import TransactionDatabase
+from repro.errors import MiningParameterError
+from repro.mining import ConstrainedTask, RuleThresholds, TemporalMiner, ValidPeriodTask
+from repro.mining.pruning import (
+    PruningPolicy,
+    prune_constrained_report,
+    prune_rules,
+    prune_temporal_specializations,
+)
+from repro.temporal import Granularity, TimeInterval
+
+
+def make_rule(
+    antecedent,
+    consequent,
+    confidence,
+    support=0.1,
+    n=1000,
+    antecedent_support=None,
+    consequent_support=0.3,
+):
+    return AssociationRule(
+        antecedent=Itemset(antecedent),
+        consequent=Itemset(consequent),
+        support=support,
+        confidence=confidence,
+        support_count=int(support * n),
+        n_transactions=n,
+        antecedent_support=antecedent_support
+        if antecedent_support is not None
+        else support / confidence,
+        consequent_support=consequent_support,
+    )
+
+
+class TestPolicyValidation:
+    def test_bad_gamma(self):
+        with pytest.raises(MiningParameterError):
+            PruningPolicy(misleading_gamma=-1)
+
+    def test_bad_alpha(self):
+        with pytest.raises(MiningParameterError):
+            PruningPolicy(significance_alpha=0.0)
+
+    def test_bad_delta(self):
+        with pytest.raises(MiningParameterError):
+            PruningPolicy(interest_delta=-0.1)
+
+
+class TestMisleading:
+    def test_classic_example(self):
+        """xy => z at 0.60 is misleading when y => z has 0.80."""
+        specialized = make_rule([1, 2], [3], 0.60)
+        general = make_rule([2], [3], 0.80)
+        policy = PruningPolicy(misleading_gamma=1.0, significance_alpha=None)
+        outcome = prune_rules([specialized, general], policy)
+        assert specialized in outcome.misleading
+        assert general in outcome.kept
+
+    def test_not_misleading_when_specialization_stronger(self):
+        specialized = make_rule([1, 2], [3], 0.90)
+        general = make_rule([2], [3], 0.70)
+        policy = PruningPolicy(misleading_gamma=1.0, significance_alpha=None)
+        outcome = prune_rules([specialized, general], policy)
+        assert outcome.misleading == []
+
+    def test_gamma_raises_the_bar(self):
+        specialized = make_rule([1, 2], [3], 0.70)
+        general = make_rule([2], [3], 0.80)  # ratio 1.14
+        tight = PruningPolicy(misleading_gamma=1.25, significance_alpha=None)
+        loose = PruningPolicy(misleading_gamma=1.0, significance_alpha=None)
+        assert prune_rules([specialized, general], tight).misleading == []
+        assert specialized in prune_rules([specialized, general], loose).misleading
+
+    def test_empty_antecedent_generalization(self):
+        """A rule weaker than the consequent's base rate is misleading."""
+        rule = make_rule([1], [3], 0.25, consequent_support=0.5)
+        policy = PruningPolicy(misleading_gamma=1.0, significance_alpha=None)
+        outcome = prune_rules([rule], policy)
+        assert rule in outcome.misleading
+
+    def test_exact_confidences_from_frequent_itemsets(self, random_db):
+        frequent = apriori(random_db, 0.04)
+        rules = generate_rules(frequent, 0.3)
+        policy = PruningPolicy(misleading_gamma=1.0, significance_alpha=None)
+        outcome = prune_rules(rules, policy, frequent=frequent)
+        # verify each verdict against a direct computation
+        for rule in outcome.misleading:
+            found_stronger = False
+            for size in range(0, len(rule.antecedent)):
+                for subset in rule.antecedent.subsets_of_size(size):
+                    if size == 0:
+                        confidence = frequent.support(rule.consequent)
+                    else:
+                        count_x = frequent.count(subset)
+                        count_xy = frequent.count(subset.union(rule.consequent))
+                        if count_x == 0:
+                            continue
+                        confidence = count_xy / count_x
+                    if confidence > rule.confidence + 1e-12:
+                        found_stronger = True
+            assert found_stronger, rule
+
+
+class TestSignificance:
+    def test_independent_pair_pruned(self):
+        # supp(X)=0.3, supp(Y)=0.3, joint exactly at independence (0.09)
+        rule = make_rule(
+            [1], [2], confidence=0.3, support=0.09,
+            antecedent_support=0.3, consequent_support=0.3,
+        )
+        policy = PruningPolicy(misleading_gamma=0.0, significance_alpha=0.05)
+        outcome = prune_rules([rule], policy)
+        assert rule in outcome.insignificant
+
+    def test_correlated_pair_kept(self):
+        rule = make_rule(
+            [1], [2], confidence=0.9, support=0.27,
+            antecedent_support=0.3, consequent_support=0.3,
+        )
+        policy = PruningPolicy(misleading_gamma=0.0, significance_alpha=0.05)
+        outcome = prune_rules([rule], policy)
+        assert rule in outcome.kept
+
+    def test_alpha_none_disables(self):
+        rule = make_rule(
+            [1], [2], confidence=0.3, support=0.09,
+            antecedent_support=0.3, consequent_support=0.3,
+        )
+        policy = PruningPolicy(misleading_gamma=0.0, significance_alpha=None)
+        assert rule in prune_rules([rule], policy).kept
+
+
+class TestInterestPrune:
+    def test_redundant_specialization_pruned(self):
+        general = make_rule([2], [3], 0.80)
+        redundant = make_rule([1, 2], [3], 0.82)  # barely better
+        policy = PruningPolicy(
+            misleading_gamma=0.0, significance_alpha=None, interest_delta=1.25
+        )
+        outcome = prune_rules([general, redundant], policy)
+        assert general in outcome.kept
+        assert redundant in outcome.uninteresting
+
+    def test_genuinely_better_specialization_kept(self):
+        general = make_rule([2], [3], 0.50)
+        better = make_rule([1, 2], [3], 0.95)
+        policy = PruningPolicy(
+            misleading_gamma=0.0, significance_alpha=None, interest_delta=1.25
+        )
+        outcome = prune_rules([general, better], policy)
+        assert better in outcome.kept
+
+    def test_judged_against_kept_generalizations_only(self):
+        """If the direct parent was pruned, judge against the grandparent."""
+        grand = make_rule([3], [9], 0.60)
+        parent = make_rule([2, 3], [9], 0.62)   # pruned vs grand
+        child = make_rule([1, 2, 3], [9], 0.95)  # interesting vs grand
+        policy = PruningPolicy(
+            misleading_gamma=0.0, significance_alpha=None, interest_delta=1.25
+        )
+        outcome = prune_rules([grand, parent, child], policy)
+        assert parent in outcome.uninteresting
+        assert child in outcome.kept
+
+    def test_delta_zero_disables(self):
+        general = make_rule([2], [3], 0.80)
+        redundant = make_rule([1, 2], [3], 0.80)
+        policy = PruningPolicy(misleading_gamma=0.0, significance_alpha=None)
+        outcome = prune_rules([general, redundant], policy)
+        assert len(outcome.kept) == 2
+
+
+class TestReportPruning:
+    def test_prune_constrained_report(self, seasonal_data):
+        db = seasonal_data.database
+        miner = TemporalMiner(db)
+        report = miner.with_feature(
+            ConstrainedTask(
+                feature=TimeInterval(datetime(2025, 6, 1), datetime(2025, 9, 1)),
+                thresholds=RuleThresholds(0.1, 0.3),
+                max_rule_size=3,
+            )
+        )
+        policy = PruningPolicy(misleading_gamma=1.0, significance_alpha=0.05)
+        pruned, outcome = prune_constrained_report(report, policy)
+        assert len(pruned) == len(outcome.kept)
+        assert len(pruned) <= len(report)
+        assert pruned.task_name.endswith("(pruned)")
+
+    def test_prune_temporal_specializations(self, seasonal_data):
+        db = seasonal_data.database
+        miner = TemporalMiner(db)
+        report = miner.valid_periods(
+            ValidPeriodTask(
+                granularity=Granularity.MONTH,
+                thresholds=RuleThresholds(0.15, 0.6),
+                min_coverage=2,
+                max_rule_size=3,
+            )
+        )
+        slim = prune_temporal_specializations(report)
+        assert len(slim) <= len(report)
+        # every surviving multi-item-antecedent rule is NOT covered by a
+        # surviving generalization
+        kept_by_key = {r.key: r for r in slim}
+        for record in slim:
+            for size in range(1, len(record.key.antecedent)):
+                for subset in record.key.antecedent.subsets_of_size(size):
+                    parent = kept_by_key.get(
+                        RuleKey(subset, record.key.consequent)
+                    )
+                    if parent is None:
+                        continue
+                    covered = all(
+                        any(
+                            p.first_unit <= c.first_unit
+                            and c.last_unit <= p.last_unit
+                            for p in parent.periods
+                        )
+                        for c in record.periods
+                    )
+                    assert not covered

@@ -1,0 +1,141 @@
+"""Unit tests for rule enumeration and per-unit validity series."""
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.core.items import Itemset
+from repro.core.rulegen import RuleKey
+from repro.core.transactions import TransactionDatabase
+from repro.mining.context import TemporalContext, per_unit_frequent_itemsets
+from repro.mining.rulespace import (
+    candidate_rules,
+    enumerate_rule_splits,
+    rule_series,
+)
+
+
+class TestEnumerateRuleSplits:
+    def test_pair_splits(self):
+        keys = list(enumerate_rule_splits(Itemset([1, 2])))
+        assert set(keys) == {
+            RuleKey(Itemset([1]), Itemset([2])),
+            RuleKey(Itemset([2]), Itemset([1])),
+        }
+
+    def test_triple_unbounded(self):
+        keys = list(enumerate_rule_splits(Itemset([1, 2, 3])))
+        assert len(keys) == 6  # 2^3 - 2 = 6 non-trivial splits
+
+    def test_max_consequent(self):
+        keys = list(enumerate_rule_splits(Itemset([1, 2, 3]), max_consequent_size=1))
+        assert len(keys) == 3
+        assert all(len(k.consequent) == 1 for k in keys)
+
+    def test_singleton_has_no_splits(self):
+        assert list(enumerate_rule_splits(Itemset([1]))) == []
+
+    def test_sides_partition_itemset(self):
+        for key in enumerate_rule_splits(Itemset([1, 2, 3, 4])):
+            assert key.antecedent.isdisjoint(key.consequent)
+            assert key.antecedent.union(key.consequent) == Itemset([1, 2, 3, 4])
+
+
+@pytest.fixture
+def staged_db():
+    """Three days: rule {1}=>{2} holds on days 0 and 2 only."""
+    db = TransactionDatabase()
+    base = datetime(2026, 5, 4)
+    # Day 0: {1,2} in 3/4 transactions, conf 1.0
+    for _ in range(3):
+        db.add(base, [1, 2])
+    db.add(base, [3])
+    # Day 1: item 1 common but item 2 absent -> conf 0
+    for _ in range(4):
+        db.add(base + timedelta(days=1), [1, 3])
+    # Day 2: {1,2} again
+    for _ in range(3):
+        db.add(base + timedelta(days=2), [1, 2])
+    db.add(base + timedelta(days=2), [4])
+    return db
+
+
+class TestRuleSeries:
+    def test_validity_sequence(self, staged_db):
+        from repro.temporal import Granularity
+
+        context = TemporalContext(staged_db, Granularity.DAY)
+        counts = per_unit_frequent_itemsets(context, 0.5, min_units=1)
+        key = RuleKey(Itemset([1]), Itemset([2]))
+        series = rule_series(counts, key, min_confidence=0.8)
+        assert list(series.valid) == [True, False, True]
+        assert series.n_valid_units() == 2
+
+    def test_confidence_threshold_filters(self, staged_db):
+        from repro.temporal import Granularity
+
+        context = TemporalContext(staged_db, Granularity.DAY)
+        counts = per_unit_frequent_itemsets(context, 0.25, min_units=1)
+        # {2} => {1} holds with conf 1.0 on days 0/2
+        key = RuleKey(Itemset([2]), Itemset([1]))
+        series = rule_series(counts, key, min_confidence=1.0)
+        assert list(series.valid) == [True, False, True]
+
+    def test_temporal_measures(self, staged_db):
+        from repro.temporal import Granularity
+
+        context = TemporalContext(staged_db, Granularity.DAY)
+        counts = per_unit_frequent_itemsets(context, 0.5, min_units=1)
+        key = RuleKey(Itemset([1]), Itemset([2]))
+        series = rule_series(counts, key, min_confidence=0.5)
+        full = np.ones(3, dtype=bool)
+        # {1,2} occurs 6 times over 12 transactions
+        assert series.temporal_support(context.unit_sizes, full) == pytest.approx(0.5)
+        # antecedent {1} occurs 10 times
+        assert series.temporal_confidence(full) == pytest.approx(6 / 10)
+
+    def test_measures_empty_mask(self, staged_db):
+        from repro.temporal import Granularity
+
+        context = TemporalContext(staged_db, Granularity.DAY)
+        counts = per_unit_frequent_itemsets(context, 0.5, min_units=1)
+        key = RuleKey(Itemset([1]), Itemset([2]))
+        series = rule_series(counts, key, min_confidence=0.5)
+        empty = np.zeros(3, dtype=bool)
+        assert series.temporal_support(context.unit_sizes, empty) == 0.0
+        assert series.temporal_confidence(empty) == 0.0
+
+
+class TestCandidateRules:
+    def test_min_valid_units_filters(self, staged_db):
+        from repro.temporal import Granularity
+
+        context = TemporalContext(staged_db, Granularity.DAY)
+        counts = per_unit_frequent_itemsets(context, 0.5, min_units=1)
+        loose = candidate_rules(counts, 0.8, min_valid_units=1)
+        tight = candidate_rules(counts, 0.8, min_valid_units=3)
+        loose_keys = {s.key for s in loose}
+        tight_keys = {s.key for s in tight}
+        assert RuleKey(Itemset([1]), Itemset([2])) in loose_keys
+        assert RuleKey(Itemset([1]), Itemset([2])) not in tight_keys
+
+    def test_deterministic_order(self, random_db):
+        from repro.temporal import Granularity
+
+        context = TemporalContext(random_db, Granularity.DAY)
+        counts = per_unit_frequent_itemsets(context, 0.2)
+        first = [s.key for s in candidate_rules(counts, 0.5)]
+        second = [s.key for s in candidate_rules(counts, 0.5)]
+        assert first == second
+        assert first == sorted(
+            first, key=lambda k: (k.antecedent.items, k.consequent.items)
+        )
+
+    def test_max_consequent_respected(self, random_db):
+        from repro.temporal import Granularity
+
+        context = TemporalContext(random_db, Granularity.DAY)
+        counts = per_unit_frequent_itemsets(context, 0.2)
+        for series in candidate_rules(counts, 0.5, max_consequent_size=1):
+            assert len(series.key.consequent) == 1

@@ -1,0 +1,137 @@
+"""Unit tests for trend detection."""
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.core.items import Itemset
+from repro.datagen import EmbeddedTrend, TemporalDatasetSpec, generate_temporal_dataset
+from repro.datagen.quest import QuestConfig
+from repro.errors import MiningParameterError
+from repro.mining.trends import TrendFinding, detect_trends, fit_trend
+from repro.temporal import Granularity
+
+
+@pytest.fixture(scope="module")
+def trending_data():
+    spec = TemporalDatasetSpec(
+        quest=QuestConfig(n_transactions=4000, n_items=200, n_patterns=40, seed=3),
+        start=datetime(2025, 1, 1),
+        end=datetime(2026, 1, 1),
+        trends=(
+            EmbeddedTrend(("fad_a", "fad_b"), 0.02, 0.7),
+            EmbeddedTrend(("legacy_x",), 0.6, 0.05),
+        ),
+        seed=4,
+    )
+    return generate_temporal_dataset(spec)
+
+
+class TestFitTrend:
+    def test_perfect_line(self):
+        slope, r_squared, start, end = fit_trend(np.array([0.1, 0.2, 0.3, 0.4]))
+        assert slope == pytest.approx(0.1)
+        assert r_squared == pytest.approx(1.0)
+        assert start == pytest.approx(0.1)
+        assert end == pytest.approx(0.4)
+
+    def test_constant_series(self):
+        slope, r_squared, start, end = fit_trend(np.array([0.3, 0.3, 0.3]))
+        assert slope == 0.0
+        assert r_squared == 0.0
+        assert start == end == pytest.approx(0.3)
+
+    def test_noise_has_low_r2(self):
+        rng = np.random.default_rng(0)
+        series = rng.uniform(0.2, 0.4, size=50)
+        _slope, r_squared, _s, _e = fit_trend(series)
+        assert r_squared < 0.3
+
+    def test_short_series(self):
+        assert fit_trend(np.array([0.5])) == (0.0, 0.0, 0.5, 0.5)
+        assert fit_trend(np.array([])) == (0.0, 0.0, 0.0, 0.0)
+
+    def test_fitted_values_clamped(self):
+        # A steep fit can extrapolate past [0, 1]; outputs are clamped.
+        slope, _r2, start, end = fit_trend(np.array([0.0, 0.0, 0.5, 1.0]))
+        assert 0.0 <= start <= 1.0
+        assert 0.0 <= end <= 1.0
+
+
+class TestDetectTrends:
+    def test_embedded_trends_recovered(self, trending_data):
+        db = trending_data.database
+        catalog = db.catalog
+        report = detect_trends(
+            db, Granularity.MONTH, min_support=0.05, min_total_change=0.25
+        )
+        by_itemset = {f.itemset: f for f in report}
+        fad = Itemset([catalog.id("fad_a"), catalog.id("fad_b")])
+        legacy = Itemset([catalog.id("legacy_x")])
+        assert fad in by_itemset
+        assert by_itemset[fad].direction == "emerging"
+        assert by_itemset[fad].r_squared > 0.9
+        assert legacy in by_itemset
+        assert by_itemset[legacy].direction == "declining"
+
+    def test_background_items_not_reported(self, trending_data):
+        db = trending_data.database
+        report = detect_trends(
+            db, Granularity.MONTH, min_support=0.05, min_total_change=0.25
+        )
+        catalog = db.catalog
+        for finding in report:
+            labels = catalog.decode(finding.itemset)
+            assert any(
+                label.startswith(("fad", "legacy")) for label in labels
+            ), labels
+
+    def test_sorted_by_change(self, trending_data):
+        report = detect_trends(
+            trending_data.database, Granularity.MONTH, 0.05, min_total_change=0.1
+        )
+        changes = [abs(f.end_support - f.start_support) for f in report]
+        assert changes == sorted(changes, reverse=True)
+
+    def test_min_size(self, trending_data):
+        report = detect_trends(
+            trending_data.database,
+            Granularity.MONTH,
+            0.05,
+            min_total_change=0.25,
+            min_size=2,
+        )
+        assert all(len(f.itemset) >= 2 for f in report)
+
+    def test_validation(self, trending_data):
+        with pytest.raises(MiningParameterError):
+            detect_trends(
+                trending_data.database, Granularity.MONTH, 0.05, min_total_change=2.0
+            )
+        with pytest.raises(MiningParameterError):
+            detect_trends(
+                trending_data.database, Granularity.MONTH, 0.05, min_r_squared=-0.1
+            )
+
+    def test_flat_data_yields_nothing(self, seasonal_data):
+        """Seasonal bumps are not monotone trends: the r² gate rejects
+        them at month granularity."""
+        report = detect_trends(
+            seasonal_data.database,
+            Granularity.MONTH,
+            0.1,
+            min_total_change=0.3,
+            min_r_squared=0.7,
+        )
+        catalog = seasonal_data.database.catalog
+        for finding in report:
+            labels = catalog.decode(finding.itemset)
+            assert not any(label.startswith("season") for label in labels)
+
+    def test_format(self, trending_data):
+        report = detect_trends(
+            trending_data.database, Granularity.MONTH, 0.05, min_total_change=0.25
+        )
+        text = list(report)[0].format(trending_data.database.catalog)
+        assert "slope=" in text and "r2=" in text

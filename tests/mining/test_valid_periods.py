@@ -1,0 +1,224 @@
+"""Unit tests for Task 1 — valid-period discovery."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core.rulegen import RuleKey
+from repro.core.items import Itemset
+from repro.mining.results import ValidPeriodRule
+from repro.mining.tasks import RuleThresholds, ValidPeriodTask
+from repro.mining.valid_periods import discover_valid_periods, maximal_valid_windows
+from repro.temporal import Granularity, TimeInterval
+
+
+class TestMaximalWindowsExact:
+    """min_frequency == 1.0: maximal runs of consecutive valid units."""
+
+    def test_single_run(self):
+        assert maximal_valid_windows([0, 1, 1, 1, 0], 1.0, 2) == [(1, 3, 3)]
+
+    def test_multiple_runs(self):
+        assert maximal_valid_windows([1, 1, 0, 1, 1, 1], 1.0, 2) == [
+            (0, 1, 2),
+            (3, 5, 3),
+        ]
+
+    def test_min_coverage_filters_short_runs(self):
+        assert maximal_valid_windows([1, 0, 1, 1], 1.0, 2) == [(2, 3, 2)]
+
+    def test_min_coverage_one_keeps_singletons(self):
+        assert maximal_valid_windows([1, 0, 1], 1.0, 1) == [(0, 0, 1), (2, 2, 1)]
+
+    def test_all_valid(self):
+        assert maximal_valid_windows([1, 1, 1], 1.0, 2) == [(0, 2, 3)]
+
+    def test_none_valid(self):
+        assert maximal_valid_windows([0, 0, 0], 1.0, 1) == []
+
+    def test_empty_sequence(self):
+        assert maximal_valid_windows([], 1.0, 1) == []
+
+    def test_run_at_sequence_edges(self):
+        assert maximal_valid_windows([1, 1, 0, 0, 1, 1], 1.0, 2) == [
+            (0, 1, 2),
+            (4, 5, 2),
+        ]
+
+
+class TestMaximalWindowsWithGaps:
+    def test_gap_tolerated(self):
+        # whole window [0..5] has 5 valid of 6 = 0.833 >= 0.8 and absorbs
+        # both runs
+        assert maximal_valid_windows([1, 1, 0, 1, 1, 1], 0.8, 2) == [(0, 5, 5)]
+
+    def test_gap_not_tolerated_at_higher_threshold(self):
+        assert maximal_valid_windows([1, 1, 0, 1, 1, 1], 0.9, 2) == [
+            (0, 1, 2),
+            (3, 5, 3),
+        ]
+
+    def test_windows_start_and_end_valid(self):
+        flags = [0, 1, 1, 0, 1, 0, 0, 1, 1, 1, 0]
+        for start, end, _n in maximal_valid_windows(flags, 0.7, 2):
+            assert flags[start] == 1
+            assert flags[end] == 1
+
+    def test_maximality_no_containment(self):
+        flags = [1, 1, 0, 1, 1, 1, 0, 0, 1]
+        windows = maximal_valid_windows(flags, 0.75, 2)
+        for i, a in enumerate(windows):
+            for j, b in enumerate(windows):
+                if i != j:
+                    assert not (b[0] <= a[0] and a[1] <= b[1]), (a, b)
+
+    def test_windows_satisfy_thresholds(self):
+        flags = [1, 0, 1, 1, 0, 1, 1, 1, 0, 1]
+        for min_frequency in (0.6, 0.75, 0.9):
+            for min_coverage in (2, 3, 5):
+                for start, end, n_valid in maximal_valid_windows(
+                    flags, min_frequency, min_coverage
+                ):
+                    length = end - start + 1
+                    assert length >= min_coverage
+                    assert n_valid / length >= min_frequency - 1e-9
+                    assert sum(flags[start : end + 1]) == n_valid
+
+    def test_brute_force_equivalence(self):
+        """Cross-check against exhaustive window enumeration."""
+        import itertools
+        import random
+
+        rng = random.Random(3)
+        for _ in range(30):
+            n = rng.randrange(1, 14)
+            flags = [rng.random() < 0.5 for _ in range(n)]
+            min_frequency = rng.choice([0.5, 0.7, 0.9, 1.0])
+            min_coverage = rng.randrange(1, 5)
+            qualifying = set()
+            for i, j in itertools.combinations_with_replacement(range(n), 2):
+                if not (flags[i] and flags[j]):
+                    continue
+                length = j - i + 1
+                valid = sum(flags[i : j + 1])
+                if length >= min_coverage and valid / length >= min_frequency - 1e-9:
+                    qualifying.add((i, j, valid))
+            maximal = {
+                w
+                for w in qualifying
+                if not any(
+                    (o[0] <= w[0] and w[1] <= o[1] and (o[0], o[1]) != (w[0], w[1]))
+                    for o in qualifying
+                )
+            }
+            result = set(maximal_valid_windows(flags, min_frequency, min_coverage))
+            assert result == maximal, (flags, min_frequency, min_coverage)
+
+
+class TestDiscoverValidPeriods:
+    def test_finds_embedded_seasonal_rules(self, seasonal_data):
+        db = seasonal_data.database
+        task = ValidPeriodTask(
+            granularity=Granularity.MONTH,
+            thresholds=RuleThresholds(0.2, 0.6),
+            min_coverage=2,
+            max_rule_size=3,
+        )
+        report = discover_valid_periods(db, task)
+        catalog = db.catalog
+        season0 = RuleKey(
+            Itemset([catalog.id("season0_a")]), Itemset([catalog.id("season0_b")])
+        )
+        found = {r.key: r for r in report}
+        assert season0 in found
+        period = found[season0].periods[0]
+        # Embedded in Jun-Aug 2025
+        assert period.interval.start == datetime(2025, 6, 1)
+        assert period.interval.end == datetime(2025, 9, 1)
+        assert period.frequency == 1.0
+        assert period.temporal_confidence > 0.95
+
+    def test_periods_are_maximal(self, seasonal_data):
+        db = seasonal_data.database
+        task = ValidPeriodTask(
+            granularity=Granularity.MONTH,
+            thresholds=RuleThresholds(0.2, 0.6),
+            min_coverage=2,
+            max_rule_size=2,
+        )
+        report = discover_valid_periods(db, task)
+        for record in report:
+            for period in record.periods:
+                # no two periods of a rule touch or overlap
+                others = [p for p in record.periods if p is not period]
+                for other in others:
+                    assert (
+                        period.last_unit + 1 < other.first_unit
+                        or other.last_unit + 1 < period.first_unit
+                    )
+
+    def test_min_coverage_excludes_single_month(self, seasonal_data):
+        db = seasonal_data.database
+        catalog = db.catalog
+        # season1 is embedded in December only (1 month)
+        season1 = RuleKey(
+            Itemset([catalog.id("season1_a")]), Itemset([catalog.id("season1_b")])
+        )
+        wide = discover_valid_periods(
+            db,
+            ValidPeriodTask(
+                granularity=Granularity.MONTH,
+                thresholds=RuleThresholds(0.2, 0.6),
+                min_coverage=2,
+                max_rule_size=2,
+            ),
+        )
+        narrow = discover_valid_periods(
+            db,
+            ValidPeriodTask(
+                granularity=Granularity.MONTH,
+                thresholds=RuleThresholds(0.2, 0.6),
+                min_coverage=1,
+                max_rule_size=2,
+            ),
+        )
+        assert season1 not in {r.key for r in wide}
+        assert season1 in {r.key for r in narrow}
+
+    def test_report_metadata(self, seasonal_data):
+        db = seasonal_data.database
+        report = discover_valid_periods(
+            db,
+            ValidPeriodTask(
+                granularity=Granularity.MONTH,
+                thresholds=RuleThresholds(0.3, 0.6),
+                max_rule_size=2,
+            ),
+        )
+        assert report.task_name == "valid_periods"
+        assert report.n_transactions == len(db)
+        assert report.n_units == 12
+        assert report.elapsed_seconds > 0
+
+    def test_format(self, seasonal_data):
+        db = seasonal_data.database
+        report = discover_valid_periods(
+            db,
+            ValidPeriodTask(
+                granularity=Granularity.MONTH,
+                thresholds=RuleThresholds(0.2, 0.6),
+                max_rule_size=2,
+            ),
+        )
+        text = report.format(db.catalog)
+        assert "valid_periods" in text
+        assert "season0_a" in text
+
+    def test_min_valid_units_property(self):
+        task = ValidPeriodTask(
+            granularity=Granularity.DAY,
+            thresholds=RuleThresholds(0.1, 0.5),
+            min_frequency=0.75,
+            min_coverage=8,
+        )
+        assert task.min_valid_units == 6

@@ -1,0 +1,132 @@
+"""Unit tests for temporal holdout validation."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core.transactions import TransactionDatabase
+from repro.errors import MiningParameterError
+from repro.mining import PeriodicityTask, RuleThresholds, discover_periodicities
+from repro.mining.validation import (
+    generalization_rate,
+    holdout_split,
+    validate_periodicities,
+)
+from repro.temporal import Granularity
+
+
+TASK = PeriodicityTask(
+    granularity=Granularity.DAY,
+    thresholds=RuleThresholds(0.3, 0.6),
+    max_period=8,
+    min_repetitions=5,
+    max_rule_size=2,
+)
+
+
+class TestHoldoutSplit:
+    def test_split_covers_everything(self, periodic_data):
+        db = periodic_data.database
+        train, test = holdout_split(db, 0.7)
+        assert len(train) + len(test) == len(db)
+        assert len(train) > len(test) > 0
+        assert train.time_span()[1] <= test.time_span()[0]
+
+    def test_fraction_validation(self, periodic_data):
+        with pytest.raises(MiningParameterError):
+            holdout_split(periodic_data.database, 1.0)
+        with pytest.raises(MiningParameterError):
+            holdout_split(periodic_data.database, 0.0)
+
+    def test_split_is_by_time_not_volume(self):
+        """A back-loaded stream splits at the time midpoint regardless of
+        where the transactions bunch up."""
+        db = TransactionDatabase()
+        base = datetime(2026, 1, 1)
+        db.add(base, [1])
+        for i in range(99):
+            db.add(base + timedelta(days=90) + timedelta(hours=i), [1])
+        train, test = holdout_split(db, 0.5)
+        assert len(train) == 1
+        assert len(test) == 99
+
+
+class TestValidation:
+    def test_true_periodicity_generalizes(self, periodic_data):
+        db = periodic_data.database
+        train, test = holdout_split(db, 0.6)
+        report = discover_periodicities(train, TASK)
+        catalog = db.catalog
+        results = validate_periodicities(report, test, TASK)
+        assert len(results) == len(report)
+        weekend_results = [
+            r
+            for r in results
+            if "weekend" in r.finding.key.format(catalog)
+            and getattr(r.finding.periodicity, "period", None) == 7
+        ]
+        assert weekend_results
+        for result in weekend_results:
+            assert result.test_member_units > 0
+            assert result.test_match_ratio >= 0.8, result.format(catalog)
+
+    def test_spurious_periodicity_fails(self, periodic_data):
+        """A fabricated cycle that fit the train window by chance should
+        not survive the test window."""
+        from repro.core.items import Itemset
+        from repro.core.rulegen import RuleKey
+        from repro.mining.results import MiningReport, PeriodicityFinding
+        from repro.temporal import CyclicPeriodicity
+
+        db = periodic_data.database
+        train, test = holdout_split(db, 0.6)
+        catalog = db.catalog
+        fake = PeriodicityFinding(
+            key=RuleKey(
+                Itemset([catalog.id("weekend_a")]),
+                Itemset([catalog.id("payday_b")]),  # unrelated items
+            ),
+            periodicity=CyclicPeriodicity(5, 3, Granularity.DAY),
+            n_member_units=10,
+            n_valid_units=10,
+            match_ratio=1.0,
+            temporal_support=0.5,
+            temporal_confidence=1.0,
+        )
+        report = MiningReport(
+            task_name="periodicities",
+            results=(fake,),
+            n_transactions=len(train),
+            n_units=0,
+            elapsed_seconds=0.0,
+        )
+        (result,) = validate_periodicities(report, test, TASK)
+        assert result.test_match_ratio < 0.5
+        assert not result.generalizes(0.8)
+
+    def test_empty_test_window(self, periodic_data):
+        db = periodic_data.database
+        train, _ = holdout_split(db, 0.6)
+        report = discover_periodicities(train, TASK)
+        results = validate_periodicities(report, TransactionDatabase(), TASK)
+        assert all(r.test_member_units == 0 for r in results)
+        assert all(not r.generalizes(0.5) for r in results)
+
+    def test_generalization_rate(self, periodic_data):
+        db = periodic_data.database
+        train, test = holdout_split(db, 0.6)
+        report = discover_periodicities(train, TASK)
+        results = validate_periodicities(report, test, TASK)
+        rate = generalization_rate(results, min_match=0.7)
+        assert 0.0 < rate <= 1.0
+
+    def test_generalization_rate_empty(self):
+        assert generalization_rate([]) == 0.0
+
+    def test_format(self, periodic_data):
+        db = periodic_data.database
+        train, test = holdout_split(db, 0.6)
+        report = discover_periodicities(train, TASK)
+        results = validate_periodicities(report, test, TASK)
+        text = results[0].format(db.catalog)
+        assert "train_match" in text and "test_match" in text

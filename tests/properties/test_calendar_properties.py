@@ -1,0 +1,90 @@
+"""Property-based tests for calendar patterns and unit arithmetic."""
+
+from datetime import datetime, timedelta
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.temporal.calendar_algebra import CalendarExpression, CalendarPattern
+from repro.temporal.granularity import (
+    Granularity,
+    unit_bounds,
+    unit_index,
+    unit_start,
+)
+
+instants = st.datetimes(
+    min_value=datetime(1965, 1, 1), max_value=datetime(2080, 12, 31)
+)
+
+granularities = st.sampled_from(list(Granularity))
+
+patterns = st.builds(
+    CalendarPattern,
+    years=st.none() | st.frozensets(st.integers(2020, 2030), min_size=1, max_size=3),
+    months=st.none() | st.frozensets(st.integers(1, 12), min_size=1, max_size=4),
+    days=st.none() | st.frozensets(st.integers(1, 31), min_size=1, max_size=6),
+    weekdays=st.none() | st.frozensets(st.integers(0, 6), min_size=1, max_size=4),
+    hours=st.none() | st.frozensets(st.integers(0, 23), min_size=1, max_size=5),
+)
+
+
+@given(instants, granularities)
+def test_unit_index_bounds_invariant(instant, granularity):
+    index = unit_index(instant, granularity)
+    start, end = unit_bounds(index, granularity)
+    assert start <= instant < end
+
+
+@given(st.integers(-1900, 2000), granularities)  # keep YEAR within datetime's range
+def test_unit_start_roundtrip(index, granularity):
+    assert unit_index(unit_start(index, granularity), granularity) == index
+
+
+@given(patterns, instants)
+def test_match_definition(pattern, instant):
+    expected = True
+    if pattern.years is not None and instant.year not in pattern.years:
+        expected = False
+    if pattern.months is not None and instant.month not in pattern.months:
+        expected = False
+    if pattern.days is not None and instant.day not in pattern.days:
+        expected = False
+    if pattern.weekdays is not None and instant.weekday() not in pattern.weekdays:
+        expected = False
+    if pattern.hours is not None and instant.hour not in pattern.hours:
+        expected = False
+    assert pattern.matches_instant(instant) == expected
+
+
+@given(patterns)
+def test_format_parse_roundtrip(pattern):
+    text = pattern.format()
+    if text == "*":
+        reparsed = CalendarPattern.wildcard()
+    else:
+        reparsed = CalendarPattern.parse(text)
+    assert reparsed == pattern
+
+
+@given(patterns, st.integers(19000, 22000))
+def test_day_unit_matching_equals_instant_matching(pattern, day_index):
+    """At DAY granularity a unit matches iff its noon instant matches,
+    for patterns with no hour constraint."""
+    if pattern.hours is not None:
+        return
+    start, _ = unit_bounds(day_index, Granularity.DAY)
+    noon = start + timedelta(hours=12)
+    assert pattern.matches_unit(day_index, Granularity.DAY) == pattern.matches_instant(
+        noon
+    )
+
+
+@given(patterns, patterns, instants)
+def test_expression_boolean_semantics(left, right, instant):
+    a = CalendarExpression.of(left)
+    b = CalendarExpression.of(right)
+    la, lb = left.matches_instant(instant), right.matches_instant(instant)
+    assert a.union(b).matches_instant(instant) == (la or lb)
+    assert a.intersect(b).matches_instant(instant) == (la and lb)
+    assert a.difference(b).matches_instant(instant) == (la and not lb)

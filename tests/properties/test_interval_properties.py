@@ -1,0 +1,82 @@
+"""Property-based tests for the interval-set algebra (hypothesis).
+
+Interval sets are compared against a reference model: the set of hours
+covered (all endpoints are drawn on whole hours, so the finite model is
+exact).
+"""
+
+from datetime import datetime, timedelta
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.temporal.interval import IntervalSet, TimeInterval
+
+_BASE = datetime(2026, 1, 1)
+
+
+def _hour(offset: int) -> datetime:
+    return _BASE + timedelta(hours=offset)
+
+
+hour_intervals = st.tuples(
+    st.integers(min_value=0, max_value=100), st.integers(min_value=1, max_value=30)
+).map(lambda t: TimeInterval(_hour(t[0]), _hour(t[0] + t[1])))
+
+interval_sets = st.lists(hour_intervals, max_size=6).map(IntervalSet)
+
+
+def model(interval_set: IntervalSet) -> frozenset:
+    """The set of covered hour offsets (exact reference model)."""
+    hours = set()
+    for interval in interval_set:
+        offset = int((interval.start - _BASE).total_seconds() // 3600)
+        length = int(interval.duration.total_seconds() // 3600)
+        hours.update(range(offset, offset + length))
+    return frozenset(hours)
+
+
+@given(interval_sets)
+def test_canonical_form(a):
+    intervals = a.intervals
+    for left, right in zip(intervals, intervals[1:]):
+        assert left.end < right.start  # sorted, disjoint, non-adjacent
+
+
+@given(interval_sets, interval_sets)
+def test_union_matches_model(a, b):
+    assert model(a.union(b)) == model(a) | model(b)
+
+
+@given(interval_sets, interval_sets)
+def test_intersection_matches_model(a, b):
+    assert model(a.intersection(b)) == model(a) & model(b)
+
+
+@given(interval_sets, interval_sets)
+def test_difference_matches_model(a, b):
+    assert model(a.difference(b)) == model(a) - model(b)
+
+
+@given(interval_sets)
+def test_complement_partitions_window(a):
+    window = TimeInterval(_hour(0), _hour(140))
+    complement = a.complement(window)
+    window_set = IntervalSet([window])
+    assert model(a.intersection(window_set)) | model(complement) == model(window_set)
+    assert a.intersection(complement) == IntervalSet.empty()
+
+
+@given(interval_sets, interval_sets)
+def test_equality_iff_same_model(a, b):
+    assert (a == b) == (model(a) == model(b))
+
+
+@given(interval_sets, st.integers(min_value=0, max_value=139))
+def test_contains_matches_model(a, offset):
+    assert a.contains(_hour(offset)) == (offset in model(a))
+
+
+@given(interval_sets)
+def test_total_duration_matches_model(a):
+    assert a.total_duration() == timedelta(hours=len(model(a)))

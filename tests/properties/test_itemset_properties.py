@@ -1,0 +1,59 @@
+"""Property-based tests for itemset algebra (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.items import Itemset
+
+items = st.integers(min_value=0, max_value=40)
+itemsets = st.frozensets(items, max_size=8).map(Itemset)
+
+
+@given(itemsets, itemsets)
+def test_union_commutative(a, b):
+    assert a.union(b) == b.union(a)
+
+
+@given(itemsets, itemsets, itemsets)
+def test_union_associative(a, b, c):
+    assert a.union(b).union(c) == a.union(b.union(c))
+
+
+@given(itemsets, itemsets)
+def test_intersection_commutative(a, b):
+    assert a.intersection(b) == b.intersection(a)
+
+
+@given(itemsets, itemsets)
+def test_subset_consistent_with_python_sets(a, b):
+    assert a.issubset(b) == set(a.items).issubset(set(b.items))
+
+
+@given(itemsets, itemsets)
+def test_difference_union_partition(a, b):
+    assert a.difference(b).union(a.intersection(b)) == a
+
+
+@given(itemsets)
+def test_canonical_order(a):
+    assert list(a.items) == sorted(set(a.items))
+
+
+@given(itemsets, itemsets)
+def test_disjoint_iff_empty_intersection(a, b):
+    assert a.isdisjoint(b) == (len(a.intersection(b)) == 0)
+
+
+@given(itemsets)
+def test_subsets_of_size_counts(a):
+    from math import comb
+
+    for size in range(len(a) + 1):
+        assert len(list(a.subsets_of_size(size))) == comb(len(a), size)
+
+
+@given(itemsets, itemsets)
+def test_union_is_superset_of_both(a, b):
+    union = a.union(b)
+    assert a.issubset(union)
+    assert b.issubset(union)

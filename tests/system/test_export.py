@@ -1,0 +1,117 @@
+"""Unit tests for report export (CSV/JSON)."""
+
+import csv
+import io
+import json
+from datetime import datetime
+
+import pytest
+
+from repro.errors import ReproError
+from repro.mining import (
+    ConstrainedTask,
+    PeriodicityTask,
+    RuleThresholds,
+    TemporalMiner,
+    ValidPeriodTask,
+)
+from repro.system.export import report_rows, to_csv, to_json, write_report
+from repro.temporal import Granularity, TimeInterval
+
+
+@pytest.fixture(scope="module")
+def reports(seasonal_data, periodic_data):
+    seasonal_miner = TemporalMiner(seasonal_data.database)
+    periodic_miner = TemporalMiner(periodic_data.database)
+    thresholds = RuleThresholds(0.25, 0.6)
+    return {
+        "vp": (
+            seasonal_miner.valid_periods(
+                ValidPeriodTask(
+                    granularity=Granularity.MONTH,
+                    thresholds=thresholds,
+                    max_rule_size=2,
+                )
+            ),
+            seasonal_data.database.catalog,
+        ),
+        "p": (
+            periodic_miner.periodicities(
+                PeriodicityTask(
+                    granularity=Granularity.DAY,
+                    thresholds=thresholds,
+                    max_period=8,
+                    min_repetitions=5,
+                    max_rule_size=2,
+                )
+            ),
+            periodic_data.database.catalog,
+        ),
+        "cf": (
+            seasonal_miner.with_feature(
+                ConstrainedTask(
+                    feature=TimeInterval(datetime(2025, 6, 1), datetime(2025, 9, 1)),
+                    thresholds=RuleThresholds(0.3, 0.6),
+                    max_rule_size=2,
+                )
+            ),
+            seasonal_data.database.catalog,
+        ),
+    }
+
+
+class TestCsv:
+    @pytest.mark.parametrize("kind", ["vp", "p", "cf"])
+    def test_csv_parses_back(self, reports, kind):
+        report, catalog = reports[kind]
+        text = to_csv(report, catalog)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        columns, expected = report_rows(report, catalog)
+        assert len(rows) == len(expected)
+        assert tuple(rows[0].keys()) == columns
+
+    def test_vp_rows_one_per_period(self, reports):
+        report, catalog = reports["vp"]
+        _columns, rows = report_rows(report, catalog)
+        total_periods = sum(len(record.periods) for record in report)
+        assert len(rows) == total_periods
+
+    def test_labels_used(self, reports):
+        report, catalog = reports["vp"]
+        assert "season0_a" in to_csv(report, catalog)
+
+    def test_ids_without_catalog(self, reports):
+        report, _catalog = reports["vp"]
+        text = to_csv(report, None)
+        assert "season0_a" not in text
+
+
+class TestJson:
+    @pytest.mark.parametrize("kind", ["vp", "p", "cf"])
+    def test_json_valid_and_complete(self, reports, kind):
+        report, catalog = reports[kind]
+        document = json.loads(to_json(report, catalog))
+        assert document["task"] == report.task_name
+        assert document["n_transactions"] == report.n_transactions
+        _columns, rows = report_rows(report, catalog)
+        assert document["findings"] == json.loads(json.dumps(rows))
+
+
+class TestWriteReport:
+    def test_write_csv(self, reports, tmp_path):
+        report, catalog = reports["cf"]
+        path = tmp_path / "out.csv"
+        written = write_report(report, str(path), catalog)
+        assert written == len(report)
+        assert path.read_text().startswith("antecedent,")
+
+    def test_write_json(self, reports, tmp_path):
+        report, catalog = reports["p"]
+        path = tmp_path / "out.json"
+        write_report(report, str(path), catalog)
+        assert json.loads(path.read_text())["task"].startswith("periodicities")
+
+    def test_unknown_extension(self, reports, tmp_path):
+        report, catalog = reports["vp"]
+        with pytest.raises(ReproError):
+            write_report(report, str(tmp_path / "out.xml"), catalog)

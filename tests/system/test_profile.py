@@ -1,0 +1,115 @@
+"""Unit tests for temporal support profiles."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core.items import Itemset
+from repro.core.transactions import TransactionDatabase
+from repro.system.profile import TemporalProfile, support_profile
+from repro.temporal import Granularity
+
+
+@pytest.fixture
+def spiky_db():
+    """Three days: supports 0.2, 1.0, 0.0 for {1, 2}."""
+    db = TransactionDatabase()
+    base = datetime(2026, 5, 4)
+    for i in range(5):
+        db.add(base, [1, 2] if i == 0 else [3])
+    for _ in range(4):
+        db.add(base + timedelta(days=1), [1, 2])
+    for _ in range(2):
+        db.add(base + timedelta(days=2), [4])
+    return db
+
+
+class TestProfile:
+    def test_supports(self, spiky_db):
+        profile = support_profile(spiky_db, [1, 2], Granularity.DAY)
+        assert profile.supports == (pytest.approx(0.2), pytest.approx(1.0), 0.0)
+        assert profile.n_units == 3
+
+    def test_global_support(self, spiky_db):
+        profile = support_profile(spiky_db, [1, 2], Granularity.DAY)
+        assert profile.global_support() == pytest.approx(5 / 11)
+
+    def test_peak(self, spiky_db):
+        profile = support_profile(spiky_db, [1, 2], Granularity.DAY)
+        peak_unit, peak_support = profile.peak()
+        assert peak_support == pytest.approx(1.0)
+        assert peak_unit == profile.first_unit + 1
+
+    def test_burstiness(self, spiky_db):
+        profile = support_profile(spiky_db, [1, 2], Granularity.DAY)
+        assert profile.burstiness() == pytest.approx(1.0 / (5 / 11))
+
+    def test_burstiness_flat_is_one(self):
+        db = TransactionDatabase()
+        base = datetime(2026, 5, 4)
+        for day in range(4):
+            db.add(base + timedelta(days=day), [1, 2])
+        profile = support_profile(db, [1, 2], Granularity.DAY)
+        assert profile.burstiness() == pytest.approx(1.0)
+
+    def test_burstiness_absent_itemset(self, spiky_db):
+        profile = support_profile(spiky_db, [99], Granularity.DAY)
+        assert profile.burstiness() == 0.0
+
+    def test_sparkline_shape(self, spiky_db):
+        profile = support_profile(spiky_db, [1, 2], Granularity.DAY)
+        line = profile.sparkline()
+        assert len(line) == 3
+        assert line[1] == "█"       # the peak
+        assert line[2] == "▁"       # zero
+        assert line[0] not in ("█",)
+
+    def test_sparkline_all_zero(self, spiky_db):
+        profile = support_profile(spiky_db, [99], Granularity.DAY)
+        assert profile.sparkline() == "▁▁▁"
+
+    def test_label_lookup(self, seasonal_data):
+        db = seasonal_data.database
+        profile = support_profile(
+            db, ["season0_a", "season0_b"], Granularity.MONTH
+        )
+        assert profile.n_units == 12
+        # peak in June-August
+        peak_unit, _ = profile.peak()
+        month = (peak_unit % 12) + 1
+        assert month in (6, 7, 8)
+        assert profile.burstiness() > 2.0
+
+    def test_format_contains_labels(self, seasonal_data):
+        db = seasonal_data.database
+        profile = support_profile(db, ["season0_a"], Granularity.MONTH)
+        text = profile.format(db.catalog)
+        assert "season0_a" in text
+        assert "burstiness" in text
+
+
+class TestReplProfileCommand:
+    def test_profile_command(self, seasonal_data):
+        import io
+
+        from repro.system.repl import repl
+        from repro.system.session import IqmsSession
+
+        session = IqmsSession()
+        session.load_database("sales", seasonal_data.database)
+        stdin = io.StringIO(".profile sales month season0_a season0_b\n.quit\n")
+        stdout = io.StringIO()
+        repl(session=session, stdin=stdin, stdout=stdout)
+        output = stdout.getvalue()
+        assert "burstiness" in output
+        assert "season0_a" in output
+
+    def test_profile_usage(self):
+        import io
+
+        from repro.system.repl import repl
+
+        stdin = io.StringIO(".profile onlysource\n.quit\n")
+        stdout = io.StringIO()
+        repl(stdin=stdin, stdout=stdout)
+        assert "usage" in stdout.getvalue()

@@ -1,0 +1,108 @@
+"""End-to-end tests of the IQMS REPL with scripted input."""
+
+import io
+
+import pytest
+
+from repro.system.repl import repl
+from repro.system.session import IqmsSession
+
+
+def drive(script: str, session=None) -> str:
+    stdin = io.StringIO(script)
+    stdout = io.StringIO()
+    repl(session=session, stdin=stdin, stdout=stdout)
+    return stdout.getvalue()
+
+
+class TestDotCommands:
+    def test_help(self):
+        output = drive(".help\n.quit\n")
+        assert "MINE PERIODS" in output
+
+    def test_quit(self):
+        assert drive(".quit\n").endswith("bye\n")
+
+    def test_eof_terminates(self):
+        assert "bye" in drive("")
+
+    def test_unknown_command(self):
+        assert "unknown command" in drive(".frobnicate\n.quit\n")
+
+    def test_datasets_empty(self):
+        assert "no datasets" in drive(".datasets\n.quit\n")
+
+    def test_demo_and_datasets(self):
+        output = drive(".demo\n.datasets\n.quit\n")
+        assert "sales" in output
+
+    def test_load_usage(self):
+        assert "usage" in drive(".load onlyname\n.quit\n")
+
+
+class TestStatements:
+    def test_error_reported_not_raised(self):
+        output = drive("MINE PERIODS FROM nowhere AT GRANULARITY month "
+                       "WITH SUPPORT >= 0.2, CONFIDENCE >= 0.6;\n.quit\n")
+        assert "error:" in output
+
+    def test_multiline_statement(self, seasonal_data):
+        session = IqmsSession()
+        session.load_database("sales", seasonal_data.database)
+        output = drive(
+            "MINE PERIODS FROM sales AT GRANULARITY month\n"
+            "  WITH SUPPORT >= 0.2, CONFIDENCE >= 0.6\n"
+            "  HAVING COVERAGE >= 2, SIZE <= 2;\n"
+            ".table\n"
+            ".log\n"
+            ".quit\n",
+            session=session,
+        )
+        assert "valid_periods" in output
+        assert "season0_a" in output
+        assert "[ad hoc mining]" in output
+
+    def test_sql_through_repl(self, seasonal_data):
+        session = IqmsSession()
+        session.load_database("sales", seasonal_data.database)
+        output = drive(
+            "SELECT COUNT(DISTINCT tid) AS n FROM transactions;\n.quit\n",
+            session=session,
+        )
+        assert str(len(seasonal_data.database)) in output
+
+    def test_filter_command(self, seasonal_data):
+        session = IqmsSession()
+        session.load_database("sales", seasonal_data.database)
+        output = drive(
+            "MINE PERIODS FROM sales AT GRANULARITY month "
+            "WITH SUPPORT >= 0.2, CONFIDENCE >= 0.6 HAVING SIZE <= 2;\n"
+            ".filter season0_a\n"
+            ".quit\n",
+            session=session,
+        )
+        assert output.count("season0_a") >= 2
+
+
+class TestExportCommand:
+    def test_export_csv(self, seasonal_data, tmp_path):
+        session = IqmsSession()
+        session.load_database("sales", seasonal_data.database)
+        out = tmp_path / "report.csv"
+        output = drive(
+            "MINE PERIODS FROM sales AT GRANULARITY month "
+            "WITH SUPPORT >= 0.25, CONFIDENCE >= 0.6 HAVING SIZE <= 2;\n"
+            f".export {out}\n"
+            ".quit\n",
+            session=session,
+        )
+        assert "wrote" in output
+        assert out.read_text().startswith("antecedent,")
+
+    def test_export_without_report(self):
+        output = drive(".export /tmp/nope.csv\n.quit\n")
+        # surfaces the library error message rather than a traceback
+        assert "no mining report" in output or "error" in output
+
+    def test_export_usage(self):
+        assert "usage" in drive(".export\n.quit\n")

@@ -1,0 +1,185 @@
+"""Unit tests for result-analysis helpers."""
+
+import pytest
+
+from repro.mining.engine import TemporalMiner
+from repro.mining.tasks import PeriodicityTask, RuleThresholds, ValidPeriodTask
+from repro.system.reporting import (
+    compare_reports,
+    filter_by_item,
+    filter_report,
+    render_table,
+    report_table,
+    result_keys,
+    top_by_support,
+)
+from repro.temporal import Granularity
+
+
+@pytest.fixture(scope="module")
+def vp_report(seasonal_data):
+    miner = TemporalMiner(seasonal_data.database)
+    return miner.valid_periods(
+        ValidPeriodTask(
+            granularity=Granularity.MONTH,
+            thresholds=RuleThresholds(0.2, 0.6),
+            max_rule_size=3,
+        )
+    )
+
+
+class TestFilters:
+    def test_result_keys_nonempty(self, vp_report):
+        assert len(result_keys(vp_report)) == len(vp_report)
+
+    def test_filter_report(self, vp_report):
+        none = filter_report(vp_report, lambda _r: False)
+        assert len(none) == 0
+        assert none.task_name == vp_report.task_name
+
+    def test_filter_by_item(self, vp_report, seasonal_data):
+        catalog = seasonal_data.database.catalog
+        filtered = filter_by_item(vp_report, "season0_a", catalog)
+        assert len(filtered) >= 2
+        item = catalog.id("season0_a")
+        for record in filtered:
+            assert item in record.key.itemset
+
+    def test_filter_by_unknown_item(self, vp_report, seasonal_data):
+        filtered = filter_by_item(vp_report, "ghost", seasonal_data.database.catalog)
+        assert len(filtered) == 0
+
+    def test_top_by_support(self, vp_report):
+        top = top_by_support(vp_report, limit=3)
+        assert len(top) <= 3
+        supports = [max(p.temporal_support for p in r.periods) for r in top]
+        assert supports == sorted(supports, reverse=True)
+
+
+class TestCompare:
+    def test_compare_reports(self, seasonal_data):
+        miner = TemporalMiner(seasonal_data.database)
+        loose = miner.valid_periods(
+            ValidPeriodTask(
+                granularity=Granularity.MONTH,
+                thresholds=RuleThresholds(0.2, 0.6),
+                max_rule_size=2,
+            )
+        )
+        tight = miner.valid_periods(
+            ValidPeriodTask(
+                granularity=Granularity.MONTH,
+                thresholds=RuleThresholds(0.5, 0.8),
+                max_rule_size=2,
+            )
+        )
+        gained, lost, kept = compare_reports(loose, tight)
+        assert gained == set()
+        assert kept | lost == result_keys(loose)
+
+
+class TestRendering:
+    def test_render_table_limit(self):
+        text = render_table(("a", "b"), [(1, 2), (3, 4), (5, 6)], limit=2)
+        assert "more row(s)" in text
+
+    def test_report_table_valid_periods(self, vp_report, seasonal_data):
+        text = report_table(vp_report, seasonal_data.database.catalog)
+        assert "rule" in text and "period" in text
+        assert "season0_a" in text
+
+    def test_report_table_periodicities(self, periodic_data):
+        miner = TemporalMiner(periodic_data.database)
+        report = miner.periodicities(
+            PeriodicityTask(
+                granularity=Granularity.DAY,
+                thresholds=RuleThresholds(0.25, 0.6),
+                max_period=8,
+                min_repetitions=5,
+                max_rule_size=2,
+            )
+        )
+        text = report_table(report, periodic_data.database.catalog)
+        assert "periodicity" in text
+
+    def test_report_table_constrained(self, seasonal_data):
+        from datetime import datetime
+
+        from repro.mining.tasks import ConstrainedTask
+        from repro.temporal import TimeInterval
+
+        miner = TemporalMiner(seasonal_data.database)
+        report = miner.with_feature(
+            ConstrainedTask(
+                feature=TimeInterval(datetime(2025, 6, 1), datetime(2025, 9, 1)),
+                thresholds=RuleThresholds(0.3, 0.6),
+                max_rule_size=2,
+            )
+        )
+        text = report_table(report, seasonal_data.database.catalog)
+        assert "lift" in text
+
+
+class TestNewReportTypes:
+    def test_itemset_periods_table(self, seasonal_data):
+        from repro.mining import RuleThresholds, ValidPeriodTask
+        from repro.mining.itemset_periods import discover_itemset_periods
+        from repro.temporal import Granularity as G
+
+        report = discover_itemset_periods(
+            seasonal_data.database,
+            ValidPeriodTask(
+                granularity=G.MONTH,
+                thresholds=RuleThresholds(0.3, 0.0),
+                max_rule_size=2,
+            ),
+        )
+        text = report_table(report, seasonal_data.database.catalog)
+        assert "itemset" in text and "period" in text
+        assert "season0_a" in text
+
+    def test_trends_table(self, seasonal_data):
+        from datetime import datetime
+
+        from repro.datagen import (
+            EmbeddedTrend,
+            TemporalDatasetSpec,
+            generate_temporal_dataset,
+        )
+        from repro.datagen.quest import QuestConfig
+        from repro.mining.trends import detect_trends
+        from repro.temporal import Granularity as G
+
+        spec = TemporalDatasetSpec(
+            quest=QuestConfig(n_transactions=1200, n_items=100, n_patterns=20, seed=9),
+            start=datetime(2025, 1, 1),
+            end=datetime(2026, 1, 1),
+            trends=(EmbeddedTrend(("up_a",), 0.05, 0.6),),
+            seed=10,
+        )
+        dataset = generate_temporal_dataset(spec)
+        report = detect_trends(
+            dataset.database, G.MONTH, 0.05, min_total_change=0.3
+        )
+        text = report_table(report, dataset.database.catalog)
+        assert "emerging" in text
+
+    def test_unknown_task_rejected(self):
+        from repro.errors import ReproError
+        from repro.mining.results import MiningReport
+
+        bogus = MiningReport("mystery", (), 0, 0, 0.0)
+        with pytest.raises(ReproError):
+            report_table(bogus)
+
+    def test_session_table_after_mine_itemsets(self, seasonal_data):
+        from repro.system.session import IqmsSession
+
+        session = IqmsSession()
+        session.load_database("sales", seasonal_data.database)
+        session.run(
+            "MINE ITEMSETS FROM sales AT GRANULARITY month "
+            "WITH SUPPORT >= 0.3 HAVING COVERAGE >= 2, SIZE <= 2;"
+        )
+        table = session.last_table()
+        assert "season0_a" in table

@@ -1,0 +1,100 @@
+"""Unit tests for the IQMS session (the IQMI loop driver)."""
+
+import pytest
+
+from repro.errors import TmlExecutionError
+from repro.mining.results import MiningReport
+from repro.system.session import IqmsSession
+from repro.system.workflow import Stage
+
+
+@pytest.fixture
+def session(seasonal_data):
+    session = IqmsSession()
+    session.load_database("sales", seasonal_data.database)
+    return session
+
+
+MINE = (
+    "MINE PERIODS FROM sales AT GRANULARITY month "
+    "WITH SUPPORT >= 0.2, CONFIDENCE >= 0.6 HAVING COVERAGE >= 2, SIZE <= 2;"
+)
+MINE_TIGHT = (
+    "MINE PERIODS FROM sales AT GRANULARITY month "
+    "WITH SUPPORT >= 0.55, CONFIDENCE >= 0.8 HAVING COVERAGE >= 2, SIZE <= 2;"
+)
+
+
+class TestLoading:
+    def test_load_registers_and_persists(self, session, seasonal_data):
+        assert session.datasets() == {"sales": len(seasonal_data.database)}
+        assert session.store.count_transactions() == len(seasonal_data.database)
+
+    def test_load_csv(self, tmp_path, seasonal_data):
+        path = tmp_path / "t.csv"
+        path.write_text("tid,ts,item\n1,2026-01-01T00:00:00,a\n1,2026-01-01T00:00:00,b\n")
+        session = IqmsSession()
+        assert session.load_csv("csvdata", path) == 1
+        assert "csvdata" in session.datasets()
+
+
+class TestIqmiLoop:
+    def test_query_then_mine_then_analyse(self, session):
+        session.run("SHOW SUMMARY;")
+        assert session.workflow.stage is Stage.DATA_UNDERSTANDING
+        session.run(MINE)
+        assert session.workflow.stage is Stage.RESULT_ANALYSIS
+        assert session.workflow.iterations == 1
+        assert isinstance(session.last_report, MiningReport)
+
+    def test_two_rounds_and_compare(self, session):
+        session.run(MINE)
+        session.run(MINE_TIGHT)
+        assert session.workflow.iterations == 2
+        gained, lost, kept = session.compare_with_previous()
+        assert gained == set()
+        assert len(lost) + len(kept) >= 2
+
+    def test_compare_requires_two_rounds(self, session):
+        session.run(MINE)
+        with pytest.raises(TmlExecutionError):
+            session.compare_with_previous()
+
+    def test_analyse_item(self, session):
+        session.run(MINE)
+        filtered = session.analyse_item("season0_a")
+        assert len(filtered) >= 1
+
+    def test_last_table(self, session):
+        session.run(MINE)
+        assert "season0_a" in session.last_table()
+
+    def test_last_table_without_mining_raises(self, session):
+        with pytest.raises(TmlExecutionError):
+            session.last_table()
+
+    def test_conclude(self, session):
+        session.run(MINE)
+        session.conclude("seasonal rules confirmed")
+        assert session.workflow.is_finished()
+
+    def test_conclude_before_mining_raises(self, session):
+        with pytest.raises(TmlExecutionError):
+            session.conclude()
+
+    def test_query_between_rounds_returns_to_understanding(self, session):
+        session.run(MINE)
+        session.run("SELECT COUNT(*) FROM transactions;")
+        assert session.workflow.stage is Stage.DATA_UNDERSTANDING
+        session.run(MINE_TIGHT)
+        assert session.workflow.stage is Stage.RESULT_ANALYSIS
+
+    def test_history_accumulates(self, session):
+        session.run("SHOW SUMMARY;")
+        session.run(MINE)
+        assert len(session.history) == 2
+
+    def test_run_script(self, session):
+        results = session.run_script("SHOW SUMMARY; " + MINE)
+        assert len(results) == 2
+        assert session.workflow.iterations == 1

@@ -1,0 +1,80 @@
+"""Unit tests for the IQMI workflow state machine."""
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.system.workflow import MiningWorkflow, Stage
+
+
+class TestTransitions:
+    def test_initial_stage(self):
+        assert MiningWorkflow().stage is Stage.DATA_UNDERSTANDING
+
+    def test_happy_path(self):
+        flow = MiningWorkflow()
+        flow.advance(Stage.TASK_DESIGN, "design")
+        flow.advance(Stage.MINING, "mine")
+        flow.advance(Stage.RESULT_ANALYSIS, "analyse")
+        flow.advance(Stage.KNOWLEDGE, "done")
+        assert flow.is_finished()
+
+    def test_iterative_loop(self):
+        flow = MiningWorkflow()
+        for _ in range(3):
+            flow.advance(Stage.TASK_DESIGN)
+            flow.advance(Stage.MINING)
+            flow.advance(Stage.RESULT_ANALYSIS)
+        assert flow.iterations == 3
+        assert not flow.is_finished()
+
+    def test_analysis_back_to_understanding(self):
+        flow = MiningWorkflow()
+        flow.advance(Stage.TASK_DESIGN)
+        flow.advance(Stage.MINING)
+        flow.advance(Stage.RESULT_ANALYSIS)
+        flow.advance(Stage.DATA_UNDERSTANDING, "need more context")
+        assert flow.stage is Stage.DATA_UNDERSTANDING
+
+    def test_cannot_mine_from_understanding(self):
+        flow = MiningWorkflow()
+        with pytest.raises(WorkflowError):
+            flow.advance(Stage.MINING)
+
+    def test_cannot_skip_analysis_after_mining(self):
+        flow = MiningWorkflow()
+        flow.advance(Stage.TASK_DESIGN)
+        flow.advance(Stage.MINING)
+        with pytest.raises(WorkflowError):
+            flow.advance(Stage.TASK_DESIGN)
+
+    def test_knowledge_is_terminal(self):
+        flow = MiningWorkflow()
+        flow.advance(Stage.TASK_DESIGN)
+        flow.advance(Stage.MINING)
+        flow.advance(Stage.RESULT_ANALYSIS)
+        flow.advance(Stage.KNOWLEDGE)
+        with pytest.raises(WorkflowError):
+            flow.advance(Stage.TASK_DESIGN)
+
+    def test_self_loops_allowed_where_sensible(self):
+        flow = MiningWorkflow()
+        flow.advance(Stage.DATA_UNDERSTANDING, "another query")
+        flow.advance(Stage.TASK_DESIGN)
+        flow.advance(Stage.TASK_DESIGN, "refine")
+        assert flow.stage is Stage.TASK_DESIGN
+
+
+class TestLog:
+    def test_log_records_descriptions(self):
+        flow = MiningWorkflow()
+        flow.advance(Stage.TASK_DESIGN, "seasonal task")
+        flow.record("thinking")
+        log = flow.log
+        assert log[-1].description == "thinking"
+        assert log[-1].stage is Stage.TASK_DESIGN
+
+    def test_format_log(self):
+        flow = MiningWorkflow()
+        assert flow.format_log() == "(no activity yet)"
+        flow.advance(Stage.TASK_DESIGN, "x")
+        assert "[task design] x" in flow.format_log()

@@ -1,0 +1,234 @@
+"""Unit tests for calendar patterns and expressions."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.errors import CalendarPatternError
+from repro.temporal.calendar_algebra import (
+    DECEMBER,
+    WEEKDAYS,
+    WEEKENDS,
+    CalendarExpression,
+    CalendarPattern,
+)
+from repro.temporal.granularity import Granularity, unit_index
+from repro.temporal.interval import TimeInterval
+
+
+class TestConstruction:
+    def test_wildcard_matches_everything(self):
+        assert CalendarPattern.wildcard().matches_instant(datetime(1999, 12, 31, 23))
+
+    def test_out_of_range_values_rejected(self):
+        with pytest.raises(CalendarPatternError):
+            CalendarPattern(months=frozenset({13}))
+        with pytest.raises(CalendarPatternError):
+            CalendarPattern(weekdays=frozenset({7}))
+        with pytest.raises(CalendarPatternError):
+            CalendarPattern(hours=frozenset({24}))
+
+    def test_empty_field_rejected(self):
+        with pytest.raises(CalendarPatternError):
+            CalendarPattern(days=frozenset())
+
+
+class TestParse:
+    def test_numeric_fields(self):
+        pattern = CalendarPattern.parse("month=12 day=25")
+        assert pattern.months == frozenset({12})
+        assert pattern.days == frozenset({25})
+
+    def test_names(self):
+        pattern = CalendarPattern.parse("month=dec weekday=sat|sun")
+        assert pattern.months == frozenset({12})
+        assert pattern.weekdays == frozenset({5, 6})
+
+    def test_full_names_accepted(self):
+        pattern = CalendarPattern.parse("weekday=saturday month=december")
+        assert pattern.weekdays == frozenset({5})
+        assert pattern.months == frozenset({12})
+
+    def test_ranges(self):
+        pattern = CalendarPattern.parse("day=1..7")
+        assert pattern.days == frozenset(range(1, 8))
+
+    def test_union_of_values_and_ranges(self):
+        pattern = CalendarPattern.parse("hour=9..11|14")
+        assert pattern.hours == frozenset({9, 10, 11, 14})
+
+    def test_wildcard_spec(self):
+        assert CalendarPattern.parse("month=*") == CalendarPattern.wildcard()
+
+    def test_comma_separation(self):
+        pattern = CalendarPattern.parse("month=6, day=1..3")
+        assert pattern.months == frozenset({6})
+
+    def test_bad_field(self):
+        with pytest.raises(CalendarPatternError):
+            CalendarPattern.parse("minute=5")
+
+    def test_bad_term(self):
+        with pytest.raises(CalendarPatternError):
+            CalendarPattern.parse("month")
+
+    def test_duplicate_field(self):
+        with pytest.raises(CalendarPatternError):
+            CalendarPattern.parse("month=1 month=2")
+
+    def test_descending_range(self):
+        with pytest.raises(CalendarPatternError):
+            CalendarPattern.parse("day=7..1")
+
+    def test_unparsable_value(self):
+        with pytest.raises(CalendarPatternError):
+            CalendarPattern.parse("day=xx")
+
+    def test_format_roundtrip(self):
+        for text in ("month=12", "weekday=5|6", "month=6|7|8 day=1|2|3", "*"):
+            pattern = CalendarPattern.parse(text if text != "*" else "month=*")
+            assert CalendarPattern.parse(pattern.format() if pattern.format() != "*" else "month=*") == pattern
+
+
+class TestInstantMatching:
+    def test_december(self):
+        assert DECEMBER.matches_instant(datetime(2026, 12, 1))
+        assert not DECEMBER.matches_instant(datetime(2026, 11, 30))
+
+    def test_weekends(self):
+        assert WEEKENDS.matches_instant(datetime(2026, 7, 4))  # Saturday
+        assert WEEKENDS.matches_instant(datetime(2026, 7, 5))  # Sunday
+        assert not WEEKENDS.matches_instant(datetime(2026, 7, 6))  # Monday
+
+    def test_weekday_weekend_partition(self):
+        for day in range(1, 29):
+            instant = datetime(2026, 7, day)
+            assert WEEKDAYS.matches_instant(instant) != WEEKENDS.matches_instant(instant)
+
+    def test_hour_constraint(self):
+        business = CalendarPattern.parse("hour=9..17")
+        assert business.matches_instant(datetime(2026, 1, 5, 9))
+        assert not business.matches_instant(datetime(2026, 1, 5, 18))
+
+    def test_year_constraint(self):
+        y2k = CalendarPattern.parse("year=2000")
+        assert y2k.matches_instant(datetime(2000, 5, 5))
+        assert not y2k.matches_instant(datetime(2001, 5, 5))
+
+
+class TestGranularityCompatibility:
+    def test_finest_field(self):
+        assert CalendarPattern.parse("month=12").finest_field() == "month"
+        assert CalendarPattern.parse("month=12 hour=9").finest_field() == "hour"
+        assert CalendarPattern.wildcard().finest_field() is None
+
+    def test_compatibility(self):
+        month_pattern = CalendarPattern.parse("month=12")
+        assert month_pattern.is_compatible_with(Granularity.MONTH)
+        assert month_pattern.is_compatible_with(Granularity.DAY)
+        day_pattern = CalendarPattern.parse("weekday=5")
+        assert day_pattern.is_compatible_with(Granularity.DAY)
+        assert not day_pattern.is_compatible_with(Granularity.MONTH)
+        hour_pattern = CalendarPattern.parse("hour=9")
+        assert hour_pattern.is_compatible_with(Granularity.HOUR)
+        assert not hour_pattern.is_compatible_with(Granularity.DAY)
+
+    def test_incompatible_unit_match_raises(self):
+        pattern = CalendarPattern.parse("hour=9")
+        with pytest.raises(CalendarPatternError):
+            pattern.matches_unit(0, Granularity.DAY)
+
+
+class TestUnitMatching:
+    def test_month_units(self):
+        december_2026 = unit_index(datetime(2026, 12, 5), Granularity.MONTH)
+        assert DECEMBER.matches_unit(december_2026, Granularity.MONTH)
+        assert not DECEMBER.matches_unit(december_2026 - 1, Granularity.MONTH)
+
+    def test_day_units_against_datetime(self):
+        for day in range(1, 29):
+            instant = datetime(2026, 7, day)
+            index = unit_index(instant, Granularity.DAY)
+            assert WEEKENDS.matches_unit(index, Granularity.DAY) == (
+                instant.weekday() >= 5
+            )
+
+    def test_week_unit_requires_all_days(self):
+        # A week straddling a month boundary does not match a single-month
+        # pattern.
+        july = CalendarPattern.parse("month=7")
+        straddling = unit_index(datetime(2026, 6, 30), Granularity.WEEK)
+        inside = unit_index(datetime(2026, 7, 8), Granularity.WEEK)
+        assert not july.matches_unit(straddling, Granularity.WEEK)
+        assert july.matches_unit(inside, Granularity.WEEK)
+
+    def test_quarter_unit(self):
+        q3 = CalendarPattern.parse("month=7|8|9")
+        index = unit_index(datetime(2026, 8, 1), Granularity.QUARTER)
+        assert q3.matches_unit(index, Granularity.QUARTER)
+        assert not q3.matches_unit(index + 1, Granularity.QUARTER)
+
+    def test_unit_indices(self):
+        start = unit_index(datetime(2026, 1, 1), Granularity.MONTH)
+        indices = DECEMBER.unit_indices(start, start + 23, Granularity.MONTH)
+        assert len(indices) == 2  # Dec 2026 and Dec 2027
+
+    def test_to_interval_set(self):
+        window = TimeInterval(datetime(2026, 1, 1), datetime(2027, 1, 1))
+        december = DECEMBER.to_interval_set(window, Granularity.MONTH)
+        assert december.intervals == (
+            TimeInterval(datetime(2026, 12, 1), datetime(2027, 1, 1)),
+        )
+
+
+class TestExpressions:
+    def test_union(self):
+        expr = CalendarExpression.of(DECEMBER).union(
+            CalendarExpression.of(CalendarPattern.parse("month=1"))
+        )
+        assert expr.matches_instant(datetime(2026, 12, 5))
+        assert expr.matches_instant(datetime(2026, 1, 5))
+        assert not expr.matches_instant(datetime(2026, 6, 5))
+
+    def test_intersect(self):
+        expr = CalendarExpression.of(DECEMBER).intersect(
+            CalendarExpression.of(WEEKENDS)
+        )
+        assert expr.matches_instant(datetime(2026, 12, 5))  # a Saturday
+        assert not expr.matches_instant(datetime(2026, 12, 7))  # a Monday
+
+    def test_difference(self):
+        expr = CalendarExpression.of(DECEMBER).difference(
+            CalendarExpression.of(WEEKENDS)
+        )
+        assert expr.matches_instant(datetime(2026, 12, 7))
+        assert not expr.matches_instant(datetime(2026, 12, 5))
+
+    def test_unit_semantics_match_instants_at_day(self):
+        expr = CalendarExpression.of(WEEKENDS).union(
+            CalendarExpression.of(CalendarPattern.parse("day=1"))
+        )
+        for day in range(1, 29):
+            instant = datetime(2026, 3, day)
+            index = unit_index(instant, Granularity.DAY)
+            assert expr.matches_unit(index, Granularity.DAY) == expr.matches_instant(
+                instant
+            )
+
+    def test_compatibility_propagates(self):
+        fine = CalendarExpression.of(CalendarPattern.parse("hour=9"))
+        coarse = CalendarExpression.of(DECEMBER)
+        assert not fine.union(coarse).is_compatible_with(Granularity.DAY)
+        assert coarse.union(coarse).is_compatible_with(Granularity.MONTH)
+
+    def test_format(self):
+        expr = CalendarExpression.of(DECEMBER).union(CalendarExpression.of(WEEKENDS))
+        assert "OR" in expr.format()
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(CalendarPatternError):
+            CalendarExpression(op="xor")
+
+    def test_leaf_requires_pattern(self):
+        with pytest.raises(CalendarPatternError):
+            CalendarExpression(op="pattern")

@@ -1,0 +1,204 @@
+"""Unit tests for granularities and unit arithmetic."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.errors import GranularityError
+from repro.temporal.granularity import (
+    Granularity,
+    unit_bounds,
+    unit_end,
+    unit_index,
+    unit_label,
+    unit_start,
+    units_between,
+)
+
+ALL = list(Granularity)
+
+
+class TestParse:
+    def test_names(self):
+        assert Granularity.parse("month") is Granularity.MONTH
+        assert Granularity.parse("Days") is Granularity.DAY
+        assert Granularity.parse(" WEEK ") is Granularity.WEEK
+
+    def test_passthrough(self):
+        assert Granularity.parse(Granularity.HOUR) is Granularity.HOUR
+
+    def test_unknown(self):
+        with pytest.raises(GranularityError):
+            Granularity.parse("fortnight")
+
+    def test_str(self):
+        assert str(Granularity.QUARTER) == "quarter"
+
+
+class TestEpochAnchors:
+    def test_epoch_is_unit_zero(self):
+        epoch = datetime(1970, 1, 1)
+        for granularity in (
+            Granularity.HOUR,
+            Granularity.DAY,
+            Granularity.MONTH,
+            Granularity.QUARTER,
+            Granularity.YEAR,
+        ):
+            assert unit_index(epoch, granularity) == 0, granularity
+
+    def test_week_zero_starts_monday(self):
+        assert unit_index(datetime(1969, 12, 29), Granularity.WEEK) == 0
+        assert unit_start(0, Granularity.WEEK) == datetime(1969, 12, 29)
+        # weeks always start on Monday
+        for index in (-50, 0, 1234):
+            assert unit_start(index, Granularity.WEEK).weekday() == 0
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("granularity", ALL)
+    @pytest.mark.parametrize(
+        "instant",
+        [
+            datetime(2026, 7, 4, 13, 30, 59),
+            datetime(1970, 1, 1),
+            datetime(1969, 6, 15, 23, 59),
+            datetime(2000, 2, 29, 12),
+            datetime(2024, 12, 31, 23, 59, 59, 999999),
+        ],
+    )
+    def test_instant_falls_in_its_unit(self, granularity, instant):
+        index = unit_index(instant, granularity)
+        start, end = unit_bounds(index, granularity)
+        assert start <= instant < end
+
+    @pytest.mark.parametrize("granularity", ALL)
+    def test_units_tile_the_line(self, granularity):
+        for index in (-3, -1, 0, 1, 100):
+            assert unit_end(index, granularity) == unit_start(index + 1, granularity)
+
+    @pytest.mark.parametrize("granularity", ALL)
+    def test_unit_start_maps_back(self, granularity):
+        for index in (-5, 0, 7, 360):
+            assert unit_index(unit_start(index, granularity), granularity) == index
+
+
+class TestSpecificIndices:
+    def test_month_index(self):
+        assert unit_index(datetime(1971, 2, 10), Granularity.MONTH) == 13
+        assert unit_index(datetime(1969, 12, 31), Granularity.MONTH) == -1
+
+    def test_quarter_index(self):
+        assert unit_index(datetime(1970, 4, 1), Granularity.QUARTER) == 1
+        assert unit_index(datetime(2026, 12, 31), Granularity.QUARTER) == (2026 - 1970) * 4 + 3
+
+    def test_year_index(self):
+        assert unit_index(datetime(2026, 6, 1), Granularity.YEAR) == 56
+
+    def test_day_index_negative(self):
+        assert unit_index(datetime(1969, 12, 31, 23), Granularity.DAY) == -1
+
+    def test_hour_index(self):
+        assert unit_index(datetime(1970, 1, 2, 1, 30), Granularity.HOUR) == 25
+
+
+class TestLabels:
+    def test_labels(self):
+        index = unit_index(datetime(2026, 7, 4, 15), Granularity.MONTH)
+        assert unit_label(index, Granularity.MONTH) == "2026-07"
+        index = unit_index(datetime(2026, 7, 4), Granularity.DAY)
+        assert unit_label(index, Granularity.DAY) == "2026-07-04"
+        index = unit_index(datetime(2026, 7, 4, 15), Granularity.HOUR)
+        assert unit_label(index, Granularity.HOUR) == "2026-07-04 15:00"
+        index = unit_index(datetime(2026, 7, 4), Granularity.QUARTER)
+        assert unit_label(index, Granularity.QUARTER) == "2026-Q3"
+        index = unit_index(datetime(2026, 7, 4), Granularity.YEAR)
+        assert unit_label(index, Granularity.YEAR) == "2026"
+
+    def test_week_label_uses_iso(self):
+        index = unit_index(datetime(2026, 1, 7), Granularity.WEEK)
+        label = unit_label(index, Granularity.WEEK)
+        assert label.startswith("2026-W")
+
+
+class TestUnitsBetween:
+    def test_months_overlapping_span(self):
+        units = list(
+            units_between(
+                datetime(2026, 1, 15), datetime(2026, 3, 2), Granularity.MONTH
+            )
+        )
+        assert [unit_label(u, Granularity.MONTH) for u in units] == [
+            "2026-01",
+            "2026-02",
+            "2026-03",
+        ]
+
+    def test_exclusive_end_on_boundary(self):
+        units = list(
+            units_between(
+                datetime(2026, 1, 1), datetime(2026, 2, 1), Granularity.MONTH
+            )
+        )
+        assert len(units) == 1  # February excluded
+
+    def test_empty_span(self):
+        assert (
+            list(
+                units_between(
+                    datetime(2026, 1, 1), datetime(2026, 1, 1), Granularity.DAY
+                )
+            )
+            == []
+        )
+
+    def test_inverted_span(self):
+        assert (
+            list(
+                units_between(
+                    datetime(2026, 2, 1), datetime(2026, 1, 1), Granularity.DAY
+                )
+            )
+            == []
+        )
+
+
+class TestBoundaryEdgeCases:
+    """Instants exactly on unit boundaries belong to the starting unit."""
+
+    @pytest.mark.parametrize("granularity", ALL)
+    def test_boundary_instant_starts_new_unit(self, granularity):
+        for index in (-3, 0, 11, 500):
+            boundary = unit_start(index, granularity)
+            assert unit_index(boundary, granularity) == index
+
+    def test_iso_year_boundary_weeks(self):
+        # 2026-01-01 is a Thursday: it belongs to the ISO week starting
+        # Monday 2025-12-29, which therefore contains days of both years.
+        week = unit_index(datetime(2026, 1, 1), Granularity.WEEK)
+        assert unit_start(week, Granularity.WEEK) == datetime(2025, 12, 29)
+        assert unit_index(datetime(2025, 12, 29), Granularity.WEEK) == week
+
+    def test_leap_day_in_units(self):
+        leap = datetime(2024, 2, 29, 12)
+        month = unit_index(leap, Granularity.MONTH)
+        start, end = unit_bounds(month, Granularity.MONTH)
+        assert start == datetime(2024, 2, 1)
+        assert end == datetime(2024, 3, 1)
+        assert (end - start).days == 29
+
+    def test_month_lengths_vary(self):
+        feb = unit_index(datetime(2025, 2, 10), Granularity.MONTH)
+        jan = feb - 1
+        feb_start, feb_end = unit_bounds(feb, Granularity.MONTH)
+        jan_start, jan_end = unit_bounds(jan, Granularity.MONTH)
+        assert (feb_end - feb_start).days == 28
+        assert (jan_end - jan_start).days == 31
+
+    def test_microsecond_before_boundary(self):
+        from datetime import timedelta
+
+        for granularity in ALL:
+            boundary = unit_start(10, granularity)
+            just_before = boundary - timedelta(microseconds=1)
+            assert unit_index(just_before, granularity) == 9

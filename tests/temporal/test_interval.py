@@ -1,0 +1,184 @@
+"""Unit tests for time intervals and interval sets."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.errors import TemporalError
+from repro.temporal.granularity import Granularity
+from repro.temporal.interval import IntervalSet, TimeInterval
+
+
+def interval(start_day, end_day, month=1):
+    return TimeInterval(datetime(2026, month, start_day), datetime(2026, month, end_day))
+
+
+class TestTimeInterval:
+    def test_rejects_empty(self):
+        with pytest.raises(TemporalError):
+            interval(5, 5)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(TemporalError):
+            interval(6, 5)
+
+    def test_rejects_non_datetime(self):
+        with pytest.raises(TemporalError):
+            TimeInterval("2026-01-01", "2026-02-01")  # type: ignore[arg-type]
+
+    def test_contains_half_open(self):
+        window = interval(1, 10)
+        assert window.contains(datetime(2026, 1, 1))
+        assert window.contains(datetime(2026, 1, 9, 23, 59))
+        assert not window.contains(datetime(2026, 1, 10))
+
+    def test_overlaps(self):
+        assert interval(1, 10).overlaps(interval(9, 12))
+        assert not interval(1, 10).overlaps(interval(10, 12))  # touching
+
+    def test_meets_or_overlaps(self):
+        assert interval(1, 10).meets_or_overlaps(interval(10, 12))
+        assert not interval(1, 10).meets_or_overlaps(interval(11, 12))
+
+    def test_intersect(self):
+        assert interval(1, 10).intersect(interval(5, 15)) == interval(5, 10)
+        assert interval(1, 5).intersect(interval(5, 9)) is None
+
+    def test_merge(self):
+        assert interval(1, 10).merge(interval(10, 12)) == interval(1, 12)
+
+    def test_merge_disjoint_raises(self):
+        with pytest.raises(TemporalError):
+            interval(1, 5).merge(interval(7, 9))
+
+    def test_contains_interval(self):
+        assert interval(1, 10).contains_interval(interval(3, 7))
+        assert not interval(1, 10).contains_interval(interval(3, 12))
+
+    def test_from_units(self):
+        window = TimeInterval.from_units(672, 674, Granularity.MONTH)
+        assert window.start == datetime(2026, 1, 1)
+        assert window.end == datetime(2026, 4, 1)
+
+    def test_from_units_inverted_raises(self):
+        with pytest.raises(TemporalError):
+            TimeInterval.from_units(5, 4, Granularity.DAY)
+
+    def test_unit_count(self):
+        assert interval(15, 20).unit_count(Granularity.DAY) == 5
+        window = TimeInterval(datetime(2026, 1, 15), datetime(2026, 3, 2))
+        assert window.unit_count(Granularity.MONTH) == 3
+
+    def test_jaccard_identical(self):
+        assert interval(1, 10).jaccard(interval(1, 10)) == pytest.approx(1.0)
+
+    def test_jaccard_disjoint(self):
+        assert interval(1, 5).jaccard(interval(6, 9)) == 0.0
+
+    def test_jaccard_half(self):
+        assert interval(1, 3).jaccard(interval(1, 5)) == pytest.approx(0.5)
+
+
+class TestIntervalSetCanonicalForm:
+    def test_adjacent_coalesce(self):
+        merged = IntervalSet([interval(1, 5), interval(5, 9)])
+        assert merged.intervals == (interval(1, 9),)
+
+    def test_overlapping_coalesce(self):
+        merged = IntervalSet([interval(1, 6), interval(4, 9)])
+        assert merged.intervals == (interval(1, 9),)
+
+    def test_disjoint_stay_separate_and_sorted(self):
+        result = IntervalSet([interval(10, 12), interval(1, 3)])
+        assert result.intervals == (interval(1, 3), interval(10, 12))
+
+    def test_equality_is_pointset_equality(self):
+        left = IntervalSet([interval(1, 5), interval(5, 9)])
+        right = IntervalSet([interval(1, 9)])
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_empty(self):
+        assert not IntervalSet.empty()
+        assert len(IntervalSet.empty()) == 0
+
+    def test_from_unit_indices_coalesces_consecutive(self):
+        result = IntervalSet.from_unit_indices([3, 4, 5, 9], Granularity.DAY)
+        assert len(result) == 2
+
+
+class TestIntervalSetAlgebra:
+    def test_union(self):
+        left = IntervalSet([interval(1, 5)])
+        right = IntervalSet([interval(8, 10)])
+        assert left.union(right).intervals == (interval(1, 5), interval(8, 10))
+
+    def test_intersection(self):
+        left = IntervalSet([interval(1, 10), interval(15, 20)])
+        right = IntervalSet([interval(5, 17)])
+        assert left.intersection(right) == IntervalSet(
+            [interval(5, 10), interval(15, 17)]
+        )
+
+    def test_intersection_empty(self):
+        left = IntervalSet([interval(1, 5)])
+        right = IntervalSet([interval(6, 9)])
+        assert left.intersection(right) == IntervalSet.empty()
+
+    def test_difference_splits(self):
+        whole = IntervalSet([interval(1, 20)])
+        hole = IntervalSet([interval(5, 10)])
+        assert whole.difference(hole) == IntervalSet(
+            [interval(1, 5), interval(10, 20)]
+        )
+
+    def test_difference_is_disjoint_from_subtrahend(self):
+        left = IntervalSet([interval(1, 15)])
+        right = IntervalSet([interval(3, 6), interval(9, 12)])
+        result = left.difference(right)
+        assert result.intersection(right) == IntervalSet.empty()
+        assert result.union(right.intersection(left)) == left
+
+    def test_complement(self):
+        window = interval(1, 28)
+        inside = IntervalSet([interval(5, 10)])
+        outside = inside.complement(window)
+        assert outside.union(inside) == IntervalSet([window])
+
+    def test_demorgan_style_identity(self):
+        window = interval(1, 28)
+        a = IntervalSet([interval(2, 9), interval(13, 17)])
+        b = IntervalSet([interval(5, 15)])
+        lhs = a.union(b).complement(window)
+        rhs = a.complement(window).intersection(b.complement(window))
+        assert lhs == rhs
+
+
+class TestIntervalSetQueries:
+    def test_contains(self):
+        result = IntervalSet([interval(1, 5), interval(8, 10)])
+        assert result.contains(datetime(2026, 1, 2))
+        assert not result.contains(datetime(2026, 1, 6))
+        assert not result.contains(datetime(2026, 1, 10))  # half-open
+
+    def test_contains_empty(self):
+        assert not IntervalSet.empty().contains(datetime(2026, 1, 1))
+
+    def test_covers(self):
+        result = IntervalSet([interval(1, 10)])
+        assert result.covers(interval(2, 5))
+        assert not result.covers(interval(8, 12))
+
+    def test_total_duration(self):
+        result = IntervalSet([interval(1, 3), interval(5, 6)])
+        assert result.total_duration() == timedelta(days=3)
+
+    def test_span(self):
+        result = IntervalSet([interval(1, 3), interval(8, 10)])
+        assert result.span() == interval(1, 10)
+        assert IntervalSet.empty().span() is None
+
+    def test_unit_indices(self):
+        result = IntervalSet([interval(1, 3)])
+        days = result.unit_indices(Granularity.DAY)
+        assert len(days) == 2

@@ -1,0 +1,135 @@
+"""Unit tests for cyclic and calendric periodicities."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.errors import PeriodicityError
+from repro.temporal.calendar_algebra import CalendarPattern
+from repro.temporal.granularity import Granularity, unit_index
+from repro.temporal.periodicity import (
+    CalendricPeriodicity,
+    CyclicPeriodicity,
+    Periodicity,
+    cyclic_from_units,
+    describe_units,
+)
+
+
+class TestCyclicPeriodicity:
+    def test_membership(self):
+        cycle = CyclicPeriodicity(7, 3, Granularity.DAY)
+        assert cycle.matches_unit(3)
+        assert cycle.matches_unit(10)
+        assert not cycle.matches_unit(4)
+
+    def test_negative_units(self):
+        cycle = CyclicPeriodicity(7, 3, Granularity.DAY)
+        assert cycle.matches_unit(-4)  # -4 mod 7 == 3
+
+    def test_unit_indices(self):
+        cycle = CyclicPeriodicity(5, 2, Granularity.DAY)
+        assert cycle.unit_indices(0, 14) == [2, 7, 12]
+        assert cycle.unit_indices(3, 14) == [7, 12]
+        assert cycle.unit_indices(10, 9) == []
+
+    def test_unit_indices_agree_with_membership(self):
+        cycle = CyclicPeriodicity(9, 4, Granularity.WEEK)
+        members = set(cycle.unit_indices(-20, 40))
+        for unit in range(-20, 41):
+            assert (unit in members) == cycle.matches_unit(unit)
+
+    def test_next_member(self):
+        cycle = CyclicPeriodicity(7, 3, Granularity.DAY)
+        assert cycle.next_member(3) == 3
+        assert cycle.next_member(4) == 10
+        assert cycle.next_member(0) == 3
+
+    def test_validation(self):
+        with pytest.raises(PeriodicityError):
+            CyclicPeriodicity(0, 0, Granularity.DAY)
+        with pytest.raises(PeriodicityError):
+            CyclicPeriodicity(7, 7, Granularity.DAY)
+        with pytest.raises(PeriodicityError):
+            CyclicPeriodicity(7, -1, Granularity.DAY)
+
+    def test_describe(self):
+        weekly = CyclicPeriodicity(7, 5, Granularity.DAY)
+        assert "every 7 days" in weekly.describe()
+        daily = CyclicPeriodicity(1, 0, Granularity.DAY)
+        assert daily.describe() == "every day"
+
+    def test_satisfies_protocol(self):
+        assert isinstance(CyclicPeriodicity(7, 0, Granularity.DAY), Periodicity)
+
+
+class TestCalendricPeriodicity:
+    def test_membership_december(self):
+        decembers = CalendricPeriodicity(
+            CalendarPattern.parse("month=12"), Granularity.MONTH
+        )
+        december_2026 = unit_index(datetime(2026, 12, 1), Granularity.MONTH)
+        assert decembers.matches_unit(december_2026)
+        assert not decembers.matches_unit(december_2026 + 1)
+
+    def test_is_periodic_across_years(self):
+        decembers = CalendricPeriodicity(
+            CalendarPattern.parse("month=12"), Granularity.MONTH
+        )
+        december_2026 = unit_index(datetime(2026, 12, 1), Granularity.MONTH)
+        assert decembers.matches_unit(december_2026 + 12)
+        assert decembers.matches_unit(december_2026 - 12)
+
+    def test_unit_indices(self):
+        weekends = CalendricPeriodicity(
+            CalendarPattern.parse("weekday=5|6"), Granularity.DAY
+        )
+        start = unit_index(datetime(2026, 7, 6), Granularity.DAY)  # Monday
+        members = weekends.unit_indices(start, start + 13)
+        assert len(members) == 4  # two weekends
+
+    def test_rejects_incompatible_granularity(self):
+        with pytest.raises(PeriodicityError):
+            CalendricPeriodicity(CalendarPattern.parse("hour=9"), Granularity.DAY)
+
+    def test_describe(self):
+        decembers = CalendricPeriodicity(
+            CalendarPattern.parse("month=12"), Granularity.MONTH
+        )
+        assert "month=12" in decembers.describe()
+
+    def test_satisfies_protocol(self):
+        periodicity = CalendricPeriodicity(
+            CalendarPattern.parse("month=12"), Granularity.MONTH
+        )
+        assert isinstance(periodicity, Periodicity)
+
+
+class TestCyclicFromUnits:
+    def test_recovers_progression(self):
+        recovered = cyclic_from_units([5, 12, 19, 26], Granularity.DAY)
+        assert recovered == CyclicPeriodicity(7, 5, Granularity.DAY)
+
+    def test_rejects_non_progression(self):
+        assert cyclic_from_units([1, 2, 4], Granularity.DAY) is None
+
+    def test_too_short(self):
+        assert cyclic_from_units([5], Granularity.DAY) is None
+        assert cyclic_from_units([], Granularity.DAY) is None
+
+    def test_duplicates_rejected(self):
+        assert cyclic_from_units([5, 5, 10], Granularity.DAY) is None
+
+    def test_unsorted_input_ok(self):
+        recovered = cyclic_from_units([19, 5, 12], Granularity.DAY)
+        assert recovered == CyclicPeriodicity(7, 5, Granularity.DAY)
+
+
+class TestDescribeUnits:
+    def test_elision(self):
+        text = describe_units(list(range(10)), Granularity.DAY, limit=3)
+        assert text.endswith(", ...}")
+
+    def test_no_elision(self):
+        text = describe_units([0, 1], Granularity.YEAR)
+        assert text == "{1970, 1971}"

@@ -1,0 +1,210 @@
+"""Cross-cutting tests for less-travelled paths.
+
+Each class targets behaviours that the module-focused suites exercise
+only incidentally: task validation branches, report formatting limits,
+error rendering, engine option plumbing, and the CLI → store → session
+round trip.
+"""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core import AprioriOptions
+from repro.core.transactions import TransactionDatabase
+from repro.errors import (
+    MiningParameterError,
+    ReproError,
+    TmlLexError,
+    TmlParseError,
+)
+from repro.mining import (
+    ConstrainedTask,
+    MiningReport,
+    PeriodicityTask,
+    RuleThresholds,
+    TemporalMiner,
+    ValidPeriodTask,
+)
+from repro.temporal import CalendarPattern, Granularity, TimeInterval
+
+
+class TestTaskValidationBranches:
+    def test_rule_thresholds(self):
+        with pytest.raises(MiningParameterError):
+            RuleThresholds(0.0, 0.5)  # support must be > 0
+        with pytest.raises(MiningParameterError):
+            RuleThresholds(0.5, 1.5)
+        RuleThresholds(0.5, 0.0)  # confidence 0 is legal
+
+    def test_valid_period_task(self):
+        thresholds = RuleThresholds(0.2, 0.5)
+        with pytest.raises(MiningParameterError):
+            ValidPeriodTask(Granularity.DAY, thresholds, min_frequency=0.0)
+        with pytest.raises(MiningParameterError):
+            ValidPeriodTask(Granularity.DAY, thresholds, min_coverage=0)
+        with pytest.raises(MiningParameterError):
+            ValidPeriodTask(Granularity.DAY, thresholds, max_rule_size=-1)
+        with pytest.raises(MiningParameterError):
+            ValidPeriodTask(Granularity.DAY, thresholds, max_consequent_size=-1)
+
+    def test_periodicity_task(self):
+        thresholds = RuleThresholds(0.2, 0.5)
+        with pytest.raises(MiningParameterError):
+            PeriodicityTask(Granularity.DAY, thresholds, max_period=0)
+        with pytest.raises(MiningParameterError):
+            PeriodicityTask(Granularity.DAY, thresholds, min_match=0.0)
+        with pytest.raises(MiningParameterError):
+            PeriodicityTask(Granularity.DAY, thresholds, min_repetitions=0)
+
+    def test_constrained_task(self):
+        thresholds = RuleThresholds(0.2, 0.5)
+        window = TimeInterval(datetime(2025, 1, 1), datetime(2025, 2, 1))
+        with pytest.raises(MiningParameterError):
+            ConstrainedTask(window, thresholds, max_rule_size=-2)
+
+    def test_min_valid_units_rounding(self):
+        thresholds = RuleThresholds(0.2, 0.5)
+        # ceil(10 * 0.75) = 8; the epsilon guard must not round 7.5 down.
+        task = ValidPeriodTask(
+            Granularity.DAY, thresholds, min_frequency=0.75, min_coverage=10
+        )
+        assert task.min_valid_units == 8
+        exact = ValidPeriodTask(
+            Granularity.DAY, thresholds, min_frequency=0.5, min_coverage=4
+        )
+        assert exact.min_valid_units == 2
+
+
+class TestReportFormatting:
+    @pytest.fixture(scope="class")
+    def report(self, seasonal_data):
+        miner = TemporalMiner(seasonal_data.database)
+        return miner.valid_periods(
+            ValidPeriodTask(
+                granularity=Granularity.MONTH,
+                thresholds=RuleThresholds(0.15, 0.5),
+                max_rule_size=3,
+            )
+        )
+
+    def test_limit_elides(self, report, seasonal_data):
+        assert len(report) > 2
+        text = report.format(seasonal_data.database.catalog, limit=2)
+        assert "more" in text
+
+    def test_limit_zero_shows_all(self, report, seasonal_data):
+        text = report.format(seasonal_data.database.catalog, limit=0)
+        assert "more" not in text.splitlines()[-1]
+
+    def test_iteration_protocol(self, report):
+        assert len(list(report)) == len(report)
+
+    def test_str_equals_format(self, report):
+        assert str(report) == report.format()
+
+
+class TestErrorRendering:
+    def test_lex_error_position(self):
+        error = TmlLexError("bad char", position=10, line=2, column=5)
+        assert "line 2" in str(error)
+        assert error.column == 5
+
+    def test_parse_error_without_position(self):
+        error = TmlParseError("oops")
+        assert str(error) == "oops"
+
+    def test_all_errors_are_repro_errors(self):
+        import inspect
+
+        import repro.errors as errors_module
+
+        for _name, cls in inspect.getmembers(errors_module, inspect.isclass):
+            if issubclass(cls, Exception) and cls is not Exception:
+                assert issubclass(cls, ReproError)
+
+
+class TestEngineOptionPlumbing:
+    def test_with_feature_accepts_apriori_options(self, seasonal_data):
+        miner = TemporalMiner(seasonal_data.database)
+        task = ConstrainedTask(
+            feature=TimeInterval(datetime(2025, 6, 1), datetime(2025, 9, 1)),
+            thresholds=RuleThresholds(0.3, 0.6),
+            max_rule_size=2,
+        )
+        default = miner.with_feature(task)
+        tuned = miner.with_feature(
+            task, apriori_options=AprioriOptions(counting="dict", max_size=2)
+        )
+        assert {r.key for r in default} == {r.key for r in tuned}
+
+    def test_temporal_context_hashtree_counting(self, random_db):
+        from repro.mining.context import TemporalContext, per_unit_frequent_itemsets
+
+        context = TemporalContext(random_db, Granularity.DAY)
+        dict_counts = per_unit_frequent_itemsets(context, 0.2, counting="dict")
+        tree_counts = per_unit_frequent_itemsets(context, 0.2, counting="hashtree")
+        assert set(dict_counts.counts) == set(tree_counts.counts)
+        for itemset, row in dict_counts.counts.items():
+            assert list(row) == list(tree_counts.counts[itemset])
+
+
+class TestCliToSessionRoundTrip:
+    def test_generate_load_mine(self, tmp_path):
+        """CLI-generated CSV → session .load → TML mining, end to end."""
+        from repro.datagen.cli import main as datagen_main
+        from repro.system.session import IqmsSession
+
+        path = tmp_path / "sales.csv"
+        datagen_main(
+            ["--scenario", "seasonal", "--transactions", "1500", "--out", str(path)]
+        )
+        session = IqmsSession()
+        loaded = session.load_csv("sales", path)
+        assert loaded == 1500
+        result = session.run(
+            "MINE PERIODS FROM sales AT GRANULARITY month "
+            "WITH SUPPORT >= 0.25, CONFIDENCE >= 0.6 HAVING SIZE <= 2;"
+        )
+        assert "season0_a" in result.text
+
+
+class TestQuarterAndWeekGranularityTasks:
+    def test_quarter_valid_periods(self, seasonal_data):
+        """The summer rule (Jun-Aug) aligns with no clean quarter pair:
+        Q3 alone holds it, so a 1-quarter coverage finds it."""
+        miner = TemporalMiner(seasonal_data.database)
+        report = miner.valid_periods(
+            ValidPeriodTask(
+                granularity=Granularity.QUARTER,
+                thresholds=RuleThresholds(0.3, 0.6),
+                min_coverage=1,
+                max_rule_size=2,
+            )
+        )
+        catalog = seasonal_data.database.catalog
+        rendered = {record.key.format(catalog) for record in report}
+        assert "{season0_a} => {season0_b}" in rendered
+
+    def test_week_granularity_periodicities(self, periodic_data):
+        """At week granularity the weekend rule holds in (almost) every
+        week — a period-1 cycle."""
+        miner = TemporalMiner(periodic_data.database)
+        report = miner.periodicities(
+            PeriodicityTask(
+                granularity=Granularity.WEEK,
+                thresholds=RuleThresholds(0.1, 0.6),
+                max_period=4,
+                min_repetitions=4,
+                min_match=0.9,
+                max_rule_size=2,
+            )
+        )
+        catalog = periodic_data.database.catalog
+        weekly = [
+            f
+            for f in report
+            if "weekend" in f.key.format(catalog)
+            and getattr(f.periodicity, "period", 0) == 1
+        ]
+        assert weekly

@@ -1,0 +1,169 @@
+"""Cross-module integration tests: datagen → store → TML → IQMS → results.
+
+These exercise the full pipelines a user of the system would run,
+including the paper's headline scenario end to end.
+"""
+
+from datetime import datetime
+
+import pytest
+
+from repro import (
+    Granularity,
+    IqmsSession,
+    Itemset,
+    RuleKey,
+    RuleThresholds,
+    TemporalMiner,
+    ValidPeriodTask,
+)
+from repro.baselines import mine_traditional
+from repro.datagen import periodic_dataset, seasonal_dataset
+from repro.db import SqliteStore, run_query
+from repro.mining.tasks import ConstrainedTask, PeriodicityTask
+from repro.system.workflow import Stage
+from repro.temporal import CalendarPattern, TimeInterval
+
+
+class TestHeadlineScenario:
+    """The paper's claim, run exactly as a user would."""
+
+    def test_full_loop(self, seasonal_data):
+        db = seasonal_data.database
+        session = IqmsSession()
+        session.load_database("sales", db)
+
+        # 1. Data understanding.
+        summary = session.run("SHOW SUMMARY;")
+        assert str(len(db)) in summary.text
+        volume = session.run("SHOW VOLUME BY month;")
+        assert len(volume.payload.rows) == 12
+
+        # 2-4. Task design, mining, result analysis.
+        mined = session.run(
+            "MINE PERIODS FROM sales AT GRANULARITY month "
+            "WITH SUPPORT >= 0.25, CONFIDENCE >= 0.6 "
+            "HAVING COVERAGE >= 2, SIZE <= 2;"
+        )
+        assert "season0_a" in mined.text
+        assert session.workflow.stage is Stage.RESULT_ANALYSIS
+
+        # The traditional pipeline misses the rule at the same thresholds.
+        catalog = db.catalog
+        season0 = RuleKey(
+            Itemset([catalog.id("season0_a")]), Itemset([catalog.id("season0_b")])
+        )
+        traditional = mine_traditional(db, 0.25, 0.6, max_rule_size=2)
+        assert season0 not in traditional.keys()
+
+        # 5. Adjust the task (tighter), compare, conclude.
+        session.run(
+            "MINE PERIODS FROM sales AT GRANULARITY month "
+            "WITH SUPPORT >= 0.5, CONFIDENCE >= 0.8 "
+            "HAVING COVERAGE >= 2, SIZE <= 2;"
+        )
+        gained, lost, kept = session.compare_with_previous()
+        assert gained == set()
+        session.conclude("seasonal knowledge confirmed")
+        assert session.workflow.is_finished()
+        assert session.workflow.iterations == 2
+
+
+class TestStoreRoundTripMining:
+    def test_mine_from_reloaded_store(self, seasonal_data, tmp_path):
+        """Persist to SQLite, reload, and mine: results must survive."""
+        path = tmp_path / "sales.db"
+        with SqliteStore(path) as store:
+            store.save_database(seasonal_data.database)
+        with SqliteStore(path) as reopened:
+            reloaded = reopened.load_database()
+            miner = TemporalMiner(reloaded)
+            report = miner.valid_periods(
+                ValidPeriodTask(
+                    granularity=Granularity.MONTH,
+                    thresholds=RuleThresholds(0.25, 0.6),
+                    max_rule_size=2,
+                )
+            )
+            names = {r.key.format(reloaded.catalog) for r in report}
+            assert "{season0_a} => {season0_b}" in names
+
+    def test_sql_filter_then_mine(self, seasonal_data):
+        """Use the query function for selection, then mine the slice."""
+        store = SqliteStore(":memory:")
+        store.save_database(seasonal_data.database)
+        summer = store.load_database(
+            where="ts >= ? AND ts < ?", parameters=("2025-06-01", "2025-09-01")
+        )
+        assert 0 < len(summer) < len(seasonal_data.database)
+        from repro.core import mine_rules
+
+        rules = mine_rules(summer, 0.3, 0.6)
+        rendered = {r.format(summer.catalog) for r in rules}
+        assert "{season0_a} => {season0_b}" in rendered
+        store.close()
+
+
+class TestThreeTasksConsistency:
+    """The three tasks must tell one coherent story about the same data."""
+
+    def test_vp_and_cf_agree_on_the_window(self, seasonal_data):
+        db = seasonal_data.database
+        miner = TemporalMiner(db)
+        thresholds = RuleThresholds(0.3, 0.6)
+        vp = miner.valid_periods(
+            ValidPeriodTask(
+                granularity=Granularity.MONTH, thresholds=thresholds, max_rule_size=2
+            )
+        )
+        catalog = db.catalog
+        season0 = RuleKey(
+            Itemset([catalog.id("season0_a")]), Itemset([catalog.id("season0_b")])
+        )
+        record = next(r for r in vp if r.key == season0)
+        window = record.periods[0].interval
+        cf = miner.with_feature(
+            ConstrainedTask(feature=window, thresholds=thresholds, max_rule_size=2)
+        )
+        assert season0 in {r.key for r in cf}
+        cf_rule = next(r for r in cf if r.key == season0)
+        assert cf_rule.rule.support == pytest.approx(
+            record.periods[0].temporal_support
+        )
+
+    def test_periodicity_and_cf_agree_on_weekends(self, periodic_data):
+        db = periodic_data.database
+        miner = TemporalMiner(db)
+        thresholds = RuleThresholds(0.3, 0.6)
+        periodicities = miner.periodicities(
+            PeriodicityTask(
+                granularity=Granularity.DAY,
+                thresholds=thresholds,
+                max_period=1,
+                min_repetitions=5,
+                min_match=0.9,
+                calendar_patterns=(CalendarPattern.parse("weekday=5|6"),),
+                max_rule_size=2,
+            )
+        )
+        catalog = db.catalog
+        weekend = RuleKey(
+            Itemset([catalog.id("weekend_a")]), Itemset([catalog.id("weekend_b")])
+        )
+        assert weekend in {f.key for f in periodicities}
+        cf = miner.with_feature(
+            ConstrainedTask(
+                feature=CalendarPattern.parse("weekday=5|6"),
+                thresholds=thresholds,
+                granularity=Granularity.DAY,
+                max_rule_size=2,
+            )
+        )
+        assert weekend in {r.key for r in cf}
+
+
+class TestCliEntryPoint:
+    def test_console_script_registered(self):
+        from repro.system.repl import main
+
+        assert callable(main)

@@ -1,0 +1,90 @@
+"""Unit tests for the TML lexer."""
+
+import pytest
+
+from repro.errors import TmlLexError
+from repro.tml.lexer import tokenize
+from repro.tml.tokens import TokenType
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_keywords_are_case_insensitive(self):
+        tokens = tokenize("mine Rules FROM")
+        assert [t.value for t in tokens[:-1]] == ["MINE", "RULES", "FROM"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_preserve_case(self):
+        token = tokenize("SalesData")[0]
+        assert token.type is TokenType.IDENT
+        assert token.value == "SalesData"
+
+    def test_numbers(self):
+        assert values("0.25 12 3.5") == ["0.25", "12", "3.5"]
+        assert kinds("0.25")[:-1] == [TokenType.NUMBER]
+
+    def test_leading_dot_number(self):
+        assert values(".5") == [".5"]
+
+    def test_operators(self):
+        assert values(">= <= = < >") == [">=", "<=", "=", "<", ">"]
+
+    def test_punctuation(self):
+        assert kinds(",;()")[:-1] == [
+            TokenType.COMMA,
+            TokenType.SEMICOLON,
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+        ]
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+        assert tokenize("MINE")[-1].type is TokenType.EOF
+
+
+class TestStrings:
+    def test_simple_string(self):
+        token = tokenize("'month=12'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "month=12"
+
+    def test_escaped_quote(self):
+        token = tokenize("'it''s'")[0]
+        assert token.value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(TmlLexError):
+            tokenize("'oops")
+
+
+class TestTrivia:
+    def test_comments_skipped(self):
+        assert values("MINE -- a comment\nRULES") == ["MINE", "RULES"]
+
+    def test_whitespace_and_newlines(self):
+        assert values("MINE\n\t RULES") == ["MINE", "RULES"]
+
+    def test_positions(self):
+        tokens = tokenize("MINE\nRULES")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 1)
+
+    def test_offsets_slice_source(self):
+        source = "MINE  RULES"
+        tokens = tokenize(source)
+        assert source[tokens[1].offset : tokens[1].offset + 5] == "RULES"
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(TmlLexError) as exc_info:
+            tokenize("MINE @ RULES")
+        assert exc_info.value.line == 1
+        assert exc_info.value.column == 6
