@@ -42,7 +42,12 @@ from repro.core import (
     mine_rules,
     partition,
 )
-from repro.errors import ReproError
+from repro.errors import (
+    BudgetExceededError,
+    MiningCancelledError,
+    ReproError,
+    TransientDatabaseError,
+)
 from repro.mining import (
     ConstrainedRule,
     ConstrainedTask,
@@ -54,6 +59,13 @@ from repro.mining import (
     ValidPeriod,
     ValidPeriodRule,
     ValidPeriodTask,
+)
+from repro.runtime import (
+    CancellationToken,
+    RetryPolicy,
+    RunBudget,
+    RunDiagnostics,
+    RunMonitor,
 )
 from repro.system import IqmsSession
 from repro.temporal import (
@@ -72,9 +84,11 @@ __version__ = "1.0.0"
 __all__ = [
     "AprioriOptions",
     "AssociationRule",
+    "BudgetExceededError",
     "CalendarExpression",
     "CalendarPattern",
     "CalendricPeriodicity",
+    "CancellationToken",
     "ConstrainedRule",
     "ConstrainedTask",
     "CyclicPeriodicity",
@@ -84,17 +98,23 @@ __all__ = [
     "IqmsSession",
     "ItemCatalog",
     "Itemset",
+    "MiningCancelledError",
     "MiningReport",
     "PeriodicityFinding",
     "PeriodicityTask",
     "ReproError",
+    "RetryPolicy",
     "RuleKey",
     "RuleThresholds",
+    "RunBudget",
+    "RunDiagnostics",
+    "RunMonitor",
     "TemporalMiner",
     "TimeInterval",
     "TmlExecutor",
     "Transaction",
     "TransactionDatabase",
+    "TransientDatabaseError",
     "ValidPeriod",
     "ValidPeriodRule",
     "ValidPeriodTask",

@@ -25,6 +25,11 @@ from repro.core.counting import make_counter
 from repro.core.items import Item, Itemset
 from repro.core.transactions import TransactionDatabase
 from repro.errors import MiningParameterError
+from repro.runtime.budget import RunInterrupted, RunMonitor
+
+# Baskets counted between two deadline/cancellation checks when a run is
+# monitored; large enough that the check cost disappears in the scan.
+_CHECK_STRIDE = 4096
 
 
 @dataclass(frozen=True)
@@ -162,6 +167,7 @@ def apriori(
     database: TransactionDatabase,
     min_support: float,
     options: Optional[AprioriOptions] = None,
+    monitor: Optional[RunMonitor] = None,
 ) -> FrequentItemsets:
     """Mine all frequent itemsets of ``database`` at ``min_support``.
 
@@ -169,10 +175,15 @@ def apriori(
         database: timestamped transaction database (timestamps ignored here).
         min_support: relative threshold in (0, 1].
         options: see :class:`AprioriOptions`.
+        monitor: optional run monitor; when its budget is exhausted (or
+            its token cancelled) the search stops at a pass boundary and
+            the itemsets of the completed passes are returned — an exact
+            subset of the unbudgeted result.
 
     Returns:
         All itemsets whose relative support is >= ``min_support``, with
-        their absolute counts.
+        their absolute counts (possibly truncated to the completed
+        passes when a monitored run stops early).
     """
     validate_min_support(min_support)
     options = options or AprioriOptions()
@@ -183,36 +194,55 @@ def apriori(
     # Threshold as an absolute count, rounded up (support >= min_support).
     min_count = _min_count(min_support, n)
 
-    # Pass 1: count single items directly.
-    item_counts = database.item_frequencies()
-    frequent: List[Itemset] = []
-    for item, count in item_counts.items():
-        if count >= min_count:
-            singleton = Itemset((item,))
-            result[singleton] = count
-            frequent.append(singleton)
-    frequent.sort()
-
-    # Working copy of baskets for optional transaction reduction.
-    baskets: List[Tuple[Item, ...]] = [t.items.items for t in database]
-
-    k = 2
-    while frequent and (options.max_size == 0 or k <= options.max_size):
-        candidates = generate_candidates(frequent)
-        if not candidates:
-            break
-        counter = make_counter(candidates, strategy=options.counting)
-        if options.transaction_reduction:
-            baskets = [b for b in baskets if len(b) >= k]
-        for basket in baskets:
-            counter.count_transaction(basket)
-        frequent = []
-        for itemset, count in counter.counts().items():
+    try:
+        # Pass 1: count single items directly.
+        item_counts = database.item_frequencies()
+        frequent: List[Itemset] = []
+        for item, count in item_counts.items():
             if count >= min_count:
-                result[itemset] = count
-                frequent.append(itemset)
+                singleton = Itemset((item,))
+                result[singleton] = count
+                frequent.append(singleton)
         frequent.sort()
-        k += 1
+        if monitor is not None:
+            monitor.complete_pass()
+            monitor.checkpoint()
+
+        # Working copy of baskets for optional transaction reduction.
+        baskets: List[Tuple[Item, ...]] = [t.items.items for t in database]
+
+        k = 2
+        while frequent and (options.max_size == 0 or k <= options.max_size):
+            candidates = generate_candidates(frequent)
+            if not candidates:
+                break
+            if monitor is not None:
+                monitor.charge_candidates(len(candidates))
+            counter = make_counter(candidates, strategy=options.counting)
+            if options.transaction_reduction:
+                baskets = [b for b in baskets if len(b) >= k]
+            if monitor is None:
+                for basket in baskets:
+                    counter.count_transaction(basket)
+            else:
+                for start in range(0, len(baskets), _CHECK_STRIDE):
+                    monitor.checkpoint()
+                    for basket in baskets[start : start + _CHECK_STRIDE]:
+                        counter.count_transaction(basket)
+            frequent = []
+            for itemset, count in counter.counts().items():
+                if count >= min_count:
+                    result[itemset] = count
+                    frequent.append(itemset)
+            frequent.sort()
+            if monitor is not None:
+                monitor.complete_pass()
+            k += 1
+    except RunInterrupted:
+        # Stop at the pass boundary: the interrupted pass's counts are
+        # incomplete and are discarded wholesale, so every itemset in
+        # ``result`` carries its exact support.
+        pass
     return FrequentItemsets(result, n)
 
 

@@ -20,6 +20,7 @@ from repro.core.apriori import FrequentItemsets, _min_count, validate_min_suppor
 from repro.core.items import Item, Itemset
 from repro.core.transactions import TransactionDatabase
 from repro.errors import MiningParameterError
+from repro.runtime.budget import RunInterrupted, RunMonitor
 
 
 class _FPNode:
@@ -117,6 +118,7 @@ def _mine_tree(
     min_count: int,
     out: Dict[Itemset, int],
     max_size: int,
+    monitor: Optional[RunMonitor] = None,
 ) -> None:
     single = tree.is_single_path()
     if single is not None:
@@ -125,6 +127,11 @@ def _mine_tree(
     counts = tree.item_counts()
     # Process items in ascending support (standard order for projection).
     for item in sorted(counts, key=lambda i: (counts[i], i)):
+        if monitor is not None:
+            # Every emitted itemset's count is final the moment it is
+            # written, so stopping between projections yields an exact
+            # subset of the full result.
+            monitor.checkpoint()
         count = counts[item]
         if count < min_count:
             continue
@@ -147,7 +154,7 @@ def _mine_tree(
         }
         conditional = _build_tree(paths, order, min_count, conditional_counts)
         if conditional.header:
-            _mine_tree(conditional, new_suffix, min_count, out, max_size)
+            _mine_tree(conditional, new_suffix, min_count, out, max_size, monitor)
 
 
 def _emit_single_path(
@@ -177,6 +184,7 @@ def fpgrowth(
     database: TransactionDatabase,
     min_support: float,
     max_size: int = 0,
+    monitor: Optional[RunMonitor] = None,
 ) -> FrequentItemsets:
     """Mine all frequent itemsets with FP-growth.
 
@@ -184,10 +192,13 @@ def fpgrowth(
         database: the transaction database (timestamps ignored).
         min_support: relative threshold in (0, 1].
         max_size: cap on itemset size (0 = unbounded).
+        monitor: optional run monitor; an interrupted run returns the
+            itemsets emitted so far (all with exact counts).
 
     Returns:
         Exactly the itemsets (and counts) that
-        :func:`repro.core.apriori.apriori` returns.
+        :func:`repro.core.apriori.apriori` returns (a subset when a
+        monitored run stops early).
     """
     validate_min_support(min_support)
     if max_size < 0:
@@ -215,7 +226,10 @@ def fpgrowth(
         ((t.items.items, 1) for t in database), order, min_count, frequent_items
     )
     result: Dict[Itemset, int] = {}
-    _mine_tree(tree, (), min_count, result, max_size)
+    try:
+        _mine_tree(tree, (), min_count, result, max_size, monitor)
+    except RunInterrupted:
+        pass  # keep the exact itemsets emitted before the stop
     # _mine_tree re-derives singletons too; merge (counts agree by
     # construction) and keep the direct-scan singletons as authoritative.
     result.update(out)

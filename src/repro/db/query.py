@@ -24,6 +24,9 @@ _FORBIDDEN_PREFIXES = (
     "attach", "detach", "pragma", "vacuum", "reindex",
 )
 
+#: DML verbs :func:`run_mutation` accepts (schema changes stay forbidden).
+MUTATION_PREFIXES = ("insert", "update", "delete", "replace")
+
 
 @dataclass(frozen=True)
 class QueryResult:
@@ -85,6 +88,40 @@ def run_query(
     columns = tuple(d[0] for d in cursor.description or ())
     rows = tuple(tuple(row) for row in cursor.fetchall())
     return QueryResult(columns=columns, rows=rows)
+
+
+def is_mutating_sql(sql: str) -> bool:
+    """True when ``sql`` starts with a DML verb run_mutation accepts."""
+    head = sql.strip().split(None, 1)
+    return bool(head) and head[0].lower() in MUTATION_PREFIXES
+
+
+def run_mutation(
+    store: SqliteStore, sql: str, parameters: Sequence[object] = ()
+) -> QueryResult:
+    """Execute a DML statement (INSERT/UPDATE/DELETE/REPLACE) and commit.
+
+    Goes through the store's retry-wrapped primitives, so transient lock
+    contention is absorbed.  Returns a one-row result with the affected
+    row count.  Schema-changing statements stay rejected.
+    """
+    head = sql.strip().split(None, 1)
+    if not head:
+        raise DatabaseError("empty statement")
+    verb = head[0].lower()
+    if verb not in MUTATION_PREFIXES:
+        raise DatabaseError(
+            f"only {', '.join(v.upper() for v in MUTATION_PREFIXES)} are "
+            f"allowed here, got {head[0].upper()}"
+        )
+    try:
+        cursor = store._execute(sql, tuple(parameters))
+        store._commit()
+    except sqlite3.Error as error:
+        raise DatabaseError(f"mutation failed: {error}") from error
+    return QueryResult(
+        columns=("rows_affected",), rows=((cursor.rowcount,),)
+    )
 
 
 def summarize(store: SqliteStore) -> QueryResult:

@@ -18,18 +18,27 @@ layout)::
 The store converts to/from the in-memory
 :class:`~repro.core.transactions.TransactionDatabase` that the mining
 algorithms consume.
+
+Resilience: every SQL primitive goes through
+:func:`repro.runtime.retry.retry_call`, so transient ``database is
+locked`` errors are retried with exponential backoff before surfacing as
+:class:`~repro.errors.TransientDatabaseError`.  Each primitive is safe to
+retry because SQLite acquires its lock *before* applying any statement —
+a locked ``executemany`` never half-applies.
 """
 
 from __future__ import annotations
 
 import sqlite3
+import time
 from datetime import datetime
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.items import ItemCatalog
 from repro.core.transactions import Transaction, TransactionDatabase
 from repro.errors import DatabaseError, SchemaError
+from repro.runtime.retry import RetryPolicy, retry_call
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS transactions (
@@ -47,6 +56,9 @@ class SqliteStore:
     """A persistent transaction store over SQLite.
 
     Usable as a context manager; ``":memory:"`` gives an ephemeral store.
+    File-backed stores run in WAL mode with a ``busy_timeout`` so
+    concurrent readers do not starve writers; ``close()`` is idempotent
+    and safe to call even when ``__init__`` failed mid-way.
 
     >>> store = SqliteStore(":memory:")
     >>> store.insert_transaction(datetime(2026, 1, 1), ["bread", "milk"])
@@ -55,21 +67,49 @@ class SqliteStore:
     1
     """
 
-    def __init__(self, path: Union[str, Path] = ":memory:"):
+    def __init__(
+        self,
+        path: Union[str, Path] = ":memory:",
+        busy_timeout_ms: int = 5000,
+        retry_policy: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
         self.path = str(path)
+        # Set before any fallible work so close() is safe after a failed
+        # construction (satellite: no AttributeError from __del__/with).
+        self._connection: Optional[sqlite3.Connection] = None
+        self._retry_policy = retry_policy or RetryPolicy()
+        self._sleep = sleep
         try:
-            self._connection = sqlite3.connect(self.path)
+            # check_same_thread=False: the IQMS session may cancel/inspect
+            # from a signal handler or helper thread; our own access is
+            # serialized at the call sites.
+            self._connection = sqlite3.connect(
+                self.path, check_same_thread=False
+            )
         except sqlite3.Error as error:
             raise DatabaseError(f"cannot open {self.path!r}: {error}") from error
-        self._connection.executescript(_SCHEMA)
-        self._connection.commit()
+        self._connection.execute(f"PRAGMA busy_timeout = {int(busy_timeout_ms)}")
+        if self.path != ":memory:":
+            # WAL lets readers proceed during a write; NORMAL sync is the
+            # standard pairing (durability still survives app crashes).
+            self._connection.execute("PRAGMA journal_mode = WAL")
+            self._connection.execute("PRAGMA synchronous = NORMAL")
+        self._executescript(_SCHEMA)
+        self._commit()
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        self._connection.close()
+        """Close the connection; safe to call repeatedly."""
+        if self._connection is None:
+            return
+        try:
+            self._connection.close()
+        finally:
+            self._connection = None
 
     def __enter__(self) -> "SqliteStore":
         return self
@@ -80,14 +120,50 @@ class SqliteStore:
     @property
     def connection(self) -> sqlite3.Connection:
         """The raw connection (used by the ad-hoc query function)."""
+        if self._connection is None:
+            raise DatabaseError(f"store {self.path!r} is closed")
         return self._connection
+
+    # ------------------------------------------------------------------
+    # retry-wrapped SQL primitives
+    # ------------------------------------------------------------------
+
+    def _retry(self, operation: Callable[[], object], describe: str):
+        return retry_call(
+            operation,
+            policy=self._retry_policy,
+            sleep=self._sleep,
+            describe=describe,
+        )
+
+    def _execute(self, sql: str, parameters: Sequence[object] = ()) -> sqlite3.Cursor:
+        connection = self.connection
+        return self._retry(
+            lambda: connection.execute(sql, tuple(parameters)), f"execute: {sql}"
+        )
+
+    def _executemany(
+        self, sql: str, rows: Sequence[Sequence[object]]
+    ) -> sqlite3.Cursor:
+        connection = self.connection
+        return self._retry(
+            lambda: connection.executemany(sql, rows), f"executemany: {sql}"
+        )
+
+    def _executescript(self, script: str) -> None:
+        connection = self.connection
+        self._retry(lambda: connection.executescript(script), "executescript")
+
+    def _commit(self) -> None:
+        connection = self.connection
+        self._retry(connection.commit, "commit")
 
     # ------------------------------------------------------------------
     # writes
     # ------------------------------------------------------------------
 
     def next_tid(self) -> int:
-        row = self._connection.execute("SELECT MAX(tid) FROM transactions").fetchone()
+        row = self._execute("SELECT MAX(tid) FROM transactions").fetchone()
         return (row[0] or 0) + 1
 
     def insert_transaction(
@@ -103,14 +179,14 @@ class SqliteStore:
         if tid is None:
             tid = self.next_tid()
         try:
-            self._connection.executemany(
+            self._executemany(
                 "INSERT INTO transactions (tid, ts, item) VALUES (?, ?, ?)",
                 [(tid, timestamp.isoformat(), label) for label in labels],
             )
         except sqlite3.IntegrityError as error:
-            self._connection.rollback()
+            self.connection.rollback()
             raise DatabaseError(f"duplicate tid {tid}: {error}") from error
-        self._connection.commit()
+        self._commit()
         return tid
 
     def insert_many(
@@ -128,10 +204,10 @@ class SqliteStore:
             tid += 1
             count += 1
         if rows:
-            self._connection.executemany(
+            self._executemany(
                 "INSERT INTO transactions (tid, ts, item) VALUES (?, ?, ?)", rows
             )
-            self._connection.commit()
+            self._commit()
         return count
 
     def save_database(self, database: TransactionDatabase, replace: bool = False) -> int:
@@ -144,37 +220,31 @@ class SqliteStore:
             stamp = transaction.timestamp.isoformat()
             for item in transaction.items:
                 rows.append((transaction.tid, stamp, catalog.label(item)))
-        self._connection.executemany(
+        self._executemany(
             "INSERT INTO transactions (tid, ts, item) VALUES (?, ?, ?)", rows
         )
-        self._connection.commit()
+        self._commit()
         return len(database)
 
     def clear(self) -> None:
         """Delete every transaction."""
-        self._connection.execute("DELETE FROM transactions")
-        self._connection.commit()
+        self._execute("DELETE FROM transactions")
+        self._commit()
 
     # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------
 
     def count_transactions(self) -> int:
-        row = self._connection.execute(
-            "SELECT COUNT(DISTINCT tid) FROM transactions"
-        ).fetchone()
+        row = self._execute("SELECT COUNT(DISTINCT tid) FROM transactions").fetchone()
         return int(row[0])
 
     def count_items(self) -> int:
-        row = self._connection.execute(
-            "SELECT COUNT(DISTINCT item) FROM transactions"
-        ).fetchone()
+        row = self._execute("SELECT COUNT(DISTINCT item) FROM transactions").fetchone()
         return int(row[0])
 
     def time_span(self) -> Optional[Tuple[datetime, datetime]]:
-        row = self._connection.execute(
-            "SELECT MIN(ts), MAX(ts) FROM transactions"
-        ).fetchone()
+        row = self._execute("SELECT MIN(ts), MAX(ts) FROM transactions").fetchone()
         if row[0] is None:
             return None
         return datetime.fromisoformat(row[0]), datetime.fromisoformat(row[1])
@@ -199,7 +269,7 @@ class SqliteStore:
             sql += f" WHERE {where}"
         sql += " ORDER BY ts, tid"
         try:
-            cursor = self._connection.execute(sql, tuple(parameters))
+            cursor = self._execute(sql, tuple(parameters))
         except sqlite3.Error as error:
             raise DatabaseError(f"load query failed: {error}") from error
         database = TransactionDatabase(catalog=catalog)
@@ -262,8 +332,8 @@ def load_csv(
         for tid, (stamp, items) in sorted(grouped.items())
         for item in sorted(set(items))
     ]
-    store.connection.executemany(
+    store._executemany(
         "INSERT INTO transactions (tid, ts, item) VALUES (?, ?, ?)", rows
     )
-    store.connection.commit()
+    store._commit()
     return len(grouped)

@@ -41,8 +41,47 @@ class PeriodicityError(TemporalError):
     """Malformed periodicity specification."""
 
 
+class BudgetExceededError(ReproError):
+    """A mining run exhausted its :class:`~repro.runtime.RunBudget`.
+
+    Raised only in *strict* mode; by default exhausted runs return a
+    partial :class:`~repro.mining.results.MiningReport` instead.  The
+    ``diagnostics`` attribute carries the run's
+    :class:`~repro.runtime.RunDiagnostics` when available.
+    """
+
+    def __init__(self, message: str, diagnostics=None):
+        super().__init__(message)
+        self.diagnostics = diagnostics
+
+
+class MiningCancelledError(ReproError):
+    """A mining run was cancelled via a cooperative cancellation token.
+
+    Raised only in *strict* mode; by default cancelled runs return a
+    partial report.  Carries ``diagnostics`` like
+    :class:`BudgetExceededError`.
+    """
+
+    def __init__(self, message: str, diagnostics=None):
+        super().__init__(message)
+        self.diagnostics = diagnostics
+
+
 class DatabaseError(ReproError):
     """Failure in the SQLite-backed transaction store."""
+
+
+class TransientDatabaseError(DatabaseError):
+    """A retryable store failure (e.g. ``database is locked``) that still
+    failed after the bounded retry budget was exhausted.
+
+    The ``attempts`` attribute records how many tries were made.
+    """
+
+    def __init__(self, message: str, attempts: int = 0):
+        super().__init__(message)
+        self.attempts = attempts
 
 
 class SchemaError(DatabaseError):

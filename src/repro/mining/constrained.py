@@ -20,6 +20,7 @@ from repro.core.transactions import Transaction, TransactionDatabase
 from repro.errors import MiningParameterError
 from repro.mining.results import ConstrainedRule, MiningReport
 from repro.mining.tasks import ConstrainedTask, TemporalFeature
+from repro.runtime.budget import RunInterrupted, RunMonitor
 from repro.temporal.calendar_algebra import CalendarExpression, CalendarPattern
 from repro.temporal.granularity import Granularity, unit_index
 from repro.temporal.interval import IntervalSet, TimeInterval
@@ -96,12 +97,15 @@ def mine_with_feature(
     database: TransactionDatabase,
     task: ConstrainedTask,
     apriori_options: Optional[AprioriOptions] = None,
+    monitor: Optional[RunMonitor] = None,
 ) -> MiningReport:
     """Run Task 3 end to end.
 
     Returns a :class:`MiningReport` of :class:`ConstrainedRule` records,
     sorted by descending confidence then support (the order
-    :func:`repro.core.rulegen.generate_rules` produces).
+    :func:`repro.core.rulegen.generate_rules` produces).  A monitored
+    run that stops early reports the rules derivable from Apriori's
+    completed passes with ``partial=True`` (strict mode raises).
     """
     started = time.perf_counter()
     granularity = task.effective_granularity()
@@ -116,7 +120,9 @@ def mine_with_feature(
                 transaction_reduction=options.transaction_reduction,
                 max_size=task.max_rule_size,
             )
-        frequent = apriori(restricted, task.thresholds.min_support, options=options)
+        frequent = apriori(
+            restricted, task.thresholds.min_support, options=options, monitor=monitor
+        )
         rules = generate_rules(
             frequent,
             task.thresholds.min_confidence,
@@ -134,15 +140,24 @@ def mine_with_feature(
                 ]
             else:
                 rules = []
-        results = [
-            ConstrainedRule(rule=rule, feature_description=description)
-            for rule in rules
-        ]
+        try:
+            for rule in rules:
+                if monitor is not None:
+                    monitor.charge_rule()
+                results.append(
+                    ConstrainedRule(rule=rule, feature_description=description)
+                )
+        except RunInterrupted:
+            pass
     elapsed = time.perf_counter() - started
+    if monitor is not None:
+        monitor.raise_for_strict()
     return MiningReport(
         task_name="constrained",
         results=tuple(results),
         n_transactions=len(restricted),
         n_units=0,
         elapsed_seconds=elapsed,
+        partial=monitor.stopped if monitor is not None else False,
+        diagnostics=monitor.diagnostics() if monitor is not None else None,
     )

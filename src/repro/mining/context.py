@@ -29,6 +29,7 @@ from repro.core.counting import make_counter
 from repro.core.items import Item, Itemset
 from repro.core.transactions import TransactionDatabase
 from repro.errors import MiningParameterError, TransactionError
+from repro.runtime.budget import RunInterrupted, RunMonitor
 from repro.temporal.granularity import Granularity, unit_index, unit_label
 
 
@@ -86,11 +87,20 @@ class TemporalContext:
     # counting
     # ------------------------------------------------------------------
 
-    def count_items_per_unit(self) -> Dict[Item, np.ndarray]:
-        """Per-unit absolute support of every single item (one scan)."""
+    def count_items_per_unit(
+        self, monitor: Optional[RunMonitor] = None
+    ) -> Dict[Item, np.ndarray]:
+        """Per-unit absolute support of every single item (one scan).
+
+        A monitored run checks the budget at every granule boundary and
+        raises :class:`~repro.runtime.budget.RunInterrupted` mid-scan;
+        callers treat the level-1 pass as incomplete in that case.
+        """
         counts: Dict[Item, np.ndarray] = {}
         n = self.n_units
         for offset, baskets in enumerate(self._baskets):
+            if monitor is not None:
+                monitor.tick_granule(offset)
             for basket in baskets:
                 for item in basket:
                     row = counts.get(item)
@@ -105,6 +115,7 @@ class TemporalContext:
         candidates: Sequence[Itemset],
         unit_mask: Optional[np.ndarray] = None,
         counting: str = "auto",
+        monitor: Optional[RunMonitor] = None,
     ) -> Dict[Itemset, np.ndarray]:
         """Per-unit supports of ``candidates`` in one scan of the data.
 
@@ -115,6 +126,11 @@ class TemporalContext:
                 cycle-skipping optimization uses.
             counting: counting strategy per unit (see
                 :mod:`repro.core.counting`).
+            monitor: optional run monitor, checked at every granule
+                boundary; raises
+                :class:`~repro.runtime.budget.RunInterrupted` mid-scan,
+                in which case the returned counts are incomplete and the
+                caller must discard the pass.
         """
         n = self.n_units
         results: Dict[Itemset, np.ndarray] = {
@@ -123,6 +139,8 @@ class TemporalContext:
         if not candidates:
             return results
         for offset, baskets in enumerate(self._baskets):
+            if monitor is not None:
+                monitor.tick_granule(offset)
             if unit_mask is not None and not unit_mask[offset]:
                 continue
             if not baskets:
@@ -187,6 +205,7 @@ def per_unit_frequent_itemsets(
     min_units: int = 1,
     max_size: int = 0,
     counting: str = "auto",
+    monitor: Optional[RunMonitor] = None,
 ) -> PerUnitCounts:
     """Level-wise mining of itemsets locally frequent in >= ``min_units`` units.
 
@@ -202,6 +221,10 @@ def per_unit_frequent_itemsets(
             (the temporal prune; 1 keeps everything frequent anywhere).
         max_size: cap on itemset size (0 = unbounded).
         counting: per-unit counting strategy.
+        monitor: optional run monitor; when the run stops, the pass being
+            counted is discarded and only fully-counted levels are
+            returned, so every retained count is exact and the result is
+            a subset of the unbudgeted run's.
     """
     if not 0.0 < min_support <= 1.0:
         raise MiningParameterError(f"min_support must be in (0, 1], got {min_support}")
@@ -210,29 +233,43 @@ def per_unit_frequent_itemsets(
     thresholds = context.local_min_counts(min_support)
     retained: Dict[Itemset, np.ndarray] = {}
 
-    # Level 1: single items in one scan.
-    item_counts = context.count_items_per_unit()
-    frontier: List[Itemset] = []
-    for item, row in item_counts.items():
-        frequent_units = int(np.count_nonzero(row >= thresholds))
-        if frequent_units >= min_units:
-            singleton = Itemset((item,))
-            retained[singleton] = row
-            frontier.append(singleton)
-    frontier.sort()
-
-    k = 2
-    while frontier and (max_size == 0 or k <= max_size):
-        candidates = generate_candidates(frontier)
-        if not candidates:
-            break
-        counted = context.count_candidates_per_unit(candidates, counting=counting)
-        frontier = []
-        for itemset, row in counted.items():
+    try:
+        # Level 1: single items in one scan.
+        item_counts = context.count_items_per_unit(monitor=monitor)
+        frontier: List[Itemset] = []
+        for item, row in item_counts.items():
             frequent_units = int(np.count_nonzero(row >= thresholds))
             if frequent_units >= min_units:
-                retained[itemset] = row
-                frontier.append(itemset)
+                singleton = Itemset((item,))
+                retained[singleton] = row
+                frontier.append(singleton)
         frontier.sort()
-        k += 1
+        if monitor is not None:
+            monitor.complete_pass()
+
+        k = 2
+        while frontier and (max_size == 0 or k <= max_size):
+            candidates = generate_candidates(frontier)
+            if not candidates:
+                break
+            if monitor is not None:
+                monitor.charge_candidates(len(candidates))
+            counted = context.count_candidates_per_unit(
+                candidates, counting=counting, monitor=monitor
+            )
+            frontier = []
+            for itemset, row in counted.items():
+                frequent_units = int(np.count_nonzero(row >= thresholds))
+                if frequent_units >= min_units:
+                    retained[itemset] = row
+                    frontier.append(itemset)
+            frontier.sort()
+            if monitor is not None:
+                monitor.complete_pass()
+            k += 1
+    except RunInterrupted:
+        # The interrupted pass never touched ``retained``: an incomplete
+        # level-1 scan leaves it empty, an incomplete level-k scan is
+        # discarded before its survivors are committed.
+        pass
     return PerUnitCounts(context=context, counts=retained, min_support=min_support)

@@ -4,11 +4,17 @@ This is the programmatic kernel that both the TML executor and the IQMS
 system drive.  It caches the temporal partitioning per granularity so an
 interactive session that refines thresholds (the IQMI iterative loop)
 does not re-bucket the data every time.
+
+Every task method accepts the resilience knobs from
+:mod:`repro.runtime`: a :class:`~repro.runtime.budget.RunBudget`, a
+:class:`~repro.runtime.budget.CancellationToken`, or a pre-built
+:class:`~repro.runtime.budget.RunMonitor` (which wins when given — the
+fault-injection harness uses it to attach granule hooks).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.core.apriori import AprioriOptions
 from repro.core.transactions import TransactionDatabase
@@ -18,7 +24,22 @@ from repro.mining.periodicities import discover_cyclic_interleaved, discover_per
 from repro.mining.results import MiningReport
 from repro.mining.tasks import ConstrainedTask, PeriodicityTask, ValidPeriodTask
 from repro.mining.valid_periods import discover_valid_periods
+from repro.runtime.budget import CancellationToken, RunBudget, RunMonitor
 from repro.temporal.granularity import Granularity
+
+
+def _make_monitor(
+    budget: Optional[RunBudget],
+    token: Optional[CancellationToken],
+    monitor: Optional[RunMonitor],
+    granule_hook: Optional[Callable[[int], None]],
+) -> Optional[RunMonitor]:
+    """Resolve the monitor for one run (explicit monitor wins)."""
+    if monitor is not None:
+        return monitor
+    if budget is None and token is None and granule_hook is None:
+        return None
+    return RunMonitor(budget=budget, token=token, granule_hook=granule_hook)
 
 
 class TemporalMiner:
@@ -48,14 +69,30 @@ class TemporalMiner:
     # the three tasks
     # ------------------------------------------------------------------
 
-    def valid_periods(self, task: ValidPeriodTask) -> MiningReport:
+    def valid_periods(
+        self,
+        task: ValidPeriodTask,
+        budget: Optional[RunBudget] = None,
+        token: Optional[CancellationToken] = None,
+        monitor: Optional[RunMonitor] = None,
+        granule_hook: Optional[Callable[[int], None]] = None,
+    ) -> MiningReport:
         """Task 1 — discover the valid periods of rules."""
         return discover_valid_periods(
-            self.database, task, context=self.context(task.granularity)
+            self.database,
+            task,
+            context=self.context(task.granularity),
+            monitor=_make_monitor(budget, token, monitor, granule_hook),
         )
 
     def periodicities(
-        self, task: PeriodicityTask, interleaved: bool = False
+        self,
+        task: PeriodicityTask,
+        interleaved: bool = False,
+        budget: Optional[RunBudget] = None,
+        token: Optional[CancellationToken] = None,
+        monitor: Optional[RunMonitor] = None,
+        granule_hook: Optional[Callable[[int], None]] = None,
     ) -> MiningReport:
         """Task 2 — discover rule periodicities.
 
@@ -63,18 +100,34 @@ class TemporalMiner:
         algorithm (exact cyclic search only; see
         :func:`repro.mining.periodicities.discover_cyclic_interleaved`).
         """
+        resolved = _make_monitor(budget, token, monitor, granule_hook)
         if interleaved:
             return discover_cyclic_interleaved(
-                self.database, task, context=self.context(task.granularity)
+                self.database,
+                task,
+                context=self.context(task.granularity),
+                monitor=resolved,
             )
         return discover_periodicities(
-            self.database, task, context=self.context(task.granularity)
+            self.database,
+            task,
+            context=self.context(task.granularity),
+            monitor=resolved,
         )
 
     def with_feature(
         self,
         task: ConstrainedTask,
         apriori_options: Optional[AprioriOptions] = None,
+        budget: Optional[RunBudget] = None,
+        token: Optional[CancellationToken] = None,
+        monitor: Optional[RunMonitor] = None,
+        granule_hook: Optional[Callable[[int], None]] = None,
     ) -> MiningReport:
         """Task 3 — mine rules inside a given temporal feature."""
-        return mine_with_feature(self.database, task, apriori_options=apriori_options)
+        return mine_with_feature(
+            self.database,
+            task,
+            apriori_options=apriori_options,
+            monitor=_make_monitor(budget, token, monitor, granule_hook),
+        )

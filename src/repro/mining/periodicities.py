@@ -34,6 +34,7 @@ from repro.mining.context import PerUnitCounts, TemporalContext, per_unit_freque
 from repro.mining.results import MiningReport, PeriodicityFinding
 from repro.mining.rulespace import RuleUnitSeries, candidate_rules, enumerate_rule_splits, rule_series
 from repro.mining.tasks import PeriodicityTask
+from repro.runtime.budget import RunInterrupted, RunMonitor
 from repro.temporal.periodicity import CalendricPeriodicity, CyclicPeriodicity
 
 _EPS = 1e-9
@@ -173,11 +174,15 @@ def discover_periodicities(
     task: PeriodicityTask,
     context: Optional[TemporalContext] = None,
     counts: Optional[PerUnitCounts] = None,
+    monitor: Optional[RunMonitor] = None,
 ) -> MiningReport:
     """Run Task 2 end to end (generic path: count everywhere, then detect).
 
     Returns a :class:`MiningReport` of :class:`PeriodicityFinding` records
-    sorted by rule then period.
+    sorted by rule then period.  A monitored run that exhausts its budget
+    (or is cancelled) stops counting at a granule/pass boundary and
+    reports the findings derivable from the completed passes with
+    ``partial=True`` (strict mode raises instead).
     """
     started = time.perf_counter()
     if context is None:
@@ -188,6 +193,7 @@ def discover_periodicities(
             task.thresholds.min_support,
             min_units=task.min_repetitions,
             max_size=task.max_rule_size,
+            monitor=monitor,
         )
     series_list = candidate_rules(
         counts,
@@ -196,15 +202,27 @@ def discover_periodicities(
         max_consequent_size=task.max_consequent_size,
     )
     findings: List[PeriodicityFinding] = []
-    for series in series_list:
-        findings.extend(_findings_for_series(series, context, task))
+    # Detection over already-counted data still runs after a counting
+    # stop (it is the partial result); only the rule cap applies here.
+    try:
+        for series in series_list:
+            for finding in _findings_for_series(series, context, task):
+                if monitor is not None:
+                    monitor.charge_rule()
+                findings.append(finding)
+    except RunInterrupted:
+        pass
     elapsed = time.perf_counter() - started
+    if monitor is not None:
+        monitor.raise_for_strict()
     return MiningReport(
         task_name="periodicities",
         results=tuple(findings),
         n_transactions=len(database),
         n_units=context.n_units,
         elapsed_seconds=elapsed,
+        partial=monitor.stopped if monitor is not None else False,
+        diagnostics=monitor.diagnostics() if monitor is not None else None,
     )
 
 
@@ -237,6 +255,7 @@ def discover_cyclic_interleaved(
     database: TransactionDatabase,
     task: PeriodicityTask,
     context: Optional[TemporalContext] = None,
+    monitor: Optional[RunMonitor] = None,
 ) -> MiningReport:
     """Optimized cyclic discovery with cycle pruning and cycle skipping.
 
@@ -271,89 +290,108 @@ def discover_cyclic_interleaved(
     counts: Dict[Itemset, np.ndarray] = {}
     itemset_cycles: Dict[Itemset, Set[Cycle]] = {}
 
-    # Level 1: one full scan (no skipping possible before cycles exist).
-    for item, row in context.count_items_per_unit().items():
-        singleton = Itemset((item,))
-        support_valid = row >= thresholds
-        cycles = _sequence_cycles_exact(
-            support_valid, first_unit, task.max_period, task.min_repetitions
-        )
-        if cycles:
-            counts[singleton] = row
-            itemset_cycles[singleton] = cycles
+    try:
+        # Level 1: one full scan (no skipping possible before cycles exist).
+        for item, row in context.count_items_per_unit(monitor=monitor).items():
+            singleton = Itemset((item,))
+            support_valid = row >= thresholds
+            cycles = _sequence_cycles_exact(
+                support_valid, first_unit, task.max_period, task.min_repetitions
+            )
+            if cycles:
+                counts[singleton] = row
+                itemset_cycles[singleton] = cycles
+        if monitor is not None:
+            monitor.complete_pass()
 
-    frontier = sorted(itemset_cycles)
-    k = 2
-    while frontier and (task.max_rule_size == 0 or k <= task.max_rule_size):
-        joined = generate_candidates(frontier)
-        # Cycle pruning: inherit the intersection of the subsets' cycles.
-        candidate_cycles: Dict[Itemset, Set[Cycle]] = {}
-        for candidate in joined:
-            inherited: Optional[Set[Cycle]] = None
-            ok = True
-            for subset in candidate.subsets_of_size(k - 1):
-                subset_cycles = itemset_cycles.get(subset)
-                if subset_cycles is None:
-                    ok = False
-                    break
-                inherited = (
-                    set(subset_cycles)
-                    if inherited is None
-                    else inherited & subset_cycles
-                )
-            if ok and inherited:
-                candidate_cycles[candidate] = inherited
-        if not candidate_cycles:
-            break
-        # Cycle skipping: count each candidate only in its live-cycle units.
-        candidate_masks = {
-            candidate: _cycle_units(cycles, first_unit, n_units)
-            for candidate, cycles in candidate_cycles.items()
-        }
-        per_candidate_counts = {
-            candidate: np.zeros(n_units, dtype=np.int64)
-            for candidate in candidate_cycles
-        }
-        for offset in range(n_units):
-            active = [c for c, mask in candidate_masks.items() if mask[offset]]
-            baskets = context.baskets_in_unit(offset)
-            if not active or not baskets:
-                continue
-            counter = make_counter(active)
-            for basket in baskets:
-                counter.count_transaction(basket)
-            for itemset, count in counter.counts().items():
-                if count:
-                    per_candidate_counts[itemset][offset] = count
-        # Re-derive surviving cycles from actual counts.
-        frontier = []
-        for candidate, row in per_candidate_counts.items():
-            support_valid = (row >= thresholds) & candidate_masks[candidate]
-            survivors = {
-                cycle
-                for cycle in candidate_cycles[candidate]
-                if bool(
-                    support_valid[
-                        _member_mask(cycle, first_unit, n_units)
-                    ].all()
-                )
+        frontier = sorted(itemset_cycles)
+        k = 2
+        while frontier and (task.max_rule_size == 0 or k <= task.max_rule_size):
+            joined = generate_candidates(frontier)
+            if monitor is not None:
+                monitor.charge_candidates(len(joined))
+            # Cycle pruning: inherit the intersection of the subsets' cycles.
+            candidate_cycles: Dict[Itemset, Set[Cycle]] = {}
+            for candidate in joined:
+                inherited: Optional[Set[Cycle]] = None
+                ok = True
+                for subset in candidate.subsets_of_size(k - 1):
+                    subset_cycles = itemset_cycles.get(subset)
+                    if subset_cycles is None:
+                        ok = False
+                        break
+                    inherited = (
+                        set(subset_cycles)
+                        if inherited is None
+                        else inherited & subset_cycles
+                    )
+                if ok and inherited:
+                    candidate_cycles[candidate] = inherited
+            if not candidate_cycles:
+                break
+            # Cycle skipping: count each candidate only in its live-cycle units.
+            candidate_masks = {
+                candidate: _cycle_units(cycles, first_unit, n_units)
+                for candidate, cycles in candidate_cycles.items()
             }
-            if survivors:
-                counts[candidate] = row
-                itemset_cycles[candidate] = survivors
-                frontier.append(candidate)
-        frontier.sort()
-        k += 1
+            per_candidate_counts = {
+                candidate: np.zeros(n_units, dtype=np.int64)
+                for candidate in candidate_cycles
+            }
+            for offset in range(n_units):
+                if monitor is not None:
+                    monitor.tick_granule(offset)
+                active = [c for c, mask in candidate_masks.items() if mask[offset]]
+                baskets = context.baskets_in_unit(offset)
+                if not active or not baskets:
+                    continue
+                counter = make_counter(active)
+                for basket in baskets:
+                    counter.count_transaction(basket)
+                for itemset, count in counter.counts().items():
+                    if count:
+                        per_candidate_counts[itemset][offset] = count
+            # Re-derive surviving cycles from actual counts.  An
+            # interruption above leaves this level uncommitted, so
+            # ``counts``/``itemset_cycles`` only ever hold exact passes.
+            frontier = []
+            for candidate, row in per_candidate_counts.items():
+                support_valid = (row >= thresholds) & candidate_masks[candidate]
+                survivors = {
+                    cycle
+                    for cycle in candidate_cycles[candidate]
+                    if bool(
+                        support_valid[
+                            _member_mask(cycle, first_unit, n_units)
+                        ].all()
+                    )
+                }
+                if survivors:
+                    counts[candidate] = row
+                    itemset_cycles[candidate] = survivors
+                    frontier.append(candidate)
+            frontier.sort()
+            if monitor is not None:
+                monitor.complete_pass()
+            k += 1
+    except RunInterrupted:
+        pass
 
     # Rule phase: a rule's cycles are the itemset's support-cycles filtered
-    # by per-unit confidence.
+    # by per-unit confidence.  Runs over exact committed passes even after
+    # a counting stop; only the rule cap applies.
     findings: List[PeriodicityFinding] = []
     min_confidence = task.thresholds.min_confidence
+    interrupted = False
     for itemset in sorted(itemset_cycles):
+        if interrupted:
+            break
         if len(itemset) < 2:
             continue
         itemset_row = counts[itemset]
         for key in enumerate_rule_splits(itemset, task.max_consequent_size):
+            if interrupted:
+                break
             antecedent_row = counts.get(key.antecedent)
             if antecedent_row is None:
                 continue
@@ -377,6 +415,12 @@ def discover_cyclic_interleaved(
             if task.prune_submultiples:
                 rule_cycles = prune_submultiple_cycles(rule_cycles)
             for cycle, n_members, n_valid in rule_cycles:
+                if monitor is not None:
+                    try:
+                        monitor.charge_rule()
+                    except RunInterrupted:
+                        interrupted = True
+                        break
                 mask = _member_mask(cycle, first_unit, n_units)
                 denominator_support = int(context.unit_sizes[mask].sum())
                 denominator_confidence = int(antecedent_row[mask].sum())
@@ -413,10 +457,14 @@ def discover_cyclic_interleaved(
             f.periodicity.offset,  # type: ignore[union-attr]
         )
     )
+    if monitor is not None:
+        monitor.raise_for_strict()
     return MiningReport(
         task_name="periodicities",
         results=tuple(findings),
         n_transactions=len(database),
         n_units=context.n_units,
         elapsed_seconds=elapsed,
+        partial=monitor.stopped if monitor is not None else False,
+        diagnostics=monitor.diagnostics() if monitor is not None else None,
     )

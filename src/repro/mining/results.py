@@ -12,6 +12,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.items import ItemCatalog
 from repro.core.rulegen import AssociationRule, RuleKey
+from repro.runtime.budget import RunDiagnostics
 from repro.temporal.granularity import Granularity, unit_label
 from repro.temporal.interval import TimeInterval
 from repro.temporal.periodicity import CalendricPeriodicity, CyclicPeriodicity
@@ -137,6 +138,10 @@ class MiningReport:
         n_transactions: transactions scanned.
         n_units: time units spanned (0 for Task 3 over raw intervals).
         elapsed_seconds: wall-clock mining time.
+        partial: the run stopped early (budget exhausted or cancelled);
+            the results are a sound subset of the full run's.
+        diagnostics: what the run did and why it stopped (populated
+            whenever the run was monitored, partial or not).
     """
 
     task_name: str
@@ -144,6 +149,8 @@ class MiningReport:
     n_transactions: int
     n_units: int
     elapsed_seconds: float
+    partial: bool = False
+    diagnostics: Optional[RunDiagnostics] = None
 
     def __len__(self) -> int:
         return len(self.results)
@@ -157,6 +164,10 @@ class MiningReport:
             f"{self.n_transactions} transactions / {self.n_units} units "
             f"in {self.elapsed_seconds:.3f}s =="
         ]
+        if self.partial and self.diagnostics is not None:
+            lines.append(f"  !! PARTIAL — {self.diagnostics.describe()}")
+        elif self.partial:
+            lines.append("  !! PARTIAL — run stopped before completion")
         shown = self.results if limit == 0 else self.results[:limit]
         for record in shown:
             formatter = getattr(record, "format", None)

@@ -27,6 +27,7 @@ from repro.mining.context import PerUnitCounts, TemporalContext, per_unit_freque
 from repro.mining.results import MiningReport, ValidPeriod, ValidPeriodRule
 from repro.mining.rulespace import RuleUnitSeries, candidate_rules
 from repro.mining.tasks import ValidPeriodTask
+from repro.runtime.budget import RunInterrupted, RunMonitor
 from repro.temporal.interval import TimeInterval
 
 _EPS = 1e-9
@@ -136,6 +137,7 @@ def discover_valid_periods(
     task: ValidPeriodTask,
     context: Optional[TemporalContext] = None,
     counts: Optional[PerUnitCounts] = None,
+    monitor: Optional[RunMonitor] = None,
 ) -> MiningReport:
     """Run Task 1 end to end.
 
@@ -146,6 +148,10 @@ def discover_valid_periods(
             engine across tasks at the same granularity).
         counts: optional pre-computed per-unit counts (must match the
             task's thresholds; used by ablation benchmarks).
+        monitor: optional run monitor; an exhausted budget or a cancel
+            stops the run at a granule/pass boundary and yields a report
+            flagged ``partial=True`` whose rules are a subset of the
+            unbudgeted run's (strict mode raises instead).
 
     Returns:
         A :class:`MiningReport` of :class:`ValidPeriodRule` records.
@@ -159,6 +165,7 @@ def discover_valid_periods(
             task.thresholds.min_support,
             min_units=task.min_valid_units,
             max_size=task.max_rule_size,
+            monitor=monitor,
         )
     series_list = candidate_rules(
         counts,
@@ -167,23 +174,36 @@ def discover_valid_periods(
         max_consequent_size=task.max_consequent_size,
     )
     findings: List[ValidPeriodRule] = []
-    for series in series_list:
-        periods = periods_for_series(
-            series, context, task.min_frequency, task.min_coverage
-        )
-        if periods:
-            findings.append(
-                ValidPeriodRule(
-                    key=series.key,
-                    granularity=context.granularity,
-                    periods=tuple(periods),
-                )
+    # The emission phase runs even after a counting-phase stop: deriving
+    # rules from the already-counted passes is cheap, and it is exactly
+    # the partial result the stopped run has to show.  Only the rule cap
+    # still applies here.
+    try:
+        for series in series_list:
+            periods = periods_for_series(
+                series, context, task.min_frequency, task.min_coverage
             )
+            if periods:
+                if monitor is not None:
+                    monitor.charge_rule()
+                findings.append(
+                    ValidPeriodRule(
+                        key=series.key,
+                        granularity=context.granularity,
+                        periods=tuple(periods),
+                    )
+                )
+    except RunInterrupted:
+        pass
     elapsed = time.perf_counter() - started
+    if monitor is not None:
+        monitor.raise_for_strict()
     return MiningReport(
         task_name="valid_periods",
         results=tuple(findings),
         n_transactions=len(database),
         n_units=context.n_units,
         elapsed_seconds=elapsed,
+        partial=monitor.stopped if monitor is not None else False,
+        diagnostics=monitor.diagnostics() if monitor is not None else None,
     )

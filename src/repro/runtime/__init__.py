@@ -1,0 +1,51 @@
+"""Resilient mining runtime: budgets, cancellation, retries, chaos.
+
+The pieces that let the long-lived IQMS service degrade gracefully
+instead of dying: :class:`RunBudget` / :class:`CancellationToken` /
+:class:`RunMonitor` bound and stop mining runs cooperatively at
+granule/pass boundaries, :func:`retry_call` absorbs transient SQLite
+contention, and :mod:`repro.runtime.faultinject` makes both failure
+modes deterministically reproducible for the chaos test suite.
+"""
+
+from repro.runtime.budget import (
+    STOP_CANCELLED,
+    STOP_DEADLINE,
+    STOP_MAX_CANDIDATES,
+    STOP_MAX_RULES,
+    CancellationToken,
+    RunBudget,
+    RunDiagnostics,
+    RunInterrupted,
+    RunMonitor,
+)
+from repro.runtime.faultinject import (
+    DbFaultPlan,
+    FlakyConnection,
+    GranuleFaults,
+    inject_db_faults,
+)
+from repro.runtime.retry import (
+    RetryPolicy,
+    is_transient_db_error,
+    retry_call,
+)
+
+__all__ = [
+    "CancellationToken",
+    "DbFaultPlan",
+    "FlakyConnection",
+    "GranuleFaults",
+    "RetryPolicy",
+    "RunBudget",
+    "RunDiagnostics",
+    "RunInterrupted",
+    "RunMonitor",
+    "STOP_CANCELLED",
+    "STOP_DEADLINE",
+    "STOP_MAX_CANDIDATES",
+    "STOP_MAX_RULES",
+    "inject_db_faults",
+    "is_transient_db_error",
+    "retry_call",
+]

@@ -1,0 +1,121 @@
+"""Bounded retry with exponential backoff and deterministic jitter.
+
+SQLite surfaces concurrent-writer contention as
+``sqlite3.OperationalError: database is locked`` — a *transient* failure
+that a short backoff almost always clears.  The store wraps its
+low-level operations in :func:`retry_call`, which retries transient
+errors with exponential backoff plus jitter and re-raises a typed
+:class:`~repro.errors.TransientDatabaseError` only once the retry budget
+is exhausted.  Non-transient errors pass through untouched on the first
+attempt.
+
+Both the sleeper and the jitter RNG are injectable, so the chaos test
+suite can run the whole policy deterministically without real waiting.
+"""
+
+from __future__ import annotations
+
+import random
+import sqlite3
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, TypeVar
+
+from repro.errors import MiningParameterError, TransientDatabaseError
+
+T = TypeVar("T")
+
+_TRANSIENT_MARKERS = ("database is locked", "database table is locked", "busy")
+
+
+def is_transient_db_error(error: BaseException) -> bool:
+    """True for SQLite errors that a retry can plausibly clear."""
+    if not isinstance(error, sqlite3.OperationalError):
+        return False
+    message = str(error).lower()
+    return any(marker in message for marker in _TRANSIENT_MARKERS)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule for transient store failures.
+
+    Attributes:
+        max_attempts: total tries (first call included).
+        base_delay: delay before the first retry, in seconds.
+        multiplier: exponential growth factor between retries.
+        max_delay: cap on a single delay.
+        jitter: fraction of each delay drawn uniformly at random and
+            added, de-synchronizing contending writers (0 disables).
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 0.5
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise MiningParameterError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise MiningParameterError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise MiningParameterError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise MiningParameterError("jitter must be in [0, 1]")
+
+    def delays(self, rng: Optional[random.Random] = None) -> Iterator[float]:
+        """The backoff delays between consecutive attempts."""
+        rng = rng if rng is not None else random.Random(0x5EED)
+        delay = self.base_delay
+        for _ in range(self.max_attempts - 1):
+            bounded = min(delay, self.max_delay)
+            yield bounded + (bounded * self.jitter * rng.random() if self.jitter else 0.0)
+            delay *= self.multiplier
+
+
+def retry_call(
+    operation: Callable[[], T],
+    policy: Optional[RetryPolicy] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    rng: Optional[random.Random] = None,
+    describe: str = "store operation",
+) -> T:
+    """Run ``operation``, retrying transient SQLite failures.
+
+    Args:
+        operation: zero-argument callable (close over any state).
+        policy: backoff schedule (default :class:`RetryPolicy`).
+        sleep: injectable sleeper (tests pass a recorder).
+        rng: injectable jitter source; defaults to a fixed-seed
+            generator so schedules are reproducible.
+        describe: operation label for the exhaustion error message.
+
+    Returns:
+        The operation's result.
+
+    Raises:
+        TransientDatabaseError: the failure stayed transient through
+            every attempt.
+        Exception: any non-transient error, unchanged, immediately.
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    schedule = policy.delays(rng)
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return operation()
+        except sqlite3.Error as error:
+            if not is_transient_db_error(error):
+                raise
+            try:
+                delay = next(schedule)
+            except StopIteration:
+                raise TransientDatabaseError(
+                    f"{describe} still failing after {attempts} attempt(s): "
+                    f"{error}",
+                    attempts=attempts,
+                ) from error
+            sleep(delay)

@@ -14,6 +14,7 @@ span lines; dot-commands control the session::
 
 from __future__ import annotations
 
+import signal
 import sys
 from typing import List, Optional
 
@@ -42,9 +43,15 @@ TML statements (end with ';'):
     [HAVING CHANGE >= c, FIT >= r];
   PROFILE '<item>' [, '<item>'] FROM <src> BY <g>;
   EXPLAIN MINE ...;                              -- describe, don't run
+  SET BUDGET TIME <s>, CANDIDATES <n>, RULES <n> [STRICT];
+  SET BUDGET OFF;                                -- clear run limits
+
+Ctrl-C during a MINE cancels that run (a partial report is printed);
+the session itself stays alive.
 
 Dot commands:
   .help               this text
+  .budget             show the session mining budget
   .demo               load a bundled synthetic demo dataset as 'sales'
   .load <name> <csv>  load a (tid,ts,item) CSV as dataset <name>
   .datasets           list registered datasets
@@ -76,6 +83,11 @@ def _dispatch_dot(session: IqmsSession, line: str) -> Optional[str]:
         return None
     if command == ".help":
         return _HELP
+    if command == ".budget":
+        budget = session.budget
+        if budget is None:
+            return "no budget set (SET BUDGET TIME <s>, CANDIDATES <n>, RULES <n>;)"
+        return f"budget: {budget.describe()}"
     if command == ".demo":
         return _demo_session(session)
     if command == ".load":
@@ -163,11 +175,36 @@ def repl(
             statement = "\n".join(buffer)
             buffer = []
             try:
-                result = session.run(statement)
+                result = _run_cancellable(session, statement)
                 emit(result.text)
             except ReproError as error:
                 emit(f"error: {error}")
     emit("bye")
+
+
+def _run_cancellable(session: IqmsSession, statement: str):
+    """Run one statement with Ctrl-C mapped to cooperative cancellation.
+
+    While the statement executes, SIGINT cancels the mining run (which
+    then returns a partial report) instead of raising KeyboardInterrupt
+    and killing the shell.  Installing a handler only works on the main
+    thread; elsewhere (tests driving the REPL from a worker) the
+    statement just runs without the remap.
+    """
+
+    def _cancel(signum, frame):
+        session.cancel()
+
+    previous = None
+    try:
+        previous = signal.signal(signal.SIGINT, _cancel)
+    except ValueError:
+        pass  # not the main thread
+    try:
+        return session.run(statement)
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGINT, previous)
 
 
 def main() -> int:

@@ -23,6 +23,7 @@ from repro.system.reporting import (
     report_table,
     result_keys,
 )
+from repro.runtime.budget import RunBudget
 from repro.system.workflow import MiningWorkflow, Stage
 from repro.tml.ast import (
     ExplainStatement,
@@ -31,6 +32,7 @@ from repro.tml.ast import (
     MinePeriodicitiesStatement,
     MinePeriodsStatement,
     MineRulesStatement,
+    SetBudgetStatement,
     ShowStatement,
     SqlStatement,
 )
@@ -68,6 +70,7 @@ class IqmsSession:
         if persist:
             self.store.clear()
             self.store.save_database(database)
+            self.environment.mark_store_backed(name)
         self.workflow.record(f"loaded dataset {name!r} ({len(database)} transactions)")
 
     def load_csv(self, name: str, path: Union[str, Path]) -> int:
@@ -77,6 +80,7 @@ class IqmsSession:
         loaded = load_csv(self.store, path)
         database = self.store.load_database()
         self.environment.register(name, database)
+        self.environment.mark_store_backed(name)
         self.workflow.record(f"loaded {loaded} transactions from {path}")
         return loaded
 
@@ -88,17 +92,44 @@ class IqmsSession:
         }
 
     # ------------------------------------------------------------------
+    # resilience controls
+    # ------------------------------------------------------------------
+
+    @property
+    def budget(self) -> Optional[RunBudget]:
+        """The session budget applied to every mining run (None = off)."""
+        return self.environment.budget
+
+    def set_budget(self, budget: Optional[RunBudget]) -> None:
+        """Set (or clear, with ``None``) the session mining budget."""
+        self.environment.budget = budget
+        described = budget.describe() if budget is not None else "off"
+        self.workflow.record(f"set budget: {described}")
+
+    def cancel(self) -> None:
+        """Ask the mining run in flight to stop at its next safe boundary.
+
+        Safe to call from a signal handler or another thread; the run
+        returns a partial report (or raises in strict mode).  A no-op
+        when nothing is running — the token is reset at the next
+        :meth:`run`.
+        """
+        self.environment.cancel_token.cancel()
+
+    # ------------------------------------------------------------------
     # the IQMI loop
     # ------------------------------------------------------------------
 
     def run(self, text: str) -> ExecutionResult:
         """Execute one TML/SQL statement, advancing the workflow."""
+        self.environment.cancel_token.reset()
         result = self.executor.execute(text)
         self._account(result)
         return result
 
     def run_script(self, text: str) -> List[ExecutionResult]:
         """Execute a multi-statement script, advancing the workflow."""
+        self.environment.cancel_token.reset()
         results = self.executor.execute_script(text)
         for result in results:
             self._account(result)
@@ -109,6 +140,9 @@ class IqmsSession:
         statement = result.statement
         from repro.tml.ast import ProfileStatement
 
+        if isinstance(statement, SetBudgetStatement):
+            self.workflow.record(statement.render())
+            return
         if isinstance(statement, (SqlStatement, ShowStatement, ProfileStatement, ExplainStatement)):
             if self.workflow.stage in (Stage.MINING,):
                 # Mining is always followed by analysis in the process.
@@ -133,10 +167,10 @@ class IqmsSession:
             else:
                 self.workflow.record(statement.render())
             self.workflow.advance(Stage.MINING, f"mine from {statement.source}")
-            self.workflow.advance(
-                Stage.RESULT_ANALYSIS,
-                f"{len(result.payload)} finding(s)",  # type: ignore[arg-type]
-            )
+            findings = f"{len(result.payload)} finding(s)"  # type: ignore[arg-type]
+            if isinstance(result.payload, MiningReport) and result.payload.partial:
+                findings += " (partial)"
+            self.workflow.advance(Stage.RESULT_ANALYSIS, findings)
             self.previous_report = self.last_report
             if isinstance(result.payload, MiningReport):
                 self.last_report = result.payload

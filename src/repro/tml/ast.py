@@ -308,6 +308,38 @@ class ShowStatement:
 
 
 @dataclass(frozen=True)
+class SetBudgetStatement:
+    """``SET BUDGET ...`` — session-level limits on subsequent runs.
+
+    ``SET BUDGET OFF;`` clears them; otherwise any combination of
+    ``TIME <seconds>``, ``CANDIDATES <n>`` and ``RULES <n>`` terms,
+    optionally followed by ``STRICT`` (raise instead of returning a
+    partial report).
+    """
+
+    max_seconds: Optional[float] = None
+    max_candidates: Optional[int] = None
+    max_rules: Optional[int] = None
+    strict: bool = False
+    off: bool = False
+
+    def render(self) -> str:
+        if self.off:
+            return "SET BUDGET OFF;"
+        terms = []
+        if self.max_seconds is not None:
+            terms.append(f"TIME {self.max_seconds:g}")
+        if self.max_candidates is not None:
+            terms.append(f"CANDIDATES {self.max_candidates}")
+        if self.max_rules is not None:
+            terms.append(f"RULES {self.max_rules}")
+        text = "SET BUDGET " + ", ".join(terms)
+        if self.strict:
+            text += " STRICT"
+        return text + ";"
+
+
+@dataclass(frozen=True)
 class SqlStatement:
     """Raw SQL passed through to the integrated query function."""
 
@@ -338,6 +370,7 @@ Statement = Union[
     MineTrendsStatement,
     ExplainStatement,
     ProfileStatement,
+    SetBudgetStatement,
     ShowStatement,
     SqlStatement,
 ]

@@ -19,10 +19,19 @@ from datetime import datetime
 from typing import Dict, Optional, Union
 
 from repro.core.transactions import TransactionDatabase
-from repro.db.query import QueryResult, run_query, summarize, top_items, volume_by_unit
+from repro.db.query import (
+    QueryResult,
+    is_mutating_sql,
+    run_mutation,
+    run_query,
+    summarize,
+    top_items,
+    volume_by_unit,
+)
 from repro.db.sqlite_store import SqliteStore
 from repro.errors import TmlExecutionError
 from repro.mining.engine import TemporalMiner
+from repro.runtime.budget import CancellationToken, RunBudget
 from repro.mining.results import MiningReport
 from repro.mining.tasks import (
     ConstrainedTask,
@@ -48,6 +57,7 @@ from repro.tml.ast import (
     NamedCalendarFeature,
     ProfileStatement,
     PeriodFeature,
+    SetBudgetStatement,
     ShowStatement,
     SqlStatement,
     Statement,
@@ -80,11 +90,20 @@ class ExecutionEnvironment:
         self.store = store
         self.datasets: Dict[str, TransactionDatabase] = {}
         self._miners: Dict[str, TemporalMiner] = {}
+        self._store_backed: set = set()
+        self.budget: Optional[RunBudget] = None
+        self.cancel_token = CancellationToken()
 
     def register(self, name: str, database: TransactionDatabase) -> None:
         """Expose an in-memory database under ``name``."""
         self.datasets[name] = database
         self._miners.pop(name, None)
+        self._store_backed.discard(name)
+
+    def mark_store_backed(self, name: str) -> None:
+        """Flag a dataset as mirroring the store, so SQL mutations
+        invalidate and reload it (see :meth:`note_store_mutation`)."""
+        self._store_backed.add(name)
 
     def resolve(self, name: str) -> TransactionDatabase:
         if name in self.datasets:
@@ -92,6 +111,7 @@ class ExecutionEnvironment:
         if self.store is not None and name == "transactions":
             database = self.store.load_database()
             self.datasets[name] = database
+            self._store_backed.add(name)
             return database
         known = sorted(self.datasets)
         raise TmlExecutionError(
@@ -104,6 +124,21 @@ class ExecutionEnvironment:
             miner = TemporalMiner(self.resolve(name))
             self._miners[name] = miner
         return miner
+
+    def note_store_mutation(self) -> None:
+        """Invalidate store-backed state after a mutating SQL statement.
+
+        In-memory copies of store-backed datasets are reloaded and their
+        cached miners dropped, so the next ``MINE`` sees the new rows
+        instead of a stale snapshot.
+        """
+        if self.store is None:
+            return
+        for name in sorted(self._store_backed):
+            if name in self.datasets:
+                catalog = self.datasets[name].catalog
+                self.datasets[name] = self.store.load_database(catalog=catalog)
+            self._miners.pop(name, None)
 
 
 class TmlExecutor:
@@ -139,6 +174,8 @@ class TmlExecutor:
             return self._profile(statement)
         if isinstance(statement, ShowStatement):
             return self._show(statement)
+        if isinstance(statement, SetBudgetStatement):
+            return self._set_budget(statement)
         if isinstance(statement, SqlStatement):
             return self._sql(statement)
         raise TmlExecutionError(f"cannot execute {statement!r}")
@@ -154,7 +191,11 @@ class TmlExecutor:
             max_rule_size=statement.max_size,
             max_consequent_size=statement.max_consequent,
         )
-        report = self.environment.miner(statement.source).valid_periods(task)
+        report = self.environment.miner(statement.source).valid_periods(
+            task,
+            budget=self.environment.budget,
+            token=self.environment.cancel_token,
+        )
         catalog = self.environment.resolve(statement.source).catalog
         return ExecutionResult(statement, report, report.format(catalog, limit=50))
 
@@ -175,7 +216,10 @@ class TmlExecutor:
             max_consequent_size=statement.max_consequent,
         )
         report = self.environment.miner(statement.source).periodicities(
-            task, interleaved=statement.interleaved
+            task,
+            interleaved=statement.interleaved,
+            budget=self.environment.budget,
+            token=self.environment.cancel_token,
         )
         catalog = self.environment.resolve(statement.source).catalog
         return ExecutionResult(statement, report, report.format(catalog, limit=50))
@@ -190,7 +234,11 @@ class TmlExecutor:
             max_rule_size=statement.max_size,
             max_consequent_size=statement.max_consequent,
         )
-        report = self.environment.miner(statement.source).with_feature(task)
+        report = self.environment.miner(statement.source).with_feature(
+            task,
+            budget=self.environment.budget,
+            token=self.environment.cancel_token,
+        )
         catalog = self.environment.resolve(statement.source).catalog
         return ExecutionResult(statement, report, report.format(catalog, limit=50))
 
@@ -295,11 +343,36 @@ class TmlExecutor:
             )
         return ExecutionResult(statement, result, result.format())
 
+    def _set_budget(self, statement: SetBudgetStatement) -> ExecutionResult:
+        if statement.off:
+            self.environment.budget = None
+            result = QueryResult(
+                columns=("property", "value"), rows=(("budget", "off"),)
+            )
+            return ExecutionResult(statement, result, result.format(limit=0))
+        budget = RunBudget(
+            max_seconds=statement.max_seconds,
+            max_candidates=statement.max_candidates,
+            max_rules=statement.max_rules,
+            strict=statement.strict,
+        )
+        self.environment.budget = budget
+        result = QueryResult(
+            columns=("property", "value"), rows=(("budget", budget.describe()),)
+        )
+        return ExecutionResult(statement, result, result.format(limit=0))
+
     def _sql(self, statement: SqlStatement) -> ExecutionResult:
         store = self.environment.store
         if store is None:
             raise TmlExecutionError("SQL requires a store-backed environment")
-        result = run_query(store, statement.sql)
+        if is_mutating_sql(statement.sql):
+            result = run_mutation(store, statement.sql)
+            # The store changed under any mirrored dataset: reload them
+            # and drop their miners so the next MINE sees the new rows.
+            self.environment.note_store_mutation()
+        else:
+            result = run_query(store, statement.sql)
         return ExecutionResult(statement, result, result.format())
 
 

@@ -35,6 +35,9 @@ Grammar (keywords case-insensitive; ``[...]`` optional, ``{...}`` repeated)::
     calendar      := CALENDAR string
     show_stmt     := SHOW SUMMARY ';' | SHOW ITEMS [LIMIT number] ';'
                    | SHOW VOLUME BY g ';'
+    set_stmt      := SET BUDGET OFF ';'
+                   | SET BUDGET budget_term {',' budget_term} [STRICT] ';'
+    budget_term   := TIME number | CANDIDATES number | RULES number
     sql_stmt      := anything else, passed through verbatim up to ';'
 
 Statements are first split on semicolons at the raw-text level
@@ -60,6 +63,7 @@ from repro.tml.ast import (
     MineRulesStatement,
     ProfileStatement,
     NamedCalendarFeature,
+    SetBudgetStatement,
     ShowStatement,
     SqlStatement,
     Statement,
@@ -136,6 +140,8 @@ def parse_statement(text: str) -> Statement:
         return _Parser(stripped).parse_show()
     if head == "PROFILE":
         return _Parser(stripped).parse_profile()
+    if head == "SET":
+        return _Parser(stripped).parse_set()
     return SqlStatement(sql=stripped)
 
 
@@ -233,6 +239,48 @@ class _Parser:
             self._finish()
             return ShowStatement(what="volume", granularity=granularity)
         raise self._error("expected SUMMARY, ITEMS or VOLUME")
+
+    def parse_set(self) -> SetBudgetStatement:
+        self._expect_keyword("SET")
+        self._expect_keyword("BUDGET")
+        if self._accept_keyword("OFF"):
+            self._finish()
+            return SetBudgetStatement(off=True)
+        max_seconds: Optional[float] = None
+        max_candidates: Optional[int] = None
+        max_rules: Optional[int] = None
+        while True:
+            token = self._expect_keyword("TIME", "CANDIDATES", "RULES")
+            if token.value == "TIME":
+                if max_seconds is not None:
+                    raise TmlParseError(
+                        "duplicate budget term TIME", token.line, token.column
+                    )
+                max_seconds = self._number("a time budget in seconds")
+            elif token.value == "CANDIDATES":
+                if max_candidates is not None:
+                    raise TmlParseError(
+                        "duplicate budget term CANDIDATES", token.line, token.column
+                    )
+                max_candidates = self._integer("a candidate budget")
+            else:
+                if max_rules is not None:
+                    raise TmlParseError(
+                        "duplicate budget term RULES", token.line, token.column
+                    )
+                max_rules = self._integer("a rule budget")
+            if self._peek().type is TokenType.COMMA:
+                self._advance()
+                continue
+            break
+        strict = bool(self._accept_keyword("STRICT"))
+        self._finish()
+        return SetBudgetStatement(
+            max_seconds=max_seconds,
+            max_candidates=max_candidates,
+            max_rules=max_rules,
+            strict=strict,
+        )
 
     def parse_explain(self) -> Statement:
         self._expect_keyword("EXPLAIN")

@@ -1,0 +1,97 @@
+"""Session/store coherence: SQL mutations invalidate mining state.
+
+Regression tests for the stale-cache bug where a TML ``INSERT`` against
+the store left the in-memory dataset and its cached ``TemporalMiner``
+untouched, so subsequent ``MINE`` statements ran over a stale snapshot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatabaseError
+from repro.db.query import is_mutating_sql, run_mutation, run_query
+from repro.db.sqlite_store import SqliteStore
+from repro.system.session import IqmsSession
+
+
+class TestMutationHelpers:
+    def test_is_mutating_sql(self):
+        assert is_mutating_sql("INSERT INTO transactions VALUES (1, 'x', 'y')")
+        assert is_mutating_sql("  delete from transactions")
+        assert not is_mutating_sql("SELECT * FROM transactions")
+        assert not is_mutating_sql("DROP TABLE transactions")
+        assert not is_mutating_sql("")
+
+    def test_run_query_still_rejects_dml(self):
+        store = SqliteStore(":memory:")
+        with pytest.raises(DatabaseError):
+            run_query(store, "INSERT INTO transactions VALUES (1, 'x', 'y')")
+
+    def test_run_mutation_rejects_schema_changes(self):
+        store = SqliteStore(":memory:")
+        with pytest.raises(DatabaseError):
+            run_mutation(store, "DROP TABLE transactions")
+        with pytest.raises(DatabaseError):
+            run_mutation(store, "")
+
+    def test_run_mutation_reports_rowcount(self):
+        store = SqliteStore(":memory:")
+        result = run_mutation(
+            store,
+            "INSERT INTO transactions (tid, ts, item) VALUES "
+            "(1, '2026-01-01T00:00:00', 'bread')",
+        )
+        assert result.rows == ((1,),)
+        assert store.count_transactions() == 1
+
+
+class TestSessionInvalidation:
+    def _insert(self, session, tid, stamp, item):
+        return session.run(
+            "INSERT INTO transactions (tid, ts, item) VALUES "
+            f"({tid}, '{stamp}', '{item}');"
+        )
+
+    def test_insert_refreshes_dataset_and_miner(self, tiny_db):
+        session = IqmsSession()
+        session.load_database("sales", tiny_db)
+        before = session.run(
+            "MINE PERIODS FROM sales AT GRANULARITY day "
+            "WITH SUPPORT >= 0.2, CONFIDENCE >= 0.5;"
+        )
+        n_before = before.payload.n_transactions
+        result = self._insert(session, 99, "2026-03-07T09:00:00", "bread")
+        assert result.payload.rows == ((1,),)
+        # The registered dataset reloaded from the store...
+        assert len(session.environment.resolve("sales")) == n_before + 1
+        # ...and the next MINE sees the new transaction, not a stale cache.
+        after = session.run(
+            "MINE PERIODS FROM sales AT GRANULARITY day "
+            "WITH SUPPORT >= 0.2, CONFIDENCE >= 0.5;"
+        )
+        assert after.payload.n_transactions == n_before + 1
+
+    def test_delete_shrinks_dataset(self, tiny_db):
+        session = IqmsSession()
+        session.load_database("sales", tiny_db)
+        n = len(session.environment.resolve("sales"))
+        session.run("DELETE FROM transactions WHERE tid = 4;")
+        assert len(session.environment.resolve("sales")) == n - 1
+
+    def test_unpersisted_dataset_untouched_by_mutation(self, tiny_db):
+        session = IqmsSession()
+        session.load_database("sales", tiny_db, persist=False)
+        n = len(session.environment.resolve("sales"))
+        self._insert(session, 99, "2026-03-07T09:00:00", "bread")
+        # Not store-backed: the in-memory dataset is its own truth.
+        assert len(session.environment.resolve("sales")) == n
+
+    def test_item_ids_stay_stable_across_reload(self, tiny_db):
+        session = IqmsSession()
+        session.load_database("sales", tiny_db)
+        catalog = session.environment.resolve("sales").catalog
+        bread_before = catalog.id("bread")
+        self._insert(session, 99, "2026-03-07T09:00:00", "bread")
+        reloaded = session.environment.resolve("sales")
+        assert reloaded.catalog.id("bread") == bread_before

@@ -1,0 +1,131 @@
+"""Unit tests for the retry/backoff layer and the hardened store."""
+
+from __future__ import annotations
+
+import random
+import sqlite3
+
+import pytest
+
+from repro.db.sqlite_store import SqliteStore
+from repro.errors import DatabaseError, MiningParameterError, TransientDatabaseError
+from repro.runtime.retry import RetryPolicy, is_transient_db_error, retry_call
+
+
+class TestIsTransient:
+    def test_locked_variants(self):
+        assert is_transient_db_error(sqlite3.OperationalError("database is locked"))
+        assert is_transient_db_error(
+            sqlite3.OperationalError("database table is locked: transactions")
+        )
+        assert is_transient_db_error(sqlite3.OperationalError("database is busy"))
+
+    def test_non_transient(self):
+        assert not is_transient_db_error(sqlite3.OperationalError("disk I/O error"))
+        assert not is_transient_db_error(sqlite3.IntegrityError("UNIQUE failed"))
+        assert not is_transient_db_error(ValueError("database is locked"))
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(MiningParameterError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(MiningParameterError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(MiningParameterError):
+            RetryPolicy(jitter=1.5)
+
+    def test_delays_grow_and_cap(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=0.01, multiplier=2.0, max_delay=0.05, jitter=0.0
+        )
+        delays = list(policy.delays())
+        assert delays == [0.01, 0.02, 0.04, 0.05, 0.05]
+
+    def test_jitter_is_deterministic_per_seed(self):
+        policy = RetryPolicy(max_attempts=4, jitter=0.25)
+        first = list(policy.delays(random.Random(99)))
+        second = list(policy.delays(random.Random(99)))
+        assert first == second
+        unjittered = list(
+            RetryPolicy(max_attempts=4, jitter=0.0).delays()
+        )
+        for with_jitter, base in zip(first, unjittered):
+            assert base <= with_jitter <= base * 1.25
+
+
+class TestRetryCall:
+    def test_success_passthrough(self):
+        assert retry_call(lambda: 42, sleep=lambda _s: None) == 42
+
+    def test_recovers_after_transient_failures(self):
+        sleeps = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise sqlite3.OperationalError("database is locked")
+            return "ok"
+
+        assert retry_call(flaky, sleep=sleeps.append) == "ok"
+        assert calls["n"] == 3
+        assert len(sleeps) == 2
+        assert sleeps[1] > sleeps[0]  # exponential growth
+
+    def test_non_transient_raises_immediately(self):
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise sqlite3.OperationalError("disk I/O error")
+
+        with pytest.raises(sqlite3.OperationalError):
+            retry_call(broken, sleep=lambda _s: None)
+        assert calls["n"] == 1
+
+    def test_exhaustion_raises_typed_error(self):
+        policy = RetryPolicy(max_attempts=3, jitter=0.0)
+
+        def always_locked():
+            raise sqlite3.OperationalError("database is locked")
+
+        with pytest.raises(TransientDatabaseError) as info:
+            retry_call(always_locked, policy=policy, sleep=lambda _s: None)
+        assert info.value.attempts == 3
+        assert isinstance(info.value, DatabaseError)  # part of the taxonomy
+
+
+class TestHardenedStore:
+    def test_close_is_idempotent(self):
+        store = SqliteStore(":memory:")
+        store.close()
+        store.close()  # second close must be a no-op
+        with pytest.raises(DatabaseError):
+            store.count_transactions()
+
+    def test_failed_open_raises_database_error(self, tmp_path):
+        missing = tmp_path / "no" / "such" / "dir" / "db.sqlite"
+        with pytest.raises(DatabaseError):
+            SqliteStore(missing)
+
+    def test_close_safe_after_failed_init(self):
+        # Mirror the state __init__ leaves behind when connect() fails.
+        store = SqliteStore.__new__(SqliteStore)
+        store.path = ":memory:"
+        store._connection = None
+        store.close()  # must not raise
+
+    def test_context_manager_closes(self):
+        with SqliteStore(":memory:") as store:
+            assert store.count_transactions() == 0
+        with pytest.raises(DatabaseError):
+            store.count_transactions()
+
+    def test_file_store_uses_wal_and_busy_timeout(self, tmp_path):
+        store = SqliteStore(tmp_path / "t.sqlite", busy_timeout_ms=1234)
+        mode = store.connection.execute("PRAGMA journal_mode").fetchone()[0]
+        timeout = store.connection.execute("PRAGMA busy_timeout").fetchone()[0]
+        store.close()
+        assert mode.lower() == "wal"
+        assert timeout == 1234
