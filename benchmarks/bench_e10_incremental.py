@@ -80,7 +80,7 @@ def drive_from_scratch(db):
 
 def test_e10_incremental(benchmark, stream):
     final = benchmark.pedantic(lambda: drive_incremental(stream), rounds=2, iterations=1)
-    emit("E10", "incremental", f"findings={len(final)}")
+    emit("E10", "incremental", f"findings={len(final)}", benchmark=benchmark)
     assert len(final) > 0
 
 
@@ -88,7 +88,7 @@ def test_e10_from_scratch(benchmark, stream):
     final = benchmark.pedantic(
         lambda: drive_from_scratch(stream), rounds=1, iterations=1
     )
-    emit("E10", "from_scratch", f"findings={len(final)}")
+    emit("E10", "from_scratch", f"findings={len(final)}", benchmark=benchmark)
     assert len(final) > 0
 
 

@@ -74,6 +74,7 @@ def test_e11_pruning_rates(benchmark, summer_rules, label, policy):
         f"insignificant={len(outcome.insignificant)}",
         f"uninteresting={len(outcome.uninteresting)}",
         f"kept={len(outcome.kept)}",
+        benchmark=benchmark,
     )
     # Shape: a real fraction is pruned, and the ground truth survives.
     assert len(outcome.kept) < len(rules)

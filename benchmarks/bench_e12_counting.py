@@ -26,5 +26,5 @@ def test_e12_counting_strategy(benchmark, quest_db_cache, strategy):
     result = benchmark.pedantic(
         lambda: apriori(db, 0.01, options), rounds=2, iterations=1
     )
-    emit("E12", f"counting={strategy}", f"frequent={len(result)}")
+    emit("E12", f"counting={strategy}", f"frequent={len(result)}", benchmark=benchmark)
     assert len(result) == 817  # pinned by E5/E9 runs on the same data

@@ -46,6 +46,7 @@ def test_e13_generalization(benchmark, periodic_bench_data):
         "E13",
         f"findings={len(report)}",
         f"generalization_rate={rate:.2f}",
+        benchmark=benchmark,
     )
     assert rate >= 0.9  # embedded periodicities are real
 
@@ -74,5 +75,5 @@ def test_e13_generalization(benchmark, periodic_bench_data):
     )
     fake_results = validate_periodicities(fake, test, TASK)
     fake_rate = generalization_rate(fake_results, min_match=0.8)
-    emit("E13", f"fabricated_cycles_rate={fake_rate:.2f}")
+    emit("E13", f"fabricated_cycles_rate={fake_rate:.2f}", benchmark=benchmark)
     assert fake_rate == 0.0

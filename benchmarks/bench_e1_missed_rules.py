@@ -59,6 +59,7 @@ def test_e1_temporal_vs_traditional(benchmark, seasonal_bench_data, min_support)
         f"embedded={len(truth)}",
         f"temporal_found={temporal_found}",
         f"traditional_found={traditional_found}",
+        benchmark=benchmark,
     )
     # Shape assertions: temporal wins and the baseline misses everything
     # once the threshold exceeds the diluted global support.

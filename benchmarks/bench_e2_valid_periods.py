@@ -79,6 +79,7 @@ def test_e2_interval_recovery(benchmark, probability):
         f"recovered={recovered}",
         f"recall={recall:.2f}",
         f"reported_rules={reported}",
+        benchmark=benchmark,
     )
     assert recall >= 0.99  # windows are strong signals at these sizes
 

@@ -51,7 +51,7 @@ def test_e3_weekly_cycles(benchmark, periodic_bench_data):
         for f in report
         if f.key == target and isinstance(f.periodicity, CyclicPeriodicity)
     }
-    emit("E3", "weekly", f"recovered_cycles={sorted(cycles)}")
+    emit("E3", "weekly", f"recovered_cycles={sorted(cycles)}", benchmark=benchmark)
     # Saturday and Sunday day-phases (epoch 1970-01-01 was a Thursday).
     assert (7, 2) in cycles
     assert (7, 3) in cycles
@@ -86,6 +86,7 @@ def test_e3_calendric_payday(benchmark, periodic_bench_data):
         "payday",
         f"found={bool(calendric)}",
         f"match={calendric[0].match_ratio:.2f}" if calendric else "match=n/a",
+        benchmark=benchmark,
     )
     assert calendric
     # Cyclic search alone cannot express day-of-month (months vary in
@@ -97,5 +98,5 @@ def test_e3_calendric_payday(benchmark, periodic_bench_data):
         and isinstance(f.periodicity, CyclicPeriodicity)
         and f.match_ratio >= 0.99
     ]
-    emit("E3", "payday_cycles(expected none)", f"n={len(payday_cycles)}")
+    emit("E3", "payday_cycles(expected none)", f"n={len(payday_cycles)}", benchmark=benchmark)
     assert not payday_cycles

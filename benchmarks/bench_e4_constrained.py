@@ -71,6 +71,7 @@ def test_e4_cf_equals_definitional_and_wins(benchmark, seasonal_bench_data):
         f"cf_s={cf_seconds:.3f}",
         f"naive_s={naive_seconds:.3f}",
         f"speedup={naive_seconds / max(cf_seconds, 1e-9):.1f}x",
+        benchmark=benchmark,
     )
     assert cf_keys == naive_keys
     assert cf_seconds < naive_seconds

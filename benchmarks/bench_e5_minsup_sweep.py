@@ -34,6 +34,7 @@ def test_e5_minsup_sweep(benchmark, quest_db_cache, min_support):
         f"minsup={min_support}",
         f"frequent_itemsets={len(frequent)}",
         f"rules={len(rules)}",
+        benchmark=benchmark,
     )
     assert len(frequent) > 0
 

@@ -34,7 +34,7 @@ def config_for(n):
 def test_e6_apriori_sizeup(benchmark, quest_db_cache, n_transactions):
     db = quest_db_cache(config_for(n_transactions))
     result = benchmark.pedantic(lambda: apriori(db, 0.01), rounds=2, iterations=1)
-    emit("E6", f"D={n_transactions}", f"frequent={len(result)}")
+    emit("E6", f"D={n_transactions}", f"frequent={len(result)}", benchmark=benchmark)
     assert len(db) == n_transactions
 
 
@@ -51,4 +51,4 @@ def test_e6_valid_periods_sizeup(benchmark, quest_db_cache, n_transactions):
     report = benchmark.pedantic(
         lambda: miner.valid_periods(task), rounds=2, iterations=1
     )
-    emit("E6", f"task=VP D={n_transactions}", f"findings={len(report)}")
+    emit("E6", f"task=VP D={n_transactions}", f"findings={len(report)}", benchmark=benchmark)

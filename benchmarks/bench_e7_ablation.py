@@ -72,6 +72,7 @@ def test_e7_valid_periods_shared_vs_sequential(benchmark, periodic_bench_data):
         f"shared_s={shared.elapsed_seconds:.3f}",
         f"sequential_s={naive.elapsed_seconds:.3f}",
         f"speedup={naive.elapsed_seconds / max(shared.elapsed_seconds, 1e-9):.2f}x",
+        benchmark=benchmark,
     )
     assert vp_summary(shared) == vp_summary(naive)
 
@@ -89,6 +90,7 @@ def test_e7_periodicities_three_way(benchmark, periodic_bench_data):
         f"interleaved_s={interleaved.elapsed_seconds:.3f}",
         f"shared_s={shared.elapsed_seconds:.3f}",
         f"sequential_s={naive.elapsed_seconds:.3f}",
+        benchmark=benchmark,
     )
     assert cycle_summary(interleaved) == cycle_summary(shared) == cycle_summary(naive)
     # Cycle pruning/skipping must not be slower than the generic path.

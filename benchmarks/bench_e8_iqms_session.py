@@ -51,6 +51,7 @@ def test_e8_full_iqmi_loop(benchmark, seasonal_bench_data, periodic_bench_data):
         f"statements={len(results)}",
         f"mining_rounds={session.workflow.iterations}",
         f"findings={[len(r.payload) for r in mining_results]}",
+        benchmark=benchmark,
     )
     assert session.workflow.is_finished()
     assert session.workflow.iterations == 3

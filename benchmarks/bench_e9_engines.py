@@ -24,7 +24,7 @@ def test_e9_engine(benchmark, quest_db_cache, engine, min_support):
     db = quest_db_cache(PROFILES["T10.I4.D10K"])
     runner = apriori if engine == "apriori" else fpgrowth
     result = benchmark.pedantic(lambda: runner(db, min_support), rounds=2, iterations=1)
-    emit("E9", f"engine={engine}", f"minsup={min_support}", f"frequent={len(result)}")
+    emit("E9", f"engine={engine}", f"minsup={min_support}", f"frequent={len(result)}", benchmark=benchmark)
     assert len(result) > 0
 
 

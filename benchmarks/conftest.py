@@ -24,16 +24,24 @@ from repro.datagen import (
 RESULTS_FILE = Path(__file__).resolve().parent.parent / "bench_results.txt"
 
 
-def emit(*columns: object) -> None:
+def emit(*columns: object, benchmark=None) -> None:
     """Record one experiment table row.
 
     Rows go to stderr (visible with ``pytest -s``) and are appended to
     ``bench_results.txt`` at the repo root, which EXPERIMENTS.md quotes.
+    The first column is the experiment tag; every row is also written as
+    a structured record to ``BENCH_<experiment>.json`` via
+    :mod:`benchmarks.util` (with the measured mean wall time when the
+    test passes its pytest-benchmark fixture as ``benchmark=``).
     """
     row = "  ".join(str(c) for c in columns)
     print(row, file=sys.stderr)
     with RESULTS_FILE.open("a") as handle:
         handle.write(row + "\n")
+    if columns:
+        from benchmarks.util import record_row
+
+        record_row(str(columns[0]), columns[1:], benchmark=benchmark)
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -1,0 +1,95 @@
+"""Shared machine-readable benchmark recording.
+
+Every ``bench_e*.py`` reports its table rows through
+:func:`benchmarks.conftest.emit`; this module is the structured half of
+that pipeline.  Each row is parsed into fields and appended to
+``BENCH_<experiment>.json`` at the repo root (one file per experiment,
+reset at the start of every benchmark session), so the experiment
+numbers quoted in EXPERIMENTS.md are reproducible by machines, not just
+by reading stderr:
+
+.. code-block:: json
+
+    {
+      "experiment": "e6",
+      "rows": [
+        {"label": "", "D": "20000", "frequent": "833", "seconds": 1.73}
+      ]
+    }
+
+Tokens of the form ``key=value`` become fields; everything else is
+joined into the row's ``label``.  When the test passes its
+pytest-benchmark fixture, the measured mean wall time is recorded as
+``seconds``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Experiments whose JSON file has been reset during this process.
+_reset: set = set()
+
+
+def bench_seconds(benchmark) -> Optional[float]:
+    """Mean wall time of a pytest-benchmark fixture run, if available."""
+    stats = getattr(benchmark, "stats", None)
+    if stats is None:
+        return None
+    # pytest-benchmark wraps the stats object once per metadata layer.
+    inner = getattr(stats, "stats", stats)
+    mean = getattr(inner, "mean", None)
+    try:
+        return float(mean) if mean is not None else None
+    except (TypeError, ValueError):
+        return None
+
+
+def parse_columns(columns: Sequence[object]) -> Dict[str, object]:
+    """Split emitted columns into ``key=value`` fields plus a label."""
+    fields: Dict[str, object] = {}
+    label_parts = []
+    for column in columns:
+        text = str(column)
+        if "=" in text and " " not in text.split("=", 1)[0]:
+            key, value = text.split("=", 1)
+            fields[key.strip()] = value.strip()
+        else:
+            label_parts.append(text)
+    fields["label"] = " ".join(label_parts)
+    return fields
+
+
+def record_row(
+    experiment: str, columns: Sequence[object], benchmark=None
+) -> Dict[str, object]:
+    """Append one structured row to ``BENCH_<experiment>.json``.
+
+    Args:
+        experiment: experiment tag (e.g. ``"E6"``; lowercased for the
+            filename).
+        columns: the remaining emitted columns.
+        benchmark: optional pytest-benchmark fixture; its mean wall time
+            is recorded as the ``seconds`` field.
+
+    Returns:
+        The row dict that was written.
+    """
+    name = experiment.lower()
+    path = ROOT / f"BENCH_{name}.json"
+    if name in _reset and path.exists():
+        payload = json.loads(path.read_text())
+    else:
+        _reset.add(name)
+        payload = {"experiment": name, "rows": []}
+    row = parse_columns(columns)
+    seconds = bench_seconds(benchmark) if benchmark is not None else None
+    if seconds is not None:
+        row["seconds"] = seconds
+    payload["rows"].append(row)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return row

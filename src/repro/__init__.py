@@ -42,6 +42,11 @@ from repro.core import (
     mine_rules,
     partition,
 )
+from repro.columnar import (
+    EncodedDatabase,
+    VerticalIndex,
+    available_backends,
+)
 from repro.errors import (
     BudgetExceededError,
     MiningCancelledError,
@@ -92,6 +97,7 @@ __all__ = [
     "ConstrainedRule",
     "ConstrainedTask",
     "CyclicPeriodicity",
+    "EncodedDatabase",
     "FrequentItemsets",
     "Granularity",
     "IntervalSet",
@@ -118,7 +124,9 @@ __all__ = [
     "ValidPeriod",
     "ValidPeriodRule",
     "ValidPeriodTask",
+    "VerticalIndex",
     "apriori",
+    "available_backends",
     "fpgrowth",
     "generate_rules",
     "mine_rules",

@@ -1,0 +1,186 @@
+"""The counting-backend registry: dict, hashtree and vertical.
+
+A :class:`CountingBackend` counts one Apriori pass — all the same-size
+candidates against one transaction segment — and returns the support of
+every candidate.  The two classic horizontal strategies
+(:class:`~repro.core.counting.DictCounter` subset enumeration and the
+Agrawal–Srikant hash tree) walk basket tuples; the ``vertical`` backend
+intersects the segment's per-item bitmaps instead
+(:class:`~repro.columnar.bitmaps.VerticalIndex`), which moves the hot
+path out of the interpreter entirely.
+
+Every backend is registered by name; ``resolve_backend`` also implements
+the ``"auto"`` heuristic shared with
+:func:`repro.core.counting.make_counter`.  All backends produce
+bit-identical counts (the property suite enforces this), so selecting
+one is purely a performance decision.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.columnar.bitmaps import VerticalIndex
+from repro.core.counting import DictCounter, HashTreeCounter, auto_strategy
+from repro.core.items import Item, Itemset
+from repro.errors import MiningParameterError
+from repro.runtime.budget import RunMonitor
+
+#: Baskets counted between two monitor checkpoints (horizontal backends).
+_CHECK_STRIDE = 4096
+
+
+class BasketSegment:
+    """A segment backed by materialized basket tuples.
+
+    The adapter that lets horizontal data (e.g. Apriori's
+    transaction-reduced working set) flow through the same backend
+    interface as :class:`~repro.columnar.encoded.EncodedSegment`.
+    """
+
+    __slots__ = ("_baskets", "_n_item_rows", "_vertical")
+
+    def __init__(
+        self,
+        baskets: Sequence[Tuple[Item, ...]],
+        n_item_rows: Optional[int] = None,
+    ):
+        self._baskets = baskets
+        self._n_item_rows = n_item_rows
+        self._vertical: Optional[VerticalIndex] = None
+
+    def __len__(self) -> int:
+        return len(self._baskets)
+
+    def baskets(self) -> Sequence[Tuple[Item, ...]]:
+        return self._baskets
+
+    def vertical(self) -> VerticalIndex:
+        if self._vertical is None:
+            self._vertical = VerticalIndex.from_baskets(
+                self._baskets, self._n_item_rows
+            )
+        return self._vertical
+
+
+class CountingBackend(abc.ABC):
+    """One pass-level candidate-counting strategy."""
+
+    #: Registry key; subclasses must override.
+    name: str = ""
+    #: True when the backend counts via the segment's bitmap index.
+    uses_vertical: bool = False
+
+    @abc.abstractmethod
+    def count_pass(
+        self,
+        candidates: Sequence[Itemset],
+        segment,
+        monitor: Optional[RunMonitor] = None,
+    ) -> Dict[Itemset, int]:
+        """Support of every candidate within ``segment``.
+
+        A monitored call checkpoints periodically and may raise
+        :class:`~repro.runtime.budget.RunInterrupted`; the caller then
+        discards the incomplete pass, preserving exact-count semantics.
+        """
+
+
+class _HorizontalBackend(CountingBackend):
+    """Shared scan loop for the per-transaction counting strategies."""
+
+    def _make_counter(self, candidates: Sequence[Itemset]):
+        raise NotImplementedError
+
+    def count_pass(
+        self,
+        candidates: Sequence[Itemset],
+        segment,
+        monitor: Optional[RunMonitor] = None,
+    ) -> Dict[Itemset, int]:
+        counter = self._make_counter(candidates)
+        baskets = segment.baskets()
+        if monitor is None:
+            for basket in baskets:
+                counter.count_transaction(basket)
+        else:
+            for start in range(0, len(baskets), _CHECK_STRIDE):
+                monitor.checkpoint()
+                for basket in baskets[start : start + _CHECK_STRIDE]:
+                    counter.count_transaction(basket)
+        return counter.counts()
+
+
+class DictBackend(_HorizontalBackend):
+    """Subset enumeration against a candidate dictionary."""
+
+    name = "dict"
+
+    def _make_counter(self, candidates: Sequence[Itemset]):
+        return DictCounter(candidates)
+
+
+class HashTreeBackend(_HorizontalBackend):
+    """The 1994 Agrawal–Srikant hash tree."""
+
+    name = "hashtree"
+
+    def _make_counter(self, candidates: Sequence[Itemset]):
+        return HashTreeCounter(candidates)
+
+
+class VerticalBackend(CountingBackend):
+    """Bitmap-intersection counting over the segment's vertical index."""
+
+    name = "vertical"
+    uses_vertical = True
+
+    def count_pass(
+        self,
+        candidates: Sequence[Itemset],
+        segment,
+        monitor: Optional[RunMonitor] = None,
+    ) -> Dict[Itemset, int]:
+        return segment.vertical().count_candidates(candidates, monitor=monitor)
+
+
+_REGISTRY: Dict[str, CountingBackend] = {}
+
+
+def register_backend(backend: CountingBackend) -> CountingBackend:
+    """Register a backend instance under its ``name`` (last one wins)."""
+    if not backend.name:
+        raise MiningParameterError("counting backends must declare a name")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def available_backends() -> List[str]:
+    """Registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_backend(name: str) -> CountingBackend:
+    """The backend registered as ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(available_backends())
+        raise MiningParameterError(
+            f"unknown counting backend {name!r}; available: {known}"
+        ) from None
+
+
+def resolve_backend(
+    strategy: str, n_candidates: int = 0, k: int = 0
+) -> CountingBackend:
+    """Resolve a strategy name (including ``"auto"``) for one pass."""
+    if strategy == "auto":
+        return _REGISTRY[auto_strategy(n_candidates, k)]
+    return get_backend(strategy)
+
+
+register_backend(DictBackend())
+register_backend(HashTreeBackend())
+register_backend(VerticalBackend())

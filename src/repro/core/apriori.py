@@ -11,25 +11,26 @@ implementation follows the paper's two ideas exactly:
    (k−1)-subset).
 
 Options mirror the classic engineering choices: pluggable counting
-strategy (dict vs hash tree, :mod:`repro.core.counting`) and transaction
-reduction (drop transactions that can no longer contain any candidate).
+backend (dict vs hash tree vs vertical bitmaps, selected through the
+registry in :mod:`repro.columnar.backends`) and transaction reduction
+(drop transactions that can no longer contain any candidate).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import combinations
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.core.counting import make_counter
+from repro.columnar.backends import BasketSegment, available_backends, resolve_backend
+from repro.columnar.encoded import EncodedDatabase
 from repro.core.items import Item, Itemset
 from repro.core.transactions import TransactionDatabase
 from repro.errors import MiningParameterError
 from repro.runtime.budget import RunInterrupted, RunMonitor
 
-# Baskets counted between two deadline/cancellation checks when a run is
-# monitored; large enough that the check cost disappears in the scan.
-_CHECK_STRIDE = 4096
+#: Either transaction representation; all mining entry points accept both.
+AnyDatabase = Union[TransactionDatabase, EncodedDatabase]
 
 
 @dataclass(frozen=True)
@@ -37,9 +38,11 @@ class AprioriOptions:
     """Tuning knobs for one Apriori run.
 
     Attributes:
-        counting: ``"auto"``, ``"dict"`` or ``"hashtree"``.
+        counting: ``"auto"`` or any registered backend name —
+            ``"dict"``, ``"hashtree"`` or ``"vertical"``.
         transaction_reduction: drop transactions smaller than the current
-            candidate size between passes (they cannot support anything).
+            candidate size between passes (they cannot support anything;
+            moot for the vertical backend, which never re-scans baskets).
         max_size: stop after frequent itemsets of this size (0 = unbounded).
     """
 
@@ -48,7 +51,7 @@ class AprioriOptions:
     max_size: int = 0
 
     def __post_init__(self) -> None:
-        if self.counting not in ("auto", "dict", "hashtree"):
+        if self.counting != "auto" and self.counting not in available_backends():
             raise MiningParameterError(f"unknown counting strategy {self.counting!r}")
         if self.max_size < 0:
             raise MiningParameterError("max_size must be >= 0")
@@ -164,7 +167,7 @@ def generate_candidates(frequent_prev: Sequence[Itemset]) -> List[Itemset]:
 
 
 def apriori(
-    database: TransactionDatabase,
+    database: AnyDatabase,
     min_support: float,
     options: Optional[AprioriOptions] = None,
     monitor: Optional[RunMonitor] = None,
@@ -172,7 +175,9 @@ def apriori(
     """Mine all frequent itemsets of ``database`` at ``min_support``.
 
     Args:
-        database: timestamped transaction database (timestamps ignored here).
+        database: timestamped transaction database (timestamps ignored
+            here) — either the classic :class:`TransactionDatabase` or a
+            columnar :class:`~repro.columnar.encoded.EncodedDatabase`.
         min_support: relative threshold in (0, 1].
         options: see :class:`AprioriOptions`.
         monitor: optional run monitor; when its budget is exhausted (or
@@ -208,8 +213,23 @@ def apriori(
             monitor.complete_pass()
             monitor.checkpoint()
 
-        # Working copy of baskets for optional transaction reduction.
-        baskets: List[Tuple[Item, ...]] = [t.items.items for t in database]
+        # The vertical backend counts against one bitmap index built
+        # once over the whole database and reused by every pass, so its
+        # segment is prepared up front; horizontal backends re-scan a
+        # working basket list that transaction reduction may shrink.
+        vertical_segment = None
+        baskets: List[Tuple[Item, ...]] = []
+        if options.counting == "vertical":
+            encoded = (
+                database
+                if isinstance(database, EncodedDatabase)
+                else EncodedDatabase.from_database(database)
+            )
+            vertical_segment = encoded.segment()
+        elif isinstance(database, EncodedDatabase):
+            baskets = list(database.iter_baskets())
+        else:
+            baskets = [t.items.items for t in database]
 
         k = 2
         while frequent and (options.max_size == 0 or k <= options.max_size):
@@ -218,19 +238,16 @@ def apriori(
                 break
             if monitor is not None:
                 monitor.charge_candidates(len(candidates))
-            counter = make_counter(candidates, strategy=options.counting)
-            if options.transaction_reduction:
-                baskets = [b for b in baskets if len(b) >= k]
-            if monitor is None:
-                for basket in baskets:
-                    counter.count_transaction(basket)
+            backend = resolve_backend(options.counting, len(candidates), k)
+            if backend.uses_vertical:
+                segment = vertical_segment
             else:
-                for start in range(0, len(baskets), _CHECK_STRIDE):
-                    monitor.checkpoint()
-                    for basket in baskets[start : start + _CHECK_STRIDE]:
-                        counter.count_transaction(basket)
+                if options.transaction_reduction:
+                    baskets = [b for b in baskets if len(b) >= k]
+                segment = BasketSegment(baskets)
+            counted = backend.count_pass(candidates, segment, monitor=monitor)
             frequent = []
-            for itemset, count in counter.counts().items():
+            for itemset, count in counted.items():
                 if count >= min_count:
                     result[itemset] = count
                     frequent.append(itemset)

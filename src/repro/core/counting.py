@@ -94,35 +94,49 @@ class HashTreeCounter:
         return self._tree.counts()
 
 
+def auto_strategy(
+    n_candidates: int, k: int, hash_tree_threshold: int = 4096
+) -> str:
+    """The ``"auto"`` heuristic, shared with the backend registry.
+
+    For small candidate sizes (k <= 3) the dict counter's
+    subset-enumeration path costs O(C(t, k)) per transaction — at most a
+    few hundred hashed tuple probes — and beats the hash tree's pointer
+    chasing regardless of how many candidates there are.  The hash tree
+    (the 1994 design, kept both for fidelity and for the deep-k case)
+    only wins once k is large enough that C(t, k) explodes while the
+    candidate set is also too large to probe directly.
+    """
+    if k > 3 and n_candidates >= hash_tree_threshold:
+        return "hashtree"
+    return "dict"
+
+
 def make_counter(
     candidates: Sequence[Itemset],
     strategy: str = "auto",
     hash_tree_threshold: int = 4096,
 ) -> SupportCounter:
-    """Build a counter for one Apriori pass.
+    """Build a per-transaction counter for one Apriori pass.
 
     Args:
         candidates: the candidate k-itemsets of this pass.
-        strategy: ``"dict"``, ``"hashtree"`` or ``"auto"``.
+        strategy: ``"dict"``, ``"hashtree"`` or ``"auto"``
+            (:func:`auto_strategy`).
         hash_tree_threshold: candidate count at which ``"auto"`` switches
             for large candidate sizes.
 
-    The ``"auto"`` heuristic: for small candidate sizes (k <= 3) the dict
-    counter's subset-enumeration path costs O(C(t, k)) per transaction —
-    at most a few hundred hashed tuple probes — and beats the hash tree's
-    pointer chasing regardless of how many candidates there are.  The
-    hash tree (the 1994 design, kept both for fidelity and for the deep-k
-    case) only wins once k is large enough that C(t, k) explodes while
-    the candidate set is also too large to probe directly.
+    The vertical (bitmap) backend does not fit the per-transaction
+    :class:`SupportCounter` interface — it counts a whole pass at once
+    over a columnar segment; select it through the registry in
+    :mod:`repro.columnar.backends` instead.
     """
+    if strategy == "auto":
+        sizes = {len(c) for c in candidates}
+        k = max(sizes) if sizes else 0
+        strategy = auto_strategy(len(candidates), k, hash_tree_threshold)
     if strategy == "dict":
         return DictCounter(candidates)
     if strategy == "hashtree":
         return HashTreeCounter(candidates)
-    if strategy == "auto":
-        sizes = {len(c) for c in candidates}
-        k = max(sizes) if sizes else 0
-        if k > 3 and len(candidates) >= hash_tree_threshold:
-            return HashTreeCounter(candidates)
-        return DictCounter(candidates)
     raise ValueError(f"unknown counting strategy {strategy!r}")

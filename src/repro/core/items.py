@@ -13,7 +13,7 @@ a canonical form, so equal sets always compare and hash equal.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import ItemError
 

@@ -10,7 +10,6 @@ least the observed number of transactions.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 from repro.errors import MiningParameterError
 

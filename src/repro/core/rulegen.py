@@ -10,7 +10,7 @@ the anti-monotonicity of confidence in the consequent.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional
 
 from repro.core.apriori import FrequentItemsets, apriori_join
 from repro.core.items import ItemCatalog, Itemset

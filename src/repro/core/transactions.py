@@ -12,7 +12,7 @@ this structure for mining.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from datetime import datetime
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 

@@ -294,6 +294,55 @@ class SqliteStore:
             database.add(current_stamp, current_items, tid=current_tid)
         return database
 
+    def load_encoded(
+        self,
+        where: str = "",
+        parameters: Sequence[object] = (),
+        catalog: Optional[ItemCatalog] = None,
+    ) -> "EncodedDatabase":
+        """Load straight into the columnar layout — the fast mining path.
+
+        Same filtering semantics as :meth:`load_database`, but rows are
+        grouped directly into the CSR arrays of an
+        :class:`~repro.columnar.encoded.EncodedDatabase` without ever
+        materializing per-transaction Python objects — the IO-side half
+        of the columnar refactor.
+        """
+        from repro.columnar.encoded import EncodedDatabase
+
+        sql = "SELECT tid, ts, item FROM transactions"
+        if where:
+            sql += f" WHERE {where}"
+        sql += " ORDER BY ts, tid"
+        try:
+            cursor = self._execute(sql, tuple(parameters))
+        except sqlite3.Error as error:
+            raise DatabaseError(f"load query failed: {error}") from error
+        catalog = catalog if catalog is not None else ItemCatalog()
+
+        def grouped_baskets():
+            current_tid: Optional[int] = None
+            current_stamp: Optional[datetime] = None
+            current_ids: List[int] = []
+            for tid, stamp_text, item in cursor:
+                if tid != current_tid:
+                    if current_tid is not None:
+                        yield current_tid, current_stamp, current_ids
+                    current_tid = tid
+                    try:
+                        current_stamp = datetime.fromisoformat(stamp_text)
+                    except (TypeError, ValueError) as error:
+                        raise DatabaseError(
+                            f"transaction {tid} has a malformed timestamp "
+                            f"{stamp_text!r}: {error}"
+                        ) from error
+                    current_ids = []
+                current_ids.append(catalog.add(item))
+            if current_tid is not None:
+                yield current_tid, current_stamp, current_ids
+
+        return EncodedDatabase.from_baskets(grouped_baskets(), catalog=catalog)
+
 
 def load_csv(
     store: SqliteStore,

@@ -97,9 +97,13 @@ def mine_with_feature(
     database: TransactionDatabase,
     task: ConstrainedTask,
     apriori_options: Optional[AprioriOptions] = None,
+    counting: str = "auto",
     monitor: Optional[RunMonitor] = None,
 ) -> MiningReport:
     """Run Task 3 end to end.
+
+    ``counting`` selects the Apriori counting backend when
+    ``apriori_options`` is not given (explicit options win).
 
     Returns a :class:`MiningReport` of :class:`ConstrainedRule` records,
     sorted by descending confidence then support (the order
@@ -113,7 +117,9 @@ def mine_with_feature(
     description = describe_feature(task.feature)
     results: List[ConstrainedRule] = []
     if len(restricted):
-        options = apriori_options or AprioriOptions(max_size=task.max_rule_size)
+        options = apriori_options or AprioriOptions(
+            counting=counting, max_size=task.max_rule_size
+        )
         if options.max_size != task.max_rule_size and task.max_rule_size:
             options = AprioriOptions(
                 counting=options.counting,

@@ -19,43 +19,55 @@ the temporal anti-monotone prune.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from datetime import datetime
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.columnar.backends import resolve_backend
+from repro.columnar.encoded import EncodedDatabase, EncodedSegment
 from repro.core.apriori import generate_candidates, _min_count
-from repro.core.counting import make_counter
 from repro.core.items import Item, Itemset
 from repro.core.transactions import TransactionDatabase
 from repro.errors import MiningParameterError, TransactionError
 from repro.runtime.budget import RunInterrupted, RunMonitor
-from repro.temporal.granularity import Granularity, unit_index, unit_label
+from repro.temporal.granularity import Granularity, unit_label
 
 
 class TemporalContext:
     """A transaction database partitioned into time units.
 
+    The database is encoded into the columnar CSR layout once
+    (:class:`~repro.columnar.encoded.EncodedDatabase`); because encoded
+    transactions are ordered by timestamp, every time unit is a
+    contiguous position range and partitioning reduces to computing the
+    per-unit boundary array — no per-unit copies.  Per-unit basket lists
+    and bitmap indexes are materialized lazily, only for the units (and
+    backends) that actually get counted.
+
     Attributes:
         granularity: the unit granularity.
         first_unit / last_unit: absolute unit indices spanning the data.
+        encoded: the columnar layout every counting path scans.
     """
 
-    def __init__(self, database: TransactionDatabase, granularity: Granularity):
+    def __init__(
+        self,
+        database: Union[TransactionDatabase, EncodedDatabase],
+        granularity: Granularity,
+    ):
         if database.is_empty():
             raise TransactionError("cannot build a temporal context over an empty database")
         self.database = database
+        self.encoded = (
+            database
+            if isinstance(database, EncodedDatabase)
+            else EncodedDatabase.from_database(database)
+        )
         self.granularity = granularity
-        start, end = database.time_span()
-        self.first_unit = unit_index(start, granularity)
-        self.last_unit = unit_index(end, granularity)
-        self._baskets: List[List[Tuple[Item, ...]]] = [
-            [] for _ in range(self.n_units)
-        ]
-        for transaction in database:
-            offset = unit_index(transaction.timestamp, granularity) - self.first_unit
-            self._baskets[offset].append(transaction.items.items)
-        self.unit_sizes = np.array([len(b) for b in self._baskets], dtype=np.int64)
+        self.first_unit, self._bounds = self.encoded.unit_bounds(granularity)
+        self.last_unit = self.first_unit + len(self._bounds) - 2
+        self.unit_sizes = np.diff(self._bounds)
+        self._segments: List[Optional[EncodedSegment]] = [None] * self.n_units
 
     @property
     def n_units(self) -> int:
@@ -67,9 +79,19 @@ class TemporalContext:
         """Absolute unit indices covered by the context."""
         return range(self.first_unit, self.last_unit + 1)
 
+    def unit_segment(self, offset: int) -> EncodedSegment:
+        """The zero-copy columnar segment of the unit at ``offset``."""
+        segment = self._segments[offset]
+        if segment is None:
+            lo = int(self._bounds[offset])
+            hi = int(self._bounds[offset + 1])
+            segment = self.encoded.segment(lo, hi)
+            self._segments[offset] = segment
+        return segment
+
     def baskets_in_unit(self, offset: int) -> Sequence[Tuple[Item, ...]]:
         """Baskets of the unit at relative ``offset`` (0-based)."""
-        return self._baskets[offset]
+        return self.unit_segment(offset).baskets()
 
     def to_offset(self, absolute_unit: int) -> int:
         """Relative offset of an absolute unit index."""
@@ -95,20 +117,25 @@ class TemporalContext:
         A monitored run checks the budget at every granule boundary and
         raises :class:`~repro.runtime.budget.RunInterrupted` mid-scan;
         callers treat the level-1 pass as incomplete in that case.
+
+        Counting is one :func:`numpy.bincount` per unit over the unit's
+        contiguous ``item_ids`` slice — no per-basket Python work.
         """
-        counts: Dict[Item, np.ndarray] = {}
         n = self.n_units
-        for offset, baskets in enumerate(self._baskets):
+        n_items = self.encoded.n_items
+        matrix = np.zeros((n_items, n), dtype=np.int64)
+        ids = self.encoded.item_ids
+        offsets = self.encoded.offsets
+        bounds = self._bounds
+        for offset in range(n):
             if monitor is not None:
                 monitor.tick_granule(offset)
-            for basket in baskets:
-                for item in basket:
-                    row = counts.get(item)
-                    if row is None:
-                        row = np.zeros(n, dtype=np.int64)
-                        counts[item] = row
-                    row[offset] += 1
-        return counts
+            lo, hi = bounds[offset], bounds[offset + 1]
+            if hi > lo:
+                unit_ids = ids[offsets[lo] : offsets[hi]]
+                matrix[:, offset] = np.bincount(unit_ids, minlength=n_items)
+        present = np.flatnonzero(matrix.any(axis=1))
+        return {int(item): matrix[item] for item in present}
 
     def count_candidates_per_unit(
         self,
@@ -124,8 +151,9 @@ class TemporalContext:
             unit_mask: optional boolean array (length ``n_units``); units
                 where it is ``False`` are skipped entirely — the hook the
                 cycle-skipping optimization uses.
-            counting: counting strategy per unit (see
-                :mod:`repro.core.counting`).
+            counting: ``"auto"`` or any registered counting backend —
+                ``"dict"``, ``"hashtree"`` or ``"vertical"`` (see
+                :mod:`repro.columnar.backends`).
             monitor: optional run monitor, checked at every granule
                 boundary; raises
                 :class:`~repro.runtime.budget.RunInterrupted` mid-scan,
@@ -138,17 +166,18 @@ class TemporalContext:
         }
         if not candidates:
             return results
-        for offset, baskets in enumerate(self._baskets):
+        backend = resolve_backend(counting, len(candidates), len(candidates[0]))
+        for offset in range(n):
             if monitor is not None:
                 monitor.tick_granule(offset)
             if unit_mask is not None and not unit_mask[offset]:
                 continue
-            if not baskets:
+            if not self.unit_sizes[offset]:
                 continue
-            counter = make_counter(candidates, strategy=counting)
-            for basket in baskets:
-                counter.count_transaction(basket)
-            for itemset, count in counter.counts().items():
+            counted = backend.count_pass(
+                candidates, self.unit_segment(offset), monitor=monitor
+            )
+            for itemset, count in counted.items():
                 if count:
                     results[itemset][offset] = count
         return results

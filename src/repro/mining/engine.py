@@ -16,8 +16,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
+from repro.columnar.backends import available_backends
 from repro.core.apriori import AprioriOptions
 from repro.core.transactions import TransactionDatabase
+from repro.errors import MiningParameterError
 from repro.mining.constrained import mine_with_feature
 from repro.mining.context import TemporalContext
 from repro.mining.periodicities import discover_cyclic_interleaved, discover_periodicities
@@ -49,9 +51,24 @@ class TemporalMiner:
     >>> report = miner.valid_periods(ValidPeriodTask(...)) # doctest: +SKIP
     """
 
-    def __init__(self, database: TransactionDatabase):
+    def __init__(self, database: TransactionDatabase, counting: str = "auto"):
         self.database = database
+        self.counting = counting
         self._contexts: Dict[Granularity, TemporalContext] = {}
+
+    def set_counting(self, counting: str) -> None:
+        """Select the counting backend for subsequent runs.
+
+        Accepts ``"auto"`` or any registered backend name; raises
+        :class:`~repro.errors.MiningParameterError` otherwise.  Cached
+        contexts survive — the partitioning is backend-independent.
+        """
+        if counting != "auto" and counting not in available_backends():
+            known = ", ".join(["auto"] + available_backends())
+            raise MiningParameterError(
+                f"unknown counting backend {counting!r}; available: {known}"
+            )
+        self.counting = counting
 
     def context(self, granularity: Granularity) -> TemporalContext:
         """The (cached) temporal partitioning at ``granularity``."""
@@ -82,6 +99,7 @@ class TemporalMiner:
             self.database,
             task,
             context=self.context(task.granularity),
+            counting=self.counting,
             monitor=_make_monitor(budget, token, monitor, granule_hook),
         )
 
@@ -106,12 +124,14 @@ class TemporalMiner:
                 self.database,
                 task,
                 context=self.context(task.granularity),
+                counting=self.counting,
                 monitor=resolved,
             )
         return discover_periodicities(
             self.database,
             task,
             context=self.context(task.granularity),
+            counting=self.counting,
             monitor=resolved,
         )
 
@@ -129,5 +149,6 @@ class TemporalMiner:
             self.database,
             task,
             apriori_options=apriori_options,
+            counting=self.counting,
             monitor=_make_monitor(budget, token, monitor, granule_hook),
         )

@@ -56,6 +56,7 @@ def discover_itemset_periods(
     min_size: int = 2,
     context: Optional[TemporalContext] = None,
     counts: Optional[PerUnitCounts] = None,
+    counting: str = "auto",
 ) -> MiningReport:
     """Find every itemset's maximal valid periods.
 
@@ -79,6 +80,7 @@ def discover_itemset_periods(
             task.thresholds.min_support,
             min_units=task.min_valid_units,
             max_size=task.max_rule_size,
+            counting=counting,
         )
     thresholds = context.local_min_counts(task.thresholds.min_support)
     findings: List[ItemsetPeriods] = []

@@ -24,8 +24,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.columnar.backends import resolve_backend
 from repro.core.apriori import generate_candidates
-from repro.core.counting import make_counter
 from repro.core.items import Itemset
 from repro.core.rulegen import RuleKey
 from repro.core.transactions import TransactionDatabase
@@ -174,6 +174,7 @@ def discover_periodicities(
     task: PeriodicityTask,
     context: Optional[TemporalContext] = None,
     counts: Optional[PerUnitCounts] = None,
+    counting: str = "auto",
     monitor: Optional[RunMonitor] = None,
 ) -> MiningReport:
     """Run Task 2 end to end (generic path: count everywhere, then detect).
@@ -193,6 +194,7 @@ def discover_periodicities(
             task.thresholds.min_support,
             min_units=task.min_repetitions,
             max_size=task.max_rule_size,
+            counting=counting,
             monitor=monitor,
         )
     series_list = candidate_rules(
@@ -255,6 +257,7 @@ def discover_cyclic_interleaved(
     database: TransactionDatabase,
     task: PeriodicityTask,
     context: Optional[TemporalContext] = None,
+    counting: str = "auto",
     monitor: Optional[RunMonitor] = None,
 ) -> MiningReport:
     """Optimized cyclic discovery with cycle pruning and cycle skipping.
@@ -342,13 +345,13 @@ def discover_cyclic_interleaved(
                 if monitor is not None:
                     monitor.tick_granule(offset)
                 active = [c for c, mask in candidate_masks.items() if mask[offset]]
-                baskets = context.baskets_in_unit(offset)
-                if not active or not baskets:
+                if not active or not context.unit_sizes[offset]:
                     continue
-                counter = make_counter(active)
-                for basket in baskets:
-                    counter.count_transaction(basket)
-                for itemset, count in counter.counts().items():
+                backend = resolve_backend(counting, len(active), k)
+                counted = backend.count_pass(
+                    active, context.unit_segment(offset), monitor=monitor
+                )
+                for itemset, count in counted.items():
                     if count:
                         per_candidate_counts[itemset][offset] = count
             # Re-derive surviving cycles from actual counts.  An

@@ -100,6 +100,7 @@ def detect_trends(
     min_size: int = 1,
     max_size: int = 0,
     context: Optional[TemporalContext] = None,
+    counting: str = "auto",
 ) -> MiningReport:
     """Find itemsets with a clear monotone support trend.
 
@@ -125,7 +126,7 @@ def detect_trends(
     if context is None:
         context = TemporalContext(database, granularity)
     counts = per_unit_frequent_itemsets(
-        context, min_support, min_units=1, max_size=max_size
+        context, min_support, min_units=1, max_size=max_size, counting=counting
     )
     sizes = np.maximum(context.unit_sizes, 1)
     findings: List[TrendFinding] = []

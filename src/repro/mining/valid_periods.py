@@ -137,6 +137,7 @@ def discover_valid_periods(
     task: ValidPeriodTask,
     context: Optional[TemporalContext] = None,
     counts: Optional[PerUnitCounts] = None,
+    counting: str = "auto",
     monitor: Optional[RunMonitor] = None,
 ) -> MiningReport:
     """Run Task 1 end to end.
@@ -148,6 +149,8 @@ def discover_valid_periods(
             engine across tasks at the same granularity).
         counts: optional pre-computed per-unit counts (must match the
             task's thresholds; used by ablation benchmarks).
+        counting: counting-backend name, or ``"auto"`` (see
+            :mod:`repro.columnar.backends`).
         monitor: optional run monitor; an exhausted budget or a cancel
             stops the run at a granule/pass boundary and yields a report
             flagged ``partial=True`` whose rules are a subset of the
@@ -165,6 +168,7 @@ def discover_valid_periods(
             task.thresholds.min_support,
             min_units=task.min_valid_units,
             max_size=task.max_rule_size,
+            counting=counting,
             monitor=monitor,
         )
     series_list = candidate_rules(

@@ -45,6 +45,8 @@ TML statements (end with ';'):
   EXPLAIN MINE ...;                              -- describe, don't run
   SET BUDGET TIME <s>, CANDIDATES <n>, RULES <n> [STRICT];
   SET BUDGET OFF;                                -- clear run limits
+  SET ENGINE dict|hashtree|vertical;             -- pin counting backend
+  SET ENGINE OFF;                                -- back to auto selection
 
 Ctrl-C during a MINE cancels that run (a partial report is printed);
 the session itself stays alive.
@@ -52,6 +54,7 @@ the session itself stays alive.
 Dot commands:
   .help               this text
   .budget             show the session mining budget
+  .engine [name]      show or set the counting backend (auto to unpin)
   .demo               load a bundled synthetic demo dataset as 'sales'
   .load <name> <csv>  load a (tid,ts,item) CSV as dataset <name>
   .datasets           list registered datasets
@@ -88,6 +91,16 @@ def _dispatch_dot(session: IqmsSession, line: str) -> Optional[str]:
         if budget is None:
             return "no budget set (SET BUDGET TIME <s>, CANDIDATES <n>, RULES <n>;)"
         return f"budget: {budget.describe()}"
+    if command == ".engine":
+        if len(parts) == 1:
+            from repro.columnar.backends import available_backends
+
+            known = ", ".join(["auto"] + available_backends())
+            return f"engine: {session.engine} (available: {known})"
+        if len(parts) != 2:
+            return "usage: .engine [<backend>|auto]"
+        session.set_engine(parts[1])
+        return f"engine: {session.engine}"
     if command == ".demo":
         return _demo_session(session)
     if command == ".load":

@@ -33,6 +33,7 @@ from repro.tml.ast import (
     MinePeriodsStatement,
     MineRulesStatement,
     SetBudgetStatement,
+    SetEngineStatement,
     ShowStatement,
     SqlStatement,
 )
@@ -106,6 +107,16 @@ class IqmsSession:
         described = budget.describe() if budget is not None else "off"
         self.workflow.record(f"set budget: {described}")
 
+    @property
+    def engine(self) -> str:
+        """The counting backend used by mining runs (``"auto"`` = heuristic)."""
+        return self.environment.engine
+
+    def set_engine(self, engine: str) -> None:
+        """Pin (or, with ``"auto"``, unpin) the counting backend."""
+        self.environment.set_engine(engine)
+        self.workflow.record(f"set engine: {engine}")
+
     def cancel(self) -> None:
         """Ask the mining run in flight to stop at its next safe boundary.
 
@@ -140,7 +151,7 @@ class IqmsSession:
         statement = result.statement
         from repro.tml.ast import ProfileStatement
 
-        if isinstance(statement, SetBudgetStatement):
+        if isinstance(statement, (SetBudgetStatement, SetEngineStatement)):
             self.workflow.record(statement.render())
             return
         if isinstance(statement, (SqlStatement, ShowStatement, ProfileStatement, ExplainStatement)):

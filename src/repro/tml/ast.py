@@ -340,6 +340,25 @@ class SetBudgetStatement:
 
 
 @dataclass(frozen=True)
+class SetEngineStatement:
+    """``SET ENGINE <backend>;`` — pin the counting backend.
+
+    ``SET ENGINE OFF;`` restores automatic selection.  Backend names are
+    validated at execution time against the registry in
+    :mod:`repro.columnar.backends`, so the statement stays in sync with
+    whatever backends are registered.
+    """
+
+    engine: str = ""
+    off: bool = False
+
+    def render(self) -> str:
+        if self.off:
+            return "SET ENGINE OFF;"
+        return f"SET ENGINE {self.engine};"
+
+
+@dataclass(frozen=True)
 class SqlStatement:
     """Raw SQL passed through to the integrated query function."""
 
@@ -371,6 +390,7 @@ Statement = Union[
     ExplainStatement,
     ProfileStatement,
     SetBudgetStatement,
+    SetEngineStatement,
     ShowStatement,
     SqlStatement,
 ]

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from datetime import datetime
 from typing import Dict, Optional, Union
 
+from repro.columnar.backends import available_backends
 from repro.core.transactions import TransactionDatabase
 from repro.db.query import (
     QueryResult,
@@ -58,6 +59,7 @@ from repro.tml.ast import (
     ProfileStatement,
     PeriodFeature,
     SetBudgetStatement,
+    SetEngineStatement,
     ShowStatement,
     SqlStatement,
     Statement,
@@ -92,6 +94,7 @@ class ExecutionEnvironment:
         self._miners: Dict[str, TemporalMiner] = {}
         self._store_backed: set = set()
         self.budget: Optional[RunBudget] = None
+        self.engine: str = "auto"
         self.cancel_token = CancellationToken()
 
     def register(self, name: str, database: TransactionDatabase) -> None:
@@ -121,9 +124,25 @@ class ExecutionEnvironment:
     def miner(self, name: str) -> TemporalMiner:
         miner = self._miners.get(name)
         if miner is None:
-            miner = TemporalMiner(self.resolve(name))
+            miner = TemporalMiner(self.resolve(name), counting=self.engine)
             self._miners[name] = miner
         return miner
+
+    def set_engine(self, engine: str) -> None:
+        """Select the counting backend for every subsequent ``MINE``.
+
+        ``"auto"`` restores automatic selection.  Validates against the
+        backend registry and updates cached miners in place (their
+        partitioning caches survive — backends share the layout).
+        """
+        if engine != "auto" and engine not in available_backends():
+            known = ", ".join(["auto"] + available_backends())
+            raise TmlExecutionError(
+                f"unknown counting engine {engine!r}; available: {known}"
+            )
+        self.engine = engine
+        for miner in self._miners.values():
+            miner.set_counting(engine)
 
     def note_store_mutation(self) -> None:
         """Invalidate store-backed state after a mutating SQL statement.
@@ -176,6 +195,8 @@ class TmlExecutor:
             return self._show(statement)
         if isinstance(statement, SetBudgetStatement):
             return self._set_budget(statement)
+        if isinstance(statement, SetEngineStatement):
+            return self._set_engine(statement)
         if isinstance(statement, SqlStatement):
             return self._sql(statement)
         raise TmlExecutionError(f"cannot execute {statement!r}")
@@ -254,7 +275,9 @@ class TmlExecutor:
             max_rule_size=statement.max_size,
         )
         database = self.environment.resolve(statement.source)
-        report = discover_itemset_periods(database, task)
+        report = discover_itemset_periods(
+            database, task, counting=self.environment.engine
+        )
         return ExecutionResult(
             statement, report, report.format(database.catalog, limit=50)
         )
@@ -270,6 +293,7 @@ class TmlExecutor:
             min_total_change=statement.min_change,
             min_r_squared=statement.min_fit,
             max_size=statement.max_size,
+            counting=self.environment.engine,
         )
         return ExecutionResult(
             statement, report, report.format(database.catalog, limit=50)
@@ -359,6 +383,14 @@ class TmlExecutor:
         self.environment.budget = budget
         result = QueryResult(
             columns=("property", "value"), rows=(("budget", budget.describe()),)
+        )
+        return ExecutionResult(statement, result, result.format(limit=0))
+
+    def _set_engine(self, statement: SetEngineStatement) -> ExecutionResult:
+        engine = "auto" if statement.off else statement.engine
+        self.environment.set_engine(engine)
+        result = QueryResult(
+            columns=("property", "value"), rows=(("engine", engine),)
         )
         return ExecutionResult(statement, result, result.format(limit=0))
 

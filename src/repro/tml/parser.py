@@ -47,7 +47,7 @@ satisfy the TML lexer.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 from repro.errors import TmlParseError
 from repro.temporal.granularity import Granularity
@@ -64,6 +64,7 @@ from repro.tml.ast import (
     ProfileStatement,
     NamedCalendarFeature,
     SetBudgetStatement,
+    SetEngineStatement,
     ShowStatement,
     SqlStatement,
     Statement,
@@ -240,8 +241,10 @@ class _Parser:
             return ShowStatement(what="volume", granularity=granularity)
         raise self._error("expected SUMMARY, ITEMS or VOLUME")
 
-    def parse_set(self) -> SetBudgetStatement:
+    def parse_set(self) -> Union[SetBudgetStatement, SetEngineStatement]:
         self._expect_keyword("SET")
+        if self._accept_keyword("ENGINE"):
+            return self._parse_set_engine()
         self._expect_keyword("BUDGET")
         if self._accept_keyword("OFF"):
             self._finish()
@@ -281,6 +284,14 @@ class _Parser:
             max_rules=max_rules,
             strict=strict,
         )
+
+    def _parse_set_engine(self) -> SetEngineStatement:
+        if self._accept_keyword("OFF"):
+            self._finish()
+            return SetEngineStatement(off=True)
+        token = self._expect(TokenType.IDENT, "a counting backend name")
+        self._finish()
+        return SetEngineStatement(engine=token.value.lower())
 
     def parse_explain(self) -> Statement:
         self._expect_keyword("EXPLAIN")

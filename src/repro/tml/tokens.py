@@ -37,7 +37,7 @@ KEYWORDS: Tuple[str, ...] = (
     "INTERLEAVED", "SHOW", "SUMMARY", "ITEMS", "VOLUME", "BY",
     "LIMIT", "AND", "EXPLAIN", "OR", "MINUS", "CONTAINING",
     "ITEMSETS", "PROFILE", "TRENDS", "CHANGE", "FIT",
-    "SET", "BUDGET", "TIME", "CANDIDATES", "STRICT", "OFF",
+    "SET", "BUDGET", "TIME", "CANDIDATES", "STRICT", "OFF", "ENGINE",
 )
 
 

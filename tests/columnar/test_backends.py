@@ -1,0 +1,105 @@
+"""The counting-backend registry and its three built-in strategies."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.columnar.backends import (
+    BasketSegment,
+    CountingBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.columnar.encoded import EncodedDatabase
+from repro.core import TransactionDatabase
+from repro.core.items import Itemset
+from repro.errors import MiningParameterError
+from repro.runtime.budget import CancellationToken, RunInterrupted, RunMonitor
+
+BASKETS = [
+    (0, 1, 2),
+    (0, 1),
+    (0, 2),
+    (3,),
+    (0, 1, 2, 3),
+]
+CANDIDATES = [Itemset([0, 1]), Itemset([0, 2]), Itemset([1, 2]), Itemset([2, 3])]
+EXPECTED = {
+    Itemset([0, 1]): 3,
+    Itemset([0, 2]): 3,
+    Itemset([1, 2]): 2,
+    Itemset([2, 3]): 1,
+}
+
+
+def test_registry_lists_builtin_backends():
+    assert available_backends() == ["dict", "hashtree", "vertical"]
+
+
+def test_get_backend_unknown_name():
+    with pytest.raises(MiningParameterError, match="unknown counting backend"):
+        get_backend("btree")
+
+
+def test_register_requires_name():
+    class Anonymous(CountingBackend):
+        def count_pass(self, candidates, segment, monitor=None):
+            return {}
+
+    with pytest.raises(MiningParameterError):
+        register_backend(Anonymous())
+
+
+@pytest.mark.parametrize("name", ["dict", "hashtree", "vertical"])
+def test_count_pass_on_basket_segment(name):
+    backend = get_backend(name)
+    counted = backend.count_pass(CANDIDATES, BasketSegment(BASKETS))
+    assert counted == EXPECTED
+
+
+@pytest.mark.parametrize("name", ["dict", "hashtree", "vertical"])
+def test_count_pass_on_encoded_segment(name):
+    db = TransactionDatabase()
+    base = datetime(2026, 1, 1)
+    for index, basket in enumerate(BASKETS):
+        db.add(base + timedelta(hours=index), basket)
+    segment = EncodedDatabase.from_database(db).segment()
+    counted = get_backend(name).count_pass(CANDIDATES, segment)
+    assert counted == EXPECTED
+
+
+@pytest.mark.parametrize("name", ["dict", "hashtree", "vertical"])
+def test_count_pass_empty_segment(name):
+    counted = get_backend(name).count_pass(CANDIDATES, BasketSegment([]))
+    assert counted == {candidate: 0 for candidate in CANDIDATES}
+
+
+def test_resolve_backend_auto_small_pass_is_dict():
+    assert resolve_backend("auto", n_candidates=10, k=2).name == "dict"
+
+
+def test_resolve_backend_auto_large_deep_pass_is_hashtree():
+    assert resolve_backend("auto", n_candidates=10_000, k=4).name == "hashtree"
+
+
+def test_resolve_backend_explicit_name_wins():
+    assert resolve_backend("vertical", n_candidates=1, k=1).name == "vertical"
+    assert resolve_backend("vertical").uses_vertical
+
+
+def test_horizontal_backend_checkpoints_with_monitor():
+    token = CancellationToken()
+    token.cancel()
+    monitor = RunMonitor(token=token)
+    with pytest.raises(RunInterrupted):
+        get_backend("dict").count_pass(
+            CANDIDATES, BasketSegment(BASKETS), monitor=monitor
+        )
+
+
+def test_basket_segment_vertical_is_cached():
+    segment = BasketSegment(BASKETS)
+    assert segment.vertical() is segment.vertical()
+    assert len(segment) == len(BASKETS)

@@ -1,0 +1,108 @@
+"""VerticalIndex: packed bitmaps, popcounts, and candidate counting."""
+
+import numpy as np
+import pytest
+
+from repro.columnar.bitmaps import VerticalIndex, popcount_rows, popcount_sum
+from repro.core.items import Itemset
+from repro.runtime.budget import CancellationToken, RunInterrupted, RunMonitor
+
+BASKETS = [
+    (0, 1, 2),
+    (0, 1),
+    (0, 2),
+    (3, 4),
+    (0, 1, 2, 3),
+]
+
+
+def test_popcount_sum():
+    words = np.array([0, 1, 3, (1 << 64) - 1], dtype=np.uint64)
+    assert popcount_sum(words) == 0 + 1 + 2 + 64
+
+
+def test_popcount_rows():
+    matrix = np.array([[0, 1], [3, 3], [(1 << 64) - 1, 0]], dtype=np.uint64)
+    assert popcount_rows(matrix).tolist() == [1, 4, 64]
+
+
+def test_from_baskets_supports():
+    index = VerticalIndex.from_baskets(BASKETS)
+    assert index.n_transactions == 5
+    assert index.n_item_rows == 5
+    assert index.support([0]) == 4
+    assert index.support([0, 1]) == 3
+    assert index.support([0, 1, 2]) == 2
+    assert index.support([3, 4]) == 1
+    assert index.support([0, 4]) == 0
+
+
+def test_empty_itemset_supported_by_all():
+    index = VerticalIndex.from_baskets(BASKETS)
+    assert index.support([]) == 5
+
+
+def test_out_of_universe_item_hits_zero_sentinel():
+    index = VerticalIndex.from_baskets(BASKETS)
+    assert index.support([99]) == 0
+    assert index.support([0, 99]) == 0
+    assert index.support([-1]) == 0
+    counted = index.count_candidates([Itemset([0, 99]), Itemset([0, 1])])
+    assert counted == {Itemset([0, 99]): 0, Itemset([0, 1]): 3}
+
+
+def test_item_supports_vector():
+    index = VerticalIndex.from_baskets(BASKETS)
+    assert index.item_supports().tolist() == [4, 3, 3, 2, 1]
+
+
+def test_empty_segment():
+    index = VerticalIndex.from_baskets([], n_item_rows=4)
+    assert index.n_transactions == 0
+    assert index.support([0]) == 0
+    assert index.count_candidates([Itemset([0, 1])]) == {Itemset([0, 1]): 0}
+
+
+def test_count_candidates_matches_support():
+    index = VerticalIndex.from_baskets(BASKETS)
+    candidates = [
+        Itemset([0, 1]),
+        Itemset([0, 2]),
+        Itemset([0, 3]),
+        Itemset([1, 2]),
+        Itemset([3, 4]),
+    ]
+    counted = index.count_candidates(candidates)
+    for candidate in candidates:
+        assert counted[candidate] == index.support(candidate.items)
+
+
+def test_count_candidates_spans_word_boundary():
+    # 130 transactions = 3 words; items alternate so the AND crosses words.
+    baskets = [(0, 1) if t % 2 == 0 else (0,) for t in range(130)]
+    index = VerticalIndex.from_baskets(baskets)
+    assert index.support([0]) == 130
+    assert index.support([0, 1]) == 65
+    counted = index.count_candidates([Itemset([0, 1])])
+    assert counted[Itemset([0, 1])] == 65
+
+
+def test_count_candidates_checkpoints_with_monitor():
+    index = VerticalIndex.from_baskets(BASKETS)
+    token = CancellationToken()
+    token.cancel()
+    monitor = RunMonitor(token=token)
+    candidates = [Itemset([0, i]) for i in range(1, 5)]
+    with pytest.raises(RunInterrupted):
+        index.count_candidates(candidates, monitor=monitor, stride=2)
+
+
+def test_from_csr_equals_from_baskets():
+    flat = np.array([i for b in BASKETS for i in b], dtype=np.int32)
+    offsets = np.zeros(len(BASKETS) + 1, dtype=np.int64)
+    np.cumsum([len(b) for b in BASKETS], out=offsets[1:])
+    from_csr = VerticalIndex.from_csr(flat, offsets, 5)
+    from_baskets = VerticalIndex.from_baskets(BASKETS)
+    for item in range(5):
+        assert from_csr.support([item]) == from_baskets.support([item])
+    assert from_csr.item_supports().tolist() == from_baskets.item_supports().tolist()

@@ -90,6 +90,56 @@ class TestRoundTrip:
         assert loaded.catalog is tiny_db.catalog
 
 
+class TestLoadEncoded:
+    def test_load_encoded_matches_load_database(self, store, tiny_db):
+        store.save_database(tiny_db)
+        loaded = store.load_database()
+        encoded = store.load_encoded()
+        assert len(encoded) == len(loaded)
+        for position, transaction in enumerate(loaded):
+            decoded = {
+                encoded.catalog.label(item) for item in encoded.basket(position)
+            }
+            assert decoded == set(loaded.catalog.decode(transaction.items))
+            assert encoded.timestamps[position] == transaction.timestamp
+            assert int(encoded.tids[position]) == transaction.tid
+
+    def test_load_encoded_with_where(self, store, tiny_db):
+        store.save_database(tiny_db)
+        encoded = store.load_encoded(where="ts >= ?", parameters=("2026-03-04",))
+        assert len(encoded) == 3
+
+    def test_load_encoded_with_shared_catalog(self, store, tiny_db):
+        store.save_database(tiny_db)
+        encoded = store.load_encoded(catalog=tiny_db.catalog)
+        assert encoded.catalog is tiny_db.catalog
+        bread = tiny_db.catalog.id("bread")
+        assert bread in encoded.basket(0)
+
+    def test_load_encoded_empty_store(self, store):
+        encoded = store.load_encoded()
+        assert encoded.is_empty()
+
+    def test_load_encoded_malformed_timestamp(self, store):
+        store.connection.execute(
+            "INSERT INTO transactions (tid, ts, item) VALUES (1, '????', 'x')"
+        )
+        store.connection.commit()
+        with pytest.raises(DatabaseError) as exc_info:
+            store.load_encoded()
+        assert "malformed timestamp" in str(exc_info.value)
+
+    def test_load_encoded_mines_identically(self, store, tiny_db):
+        from repro.core import AprioriOptions, apriori
+
+        store.save_database(tiny_db)
+        via_objects = apriori(store.load_database(), 0.4)
+        via_encoded = apriori(
+            store.load_encoded(), 0.4, AprioriOptions(counting="vertical")
+        )
+        assert via_objects.as_dict() == via_encoded.as_dict()
+
+
 class TestCsvLoader:
     def test_load_csv(self, store, tmp_path):
         path = tmp_path / "data.csv"

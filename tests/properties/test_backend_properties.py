@@ -1,0 +1,122 @@
+"""Property tests: every counting backend is exchangeable for ``dict``.
+
+The backend registry's contract is that backend choice is purely a
+performance decision — all registered backends must produce bit-identical
+supports on any input.  These properties pin that against randomized
+databases featuring the awkward shapes: single-item baskets, duplicated
+baskets, and time gaps that create empty units.
+"""
+
+import random
+from datetime import datetime, timedelta
+from itertools import combinations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnar.backends import BasketSegment, available_backends, get_backend
+from repro.columnar.bitmaps import VerticalIndex
+from repro.columnar.encoded import EncodedDatabase
+from repro.core.apriori import AprioriOptions, apriori
+from repro.core.counting import DictCounter
+from repro.core.items import Itemset
+from repro.core.transactions import TransactionDatabase
+from repro.mining.context import TemporalContext, per_unit_frequent_itemsets
+from repro.temporal import Granularity
+
+N_ITEMS = 8
+
+
+@st.composite
+def gapped_databases(draw):
+    """Databases with single-item baskets and day gaps (empty units)."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    db = TransactionDatabase()
+    base = datetime(2026, 1, 1)
+    day = 0
+    for _ in range(n):
+        # Jumping 0-3 days forward leaves empty units behind.
+        day += rng.randrange(4)
+        basket = {rng.randrange(N_ITEMS) for _ in range(rng.randrange(1, 5))}
+        db.add(base + timedelta(days=day, minutes=len(db)), basket)
+    return db
+
+
+@st.composite
+def candidate_sets(draw):
+    """Same-size candidate itemsets over the item universe."""
+    k = draw(st.integers(min_value=1, max_value=3))
+    pool = list(combinations(range(N_ITEMS), k))
+    chosen = draw(
+        st.lists(st.sampled_from(pool), min_size=1, max_size=12, unique=True)
+    )
+    return [Itemset(c) for c in chosen]
+
+
+def _dict_reference(candidates, baskets):
+    counter = DictCounter(candidates)
+    for basket in baskets:
+        counter.count_transaction(basket)
+    return counter.counts()
+
+
+@given(gapped_databases(), candidate_sets())
+@settings(max_examples=40, deadline=None)
+def test_every_backend_matches_dict_counter(db, candidates):
+    baskets = [t.items.items for t in db]
+    reference = _dict_reference(candidates, baskets)
+    segment = BasketSegment(baskets)
+    for name in available_backends():
+        counted = get_backend(name).count_pass(candidates, segment)
+        assert counted == reference, f"backend {name!r} disagrees"
+
+
+@given(gapped_databases(), st.sampled_from([0.1, 0.3, 0.6]))
+@settings(max_examples=30, deadline=None)
+def test_apriori_identical_across_backends(db, min_support):
+    reference = apriori(db, min_support, AprioriOptions(counting="dict")).as_dict()
+    encoded = EncodedDatabase.from_database(db)
+    for name in available_backends():
+        options = AprioriOptions(counting=name)
+        assert apriori(db, min_support, options).as_dict() == reference
+        assert apriori(encoded, min_support, options).as_dict() == reference
+
+
+@given(gapped_databases(), candidate_sets())
+@settings(max_examples=30, deadline=None)
+def test_per_unit_counts_agree_across_backends(db, candidates):
+    context = TemporalContext(db, Granularity.DAY)
+    reference = context.count_candidates_per_unit(candidates, counting="dict")
+    for name in available_backends():
+        counted = context.count_candidates_per_unit(candidates, counting=name)
+        for candidate in candidates:
+            assert np.array_equal(counted[candidate], reference[candidate]), (
+                f"backend {name!r} disagrees on {candidate!r}"
+            )
+
+
+@given(gapped_databases(), st.sampled_from([0.2, 0.5]))
+@settings(max_examples=20, deadline=None)
+def test_per_unit_frequent_itemsets_backend_invariant(db, min_support):
+    context = TemporalContext(db, Granularity.DAY)
+    reference = per_unit_frequent_itemsets(context, min_support, counting="dict")
+    for name in available_backends():
+        counts = per_unit_frequent_itemsets(context, min_support, counting=name)
+        assert set(counts.counts) == set(reference.counts)
+        for itemset, row in counts.counts.items():
+            assert np.array_equal(row, reference.counts[itemset])
+
+
+@given(gapped_databases(), candidate_sets())
+@settings(max_examples=30, deadline=None)
+def test_vertical_index_support_is_exact(db, candidates):
+    baskets = [t.items.items for t in db]
+    index = VerticalIndex.from_baskets(baskets, n_item_rows=N_ITEMS)
+    for candidate in candidates:
+        expected = sum(
+            1 for basket in baskets if set(candidate.items) <= set(basket)
+        )
+        assert index.support(candidate.items) == expected

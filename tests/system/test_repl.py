@@ -39,6 +39,28 @@ class TestDotCommands:
     def test_load_usage(self):
         assert "usage" in drive(".load onlyname\n.quit\n")
 
+    def test_engine_shows_current_and_available(self):
+        output = drive(".engine\n.quit\n")
+        assert "engine: auto" in output
+        assert "vertical" in output
+
+    def test_engine_sets_backend(self):
+        session = IqmsSession()
+        output = drive(".engine vertical\n.engine\n.quit\n", session=session)
+        assert "engine: vertical" in output
+        assert session.engine == "vertical"
+
+    def test_engine_unknown_backend_reports_error(self):
+        output = drive(".engine btree\n.quit\n")
+        assert "unknown counting engine" in output
+
+    def test_engine_via_statement(self):
+        session = IqmsSession()
+        drive("SET ENGINE hashtree;\n.quit\n", session=session)
+        assert session.engine == "hashtree"
+        drive("SET ENGINE OFF;\n.quit\n", session=session)
+        assert session.engine == "auto"
+
 
 class TestStatements:
     def test_error_reported_not_raised(self):

@@ -67,6 +67,44 @@ class TestEnvironment:
         assert executor.environment.miner("sales") is not old
 
 
+class TestSetEngine:
+    def test_set_engine_updates_environment(self, executor):
+        result = executor.execute("SET ENGINE vertical;")
+        assert executor.environment.engine == "vertical"
+        assert ("engine", "vertical") in result.payload.rows
+
+    def test_set_engine_off_restores_auto(self, executor):
+        executor.execute("SET ENGINE hashtree;")
+        executor.execute("SET ENGINE OFF;")
+        assert executor.environment.engine == "auto"
+
+    def test_unknown_engine_rejected(self, executor):
+        with pytest.raises(TmlExecutionError, match="unknown counting engine"):
+            executor.execute("SET ENGINE btree;")
+        assert executor.environment.engine == "auto"
+
+    def test_engine_applies_to_cached_miners(self, executor):
+        miner = executor.environment.miner("sales")
+        executor.execute("SET ENGINE vertical;")
+        assert miner.counting == "vertical"
+        assert executor.environment.miner("sales").counting == "vertical"
+
+    def test_new_miners_inherit_engine(self, executor, tiny_db):
+        executor.execute("SET ENGINE dict;")
+        executor.environment.register("extra", tiny_db)
+        assert executor.environment.miner("extra").counting == "dict"
+
+    def test_mining_respects_engine(self, executor, seasonal_data):
+        executor.execute("SET ENGINE vertical;")
+        result = executor.execute(
+            "MINE PERIODS FROM sales AT GRANULARITY month "
+            "WITH SUPPORT >= 0.2, CONFIDENCE >= 0.6 "
+            "HAVING COVERAGE >= 2, SIZE <= 2;"
+        )
+        assert isinstance(result.payload, MiningReport)
+        assert "season0_a" in result.text
+
+
 class TestExecution:
     def test_sql(self, executor, seasonal_data):
         result = executor.execute("SELECT COUNT(DISTINCT tid) FROM transactions;")

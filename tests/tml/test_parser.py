@@ -11,6 +11,7 @@ from repro.tml.ast import (
     MinePeriodsStatement,
     MineRulesStatement,
     PeriodFeature,
+    SetEngineStatement,
     ShowStatement,
     SqlStatement,
 )
@@ -235,6 +236,28 @@ class TestMineRules:
             )
 
 
+class TestSetEngine:
+    def test_engine_name(self):
+        statement = parse_statement("SET ENGINE vertical;")
+        assert statement == SetEngineStatement(engine="vertical")
+
+    def test_engine_name_lowercased(self):
+        statement = parse_statement("set engine HASHTREE;")
+        assert statement == SetEngineStatement(engine="hashtree")
+
+    def test_engine_off(self):
+        statement = parse_statement("SET ENGINE OFF;")
+        assert statement == SetEngineStatement(off=True)
+
+    def test_missing_name(self):
+        with pytest.raises(TmlParseError):
+            parse_statement("SET ENGINE;")
+
+    def test_render(self):
+        assert SetEngineStatement(engine="dict").render() == "SET ENGINE dict;"
+        assert SetEngineStatement(off=True).render() == "SET ENGINE OFF;"
+
+
 class TestRoundTrips:
     STATEMENTS = [
         MinePeriodsStatement(
@@ -283,6 +306,8 @@ class TestRoundTrips:
             min_confidence=0.7,
             max_consequent=2,
         ),
+        SetEngineStatement(engine="vertical"),
+        SetEngineStatement(off=True),
         ShowStatement(what="summary"),
         ShowStatement(what="items", limit=7),
         ShowStatement(what="volume", granularity=Granularity.WEEK),
