@@ -1,0 +1,154 @@
+"""E16 — sharded parallel execution vs the serial counting path.
+
+The parallel executor's headline claims, measured on the E6 size-up
+workload: fanning counting passes out over contiguous time-range shards
+(a) never changes the answer — every run here is asserted bit-identical
+to its serial twin — and (b) pays for itself on multicore hardware,
+with >= 1.7x at 4 workers on |D|=20k (asserted only when this machine
+actually has >= 4 cores; on smaller boxes the grid still runs and the
+equality checks still bite).  Merge overhead — the time spent hstacking
+per-shard support vectors in plan order — is reported per row from
+``executor.stats`` so regressions in the merge path are visible even
+where speedup is not.
+
+Also exercised: a budget interrupt during a parallel run stops at a
+pass boundary with the same sound partial report the serial path
+produces (the PR 1 resilience semantics survive the fan-out).
+"""
+
+import os
+import time
+
+import pytest
+
+from benchmarks.bench_e6_sizeup import config_for
+from benchmarks.conftest import emit
+from repro.core import AprioriOptions, apriori
+from repro.mining import RuleThresholds, TemporalMiner, ValidPeriodTask
+from repro.parallel import ShardedExecutor
+from repro.runtime.budget import RunBudget, RunMonitor
+from repro.temporal import Granularity
+
+SIZES = [2500, 5000, 10000, 20000, 40000]
+WORKER_COUNTS = (1, 2, 4)
+BACKENDS = ("dict", "hashtree", "vertical")
+GRID_SIZE = 5000
+ACCEPTANCE_SIZE = 20000
+ACCEPTANCE_SPEEDUP = 1.7
+MULTICORE = (os.cpu_count() or 1) >= 4
+
+#: Serial baselines per database size, so each worker-count
+#: parametrization compares against one measurement instead of
+#: re-timing the serial run three times.
+_serial_cache = {}
+
+
+def _task():
+    return ValidPeriodTask(
+        granularity=Granularity.MONTH,
+        thresholds=RuleThresholds(0.02, 0.6),
+        min_coverage=2,
+        max_rule_size=3,
+    )
+
+
+def _serial_baseline(db, n_transactions):
+    if n_transactions not in _serial_cache:
+        miner = TemporalMiner(db, counting="vertical", workers=1)
+        started = time.perf_counter()
+        report = miner.valid_periods(_task())
+        _serial_cache[n_transactions] = (report, time.perf_counter() - started)
+    return _serial_cache[n_transactions]
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("n_transactions", SIZES)
+def test_e16_parallel_sizeup(benchmark, quest_db_cache, n_transactions, workers):
+    db = quest_db_cache(config_for(n_transactions))
+    serial_report, serial_seconds = _serial_baseline(db, n_transactions)
+    with TemporalMiner(db, counting="vertical", workers=workers) as miner:
+        report = benchmark.pedantic(
+            lambda: miner.valid_periods(_task()), rounds=1, iterations=1
+        )
+        executor = miner.executor
+        assert executor is None or not executor.degraded
+        merge_seconds = executor.stats["merge_seconds"] if executor else 0.0
+    # The whole point: sharded execution is invisible in the output.
+    assert report.results == serial_report.results
+    parallel_seconds = max(bench_mean(benchmark), 1e-9)
+    speedup = serial_seconds / parallel_seconds
+    emit(
+        "E16",
+        f"D={n_transactions}",
+        f"workers={workers}",
+        f"serial_s={serial_seconds:.3f}",
+        f"parallel_s={parallel_seconds:.3f}",
+        f"speedup={speedup:.2f}x",
+        f"merge_s={merge_seconds:.4f}",
+        f"findings={len(report.results)}",
+        benchmark=benchmark,
+    )
+    if n_transactions == ACCEPTANCE_SIZE and workers == 4 and MULTICORE:
+        # The acceptance bar for the parallel executor (multicore only).
+        assert speedup >= ACCEPTANCE_SPEEDUP
+
+
+def bench_mean(benchmark) -> float:
+    from benchmarks.util import bench_seconds
+
+    return bench_seconds(benchmark) or 0.0
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_e16_backend_worker_grid(quest_db_cache, backend, workers):
+    """Count-distribution Apriori: every backend x worker-count cell
+    agrees exactly with the serial run of the same backend."""
+    db = quest_db_cache(config_for(GRID_SIZE))
+    options = AprioriOptions(counting=backend)
+    started = time.perf_counter()
+    serial = apriori(db, 0.01, options=options)
+    serial_seconds = time.perf_counter() - started
+    with ShardedExecutor(workers) as executor:
+        started = time.perf_counter()
+        parallel = apriori(db, 0.01, options=options, executor=executor)
+        parallel_seconds = time.perf_counter() - started
+        assert not executor.degraded
+        merge_seconds = executor.stats["merge_seconds"]
+    assert serial.as_dict() == parallel.as_dict()
+    emit(
+        "E16",
+        f"D={GRID_SIZE}",
+        f"backend={backend}",
+        f"workers={workers}",
+        f"serial_s={serial_seconds:.3f}",
+        f"parallel_s={parallel_seconds:.3f}",
+        f"merge_s={merge_seconds:.4f}",
+        f"frequent={len(serial)}",
+    )
+
+
+def test_e16_budgeted_parallel_is_sound(quest_db_cache):
+    """A budget interrupt mid-fan-out yields the serial partial report."""
+    db = quest_db_cache(config_for(10000))
+    task = _task()
+    full = TemporalMiner(db, counting="vertical").valid_periods(task)
+    budget = RunBudget(max_candidates=2000)
+    serial_partial = TemporalMiner(db, counting="vertical").valid_periods(
+        task, monitor=RunMonitor(budget=budget)
+    )
+    with TemporalMiner(db, counting="vertical", workers=2) as miner:
+        parallel_partial = miner.valid_periods(
+            task, monitor=RunMonitor(budget=budget)
+        )
+        assert not miner.executor.degraded
+    assert parallel_partial.partial
+    assert parallel_partial.results == serial_partial.results
+    full_keys = {r.key for r in full}
+    assert {r.key for r in parallel_partial} <= full_keys
+    emit(
+        "E16",
+        "budgeted",
+        f"full={len(full)}",
+        f"partial={len(parallel_partial)}",
+    )

@@ -20,7 +20,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.columnar.backends import BasketSegment, available_backends, resolve_backend
 from repro.columnar.encoded import EncodedDatabase
@@ -28,6 +38,9 @@ from repro.core.items import Item, Itemset
 from repro.core.transactions import TransactionDatabase
 from repro.errors import MiningParameterError
 from repro.runtime.budget import RunInterrupted, RunMonitor
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.parallel.executor import ShardedExecutor
 
 #: Either transaction representation; all mining entry points accept both.
 AnyDatabase = Union[TransactionDatabase, EncodedDatabase]
@@ -171,6 +184,7 @@ def apriori(
     min_support: float,
     options: Optional[AprioriOptions] = None,
     monitor: Optional[RunMonitor] = None,
+    executor: Optional["ShardedExecutor"] = None,
 ) -> FrequentItemsets:
     """Mine all frequent itemsets of ``database`` at ``min_support``.
 
@@ -184,6 +198,10 @@ def apriori(
             its token cancelled) the search stops at a pass boundary and
             the itemsets of the completed passes are returned — an exact
             subset of the unbudgeted result.
+        executor: optional sharded executor; candidate passes then run
+            count-distribution style (flat transaction shards, per-shard
+            vectors summed) with the serial scan as fallback — counts
+            are identical either way.
 
     Returns:
         All itemsets whose relative support is >= ``min_support``, with
@@ -219,17 +237,24 @@ def apriori(
         # working basket list that transaction reduction may shrink.
         vertical_segment = None
         baskets: List[Tuple[Item, ...]] = []
-        if options.counting == "vertical":
+        encoded_parallel = None
+        if options.counting == "vertical" or executor is not None:
             encoded = (
                 database
                 if isinstance(database, EncodedDatabase)
                 else EncodedDatabase.from_database(database)
             )
-            vertical_segment = encoded.segment()
-        elif isinstance(database, EncodedDatabase):
-            baskets = list(database.iter_baskets())
-        else:
-            baskets = [t.items.items for t in database]
+            if executor is not None:
+                encoded_parallel = encoded
+            if options.counting == "vertical":
+                vertical_segment = encoded.segment()
+        if options.counting != "vertical":
+            # Serial fallback scans these baskets even when a parallel
+            # executor is attached (it may decline or degrade mid-run).
+            if isinstance(database, EncodedDatabase):
+                baskets = list(database.iter_baskets())
+            else:
+                baskets = [t.items.items for t in database]
 
         k = 2
         while frequent and (options.max_size == 0 or k <= options.max_size):
@@ -238,14 +263,25 @@ def apriori(
                 break
             if monitor is not None:
                 monitor.charge_candidates(len(candidates))
-            backend = resolve_backend(options.counting, len(candidates), k)
-            if backend.uses_vertical:
-                segment = vertical_segment
-            else:
-                if options.transaction_reduction:
-                    baskets = [b for b in baskets if len(b) >= k]
-                segment = BasketSegment(baskets)
-            counted = backend.count_pass(candidates, segment, monitor=monitor)
+            counted: Optional[Mapping[Itemset, int]] = None
+            if executor is not None and encoded_parallel is not None:
+                vector = executor.count_flat(
+                    encoded_parallel, candidates, options.counting, monitor=monitor
+                )
+                if vector is not None:
+                    counted = {
+                        candidate: int(count)
+                        for candidate, count in zip(candidates, vector)
+                    }
+            if counted is None:
+                backend = resolve_backend(options.counting, len(candidates), k)
+                if backend.uses_vertical:
+                    segment = vertical_segment
+                else:
+                    if options.transaction_reduction:
+                        baskets = [b for b in baskets if len(b) >= k]
+                    segment = BasketSegment(baskets)
+                counted = backend.count_pass(candidates, segment, monitor=monitor)
             frequent = []
             for itemset, count in counted.items():
                 if count >= min_count:

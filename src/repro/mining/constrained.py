@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from datetime import datetime
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.core.apriori import AprioriOptions, apriori
 from repro.core.rulegen import generate_rules
@@ -25,6 +25,9 @@ from repro.temporal.calendar_algebra import CalendarExpression, CalendarPattern
 from repro.temporal.granularity import Granularity, unit_index
 from repro.temporal.interval import IntervalSet, TimeInterval
 from repro.temporal.periodicity import CalendricPeriodicity, CyclicPeriodicity
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.parallel.executor import ShardedExecutor
 
 
 def feature_predicate(
@@ -99,11 +102,14 @@ def mine_with_feature(
     apriori_options: Optional[AprioriOptions] = None,
     counting: str = "auto",
     monitor: Optional[RunMonitor] = None,
+    executor: Optional["ShardedExecutor"] = None,
 ) -> MiningReport:
     """Run Task 3 end to end.
 
     ``counting`` selects the Apriori counting backend when
-    ``apriori_options`` is not given (explicit options win).
+    ``apriori_options`` is not given (explicit options win); an
+    ``executor`` parallelizes Apriori's candidate passes
+    count-distribution style.
 
     Returns a :class:`MiningReport` of :class:`ConstrainedRule` records,
     sorted by descending confidence then support (the order
@@ -127,7 +133,11 @@ def mine_with_feature(
                 max_size=task.max_rule_size,
             )
         frequent = apriori(
-            restricted, task.thresholds.min_support, options=options, monitor=monitor
+            restricted,
+            task.thresholds.min_support,
+            options=options,
+            monitor=monitor,
+            executor=executor,
         )
         rules = generate_rules(
             frequent,

@@ -19,7 +19,7 @@ the temporal anti-monotone prune.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -31,6 +31,9 @@ from repro.core.transactions import TransactionDatabase
 from repro.errors import MiningParameterError, TransactionError
 from repro.runtime.budget import RunInterrupted, RunMonitor
 from repro.temporal.granularity import Granularity, unit_label
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.parallel.executor import ShardedExecutor
 
 
 class TemporalContext:
@@ -110,7 +113,9 @@ class TemporalContext:
     # ------------------------------------------------------------------
 
     def count_items_per_unit(
-        self, monitor: Optional[RunMonitor] = None
+        self,
+        monitor: Optional[RunMonitor] = None,
+        executor: Optional["ShardedExecutor"] = None,
     ) -> Dict[Item, np.ndarray]:
         """Per-unit absolute support of every single item (one scan).
 
@@ -119,21 +124,29 @@ class TemporalContext:
         callers treat the level-1 pass as incomplete in that case.
 
         Counting is one :func:`numpy.bincount` per unit over the unit's
-        contiguous ``item_ids`` slice — no per-basket Python work.
+        contiguous ``item_ids`` slice — no per-basket Python work.  With
+        an ``executor``, the unit range is sharded across worker
+        processes and the per-shard matrices merged in shard order
+        (bit-identical to the serial scan); the serial loop is the
+        fallback whenever the executor declines the pass.
         """
         n = self.n_units
         n_items = self.encoded.n_items
-        matrix = np.zeros((n_items, n), dtype=np.int64)
-        ids = self.encoded.item_ids
-        offsets = self.encoded.offsets
-        bounds = self._bounds
-        for offset in range(n):
-            if monitor is not None:
-                monitor.tick_granule(offset)
-            lo, hi = bounds[offset], bounds[offset + 1]
-            if hi > lo:
-                unit_ids = ids[offsets[lo] : offsets[hi]]
-                matrix[:, offset] = np.bincount(unit_ids, minlength=n_items)
+        matrix: Optional[np.ndarray] = None
+        if executor is not None:
+            matrix = executor.count_items(self.encoded, self._bounds, monitor=monitor)
+        if matrix is None:
+            matrix = np.zeros((n_items, n), dtype=np.int64)
+            ids = self.encoded.item_ids
+            offsets = self.encoded.offsets
+            bounds = self._bounds
+            for offset in range(n):
+                if monitor is not None:
+                    monitor.tick_granule(offset)
+                lo, hi = bounds[offset], bounds[offset + 1]
+                if hi > lo:
+                    unit_ids = ids[offsets[lo] : offsets[hi]]
+                    matrix[:, offset] = np.bincount(unit_ids, minlength=n_items)
         present = np.flatnonzero(matrix.any(axis=1))
         return {int(item): matrix[item] for item in present}
 
@@ -143,6 +156,7 @@ class TemporalContext:
         unit_mask: Optional[np.ndarray] = None,
         counting: str = "auto",
         monitor: Optional[RunMonitor] = None,
+        executor: Optional["ShardedExecutor"] = None,
     ) -> Dict[Itemset, np.ndarray]:
         """Per-unit supports of ``candidates`` in one scan of the data.
 
@@ -159,6 +173,10 @@ class TemporalContext:
                 :class:`~repro.runtime.budget.RunInterrupted` mid-scan,
                 in which case the returned counts are incomplete and the
                 caller must discard the pass.
+            executor: optional sharded executor; when it accepts the
+                pass, counting fans out across worker processes and the
+                merged matrix (deterministic shard order) replaces the
+                serial scan bit for bit.
         """
         n = self.n_units
         results: Dict[Itemset, np.ndarray] = {
@@ -166,6 +184,19 @@ class TemporalContext:
         }
         if not candidates:
             return results
+        if executor is not None:
+            matrix = executor.count_candidates(
+                self.encoded,
+                self._bounds,
+                candidates,
+                counting,
+                unit_mask=unit_mask,
+                monitor=monitor,
+            )
+            if matrix is not None:
+                for row, candidate in enumerate(candidates):
+                    results[candidate] = matrix[row]
+                return results
         backend = resolve_backend(counting, len(candidates), len(candidates[0]))
         for offset in range(n):
             if monitor is not None:
@@ -176,6 +207,63 @@ class TemporalContext:
                 continue
             counted = backend.count_pass(
                 candidates, self.unit_segment(offset), monitor=monitor
+            )
+            for itemset, count in counted.items():
+                if count:
+                    results[itemset][offset] = count
+        return results
+
+    def count_candidates_masked(
+        self,
+        candidates: Sequence[Itemset],
+        candidate_masks: np.ndarray,
+        counting: str = "auto",
+        monitor: Optional[RunMonitor] = None,
+        executor: Optional["ShardedExecutor"] = None,
+    ) -> Dict[Itemset, np.ndarray]:
+        """Per-unit supports with a *per-candidate* unit mask.
+
+        ``candidate_masks`` is a boolean ``(len(candidates), n_units)``
+        matrix; candidate ``i`` is only counted in the units where row
+        ``i`` is ``True`` — the fine-grained form of cycle skipping the
+        interleaved periodicity algorithm relies on.  Serial and sharded
+        paths resolve the backend per unit from the *active* candidate
+        subset, exactly like the original interleaved loop, so counts
+        are bit-identical either way.
+        """
+        n = self.n_units
+        results: Dict[Itemset, np.ndarray] = {
+            c: np.zeros(n, dtype=np.int64) for c in candidates
+        }
+        if not candidates:
+            return results
+        if executor is not None:
+            matrix = executor.count_candidates(
+                self.encoded,
+                self._bounds,
+                candidates,
+                counting,
+                candidate_masks=candidate_masks,
+                monitor=monitor,
+            )
+            if matrix is not None:
+                for row, candidate in enumerate(candidates):
+                    results[candidate] = matrix[row]
+                return results
+        k = len(candidates[0])
+        for offset in range(n):
+            if monitor is not None:
+                monitor.tick_granule(offset)
+            active = [
+                candidate
+                for row, candidate in enumerate(candidates)
+                if candidate_masks[row, offset]
+            ]
+            if not active or not self.unit_sizes[offset]:
+                continue
+            backend = resolve_backend(counting, len(active), k)
+            counted = backend.count_pass(
+                active, self.unit_segment(offset), monitor=monitor
             )
             for itemset, count in counted.items():
                 if count:
@@ -235,6 +323,7 @@ def per_unit_frequent_itemsets(
     max_size: int = 0,
     counting: str = "auto",
     monitor: Optional[RunMonitor] = None,
+    executor: Optional["ShardedExecutor"] = None,
 ) -> PerUnitCounts:
     """Level-wise mining of itemsets locally frequent in >= ``min_units`` units.
 
@@ -254,6 +343,9 @@ def per_unit_frequent_itemsets(
             counted is discarded and only fully-counted levels are
             returned, so every retained count is exact and the result is
             a subset of the unbudgeted run's.
+        executor: optional :class:`~repro.parallel.executor.ShardedExecutor`
+            fanning every counting pass across worker processes; output
+            is bit-identical to the serial run.
     """
     if not 0.0 < min_support <= 1.0:
         raise MiningParameterError(f"min_support must be in (0, 1], got {min_support}")
@@ -264,7 +356,7 @@ def per_unit_frequent_itemsets(
 
     try:
         # Level 1: single items in one scan.
-        item_counts = context.count_items_per_unit(monitor=monitor)
+        item_counts = context.count_items_per_unit(monitor=monitor, executor=executor)
         frontier: List[Itemset] = []
         for item, row in item_counts.items():
             frequent_units = int(np.count_nonzero(row >= thresholds))
@@ -284,7 +376,7 @@ def per_unit_frequent_itemsets(
             if monitor is not None:
                 monitor.charge_candidates(len(candidates))
             counted = context.count_candidates_per_unit(
-                candidates, counting=counting, monitor=monitor
+                candidates, counting=counting, monitor=monitor, executor=executor
             )
             frontier = []
             for itemset, row in counted.items():

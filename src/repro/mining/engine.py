@@ -14,6 +14,7 @@ fault-injection harness uses it to attach granule hooks).
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, Optional
 
 from repro.columnar.backends import available_backends
@@ -26,6 +27,7 @@ from repro.mining.periodicities import discover_cyclic_interleaved, discover_per
 from repro.mining.results import MiningReport
 from repro.mining.tasks import ConstrainedTask, PeriodicityTask, ValidPeriodTask
 from repro.mining.valid_periods import discover_valid_periods
+from repro.parallel.executor import ShardedExecutor
 from repro.runtime.budget import CancellationToken, RunBudget, RunMonitor
 from repro.temporal.granularity import Granularity
 
@@ -44,6 +46,19 @@ def _make_monitor(
     return RunMonitor(budget=budget, token=token, granule_hook=granule_hook)
 
 
+def _workers_from_env() -> int:
+    """The ``REPRO_WORKERS`` default (1 when unset or malformed).
+
+    Lets CI run the *entire* suite in sharded mode without touching any
+    test: every miner built with the default worker count picks it up,
+    and bit-identical semantics mean all assertions must still hold.
+    """
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    if raw.isdigit() and int(raw) >= 1:
+        return int(raw)
+    return 1
+
+
 class TemporalMiner:
     """High-level entry point for temporal association rule discovery.
 
@@ -51,10 +66,54 @@ class TemporalMiner:
     >>> report = miner.valid_periods(ValidPeriodTask(...)) # doctest: +SKIP
     """
 
-    def __init__(self, database: TransactionDatabase, counting: str = "auto"):
+    def __init__(
+        self,
+        database: TransactionDatabase,
+        counting: str = "auto",
+        workers: Optional[int] = None,
+    ):
         self.database = database
         self.counting = counting
         self._contexts: Dict[Granularity, TemporalContext] = {}
+        self.workers = 1
+        self._executor: Optional[ShardedExecutor] = None
+        self.set_workers(workers if workers is not None else _workers_from_env())
+
+    def set_workers(self, workers: int) -> None:
+        """Select the worker-process count for subsequent runs.
+
+        ``1`` runs everything serially; ``N >= 2`` fans counting passes
+        out to a sharded process pool (results stay bit-identical — see
+        :mod:`repro.parallel`).  Changing the count tears the existing
+        pool down; the next run builds a fresh one lazily.
+        """
+        if workers < 1:
+            raise MiningParameterError(f"workers must be >= 1, got {workers}")
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+        self.workers = workers
+
+    @property
+    def executor(self) -> Optional[ShardedExecutor]:
+        """The (lazily created) sharded executor; ``None`` when serial."""
+        if self.workers < 2:
+            return None
+        if self._executor is None:
+            self._executor = ShardedExecutor(self.workers)
+        return self._executor
+
+    def close(self) -> None:
+        """Release the worker pool (safe to call repeatedly)."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self) -> "TemporalMiner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def set_counting(self, counting: str) -> None:
         """Select the counting backend for subsequent runs.
@@ -101,6 +160,7 @@ class TemporalMiner:
             context=self.context(task.granularity),
             counting=self.counting,
             monitor=_make_monitor(budget, token, monitor, granule_hook),
+            executor=self.executor,
         )
 
     def periodicities(
@@ -126,6 +186,7 @@ class TemporalMiner:
                 context=self.context(task.granularity),
                 counting=self.counting,
                 monitor=resolved,
+                executor=self.executor,
             )
         return discover_periodicities(
             self.database,
@@ -133,6 +194,7 @@ class TemporalMiner:
             context=self.context(task.granularity),
             counting=self.counting,
             monitor=resolved,
+            executor=self.executor,
         )
 
     def with_feature(
@@ -151,4 +213,5 @@ class TemporalMiner:
             apriori_options=apriori_options,
             counting=self.counting,
             monitor=_make_monitor(budget, token, monitor, granule_hook),
+            executor=self.executor,
         )

@@ -20,11 +20,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.columnar.backends import resolve_backend
 from repro.core.apriori import generate_candidates
 from repro.core.items import Itemset
 from repro.core.rulegen import RuleKey
@@ -36,6 +35,9 @@ from repro.mining.rulespace import RuleUnitSeries, candidate_rules, enumerate_ru
 from repro.mining.tasks import PeriodicityTask
 from repro.runtime.budget import RunInterrupted, RunMonitor
 from repro.temporal.periodicity import CalendricPeriodicity, CyclicPeriodicity
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.parallel.executor import ShardedExecutor
 
 _EPS = 1e-9
 
@@ -176,6 +178,7 @@ def discover_periodicities(
     counts: Optional[PerUnitCounts] = None,
     counting: str = "auto",
     monitor: Optional[RunMonitor] = None,
+    executor: Optional["ShardedExecutor"] = None,
 ) -> MiningReport:
     """Run Task 2 end to end (generic path: count everywhere, then detect).
 
@@ -196,6 +199,7 @@ def discover_periodicities(
             max_size=task.max_rule_size,
             counting=counting,
             monitor=monitor,
+            executor=executor,
         )
     series_list = candidate_rules(
         counts,
@@ -259,6 +263,7 @@ def discover_cyclic_interleaved(
     context: Optional[TemporalContext] = None,
     counting: str = "auto",
     monitor: Optional[RunMonitor] = None,
+    executor: Optional["ShardedExecutor"] = None,
 ) -> MiningReport:
     """Optimized cyclic discovery with cycle pruning and cycle skipping.
 
@@ -295,7 +300,9 @@ def discover_cyclic_interleaved(
 
     try:
         # Level 1: one full scan (no skipping possible before cycles exist).
-        for item, row in context.count_items_per_unit(monitor=monitor).items():
+        for item, row in context.count_items_per_unit(
+            monitor=monitor, executor=executor
+        ).items():
             singleton = Itemset((item,))
             support_valid = row >= thresholds
             cycles = _sequence_cycles_exact(
@@ -337,23 +344,14 @@ def discover_cyclic_interleaved(
                 candidate: _cycle_units(cycles, first_unit, n_units)
                 for candidate, cycles in candidate_cycles.items()
             }
-            per_candidate_counts = {
-                candidate: np.zeros(n_units, dtype=np.int64)
-                for candidate in candidate_cycles
-            }
-            for offset in range(n_units):
-                if monitor is not None:
-                    monitor.tick_granule(offset)
-                active = [c for c, mask in candidate_masks.items() if mask[offset]]
-                if not active or not context.unit_sizes[offset]:
-                    continue
-                backend = resolve_backend(counting, len(active), k)
-                counted = backend.count_pass(
-                    active, context.unit_segment(offset), monitor=monitor
-                )
-                for itemset, count in counted.items():
-                    if count:
-                        per_candidate_counts[itemset][offset] = count
+            ordered = list(candidate_cycles)
+            per_candidate_counts = context.count_candidates_masked(
+                ordered,
+                np.stack([candidate_masks[candidate] for candidate in ordered]),
+                counting=counting,
+                monitor=monitor,
+                executor=executor,
+            )
             # Re-derive surviving cycles from actual counts.  An
             # interruption above leaves this level uncommitted, so
             # ``counts``/``itemset_cycles`` only ever hold exact passes.

@@ -1,0 +1,19 @@
+"""Sharded parallel execution over the columnar layout.
+
+The package implements count-distribution parallelism for the temporal
+mining tasks: :mod:`~repro.parallel.sharding` plans contiguous time-unit
+shards, :mod:`~repro.parallel.worker` holds the process-pool counting
+kernels, and :class:`~repro.parallel.executor.ShardedExecutor` fans
+passes out and merges per-shard support matrices deterministically.
+"""
+
+from repro.parallel.executor import ShardedExecutor, default_workers
+from repro.parallel.sharding import ShardSpec, plan_shards, plan_transaction_shards
+
+__all__ = [
+    "ShardedExecutor",
+    "ShardSpec",
+    "default_workers",
+    "plan_shards",
+    "plan_transaction_shards",
+]

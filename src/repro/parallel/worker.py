@@ -1,0 +1,191 @@
+"""Worker-side counting kernels for the sharded executor.
+
+Everything in this module runs inside pool worker processes, so it must
+stay import-light and top-level picklable.  The big CSR arrays never
+travel through task pickles:
+
+* On ``fork`` platforms (Linux), the parent registers the arrays in
+  :data:`_REGISTRY` *before* forking the pool; children inherit the
+  registry copy-on-write, so a shard task only carries the registry
+  token plus its (small) unit-boundary slice — a pickle-free shared
+  buffer in effect.
+* On ``spawn``-only platforms, the pool initializer receives a registry
+  snapshot once per worker process; per-task payloads are identical.
+
+Workers cache the per-unit :class:`~repro.columnar.encoded.EncodedSegment`
+views they build, so the vertical backend's bitmap indexes are
+constructed once per (worker, unit) and reused by every Apriori pass —
+the same reuse the serial :class:`~repro.mining.context.TemporalContext`
+gets from its segment cache.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.columnar.backends import resolve_backend
+from repro.columnar.encoded import EncodedDatabase, EncodedSegment
+from repro.core.items import Itemset
+
+#: Injected worker failure modes (see WorkerFaultPlan in runtime.faultinject).
+FAULT_ERROR = "error"
+FAULT_KILL = "kill"
+
+#: token -> (item_ids, offsets, n_items); populated in the parent before
+#: the pool forks (children inherit it) or via the spawn initializer.
+_REGISTRY: Dict[str, Tuple[np.ndarray, np.ndarray, int]] = {}
+
+#: Worker-local caches, keyed by registry token / position range.
+_VIEWS: Dict[str, EncodedDatabase] = {}
+_SEGMENTS: Dict[Tuple[str, int, int], EncodedSegment] = {}
+
+
+def register_encoded(
+    token: str, item_ids: np.ndarray, offsets: np.ndarray, n_items: int
+) -> None:
+    """Parent side: expose one encoded database's columns under ``token``."""
+    _REGISTRY[token] = (item_ids, offsets, n_items)
+
+
+def unregister_encoded(token: str) -> None:
+    """Parent side: drop a registration (workers re-fork without it)."""
+    _REGISTRY.pop(token, None)
+    _VIEWS.pop(token, None)
+
+
+def registry_snapshot() -> Dict[str, Tuple[np.ndarray, np.ndarray, int]]:
+    """The current registrations, for the spawn-path pool initializer."""
+    return dict(_REGISTRY)
+
+
+def init_worker(snapshot: Dict[str, Tuple[np.ndarray, np.ndarray, int]]) -> None:
+    """Pool initializer for start methods without fork inheritance."""
+    _REGISTRY.update(snapshot)
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard's worth of counting work.
+
+    Attributes:
+        token: registry key of the encoded database to scan.
+        index: shard index (parent merges results in this order).
+        unit_bounds: absolute transaction-position boundaries of the
+            shard's units (length ``n_units + 1``).
+        fault: deterministic fault to inject (chaos tests only).
+    """
+
+    token: str
+    index: int
+    unit_bounds: np.ndarray
+    fault: Optional[str] = None
+
+
+def _maybe_fault(task: ShardTask) -> None:
+    if task.fault == FAULT_ERROR:
+        raise RuntimeError(f"injected worker fault in shard {task.index}")
+    if task.fault == FAULT_KILL:
+        os._exit(17)
+
+
+def _view(token: str) -> EncodedDatabase:
+    view = _VIEWS.get(token)
+    if view is None:
+        try:
+            item_ids, offsets, n_items = _REGISTRY[token]
+        except KeyError:
+            raise RuntimeError(
+                f"shard references unknown encoded database {token!r} "
+                "(worker forked before it was registered)"
+            ) from None
+        view = EncodedDatabase(
+            item_ids,
+            offsets,
+            np.empty(0, dtype=np.int64),
+            (),
+        )
+        view._n_items = n_items
+        _VIEWS[token] = view
+    return view
+
+
+def _segment(token: str, lo: int, hi: int) -> EncodedSegment:
+    key = (token, lo, hi)
+    segment = _SEGMENTS.get(key)
+    if segment is None:
+        segment = _view(token).segment(lo, hi)
+        _SEGMENTS[key] = segment
+    return segment
+
+
+def _unit_positions(task: ShardTask, offset: int) -> Tuple[int, int]:
+    return int(task.unit_bounds[offset]), int(task.unit_bounds[offset + 1])
+
+
+def count_items_shard(task: ShardTask) -> np.ndarray:
+    """Per-unit item supports of one shard: an (n_items, n_units) matrix."""
+    _maybe_fault(task)
+    view = _view(task.token)
+    n_units = len(task.unit_bounds) - 1
+    matrix = np.zeros((view.n_items, n_units), dtype=np.int64)
+    ids = view.item_ids
+    offsets = view.offsets
+    for offset in range(n_units):
+        lo, hi = _unit_positions(task, offset)
+        if hi > lo:
+            unit_ids = ids[offsets[lo] : offsets[hi]]
+            matrix[:, offset] = np.bincount(unit_ids, minlength=view.n_items)
+    return matrix
+
+
+def count_candidates_shard(
+    task: ShardTask,
+    candidates: Sequence[Itemset],
+    counting: str,
+    unit_mask: Optional[np.ndarray] = None,
+    candidate_masks: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Per-unit candidate supports of one shard.
+
+    Returns an ``(n_candidates, n_units)`` count matrix whose rows align
+    with ``candidates``.  ``unit_mask`` skips whole units (cycle
+    skipping's coarse form); ``candidate_masks`` — a boolean
+    ``(n_candidates, n_units)`` matrix — restricts each candidate to its
+    own live units (the interleaved algorithm's fine form), mirroring
+    the serial loops exactly so merged counts are bit-identical.
+    """
+    _maybe_fault(task)
+    n_units = len(task.unit_bounds) - 1
+    matrix = np.zeros((len(candidates), n_units), dtype=np.int64)
+    if not candidates:
+        return matrix
+    k = len(candidates[0])
+    row_of = {candidate: row for row, candidate in enumerate(candidates)}
+    backend = resolve_backend(counting, len(candidates), k)
+    for offset in range(n_units):
+        if unit_mask is not None and not unit_mask[offset]:
+            continue
+        lo, hi = _unit_positions(task, offset)
+        if hi <= lo:
+            continue
+        if candidate_masks is None:
+            active: Sequence[Itemset] = candidates
+            unit_backend = backend
+        else:
+            active = [
+                candidate
+                for row, candidate in enumerate(candidates)
+                if candidate_masks[row, offset]
+            ]
+            if not active:
+                continue
+            unit_backend = resolve_backend(counting, len(active), k)
+        counted = unit_backend.count_pass(active, _segment(task.token, lo, hi))
+        for itemset, count in counted.items():
+            if count:
+                matrix[row_of[itemset], offset] = count
+    return matrix

@@ -31,7 +31,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.errors import (
     BudgetExceededError,
@@ -199,6 +199,9 @@ class RunMonitor:
         "_candidates",
         "_rules",
         "_stop_reason",
+        "_lock",
+        "_staged_batches",
+        "_granule_log",
     )
 
     def __init__(
@@ -223,6 +226,14 @@ class RunMonitor:
         self._candidates = 0
         self._rules = 0
         self._stop_reason: Optional[str] = None
+        # Charging is lock-protected so concurrent shard mergers (the
+        # parallel executor) can share one monitor; granule batches are
+        # staged per pass and flushed in unit order at complete_pass(),
+        # so the pass log stays deterministic no matter which shard
+        # finishes first.
+        self._lock = threading.RLock()
+        self._staged_batches: List[Tuple[int, List[int]]] = []
+        self._granule_log: List[Tuple[int, int]] = []
 
     # ------------------------------------------------------------------
     # observation
@@ -250,12 +261,13 @@ class RunMonitor:
 
     def checkpoint(self) -> None:
         """Check deadline and cancellation; raise to stop the run."""
-        if self._stop_reason is not None:
-            raise RunInterrupted(self._stop_reason)
-        if self.token is not None and self.token.cancelled:
-            raise self._stop(STOP_CANCELLED)
-        if self._deadline is not None and self._clock() > self._deadline:
-            raise self._stop(STOP_DEADLINE)
+        with self._lock:
+            if self._stop_reason is not None:
+                raise RunInterrupted(self._stop_reason)
+            if self.token is not None and self.token.cancelled:
+                raise self._stop(STOP_CANCELLED)
+            if self._deadline is not None and self._clock() > self._deadline:
+                raise self._stop(STOP_DEADLINE)
 
     def tick_granule(self, offset: int) -> None:
         """Account one scanned time unit, then checkpoint.
@@ -263,18 +275,43 @@ class RunMonitor:
         The fault-injection hook runs first so injected faults (a slow
         granule, a mid-pass cancel) are observed by this very check.
         """
-        if self.granule_hook is not None:
-            self.granule_hook(offset)
-        self._granules += 1
-        self.checkpoint()
+        self.commit_granule_batch((offset,))
+
+    def commit_granule_batch(self, offsets: Iterable[int]) -> None:
+        """Atomically account a contiguous run of scanned time units.
+
+        The parallel executor commits one batch per finished shard.  The
+        whole batch is staged under the monitor lock, so checkpoints from
+        concurrent shards can never interleave granules of one shard
+        into the middle of another's in the pass log; batches are
+        reordered by unit offset when the pass completes, making the log
+        deterministic regardless of shard completion order.
+
+        The fault-injection hook and the budget check run per granule,
+        exactly as in the serial loop; a mid-batch stop still records
+        the granules covered up to the stop.
+        """
+        with self._lock:
+            staged: List[int] = []
+            try:
+                for offset in offsets:
+                    if self.granule_hook is not None:
+                        self.granule_hook(offset)
+                    self._granules += 1
+                    staged.append(offset)
+                    self.checkpoint()
+            finally:
+                if staged:
+                    self._staged_batches.append((self._passes, staged))
 
     def charge_candidates(self, n: int) -> None:
         """Account ``n`` generated candidates; stop when over budget."""
-        self._candidates += n
-        limit = self.budget.max_candidates
-        if limit is not None and self._candidates > limit:
-            raise self._stop(STOP_MAX_CANDIDATES)
-        self.checkpoint()
+        with self._lock:
+            self._candidates += n
+            limit = self.budget.max_candidates
+            if limit is not None and self._candidates > limit:
+                raise self._stop(STOP_MAX_CANDIDATES)
+            self.checkpoint()
 
     def charge_rule(self) -> None:
         """Account one finding about to be emitted; stop at the cap.
@@ -282,14 +319,39 @@ class RunMonitor:
         Called *before* appending, so a run budgeted for N rules emits
         exactly N.
         """
-        limit = self.budget.max_rules
-        if limit is not None and self._rules >= limit:
-            raise self._stop(STOP_MAX_RULES)
-        self._rules += 1
+        with self._lock:
+            limit = self.budget.max_rules
+            if limit is not None and self._rules >= limit:
+                raise self._stop(STOP_MAX_RULES)
+            self._rules += 1
 
     def complete_pass(self) -> None:
-        """Mark one level-wise pass as fully counted."""
-        self._passes += 1
+        """Mark one level-wise pass as fully counted.
+
+        Granule batches staged during the pass are flushed into
+        :meth:`pass_granule_log` in unit order — the misorder-proofing
+        for concurrent shard producers.
+        """
+        with self._lock:
+            finished = self._passes
+            batches = [b for p, b in self._staged_batches if p == finished]
+            self._staged_batches = [
+                (p, b) for p, b in self._staged_batches if p != finished
+            ]
+            for batch in sorted(batches, key=lambda b: b[0]):
+                self._granule_log.extend((finished, offset) for offset in batch)
+            self._passes += 1
+
+    def pass_granule_log(self) -> Tuple[Tuple[int, int], ...]:
+        """Ordered ``(pass, granule_offset)`` entries of completed passes.
+
+        Within one pass the offsets are nondecreasing by construction —
+        an interrupted pass's granules are never flushed (the pass was
+        discarded), and concurrent shard batches are sorted at the pass
+        boundary.
+        """
+        with self._lock:
+            return tuple(self._granule_log)
 
     # ------------------------------------------------------------------
     # outcome

@@ -13,6 +13,9 @@ expands into one) rather than ambient randomness:
   granules (deadline pressure) and/or cancels the run's token at a
   chosen tick (mid-pass cancellation), exercising graceful degradation
   in the counting loops.
+* :class:`WorkerFaultPlan` — makes chosen shard dispatches of the
+  parallel executor fail (raised error or killed worker process),
+  exercising its degrade-to-serial path.
 
 Use :func:`inject_db_faults` to splice a flaky connection into a live
 :class:`~repro.db.sqlite_store.SqliteStore`.
@@ -120,6 +123,42 @@ def inject_db_faults(store, plan: DbFaultPlan) -> FlakyConnection:
     flaky = FlakyConnection(store.connection, plan)
     store._connection = flaky
     return flaky
+
+
+@dataclass(frozen=True)
+class WorkerFaultPlan:
+    """Which parallel shard dispatches fail, by 1-based dispatch index.
+
+    Handed to a :class:`~repro.parallel.executor.ShardedExecutor`, which
+    counts every shard task it submits across the whole run; tasks whose
+    dispatch index is in ``fail_shards`` carry the fault marker and the
+    worker either raises (``kind="error"``) or hard-exits its process
+    (``kind="kill"``, surfacing as a broken pool).  Either way the
+    executor must degrade to serial with a diagnostic — the chaos suite
+    asserts exactly that.
+
+    Attributes:
+        fail_shards: dispatch indices (1-based, global) that fault.
+        kind: ``"error"`` or ``"kill"``.
+    """
+
+    fail_shards: FrozenSet[int] = frozenset()
+    kind: str = "error"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("error", "kill"):
+            raise MiningParameterError(
+                f'worker fault kind must be "error" or "kill", got {self.kind!r}'
+            )
+
+    @classmethod
+    def first(cls, n: int, kind: str = "error") -> "WorkerFaultPlan":
+        """Fault the first ``n`` shard dispatches, then behave normally."""
+        return cls(fail_shards=frozenset(range(1, n + 1)), kind=kind)
+
+    def fault_for(self, dispatch_index: int) -> Optional[str]:
+        """The fault marker for one dispatch (``None`` = healthy)."""
+        return self.kind if dispatch_index in self.fail_shards else None
 
 
 @dataclass

@@ -47,6 +47,8 @@ TML statements (end with ';'):
   SET BUDGET OFF;                                -- clear run limits
   SET ENGINE dict|hashtree|vertical;             -- pin counting backend
   SET ENGINE OFF;                                -- back to auto selection
+  SET WORKERS <n>;                               -- parallel counting passes
+  SET WORKERS OFF;                               -- back to serial execution
 
 Ctrl-C during a MINE cancels that run (a partial report is printed);
 the session itself stays alive.
@@ -55,6 +57,7 @@ Dot commands:
   .help               this text
   .budget             show the session mining budget
   .engine [name]      show or set the counting backend (auto to unpin)
+  .workers [n]        show or set the worker-process count (1 = serial)
   .demo               load a bundled synthetic demo dataset as 'sales'
   .load <name> <csv>  load a (tid,ts,item) CSV as dataset <name>
   .datasets           list registered datasets
@@ -101,6 +104,14 @@ def _dispatch_dot(session: IqmsSession, line: str) -> Optional[str]:
             return "usage: .engine [<backend>|auto]"
         session.set_engine(parts[1])
         return f"engine: {session.engine}"
+    if command == ".workers":
+        if len(parts) == 1:
+            mode = "serial" if session.workers == 1 else "sharded"
+            return f"workers: {session.workers} ({mode})"
+        if len(parts) != 2 or not parts[1].isdigit() or int(parts[1]) < 1:
+            return "usage: .workers [<n>=1]"
+        session.set_workers(int(parts[1]))
+        return f"workers: {session.workers}"
     if command == ".demo":
         return _demo_session(session)
     if command == ".load":

@@ -34,6 +34,7 @@ from repro.tml.ast import (
     MineRulesStatement,
     SetBudgetStatement,
     SetEngineStatement,
+    SetWorkersStatement,
     ShowStatement,
     SqlStatement,
 )
@@ -117,6 +118,16 @@ class IqmsSession:
         self.environment.set_engine(engine)
         self.workflow.record(f"set engine: {engine}")
 
+    @property
+    def workers(self) -> int:
+        """Worker-process count for mining runs (1 = serial)."""
+        return self.environment.workers
+
+    def set_workers(self, workers: int) -> None:
+        """Fan counting out to ``workers`` processes (1 restores serial)."""
+        self.environment.set_workers(workers)
+        self.workflow.record(f"set workers: {workers}")
+
     def cancel(self) -> None:
         """Ask the mining run in flight to stop at its next safe boundary.
 
@@ -151,7 +162,10 @@ class IqmsSession:
         statement = result.statement
         from repro.tml.ast import ProfileStatement
 
-        if isinstance(statement, (SetBudgetStatement, SetEngineStatement)):
+        if isinstance(
+            statement,
+            (SetBudgetStatement, SetEngineStatement, SetWorkersStatement),
+        ):
             self.workflow.record(statement.render())
             return
         if isinstance(statement, (SqlStatement, ShowStatement, ProfileStatement, ExplainStatement)):

@@ -359,6 +359,25 @@ class SetEngineStatement:
 
 
 @dataclass(frozen=True)
+class SetWorkersStatement:
+    """``SET WORKERS <n>;`` — fan counting passes out to ``n`` processes.
+
+    ``SET WORKERS OFF;`` (equivalently ``SET WORKERS 1;``) restores
+    serial execution.  Sharded runs produce bit-identical results to
+    serial ones (see :mod:`repro.parallel`), so this is purely a
+    performance knob.
+    """
+
+    workers: int = 1
+    off: bool = False
+
+    def render(self) -> str:
+        if self.off:
+            return "SET WORKERS OFF;"
+        return f"SET WORKERS {self.workers};"
+
+
+@dataclass(frozen=True)
 class SqlStatement:
     """Raw SQL passed through to the integrated query function."""
 
@@ -391,6 +410,7 @@ Statement = Union[
     ProfileStatement,
     SetBudgetStatement,
     SetEngineStatement,
+    SetWorkersStatement,
     ShowStatement,
     SqlStatement,
 ]

@@ -31,7 +31,7 @@ from repro.db.query import (
 )
 from repro.db.sqlite_store import SqliteStore
 from repro.errors import TmlExecutionError
-from repro.mining.engine import TemporalMiner
+from repro.mining.engine import TemporalMiner, _workers_from_env
 from repro.runtime.budget import CancellationToken, RunBudget
 from repro.mining.results import MiningReport
 from repro.mining.tasks import (
@@ -60,6 +60,7 @@ from repro.tml.ast import (
     PeriodFeature,
     SetBudgetStatement,
     SetEngineStatement,
+    SetWorkersStatement,
     ShowStatement,
     SqlStatement,
     Statement,
@@ -95,6 +96,7 @@ class ExecutionEnvironment:
         self._store_backed: set = set()
         self.budget: Optional[RunBudget] = None
         self.engine: str = "auto"
+        self.workers: int = _workers_from_env()
         self.cancel_token = CancellationToken()
 
     def register(self, name: str, database: TransactionDatabase) -> None:
@@ -124,7 +126,9 @@ class ExecutionEnvironment:
     def miner(self, name: str) -> TemporalMiner:
         miner = self._miners.get(name)
         if miner is None:
-            miner = TemporalMiner(self.resolve(name), counting=self.engine)
+            miner = TemporalMiner(
+                self.resolve(name), counting=self.engine, workers=self.workers
+            )
             self._miners[name] = miner
         return miner
 
@@ -143,6 +147,23 @@ class ExecutionEnvironment:
         self.engine = engine
         for miner in self._miners.values():
             miner.set_counting(engine)
+
+    def set_workers(self, workers: int) -> None:
+        """Select the worker-process count for every subsequent ``MINE``.
+
+        ``1`` is serial; cached miners are updated in place (each tears
+        down its pool and lazily builds a new one on the next run).
+        """
+        if workers < 1:
+            raise TmlExecutionError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        for miner in self._miners.values():
+            miner.set_workers(workers)
+
+    def close(self) -> None:
+        """Release every cached miner's worker pool."""
+        for miner in self._miners.values():
+            miner.close()
 
     def note_store_mutation(self) -> None:
         """Invalidate store-backed state after a mutating SQL statement.
@@ -197,6 +218,8 @@ class TmlExecutor:
             return self._set_budget(statement)
         if isinstance(statement, SetEngineStatement):
             return self._set_engine(statement)
+        if isinstance(statement, SetWorkersStatement):
+            return self._set_workers(statement)
         if isinstance(statement, SqlStatement):
             return self._sql(statement)
         raise TmlExecutionError(f"cannot execute {statement!r}")
@@ -391,6 +414,14 @@ class TmlExecutor:
         self.environment.set_engine(engine)
         result = QueryResult(
             columns=("property", "value"), rows=(("engine", engine),)
+        )
+        return ExecutionResult(statement, result, result.format(limit=0))
+
+    def _set_workers(self, statement: SetWorkersStatement) -> ExecutionResult:
+        workers = 1 if statement.off else statement.workers
+        self.environment.set_workers(workers)
+        result = QueryResult(
+            columns=("property", "value"), rows=(("workers", str(workers)),)
         )
         return ExecutionResult(statement, result, result.format(limit=0))
 

@@ -65,6 +65,7 @@ from repro.tml.ast import (
     NamedCalendarFeature,
     SetBudgetStatement,
     SetEngineStatement,
+    SetWorkersStatement,
     ShowStatement,
     SqlStatement,
     Statement,
@@ -241,10 +242,14 @@ class _Parser:
             return ShowStatement(what="volume", granularity=granularity)
         raise self._error("expected SUMMARY, ITEMS or VOLUME")
 
-    def parse_set(self) -> Union[SetBudgetStatement, SetEngineStatement]:
+    def parse_set(
+        self,
+    ) -> Union[SetBudgetStatement, SetEngineStatement, SetWorkersStatement]:
         self._expect_keyword("SET")
         if self._accept_keyword("ENGINE"):
             return self._parse_set_engine()
+        if self._accept_keyword("WORKERS"):
+            return self._parse_set_workers()
         self._expect_keyword("BUDGET")
         if self._accept_keyword("OFF"):
             self._finish()
@@ -292,6 +297,14 @@ class _Parser:
         token = self._expect(TokenType.IDENT, "a counting backend name")
         self._finish()
         return SetEngineStatement(engine=token.value.lower())
+
+    def _parse_set_workers(self) -> SetWorkersStatement:
+        if self._accept_keyword("OFF"):
+            self._finish()
+            return SetWorkersStatement(off=True)
+        workers = self._integer("a worker count")
+        self._finish()
+        return SetWorkersStatement(workers=workers)
 
     def parse_explain(self) -> Statement:
         self._expect_keyword("EXPLAIN")

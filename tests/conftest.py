@@ -11,6 +11,16 @@ from repro.core import TransactionDatabase
 from repro.datagen import periodic_dataset, seasonal_dataset
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden mining snapshots under tests/golden/ "
+        "instead of comparing against them",
+    )
+
+
 @pytest.fixture
 def tiny_db() -> TransactionDatabase:
     """Five transactions over five days — the classic bread/milk example."""

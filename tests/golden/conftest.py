@@ -1,0 +1,42 @@
+"""The golden-snapshot machinery.
+
+``golden_check`` compares a canonical JSON serialization of a mining
+report against a checked-in snapshot under ``tests/golden/snapshots/``.
+Run ``pytest tests/golden --update-golden`` after an *intentional*
+output change to rewrite the snapshots; an unintentional diff fails with
+a readable path to the offending file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+SNAPSHOT_DIR = Path(__file__).resolve().parent / "snapshots"
+
+
+@pytest.fixture
+def golden_check(request):
+    """Compare (or, with ``--update-golden``, rewrite) one snapshot."""
+    update = request.config.getoption("--update-golden")
+
+    def check(name: str, payload: object) -> None:
+        path = SNAPSHOT_DIR / f"{name}.json"
+        rendered = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        if update:
+            SNAPSHOT_DIR.mkdir(parents=True, exist_ok=True)
+            path.write_text(rendered)
+            return
+        assert path.exists(), (
+            f"missing golden snapshot {path}; "
+            "run `pytest tests/golden --update-golden` to create it"
+        )
+        expected = path.read_text()
+        assert rendered == expected, (
+            f"mining output diverged from golden snapshot {path}; "
+            "if the change is intentional, rerun with --update-golden"
+        )
+
+    return check

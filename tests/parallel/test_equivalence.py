@@ -1,0 +1,236 @@
+"""Differential harness: sharded mining must be bit-identical to serial.
+
+Every test mines the same seeded random Quest database twice — once with
+the plain serial path and once through a :class:`ShardedExecutor` — and
+asserts the outputs match *exactly*: same itemsets, same per-unit
+support arrays (``np.array_equal``, not approximate), same valid
+periods, same periodicities.  The matrix covers workers 1..4 and all
+three counting backends, so any refactor of the counting hot path that
+changes output, however subtly, fails here first.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.core import TransactionDatabase
+from repro.core.apriori import AprioriOptions, apriori
+from repro.core.items import Itemset
+from repro.datagen import QuestConfig, generate_baskets
+from repro.mining.context import TemporalContext, per_unit_frequent_itemsets
+from repro.mining.engine import TemporalMiner
+from repro.mining.tasks import (
+    ConstrainedTask,
+    PeriodicityTask,
+    RuleThresholds,
+    ValidPeriodTask,
+)
+from repro.parallel import ShardedExecutor, plan_shards, plan_transaction_shards
+from repro.temporal.granularity import Granularity
+from repro.temporal.interval import TimeInterval
+
+BACKENDS = ("dict", "hashtree", "vertical")
+WORKER_COUNTS = (1, 2, 3, 4)
+SEEDS = (11, 23)
+
+_THRESHOLDS = RuleThresholds(min_support=0.18, min_confidence=0.5)
+
+
+def quest_database(seed: int, n_transactions: int = 420) -> TransactionDatabase:
+    """A seeded Quest database spread hourly over several weeks."""
+    config = QuestConfig(
+        n_transactions=n_transactions,
+        avg_transaction_size=5.0,
+        avg_pattern_size=3.0,
+        n_items=40,
+        n_patterns=12,
+        seed=seed,
+    )
+    db = TransactionDatabase()
+    start = datetime(2025, 3, 1)
+    for index, basket in enumerate(generate_baskets(config)):
+        if not basket:
+            basket = (index % 40,)
+        db.add(start + timedelta(hours=index), basket)
+    return db
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def database(request) -> TransactionDatabase:
+    return quest_database(request.param)
+
+
+def _assert_counts_identical(serial, parallel) -> None:
+    assert sorted(serial.counts) == sorted(parallel.counts)
+    for itemset, row in serial.counts.items():
+        assert np.array_equal(row, parallel.counts[itemset]), itemset
+
+
+# ----------------------------------------------------------------------
+# shard planning invariants
+# ----------------------------------------------------------------------
+
+
+def test_plan_shards_partitions_every_unit(database):
+    context = TemporalContext(database, Granularity.DAY)
+    for workers in WORKER_COUNTS:
+        shards = plan_shards(context._bounds, workers)
+        assert shards == plan_shards(context._bounds, workers)  # deterministic
+        assert shards[0].unit_lo == 0
+        assert shards[-1].unit_hi == context.n_units
+        for left, right in zip(shards, shards[1:]):
+            assert left.unit_hi == right.unit_lo
+            assert left.pos_hi == right.pos_lo
+        assert sum(s.n_transactions for s in shards) == len(database)
+
+
+def test_plan_transaction_shards_cover_range():
+    shards = plan_transaction_shards(1001, 4)
+    assert shards[0].pos_lo == 0
+    assert shards[-1].pos_hi == 1001
+    assert sum(s.n_transactions for s in shards) == 1001
+    assert plan_transaction_shards(0, 4) == []
+    assert len(plan_transaction_shards(2, 8)) == 2
+
+
+# ----------------------------------------------------------------------
+# per-unit counting (the substrate of Tasks 1 and 2)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_per_unit_itemsets_and_supports_bit_identical(database, backend, workers):
+    context = TemporalContext(database, Granularity.DAY)
+    serial = per_unit_frequent_itemsets(context, 0.18, counting=backend)
+    with ShardedExecutor(workers) as executor:
+        parallel = per_unit_frequent_itemsets(
+            context, 0.18, counting=backend, executor=executor
+        )
+        assert not executor.degraded
+    _assert_counts_identical(serial, parallel)
+
+
+@pytest.mark.parametrize("workers", (2, 4))
+def test_count_items_matrix_matches_serial(database, workers):
+    context = TemporalContext(database, Granularity.DAY)
+    serial = context.count_items_per_unit()
+    with ShardedExecutor(workers) as executor:
+        parallel = context.count_items_per_unit(executor=executor)
+    assert sorted(serial) == sorted(parallel)
+    for item, row in serial.items():
+        assert np.array_equal(row, parallel[item])
+
+
+# ----------------------------------------------------------------------
+# the three tasks end to end
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_valid_periods_bit_identical(database, backend, workers):
+    task = ValidPeriodTask(
+        granularity=Granularity.DAY,
+        thresholds=_THRESHOLDS,
+        min_frequency=0.8,
+        min_coverage=2,
+    )
+    serial = TemporalMiner(database, counting=backend).valid_periods(task)
+    with TemporalMiner(database, counting=backend, workers=workers) as miner:
+        parallel = miner.valid_periods(task)
+    assert serial.results == parallel.results
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("workers", (2, 4))
+def test_periodicities_bit_identical(database, backend, workers):
+    task = PeriodicityTask(
+        granularity=Granularity.DAY,
+        thresholds=_THRESHOLDS,
+        max_period=7,
+        min_repetitions=2,
+        min_match=0.75,
+    )
+    serial = TemporalMiner(database, counting=backend).periodicities(task)
+    with TemporalMiner(database, counting=backend, workers=workers) as miner:
+        parallel = miner.periodicities(task)
+    assert serial.results == parallel.results
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("workers", (2, 3))
+def test_interleaved_cyclic_bit_identical(database, backend, workers):
+    task = PeriodicityTask(
+        granularity=Granularity.DAY,
+        thresholds=RuleThresholds(min_support=0.12, min_confidence=0.4),
+        max_period=7,
+        min_repetitions=2,
+        min_match=1.0,
+    )
+    serial = TemporalMiner(database, counting=backend).periodicities(
+        task, interleaved=True
+    )
+    with TemporalMiner(database, counting=backend, workers=workers) as miner:
+        parallel = miner.periodicities(task, interleaved=True)
+    assert serial.results == parallel.results
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("workers", (2, 4))
+def test_constrained_rules_bit_identical(database, backend, workers):
+    start, end = database.time_span()
+    task = ConstrainedTask(
+        feature=TimeInterval(start, start + (end - start) / 2),
+        thresholds=RuleThresholds(min_support=0.1, min_confidence=0.4),
+    )
+    serial = TemporalMiner(database, counting=backend).with_feature(task)
+    with TemporalMiner(database, counting=backend, workers=workers) as miner:
+        parallel = miner.with_feature(task)
+    assert serial.results == parallel.results
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_apriori_count_distribution_bit_identical(database, backend):
+    options = AprioriOptions(counting=backend)
+    serial = apriori(database, 0.1, options=options)
+    with ShardedExecutor(3) as executor:
+        parallel = apriori(database, 0.1, options=options, executor=executor)
+        assert not executor.degraded
+    assert serial.as_dict() == parallel.as_dict()
+    assert serial.n_transactions == parallel.n_transactions
+
+
+# ----------------------------------------------------------------------
+# executor reuse across granularities and databases
+# ----------------------------------------------------------------------
+
+
+def test_executor_reused_across_granularities(database):
+    task_day = ValidPeriodTask(granularity=Granularity.DAY, thresholds=_THRESHOLDS)
+    task_week = ValidPeriodTask(granularity=Granularity.WEEK, thresholds=_THRESHOLDS)
+    with TemporalMiner(database, workers=2) as miner:
+        day = miner.valid_periods(task_day)
+        week = miner.valid_periods(task_week)
+    assert day.results == TemporalMiner(database).valid_periods(task_day).results
+    assert week.results == TemporalMiner(database).valid_periods(task_week).results
+
+
+def test_workers_one_is_a_noop_executor(database):
+    with ShardedExecutor(1) as executor:
+        context = TemporalContext(database, Granularity.DAY)
+        assert executor.count_items(context.encoded, context._bounds) is None
+        assert not executor.effective()
+
+
+def test_itemset_rows_are_int64(database):
+    context = TemporalContext(database, Granularity.DAY)
+    with ShardedExecutor(2) as executor:
+        counted = context.count_candidates_per_unit(
+            [Itemset((0, 1))], counting="dict", executor=executor
+        )
+    (row,) = counted.values()
+    assert row.dtype == np.int64

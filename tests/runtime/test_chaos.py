@@ -7,6 +7,7 @@ sleepers — no real waiting, no real contention).
 
 from __future__ import annotations
 
+import threading
 from datetime import datetime, timedelta
 
 import pytest
@@ -24,7 +25,13 @@ from repro.runtime.budget import (
     RunBudget,
     RunMonitor,
 )
-from repro.runtime.faultinject import DbFaultPlan, GranuleFaults, inject_db_faults
+from repro.parallel import ShardedExecutor
+from repro.runtime.faultinject import (
+    DbFaultPlan,
+    GranuleFaults,
+    WorkerFaultPlan,
+    inject_db_faults,
+)
 from repro.runtime.retry import RetryPolicy
 from repro.system.session import IqmsSession
 from repro.temporal.granularity import Granularity
@@ -239,3 +246,124 @@ class TestSessionBudget:
         # The session survives the strict failure.
         session.run("SET BUDGET OFF;")
         assert not self._mine(session).payload.partial
+
+
+# ----------------------------------------------------------------------
+# worker faults → the sharded pool degrades to serial, never hangs
+# ----------------------------------------------------------------------
+
+
+class TestWorkerChaos:
+    """Injected worker failures against the sharded executor.
+
+    Each test runs a real parallel mining pass with a
+    :class:`WorkerFaultPlan` wired into the executor, so the fault fires
+    inside an actual worker process.  The contract: the pool degrades to
+    serial with a diagnostic, the run still finishes with output equal
+    to the plain serial path, and nothing hangs.
+    """
+
+    def _serial(self, db):
+        return discover_valid_periods(db, _task())
+
+    def test_counting_error_degrades_with_diagnostic(self, random_db):
+        serial = self._serial(random_db)
+        with ShardedExecutor(3, fault_plan=WorkerFaultPlan.first(1)) as executor:
+            with pytest.warns(RuntimeWarning, match="degraded to serial"):
+                report = discover_valid_periods(
+                    random_db, _task(), executor=executor
+                )
+            assert executor.degraded
+            assert "injected worker fault" in executor.degraded_reason
+            assert executor.degraded_reason.startswith("RuntimeError")
+        assert report.results == serial.results
+
+    def test_killed_worker_degrades_with_diagnostic(self, random_db):
+        serial = self._serial(random_db)
+        plan = WorkerFaultPlan.first(1, kind="kill")
+        with ShardedExecutor(3, fault_plan=plan) as executor:
+            with pytest.warns(RuntimeWarning, match="degraded to serial"):
+                report = discover_valid_periods(
+                    random_db, _task(), executor=executor
+                )
+            assert executor.degraded
+            assert executor.degraded_reason.startswith("BrokenProcessPool")
+        assert report.results == serial.results
+
+    def test_degraded_executor_stays_serial_but_usable(self, random_db):
+        serial = self._serial(random_db)
+        with ShardedExecutor(2, fault_plan=WorkerFaultPlan.first(1)) as executor:
+            with pytest.warns(RuntimeWarning):
+                discover_valid_periods(random_db, _task(), executor=executor)
+            assert not executor.effective()
+            # The next run reuses the degraded executor: pure serial,
+            # no new warning, same answer — the session stays usable.
+            again = discover_valid_periods(random_db, _task(), executor=executor)
+        assert again.results == serial.results
+
+    def test_miner_facade_survives_worker_fault(self, random_db):
+        serial = TemporalMiner(random_db).valid_periods(_task())
+        with TemporalMiner(random_db, workers=3) as miner:
+            miner._executor = ShardedExecutor(
+                3, fault_plan=WorkerFaultPlan.first(2)
+            )
+            with pytest.warns(RuntimeWarning, match="degraded to serial"):
+                report = miner.valid_periods(_task())
+        assert report.results == serial.results
+
+    def test_budget_interrupts_parallel_run_soundly(self, random_db):
+        task = _task()
+        full = discover_valid_periods(random_db, task)
+        budget = RunBudget(max_candidates=16)
+        serial_partial = discover_valid_periods(
+            random_db, task, monitor=RunMonitor(budget=budget)
+        )
+        with ShardedExecutor(3) as executor:
+            parallel_partial = discover_valid_periods(
+                random_db,
+                task,
+                monitor=RunMonitor(budget=budget),
+                executor=executor,
+            )
+            assert not executor.degraded
+        assert parallel_partial.partial
+        assert parallel_partial.results == serial_partial.results
+        assert {r.key for r in parallel_partial.results} <= {
+            r.key for r in full.results
+        }
+
+
+# ----------------------------------------------------------------------
+# concurrent granule producers → the monitor log stays deterministic
+# ----------------------------------------------------------------------
+
+
+class TestMonitorConcurrency:
+    def test_concurrent_batches_flush_in_shard_order(self):
+        monitor = RunMonitor()
+        batches = [range(lo, lo + 10) for lo in (30, 0, 20, 10)]
+        threads = [
+            threading.Thread(target=monitor.commit_granule_batch, args=(batch,))
+            for batch in batches
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        monitor.complete_pass()
+        log = monitor.pass_granule_log()
+        assert [offset for _, offset in log] == list(range(40))
+        assert all(pass_index == 0 for pass_index, _ in log)
+
+    def test_batches_attribute_to_the_pass_that_staged_them(self):
+        monitor = RunMonitor()
+        monitor.commit_granule_batch(range(0, 3))
+        monitor.complete_pass()
+        monitor.commit_granule_batch(range(5, 8))
+        monitor.commit_granule_batch(range(0, 2))
+        monitor.complete_pass()
+        log = monitor.pass_granule_log()
+        by_pass = {}
+        for pass_index, offset in log:
+            by_pass.setdefault(pass_index, []).append(offset)
+        assert by_pass == {0: [0, 1, 2], 1: [0, 1, 5, 6, 7]}
