@@ -1,0 +1,132 @@
+"""E17 — service throughput: queries/sec over HTTP, cold vs warm cache.
+
+The mining service (PR 4) exists to amortize interactive workloads: many
+analysts, repeated near-identical queries, slowly-changing data.  This
+experiment measures end-to-end queries/sec through the real HTTP stack
+at client concurrency 1, 4 and 16, in two regimes:
+
+* **cold** — every query is distinct (support thresholds staggered per
+  request), so every request mines.  Throughput is bounded by the
+  scheduler's worker pool and the mining cost itself.
+* **warm** — every query is the same canonical statement, primed once,
+  so every request is a content-addressed cache hit.  Throughput is
+  bounded by HTTP + scheduling overhead only.
+
+Expected shape: warm throughput exceeds cold at every concurrency (the
+headline number the cache exists to buy), and warm qps *scales* with
+client concurrency while cold qps saturates at the worker-pool size.
+"""
+
+import threading
+import time
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.service.client import ServiceClient
+from repro.service.core import MiningService, ServiceConfig
+from repro.service.http import start_server
+
+CONCURRENCY_LEVELS = (1, 4, 16)
+QUERIES_PER_CLIENT = 3
+DATASET_SIZE = 2500
+
+QUERY_TEMPLATE = (
+    "MINE PERIODS FROM transactions AT GRANULARITY month "
+    "WITH SUPPORT >= {support:.4f}, CONFIDENCE >= 0.6 HAVING COVERAGE >= 2;"
+)
+WARM_QUERY = QUERY_TEMPLATE.format(support=0.2)
+
+
+@pytest.fixture(scope="module")
+def served():
+    from repro.datagen import seasonal_dataset
+
+    service = MiningService(config=ServiceConfig(workers=4, cache_entries=1024))
+    service.load_database(
+        seasonal_dataset(n_transactions=DATASET_SIZE).database
+    )
+    server, _ = start_server(service)
+    yield service, server.url
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+def _drive(url, concurrency, queries_for):
+    """Run ``concurrency`` clients; returns (seconds, completed, errors)."""
+    errors = []
+    done = [0] * concurrency
+    barrier = threading.Barrier(concurrency + 1)
+
+    def client_loop(slot):
+        client = ServiceClient(url)
+        try:
+            barrier.wait(timeout=60.0)
+            for text in queries_for(slot):
+                record = client.query(text, timeout=300.0)
+                assert record["state"] == "done", record
+                done[slot] += 1
+        except Exception as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=client_loop, args=(slot,))
+        for slot in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=60.0)
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    return elapsed, sum(done), errors
+
+
+@pytest.mark.parametrize("concurrency", CONCURRENCY_LEVELS)
+def test_e17_throughput_cold_vs_warm(served, concurrency):
+    service, url = served
+
+    # Cold: every request is a distinct statement → a distinct content
+    # address → a real mining run.  Stagger thresholds per (level, slot,
+    # index) so no earlier parametrization primed them.
+    def cold_queries(slot):
+        return [
+            QUERY_TEMPLATE.format(
+                support=0.21
+                + 0.01 * concurrency
+                + 0.0004 * (slot * QUERIES_PER_CLIENT + index)
+            )
+            for index in range(QUERIES_PER_CLIENT)
+        ]
+
+    cold_seconds, cold_done, cold_errors = _drive(url, concurrency, cold_queries)
+    assert not cold_errors
+    assert cold_done == concurrency * QUERIES_PER_CLIENT
+    cold_qps = cold_done / cold_seconds
+
+    # Warm: prime once, then every request hits the cache.
+    ServiceClient(url).query(WARM_QUERY, timeout=300.0)
+    hits_before = service.cache.stats()["hits"]
+    warm_seconds, warm_done, warm_errors = _drive(
+        url, concurrency, lambda slot: [WARM_QUERY] * QUERIES_PER_CLIENT
+    )
+    assert not warm_errors
+    assert warm_done == concurrency * QUERIES_PER_CLIENT
+    assert service.cache.stats()["hits"] - hits_before >= warm_done
+    warm_qps = warm_done / warm_seconds
+
+    emit(
+        "E17",
+        f"concurrency={concurrency}",
+        f"cold_qps={cold_qps:.1f}",
+        f"warm_qps={warm_qps:.1f}",
+        f"speedup={warm_qps / cold_qps:.1f}x",
+        f"cold_s={cold_seconds:.3f}",
+        f"warm_s={warm_seconds:.3f}",
+    )
+    assert warm_qps > cold_qps, (
+        f"warm cache ({warm_qps:.1f} qps) not faster than "
+        f"cold mining ({cold_qps:.1f} qps) at concurrency {concurrency}"
+    )

@@ -82,11 +82,9 @@ def run_query(
             f"only read-only queries are allowed, got {head[0].upper()}"
         )
     try:
-        cursor = store.connection.execute(sql, tuple(parameters))
+        columns, rows = store.fetch_all(sql, tuple(parameters))
     except sqlite3.Error as error:
         raise DatabaseError(f"query failed: {error}") from error
-    columns = tuple(d[0] for d in cursor.description or ())
-    rows = tuple(tuple(row) for row in cursor.fetchall())
     return QueryResult(columns=columns, rows=rows)
 
 
@@ -115,36 +113,40 @@ def run_mutation(
             f"allowed here, got {head[0].upper()}"
         )
     try:
-        cursor = store._execute(sql, tuple(parameters))
-        store._commit()
+        # Execute-and-commit atomically with respect to other threads'
+        # reads on the shared connection.
+        with store.lock:
+            cursor = store._execute(sql, tuple(parameters))
+            affected = cursor.rowcount
+            store._commit()
     except sqlite3.Error as error:
         raise DatabaseError(f"mutation failed: {error}") from error
     return QueryResult(
-        columns=("rows_affected",), rows=((cursor.rowcount,),)
+        columns=("rows_affected",), rows=((affected,),)
     )
 
 
 def summarize(store: SqliteStore) -> QueryResult:
     """Headline statistics: transactions, items, rows, span."""
-    counts = store.connection.execute(
+    _, rows = store.fetch_all(
         "SELECT COUNT(DISTINCT tid), COUNT(DISTINCT item), COUNT(*),"
         " MIN(ts), MAX(ts) FROM transactions"
-    ).fetchone()
+    )
     return QueryResult(
         columns=("transactions", "distinct_items", "item_rows", "first_ts", "last_ts"),
-        rows=(tuple(counts),),
+        rows=(rows[0],),
     )
 
 
 def top_items(store: SqliteStore, limit: int = 10) -> QueryResult:
     """Most supported items with absolute and relative support."""
     total = max(store.count_transactions(), 1)
-    cursor = store.connection.execute(
+    _, fetched = store.fetch_all(
         "SELECT item, COUNT(DISTINCT tid) AS n FROM transactions"
         " GROUP BY item ORDER BY n DESC, item LIMIT ?",
         (limit,),
     )
-    rows = tuple((item, n, n / total) for item, n in cursor.fetchall())
+    rows = tuple((item, n, n / total) for item, n in fetched)
     return QueryResult(columns=("item", "count", "support"), rows=rows)
 
 
@@ -152,11 +154,11 @@ def volume_by_unit(
     store: SqliteStore, granularity: Granularity = Granularity.MONTH
 ) -> QueryResult:
     """Transactions per time unit — the first thing a task designer plots."""
-    cursor = store.connection.execute(
+    _, fetched = store.fetch_all(
         "SELECT ts, tid FROM transactions GROUP BY tid ORDER BY ts"
     )
     buckets: dict = {}
-    for stamp_text, _tid in cursor.fetchall():
+    for stamp_text, _tid in fetched:
         index = unit_index(datetime.fromisoformat(stamp_text), granularity)
         buckets[index] = buckets.get(index, 0) + 1
     rows = tuple(
@@ -168,15 +170,12 @@ def volume_by_unit(
 
 def basket_size_distribution(store: SqliteStore) -> QueryResult:
     """Histogram of basket sizes (the 'T' parameter of the dataset)."""
-    cursor = store.connection.execute(
+    _, rows = store.fetch_all(
         "SELECT size, COUNT(*) FROM ("
         " SELECT tid, COUNT(*) AS size FROM transactions GROUP BY tid)"
         " GROUP BY size ORDER BY size"
     )
-    return QueryResult(
-        columns=("basket_size", "transactions"),
-        rows=tuple(tuple(row) for row in cursor.fetchall()),
-    )
+    return QueryResult(columns=("basket_size", "transactions"), rows=rows)
 
 
 def item_support_in_window(
@@ -186,15 +185,16 @@ def item_support_in_window(
 
     A data-understanding probe for picking min-support thresholds.
     """
-    total = store.connection.execute(
+    _, total_rows = store.fetch_all(
         "SELECT COUNT(DISTINCT tid) FROM transactions WHERE ts >= ? AND ts < ?",
         (start.isoformat(), end.isoformat()),
-    ).fetchone()[0]
+    )
+    total = total_rows[0][0]
     if not total:
         return 0.0
-    with_item = store.connection.execute(
+    _, item_rows = store.fetch_all(
         "SELECT COUNT(DISTINCT tid) FROM transactions"
         " WHERE item = ? AND ts >= ? AND ts < ?",
         (item, start.isoformat(), end.isoformat()),
-    ).fetchone()[0]
-    return with_item / total
+    )
+    return item_rows[0][0] / total

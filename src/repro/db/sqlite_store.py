@@ -29,7 +29,9 @@ a locked ``executemany`` never half-applies.
 
 from __future__ import annotations
 
+import hashlib
 import sqlite3
+import threading
 import time
 from datetime import datetime
 from pathlib import Path
@@ -60,6 +62,17 @@ class SqliteStore:
     concurrent readers do not starve writers; ``close()`` is idempotent
     and safe to call even when ``__init__`` failed mid-way.
 
+    Thread safety: one store holds **one** connection, shared across
+    threads and serialized by an internal :class:`threading.RLock` (the
+    documented lock the threaded mining service relies on).  Every SQL
+    primitive — including cursor *iteration*, which is the dangerous
+    part of cross-thread connection reuse — runs while holding
+    :attr:`lock`, so concurrent readers and writers can never interleave
+    half-consumed cursors on the shared connection.  Callers composing
+    multiple primitives into one atomic step (e.g. mutate-then-commit)
+    should take ``with store.lock: ...`` themselves; the lock is
+    re-entrant.
+
     >>> store = SqliteStore(":memory:")
     >>> store.insert_transaction(datetime(2026, 1, 1), ["bread", "milk"])
     1
@@ -78,12 +91,15 @@ class SqliteStore:
         # Set before any fallible work so close() is safe after a failed
         # construction (satellite: no AttributeError from __del__/with).
         self._connection: Optional[sqlite3.Connection] = None
+        self._lock = threading.RLock()
+        self._fingerprint_cache: Optional[str] = None
+        self._fingerprint_key: Optional[Tuple[int, int, int]] = None
         self._retry_policy = retry_policy or RetryPolicy()
         self._sleep = sleep
         try:
-            # check_same_thread=False: the IQMS session may cancel/inspect
-            # from a signal handler or helper thread; our own access is
-            # serialized at the call sites.
+            # check_same_thread=False: the connection is shared across the
+            # service's worker threads; every access is serialized by
+            # self._lock (see the class docstring).
             self._connection = sqlite3.connect(
                 self.path, check_same_thread=False
             )
@@ -103,13 +119,25 @@ class SqliteStore:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Close the connection; safe to call repeatedly."""
-        if self._connection is None:
-            return
-        try:
-            self._connection.close()
-        finally:
+        """Close the connection; safe to call repeatedly.
+
+        Also safe on a store whose construction failed before the lock
+        existed — the idempotence contract predates the lock.
+        """
+        lock = getattr(self, "_lock", None)
+        if lock is None:
+            connection = getattr(self, "_connection", None)
             self._connection = None
+            if connection is not None:
+                connection.close()
+            return
+        with lock:
+            if self._connection is None:
+                return
+            try:
+                self._connection.close()
+            finally:
+                self._connection = None
 
     def __enter__(self) -> "SqliteStore":
         return self
@@ -119,10 +147,19 @@ class SqliteStore:
 
     @property
     def connection(self) -> sqlite3.Connection:
-        """The raw connection (used by the ad-hoc query function)."""
+        """The raw connection (used by the ad-hoc query function).
+
+        Callers touching it directly from more than one thread must hold
+        :attr:`lock` around the execute *and* the fetch.
+        """
         if self._connection is None:
             raise DatabaseError(f"store {self.path!r} is closed")
         return self._connection
+
+    @property
+    def lock(self) -> threading.RLock:
+        """The re-entrant lock serializing all access to the connection."""
+        return self._lock
 
     # ------------------------------------------------------------------
     # retry-wrapped SQL primitives
@@ -137,26 +174,44 @@ class SqliteStore:
         )
 
     def _execute(self, sql: str, parameters: Sequence[object] = ()) -> sqlite3.Cursor:
-        connection = self.connection
-        return self._retry(
-            lambda: connection.execute(sql, tuple(parameters)), f"execute: {sql}"
-        )
+        with self._lock:
+            connection = self.connection
+            return self._retry(
+                lambda: connection.execute(sql, tuple(parameters)), f"execute: {sql}"
+            )
 
     def _executemany(
         self, sql: str, rows: Sequence[Sequence[object]]
     ) -> sqlite3.Cursor:
-        connection = self.connection
-        return self._retry(
-            lambda: connection.executemany(sql, rows), f"executemany: {sql}"
-        )
+        with self._lock:
+            connection = self.connection
+            return self._retry(
+                lambda: connection.executemany(sql, rows), f"executemany: {sql}"
+            )
 
     def _executescript(self, script: str) -> None:
-        connection = self.connection
-        self._retry(lambda: connection.executescript(script), "executescript")
+        with self._lock:
+            connection = self.connection
+            self._retry(lambda: connection.executescript(script), "executescript")
 
     def _commit(self) -> None:
-        connection = self.connection
-        self._retry(connection.commit, "commit")
+        with self._lock:
+            connection = self.connection
+            self._retry(connection.commit, "commit")
+
+    def fetch_all(
+        self, sql: str, parameters: Sequence[object] = ()
+    ) -> Tuple[Tuple[str, ...], Tuple[Tuple[object, ...], ...]]:
+        """Execute and fully fetch one query under the store lock.
+
+        The thread-safe read primitive: the cursor is drained before the
+        lock is released, so no other thread can interleave statements
+        into a half-consumed cursor.  Returns ``(columns, rows)``.
+        """
+        with self._lock:
+            cursor = self._execute(sql, parameters)
+            columns = tuple(d[0] for d in cursor.description or ())
+            return columns, tuple(tuple(row) for row in cursor.fetchall())
 
     # ------------------------------------------------------------------
     # writes
@@ -176,17 +231,18 @@ class SqliteStore:
         labels = sorted(set(items))
         if not labels:
             raise DatabaseError("cannot insert an empty transaction")
-        if tid is None:
-            tid = self.next_tid()
-        try:
-            self._executemany(
-                "INSERT INTO transactions (tid, ts, item) VALUES (?, ?, ?)",
-                [(tid, timestamp.isoformat(), label) for label in labels],
-            )
-        except sqlite3.IntegrityError as error:
-            self.connection.rollback()
-            raise DatabaseError(f"duplicate tid {tid}: {error}") from error
-        self._commit()
+        with self._lock:
+            if tid is None:
+                tid = self.next_tid()
+            try:
+                self._executemany(
+                    "INSERT INTO transactions (tid, ts, item) VALUES (?, ?, ?)",
+                    [(tid, timestamp.isoformat(), label) for label in labels],
+                )
+            except sqlite3.IntegrityError as error:
+                self.connection.rollback()
+                raise DatabaseError(f"duplicate tid {tid}: {error}") from error
+            self._commit()
         return tid
 
     def insert_many(
@@ -249,6 +305,39 @@ class SqliteStore:
             return None
         return datetime.fromisoformat(row[0]), datetime.fromisoformat(row[1])
 
+    def fingerprint(self) -> str:
+        """A content digest of the store — the dataset half of a cache key.
+
+        SHA-256 over every ``(tid, ts, item)`` row in ``(tid, item)``
+        order, so two stores holding the same transactions produce the
+        same fingerprint regardless of insertion history (content
+        addressing, not version counting).  The scan is memoized against
+        a cheap change marker — ``PRAGMA data_version`` (bumped by other
+        connections' commits), :attr:`sqlite3.Connection.total_changes`
+        (rows changed through this connection) and the row count (guards
+        the ``DELETE``-without-``WHERE`` truncate optimization, which
+        older SQLite builds do not count) — so repeated queries against
+        an unchanged store pay one aggregate lookup, not a table scan.
+        """
+        with self._lock:
+            connection = self.connection
+            version = int(connection.execute("PRAGMA data_version").fetchone()[0])
+            rows = int(
+                connection.execute("SELECT COUNT(*) FROM transactions").fetchone()[0]
+            )
+            key = (version, connection.total_changes, rows)
+            if self._fingerprint_cache is not None and self._fingerprint_key == key:
+                return self._fingerprint_cache
+            digest = hashlib.sha256()
+            cursor = connection.execute(
+                "SELECT tid, ts, item FROM transactions ORDER BY tid, item"
+            )
+            for tid, stamp, item in cursor:
+                digest.update(f"{tid}\x1f{stamp}\x1f{item}\x1e".encode("utf-8"))
+            self._fingerprint_cache = digest.hexdigest()
+            self._fingerprint_key = key
+            return self._fingerprint_cache
+
     def load_database(
         self,
         where: str = "",
@@ -269,14 +358,18 @@ class SqliteStore:
             sql += f" WHERE {where}"
         sql += " ORDER BY ts, tid"
         try:
-            cursor = self._execute(sql, tuple(parameters))
+            # Drain the cursor under the lock: iterating a cursor while
+            # another thread executes on the shared connection is the
+            # classic cross-thread corruption path.
+            with self._lock:
+                rows = self._execute(sql, tuple(parameters)).fetchall()
         except sqlite3.Error as error:
             raise DatabaseError(f"load query failed: {error}") from error
         database = TransactionDatabase(catalog=catalog)
         current_tid: Optional[int] = None
         current_stamp: Optional[datetime] = None
         current_items: List[str] = []
-        for tid, stamp_text, item in cursor:
+        for tid, stamp_text, item in rows:
             if tid != current_tid:
                 if current_tid is not None:
                     database.add(current_stamp, current_items, tid=current_tid)
@@ -315,7 +408,8 @@ class SqliteStore:
             sql += f" WHERE {where}"
         sql += " ORDER BY ts, tid"
         try:
-            cursor = self._execute(sql, tuple(parameters))
+            with self._lock:
+                rows = self._execute(sql, tuple(parameters)).fetchall()
         except sqlite3.Error as error:
             raise DatabaseError(f"load query failed: {error}") from error
         catalog = catalog if catalog is not None else ItemCatalog()
@@ -324,7 +418,7 @@ class SqliteStore:
             current_tid: Optional[int] = None
             current_stamp: Optional[datetime] = None
             current_ids: List[int] = []
-            for tid, stamp_text, item in cursor:
+            for tid, stamp_text, item in rows:
                 if tid != current_tid:
                     if current_tid is not None:
                         yield current_tid, current_stamp, current_ids

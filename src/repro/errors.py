@@ -120,3 +120,19 @@ class TmlExecutionError(TmlError):
 
 class WorkflowError(ReproError):
     """Illegal transition in the IQMI mining-process workflow."""
+
+
+class ServiceError(ReproError):
+    """Base class for mining-service (scheduler / HTTP API) errors."""
+
+
+class AdmissionError(ServiceError):
+    """The service rejected a job because its queue is saturated.
+
+    Maps to HTTP 503 at the API boundary; clients should back off and
+    retry.
+    """
+
+
+class JobNotFoundError(ServiceError):
+    """No job with the requested id exists (maps to HTTP 404)."""

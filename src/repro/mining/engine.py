@@ -15,6 +15,7 @@ fault-injection harness uses it to attach granule hooks).
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Callable, Dict, Optional
 
 from repro.columnar.backends import available_backends
@@ -52,10 +53,24 @@ def _workers_from_env() -> int:
     Lets CI run the *entire* suite in sharded mode without touching any
     test: every miner built with the default worker count picks it up,
     and bit-identical semantics mean all assertions must still hold.
+
+    A set-but-malformed value (``"two"``, ``"0"``, ``"-3"``) still falls
+    back to 1, but emits a :class:`RuntimeWarning` naming the rejected
+    value — a misconfigured deployment should degrade loudly, not
+    silently run serial.
     """
-    raw = os.environ.get("REPRO_WORKERS", "").strip()
-    if raw.isdigit() and int(raw) >= 1:
-        return int(raw)
+    raw = os.environ.get("REPRO_WORKERS")
+    if raw is None or not raw.strip():
+        return 1
+    text = raw.strip()
+    if text.isdigit() and int(text) >= 1:
+        return int(text)
+    warnings.warn(
+        f"ignoring malformed REPRO_WORKERS value {raw!r} "
+        "(expected an integer >= 1); defaulting to 1 worker (serial)",
+        RuntimeWarning,
+        stacklevel=2,
+    )
     return 1
 
 

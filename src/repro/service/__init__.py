@@ -1,0 +1,60 @@
+"""``repro.service`` — IQMS as a long-running, multi-client service.
+
+The ICDE 2000 paper positions IQMS as an *interactive query and mining
+system* shared by many analysts; this subsystem is that layer for the
+reproduction: a job scheduler with admission control and per-job
+budgets/cancellation, a TML-over-HTTP JSON API, and a content-addressed
+result cache keyed on (canonical query, dataset fingerprint, engine
+settings).  Stdlib-only.
+
+Quickstart::
+
+    from repro.service import MiningService, ServiceConfig, start_server
+
+    service = MiningService("sales.db", ServiceConfig(workers=4))
+    server, _ = start_server(service, port=8765)
+    # POST /v1/query, GET /v1/jobs/{id}, DELETE /v1/jobs/{id}, GET /v1/status
+
+Command line: ``python -m repro.service --demo`` (or the installed
+``repro-serve`` script).
+"""
+
+from repro.service.cache import CacheEntry, ResultCache, cache_key
+from repro.service.client import ServiceClient
+from repro.service.core import MiningService, ServiceConfig
+from repro.service.http import MiningHTTPServer, start_server
+from repro.service.scheduler import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobScheduler,
+)
+from repro.service.serialize import (
+    payload_to_dict,
+    query_result_to_dict,
+    report_to_dict,
+)
+
+__all__ = [
+    "CANCELLED",
+    "CacheEntry",
+    "DONE",
+    "FAILED",
+    "Job",
+    "JobScheduler",
+    "MiningHTTPServer",
+    "MiningService",
+    "QUEUED",
+    "RUNNING",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceConfig",
+    "cache_key",
+    "payload_to_dict",
+    "query_result_to_dict",
+    "report_to_dict",
+    "start_server",
+]

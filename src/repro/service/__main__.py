@@ -1,0 +1,118 @@
+"""``python -m repro.service`` / ``repro-serve`` — run the mining service.
+
+Examples::
+
+    # serve an existing store
+    repro-serve --db sales.db --port 8765 --workers 4
+
+    # demo mode: synthesize a seasonal dataset and serve it
+    repro-serve --demo --port 8765
+
+    curl -s localhost:8765/v1/status | python -m json.tool
+    curl -s -X POST localhost:8765/v1/query -d '{
+        "query": "MINE PERIODS FROM transactions AT GRANULARITY month
+                  WITH SUPPORT >= 0.2, CONFIDENCE >= 0.6;"
+    }'
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.runtime.budget import RunBudget
+from repro.service.core import MiningService, ServiceConfig
+from repro.service.http import MiningHTTPServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve TML mining queries over HTTP (IQMS as a service).",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=8765, help="bind port (0 = ephemeral)")
+    parser.add_argument(
+        "--db", default=":memory:", help="SQLite store path (default: in-memory)"
+    )
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="load the bundled synthetic seasonal demo dataset at startup",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="concurrent statements (worker threads)"
+    )
+    parser.add_argument(
+        "--mining-workers",
+        type=int,
+        default=1,
+        help="process shards per mining run (1 = serial counting)",
+    )
+    parser.add_argument(
+        "--engine",
+        default="auto",
+        help="counting backend (auto|dict|hashtree|vertical)",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=64, help="queued-job admission bound"
+    )
+    parser.add_argument(
+        "--cache-entries", type=int, default=256, help="result-cache capacity"
+    )
+    parser.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        help="result-cache TTL in seconds (default: no expiry)",
+    )
+    parser.add_argument(
+        "--budget-time",
+        type=float,
+        default=None,
+        help="default per-run wall-clock budget in seconds",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    default_budget = (
+        RunBudget(max_seconds=args.budget_time) if args.budget_time else None
+    )
+    config = ServiceConfig(
+        workers=args.workers,
+        max_queue_depth=args.queue_depth,
+        cache_entries=args.cache_entries,
+        cache_ttl_seconds=args.cache_ttl,
+        engine=args.engine,
+        mining_workers=args.mining_workers,
+        default_budget=default_budget,
+    )
+    service = MiningService(store=args.db, config=config)
+    if args.demo:
+        loaded = service.load_demo()
+        print(f"loaded demo dataset: {loaded} transactions", file=sys.stderr)
+    server = MiningHTTPServer(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    print(f"repro mining service listening on {server.url}", file=sys.stderr)
+    print("endpoints: POST /v1/query  GET /v1/jobs/{id}  "
+          "DELETE /v1/jobs/{id}  GET /v1/status", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,183 @@
+"""The content-addressed result cache.
+
+Interactive mining workloads are dominated by repeated near-identical
+queries over slowly-changing data (the IQMI loop: refine a threshold,
+re-run, compare).  The cache exploits that by addressing results with
+*content*, never with identity:
+
+    key = SHA-256 over (canonical TML text,
+                        dataset fingerprint,
+                        result-relevant engine settings)
+
+* The canonical TML text comes from :func:`repro.tml.canonical.canonicalize`
+  — whitespace/case/clause-order variants of a query collapse to one key.
+* The dataset fingerprint is :meth:`SqliteStore.fingerprint` — a digest
+  of the store *content*, so a mutated-then-restored dataset hits the
+  old entries again, while any real change misses.
+* Settings cover everything that can alter the serialized result
+  (engine, workers, budget).  Sharding and counting backends are
+  bit-identical by tested invariant, but they stay in the key so a
+  backend bug can never leak results across configurations.
+
+Eviction is LRU with an optional TTL; invalidation removes exactly the
+entries recorded under one dataset fingerprint (the mutation hook of
+the service core).  All operations are thread-safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional
+
+
+def cache_key(
+    canonical_tml: str,
+    dataset_fingerprint: str,
+    settings: Optional[Mapping[str, object]] = None,
+) -> str:
+    """The content address of one (query, dataset, settings) triple."""
+    blob = json.dumps(
+        {
+            "tml": canonical_tml,
+            "dataset": dataset_fingerprint,
+            "settings": dict(sorted((settings or {}).items())),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    """One cached result plus the metadata eviction needs."""
+
+    key: str
+    value: Dict
+    dataset_fingerprint: str
+    created_at: float
+    hits: int = 0
+
+
+@dataclass
+class CacheStats:
+    """Cumulative cache counters (returned as a dict by ``stats()``)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    invalidations: int = 0
+
+
+class ResultCache:
+    """A thread-safe LRU+TTL map from content address to result dict.
+
+    ``max_entries`` bounds memory; ``ttl_seconds=None`` disables expiry
+    (content addressing already guarantees freshness — TTL exists to cap
+    staleness when the store is mutated *outside* the service's
+    invalidation hooks, e.g. by another process on the same file).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        ttl_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError(f"ttl_seconds must be > 0, got {ttl_seconds}")
+        self.max_entries = max_entries
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The cached value, or ``None`` on miss/expiry (counted apart)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._stats.misses += 1
+                return None
+            if (
+                self.ttl_seconds is not None
+                and self._clock() - entry.created_at > self.ttl_seconds
+            ):
+                del self._entries[key]
+                self._stats.expirations += 1
+                self._stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            self._stats.hits += 1
+            return entry.value
+
+    def put(self, key: str, value: Dict, dataset_fingerprint: str) -> None:
+        """Insert (or refresh) an entry, evicting LRU past capacity."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = CacheEntry(
+                key=key,
+                value=value,
+                dataset_fingerprint=dataset_fingerprint,
+                created_at=self._clock(),
+            )
+            self._stats.puts += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._stats.evictions += 1
+
+    def invalidate_fingerprint(self, dataset_fingerprint: str) -> int:
+        """Drop exactly the entries cached under one dataset fingerprint.
+
+        Returns the number of entries removed.  Entries for other
+        fingerprints (other datasets, or other versions of this one)
+        are untouched — mutation hooks must never over-invalidate.
+        """
+        with self._lock:
+            doomed = [
+                key
+                for key, entry in self._entries.items()
+                if entry.dataset_fingerprint == dataset_fingerprint
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self._stats.invalidations += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> int:
+        """Drop everything; returns the number of entries removed."""
+        with self._lock:
+            n = len(self._entries)
+            self._entries.clear()
+            self._stats.invalidations += n
+            return n
+
+    def stats(self) -> Dict[str, int]:
+        """A snapshot of the counters plus the current entry count."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self._stats.hits,
+                "misses": self._stats.misses,
+                "puts": self._stats.puts,
+                "evictions": self._stats.evictions,
+                "expirations": self._stats.expirations,
+                "invalidations": self._stats.invalidations,
+            }

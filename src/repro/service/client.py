@@ -1,0 +1,124 @@
+"""A minimal stdlib client for the mining service's HTTP API.
+
+Used by the REPL's ``.serve``-adjacent workflows, the smoke tests and
+the E17 benchmark; also a reference for what the API looks like from
+the outside.
+
+>>> client = ServiceClient("http://127.0.0.1:8765")      # doctest: +SKIP
+>>> client.query("SHOW SUMMARY;")                        # doctest: +SKIP
+>>> job = client.query_async("MINE PERIODS FROM transactions ...;")
+...                                                      # doctest: +SKIP
+>>> client.wait(job["job_id"])                           # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Optional
+
+from repro.errors import AdmissionError, JobNotFoundError, ServiceError
+
+
+class ServiceClient:
+    """Talk JSON to a :class:`~repro.service.http.MiningHTTPServer`."""
+
+    def __init__(self, base_url: str, timeout: float = 330.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # raw HTTP
+    # ------------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict] = None
+    ) -> Dict:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                document = json.loads(error.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                document = {"error": str(error)}
+            message = document.get("error") or f"HTTP {error.code}"
+            if error.code == 503:
+                raise AdmissionError(message) from None
+            if error.code == 404:
+                raise JobNotFoundError(message) from None
+            if error.code in (422, 504):
+                # The job record travels on the error response — surface
+                # it rather than the bare status line.
+                document.setdefault("http_status", error.code)
+                return document
+            raise ServiceError(f"HTTP {error.code}: {message}") from None
+        except urllib.error.URLError as error:
+            raise ServiceError(f"cannot reach {self.base_url}: {error}") from None
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        text: str,
+        priority: int = 0,
+        budget: Optional[Dict] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict:
+        """Run one statement synchronously; returns the job record."""
+        payload: Dict = {"query": text, "priority": priority}
+        if budget:
+            payload["budget"] = budget
+        if timeout is not None:
+            payload["timeout"] = timeout
+        return self._request("POST", "/v1/query", payload)
+
+    def query_async(
+        self, text: str, priority: int = 0, budget: Optional[Dict] = None
+    ) -> Dict:
+        """Submit one statement; returns the queued job record."""
+        payload: Dict = {"query": text, "priority": priority, "async": True}
+        if budget:
+            payload["budget"] = budget
+        return self._request("POST", "/v1/query", payload)
+
+    def job(self, job_id: str) -> Dict:
+        """Poll one job record."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict:
+        """Cancel a queued or running job."""
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def status(self) -> Dict:
+        """The service status document."""
+        return self._request("GET", "/v1/status")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll_seconds: float = 0.05,
+    ) -> Dict:
+        """Poll until the job is terminal (or raise on timeout)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in ("done", "failed", "cancelled"):
+                return record
+            if time.monotonic() > deadline:
+                raise ServiceError(
+                    f"job {job_id} still {record['state']} after {timeout:g}s"
+                )
+            time.sleep(poll_seconds)

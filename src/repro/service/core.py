@@ -1,0 +1,383 @@
+"""The mining service core — IQMS as a long-running, multi-client system.
+
+:class:`MiningService` composes the pieces the paper's IQMS sketches
+around one shared temporal database:
+
+* a :class:`~repro.db.sqlite_store.SqliteStore` (the shared dataset,
+  thread-safe behind its documented lock),
+* one TML :class:`~repro.tml.executor.ExecutionEnvironment` **per worker
+  thread** (miners and their partitioning caches are not shared across
+  threads; the store underneath is),
+* the content-addressed :class:`~repro.service.cache.ResultCache`,
+* the :class:`~repro.service.scheduler.JobScheduler` that bounds
+  concurrency and admission.
+
+Execution semantics:
+
+* ``MINE`` statements are cacheable: results are stored under
+  ``(canonical TML, store fingerprint, engine settings)`` and identical
+  queries are *single-flighted* — concurrent duplicates wait for the
+  first run and then hit the cache instead of mining twice.
+* Partial results (budget-stopped or cancelled runs) are **never**
+  cached; a truncated answer must not impersonate a complete one.
+* Mutating SQL invalidates exactly the entries recorded under the
+  store's pre-mutation fingerprint; every worker environment compares
+  the store fingerprint before each statement and reloads its
+  store-backed datasets when it moved (the PR 1 stale-cache path,
+  fanned out across threads).
+* Session-level ``SET`` statements are rejected: a shared service has
+  no per-connection session; budgets travel per request instead.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.core.transactions import TransactionDatabase
+from repro.db.query import is_mutating_sql
+from repro.db.sqlite_store import SqliteStore
+from repro.errors import TmlExecutionError
+from repro.runtime.budget import CancellationToken, RunBudget
+from repro.service.cache import ResultCache, cache_key
+from repro.service.scheduler import Job, JobScheduler
+from repro.service.serialize import payload_to_dict
+from repro.tml.ast import (
+    MineItemsetsStatement,
+    MinePeriodicitiesStatement,
+    MinePeriodsStatement,
+    MineRulesStatement,
+    MineTrendsStatement,
+    SetBudgetStatement,
+    SetEngineStatement,
+    SetWorkersStatement,
+    SqlStatement,
+    Statement,
+)
+from repro.tml.canonical import canonicalize_statement
+from repro.tml.executor import ExecutionEnvironment, TmlExecutor
+from repro.tml.parser import parse_statement
+
+#: Statement types whose results are content-addressed in the cache.
+CACHEABLE_STATEMENTS = (
+    MinePeriodsStatement,
+    MinePeriodicitiesStatement,
+    MineRulesStatement,
+    MineItemsetsStatement,
+    MineTrendsStatement,
+)
+
+#: Session-level statements that make no sense against a shared service.
+SESSION_ONLY_STATEMENTS = (
+    SetBudgetStatement,
+    SetEngineStatement,
+    SetWorkersStatement,
+)
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for one :class:`MiningService`.
+
+    Attributes:
+        workers: scheduler worker threads (concurrent statements).
+        max_queue_depth: queued-job bound (admission control).
+        cache_entries / cache_ttl_seconds: result-cache sizing.
+        engine: counting backend for every run (``"auto"`` = heuristic).
+        mining_workers: PR 3 process shards *per mining run* (1 = serial).
+        default_budget: budget applied when a request carries none.
+        history_limit: finished jobs retained for polling.
+        granule_hook: per-granule observer threaded into every run's
+            monitor — a test/chaos seam, ``None`` in production.
+    """
+
+    workers: int = 2
+    max_queue_depth: int = 64
+    cache_entries: int = 256
+    cache_ttl_seconds: Optional[float] = None
+    engine: str = "auto"
+    mining_workers: int = 1
+    default_budget: Optional[RunBudget] = None
+    history_limit: int = 1024
+    granule_hook: Optional[Callable[[int], None]] = None
+
+
+class MiningService:
+    """A shared, schedulable, cached TML execution engine.
+
+    >>> service = MiningService()                        # doctest: +SKIP
+    >>> service.load_database(database)                  # doctest: +SKIP
+    >>> job = service.submit("MINE PERIODS FROM transactions ...;")
+    ...                                                  # doctest: +SKIP
+    >>> job.wait(); job.result                           # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        store: Union[SqliteStore, str, Path, None] = None,
+        config: Optional[ServiceConfig] = None,
+    ):
+        self.config = config if config is not None else ServiceConfig()
+        if isinstance(store, SqliteStore):
+            self.store = store
+            self._owns_store = False
+        else:
+            self.store = SqliteStore(store if store is not None else ":memory:")
+            self._owns_store = True
+        self.cache = ResultCache(
+            max_entries=self.config.cache_entries,
+            ttl_seconds=self.config.cache_ttl_seconds,
+        )
+        self.scheduler = JobScheduler(
+            self._execute_job,
+            workers=self.config.workers,
+            max_queue_depth=self.config.max_queue_depth,
+            history_limit=self.config.history_limit,
+        )
+        self.started_at = time.time()
+        self._tls = threading.local()
+        self._environments: List[ExecutionEnvironment] = []
+        self._environments_lock = threading.Lock()
+        self._inflight: Dict[str, List] = {}
+        self._inflight_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # data management
+    # ------------------------------------------------------------------
+
+    def load_database(self, database: TransactionDatabase, replace: bool = True) -> int:
+        """Persist a dataset into the shared store (source ``transactions``).
+
+        Counts as a mutation: caches are invalidated and every worker
+        environment reloads before its next statement.
+        """
+        old_fingerprint = self.store.fingerprint()
+        if replace:
+            self.store.clear()
+        written = self.store.save_database(database)
+        self._note_mutation(old_fingerprint)
+        return written
+
+    def load_demo(self, n_transactions: int = 4000, seed: int = 7) -> int:
+        """Load the bundled synthetic seasonal demo dataset."""
+        from repro.datagen import seasonal_dataset
+
+        dataset = seasonal_dataset(n_transactions=n_transactions, seed=seed)
+        return self.load_database(dataset.database)
+
+    # ------------------------------------------------------------------
+    # job API (what the HTTP layer drives)
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        statement: str,
+        priority: int = 0,
+        budget: Optional[RunBudget] = None,
+    ) -> Job:
+        """Queue one statement; returns its :class:`Job` immediately."""
+        return self.scheduler.submit(statement, priority=priority, budget=budget)
+
+    def run_sync(
+        self,
+        statement: str,
+        priority: int = 0,
+        budget: Optional[RunBudget] = None,
+        timeout: Optional[float] = 300.0,
+    ) -> Job:
+        """Queue one statement and wait for its terminal state."""
+        job = self.submit(statement, priority=priority, budget=budget)
+        job.wait(timeout)
+        return job
+
+    def job(self, job_id: str) -> Job:
+        return self.scheduler.get(job_id)
+
+    def cancel(self, job_id: str) -> Job:
+        return self.scheduler.cancel(job_id)
+
+    def status(self) -> Dict:
+        """The ``GET /v1/status`` document."""
+        return {
+            "service": "repro-iqms",
+            "uptime_seconds": time.time() - self.started_at,
+            "scheduler": self.scheduler.stats(),
+            "cache": self.cache.stats(),
+            "store": {
+                "path": self.store.path,
+                "transactions": self.store.count_transactions(),
+            },
+            "config": {
+                "workers": self.config.workers,
+                "max_queue_depth": self.config.max_queue_depth,
+                "engine": self.config.engine,
+                "mining_workers": self.config.mining_workers,
+                "cache_entries": self.config.cache_entries,
+                "cache_ttl_seconds": self.config.cache_ttl_seconds,
+                "default_budget": (
+                    self.config.default_budget.describe()
+                    if self.config.default_budget is not None
+                    else "off"
+                ),
+            },
+        }
+
+    def close(self) -> None:
+        """Shut down: drain the scheduler, release miners, close the store."""
+        if self._closed:
+            return
+        self._closed = True
+        self.scheduler.close()
+        with self._environments_lock:
+            for environment in self._environments:
+                environment.close()
+            self._environments.clear()
+        if self._owns_store:
+            self.store.close()
+
+    def __enter__(self) -> "MiningService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # statement execution (runs on scheduler worker threads)
+    # ------------------------------------------------------------------
+
+    def _execute_job(
+        self,
+        statement_text: str,
+        token: CancellationToken,
+        budget: Optional[RunBudget],
+    ) -> Tuple[Dict, bool]:
+        """The scheduler callback: execute one statement, maybe cached."""
+        statement = parse_statement(statement_text)
+        if isinstance(statement, SESSION_ONLY_STATEMENTS):
+            raise TmlExecutionError(
+                "session-level SET statements are not supported over the "
+                "service API; pass a per-request budget instead"
+            )
+        canonical = canonicalize_statement(statement)
+        if isinstance(statement, CACHEABLE_STATEMENTS):
+            return self._execute_cacheable(statement, canonical, token, budget)
+        mutating = isinstance(statement, SqlStatement) and is_mutating_sql(
+            statement.sql
+        )
+        old_fingerprint = self.store.fingerprint() if mutating else None
+        result = self._run_statement(statement, token, budget)
+        if mutating:
+            result["invalidated_entries"] = self._note_mutation(old_fingerprint)
+        return result, False
+
+    def _execute_cacheable(
+        self,
+        statement: Statement,
+        canonical: str,
+        token: CancellationToken,
+        budget: Optional[RunBudget],
+    ) -> Tuple[Dict, bool]:
+        fingerprint = self.store.fingerprint()
+        key = cache_key(canonical, fingerprint, self._settings(budget))
+        # Single flight per key: concurrent identical queries block here
+        # while the first one mines, then read its cached result.
+        with self._single_flight(key):
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached, True
+            result = self._run_statement(
+                statement, token, budget, fingerprint=fingerprint
+            )
+            if not result.get("partial"):
+                self.cache.put(key, result, fingerprint)
+            return result, False
+
+    def _run_statement(
+        self,
+        statement: Statement,
+        token: CancellationToken,
+        budget: Optional[RunBudget],
+        fingerprint: Optional[str] = None,
+    ) -> Dict:
+        environment, executor = self._environment()
+        self._refresh_environment(environment, fingerprint)
+        environment.budget = budget if budget is not None else self.config.default_budget
+        environment.cancel_token = token
+        execution = executor.execute_statement(statement)
+        catalog = None
+        source = getattr(statement, "source", None)
+        if source is not None:
+            catalog = environment.resolve(source).catalog
+        return payload_to_dict(execution.payload, catalog)
+
+    # ------------------------------------------------------------------
+    # worker environments / invalidation
+    # ------------------------------------------------------------------
+
+    def _environment(self) -> Tuple[ExecutionEnvironment, TmlExecutor]:
+        """This worker thread's environment (created on first use)."""
+        environment = getattr(self._tls, "environment", None)
+        if environment is None:
+            environment = ExecutionEnvironment(store=self.store)
+            environment.set_engine(self.config.engine)
+            environment.set_workers(self.config.mining_workers)
+            environment.granule_hook = self.config.granule_hook
+            self._tls.environment = environment
+            self._tls.executor = TmlExecutor(environment)
+            with self._environments_lock:
+                self._environments.append(environment)
+        return environment, self._tls.executor
+
+    def _refresh_environment(
+        self,
+        environment: ExecutionEnvironment,
+        fingerprint: Optional[str] = None,
+    ) -> None:
+        """Reload store-backed datasets if the store content moved.
+
+        ``fingerprint`` lets a cacheable run pin the exact content its
+        cache key was computed from, so the mined snapshot and the key
+        can never disagree.
+        """
+        current = fingerprint if fingerprint is not None else self.store.fingerprint()
+        if getattr(self._tls, "fingerprint", None) != current:
+            environment.note_store_mutation()
+            self._tls.fingerprint = current
+
+    def _note_mutation(self, old_fingerprint: Optional[str]) -> int:
+        """Invalidate exactly the pre-mutation content's cache entries."""
+        if old_fingerprint is None:
+            return 0
+        return self.cache.invalidate_fingerprint(old_fingerprint)
+
+    def _settings(self, budget: Optional[RunBudget]) -> Dict[str, object]:
+        """The result-relevant settings mixed into every cache key."""
+        effective = budget if budget is not None else self.config.default_budget
+        return {
+            "engine": self.config.engine,
+            "workers": self.config.mining_workers,
+            "budget": effective.describe() if effective is not None else "off",
+        }
+
+    @contextmanager
+    def _single_flight(self, key: str):
+        with self._inflight_lock:
+            entry = self._inflight.get(key)
+            if entry is None:
+                entry = [threading.Lock(), 0]
+                self._inflight[key] = entry
+            entry[1] += 1
+        entry[0].acquire()
+        try:
+            yield
+        finally:
+            entry[0].release()
+            with self._inflight_lock:
+                entry[1] -= 1
+                if entry[1] == 0:
+                    self._inflight.pop(key, None)

@@ -1,0 +1,241 @@
+"""TML over HTTP — the service's JSON API.
+
+Stdlib-only (``http.server.ThreadingHTTPServer``); one
+:class:`MiningHTTPServer` fronts one :class:`~repro.service.core.MiningService`.
+
+Endpoints (all JSON):
+
+``POST /v1/query``
+    Body ``{"query": "<TML>", "async": bool, "priority": int,
+    "budget": {"time": s, "candidates": n, "rules": n, "strict": bool},
+    "timeout": seconds}``.
+    Synchronous by default — the request is admitted through the
+    scheduler (bounded concurrency applies) and the response carries the
+    finished job record.  With ``"async": true`` the response is ``202``
+    with the job id to poll.
+
+``GET /v1/jobs/{id}``
+    The job record (state, result, error, timings, cache provenance).
+
+``DELETE /v1/jobs/{id}``
+    Cancel: dequeues a queued job; trips a running job's cancellation
+    token so it stops at the next pass boundary and keeps its sound
+    partial result on the record.
+
+``GET /v1/status``
+    Queue depth, worker config, cache counters, store summary.
+
+Error mapping: malformed requests → 400, unknown jobs → 404,
+admission rejection → 503 (with ``Retry-After``), sync timeout → 504
+(with the job id, so the client can keep polling), statement errors →
+422 on the job record / response.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.errors import (
+    AdmissionError,
+    JobNotFoundError,
+    MiningParameterError,
+    ReproError,
+)
+from repro.runtime.budget import RunBudget
+from repro.service.core import MiningService
+
+#: Default wait for a synchronous query before answering 504.
+SYNC_TIMEOUT_SECONDS = 300.0
+
+
+def budget_from_request(spec: Optional[Dict]) -> Optional[RunBudget]:
+    """Build a per-request budget from the JSON ``budget`` object."""
+    if not spec:
+        return None
+    if not isinstance(spec, dict):
+        raise MiningParameterError("budget must be a JSON object")
+    known = {"time", "candidates", "rules", "strict"}
+    unknown = set(spec) - known
+    if unknown:
+        raise MiningParameterError(
+            f"unknown budget field(s): {', '.join(sorted(unknown))}"
+        )
+    return RunBudget(
+        max_seconds=spec.get("time"),
+        max_candidates=spec.get("candidates"),
+        max_rules=spec.get("rules"),
+        strict=bool(spec.get("strict", False)),
+    )
+
+
+class MiningRequestHandler(BaseHTTPRequestHandler):
+    """Routes the ``/v1`` API onto the owning server's service."""
+
+    server: "MiningHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(
+        self, status: int, payload: Dict, headers: Optional[Dict[str, str]] = None
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise ValueError(f"request body is not valid JSON: {error}") from error
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _job_path_id(self) -> Optional[str]:
+        parts = [p for p in self.path.split("?", 1)[0].split("/") if p]
+        if len(parts) == 3 and parts[0] == "v1" and parts[1] == "jobs":
+            return parts[2]
+        return None
+
+    @staticmethod
+    def _job_document(job) -> Dict:
+        record = job.to_dict()
+        if job.started_at is not None and job.finished_at is not None:
+            record["elapsed_seconds"] = job.finished_at - job.started_at
+        return record
+
+    # ------------------------------------------------------------------
+    # routes
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/v1/status":
+                self._send_json(200, self.server.service.status())
+                return
+            job_id = self._job_path_id()
+            if job_id is not None:
+                job = self.server.service.job(job_id)
+                self._send_json(200, self._job_document(job))
+                return
+            self._send_json(404, {"error": f"unknown path {path!r}"})
+        except JobNotFoundError as error:
+            self._send_json(404, {"error": str(error)})
+        except ReproError as error:
+            self._send_json(500, {"error": str(error)})
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        job_id = self._job_path_id()
+        if job_id is None:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            job = self.server.service.cancel(job_id)
+        except JobNotFoundError as error:
+            self._send_json(404, {"error": str(error)})
+            return
+        self._send_json(200, self._job_document(job))
+
+    def do_POST(self) -> None:  # noqa: N802
+        path = self.path.split("?", 1)[0]
+        if path != "/v1/query":
+            self._send_json(404, {"error": f"unknown path {path!r}"})
+            return
+        try:
+            payload = self._read_json()
+            query = payload.get("query")
+            if not isinstance(query, str) or not query.strip():
+                raise ValueError('missing required string field "query"')
+            priority = int(payload.get("priority", 0))
+            budget = budget_from_request(payload.get("budget"))
+            wants_async = bool(payload.get("async", False))
+            timeout = float(payload.get("timeout", SYNC_TIMEOUT_SECONDS))
+        except (ValueError, TypeError, MiningParameterError) as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        try:
+            job = self.server.service.submit(query, priority=priority, budget=budget)
+        except AdmissionError as error:
+            self._send_json(503, {"error": str(error)}, headers={"Retry-After": "1"})
+            return
+        except ReproError as error:
+            self._send_json(500, {"error": str(error)})
+            return
+        if wants_async:
+            self._send_json(202, self._job_document(job))
+            return
+        job.wait(timeout)
+        document = self._job_document(job)
+        if job.state == "failed":
+            self._send_json(422, document)
+        elif job.state in ("queued", "running"):
+            self._send_json(504, document)
+        else:
+            self._send_json(200, document)
+
+
+class MiningHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`MiningService`.
+
+    ``port=0`` binds an ephemeral port (tests); the resolved address is
+    ``server.server_address``.  The server does **not** own the service:
+    closing the server stops accepting requests, the caller shuts the
+    service down.
+    """
+
+    daemon_threads = True
+    # The socketserver default backlog (5) resets connections under
+    # modest client fan-in; the scheduler, not the socket, is the
+    # intended admission-control point.
+    request_queue_size = 128
+
+    def __init__(
+        self,
+        service: MiningService,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        verbose: bool = False,
+    ):
+        self.service = service
+        self.verbose = verbose
+        super().__init__((host, port), MiningRequestHandler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def start_server(
+    service: MiningService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> Tuple[MiningHTTPServer, threading.Thread]:
+    """Start a server on a background thread; returns (server, thread)."""
+    server = MiningHTTPServer(service, host=host, port=port, verbose=verbose)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-service-http", daemon=True
+    )
+    thread.start()
+    return server, thread

@@ -1,0 +1,314 @@
+"""The job scheduler — priority queue, bounded workers, job lifecycle.
+
+One :class:`JobScheduler` turns the single-user library into a
+multi-tenant service: statements arrive as *jobs*, wait in a priority
+queue, and run on a bounded pool of worker threads (mining releases the
+GIL in its numpy kernels and can additionally fan out to the PR 3
+process shards, so threads are the right concurrency unit here).
+
+Lifecycle::
+
+    submit() ──> QUEUED ──> RUNNING ──> DONE
+                    │           │  └──> FAILED
+                    └───────────┴─────> CANCELLED
+
+* **Admission control** — at most ``max_queue_depth`` jobs may be
+  queued; past that, :meth:`submit` raises
+  :class:`~repro.errors.AdmissionError` (HTTP 503 at the API boundary).
+* **Per-job resilience wiring** — every job gets its own
+  :class:`~repro.runtime.budget.CancellationToken`, and may carry its
+  own :class:`~repro.runtime.budget.RunBudget`.  Cancelling a queued
+  job removes it before it ever runs; cancelling a running job trips
+  its token, and the PR 1 machinery stops the run at the next pass
+  boundary with a *sound partial result*, which is kept on the job
+  record.
+* **Observability** — every job is queryable by id until it ages out of
+  the bounded finished-job history; :meth:`stats` reports queue depth
+  and per-state counts for ``GET /v1/status``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import AdmissionError, JobNotFoundError, ServiceError
+from repro.runtime.budget import CancellationToken, RunBudget
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+
+@dataclass
+class Job:
+    """One unit of service work: a TML statement plus its lifecycle."""
+
+    job_id: str
+    statement: str
+    priority: int = 0
+    budget: Optional[RunBudget] = None
+    state: str = QUEUED
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    result: Optional[Dict] = None
+    error: Optional[str] = None
+    cached: bool = False
+    cancel_requested: bool = False
+    token: CancellationToken = field(default_factory=CancellationToken)
+    _done: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state (True on arrival)."""
+        return self._done.wait(timeout)
+
+    def to_dict(self) -> Dict:
+        """The job record as served by ``GET /v1/jobs/{id}``."""
+        record = {
+            "job_id": self.job_id,
+            "statement": self.statement,
+            "priority": self.priority,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "cached": self.cached,
+            "cancel_requested": self.cancel_requested,
+            "error": self.error,
+            "result": self.result,
+        }
+        if self.budget is not None:
+            record["budget"] = self.budget.describe()
+        return record
+
+
+class JobScheduler:
+    """Priority queue + bounded worker pool over an execute callback.
+
+    Args:
+        execute: ``execute(statement_text, token, budget) -> (result, cached)``
+            — the service core's statement runner.  It must honour the
+            token cooperatively (PR 1 semantics) and may raise any
+            :class:`~repro.errors.ReproError`.
+        workers: worker-thread count (>= 1).
+        max_queue_depth: queued-job bound enforced at admission.
+        history_limit: finished jobs retained for ``GET /v1/jobs/{id}``.
+        clock: injectable wall clock (tests).
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[str, CancellationToken, Optional[RunBudget]], Tuple[Dict, bool]],
+        workers: int = 2,
+        max_queue_depth: int = 64,
+        history_limit: int = 1024,
+        clock: Callable[[], float] = time.time,
+    ):
+        if workers < 1:
+            raise ServiceError(f"scheduler workers must be >= 1, got {workers}")
+        if max_queue_depth < 1:
+            raise ServiceError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        self._execute = execute
+        self.workers = workers
+        self.max_queue_depth = max_queue_depth
+        self.history_limit = history_limit
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        # Max-priority first; FIFO within a priority via the tiebreaker.
+        self._heap: List[Tuple[int, int, str]] = []
+        self._counter = itertools.count()
+        self._jobs: Dict[str, Job] = {}
+        self._finished_order: List[str] = []
+        self._queued = 0
+        self._running = 0
+        self._closed = False
+        self._threads: List[threading.Thread] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spin up the worker pool (idempotent)."""
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+            for index in range(self.workers):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"repro-service-worker-{index}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+
+    def close(self, wait: bool = True, timeout: float = 10.0) -> None:
+        """Stop accepting work, cancel what's left, release the workers."""
+        with self._available:
+            if self._closed:
+                return
+            self._closed = True
+            # Cancel everything still queued; running jobs get their
+            # tokens tripped and finish as cancelled-with-partials.
+            # (Snapshot: finishing a job can evict history from _jobs.)
+            for job in list(self._jobs.values()):
+                if job.state == QUEUED:
+                    self._finish_locked(job, CANCELLED, error="service shutting down")
+                elif job.state == RUNNING:
+                    job.cancel_requested = True
+                    job.token.cancel()
+            self._heap.clear()
+            self._queued = 0
+            self._available.notify_all()
+        if wait:
+            deadline = self._clock() + timeout
+            for thread in self._threads:
+                remaining = max(0.0, deadline - self._clock())
+                thread.join(remaining)
+
+    # ------------------------------------------------------------------
+    # submission / queries
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        statement: str,
+        priority: int = 0,
+        budget: Optional[RunBudget] = None,
+    ) -> Job:
+        """Admit one job; raises :class:`AdmissionError` when saturated."""
+        self.start()
+        with self._available:
+            if self._closed:
+                raise ServiceError("scheduler is closed")
+            if self._queued >= self.max_queue_depth:
+                raise AdmissionError(
+                    f"queue saturated ({self._queued} queued, "
+                    f"limit {self.max_queue_depth}); retry later"
+                )
+            job = Job(
+                job_id=uuid.uuid4().hex[:12],
+                statement=statement,
+                priority=priority,
+                budget=budget,
+                submitted_at=self._clock(),
+            )
+            self._jobs[job.job_id] = job
+            heapq.heappush(self._heap, (-priority, next(self._counter), job.job_id))
+            self._queued += 1
+            self._available.notify()
+            return job
+
+    def get(self, job_id: str) -> Job:
+        """The job with ``job_id`` (raises :class:`JobNotFoundError`)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(f"no such job: {job_id!r}")
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job: dequeue it, or trip its token mid-run.
+
+        Idempotent on already-terminal jobs (returns the record as-is).
+        """
+        with self._available:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise JobNotFoundError(f"no such job: {job_id!r}")
+            if job.state in TERMINAL_STATES:
+                return job
+            job.cancel_requested = True
+            job.token.cancel()
+            if job.state == QUEUED:
+                # Lazy heap removal: the worker loop skips cancelled ids.
+                self._finish_locked(job, CANCELLED, error="cancelled while queued")
+        return job
+
+    def stats(self) -> Dict[str, object]:
+        """Queue/worker/state counters for ``GET /v1/status``."""
+        with self._lock:
+            states: Dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            return {
+                "workers": self.workers,
+                "queue_depth": self._queued,
+                "max_queue_depth": self.max_queue_depth,
+                "running": self._running,
+                "jobs": states,
+            }
+
+    # ------------------------------------------------------------------
+    # worker internals
+    # ------------------------------------------------------------------
+
+    def _next_job(self) -> Optional[Job]:
+        with self._available:
+            while True:
+                if self._closed:
+                    return None
+                while self._heap:
+                    _, _, job_id = heapq.heappop(self._heap)
+                    job = self._jobs.get(job_id)
+                    if job is None or job.state != QUEUED:
+                        continue  # cancelled while queued (lazy removal)
+                    self._queued -= 1
+                    self._running += 1
+                    job.state = RUNNING
+                    job.started_at = self._clock()
+                    return job
+                self._available.wait(timeout=0.1)
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._next_job()
+            if job is None:
+                return
+            try:
+                result, cached = self._execute(job.statement, job.token, job.budget)
+                with self._available:
+                    self._running -= 1
+                    job.result = result
+                    job.cached = cached
+                    # A cancel that landed mid-run surfaces as a sound
+                    # partial result on a CANCELLED job — the record
+                    # keeps what the run managed to compute.
+                    state = CANCELLED if job.cancel_requested else DONE
+                    self._finish_locked(job, state)
+            except BaseException as error:  # noqa: BLE001 — job isolation
+                with self._available:
+                    self._running -= 1
+                    state = CANCELLED if job.cancel_requested else FAILED
+                    self._finish_locked(job, state, error=f"{type(error).__name__}: {error}")
+
+    def _finish_locked(
+        self, job: Job, state: str, error: Optional[str] = None
+    ) -> None:
+        job.state = state
+        job.error = error if error is not None else job.error
+        job.finished_at = self._clock()
+        job._done.set()
+        self._finished_order.append(job.job_id)
+        while len(self._finished_order) > self.history_limit:
+            stale_id = self._finished_order.pop(0)
+            stale = self._jobs.get(stale_id)
+            if stale is not None and stale.state in TERMINAL_STATES:
+                del self._jobs[stale_id]

@@ -65,6 +65,8 @@ Dot commands:
   .filter <item>      filter the last report by item label
   .profile <src> <g> <item...>   support-over-time sparkline of an itemset
   .export <path>      write the last mining report to <path>.csv/.json
+  .serve [port]       share this session's store over HTTP (0 = ephemeral)
+  .serve stop         shut the HTTP server down
   .log                show the IQMI workflow log
   .quit               leave the shell
 """
@@ -152,6 +154,23 @@ def _dispatch_dot(session: IqmsSession, line: str) -> Optional[str]:
         written = write_report(report, parts[1], session._last_catalog())
         session.workflow.record(f"exported {written} rows to {parts[1]}")
         return f"wrote {written} row(s) to {parts[1]}"
+    if command == ".serve":
+        if len(parts) == 2 and parts[1] == "stop":
+            if session.serving_url is None:
+                return "not serving"
+            session.stop_serving()
+            return "stopped serving"
+        if len(parts) > 2 or (len(parts) == 2 and not parts[1].isdigit()):
+            return "usage: .serve [<port>|stop]"
+        if session.serving_url is not None:
+            return f"already serving on {session.serving_url} (.serve stop first)"
+        port = int(parts[1]) if len(parts) == 2 else 0
+        url = session.serve(port=port)
+        return (
+            f"serving on {url}\n"
+            "endpoints: POST /v1/query  GET /v1/jobs/{id}  "
+            "DELETE /v1/jobs/{id}  GET /v1/status"
+        )
     if command == ".log":
         return session.workflow.format_log()
     return f"unknown command {command!r}; try .help"
@@ -203,6 +222,7 @@ def repl(
                 emit(result.text)
             except ReproError as error:
                 emit(f"error: {error}")
+    session.stop_serving()
     emit("bye")
 
 

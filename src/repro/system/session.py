@@ -59,6 +59,8 @@ class IqmsSession:
         self.last_report: Optional[MiningReport] = None
         self.previous_report: Optional[MiningReport] = None
         self._last_mine_source: Optional[str] = None
+        self._server = None
+        self._service = None
 
     # ------------------------------------------------------------------
     # data management
@@ -137,6 +139,58 @@ class IqmsSession:
         :meth:`run`.
         """
         self.environment.cancel_token.cancel()
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+
+    def serve(self, host: str = "127.0.0.1", port: int = 0) -> str:
+        """Expose this session's store over HTTP; returns the URL.
+
+        Starts a :class:`~repro.service.core.MiningService` sharing this
+        session's :class:`SqliteStore` (safe: the store serializes access
+        behind its lock) plus a background
+        :class:`~repro.service.http.MiningHTTPServer`.  Service queries
+        see the store's current contents — a mutation made here shows up
+        there as a new dataset fingerprint, so cached results are never
+        served stale.  ``port=0`` picks an ephemeral port.
+        """
+        if self._server is not None:
+            raise TmlExecutionError(
+                f"already serving on {self._server.url} (stop_serving() first)"
+            )
+        from repro.service.core import MiningService, ServiceConfig
+        from repro.service.http import start_server
+
+        self._service = MiningService(
+            store=self.store,
+            config=ServiceConfig(
+                engine=self.environment.engine,
+                mining_workers=self.environment.workers,
+                default_budget=self.environment.budget,
+            ),
+        )
+        self._server, _ = start_server(self._service, host=host, port=port)
+        self.workflow.record(f"serving on {self._server.url}")
+        return self._server.url
+
+    def stop_serving(self) -> None:
+        """Shut down the HTTP server started by :meth:`serve` (idempotent)."""
+        if self._server is None:
+            return
+        url = self._server.url
+        self._server.shutdown()
+        self._server.server_close()
+        self._server = None
+        if self._service is not None:
+            self._service.close()
+            self._service = None
+        self.workflow.record(f"stopped serving on {url}")
+
+    @property
+    def serving_url(self) -> Optional[str]:
+        """The URL of the running HTTP server, or None."""
+        return self._server.url if self._server is not None else None
 
     # ------------------------------------------------------------------
     # the IQMI loop

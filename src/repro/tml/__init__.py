@@ -36,6 +36,7 @@ from repro.tml.ast import (
     SqlStatement,
     Statement,
 )
+from repro.tml.canonical import canonicalize, canonicalize_statement
 from repro.tml.executor import (
     ExecutionEnvironment,
     ExecutionResult,
@@ -64,6 +65,8 @@ __all__ = [
     "SqlStatement",
     "Statement",
     "TmlExecutor",
+    "canonicalize",
+    "canonicalize_statement",
     "parse_script",
     "parse_statement",
     "resolve_feature",

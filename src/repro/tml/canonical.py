@@ -1,0 +1,49 @@
+"""Canonicalization of TML statements — the query half of a cache key.
+
+The mining service's result cache is *content-addressed*: two requests
+must share a cache entry exactly when they denote the same computation
+over the same data.  On the query side that means mapping every
+spelling of a statement to one canonical form.
+
+The heavy lifting is already done by the language design:
+
+* the lexer treats keywords case-insensitively and discards whitespace
+  and comments,
+* the parser folds ``HAVING``/``SET BUDGET`` terms into *fields* of a
+  frozen-dataclass AST node (so clause order vanishes) and fills
+  defaults (so an explicit ``CONSEQUENT <= 1`` and an omitted one
+  parse identically),
+* every AST node renders back to one canonical text via
+  :meth:`render`, a tested round-trip invariant.
+
+Canonicalization is therefore parse → render: two statements differing
+only in whitespace, keyword case, comments, clause order or explicit
+defaults produce byte-identical canonical text — and statements
+differing in *meaning* (thresholds, sources, features) cannot collide,
+because ``render`` is injective on the parsed AST.
+"""
+
+from __future__ import annotations
+
+from repro.tml.ast import SqlStatement, Statement
+from repro.tml.parser import parse_statement
+
+
+def canonicalize_statement(statement: Statement) -> str:
+    """The canonical text of an already-parsed statement."""
+    if isinstance(statement, SqlStatement):
+        # SQL passes through TML unparsed; normalize the whitespace we
+        # can see without an SQL grammar.  (SQL results are not cached,
+        # so this only affects logging/labels, never correctness.)
+        return " ".join(statement.render().split())
+    return statement.render()
+
+
+def canonicalize(text: str) -> str:
+    """Canonical text for one TML statement given as source text.
+
+    >>> canonicalize("mine itemsets FROM sales at granularity MONTH"
+    ...              "  with support >= 0.20;")
+    'MINE ITEMSETS FROM sales AT GRANULARITY month WITH SUPPORT >= 0.2 HAVING FREQUENCY >= 1, COVERAGE >= 2;'
+    """
+    return canonicalize_statement(parse_statement(text))

@@ -98,6 +98,11 @@ class ExecutionEnvironment:
         self.engine: str = "auto"
         self.workers: int = _workers_from_env()
         self.cancel_token = CancellationToken()
+        # Optional per-granule observer threaded into every MINE run's
+        # monitor — the seam the mining service's tests (and PR 1's
+        # fault-injection harness) use to pace or interrupt runs
+        # deterministically.  None in normal operation.
+        self.granule_hook = None
 
     def register(self, name: str, database: TransactionDatabase) -> None:
         """Expose an in-memory database under ``name``."""
@@ -239,6 +244,7 @@ class TmlExecutor:
             task,
             budget=self.environment.budget,
             token=self.environment.cancel_token,
+            granule_hook=self.environment.granule_hook,
         )
         catalog = self.environment.resolve(statement.source).catalog
         return ExecutionResult(statement, report, report.format(catalog, limit=50))
@@ -264,6 +270,7 @@ class TmlExecutor:
             interleaved=statement.interleaved,
             budget=self.environment.budget,
             token=self.environment.cancel_token,
+            granule_hook=self.environment.granule_hook,
         )
         catalog = self.environment.resolve(statement.source).catalog
         return ExecutionResult(statement, report, report.format(catalog, limit=50))
@@ -282,6 +289,7 @@ class TmlExecutor:
             task,
             budget=self.environment.budget,
             token=self.environment.cancel_token,
+            granule_hook=self.environment.granule_hook,
         )
         catalog = self.environment.resolve(statement.source).catalog
         return ExecutionResult(statement, report, report.format(catalog, limit=50))

@@ -197,3 +197,117 @@ class TestFailureInjection:
         # A WHERE clause that excludes the bad row loads cleanly.
         loaded = store.load_database(where="tid < 999")
         assert len(loaded) == len(tiny_db)
+
+
+class TestThreadSafety:
+    """The store is shared by service worker threads (PR 4); access is
+    serialized behind its documented lock."""
+
+    def test_concurrent_readers(self, store, tiny_db):
+        import threading
+
+        store.save_database(tiny_db)
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def read():
+            try:
+                barrier.wait(timeout=10.0)
+                for _ in range(25):
+                    assert store.count_transactions() == 5
+                    assert len(store.load_database()) == 5
+                    columns, rows = store.fetch_all(
+                        "SELECT item, COUNT(*) FROM transactions GROUP BY item"
+                    )
+                    assert columns and rows
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=read) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+    def test_concurrent_readers_and_writer(self, store, tiny_db):
+        import threading
+        from datetime import datetime
+
+        store.save_database(tiny_db)
+        errors = []
+        stop = threading.Event()
+
+        def read():
+            try:
+                while not stop.is_set():
+                    db = store.load_database()
+                    # Never a torn read: every transaction is complete.
+                    assert all(len(t.items) >= 1 for t in db)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        readers = [threading.Thread(target=read) for _ in range(4)]
+        for t in readers:
+            t.start()
+        for i in range(50):
+            store.insert_transaction(datetime(2026, 6, 1 + i % 28), ["x", "y"])
+        stop.set()
+        for t in readers:
+            t.join()
+        assert not errors
+        assert store.count_transactions() == 5 + 50
+
+    def test_fetch_all_returns_columns_and_rows(self, store, tiny_db):
+        store.save_database(tiny_db)
+        columns, rows = store.fetch_all(
+            "SELECT COUNT(DISTINCT tid) AS n FROM transactions"
+        )
+        assert list(columns) == ["n"]
+        assert list(rows) == [(5,)]
+
+
+class TestFingerprint:
+    """Content fingerprints back the PR 4 result cache's addressing."""
+
+    def test_stable_across_calls(self, store, tiny_db):
+        store.save_database(tiny_db)
+        assert store.fingerprint() == store.fingerprint()
+
+    def test_same_content_same_fingerprint(self, tiny_db):
+        with SqliteStore(":memory:") as a, SqliteStore(":memory:") as b:
+            a.save_database(tiny_db)
+            b.save_database(tiny_db)
+            assert a.fingerprint() == b.fingerprint()
+
+    def test_insert_changes_fingerprint(self, store, tiny_db):
+        from datetime import datetime
+
+        store.save_database(tiny_db)
+        before = store.fingerprint()
+        store.insert_transaction(datetime(2026, 7, 1), ["anchovies"])
+        assert store.fingerprint() != before
+
+    def test_delete_all_changes_fingerprint(self, store, tiny_db):
+        """DELETE without WHERE may take sqlite's truncate path; the
+        fingerprint must still move."""
+        store.save_database(tiny_db)
+        before = store.fingerprint()
+        with store.lock:
+            store.connection.execute("DELETE FROM transactions")
+            store.connection.commit()
+        assert store.fingerprint() != before
+
+    def test_restored_content_restores_fingerprint(self, store, tiny_db):
+        store.save_database(tiny_db)
+        before = store.fingerprint()
+        store.clear()
+        assert store.fingerprint() != before
+        store.save_database(tiny_db)
+        assert store.fingerprint() == before
+
+    def test_fingerprint_is_hex_digest(self, store, tiny_db):
+        store.save_database(tiny_db)
+        digest = store.fingerprint()
+        assert len(digest) == 64
+        int(digest, 16)

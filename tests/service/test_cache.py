@@ -1,0 +1,127 @@
+"""Unit tests for the content-addressed result cache and its keys."""
+
+import pytest
+
+from repro.service.cache import ResultCache, cache_key
+from repro.tml import canonicalize
+
+BASE_QUERY = (
+    "MINE PERIODS FROM sales AT GRANULARITY month "
+    "WITH SUPPORT >= 0.2, CONFIDENCE >= 0.6 "
+    "HAVING FREQUENCY >= 0.2, COVERAGE >= 2;"
+)
+SETTINGS = {"engine": "auto", "workers": 1, "budget": "off"}
+
+
+def key_for(text: str, fingerprint: str = "fp-a", settings=None) -> str:
+    return cache_key(canonicalize(text), fingerprint, settings or SETTINGS)
+
+
+class TestCanonicalKeys:
+    def test_identical_text_same_key(self):
+        assert key_for(BASE_QUERY) == key_for(BASE_QUERY)
+
+    def test_whitespace_insensitive(self):
+        reflowed = (
+            "MINE   PERIODS\n  FROM sales\n  AT GRANULARITY month\n"
+            "  WITH SUPPORT >= 0.2,\n       CONFIDENCE >= 0.6\n"
+            "  HAVING FREQUENCY >= 0.2,  COVERAGE >= 2 ;"
+        )
+        assert key_for(reflowed) == key_for(BASE_QUERY)
+
+    def test_case_insensitive_keywords(self):
+        lowered = (
+            "mine periods from sales at granularity MONTH "
+            "with support >= 0.20, confidence >= 0.60 "
+            "having frequency >= 0.2, coverage >= 2;"
+        )
+        assert key_for(lowered) == key_for(BASE_QUERY)
+
+    def test_having_clause_order_irrelevant(self):
+        reordered = (
+            "MINE PERIODS FROM sales AT GRANULARITY month "
+            "WITH SUPPORT >= 0.2, CONFIDENCE >= 0.6 "
+            "HAVING COVERAGE >= 2, FREQUENCY >= 0.2;"
+        )
+        assert key_for(reordered) == key_for(BASE_QUERY)
+
+    def test_different_thresholds_different_key(self):
+        other = BASE_QUERY.replace("SUPPORT >= 0.2", "SUPPORT >= 0.3")
+        assert key_for(other) != key_for(BASE_QUERY)
+
+    def test_fingerprint_in_key(self):
+        assert key_for(BASE_QUERY, "fp-a") != key_for(BASE_QUERY, "fp-b")
+
+    def test_settings_in_key(self):
+        pinned = dict(SETTINGS, engine="hashtree")
+        assert key_for(BASE_QUERY, settings=pinned) != key_for(BASE_QUERY)
+        budgeted = dict(SETTINGS, budget="time<=5s")
+        assert key_for(BASE_QUERY, settings=budgeted) != key_for(BASE_QUERY)
+
+    def test_key_is_hex_digest(self):
+        key = key_for(BASE_QUERY)
+        assert len(key) == 64
+        int(key, 16)  # parses as hex
+
+
+class TestCacheBehaviour:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        assert cache.get("k") is None
+        cache.put("k", {"n": 1}, "fp")
+        assert cache.get("k") == {"n": 1}
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["puts"] == 1
+
+    def test_lru_eviction_prefers_stale_entries(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", {"v": "a"}, "fp")
+        cache.put("b", {"v": "b"}, "fp")
+        assert cache.get("a") == {"v": "a"}  # refresh 'a'
+        cache.put("c", {"v": "c"}, "fp")  # evicts 'b', the LRU entry
+        assert cache.get("b") is None
+        assert cache.get("a") == {"v": "a"}
+        assert cache.get("c") == {"v": "c"}
+        assert cache.stats()["evictions"] == 1
+
+    def test_ttl_expiry(self):
+        clock = [0.0]
+        cache = ResultCache(ttl_seconds=10.0, clock=lambda: clock[0])
+        cache.put("k", {"n": 1}, "fp")
+        clock[0] = 9.9
+        assert cache.get("k") == {"n": 1}
+        clock[0] = 10.1
+        assert cache.get("k") is None
+        stats = cache.stats()
+        assert stats["expirations"] == 1
+        assert stats["entries"] == 0
+
+    def test_invalidate_exactly_one_fingerprint(self):
+        cache = ResultCache()
+        cache.put("q1@old", {"n": 1}, "fp-old")
+        cache.put("q2@old", {"n": 2}, "fp-old")
+        cache.put("q1@new", {"n": 3}, "fp-new")
+        assert cache.invalidate_fingerprint("fp-old") == 2
+        assert cache.get("q1@old") is None
+        assert cache.get("q2@old") is None
+        assert cache.get("q1@new") == {"n": 3}
+        assert cache.stats()["invalidations"] == 2
+
+    def test_invalidate_unknown_fingerprint_is_noop(self):
+        cache = ResultCache()
+        cache.put("k", {"n": 1}, "fp")
+        assert cache.invalidate_fingerprint("other") == 0
+        assert cache.get("k") == {"n": 1}
+
+    def test_clear(self):
+        cache = ResultCache()
+        cache.put("k", {"n": 1}, "fp")
+        cache.clear()
+        assert cache.get("k") is None
+        assert cache.stats()["entries"] == 0
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+        with pytest.raises(ValueError):
+            ResultCache(ttl_seconds=0)

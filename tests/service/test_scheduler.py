@@ -1,0 +1,275 @@
+"""Unit tests for the job scheduler (no mining involved — fake executes)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import AdmissionError, JobNotFoundError
+from repro.runtime.budget import RunBudget
+from repro.service.scheduler import CANCELLED, DONE, FAILED, JobScheduler
+
+
+def echo_execute(statement, token, budget):
+    return {"echo": statement}, False
+
+
+class TestLifecycle:
+    def test_submit_run_done(self):
+        scheduler = JobScheduler(echo_execute, workers=1)
+        try:
+            job = scheduler.submit("SHOW SUMMARY;")
+            assert job.wait(5.0)
+            assert job.state == DONE
+            assert job.result == {"echo": "SHOW SUMMARY;"}
+            assert job.cached is False
+            assert job.error is None
+            assert job.started_at is not None and job.finished_at is not None
+        finally:
+            scheduler.close()
+
+    def test_job_queryable_by_id(self):
+        scheduler = JobScheduler(echo_execute, workers=1)
+        try:
+            job = scheduler.submit("SHOW SUMMARY;")
+            job.wait(5.0)
+            assert scheduler.get(job.job_id) is job
+            with pytest.raises(JobNotFoundError):
+                scheduler.get("nope")
+        finally:
+            scheduler.close()
+
+    def test_failure_surfaces_error(self):
+        def boom(statement, token, budget):
+            raise ValueError("bad statement")
+
+        scheduler = JobScheduler(boom, workers=1)
+        try:
+            job = scheduler.submit("MINE NONSENSE;")
+            assert job.wait(5.0)
+            assert job.state == FAILED
+            assert "ValueError" in job.error and "bad statement" in job.error
+            assert job.result is None
+        finally:
+            scheduler.close()
+
+    def test_budget_travels_to_execute(self):
+        seen = {}
+
+        def capture(statement, token, budget):
+            seen["budget"] = budget
+            return {}, False
+
+        scheduler = JobScheduler(capture, workers=1)
+        try:
+            budget = RunBudget(max_seconds=5.0)
+            scheduler.submit("X;", budget=budget).wait(5.0)
+            assert seen["budget"] is budget
+        finally:
+            scheduler.close()
+
+    def test_to_dict_round_trip(self):
+        scheduler = JobScheduler(echo_execute, workers=1)
+        try:
+            job = scheduler.submit("X;", priority=3, budget=RunBudget(max_rules=10))
+            job.wait(5.0)
+            record = job.to_dict()
+            assert record["job_id"] == job.job_id
+            assert record["state"] == DONE
+            assert record["priority"] == 3
+            assert "budget" in record
+        finally:
+            scheduler.close()
+
+
+class TestPriorityAndAdmission:
+    def test_priority_order_fifo_within_priority(self):
+        release = threading.Event()
+        order = []
+
+        def gated(statement, token, budget):
+            if statement == "gate":
+                release.wait(5.0)
+            else:
+                order.append(statement)
+            return {}, False
+
+        scheduler = JobScheduler(gated, workers=1, max_queue_depth=16)
+        try:
+            scheduler.submit("gate")  # occupies the only worker
+            time.sleep(0.05)  # let the worker pick it up
+            low_a = scheduler.submit("low-a", priority=0)
+            high = scheduler.submit("high", priority=5)
+            low_b = scheduler.submit("low-b", priority=0)
+            release.set()
+            for job in (low_a, high, low_b):
+                assert job.wait(5.0)
+            assert order == ["high", "low-a", "low-b"]
+        finally:
+            scheduler.close()
+
+    def test_admission_rejects_when_saturated(self):
+        release = threading.Event()
+
+        def gated(statement, token, budget):
+            release.wait(5.0)
+            return {}, False
+
+        scheduler = JobScheduler(gated, workers=1, max_queue_depth=2)
+        try:
+            scheduler.submit("running")
+            time.sleep(0.05)
+            scheduler.submit("q1")
+            scheduler.submit("q2")
+            with pytest.raises(AdmissionError):
+                scheduler.submit("q3")
+            stats = scheduler.stats()
+            assert stats["queue_depth"] == 2
+            release.set()
+        finally:
+            scheduler.close()
+
+    def test_queue_drains_after_rejection(self):
+        release = threading.Event()
+
+        def gated(statement, token, budget):
+            release.wait(5.0)
+            return {}, False
+
+        scheduler = JobScheduler(gated, workers=1, max_queue_depth=1)
+        try:
+            scheduler.submit("running")
+            time.sleep(0.05)
+            queued = scheduler.submit("queued")
+            with pytest.raises(AdmissionError):
+                scheduler.submit("rejected")
+            release.set()
+            assert queued.wait(5.0)
+            # Capacity is back: a new submission is admitted.
+            assert scheduler.submit("after").wait(5.0)
+        finally:
+            scheduler.close()
+
+
+class TestCancellation:
+    def test_cancel_queued_job_never_runs(self):
+        release = threading.Event()
+        ran = []
+
+        def gated(statement, token, budget):
+            if statement == "gate":
+                release.wait(5.0)
+            ran.append(statement)
+            return {}, False
+
+        scheduler = JobScheduler(gated, workers=1)
+        try:
+            scheduler.submit("gate")
+            time.sleep(0.05)
+            queued = scheduler.submit("victim")
+            cancelled = scheduler.cancel(queued.job_id)
+            assert cancelled.state == CANCELLED
+            assert queued.wait(1.0)
+            release.set()
+            time.sleep(0.1)
+            assert "victim" not in ran
+        finally:
+            scheduler.close()
+
+    def test_cancel_running_trips_token(self):
+        started = threading.Event()
+
+        def cooperative(statement, token, budget):
+            started.set()
+            deadline = time.monotonic() + 5.0
+            while not token.cancelled and time.monotonic() < deadline:
+                time.sleep(0.005)
+            return {"partial": True, "progress": "stopped at boundary"}, False
+
+        scheduler = JobScheduler(cooperative, workers=1)
+        try:
+            job = scheduler.submit("long mine")
+            assert started.wait(5.0)
+            scheduler.cancel(job.job_id)
+            assert job.wait(5.0)
+            assert job.state == CANCELLED
+            # The sound partial result stays on the record.
+            assert job.result == {"partial": True, "progress": "stopped at boundary"}
+        finally:
+            scheduler.close()
+
+    def test_cancel_terminal_job_is_idempotent(self):
+        scheduler = JobScheduler(echo_execute, workers=1)
+        try:
+            job = scheduler.submit("X;")
+            job.wait(5.0)
+            assert scheduler.cancel(job.job_id).state == DONE
+        finally:
+            scheduler.close()
+
+    def test_cancel_unknown_job_raises(self):
+        scheduler = JobScheduler(echo_execute, workers=1)
+        try:
+            with pytest.raises(JobNotFoundError):
+                scheduler.cancel("missing")
+        finally:
+            scheduler.close()
+
+
+class TestShutdownAndStats:
+    def test_close_cancels_queued_jobs(self):
+        release = threading.Event()
+
+        def gated(statement, token, budget):
+            release.wait(5.0)
+            return {}, False
+
+        scheduler = JobScheduler(gated, workers=1)
+        scheduler.submit("running")
+        time.sleep(0.05)
+        queued = scheduler.submit("queued")
+        release.set()
+        scheduler.close(wait=True)
+        assert queued.state == CANCELLED
+
+    def test_stats_counts_states(self):
+        scheduler = JobScheduler(echo_execute, workers=2)
+        try:
+            jobs = [scheduler.submit(f"S{i};") for i in range(4)]
+            for job in jobs:
+                job.wait(5.0)
+            stats = scheduler.stats()
+            assert stats["workers"] == 2
+            assert stats["jobs"].get(DONE) == 4
+            assert stats["queue_depth"] == 0
+        finally:
+            scheduler.close()
+
+    def test_history_limit_evicts_old_jobs(self):
+        scheduler = JobScheduler(echo_execute, workers=1, history_limit=2)
+        try:
+            jobs = [scheduler.submit(f"S{i};") for i in range(5)]
+            for job in jobs:
+                job.wait(5.0)
+            # Give _finish_locked a beat to evict.
+            time.sleep(0.05)
+            alive = [j for j in jobs if _known(scheduler, j.job_id)]
+            assert len(alive) <= 2
+        finally:
+            scheduler.close()
+
+    def test_constructor_validation(self):
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError):
+            JobScheduler(echo_execute, workers=0)
+        with pytest.raises(ServiceError):
+            JobScheduler(echo_execute, max_queue_depth=0)
+
+
+def _known(scheduler, job_id):
+    try:
+        scheduler.get(job_id)
+        return True
+    except JobNotFoundError:
+        return False

@@ -1,0 +1,142 @@
+"""The CI smoke path: boot the service, drive every endpoint once.
+
+This file is what the workflow's ``service-smoke`` job runs.  It stays
+deliberately end-to-end: real HTTP server, real client, real mining —
+plus one subprocess round-trip through ``python -m repro.service``.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.core import MiningService, ServiceConfig
+from repro.service.http import start_server
+
+MINE_QUERY = (
+    "MINE PERIODS FROM transactions AT GRANULARITY month "
+    "WITH SUPPORT >= 0.2, CONFIDENCE >= 0.6 HAVING COVERAGE >= 2;"
+)
+
+
+def test_smoke_full_service_loop(seasonal_data):
+    service = MiningService(config=ServiceConfig(workers=2))
+    service.load_database(seasonal_data.database)
+    server, _ = start_server(service)
+    client = ServiceClient(server.url)
+    try:
+        # 1. sync query (cold)
+        t0 = time.perf_counter()
+        cold = client.query(MINE_QUERY, timeout=120.0)
+        cold_seconds = time.perf_counter() - t0
+        assert cold["state"] == "done" and cold["cached"] is False
+        assert cold["result"]["n_results"] > 0
+
+        # 2. async submit, poll to completion
+        submitted = client.query_async(MINE_QUERY)
+        polled = client.wait(submitted["job_id"], timeout=120.0)
+        assert polled["state"] == "done"
+        assert polled["result"] == cold["result"]
+
+        # 3. warm cache is faster than cold mining
+        t0 = time.perf_counter()
+        warm = client.query(MINE_QUERY, timeout=120.0)
+        warm_seconds = time.perf_counter() - t0
+        assert warm["cached"] is True
+        assert warm["result"] == cold["result"]
+        assert warm_seconds < cold_seconds, (
+            f"warm hit ({warm_seconds:.3f}s) not faster than "
+            f"cold mine ({cold_seconds:.3f}s)"
+        )
+
+        # 4. cancel a job via DELETE (the deterministic mid-run case is
+        # pinned by test_smoke_cancellation_lands)
+        slow = client.query_async(
+            MINE_QUERY.replace("GRANULARITY month", "GRANULARITY week")
+        )
+        cancelled = client.cancel(slow["job_id"])
+        assert cancelled["job_id"] == slow["job_id"]
+        record = client.wait(slow["job_id"], timeout=120.0)
+        assert record["state"] in ("done", "cancelled")
+
+        # 5. status reflects the work
+        status = client.status()
+        assert status["cache"]["hits"] >= 1
+        assert status["scheduler"]["jobs"].get("done", 0) >= 3
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+
+def _pace(started):
+    def hook(granule):
+        started.set()
+        time.sleep(0.01)
+
+    return hook
+
+
+def test_smoke_cancellation_lands(seasonal_data):
+    started = threading.Event()
+    service = MiningService(config=ServiceConfig(workers=1, granule_hook=_pace(started)))
+    service.load_database(seasonal_data.database)
+    server, _ = start_server(service)
+    client = ServiceClient(server.url)
+    try:
+        submitted = client.query_async(MINE_QUERY)
+        assert started.wait(30.0)
+        client.cancel(submitted["job_id"])
+        record = client.wait(submitted["job_id"], timeout=120.0)
+        assert record["state"] == "cancelled"
+        assert record["result"]["partial"] is True
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="POSIX subprocess handling")
+def test_smoke_console_entry_point():
+    """``python -m repro.service --demo`` boots, serves, shuts down."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.service",
+            "--demo",
+            "--port",
+            "0",
+            "--workers",
+            "1",
+        ],
+        env=env,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        url = None
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            line = process.stderr.readline()
+            if not line:
+                break
+            match = re.search(r"listening on (http://\S+)", line)
+            if match:
+                url = match.group(1)
+                break
+        assert url, "server never announced its URL"
+        with urllib.request.urlopen(url + "/v1/status", timeout=30) as response:
+            assert response.status == 200
+    finally:
+        process.terminate()
+        process.wait(timeout=30)

@@ -128,3 +128,37 @@ class TestExportCommand:
 
     def test_export_usage(self):
         assert "usage" in drive(".export\n.quit\n")
+
+
+class TestServe:
+    def test_serve_and_stop(self):
+        session = IqmsSession()
+        output = drive(".demo\n.serve\n.serve\n.serve stop\n.serve stop\n.quit\n", session=session)
+        assert "serving on http://" in output
+        assert "already serving" in output
+        assert "stopped serving" in output
+        assert "not serving" in output
+        assert session.serving_url is None  # .quit also shuts the server down
+
+    def test_serve_usage(self):
+        assert "usage" in drive(".serve not-a-port\n.quit\n")
+
+    def test_serve_answers_http(self, seasonal_data):
+        import json
+        import re
+        import urllib.request
+
+        session = IqmsSession()
+        session.load_database("sales", seasonal_data.database)
+        output = drive(".serve\n.quit\n", session=session)
+        url = re.search(r"serving on (http://\S+)", output).group(1)
+        # The REPL quit stopped the server; serve again programmatically
+        # to check the endpoint actually answers while it is up.
+        url = session.serve()
+        try:
+            with urllib.request.urlopen(url + "/v1/status", timeout=30) as response:
+                document = json.loads(response.read())
+            assert document["service"] == "repro-iqms"
+            assert document["store"]["transactions"] == len(seasonal_data.database)
+        finally:
+            session.stop_serving()

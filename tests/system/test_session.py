@@ -98,3 +98,42 @@ class TestIqmiLoop:
         results = session.run_script("SHOW SUMMARY; " + MINE)
         assert len(results) == 2
         assert session.workflow.iterations == 1
+
+
+class TestServing:
+    def test_serve_shares_the_session_store(self, session):
+        from repro.service.client import ServiceClient
+
+        url = session.serve()
+        try:
+            client = ServiceClient(url)
+            record = client.query(
+                "MINE PERIODS FROM transactions AT GRANULARITY month "
+                "WITH SUPPORT >= 0.2, CONFIDENCE >= 0.6 HAVING COVERAGE >= 2;",
+                timeout=120.0,
+            )
+            assert record["state"] == "done"
+            assert record["result"]["n_results"] > 0
+            # A session-side mutation moves the store fingerprint, so the
+            # service re-mines instead of serving the stale entry.
+            session.run("DELETE FROM transactions WHERE item = 'season0_a';")
+            again = client.query(
+                "MINE PERIODS FROM transactions AT GRANULARITY month "
+                "WITH SUPPORT >= 0.2, CONFIDENCE >= 0.6 HAVING COVERAGE >= 2;",
+                timeout=120.0,
+            )
+            assert again["cached"] is False
+        finally:
+            session.stop_serving()
+        assert session.serving_url is None
+
+    def test_serve_twice_rejected(self, session):
+        from repro.errors import TmlExecutionError
+
+        session.serve()
+        try:
+            with pytest.raises(TmlExecutionError):
+                session.serve()
+        finally:
+            session.stop_serving()
+        session.stop_serving()  # idempotent
