@@ -26,6 +26,7 @@ the service core).  All operations are thread-safe.
 
 from __future__ import annotations
 
+import copy
 import hashlib
 import json
 import threading
@@ -124,7 +125,10 @@ class ResultCache:
             self._entries.move_to_end(key)
             entry.hits += 1
             self._stats.hits += 1
-            return entry.value
+            # Hand out a copy: result dicts live on Job.result and get
+            # serialized/annotated downstream, and an in-place mutation
+            # there must never reach back into the shared entry.
+            return copy.deepcopy(entry.value)
 
     def put(self, key: str, value: Dict, dataset_fingerprint: str) -> None:
         """Insert (or refresh) an entry, evicting LRU past capacity."""
@@ -133,7 +137,7 @@ class ResultCache:
                 self._entries.move_to_end(key)
             self._entries[key] = CacheEntry(
                 key=key,
-                value=value,
+                value=copy.deepcopy(value),
                 dataset_fingerprint=dataset_fingerprint,
                 created_at=self._clock(),
             )

@@ -293,7 +293,14 @@ class MiningService:
             result = self._run_statement(
                 statement, token, budget, fingerprint=fingerprint
             )
-            if not result.get("partial"):
+            # Guard against a mutation racing this run: a mutating
+            # statement on another worker may commit between the
+            # fingerprint read above and the environment's dataset
+            # reload, in which case the run mined post-mutation data
+            # and must not be cached under the pre-mutation key (its
+            # invalidation hook already fired and would never purge
+            # the poisoned entry).
+            if not result.get("partial") and self.store.fingerprint() == fingerprint:
                 self.cache.put(key, result, fingerprint)
             return result, False
 

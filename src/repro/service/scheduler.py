@@ -238,7 +238,10 @@ class JobScheduler:
             job.cancel_requested = True
             job.token.cancel()
             if job.state == QUEUED:
-                # Lazy heap removal: the worker loop skips cancelled ids.
+                # Lazy heap removal: the worker loop skips cancelled ids,
+                # so the admission counter must be released here — the
+                # skip path in _next_job deliberately never decrements.
+                self._queued -= 1
                 self._finish_locked(job, CANCELLED, error="cancelled while queued")
         return job
 

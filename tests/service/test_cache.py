@@ -120,6 +120,23 @@ class TestCacheBehaviour:
         assert cache.get("k") is None
         assert cache.stats()["entries"] == 0
 
+    def test_get_returns_isolated_copies(self):
+        # Result dicts live on Job.result and get annotated in place
+        # downstream; that must never corrupt the shared entry.
+        cache = ResultCache()
+        cache.put("k", {"results": [1, 2]}, "fp")
+        served = cache.get("k")
+        served["results"].append(3)
+        served["invalidated_entries"] = 9
+        assert cache.get("k") == {"results": [1, 2]}
+
+    def test_put_copies_the_caller_dict(self):
+        cache = ResultCache()
+        value = {"n": 1}
+        cache.put("k", value, "fp")
+        value["n"] = 2
+        assert cache.get("k") == {"n": 1}
+
     def test_constructor_validation(self):
         with pytest.raises(ValueError):
             ResultCache(max_entries=0)

@@ -198,6 +198,33 @@ class TestCancellation:
         finally:
             scheduler.close()
 
+    def test_cancel_queued_jobs_releases_queue_capacity(self):
+        release = threading.Event()
+
+        def gated(statement, token, budget):
+            release.wait(5.0)
+            return {}, False
+
+        scheduler = JobScheduler(gated, workers=1, max_queue_depth=2)
+        try:
+            scheduler.submit("running")
+            time.sleep(0.05)
+            # Cancel more queued jobs than the queue can hold at once: a
+            # leaked admission counter would shrink capacity to zero.
+            for _ in range(3):
+                victim = scheduler.submit("victim")
+                assert scheduler.cancel(victim.job_id).state == CANCELLED
+            assert scheduler.stats()["queue_depth"] == 0
+            # Full capacity is back: max_queue_depth jobs are admitted.
+            jobs = [scheduler.submit(f"after-{i}") for i in range(2)]
+            with pytest.raises(AdmissionError):
+                scheduler.submit("overflow")
+            release.set()
+            for job in jobs:
+                assert job.wait(5.0)
+        finally:
+            scheduler.close()
+
     def test_cancel_terminal_job_is_idempotent(self):
         scheduler = JobScheduler(echo_execute, workers=1)
         try:

@@ -109,6 +109,37 @@ class TestInvalidation:
         assert service.run_sync(MINE_QUERY).cached is False
         assert service.status()["store"]["transactions"] == len(tiny_db)
 
+    def test_mid_run_mutation_is_never_cached(self, seasonal_data):
+        # A mutation committing between the cache-key fingerprint read
+        # and the run's completion must not leave the result cached
+        # under the pre-mutation key: the mutator's invalidation hook
+        # fires before the put, so a poisoned entry would never be
+        # purged and every warm hit after a mutate-then-restore would
+        # serve the wrong snapshot.
+        from datetime import datetime
+
+        holder = {}
+        mutated = threading.Event()
+
+        def mutate_once(offset):
+            if not mutated.is_set():
+                mutated.set()
+                holder["svc"].store.insert_transaction(
+                    datetime(2001, 1, 1), ["toctou_item"]
+                )
+
+        config = ServiceConfig(workers=1, granule_hook=mutate_once)
+        with MiningService(config=config) as svc:
+            holder["svc"] = svc
+            svc.load_database(seasonal_data.database)
+            job = svc.run_sync(MINE_QUERY)
+            assert job.state == "done"
+            assert mutated.is_set()
+            assert svc.cache.stats()["puts"] == 0
+            # The next identical query must mine fresh, not hit a
+            # stale entry.
+            assert svc.run_sync(MINE_QUERY).cached is False
+
     def test_restored_content_hits_old_entries(self, service, seasonal_data):
         cold = service.run_sync(MINE_QUERY)
         assert cold.cached is False
