@@ -20,12 +20,18 @@ by reading stderr:
 Tokens of the form ``key=value`` become fields; everything else is
 joined into the row's ``label``.  When the test passes its
 pytest-benchmark fixture, the measured mean wall time is recorded as
-``seconds``.
+``seconds``.  Every row also carries a ``machine`` block (git SHA,
+python version, platform, cpu count) so numbers from different hosts
+are never silently compared.
 """
 
 from __future__ import annotations
 
+import functools
 import json
+import os
+import platform
+import subprocess
 from pathlib import Path
 from typing import Dict, Optional, Sequence
 
@@ -33,6 +39,32 @@ ROOT = Path(__file__).resolve().parent.parent
 
 #: Experiments whose JSON file has been reset during this process.
 _reset: set = set()
+
+
+@functools.lru_cache(maxsize=1)
+def machine_metadata() -> Dict[str, object]:
+    """Provenance for benchmark rows: code revision plus host facts.
+
+    Cached for the process — the git call runs once, and a checkout
+    without git (tarball, CI artifact) degrades to ``"unknown"``.
+    """
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        sha = "unknown"
+    return {
+        "git_sha": sha or "unknown",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+    }
 
 
 def bench_seconds(benchmark) -> Optional[float]:
@@ -90,6 +122,7 @@ def record_row(
     seconds = bench_seconds(benchmark) if benchmark is not None else None
     if seconds is not None:
         row["seconds"] = seconds
+    row["machine"] = machine_metadata()
     payload["rows"].append(row)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return row

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Validate a Prometheus text-format scrape of the mining service.
+
+Used by CI's service smoke job (and handy interactively)::
+
+    python scripts/check_prometheus.py http://127.0.0.1:8765/v1/metrics \
+        --require repro_mining_passes_total \
+        --require repro_scheduler_jobs_total \
+        --require repro_cache_events_total
+
+Reads the exposition from a URL (or a file path, or ``-`` for stdin),
+parses it with the library's *strict* format 0.0.4 parser — any line a
+real scraper would reject fails the check — and optionally asserts that
+named metric families are present with a nonzero total.  Exit status 0
+on success, 1 with a diagnostic on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import urllib.request
+from pathlib import Path
+from typing import Optional, Sequence
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.metrics import parse_prometheus_text  # noqa: E402
+
+
+def read_exposition(source: str, timeout: float) -> str:
+    if source == "-":
+        return sys.stdin.read()
+    if source.startswith(("http://", "https://")):
+        with urllib.request.urlopen(source, timeout=timeout) as response:
+            return response.read().decode("utf-8")
+    return Path(source).read_text(encoding="utf-8")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "source", help="metrics URL, file path, or - for stdin"
+    )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="METRIC",
+        help="fail unless this metric family is present with a nonzero total "
+        "(repeatable)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=10.0, help="HTTP timeout in seconds"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        text = read_exposition(args.source, args.timeout)
+    except OSError as error:
+        print(f"check_prometheus: cannot read {args.source}: {error}", file=sys.stderr)
+        return 1
+    try:
+        families = parse_prometheus_text(text)
+    except ValueError as error:
+        print(f"check_prometheus: malformed exposition: {error}", file=sys.stderr)
+        return 1
+
+    failures = []
+    for name in args.require:
+        samples = families.get(name)
+        if samples is None:
+            # Histograms expose _bucket/_sum/_count sample families.
+            samples = families.get(name + "_count")
+        if samples is None:
+            failures.append(f"missing metric family {name!r}")
+        elif not any(value > 0 for value in samples.values()):
+            failures.append(f"metric family {name!r} has no nonzero sample")
+    if failures:
+        for failure in failures:
+            print(f"check_prometheus: {failure}", file=sys.stderr)
+        return 1
+
+    n_samples = sum(len(samples) for samples in families.values())
+    print(
+        f"check_prometheus: OK — {len(families)} metric families, "
+        f"{n_samples} samples"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,8 @@ Quickstart::
     print(report.format(db.catalog))
 """
 
+import logging as _logging
+
 from repro.core import (
     AprioriOptions,
     AssociationRule,
@@ -85,6 +87,11 @@ from repro.temporal import (
 from repro.tml import TmlExecutor, parse_script, parse_statement
 
 __version__ = "1.0.0"
+
+# Library logging contract: modules log under the ``repro.*`` namespace
+# and the root logger stays silent unless the application configures a
+# handler (``repro.obs.configure_logging`` or ``logging.basicConfig``).
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 __all__ = [
     "AprioriOptions",

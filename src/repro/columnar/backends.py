@@ -25,6 +25,7 @@ from repro.columnar.bitmaps import VerticalIndex
 from repro.core.counting import DictCounter, HashTreeCounter, auto_strategy
 from repro.core.items import Item, Itemset
 from repro.errors import MiningParameterError
+from repro.obs.metrics import default_registry
 from repro.runtime.budget import RunMonitor
 
 #: Baskets counted between two monitor checkpoints (horizontal backends).
@@ -177,8 +178,15 @@ def resolve_backend(
 ) -> CountingBackend:
     """Resolve a strategy name (including ``"auto"``) for one pass."""
     if strategy == "auto":
-        return _REGISTRY[auto_strategy(n_candidates, k)]
-    return get_backend(strategy)
+        backend = _REGISTRY[auto_strategy(n_candidates, k)]
+    else:
+        backend = get_backend(strategy)
+    default_registry().counter(
+        "repro_counting_dispatch_total",
+        "Counting-pass dispatches, by resolved backend.",
+        labelnames=("backend",),
+    ).inc(backend=backend.name)
+    return backend
 
 
 register_backend(DictBackend())

@@ -20,6 +20,7 @@ from repro.core.transactions import Transaction, TransactionDatabase
 from repro.errors import MiningParameterError
 from repro.mining.results import ConstrainedRule, MiningReport
 from repro.mining.tasks import ConstrainedTask, TemporalFeature
+from repro.obs.trace import tracer_of
 from repro.runtime.budget import RunInterrupted, RunMonitor
 from repro.temporal.calendar_algebra import CalendarExpression, CalendarPattern
 from repro.temporal.granularity import Granularity, unit_index
@@ -118,8 +119,10 @@ def mine_with_feature(
     completed passes with ``partial=True`` (strict mode raises).
     """
     started = time.perf_counter()
+    tracer = tracer_of(monitor)
     granularity = task.effective_granularity()
-    restricted = restrict_database(database, task.feature, granularity)
+    with tracer.span("restrict"):
+        restricted = restrict_database(database, task.feature, granularity)
     description = describe_feature(task.feature)
     results: List[ConstrainedRule] = []
     if len(restricted):
@@ -132,13 +135,14 @@ def mine_with_feature(
                 transaction_reduction=options.transaction_reduction,
                 max_size=task.max_rule_size,
             )
-        frequent = apriori(
-            restricted,
-            task.thresholds.min_support,
-            options=options,
-            monitor=monitor,
-            executor=executor,
-        )
+        with tracer.span("count", task="constrained", n_transactions=len(restricted)):
+            frequent = apriori(
+                restricted,
+                task.thresholds.min_support,
+                options=options,
+                monitor=monitor,
+                executor=executor,
+            )
         rules = generate_rules(
             frequent,
             task.thresholds.min_confidence,

@@ -29,6 +29,7 @@ from repro.core.apriori import generate_candidates, _min_count
 from repro.core.items import Item, Itemset
 from repro.core.transactions import TransactionDatabase
 from repro.errors import MiningParameterError, TransactionError
+from repro.obs.trace import tracer_of
 from repro.runtime.budget import RunInterrupted, RunMonitor
 from repro.temporal.granularity import Granularity, unit_label
 
@@ -353,20 +354,24 @@ def per_unit_frequent_itemsets(
         raise MiningParameterError(f"min_units must be >= 1, got {min_units}")
     thresholds = context.local_min_counts(min_support)
     retained: Dict[Itemset, np.ndarray] = {}
+    tracer = tracer_of(monitor)
 
     try:
         # Level 1: single items in one scan.
-        item_counts = context.count_items_per_unit(monitor=monitor, executor=executor)
-        frontier: List[Itemset] = []
-        for item, row in item_counts.items():
-            frequent_units = int(np.count_nonzero(row >= thresholds))
-            if frequent_units >= min_units:
-                singleton = Itemset((item,))
-                retained[singleton] = row
-                frontier.append(singleton)
-        frontier.sort()
-        if monitor is not None:
-            monitor.complete_pass()
+        with tracer.span("pass", k=1):
+            item_counts = context.count_items_per_unit(
+                monitor=monitor, executor=executor
+            )
+            frontier: List[Itemset] = []
+            for item, row in item_counts.items():
+                frequent_units = int(np.count_nonzero(row >= thresholds))
+                if frequent_units >= min_units:
+                    singleton = Itemset((item,))
+                    retained[singleton] = row
+                    frontier.append(singleton)
+            frontier.sort()
+            if monitor is not None:
+                monitor.complete_pass()
 
         k = 2
         while frontier and (max_size == 0 or k <= max_size):
@@ -375,18 +380,19 @@ def per_unit_frequent_itemsets(
                 break
             if monitor is not None:
                 monitor.charge_candidates(len(candidates))
-            counted = context.count_candidates_per_unit(
-                candidates, counting=counting, monitor=monitor, executor=executor
-            )
-            frontier = []
-            for itemset, row in counted.items():
-                frequent_units = int(np.count_nonzero(row >= thresholds))
-                if frequent_units >= min_units:
-                    retained[itemset] = row
-                    frontier.append(itemset)
-            frontier.sort()
-            if monitor is not None:
-                monitor.complete_pass()
+            with tracer.span("pass", k=k, candidates=len(candidates)):
+                counted = context.count_candidates_per_unit(
+                    candidates, counting=counting, monitor=monitor, executor=executor
+                )
+                frontier = []
+                for itemset, row in counted.items():
+                    frequent_units = int(np.count_nonzero(row >= thresholds))
+                    if frequent_units >= min_units:
+                        retained[itemset] = row
+                        frontier.append(itemset)
+                frontier.sort()
+                if monitor is not None:
+                    monitor.complete_pass()
             k += 1
     except RunInterrupted:
         # The interrupted pass never touched ``retained``: an incomplete

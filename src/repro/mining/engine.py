@@ -14,9 +14,11 @@ fault-injection harness uses it to attach granule hooks).
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import os
 import warnings
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.columnar.backends import available_backends
 from repro.core.apriori import AprioriOptions
@@ -28,9 +30,17 @@ from repro.mining.periodicities import discover_cyclic_interleaved, discover_per
 from repro.mining.results import MiningReport
 from repro.mining.tasks import ConstrainedTask, PeriodicityTask, ValidPeriodTask
 from repro.mining.valid_periods import discover_valid_periods
+from repro.obs.logs import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.parallel.executor import ShardedExecutor
 from repro.runtime.budget import CancellationToken, RunBudget, RunMonitor
 from repro.temporal.granularity import Granularity
+
+logger = get_logger(__name__)
+
+#: ``trace=`` accepts a switch or a JSONL sink path.
+TraceSetting = Union[bool, str, "os.PathLike[str]"]
 
 
 def _make_monitor(
@@ -38,13 +48,16 @@ def _make_monitor(
     token: Optional[CancellationToken],
     monitor: Optional[RunMonitor],
     granule_hook: Optional[Callable[[int], None]],
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Optional[RunMonitor]:
     """Resolve the monitor for one run (explicit monitor wins)."""
     if monitor is not None:
         return monitor
     if budget is None and token is None and granule_hook is None:
         return None
-    return RunMonitor(budget=budget, token=token, granule_hook=granule_hook)
+    return RunMonitor(
+        budget=budget, token=token, granule_hook=granule_hook, metrics=metrics
+    )
 
 
 def _workers_from_env() -> int:
@@ -65,6 +78,11 @@ def _workers_from_env() -> int:
     text = raw.strip()
     if text.isdigit() and int(text) >= 1:
         return int(text)
+    logger.warning(
+        "ignoring malformed REPRO_WORKERS value %r "
+        "(expected an integer >= 1); defaulting to 1 worker (serial)",
+        raw,
+    )
     warnings.warn(
         f"ignoring malformed REPRO_WORKERS value {raw!r} "
         "(expected an integer >= 1); defaulting to 1 worker (serial)",
@@ -86,13 +104,27 @@ class TemporalMiner:
         database: TransactionDatabase,
         counting: str = "auto",
         workers: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: TraceSetting = False,
     ):
         self.database = database
         self.counting = counting
+        self.metrics = metrics
+        self.trace = trace
         self._contexts: Dict[Granularity, TemporalContext] = {}
         self.workers = 1
         self._executor: Optional[ShardedExecutor] = None
         self.set_workers(workers if workers is not None else _workers_from_env())
+
+    def set_trace(self, trace: TraceSetting) -> None:
+        """Toggle per-run tracing for subsequent runs.
+
+        ``True`` attaches a serialized span tree to every report's
+        ``trace`` field; a path value additionally appends one JSON line
+        per run to that file.  ``False`` (the default) keeps the hot
+        loops span-free.
+        """
+        self.trace = trace
 
     def set_workers(self, workers: int) -> None:
         """Select the worker-process count for subsequent runs.
@@ -115,7 +147,7 @@ class TemporalMiner:
         if self.workers < 2:
             return None
         if self._executor is None:
-            self._executor = ShardedExecutor(self.workers)
+            self._executor = ShardedExecutor(self.workers, metrics=self.metrics)
         return self._executor
 
     def close(self) -> None:
@@ -157,6 +189,47 @@ class TemporalMiner:
         self._contexts.clear()
 
     # ------------------------------------------------------------------
+    # per-run telemetry plumbing
+    # ------------------------------------------------------------------
+
+    def _monitor_for_run(
+        self,
+        budget: Optional[RunBudget],
+        token: Optional[CancellationToken],
+        monitor: Optional[RunMonitor],
+        granule_hook: Optional[Callable[[int], None]],
+    ) -> Tuple[Optional[RunMonitor], Optional[Tracer]]:
+        """The (monitor, tracer) pair for one run.
+
+        Tracing rides on the monitor (``monitor.trace``) because the
+        monitor is the one per-run object already threaded through every
+        counting loop; enabling tracing therefore forces a monitor even
+        when no budget or token was requested.
+        """
+        resolved = _make_monitor(
+            budget, token, monitor, granule_hook, metrics=self.metrics
+        )
+        if not self.trace:
+            return resolved, None
+        if resolved is None:
+            resolved = RunMonitor(metrics=self.metrics)
+        tracer = Tracer()
+        resolved.trace = tracer
+        return resolved, tracer
+
+    def _finalize(self, report: MiningReport, tracer: Optional[Tracer]) -> MiningReport:
+        """Attach (and optionally export) the run's trace to the report."""
+        if tracer is None:
+            return report
+        trace = tracer.to_dict()
+        report = dataclasses.replace(report, trace=trace)
+        if not isinstance(self.trace, bool):
+            record = {"task": report.task_name, **trace}
+            with open(os.fspath(self.trace), "a", encoding="utf-8") as sink:
+                sink.write(json.dumps(record, sort_keys=True) + "\n")
+        return report
+
+    # ------------------------------------------------------------------
     # the three tasks
     # ------------------------------------------------------------------
 
@@ -169,14 +242,16 @@ class TemporalMiner:
         granule_hook: Optional[Callable[[int], None]] = None,
     ) -> MiningReport:
         """Task 1 — discover the valid periods of rules."""
-        return discover_valid_periods(
+        resolved, tracer = self._monitor_for_run(budget, token, monitor, granule_hook)
+        report = discover_valid_periods(
             self.database,
             task,
             context=self.context(task.granularity),
             counting=self.counting,
-            monitor=_make_monitor(budget, token, monitor, granule_hook),
+            monitor=resolved,
             executor=self.executor,
         )
+        return self._finalize(report, tracer)
 
     def periodicities(
         self,
@@ -193,9 +268,9 @@ class TemporalMiner:
         algorithm (exact cyclic search only; see
         :func:`repro.mining.periodicities.discover_cyclic_interleaved`).
         """
-        resolved = _make_monitor(budget, token, monitor, granule_hook)
+        resolved, tracer = self._monitor_for_run(budget, token, monitor, granule_hook)
         if interleaved:
-            return discover_cyclic_interleaved(
+            report = discover_cyclic_interleaved(
                 self.database,
                 task,
                 context=self.context(task.granularity),
@@ -203,14 +278,16 @@ class TemporalMiner:
                 monitor=resolved,
                 executor=self.executor,
             )
-        return discover_periodicities(
-            self.database,
-            task,
-            context=self.context(task.granularity),
-            counting=self.counting,
-            monitor=resolved,
-            executor=self.executor,
-        )
+        else:
+            report = discover_periodicities(
+                self.database,
+                task,
+                context=self.context(task.granularity),
+                counting=self.counting,
+                monitor=resolved,
+                executor=self.executor,
+            )
+        return self._finalize(report, tracer)
 
     def with_feature(
         self,
@@ -222,11 +299,13 @@ class TemporalMiner:
         granule_hook: Optional[Callable[[int], None]] = None,
     ) -> MiningReport:
         """Task 3 — mine rules inside a given temporal feature."""
-        return mine_with_feature(
+        resolved, tracer = self._monitor_for_run(budget, token, monitor, granule_hook)
+        report = mine_with_feature(
             self.database,
             task,
             apriori_options=apriori_options,
             counting=self.counting,
-            monitor=_make_monitor(budget, token, monitor, granule_hook),
+            monitor=resolved,
             executor=self.executor,
         )
+        return self._finalize(report, tracer)

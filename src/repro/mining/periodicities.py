@@ -33,6 +33,7 @@ from repro.mining.context import PerUnitCounts, TemporalContext, per_unit_freque
 from repro.mining.results import MiningReport, PeriodicityFinding
 from repro.mining.rulespace import RuleUnitSeries, candidate_rules, enumerate_rule_splits, rule_series
 from repro.mining.tasks import PeriodicityTask
+from repro.obs.trace import tracer_of
 from repro.runtime.budget import RunInterrupted, RunMonitor
 from repro.temporal.periodicity import CalendricPeriodicity, CyclicPeriodicity
 
@@ -189,18 +190,20 @@ def discover_periodicities(
     ``partial=True`` (strict mode raises instead).
     """
     started = time.perf_counter()
+    tracer = tracer_of(monitor)
     if context is None:
         context = TemporalContext(database, task.granularity)
     if counts is None:
-        counts = per_unit_frequent_itemsets(
-            context,
-            task.thresholds.min_support,
-            min_units=task.min_repetitions,
-            max_size=task.max_rule_size,
-            counting=counting,
-            monitor=monitor,
-            executor=executor,
-        )
+        with tracer.span("count", task="periodicities"):
+            counts = per_unit_frequent_itemsets(
+                context,
+                task.thresholds.min_support,
+                min_units=task.min_repetitions,
+                max_size=task.max_rule_size,
+                counting=counting,
+                monitor=monitor,
+                executor=executor,
+            )
     series_list = candidate_rules(
         counts,
         task.thresholds.min_confidence,
@@ -211,11 +214,12 @@ def discover_periodicities(
     # Detection over already-counted data still runs after a counting
     # stop (it is the partial result); only the rule cap applies here.
     try:
-        for series in series_list:
-            for finding in _findings_for_series(series, context, task):
-                if monitor is not None:
-                    monitor.charge_rule()
-                findings.append(finding)
+        with tracer.span("detect", candidates=len(series_list)):
+            for series in series_list:
+                for finding in _findings_for_series(series, context, task):
+                    if monitor is not None:
+                        monitor.charge_rule()
+                    findings.append(finding)
     except RunInterrupted:
         pass
     elapsed = time.perf_counter() - started
@@ -297,22 +301,24 @@ def discover_cyclic_interleaved(
 
     counts: Dict[Itemset, np.ndarray] = {}
     itemset_cycles: Dict[Itemset, Set[Cycle]] = {}
+    tracer = tracer_of(monitor)
 
     try:
         # Level 1: one full scan (no skipping possible before cycles exist).
-        for item, row in context.count_items_per_unit(
-            monitor=monitor, executor=executor
-        ).items():
-            singleton = Itemset((item,))
-            support_valid = row >= thresholds
-            cycles = _sequence_cycles_exact(
-                support_valid, first_unit, task.max_period, task.min_repetitions
-            )
-            if cycles:
-                counts[singleton] = row
-                itemset_cycles[singleton] = cycles
-        if monitor is not None:
-            monitor.complete_pass()
+        with tracer.span("pass", k=1):
+            for item, row in context.count_items_per_unit(
+                monitor=monitor, executor=executor
+            ).items():
+                singleton = Itemset((item,))
+                support_valid = row >= thresholds
+                cycles = _sequence_cycles_exact(
+                    support_valid, first_unit, task.max_period, task.min_repetitions
+                )
+                if cycles:
+                    counts[singleton] = row
+                    itemset_cycles[singleton] = cycles
+            if monitor is not None:
+                monitor.complete_pass()
 
         frontier = sorted(itemset_cycles)
         k = 2
@@ -345,13 +351,14 @@ def discover_cyclic_interleaved(
                 for candidate, cycles in candidate_cycles.items()
             }
             ordered = list(candidate_cycles)
-            per_candidate_counts = context.count_candidates_masked(
-                ordered,
-                np.stack([candidate_masks[candidate] for candidate in ordered]),
-                counting=counting,
-                monitor=monitor,
-                executor=executor,
-            )
+            with tracer.span("pass", k=k, candidates=len(ordered)):
+                per_candidate_counts = context.count_candidates_masked(
+                    ordered,
+                    np.stack([candidate_masks[candidate] for candidate in ordered]),
+                    counting=counting,
+                    monitor=monitor,
+                    executor=executor,
+                )
             # Re-derive surviving cycles from actual counts.  An
             # interruption above leaves this level uncommitted, so
             # ``counts``/``itemset_cycles`` only ever hold exact passes.

@@ -8,7 +8,7 @@ with the temporal feature found and the measures that justify it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.items import ItemCatalog
 from repro.core.rulegen import AssociationRule, RuleKey
@@ -142,6 +142,9 @@ class MiningReport:
             the results are a sound subset of the full run's.
         diagnostics: what the run did and why it stopped (populated
             whenever the run was monitored, partial or not).
+        trace: the serialized span tree for the run (populated only
+            when the miner ran with tracing enabled; see
+            :mod:`repro.obs.trace`).
     """
 
     task_name: str
@@ -151,6 +154,7 @@ class MiningReport:
     elapsed_seconds: float
     partial: bool = False
     diagnostics: Optional[RunDiagnostics] = None
+    trace: Optional[Dict] = None
 
     def __len__(self) -> int:
         return len(self.results)

@@ -27,6 +27,7 @@ from repro.mining.context import PerUnitCounts, TemporalContext, per_unit_freque
 from repro.mining.results import MiningReport, ValidPeriod, ValidPeriodRule
 from repro.mining.rulespace import RuleUnitSeries, candidate_rules
 from repro.mining.tasks import ValidPeriodTask
+from repro.obs.trace import tracer_of
 from repro.runtime.budget import RunInterrupted, RunMonitor
 from repro.temporal.interval import TimeInterval
 
@@ -166,18 +167,20 @@ def discover_valid_periods(
         A :class:`MiningReport` of :class:`ValidPeriodRule` records.
     """
     started = time.perf_counter()
+    tracer = tracer_of(monitor)
     if context is None:
         context = TemporalContext(database, task.granularity)
     if counts is None:
-        counts = per_unit_frequent_itemsets(
-            context,
-            task.thresholds.min_support,
-            min_units=task.min_valid_units,
-            max_size=task.max_rule_size,
-            counting=counting,
-            monitor=monitor,
-            executor=executor,
-        )
+        with tracer.span("count", task="valid_periods"):
+            counts = per_unit_frequent_itemsets(
+                context,
+                task.thresholds.min_support,
+                min_units=task.min_valid_units,
+                max_size=task.max_rule_size,
+                counting=counting,
+                monitor=monitor,
+                executor=executor,
+            )
     series_list = candidate_rules(
         counts,
         task.thresholds.min_confidence,
@@ -190,20 +193,21 @@ def discover_valid_periods(
     # the partial result the stopped run has to show.  Only the rule cap
     # still applies here.
     try:
-        for series in series_list:
-            periods = periods_for_series(
-                series, context, task.min_frequency, task.min_coverage
-            )
-            if periods:
-                if monitor is not None:
-                    monitor.charge_rule()
-                findings.append(
-                    ValidPeriodRule(
-                        key=series.key,
-                        granularity=context.granularity,
-                        periods=tuple(periods),
-                    )
+        with tracer.span("emit", candidates=len(series_list)):
+            for series in series_list:
+                periods = periods_for_series(
+                    series, context, task.min_frequency, task.min_coverage
                 )
+                if periods:
+                    if monitor is not None:
+                        monitor.charge_rule()
+                    findings.append(
+                        ValidPeriodRule(
+                            key=series.key,
+                            granularity=context.granularity,
+                            periods=tuple(periods),
+                        )
+                    )
     except RunInterrupted:
         pass
     elapsed = time.perf_counter() - started

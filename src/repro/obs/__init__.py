@@ -1,0 +1,63 @@
+"""Observability substrate: metrics, traces and logging conventions.
+
+``repro.obs`` is stdlib-only and imports nothing from the rest of the
+package — it sits at the very bottom of the dependency graph so the
+runtime hot loops (:mod:`repro.runtime.budget`), the columnar backends,
+the parallel executor and the service can all instrument through it
+without cycles.
+
+Three pieces (see ``docs/observability.md`` for the full catalogue):
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — thread-safe counters,
+  gauges and fixed-bucket histograms with labels; a process-global
+  :func:`~repro.obs.metrics.default_registry` plus injectable instances
+  for tests; Prometheus text-format 0.0.4 exposition.
+* :class:`~repro.obs.trace.Tracer` — per-run span trees with monotonic
+  timings, attached to reports/jobs as a serializable ``trace`` section.
+* :func:`~repro.obs.logs.get_logger` / ``configure_logging`` — stdlib
+  ``logging`` under the ``repro.*`` namespace, ``NullHandler`` on the
+  library root.
+"""
+
+from repro.obs.logs import configure_logging, get_logger
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    PROMETHEUS_CONTENT_TYPE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    default_registry,
+    parse_prometheus_text,
+    set_default_registry,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    format_trace,
+    tracer_of,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "PROMETHEUS_CONTENT_TYPE",
+    "Span",
+    "Tracer",
+    "configure_logging",
+    "default_registry",
+    "format_trace",
+    "get_logger",
+    "parse_prometheus_text",
+    "set_default_registry",
+    "tracer_of",
+]

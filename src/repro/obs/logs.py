@@ -1,0 +1,57 @@
+"""Logging conventions for the ``repro`` package.
+
+The library follows the stdlib contract for libraries: every module logs
+through a logger in the ``repro.*`` namespace, the root ``repro`` logger
+carries a :class:`logging.NullHandler` (installed in
+:mod:`repro.__init__`), and nothing below the CLI ever configures
+handlers or levels.  Applications opt in with :func:`configure_logging`
+(what ``repro-serve --log-level`` calls) or plain
+``logging.basicConfig``.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["ROOT_LOGGER_NAME", "get_logger", "configure_logging"]
+
+#: The library's root logger name.
+ROOT_LOGGER_NAME = "repro"
+
+_LEVELS = ("critical", "error", "warning", "info", "debug")
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro.*`` namespace.
+
+    Pass ``__name__`` from inside the package (already namespaced), or a
+    bare suffix like ``"service"`` from scripts.
+    """
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(
+    level: str = "warning", stream=None
+) -> logging.Handler:
+    """Attach a stream handler to the ``repro`` root logger.
+
+    For applications (the service CLI, benchmarks); the library itself
+    never calls this.  Returns the handler so callers can remove it.
+    Raises :class:`ValueError` on an unknown level name.
+    """
+    normalized = level.strip().lower()
+    if normalized not in _LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {', '.join(_LEVELS)}"
+        )
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s")
+    )
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.addHandler(handler)
+    root.setLevel(getattr(logging, normalized.upper()))
+    return handler

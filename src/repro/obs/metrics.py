@@ -1,0 +1,467 @@
+"""A thread-safe metrics registry with Prometheus text exposition.
+
+The telemetry substrate of the system: counters, gauges and fixed-bucket
+histograms, each optionally split by a small set of labels, collected in
+a :class:`MetricsRegistry`.  One process-global :func:`default_registry`
+serves production code; tests inject fresh instances to assert exact
+counter deltas in isolation.
+
+Design constraints (and why):
+
+* **Stdlib only, imports nothing from the rest of ``repro``** — the
+  runtime's hot loops (:mod:`repro.runtime.budget`) import this module,
+  so it must sit at the very bottom of the dependency graph.
+* **Cheap instruments** — an ``inc()`` is one lock acquisition and one
+  float add.  Hot mining loops do not even pay that: they accumulate
+  locally and flush deltas at pass boundaries (see ``RunMonitor``).
+* **Idempotent registration** — ``registry.counter(name, ...)`` returns
+  the existing instrument when one is already registered under ``name``
+  (and raises :class:`MetricError` on a kind/label mismatch), so call
+  sites can look instruments up inline without module-level globals.
+* **Prometheus text format 0.0.4** — :meth:`MetricsRegistry.render_prometheus`
+  emits the exact exposition format scraped at ``GET /v1/metrics``;
+  :func:`parse_prometheus_text` is the strict parser the tests and the
+  CI checker script validate scrapes with.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "DEFAULT_BUCKETS",
+    "MetricError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "set_default_registry",
+    "parse_prometheus_text",
+]
+
+#: The Content-Type of a text-format 0.0.4 exposition response.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Default latency buckets (seconds) — spans sub-millisecond granule
+#: work up to multi-second mining passes.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class MetricError(ValueError):
+    """Invalid metric name/labels, or conflicting re-registration."""
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus text format expects."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    as_int = int(value)
+    if value == as_int and abs(value) < 1e15:
+        return str(as_int)
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _render_labels(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    )
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Shared machinery: name/label validation and per-child storage."""
+
+    kind = ""
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str]):
+        if not _NAME_RE.match(name):
+            raise MetricError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise MetricError(f"invalid label name {label!r} on {name!r}")
+        if len(set(labelnames)) != len(labelnames):
+            raise MetricError(f"duplicate label names on {name!r}")
+        self.name = name
+        self.help = help
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        self._lock = threading.Lock()
+        # label-value tuple -> child state; () is the unlabelled child.
+        # Value type varies per kind (float or _HistogramChild), so Any.
+        self._children: "OrderedDict[Tuple[str, ...], Any]" = OrderedDict()
+
+    def _key(self, labels: Mapping[str, object]) -> Tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            expected = ", ".join(self.labelnames) or "(none)"
+            got = ", ".join(sorted(labels)) or "(none)"
+            raise MetricError(
+                f"metric {self.name!r} takes labels [{expected}], got [{got}]"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def samples(self) -> List[Tuple[str, Tuple[str, ...], Tuple[str, ...], float]]:
+        """Flat ``(sample_name, labelnames, labelvalues, value)`` rows."""
+        raise NotImplementedError
+
+    def snapshot_value(self, child) -> object:
+        raise NotImplementedError
+
+    def snapshot(self) -> object:
+        """A JSON-able view: a scalar, or ``{labelrepr: scalar}``."""
+        with self._lock:
+            if not self.labelnames:
+                child = self._children.get(())
+                return self.snapshot_value(child) if child is not None else self._zero()
+            return {
+                ",".join(
+                    f"{name}={value}"
+                    for name, value in zip(self.labelnames, key)
+                ): self.snapshot_value(child)
+                for key, child in self._children.items()
+            }
+
+    def _zero(self) -> object:
+        return 0
+
+
+class Counter(_Metric):
+    """A monotonically increasing counter."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise MetricError(f"counter {self.name!r} cannot decrease")
+        key = self._key(labels)
+        with self._lock:
+            self._children[key] = self._children.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return float(self._children.get(key, 0.0))
+
+    def samples(self):
+        with self._lock:
+            return [
+                (self.name, self.labelnames, key, float(value))
+                for key, value in self._children.items()
+            ]
+
+    def snapshot_value(self, child) -> float:
+        return float(child)
+
+    def _zero(self) -> float:
+        return 0.0
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depths, running counts)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._children[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._children[key] = self._children.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return float(self._children.get(key, 0.0))
+
+    def samples(self):
+        with self._lock:
+            return [
+                (self.name, self.labelnames, key, float(value))
+                for key, value in self._children.items()
+            ]
+
+    def snapshot_value(self, child) -> float:
+        return float(child)
+
+    def _zero(self) -> float:
+        return 0.0
+
+
+class _HistogramChild:
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, n_buckets: int):
+        self.bucket_counts = [0] * n_buckets
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """A fixed-bucket cumulative histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help, labelnames)
+        bounds = [float(b) for b in buckets]
+        if not bounds or sorted(bounds) != bounds or len(set(bounds)) != len(bounds):
+            raise MetricError(
+                f"histogram {name!r} buckets must be strictly increasing"
+            )
+        if bounds[-1] == math.inf:
+            bounds = bounds[:-1]
+        self.buckets: Tuple[float, ...] = tuple(bounds)
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        value = float(value)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = _HistogramChild(len(self.buckets))
+                self._children[key] = child
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    child.bucket_counts[index] += 1
+            child.sum += value
+            child.count += 1
+
+    def samples(self):
+        rows = []
+        with self._lock:
+            for key, child in self._children.items():
+                # observe() increments every admitting bucket, so the
+                # stored counts are already cumulative per bound.
+                for bound, bucket_count in zip(self.buckets, child.bucket_counts):
+                    rows.append(
+                        (
+                            self.name + "_bucket",
+                            self.labelnames + ("le",),
+                            key + (_format_value(bound),),
+                            float(bucket_count),
+                        )
+                    )
+                rows.append(
+                    (
+                        self.name + "_bucket",
+                        self.labelnames + ("le",),
+                        key + ("+Inf",),
+                        float(child.count),
+                    )
+                )
+                rows.append((self.name + "_sum", self.labelnames, key, child.sum))
+                rows.append(
+                    (self.name + "_count", self.labelnames, key, float(child.count))
+                )
+        return rows
+
+    def snapshot_value(self, child) -> Dict[str, float]:
+        return {"count": float(child.count), "sum": child.sum}
+
+    def _zero(self) -> Dict[str, float]:
+        return {"count": 0.0, "sum": 0.0}
+
+
+class MetricsRegistry:
+    """A named collection of instruments, renderable as an exposition.
+
+    Instrument accessors are *get-or-create*: the first call registers,
+    later calls with the same name return the same object (a mismatched
+    kind or label set raises :class:`MetricError` — two call sites that
+    disagree about a metric are a bug, not a race to be won).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: "OrderedDict[str, _Metric]" = OrderedDict()
+
+    def _get_or_create(self, cls, name: str, help: str, labelnames, **kwargs):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help, labelnames, **kwargs)
+                self._metrics[name] = metric
+                return metric
+        if type(metric) is not cls:
+            raise MetricError(
+                f"metric {name!r} is already registered as a {metric.kind}"
+            )
+        if tuple(labelnames) != metric.labelnames:
+            raise MetricError(
+                f"metric {name!r} is already registered with labels "
+                f"{list(metric.labelnames)}, got {list(labelnames)}"
+            )
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    def collect(self) -> Iterator[_Metric]:
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return iter(metrics)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able registry state (merged into ``GET /v1/status``)."""
+        return {metric.name: metric.snapshot() for metric in self.collect()}
+
+    def render_prometheus(self) -> str:
+        """The registry as Prometheus text exposition format 0.0.4."""
+        lines: List[str] = []
+        for metric in self.collect():
+            lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for sample_name, labelnames, labelvalues, value in metric.samples():
+                lines.append(
+                    f"{sample_name}{_render_labels(labelnames, labelvalues)} "
+                    f"{_format_value(value)}"
+                )
+        return "\n".join(lines) + "\n"
+
+
+_default_lock = threading.Lock()
+_default: Optional[MetricsRegistry] = None
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-global registry (created on first use)."""
+    global _default
+    with _default_lock:
+        if _default is None:
+            _default = MetricsRegistry()
+        return _default
+
+
+def set_default_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Swap the process-global registry (tests); returns the new one."""
+    global _default
+    with _default_lock:
+        _default = registry if registry is not None else MetricsRegistry()
+        return _default
+
+
+# ----------------------------------------------------------------------
+# exposition parsing (tests + CI checker)
+# ----------------------------------------------------------------------
+
+# The label block is matched pair-by-pair (not ``[^}]*``): quoted label
+# values may legally contain ``{``/``}`` (e.g. a ``/v1/jobs/{id}`` route).
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{(?:\s*[a-zA-Z_][a-zA-Z0-9_]*\s*=\s*\"(?:[^\"\\]|\\.)*\"\s*,?)*\s*\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<timestamp>-?[0-9]+))?$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+def _parse_value(text: str) -> float:
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)  # raises ValueError on garbage
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[str, float]]:
+    """Strictly parse a text-format 0.0.4 exposition.
+
+    Returns ``{metric_name: {label_repr: value}}`` where ``label_repr``
+    is the rendered ``{...}`` label block (empty string when unlabelled).
+    Raises :class:`ValueError` on any malformed line — the point of this
+    parser is to *fail* when the endpoint emits something a real scraper
+    would reject.
+    """
+    samples: Dict[str, Dict[str, float]] = {}
+    typed: Dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"
+                ):
+                    raise ValueError(f"line {lineno}: malformed TYPE line: {line!r}")
+                if parts[2] in typed:
+                    raise ValueError(
+                        f"line {lineno}: duplicate TYPE for {parts[2]!r}"
+                    )
+                typed[parts[2]] = parts[3]
+            elif len(parts) >= 2 and parts[1] == "HELP":
+                if len(parts) < 3:
+                    raise ValueError(f"line {lineno}: malformed HELP line: {line!r}")
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample line: {line!r}")
+        labels = match.group("labels") or ""
+        if labels:
+            consumed = 0
+            body = labels[1:-1]
+            for pair in _LABEL_PAIR_RE.finditer(body):
+                consumed = pair.end()
+            if body.strip() and consumed < len(body.rstrip()):
+                raise ValueError(f"line {lineno}: malformed label block: {labels!r}")
+        value = _parse_value(match.group("value"))
+        samples.setdefault(match.group("name"), {})[labels] = value
+    return samples

@@ -43,11 +43,16 @@ import numpy as np
 
 from repro.core.items import Itemset
 from repro.errors import MiningParameterError
+from repro.obs.logs import get_logger
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.trace import tracer_of
 from repro.parallel import worker
 from repro.parallel.sharding import ShardSpec, plan_shards, plan_transaction_shards
 from repro.runtime.budget import RunInterrupted, RunMonitor
 
 _token_counter = itertools.count(1)
+
+logger = get_logger(__name__)
 
 
 def default_workers() -> int:
@@ -79,7 +84,13 @@ class ShardedExecutor:
             :class:`~repro.runtime.faultinject.WorkerFaultPlan`).
     """
 
-    def __init__(self, workers: int, fault_plan=None, start_method: Optional[str] = None):
+    def __init__(
+        self,
+        workers: int,
+        fault_plan=None,
+        start_method: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         if workers < 1:
             raise MiningParameterError(f"workers must be >= 1, got {workers}")
         self.workers = workers
@@ -93,6 +104,7 @@ class ShardedExecutor:
         self._dispatched = 0
         #: Wall-clock accounting for the benchmark suite.
         self.stats: Dict[str, float] = {"parallel_passes": 0.0, "merge_seconds": 0.0}
+        self._metrics = metrics if metrics is not None else default_registry()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -175,6 +187,15 @@ class ShardedExecutor:
     def _degrade(self, error: BaseException) -> None:
         reason = f"{type(error).__name__}: {error}"
         self.degraded_reason = reason
+        self._metrics.counter(
+            "repro_parallel_degrades_total",
+            "Worker failures that degraded the executor to serial.",
+        ).inc()
+        logger.warning(
+            "parallel executor degraded to serial after a worker failure "
+            "(%s); re-counting the pass serially",
+            reason,
+        )
         warnings.warn(
             f"parallel executor degraded to serial after a worker failure "
             f"({reason}); re-counting the pass serially",
@@ -218,38 +239,59 @@ class ShardedExecutor:
         """
         token = self._attach(encoded)
         pool = self._ensure_pool()
-        futures: List[Future] = []
-        for shard in shards:
-            task = worker.ShardTask(
-                token=token,
-                index=shard.index,
-                unit_bounds=np.ascontiguousarray(
-                    bounds[shard.unit_lo : shard.unit_hi + 1]
-                ),
-                fault=self._next_fault(),
-            )
-            futures.append(submit(pool, task, shard))
-        results: List[np.ndarray] = []
-        try:
-            for future in futures:
-                results.append(future.result())
-                if monitor is not None:
-                    monitor.checkpoint()
-        except RunInterrupted:
-            self._drain(futures)
-            raise
-        except Exception as error:
-            self._drain(futures)
-            self._degrade(error)
-            return None
-        if monitor is not None and tick_granules:
-            # Per-shard granule checkpoints, committed in shard order so
-            # the pass log can never interleave; a stop here discards
-            # the pass exactly like a serial mid-scan stop would.
+        with tracer_of(monitor).span(
+            "parallel_pass", shards=len(shards), workers=self.workers
+        ):
+            futures: List[Future] = []
             for shard in shards:
-                monitor.commit_granule_batch(range(shard.unit_lo, shard.unit_hi))
-        self.stats["parallel_passes"] += 1
+                task = worker.ShardTask(
+                    token=token,
+                    index=shard.index,
+                    unit_bounds=np.ascontiguousarray(
+                        bounds[shard.unit_lo : shard.unit_hi + 1]
+                    ),
+                    fault=self._next_fault(),
+                )
+                futures.append(submit(pool, task, shard))
+            results: List[np.ndarray] = []
+            try:
+                for future in futures:
+                    results.append(future.result())
+                    if monitor is not None:
+                        monitor.checkpoint()
+            except RunInterrupted:
+                self._drain(futures)
+                raise
+            except Exception as error:
+                self._drain(futures)
+                self._degrade(error)
+                return None
+            if monitor is not None and tick_granules:
+                # Per-shard granule checkpoints, committed in shard order so
+                # the pass log can never interleave; a stop here discards
+                # the pass exactly like a serial mid-scan stop would.
+                for shard in shards:
+                    monitor.commit_granule_batch(range(shard.unit_lo, shard.unit_hi))
+        self._record_pass(len(shards))
         return results
+
+    def _record_pass(self, n_shards: int) -> None:
+        self.stats["parallel_passes"] += 1
+        self._metrics.counter(
+            "repro_parallel_passes_total",
+            "Counting passes executed on the sharded process pool.",
+        ).inc()
+        self._metrics.counter(
+            "repro_parallel_shards_total",
+            "Shards dispatched to the worker pool across passes.",
+        ).inc(n_shards)
+
+    def _record_merge(self, seconds: float) -> None:
+        self.stats["merge_seconds"] += seconds
+        self._metrics.histogram(
+            "repro_parallel_merge_seconds",
+            "Per-pass wall time merging shard count matrices.",
+        ).observe(seconds)
 
     def count_items(
         self, encoded, bounds: np.ndarray, monitor: Optional[RunMonitor] = None
@@ -275,7 +317,7 @@ class ShardedExecutor:
             return None
         started = time.perf_counter()
         merged = np.hstack(results)
-        self.stats["merge_seconds"] += time.perf_counter() - started
+        self._record_merge(time.perf_counter() - started)
         return merged
 
     def count_candidates(
@@ -327,7 +369,7 @@ class ShardedExecutor:
             return None
         started = time.perf_counter()
         merged = np.hstack(results)
-        self.stats["merge_seconds"] += time.perf_counter() - started
+        self._record_merge(time.perf_counter() - started)
         return merged
 
     def count_flat(
@@ -361,32 +403,37 @@ class ShardedExecutor:
         # Re-map each flat shard to a single-unit bounds pair.
         token = self._attach(encoded)
         pool = self._ensure_pool()
-        futures: List[Future] = []
-        for shard in shards:
-            task = worker.ShardTask(
-                token=token,
-                index=shard.index,
-                unit_bounds=np.array([shard.pos_lo, shard.pos_hi], dtype=np.int64),
-                fault=self._next_fault(),
-            )
-            futures.append(submit(pool, task, shard))
-        results: List[np.ndarray] = []
-        try:
-            for future in futures:
-                results.append(future.result())
-                if monitor is not None:
-                    monitor.checkpoint()
-        except RunInterrupted:
-            self._drain(futures)
-            raise
-        except Exception as error:
-            self._drain(futures)
-            self._degrade(error)
-            return None
-        self.stats["parallel_passes"] += 1
+        with tracer_of(monitor).span(
+            "parallel_pass", shards=len(shards), workers=self.workers, flat=True
+        ):
+            futures: List[Future] = []
+            for shard in shards:
+                task = worker.ShardTask(
+                    token=token,
+                    index=shard.index,
+                    unit_bounds=np.array(
+                        [shard.pos_lo, shard.pos_hi], dtype=np.int64
+                    ),
+                    fault=self._next_fault(),
+                )
+                futures.append(submit(pool, task, shard))
+            results: List[np.ndarray] = []
+            try:
+                for future in futures:
+                    results.append(future.result())
+                    if monitor is not None:
+                        monitor.checkpoint()
+            except RunInterrupted:
+                self._drain(futures)
+                raise
+            except Exception as error:
+                self._drain(futures)
+                self._degrade(error)
+                return None
+        self._record_pass(len(shards))
         started = time.perf_counter()
         merged = np.hstack(results).sum(axis=1)
-        self.stats["merge_seconds"] += time.perf_counter() - started
+        self._record_merge(time.perf_counter() - started)
         return merged
 
     def __repr__(self) -> str:

@@ -30,14 +30,21 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import Callable, Deque, Iterable, List, Optional, Tuple
 
 from repro.errors import (
     BudgetExceededError,
     MiningCancelledError,
     MiningParameterError,
 )
+from repro.obs.metrics import MetricsRegistry, default_registry
+
+#: Default cap on the per-run granule log (see ``RunMonitor``).  Long
+#: service-resident runs keep at most this many entries; older entries
+#: are dropped (and counted) rather than growing without bound.
+DEFAULT_GRANULE_LOG_CAP = 65536
 
 #: Stop reasons recorded by :class:`RunMonitor`.
 STOP_CANCELLED = "cancelled"
@@ -191,6 +198,8 @@ class RunMonitor:
         "budget",
         "token",
         "granule_hook",
+        "trace",
+        "max_granule_log",
         "_clock",
         "_started",
         "_deadline",
@@ -202,6 +211,12 @@ class RunMonitor:
         "_lock",
         "_staged_batches",
         "_granule_log",
+        "_granule_dropped",
+        "_metrics",
+        "_flushed_passes",
+        "_flushed_granules",
+        "_flushed_candidates",
+        "_flushed_rules",
     )
 
     def __init__(
@@ -210,10 +225,22 @@ class RunMonitor:
         token: Optional[CancellationToken] = None,
         clock: Callable[[], float] = time.monotonic,
         granule_hook: Optional[Callable[[int], None]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        max_granule_log: Optional[int] = DEFAULT_GRANULE_LOG_CAP,
     ):
+        if max_granule_log is not None and max_granule_log < 1:
+            raise MiningParameterError(
+                f"max_granule_log must be >= 1 or None, got {max_granule_log}"
+            )
         self.budget = budget if budget is not None else RunBudget()
         self.token = token
         self.granule_hook = granule_hook
+        #: Optional :class:`~repro.obs.trace.Tracer` riding on the run —
+        #: the monitor is the one per-run object every hot loop already
+        #: threads through, so the tracer travels on it (see
+        #: :func:`repro.obs.trace.tracer_of`).
+        self.trace = None
+        self.max_granule_log = max_granule_log
         self._clock = clock
         self._started = clock()
         self._deadline = (
@@ -233,7 +260,16 @@ class RunMonitor:
         # finishes first.
         self._lock = threading.RLock()
         self._staged_batches: List[Tuple[int, List[int]]] = []
-        self._granule_log: List[Tuple[int, int]] = []
+        self._granule_log: Deque[Tuple[int, int]] = deque()
+        self._granule_dropped = 0
+        # Registry counters are flushed as *deltas* at pass boundaries
+        # (and at diagnostics()), never per granule — the hot loops pay
+        # zero registry locking.
+        self._metrics = metrics if metrics is not None else default_registry()
+        self._flushed_passes = 0
+        self._flushed_granules = 0
+        self._flushed_candidates = 0
+        self._flushed_rules = 0
 
     # ------------------------------------------------------------------
     # observation
@@ -257,6 +293,11 @@ class RunMonitor:
     def _stop(self, reason: str) -> "RunInterrupted":
         if self._stop_reason is None:
             self._stop_reason = reason
+            self._metrics.counter(
+                "repro_mining_stops_total",
+                "Mining runs stopped early, by stop reason.",
+                labelnames=("reason",),
+            ).inc(reason=reason)
         return RunInterrupted(self._stop_reason)
 
     def checkpoint(self) -> None:
@@ -340,7 +381,12 @@ class RunMonitor:
             ]
             for batch in sorted(batches, key=lambda b: b[0]):
                 self._granule_log.extend((finished, offset) for offset in batch)
+            if self.max_granule_log is not None:
+                while len(self._granule_log) > self.max_granule_log:
+                    self._granule_log.popleft()
+                    self._granule_dropped += 1
             self._passes += 1
+            self._flush_metrics()
 
     def pass_granule_log(self) -> Tuple[Tuple[int, int], ...]:
         """Ordered ``(pass, granule_offset)`` entries of completed passes.
@@ -349,15 +395,62 @@ class RunMonitor:
         an interrupted pass's granules are never flushed (the pass was
         discarded), and concurrent shard batches are sorted at the pass
         boundary.
+
+        The log is a ring buffer capped at ``max_granule_log`` entries:
+        the *newest* entries are retained, and
+        :attr:`granule_log_dropped` counts how many older ones were
+        discarded (0 for every run that fits the cap).
         """
         with self._lock:
             return tuple(self._granule_log)
+
+    @property
+    def granule_log_dropped(self) -> int:
+        """Entries evicted from the capped granule log (oldest first)."""
+        with self._lock:
+            return self._granule_dropped
+
+    def _flush_metrics(self) -> None:
+        """Push accumulated deltas into the registry (lock held)."""
+        registry = self._metrics
+        delta = self._passes - self._flushed_passes
+        if delta:
+            registry.counter(
+                "repro_mining_passes_total",
+                "Completed level-wise mining passes.",
+            ).inc(delta)
+            self._flushed_passes = self._passes
+        delta = self._granules - self._flushed_granules
+        if delta:
+            registry.counter(
+                "repro_mining_granules_total",
+                "Time units (granules) scanned by mining passes.",
+            ).inc(delta)
+            self._flushed_granules = self._granules
+        delta = self._candidates - self._flushed_candidates
+        if delta:
+            registry.counter(
+                "repro_mining_candidates_total",
+                "Candidate itemsets generated across passes.",
+            ).inc(delta)
+            self._flushed_candidates = self._candidates
+        delta = self._rules - self._flushed_rules
+        if delta:
+            registry.counter(
+                "repro_mining_rules_total",
+                "Findings emitted by mining runs.",
+            ).inc(delta)
+            self._flushed_rules = self._rules
 
     # ------------------------------------------------------------------
     # outcome
     # ------------------------------------------------------------------
 
     def diagnostics(self) -> RunDiagnostics:
+        with self._lock:
+            # End-of-run flush: rules emitted after the last pass (and
+            # an interrupted run's tail) still reach the registry.
+            self._flush_metrics()
         return RunDiagnostics(
             stop_reason=self._stop_reason,
             passes_completed=self._passes,

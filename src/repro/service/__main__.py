@@ -21,6 +21,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.obs.logs import configure_logging
 from repro.runtime.budget import RunBudget
 from repro.service.core import MiningService, ServiceConfig
 from repro.service.http import MiningHTTPServer
@@ -76,11 +77,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
+    parser.add_argument(
+        "--log-level",
+        default="warning",
+        choices=("debug", "info", "warning", "error", "critical"),
+        help="threshold for the repro.* loggers on stderr",
+    )
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(args.log_level)
     default_budget = (
         RunBudget(max_seconds=args.budget_time) if args.budget_time else None
     )
@@ -102,7 +110,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     print(f"repro mining service listening on {server.url}", file=sys.stderr)
     print("endpoints: POST /v1/query  GET /v1/jobs/{id}  "
-          "DELETE /v1/jobs/{id}  GET /v1/status", file=sys.stderr)
+          "DELETE /v1/jobs/{id}  GET /v1/status  GET /v1/metrics",
+          file=sys.stderr)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -35,6 +35,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Mapping, Optional
 
+from repro.obs.metrics import MetricsRegistry, default_registry
+
 
 def cache_key(
     canonical_tml: str,
@@ -91,6 +93,7 @@ class ResultCache:
         max_entries: int = 256,
         ttl_seconds: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
@@ -102,6 +105,15 @@ class ResultCache:
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
         self._lock = threading.Lock()
         self._stats = CacheStats()
+        registry = metrics if metrics is not None else default_registry()
+        self._m_events = registry.counter(
+            "repro_cache_events_total",
+            "Result-cache activity, by event kind.",
+            labelnames=("event",),
+        )
+        self._m_entries = registry.gauge(
+            "repro_cache_entries", "Entries currently resident in the result cache."
+        )
 
     def __len__(self) -> int:
         with self._lock:
@@ -113,6 +125,7 @@ class ResultCache:
             entry = self._entries.get(key)
             if entry is None:
                 self._stats.misses += 1
+                self._m_events.inc(event="miss")
                 return None
             if (
                 self.ttl_seconds is not None
@@ -121,10 +134,14 @@ class ResultCache:
                 del self._entries[key]
                 self._stats.expirations += 1
                 self._stats.misses += 1
+                self._m_events.inc(event="expiration")
+                self._m_events.inc(event="miss")
+                self._m_entries.set(len(self._entries))
                 return None
             self._entries.move_to_end(key)
             entry.hits += 1
             self._stats.hits += 1
+            self._m_events.inc(event="hit")
             # Hand out a copy: result dicts live on Job.result and get
             # serialized/annotated downstream, and an in-place mutation
             # there must never reach back into the shared entry.
@@ -142,9 +159,12 @@ class ResultCache:
                 created_at=self._clock(),
             )
             self._stats.puts += 1
+            self._m_events.inc(event="put")
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self._stats.evictions += 1
+                self._m_events.inc(event="eviction")
+            self._m_entries.set(len(self._entries))
 
     def invalidate_fingerprint(self, dataset_fingerprint: str) -> int:
         """Drop exactly the entries cached under one dataset fingerprint.
@@ -162,6 +182,9 @@ class ResultCache:
             for key in doomed:
                 del self._entries[key]
             self._stats.invalidations += len(doomed)
+            if doomed:
+                self._m_events.inc(len(doomed), event="invalidation")
+                self._m_entries.set(len(self._entries))
             return len(doomed)
 
     def clear(self) -> int:
@@ -170,6 +193,9 @@ class ResultCache:
             n = len(self._entries)
             self._entries.clear()
             self._stats.invalidations += n
+            if n:
+                self._m_events.inc(n, event="invalidation")
+            self._m_entries.set(0)
             return n
 
     def stats(self) -> Dict[str, int]:

@@ -65,6 +65,17 @@ class ServiceClient:
         except urllib.error.URLError as error:
             raise ServiceError(f"cannot reach {self.base_url}: {error}") from None
 
+    def _request_text(self, method: str, path: str) -> str:
+        """Fetch a non-JSON endpoint (the Prometheus exposition)."""
+        request = urllib.request.Request(self.base_url + path, method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            raise ServiceError(f"HTTP {error.code}: {error.reason}") from None
+        except urllib.error.URLError as error:
+            raise ServiceError(f"cannot reach {self.base_url}: {error}") from None
+
     # ------------------------------------------------------------------
     # API surface
     # ------------------------------------------------------------------
@@ -75,6 +86,7 @@ class ServiceClient:
         priority: int = 0,
         budget: Optional[Dict] = None,
         timeout: Optional[float] = None,
+        trace: bool = False,
     ) -> Dict:
         """Run one statement synchronously; returns the job record."""
         payload: Dict = {"query": text, "priority": priority}
@@ -82,15 +94,23 @@ class ServiceClient:
             payload["budget"] = budget
         if timeout is not None:
             payload["timeout"] = timeout
+        if trace:
+            payload["trace"] = True
         return self._request("POST", "/v1/query", payload)
 
     def query_async(
-        self, text: str, priority: int = 0, budget: Optional[Dict] = None
+        self,
+        text: str,
+        priority: int = 0,
+        budget: Optional[Dict] = None,
+        trace: bool = False,
     ) -> Dict:
         """Submit one statement; returns the queued job record."""
         payload: Dict = {"query": text, "priority": priority, "async": True}
         if budget:
             payload["budget"] = budget
+        if trace:
+            payload["trace"] = True
         return self._request("POST", "/v1/query", payload)
 
     def job(self, job_id: str) -> Dict:
@@ -104,6 +124,10 @@ class ServiceClient:
     def status(self) -> Dict:
         """The service status document."""
         return self._request("GET", "/v1/status")
+
+    def metrics(self) -> str:
+        """The service metrics in Prometheus text exposition format."""
+        return self._request_text("GET", "/v1/metrics")
 
     def wait(
         self,

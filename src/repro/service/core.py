@@ -42,6 +42,8 @@ from repro.core.transactions import TransactionDatabase
 from repro.db.query import is_mutating_sql
 from repro.db.sqlite_store import SqliteStore
 from repro.errors import TmlExecutionError
+from repro.obs.logs import get_logger
+from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.runtime.budget import CancellationToken, RunBudget
 from repro.service.cache import ResultCache, cache_key
 from repro.service.scheduler import Job, JobScheduler
@@ -54,6 +56,7 @@ from repro.tml.ast import (
     MineTrendsStatement,
     SetBudgetStatement,
     SetEngineStatement,
+    SetTraceStatement,
     SetWorkersStatement,
     SqlStatement,
     Statement,
@@ -61,6 +64,8 @@ from repro.tml.ast import (
 from repro.tml.canonical import canonicalize_statement
 from repro.tml.executor import ExecutionEnvironment, TmlExecutor
 from repro.tml.parser import parse_statement
+
+logger = get_logger(__name__)
 
 #: Statement types whose results are content-addressed in the cache.
 CACHEABLE_STATEMENTS = (
@@ -75,6 +80,7 @@ CACHEABLE_STATEMENTS = (
 SESSION_ONLY_STATEMENTS = (
     SetBudgetStatement,
     SetEngineStatement,
+    SetTraceStatement,
     SetWorkersStatement,
 )
 
@@ -93,6 +99,8 @@ class ServiceConfig:
         history_limit: finished jobs retained for polling.
         granule_hook: per-granule observer threaded into every run's
             monitor — a test/chaos seam, ``None`` in production.
+        metrics: registry every service component instruments through
+            (the process-global default registry when ``None``).
     """
 
     workers: int = 2
@@ -104,6 +112,7 @@ class ServiceConfig:
     default_budget: Optional[RunBudget] = None
     history_limit: int = 1024
     granule_hook: Optional[Callable[[int], None]] = None
+    metrics: Optional[MetricsRegistry] = None
 
 
 class MiningService:
@@ -122,6 +131,11 @@ class MiningService:
         config: Optional[ServiceConfig] = None,
     ):
         self.config = config if config is not None else ServiceConfig()
+        self.metrics = (
+            self.config.metrics
+            if self.config.metrics is not None
+            else default_registry()
+        )
         if isinstance(store, SqliteStore):
             self.store = store
             self._owns_store = False
@@ -131,12 +145,18 @@ class MiningService:
         self.cache = ResultCache(
             max_entries=self.config.cache_entries,
             ttl_seconds=self.config.cache_ttl_seconds,
+            metrics=self.metrics,
         )
         self.scheduler = JobScheduler(
             self._execute_job,
             workers=self.config.workers,
             max_queue_depth=self.config.max_queue_depth,
             history_limit=self.config.history_limit,
+            metrics=self.metrics,
+        )
+        self._m_single_flight_waits = self.metrics.counter(
+            "repro_cache_single_flight_waits_total",
+            "Queries that waited on an identical in-flight run.",
         )
         self.started_at = time.time()
         self._tls = threading.local()
@@ -179,9 +199,17 @@ class MiningService:
         statement: str,
         priority: int = 0,
         budget: Optional[RunBudget] = None,
+        trace: bool = False,
     ) -> Job:
-        """Queue one statement; returns its :class:`Job` immediately."""
-        return self.scheduler.submit(statement, priority=priority, budget=budget)
+        """Queue one statement; returns its :class:`Job` immediately.
+
+        ``trace=True`` runs the statement under span tracing: the result
+        carries a ``trace`` section, and the run bypasses the result
+        cache (traced payloads embed run-specific timings).
+        """
+        return self.scheduler.submit(
+            statement, priority=priority, budget=budget, trace=trace
+        )
 
     def run_sync(
         self,
@@ -189,9 +217,10 @@ class MiningService:
         priority: int = 0,
         budget: Optional[RunBudget] = None,
         timeout: Optional[float] = 300.0,
+        trace: bool = False,
     ) -> Job:
         """Queue one statement and wait for its terminal state."""
-        job = self.submit(statement, priority=priority, budget=budget)
+        job = self.submit(statement, priority=priority, budget=budget, trace=trace)
         job.wait(timeout)
         return job
 
@@ -208,6 +237,7 @@ class MiningService:
             "uptime_seconds": time.time() - self.started_at,
             "scheduler": self.scheduler.stats(),
             "cache": self.cache.stats(),
+            "metrics": self.metrics.snapshot(),
             "store": {
                 "path": self.store.path,
                 "transactions": self.store.count_transactions(),
@@ -255,6 +285,7 @@ class MiningService:
         statement_text: str,
         token: CancellationToken,
         budget: Optional[RunBudget],
+        trace: bool = False,
     ) -> Tuple[Dict, bool]:
         """The scheduler callback: execute one statement, maybe cached."""
         statement = parse_statement(statement_text)
@@ -264,13 +295,16 @@ class MiningService:
                 "service API; pass a per-request budget instead"
             )
         canonical = canonicalize_statement(statement)
-        if isinstance(statement, CACHEABLE_STATEMENTS):
+        # Traced runs bypass the cache in both directions: their payload
+        # embeds run-specific timings (never bit-stable), and serving a
+        # cached untraced result would silently drop the trace.
+        if isinstance(statement, CACHEABLE_STATEMENTS) and not trace:
             return self._execute_cacheable(statement, canonical, token, budget)
         mutating = isinstance(statement, SqlStatement) and is_mutating_sql(
             statement.sql
         )
         old_fingerprint = self.store.fingerprint() if mutating else None
-        result = self._run_statement(statement, token, budget)
+        result = self._run_statement(statement, token, budget, trace=trace)
         if mutating:
             result["invalidated_entries"] = self._note_mutation(old_fingerprint)
         return result, False
@@ -286,7 +320,9 @@ class MiningService:
         key = cache_key(canonical, fingerprint, self._settings(budget))
         # Single flight per key: concurrent identical queries block here
         # while the first one mines, then read its cached result.
-        with self._single_flight(key):
+        with self._single_flight(key) as waited:
+            if waited:
+                self._m_single_flight_waits.inc()
             cached = self.cache.get(key)
             if cached is not None:
                 return cached, True
@@ -310,11 +346,14 @@ class MiningService:
         token: CancellationToken,
         budget: Optional[RunBudget],
         fingerprint: Optional[str] = None,
+        trace: bool = False,
     ) -> Dict:
         environment, executor = self._environment()
         self._refresh_environment(environment, fingerprint)
         environment.budget = budget if budget is not None else self.config.default_budget
         environment.cancel_token = token
+        if environment.trace != trace:
+            environment.set_trace(trace)
         execution = executor.execute_statement(statement)
         catalog = None
         source = getattr(statement, "source", None)
@@ -330,7 +369,7 @@ class MiningService:
         """This worker thread's environment (created on first use)."""
         environment = getattr(self._tls, "environment", None)
         if environment is None:
-            environment = ExecutionEnvironment(store=self.store)
+            environment = ExecutionEnvironment(store=self.store, metrics=self.metrics)
             environment.set_engine(self.config.engine)
             environment.set_workers(self.config.mining_workers)
             environment.granule_hook = self.config.granule_hook
@@ -373,15 +412,18 @@ class MiningService:
 
     @contextmanager
     def _single_flight(self, key: str):
+        """Yields True when this caller had to wait behind an in-flight run."""
         with self._inflight_lock:
             entry = self._inflight.get(key)
             if entry is None:
                 entry = [threading.Lock(), 0]
                 self._inflight[key] = entry
             entry[1] += 1
-        entry[0].acquire()
+        waited = not entry[0].acquire(blocking=False)
+        if waited:
+            entry[0].acquire()
         try:
-            yield
+            yield waited
         finally:
             entry[0].release()
             with self._inflight_lock:

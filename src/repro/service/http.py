@@ -23,18 +23,29 @@ Endpoints (all JSON):
     partial result on the record.
 
 ``GET /v1/status``
-    Queue depth, worker config, cache counters, store summary.
+    Queue depth, worker config, cache counters, metrics snapshot,
+    store summary.
+
+``GET /v1/metrics``
+    The service's metrics registry in Prometheus text exposition
+    format 0.0.4 (scrapeable; see :mod:`repro.obs.metrics`).
 
 Error mapping: malformed requests → 400, unknown jobs → 404,
 admission rejection → 503 (with ``Retry-After``), sync timeout → 504
 (with the job id, so the client can keep polling), statement errors →
 422 on the job record / response.
+
+Every request is itself metered: ``repro_http_requests_total``
+(method/route/status) and the per-route ``repro_http_request_seconds``
+latency histogram.  Job paths collapse to the ``/v1/jobs/{id}`` route
+label so cardinality stays bounded.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
@@ -44,6 +55,7 @@ from repro.errors import (
     MiningParameterError,
     ReproError,
 )
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
 from repro.runtime.budget import RunBudget
 from repro.service.core import MiningService
 
@@ -88,9 +100,23 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
     def _send_json(
         self, status: int, payload: Dict, headers: Optional[Dict[str, str]] = None
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        self._send_bytes(
+            status, json.dumps(payload).encode("utf-8"), "application/json", headers
+        )
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        self._send_bytes(status, text.encode("utf-8"), content_type)
+
+    def _send_bytes(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self._status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
@@ -123,15 +149,54 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
             record["elapsed_seconds"] = job.finished_at - job.started_at
         return record
 
+    def _route_label(self) -> str:
+        """The bounded-cardinality route label for HTTP metrics."""
+        path = self.path.split("?", 1)[0]
+        if self._job_path_id() is not None:
+            return "/v1/jobs/{id}"
+        if path in ("/v1/status", "/v1/metrics", "/v1/query"):
+            return path
+        return "(unknown)"
+
+    def _instrumented(self, method: str, handler) -> None:
+        """Run a route handler, metering request count and latency."""
+        route = self._route_label()
+        self._status = 0
+        started = time.perf_counter()
+        try:
+            handler()
+        finally:
+            elapsed = time.perf_counter() - started
+            self.server.m_requests.inc(
+                method=method, route=route, status=str(self._status)
+            )
+            self.server.m_request_seconds.observe(elapsed, route=route)
+
     # ------------------------------------------------------------------
     # routes
     # ------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        self._instrumented("GET", self._handle_get)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._instrumented("DELETE", self._handle_delete)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._instrumented("POST", self._handle_post)
+
+    def _handle_get(self) -> None:
         path = self.path.split("?", 1)[0]
         try:
             if path == "/v1/status":
                 self._send_json(200, self.server.service.status())
+                return
+            if path == "/v1/metrics":
+                self._send_text(
+                    200,
+                    self.server.service.metrics.render_prometheus(),
+                    PROMETHEUS_CONTENT_TYPE,
+                )
                 return
             job_id = self._job_path_id()
             if job_id is not None:
@@ -144,7 +209,7 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
         except ReproError as error:
             self._send_json(500, {"error": str(error)})
 
-    def do_DELETE(self) -> None:  # noqa: N802
+    def _handle_delete(self) -> None:
         job_id = self._job_path_id()
         if job_id is None:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
@@ -156,7 +221,7 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
             return
         self._send_json(200, self._job_document(job))
 
-    def do_POST(self) -> None:  # noqa: N802
+    def _handle_post(self) -> None:
         path = self.path.split("?", 1)[0]
         if path != "/v1/query":
             self._send_json(404, {"error": f"unknown path {path!r}"})
@@ -169,12 +234,15 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
             priority = int(payload.get("priority", 0))
             budget = budget_from_request(payload.get("budget"))
             wants_async = bool(payload.get("async", False))
+            trace = bool(payload.get("trace", False))
             timeout = float(payload.get("timeout", SYNC_TIMEOUT_SECONDS))
         except (ValueError, TypeError, MiningParameterError) as error:
             self._send_json(400, {"error": str(error)})
             return
         try:
-            job = self.server.service.submit(query, priority=priority, budget=budget)
+            job = self.server.service.submit(
+                query, priority=priority, budget=budget, trace=trace
+            )
         except AdmissionError as error:
             self._send_json(503, {"error": str(error)}, headers={"Retry-After": "1"})
             return
@@ -218,6 +286,19 @@ class MiningHTTPServer(ThreadingHTTPServer):
     ):
         self.service = service
         self.verbose = verbose
+        # Registered up front, not lazily per request: the families are
+        # always present in the exposition, and the per-request path is
+        # two lock-free attribute reads instead of a registry lookup.
+        self.m_requests = service.metrics.counter(
+            "repro_http_requests_total",
+            "API requests served, by method, route and status.",
+            labelnames=("method", "route", "status"),
+        )
+        self.m_request_seconds = service.metrics.histogram(
+            "repro_http_request_seconds",
+            "API request latency, by route.",
+            labelnames=("route",),
+        )
         super().__init__((host, port), MiningRequestHandler)
 
     @property

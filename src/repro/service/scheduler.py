@@ -38,7 +38,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import AdmissionError, JobNotFoundError, ServiceError
+from repro.obs.logs import get_logger
+from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.runtime.budget import CancellationToken, RunBudget
+
+logger = get_logger(__name__)
 
 #: Job lifecycle states.
 QUEUED = "queued"
@@ -59,6 +63,7 @@ class Job:
     statement: str
     priority: int = 0
     budget: Optional[RunBudget] = None
+    trace: bool = False
     state: str = QUEUED
     submitted_at: float = 0.0
     started_at: Optional[float] = None
@@ -91,6 +96,8 @@ class Job:
         }
         if self.budget is not None:
             record["budget"] = self.budget.describe()
+        if self.trace:
+            record["trace"] = True
         return record
 
 
@@ -98,23 +105,26 @@ class JobScheduler:
     """Priority queue + bounded worker pool over an execute callback.
 
     Args:
-        execute: ``execute(statement_text, token, budget) -> (result, cached)``
-            — the service core's statement runner.  It must honour the
-            token cooperatively (PR 1 semantics) and may raise any
-            :class:`~repro.errors.ReproError`.
+        execute: ``execute(statement_text, token, budget, trace) ->
+            (result, cached)`` — the service core's statement runner.
+            It must honour the token cooperatively (PR 1 semantics) and
+            may raise any :class:`~repro.errors.ReproError`.
         workers: worker-thread count (>= 1).
         max_queue_depth: queued-job bound enforced at admission.
         history_limit: finished jobs retained for ``GET /v1/jobs/{id}``.
         clock: injectable wall clock (tests).
+        metrics: registry for the scheduler's instruments (the
+            process-global default when omitted).
     """
 
     def __init__(
         self,
-        execute: Callable[[str, CancellationToken, Optional[RunBudget]], Tuple[Dict, bool]],
+        execute: Callable[..., Tuple[Dict, bool]],
         workers: int = 2,
         max_queue_depth: int = 64,
         history_limit: int = 1024,
         clock: Callable[[], float] = time.time,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if workers < 1:
             raise ServiceError(f"scheduler workers must be >= 1, got {workers}")
@@ -123,6 +133,32 @@ class JobScheduler:
                 f"max_queue_depth must be >= 1, got {max_queue_depth}"
             )
         self._execute = execute
+        registry = metrics if metrics is not None else default_registry()
+        self._m_admitted = registry.counter(
+            "repro_scheduler_admitted_total", "Jobs admitted past admission control."
+        )
+        self._m_rejected = registry.counter(
+            "repro_scheduler_rejected_total",
+            "Submissions rejected because the queue was saturated.",
+        )
+        self._m_jobs = registry.counter(
+            "repro_scheduler_jobs_total",
+            "Jobs finished, by terminal state.",
+            labelnames=("state",),
+        )
+        self._m_queue_depth = registry.gauge(
+            "repro_scheduler_queue_depth", "Jobs currently queued."
+        )
+        self._m_running = registry.gauge(
+            "repro_scheduler_running", "Jobs currently running on a worker."
+        )
+        self._m_wait = registry.histogram(
+            "repro_scheduler_wait_seconds",
+            "Queue wait time from submission to worker pickup.",
+        )
+        self._m_run = registry.histogram(
+            "repro_scheduler_run_seconds", "Job execution wall time."
+        )
         self.workers = workers
         self.max_queue_depth = max_queue_depth
         self.history_limit = history_limit
@@ -192,6 +228,7 @@ class JobScheduler:
         statement: str,
         priority: int = 0,
         budget: Optional[RunBudget] = None,
+        trace: bool = False,
     ) -> Job:
         """Admit one job; raises :class:`AdmissionError` when saturated."""
         self.start()
@@ -199,6 +236,12 @@ class JobScheduler:
             if self._closed:
                 raise ServiceError("scheduler is closed")
             if self._queued >= self.max_queue_depth:
+                self._m_rejected.inc()
+                logger.warning(
+                    "rejecting submission: queue saturated (%d queued, limit %d)",
+                    self._queued,
+                    self.max_queue_depth,
+                )
                 raise AdmissionError(
                     f"queue saturated ({self._queued} queued, "
                     f"limit {self.max_queue_depth}); retry later"
@@ -208,11 +251,20 @@ class JobScheduler:
                 statement=statement,
                 priority=priority,
                 budget=budget,
+                trace=trace,
                 submitted_at=self._clock(),
             )
             self._jobs[job.job_id] = job
             heapq.heappush(self._heap, (-priority, next(self._counter), job.job_id))
             self._queued += 1
+            self._m_admitted.inc()
+            logger.info(
+                "job %s admitted (priority=%d, %d queued)",
+                job.job_id,
+                priority,
+                self._queued,
+            )
+            self._m_queue_depth.set(self._queued)
             self._available.notify()
             return job
 
@@ -242,6 +294,7 @@ class JobScheduler:
                 # so the admission counter must be released here — the
                 # skip path in _next_job deliberately never decrements.
                 self._queued -= 1
+                self._m_queue_depth.set(self._queued)
                 self._finish_locked(job, CANCELLED, error="cancelled while queued")
         return job
 
@@ -277,6 +330,9 @@ class JobScheduler:
                     self._running += 1
                     job.state = RUNNING
                     job.started_at = self._clock()
+                    self._m_queue_depth.set(self._queued)
+                    self._m_running.set(self._running)
+                    self._m_wait.observe(max(0.0, job.started_at - job.submitted_at))
                     return job
                 self._available.wait(timeout=0.1)
 
@@ -286,9 +342,12 @@ class JobScheduler:
             if job is None:
                 return
             try:
-                result, cached = self._execute(job.statement, job.token, job.budget)
+                result, cached = self._execute(
+                    job.statement, job.token, job.budget, job.trace
+                )
                 with self._available:
                     self._running -= 1
+                    self._m_running.set(self._running)
                     job.result = result
                     job.cached = cached
                     # A cancel that landed mid-run surfaces as a sound
@@ -297,8 +356,12 @@ class JobScheduler:
                     state = CANCELLED if job.cancel_requested else DONE
                     self._finish_locked(job, state)
             except BaseException as error:  # noqa: BLE001 — job isolation
+                logger.warning(
+                    "job %s failed: %s: %s", job.job_id, type(error).__name__, error
+                )
                 with self._available:
                     self._running -= 1
+                    self._m_running.set(self._running)
                     state = CANCELLED if job.cancel_requested else FAILED
                     self._finish_locked(job, state, error=f"{type(error).__name__}: {error}")
 
@@ -308,6 +371,10 @@ class JobScheduler:
         job.state = state
         job.error = error if error is not None else job.error
         job.finished_at = self._clock()
+        self._m_jobs.inc(state=state)
+        logger.info("job %s finished: %s", job.job_id, state)
+        if job.started_at is not None:
+            self._m_run.observe(max(0.0, job.finished_at - job.started_at))
         job._done.set()
         self._finished_order.append(job.job_id)
         while len(self._finished_order) > self.history_limit:

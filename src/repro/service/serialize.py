@@ -43,7 +43,7 @@ def report_to_dict(
     library surfaces everywhere else, which makes "bit-identical to the
     serial library path" directly checkable.
     """
-    return {
+    document = {
         "type": "mining_report",
         "task": report.task_name,
         "n_results": len(report.results),
@@ -53,6 +53,11 @@ def report_to_dict(
         "diagnostics": diagnostics_to_dict(report.diagnostics),
         "results": [_record_text(record, catalog) for record in report.results],
     }
+    # The trace key appears only on traced runs so that untraced payloads
+    # stay byte-identical across runs (the cache-stability invariant).
+    if report.trace is not None:
+        document["trace"] = report.trace
+    return document
 
 
 def _record_text(record, catalog: Optional[ItemCatalog]) -> str:

@@ -43,12 +43,14 @@ TML statements (end with ';'):
     [HAVING CHANGE >= c, FIT >= r];
   PROFILE '<item>' [, '<item>'] FROM <src> BY <g>;
   EXPLAIN MINE ...;                              -- describe, don't run
+  EXPLAIN ANALYZE MINE ...;                      -- run + timing/span breakdown
   SET BUDGET TIME <s>, CANDIDATES <n>, RULES <n> [STRICT];
   SET BUDGET OFF;                                -- clear run limits
   SET ENGINE dict|hashtree|vertical;             -- pin counting backend
   SET ENGINE OFF;                                -- back to auto selection
   SET WORKERS <n>;                               -- parallel counting passes
   SET WORKERS OFF;                               -- back to serial execution
+  SET TRACE ON|OFF;                              -- span trees on mining runs
 
 Ctrl-C during a MINE cancels that run (a partial report is printed);
 the session itself stays alive.
@@ -67,6 +69,7 @@ Dot commands:
   .export <path>      write the last mining report to <path>.csv/.json
   .serve [port]       share this session's store over HTTP (0 = ephemeral)
   .serve stop         shut the HTTP server down
+  .stats              last-run diagnostics, span tree, metric counters
   .log                show the IQMI workflow log
   .quit               leave the shell
 """
@@ -169,8 +172,10 @@ def _dispatch_dot(session: IqmsSession, line: str) -> Optional[str]:
         return (
             f"serving on {url}\n"
             "endpoints: POST /v1/query  GET /v1/jobs/{id}  "
-            "DELETE /v1/jobs/{id}  GET /v1/status"
+            "DELETE /v1/jobs/{id}  GET /v1/status  GET /v1/metrics"
         )
+    if command == ".stats":
+        return session.stats()
     if command == ".log":
         return session.workflow.format_log()
     return f"unknown command {command!r}; try .help"

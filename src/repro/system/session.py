@@ -34,6 +34,7 @@ from repro.tml.ast import (
     MineRulesStatement,
     SetBudgetStatement,
     SetEngineStatement,
+    SetTraceStatement,
     SetWorkersStatement,
     ShowStatement,
     SqlStatement,
@@ -130,6 +131,16 @@ class IqmsSession:
         self.environment.set_workers(workers)
         self.workflow.record(f"set workers: {workers}")
 
+    @property
+    def trace(self) -> bool:
+        """Whether mining runs collect span trees (see :meth:`stats`)."""
+        return self.environment.trace
+
+    def set_trace(self, trace: bool) -> None:
+        """Turn span-tree tracing of mining runs on or off."""
+        self.environment.set_trace(trace)
+        self.workflow.record(f"set trace: {'on' if trace else 'off'}")
+
     def cancel(self) -> None:
         """Ask the mining run in flight to stop at its next safe boundary.
 
@@ -218,7 +229,12 @@ class IqmsSession:
 
         if isinstance(
             statement,
-            (SetBudgetStatement, SetEngineStatement, SetWorkersStatement),
+            (
+                SetBudgetStatement,
+                SetEngineStatement,
+                SetTraceStatement,
+                SetWorkersStatement,
+            ),
         ):
             self.workflow.record(statement.render())
             return
@@ -282,6 +298,66 @@ class IqmsSession:
         """The last mining report as a text table."""
         report = self._require_report()
         return report_table(report, self._last_catalog())
+
+    def stats(self) -> str:
+        """A text digest of the session's telemetry.
+
+        Shows the last run's diagnostics, its span tree when tracing was
+        on (``SET TRACE ON;`` / :meth:`set_trace`), and the counters from
+        the session's metrics registry.  Backs the REPL's ``.stats``.
+        """
+        from repro.obs.metrics import default_registry
+        from repro.obs.trace import format_trace
+
+        lines: List[str] = []
+        report = self.last_report
+        if report is None:
+            lines.append("last run: (no mining run yet)")
+        else:
+            summary = f"last run: {report.task_name} — {len(report.results)} finding(s)"
+            if report.partial:
+                summary += " (partial)"
+            lines.append(summary)
+            diagnostics = report.diagnostics
+            if diagnostics is not None:
+                lines.append(
+                    f"  passes={diagnostics.passes_completed}"
+                    f" granules={diagnostics.granules_covered}"
+                    f" candidates={diagnostics.candidates_generated}"
+                    f" rules={diagnostics.rules_emitted}"
+                    f" stop={diagnostics.stop_reason or 'completed'}"
+                )
+            if report.trace is not None:
+                lines.append("trace:")
+                for line in format_trace(report.trace).splitlines():
+                    lines.append(f"  {line}")
+        registry = (
+            self.environment.metrics
+            if self.environment.metrics is not None
+            else default_registry()
+        )
+        snapshot = registry.snapshot()
+        if snapshot:
+            lines.append("metrics:")
+            for name in sorted(snapshot):
+                value = snapshot[name]
+                if isinstance(value, dict) and set(value) == {"count", "sum"}:
+                    lines.append(
+                        f"  {name} count={value['count']:g} sum={value['sum']:g}"
+                    )
+                elif isinstance(value, dict):
+                    for labels in sorted(value):
+                        inner = value[labels]
+                        if isinstance(inner, dict):
+                            lines.append(
+                                f"  {name}{{{labels}}} "
+                                f"count={inner['count']:g} sum={inner['sum']:g}"
+                            )
+                        else:
+                            lines.append(f"  {name}{{{labels}}} = {inner:g}")
+                else:
+                    lines.append(f"  {name} = {value:g}")
+        return "\n".join(lines)
 
     def conclude(self, note: str = "expected knowledge found") -> None:
         """Declare the loop finished (Knowledge reached)."""

@@ -378,6 +378,21 @@ class SetWorkersStatement:
 
 
 @dataclass(frozen=True)
+class SetTraceStatement:
+    """``SET TRACE ON|OFF;`` — toggle per-run span tracing.
+
+    With tracing on, every mining result carries a serialized span tree
+    (see :mod:`repro.obs.trace`); traced queries bypass the service
+    result cache because their timings are run-specific.
+    """
+
+    on: bool = False
+
+    def render(self) -> str:
+        return "SET TRACE ON;" if self.on else "SET TRACE OFF;"
+
+
+@dataclass(frozen=True)
 class SqlStatement:
     """Raw SQL passed through to the integrated query function."""
 
@@ -390,14 +405,21 @@ class SqlStatement:
 
 @dataclass(frozen=True)
 class ExplainStatement:
-    """``EXPLAIN <mine statement>`` — describe the task without running it."""
+    """``EXPLAIN [ANALYZE] <mine statement>``.
+
+    Plain ``EXPLAIN`` describes the task without running it;
+    ``EXPLAIN ANALYZE`` *runs* the query under forced tracing and
+    renders the run's counters and span tree instead of its rules.
+    """
 
     inner: Union[
         MineRulesStatement, MinePeriodsStatement, MinePeriodicitiesStatement
     ]
+    analyze: bool = False
 
     def render(self) -> str:
-        return "EXPLAIN " + self.inner.render()
+        head = "EXPLAIN ANALYZE " if self.analyze else "EXPLAIN "
+        return head + self.inner.render()
 
 
 Statement = Union[
@@ -410,6 +432,7 @@ Statement = Union[
     ProfileStatement,
     SetBudgetStatement,
     SetEngineStatement,
+    SetTraceStatement,
     SetWorkersStatement,
     ShowStatement,
     SqlStatement,

@@ -32,6 +32,8 @@ from repro.db.query import (
 from repro.db.sqlite_store import SqliteStore
 from repro.errors import TmlExecutionError
 from repro.mining.engine import TemporalMiner, _workers_from_env
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import format_trace
 from repro.runtime.budget import CancellationToken, RunBudget
 from repro.mining.results import MiningReport
 from repro.mining.tasks import (
@@ -60,6 +62,7 @@ from repro.tml.ast import (
     PeriodFeature,
     SetBudgetStatement,
     SetEngineStatement,
+    SetTraceStatement,
     SetWorkersStatement,
     ShowStatement,
     SqlStatement,
@@ -89,7 +92,11 @@ class ExecutionEnvironment:
     2. the whole store (name ``transactions``) loaded on demand.
     """
 
-    def __init__(self, store: Optional[SqliteStore] = None):
+    def __init__(
+        self,
+        store: Optional[SqliteStore] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self.store = store
         self.datasets: Dict[str, TransactionDatabase] = {}
         self._miners: Dict[str, TemporalMiner] = {}
@@ -97,6 +104,8 @@ class ExecutionEnvironment:
         self.budget: Optional[RunBudget] = None
         self.engine: str = "auto"
         self.workers: int = _workers_from_env()
+        self.metrics = metrics
+        self.trace: bool = False
         self.cancel_token = CancellationToken()
         # Optional per-granule observer threaded into every MINE run's
         # monitor — the seam the mining service's tests (and PR 1's
@@ -132,7 +141,11 @@ class ExecutionEnvironment:
         miner = self._miners.get(name)
         if miner is None:
             miner = TemporalMiner(
-                self.resolve(name), counting=self.engine, workers=self.workers
+                self.resolve(name),
+                counting=self.engine,
+                workers=self.workers,
+                metrics=self.metrics,
+                trace=self.trace,
             )
             self._miners[name] = miner
         return miner
@@ -164,6 +177,16 @@ class ExecutionEnvironment:
         self.workers = workers
         for miner in self._miners.values():
             miner.set_workers(workers)
+
+    def set_trace(self, trace: bool) -> None:
+        """Toggle per-run tracing for every subsequent ``MINE``.
+
+        Cached miners are updated in place; the next run attaches (or
+        stops attaching) a serialized span tree to its report.
+        """
+        self.trace = bool(trace)
+        for miner in self._miners.values():
+            miner.set_trace(self.trace)
 
     def close(self) -> None:
         """Release every cached miner's worker pool."""
@@ -225,6 +248,8 @@ class TmlExecutor:
             return self._set_engine(statement)
         if isinstance(statement, SetWorkersStatement):
             return self._set_workers(statement)
+        if isinstance(statement, SetTraceStatement):
+            return self._set_trace(statement)
         if isinstance(statement, SqlStatement):
             return self._sql(statement)
         raise TmlExecutionError(f"cannot execute {statement!r}")
@@ -346,6 +371,8 @@ class TmlExecutor:
 
     def _explain(self, statement: ExplainStatement) -> ExecutionResult:
         """Describe the task a MINE statement would run, without mining."""
+        if statement.analyze:
+            return self._explain_analyze(statement)
         inner = statement.inner
         database = self.environment.resolve(inner.source)
         properties = [
@@ -382,6 +409,44 @@ class TmlExecutor:
             columns=("property", "value"),
             rows=tuple((name, str(value)) for name, value in properties),
         )
+        return ExecutionResult(statement, result, result.format(limit=0))
+
+    def _explain_analyze(self, statement: ExplainStatement) -> ExecutionResult:
+        """Run the inner MINE under forced tracing; render its telemetry.
+
+        The query executes for real (consuming budget, honouring the
+        cancel token), but the result shown is the run's diagnostics and
+        span tree rather than its rules.
+        """
+        previous = self.environment.trace
+        self.environment.set_trace(True)
+        try:
+            inner_result = self.execute_statement(statement.inner)
+        finally:
+            self.environment.set_trace(previous)
+        report = inner_result.payload
+        rows = [
+            ("statement", type(statement.inner).__name__),
+            ("results", str(len(report.results))),
+            ("elapsed_seconds", f"{report.elapsed_seconds:.3f}"),
+            ("partial", str(report.partial).lower()),
+        ]
+        diagnostics = report.diagnostics
+        if diagnostics is not None:
+            rows.extend(
+                [
+                    ("passes_completed", str(diagnostics.passes_completed)),
+                    ("granules_covered", str(diagnostics.granules_covered)),
+                    ("candidates_generated", str(diagnostics.candidates_generated)),
+                    ("rules_emitted", str(diagnostics.rules_emitted)),
+                ]
+            )
+            if diagnostics.stop_reason is not None:
+                rows.append(("stop_reason", diagnostics.stop_reason))
+        if report.trace is not None:
+            for line in format_trace(report.trace).splitlines():
+                rows.append(("trace", line))
+        result = QueryResult(columns=("property", "value"), rows=tuple(rows))
         return ExecutionResult(statement, result, result.format(limit=0))
 
     def _show(self, statement: ShowStatement) -> ExecutionResult:
@@ -430,6 +495,14 @@ class TmlExecutor:
         self.environment.set_workers(workers)
         result = QueryResult(
             columns=("property", "value"), rows=(("workers", str(workers)),)
+        )
+        return ExecutionResult(statement, result, result.format(limit=0))
+
+    def _set_trace(self, statement: SetTraceStatement) -> ExecutionResult:
+        self.environment.set_trace(statement.on)
+        result = QueryResult(
+            columns=("property", "value"),
+            rows=(("trace", "on" if statement.on else "off"),),
         )
         return ExecutionResult(statement, result, result.format(limit=0))
 

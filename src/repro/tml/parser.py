@@ -5,7 +5,7 @@ Grammar (keywords case-insensitive; ``[...]`` optional, ``{...}`` repeated)::
     script        := statement*
     statement     := mine_stmt | explain_stmt | profile_stmt | show_stmt
                    | sql_stmt
-    explain_stmt  := EXPLAIN mine_stmt
+    explain_stmt  := EXPLAIN [ANALYZE] mine_stmt
     mine_stmt     := MINE RULES FROM source DURING feature
                        [AT GRANULARITY g]
                        [CONTAINING string {',' string}]
@@ -37,6 +37,9 @@ Grammar (keywords case-insensitive; ``[...]`` optional, ``{...}`` repeated)::
                    | SHOW VOLUME BY g ';'
     set_stmt      := SET BUDGET OFF ';'
                    | SET BUDGET budget_term {',' budget_term} [STRICT] ';'
+                   | SET ENGINE (ident | OFF) ';'
+                   | SET WORKERS (number | OFF) ';'
+                   | SET TRACE (ON | OFF) ';'
     budget_term   := TIME number | CANDIDATES number | RULES number
     sql_stmt      := anything else, passed through verbatim up to ';'
 
@@ -65,6 +68,7 @@ from repro.tml.ast import (
     NamedCalendarFeature,
     SetBudgetStatement,
     SetEngineStatement,
+    SetTraceStatement,
     SetWorkersStatement,
     ShowStatement,
     SqlStatement,
@@ -244,12 +248,19 @@ class _Parser:
 
     def parse_set(
         self,
-    ) -> Union[SetBudgetStatement, SetEngineStatement, SetWorkersStatement]:
+    ) -> Union[
+        SetBudgetStatement,
+        SetEngineStatement,
+        SetTraceStatement,
+        SetWorkersStatement,
+    ]:
         self._expect_keyword("SET")
         if self._accept_keyword("ENGINE"):
             return self._parse_set_engine()
         if self._accept_keyword("WORKERS"):
             return self._parse_set_workers()
+        if self._accept_keyword("TRACE"):
+            return self._parse_set_trace()
         self._expect_keyword("BUDGET")
         if self._accept_keyword("OFF"):
             self._finish()
@@ -306,10 +317,16 @@ class _Parser:
         self._finish()
         return SetWorkersStatement(workers=workers)
 
+    def _parse_set_trace(self) -> SetTraceStatement:
+        token = self._expect_keyword("ON", "OFF")
+        self._finish()
+        return SetTraceStatement(on=token.value == "ON")
+
     def parse_explain(self) -> Statement:
         self._expect_keyword("EXPLAIN")
+        analyze = bool(self._accept_keyword("ANALYZE"))
         inner = self.parse_mine()
-        return ExplainStatement(inner=inner)  # type: ignore[arg-type]
+        return ExplainStatement(inner=inner, analyze=analyze)  # type: ignore[arg-type]
 
     def parse_mine(self) -> Statement:
         self._expect_keyword("MINE")

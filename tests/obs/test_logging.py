@@ -1,0 +1,62 @@
+"""Tests for the library's logging conventions."""
+
+import io
+import logging
+
+import pytest
+
+import repro  # noqa: F401 — installs the NullHandler on the root logger
+from repro.obs.logs import ROOT_LOGGER_NAME, configure_logging, get_logger
+
+
+class TestGetLogger:
+    def test_bare_suffix_is_namespaced(self):
+        assert get_logger("service").name == "repro.service"
+
+    def test_dunder_name_passes_through(self):
+        assert get_logger("repro.mining.engine").name == "repro.mining.engine"
+        assert get_logger(ROOT_LOGGER_NAME).name == ROOT_LOGGER_NAME
+
+
+class TestLibraryContract:
+    def test_root_logger_has_null_handler(self):
+        handlers = logging.getLogger(ROOT_LOGGER_NAME).handlers
+        assert any(isinstance(h, logging.NullHandler) for h in handlers)
+
+    def test_unconfigured_warning_does_not_error(self):
+        # The stdlib "No handlers could be found" complaint must never
+        # fire for library users; the NullHandler swallows the record.
+        get_logger("repro.obs.test_probe").warning("quiet by default")
+
+
+class TestConfigureLogging:
+    def test_configured_records_reach_the_stream(self):
+        stream = io.StringIO()
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        level = root.level
+        handler = configure_logging("info", stream=stream)
+        try:
+            get_logger("repro.obs.test_probe").info("hello telemetry")
+        finally:
+            root.removeHandler(handler)
+            root.setLevel(level)
+        output = stream.getvalue()
+        assert "hello telemetry" in output
+        assert "repro.obs.test_probe" in output
+        assert "INFO" in output
+
+    def test_level_thresholds_apply(self):
+        stream = io.StringIO()
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        level = root.level
+        handler = configure_logging("error", stream=stream)
+        try:
+            get_logger("repro.obs.test_probe").warning("should be filtered")
+        finally:
+            root.removeHandler(handler)
+            root.setLevel(level)
+        assert stream.getvalue() == ""
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging("loud")

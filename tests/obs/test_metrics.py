@@ -1,0 +1,188 @@
+"""Unit tests for the metrics registry and Prometheus exposition."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    PROMETHEUS_CONTENT_TYPE,
+    MetricError,
+    MetricsRegistry,
+    default_registry,
+    parse_prometheus_text,
+    set_default_registry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events_total", "Events.")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("events_total")
+        with pytest.raises(MetricError):
+            counter.inc(-1)
+
+    def test_labels_split_children(self):
+        counter = MetricsRegistry().counter("ops_total", labelnames=("kind",))
+        counter.inc(kind="read")
+        counter.inc(kind="read")
+        counter.inc(kind="write")
+        assert counter.value(kind="read") == 2.0
+        assert counter.value(kind="write") == 1.0
+
+    def test_wrong_label_set_rejected(self):
+        counter = MetricsRegistry().counter("ops_total", labelnames=("kind",))
+        with pytest.raises(MetricError):
+            counter.inc()
+        with pytest.raises(MetricError):
+            counter.inc(kind="read", extra="nope")
+
+    def test_concurrent_increments_are_exact(self):
+        counter = MetricsRegistry().counter("hits_total")
+
+        def worker():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value() == 8000.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 4.0
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative(self):
+        histogram = MetricsRegistry().histogram(
+            "lat_seconds", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        samples = {
+            (name, labelvalues): value
+            for name, _, labelvalues, value in histogram.samples()
+        }
+        assert samples[("lat_seconds_bucket", ("0.1",))] == 1.0
+        assert samples[("lat_seconds_bucket", ("1",))] == 2.0
+        assert samples[("lat_seconds_bucket", ("10",))] == 3.0
+        assert samples[("lat_seconds_bucket", ("+Inf",))] == 4.0
+        assert samples[("lat_seconds_count", ())] == 4.0
+        assert samples[("lat_seconds_sum", ())] == pytest.approx(55.55)
+
+    def test_malformed_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError):
+            registry.histogram("bad_seconds", buckets=(1.0, 0.5))
+        with pytest.raises(MetricError):
+            registry.histogram("bad2_seconds", buckets=())
+
+    def test_trailing_inf_bucket_tolerated(self):
+        histogram = MetricsRegistry().histogram(
+            "ok_seconds", buckets=(0.5, math.inf)
+        )
+        assert histogram.buckets == (0.5,)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("jobs_total", "Jobs.")
+        second = registry.counter("jobs_total")
+        assert first is second
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("mixed")
+        with pytest.raises(MetricError):
+            registry.gauge("mixed")
+
+    def test_label_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("labelled_total", labelnames=("a",))
+        with pytest.raises(MetricError):
+            registry.counter("labelled_total", labelnames=("b",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError):
+            registry.counter("1bad")
+        with pytest.raises(MetricError):
+            registry.counter("ok_total", labelnames=("0bad",))
+
+    def test_snapshot_shapes(self):
+        registry = MetricsRegistry()
+        registry.counter("plain_total").inc(3)
+        registry.counter("split_total", labelnames=("kind",)).inc(kind="x")
+        registry.histogram("lat_seconds").observe(0.2)
+        snapshot = registry.snapshot()
+        assert snapshot["plain_total"] == 3.0
+        assert snapshot["split_total"] == {"kind=x": 1.0}
+        assert snapshot["lat_seconds"] == {"count": 1.0, "sum": 0.2}
+
+    def test_default_registry_swap(self):
+        original = default_registry()
+        try:
+            fresh = set_default_registry(MetricsRegistry())
+            assert default_registry() is fresh
+            assert default_registry() is not original
+        finally:
+            set_default_registry(original)
+
+
+class TestExposition:
+    def test_render_parse_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", "Jobs seen.").inc(7)
+        registry.gauge("depth", "Queue depth.").set(2)
+        registry.counter(
+            "ops_total", "Ops.", labelnames=("kind", "status")
+        ).inc(kind="read", status="200")
+        registry.histogram("lat_seconds", "Latency.", buckets=(0.5,)).observe(0.1)
+        text = registry.render_prometheus()
+        parsed = parse_prometheus_text(text)
+        assert parsed["jobs_total"][""] == 7.0
+        assert parsed["depth"][""] == 2.0
+        assert parsed["ops_total"]['{kind="read",status="200"}'] == 1.0
+        assert parsed["lat_seconds_bucket"]['{le="+Inf"}'] == 1.0
+        assert parsed["lat_seconds_count"][""] == 1.0
+        assert "# TYPE lat_seconds histogram" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("odd_total", labelnames=("text",)).inc(
+            text='quote " backslash \\ newline \n done'
+        )
+        parsed = parse_prometheus_text(registry.render_prometheus())
+        assert sum(parsed["odd_total"].values()) == 1.0
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("this is not { a metric\n")
+        with pytest.raises(ValueError):
+            parse_prometheus_text("x_total not_a_number\n")
+        with pytest.raises(ValueError):
+            parse_prometheus_text("# TYPE x_total nonsense\nx_total 1\n")
+
+    def test_content_type_constant(self):
+        assert PROMETHEUS_CONTENT_TYPE.startswith("text/plain")
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+    def test_default_buckets_strictly_increasing(self):
+        assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))

@@ -1,0 +1,181 @@
+"""Unit + integration tests for span tracing (incl. cancellation safety)."""
+
+import json
+
+import pytest
+
+
+from repro.mining.engine import TemporalMiner
+from repro.mining.tasks import RuleThresholds, ValidPeriodTask
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    format_trace,
+    tracer_of,
+)
+from repro.runtime.budget import CancellationToken, RunInterrupted, RunMonitor
+from repro.temporal.granularity import Granularity
+
+
+class TestTracer:
+    def test_nested_spans_form_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("mine", task="valid_periods"):
+            with tracer.span("pass", k=1):
+                pass
+            with tracer.span("pass", k=2, candidates=9):
+                pass
+        document = tracer.to_dict()
+        (root,) = document["spans"]
+        assert root["name"] == "mine"
+        assert root["attrs"] == {"task": "valid_periods"}
+        assert [child["name"] for child in root["children"]] == ["pass", "pass"]
+        assert root["children"][1]["attrs"] == {"k": 2, "candidates": 9}
+        assert document["total_ms"] >= 0.0
+        # A clean tree carries no status markers at all.
+        assert "status" not in root
+
+    def test_exception_marks_error(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("work"):
+                raise ValueError("boom")
+        (root,) = tracer.to_dict()["spans"]
+        assert root["status"] == "error"
+
+    def test_run_interrupted_marks_interrupted(self):
+        tracer = Tracer()
+        with pytest.raises(RunInterrupted):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RunInterrupted("cancelled")
+        (root,) = tracer.to_dict()["spans"]
+        assert root["status"] == "interrupted"
+        assert root["children"][0]["status"] == "interrupted"
+
+    def test_mid_run_snapshot_is_well_formed(self):
+        tracer = Tracer()
+        context = tracer.span("open_span")
+        context.__enter__()
+        (root,) = tracer.to_dict()["spans"]
+        assert root["status"] == "open"
+        assert root["duration_ms"] >= 0.0
+        context.__exit__(None, None, None)
+
+    def test_document_is_json_able(self):
+        tracer = Tracer()
+        with tracer.span("mine", granularity="month"):
+            pass
+        json.dumps(tracer.to_dict())
+
+
+class TestNullTracer:
+    def test_span_is_a_reusable_noop(self):
+        tracer = NullTracer()
+        with tracer.span("anything", k=1) as span:
+            assert span is None
+        assert tracer.to_dict() == {"spans": [], "total_ms": 0.0}
+        assert tracer.enabled is False
+
+    def test_tracer_of_routing(self):
+        assert tracer_of(None) is NULL_TRACER
+        monitor = RunMonitor()
+        assert tracer_of(monitor) is NULL_TRACER
+        tracer = Tracer()
+        monitor.trace = tracer
+        assert tracer_of(monitor) is tracer
+
+
+class TestFormatTrace:
+    def test_renders_indented_tree(self):
+        tracer = Tracer()
+        with tracer.span("mine", task="t"):
+            with tracer.span("pass", k=1):
+                pass
+        text = format_trace(tracer.to_dict())
+        lines = text.splitlines()
+        assert lines[0].startswith("mine (task=t)")
+        assert lines[1].startswith("  pass (k=1)")
+        assert all(line.endswith("ms") for line in lines)
+
+    def test_empty_trace(self):
+        assert format_trace({"spans": []}) == "(empty trace)"
+
+
+class TestMiningTraces:
+    def test_traced_run_attaches_span_tree(self, seasonal_data):
+        miner = TemporalMiner(
+            seasonal_data.database, metrics=MetricsRegistry(), trace=True
+        )
+        task = ValidPeriodTask(
+            granularity=Granularity.MONTH,
+            thresholds=RuleThresholds(min_support=0.2, min_confidence=0.6),
+        )
+        report = miner.valid_periods(task)
+        assert report.trace is not None
+        names = [span["name"] for span in report.trace["spans"]]
+        assert "count" in names
+        count = next(s for s in report.trace["spans"] if s["name"] == "count")
+        passes = [c for c in count.get("children", []) if c["name"] == "pass"]
+        assert passes and passes[0]["attrs"]["k"] == 1
+
+    def test_untraced_run_has_no_trace(self, seasonal_data):
+        miner = TemporalMiner(seasonal_data.database, metrics=MetricsRegistry())
+        task = ValidPeriodTask(
+            granularity=Granularity.MONTH,
+            thresholds=RuleThresholds(min_support=0.2, min_confidence=0.6),
+        )
+        assert miner.valid_periods(task).trace is None
+
+    def test_cancellation_yields_well_formed_interrupted_tree(self, seasonal_data):
+        """Satellite: the span tree survives a mid-run cancel intact."""
+        token = CancellationToken()
+        seen = {"granules": 0}
+
+        def hook(index):
+            seen["granules"] += 1
+            if seen["granules"] >= 3:
+                token.cancel()
+
+        miner = TemporalMiner(
+            seasonal_data.database, metrics=MetricsRegistry(), trace=True
+        )
+        task = ValidPeriodTask(
+            granularity=Granularity.MONTH,
+            thresholds=RuleThresholds(min_support=0.2, min_confidence=0.6),
+        )
+        report = miner.valid_periods(task, token=token, granule_hook=hook)
+        assert report.partial is True
+        assert report.trace is not None
+
+        statuses = []
+
+        def walk(node):
+            statuses.append(node.get("status"))
+            assert node["duration_ms"] >= 0.0
+            for child in node.get("children", []):
+                walk(child)
+
+        for root in report.trace["spans"]:
+            walk(root)
+        assert "interrupted" in statuses
+        json.dumps(report.trace)  # still serializable
+
+    def test_trace_path_appends_jsonl(self, seasonal_data, tmp_path):
+        sink = tmp_path / "trace.jsonl"
+        miner = TemporalMiner(
+            seasonal_data.database, metrics=MetricsRegistry(), trace=sink
+        )
+        task = ValidPeriodTask(
+            granularity=Granularity.MONTH,
+            thresholds=RuleThresholds(min_support=0.2, min_confidence=0.6),
+        )
+        miner.valid_periods(task)
+        miner.valid_periods(task)
+        lines = sink.read_text().splitlines()
+        assert len(lines) == 2
+        record = json.loads(lines[0])
+        assert record["task"] == "valid_periods"
+        assert record["spans"]

@@ -191,3 +191,42 @@ class TestRunMonitor:
         text = monitor.diagnostics().describe()
         assert "stopped (max_rules)" in text
         assert "rules<=1" in text
+
+
+class TestGranuleLogRingBuffer:
+    def test_log_is_capped_and_counts_drops(self):
+        monitor = RunMonitor(max_granule_log=5)
+        monitor.commit_granule_batch(range(8))
+        monitor.complete_pass()
+        log = monitor.pass_granule_log()
+        assert len(log) == 5
+        # Newest entries survive; the oldest three were evicted.
+        assert log == tuple((0, offset) for offset in range(3, 8))
+        assert monitor.granule_log_dropped == 3
+
+    def test_uncapped_log_keeps_everything(self):
+        monitor = RunMonitor(max_granule_log=None)
+        monitor.commit_granule_batch(range(100))
+        monitor.complete_pass()
+        assert len(monitor.pass_granule_log()) == 100
+        assert monitor.granule_log_dropped == 0
+
+    def test_default_cap_applies(self):
+        from repro.runtime.budget import DEFAULT_GRANULE_LOG_CAP
+
+        monitor = RunMonitor()
+        assert monitor.max_granule_log == DEFAULT_GRANULE_LOG_CAP
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(MiningParameterError):
+            RunMonitor(max_granule_log=0)
+
+    def test_cap_spans_passes(self):
+        monitor = RunMonitor(max_granule_log=4)
+        for _ in range(3):
+            monitor.commit_granule_batch(range(3))
+            monitor.complete_pass()
+        log = monitor.pass_granule_log()
+        assert len(log) == 4
+        assert monitor.granule_log_dropped == 5
+        assert log == ((1, 2), (2, 0), (2, 1), (2, 2))

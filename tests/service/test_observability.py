@@ -1,0 +1,180 @@
+"""Service telemetry: /v1/metrics, traced jobs, payload stability."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs.metrics import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+from repro.service.client import ServiceClient
+from repro.service.core import MiningService, ServiceConfig
+from repro.service.http import start_server
+
+MINE_QUERY = (
+    "MINE PERIODS FROM transactions AT GRANULARITY month "
+    "WITH SUPPORT >= 0.2, CONFIDENCE >= 0.6 HAVING COVERAGE >= 2;"
+)
+
+
+def scrape_until(client, predicate, timeout=10.0):
+    """Scrape /v1/metrics until ``predicate(parsed)`` holds (or timeout).
+
+    HTTP request metrics are recorded *after* the response bytes go out,
+    so a scrape issued right after a request returns can race that
+    request's own accounting by microseconds.  Every scrape still must
+    parse strictly; only the predicate is allowed to lag.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        parsed = parse_prometheus_text(client.metrics())
+        if predicate(parsed) or time.monotonic() > deadline:
+            return parsed
+        time.sleep(0.01)
+
+
+@pytest.fixture
+def served(seasonal_data):
+    service = MiningService(
+        config=ServiceConfig(workers=2, metrics=MetricsRegistry())
+    )
+    service.load_database(seasonal_data.database)
+    server, _ = start_server(service)
+    try:
+        yield service, server, ServiceClient(server.url)
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+
+class TestMetricsEndpoint:
+    def test_scrape_parses_strictly(self, served):
+        _, _, client = served
+        client.query("SHOW SUMMARY;")
+        parsed = scrape_until(
+            client, lambda p: "repro_http_requests_total" in p
+        )
+        assert "repro_scheduler_admitted_total" in parsed
+        assert "repro_http_requests_total" in parsed
+
+    def test_content_type_is_prometheus(self, served):
+        import urllib.request
+
+        _, server, _ = served
+        with urllib.request.urlopen(server.url + "/v1/metrics") as response:
+            assert response.headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+            parse_prometheus_text(response.read().decode("utf-8"))
+
+    def test_mining_populates_expected_series(self, served):
+        _, _, client = served
+        client.query(MINE_QUERY)  # mined
+        client.query(MINE_QUERY)  # cache hit
+        parsed = scrape_until(
+            client,
+            lambda p: any(
+                'route="/v1/query"' in labels
+                for labels in p.get("repro_http_requests_total", {})
+            ),
+        )
+        assert parsed["repro_mining_passes_total"][""] > 0
+        assert parsed["repro_mining_rules_total"][""] > 0
+        assert parsed["repro_cache_events_total"]['{event="miss"}'] >= 1
+        assert parsed["repro_cache_events_total"]['{event="hit"}'] >= 1
+        assert parsed["repro_scheduler_jobs_total"]['{state="done"}'] >= 2
+        assert parsed["repro_scheduler_admitted_total"][""] >= 2
+        request_series = parsed["repro_http_requests_total"]
+        assert any('route="/v1/query"' in labels for labels in request_series)
+
+    def test_sixteen_concurrent_scrapers_during_mining(self, served):
+        """Satellite: the exposition stays valid under scrape fan-in."""
+        _, _, client = served
+        submitted = client.query_async(MINE_QUERY)
+        outcomes = [None] * 16
+
+        def scrape(slot):
+            scraper = ServiceClient(client.base_url)
+            try:
+                parse_prometheus_text(scraper.metrics())
+                outcomes[slot] = "ok"
+            except Exception as error:  # noqa: BLE001 — recorded for assert
+                outcomes[slot] = repr(error)
+
+        threads = [
+            threading.Thread(target=scrape, args=(slot,)) for slot in range(16)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert outcomes == ["ok"] * 16
+        client.wait(submitted["job_id"])
+
+    def test_status_carries_registry_snapshot(self, served):
+        _, _, client = served
+        client.query("SHOW SUMMARY;")
+        document = client.status()
+        assert "metrics" in document
+        assert document["metrics"]["repro_scheduler_admitted_total"] >= 1
+
+    def test_registries_are_isolated_per_service(self, served, seasonal_data):
+        """An injected registry keeps one service's counters out of another's."""
+        _, _, client = served
+        client.query("SHOW SUMMARY;")
+        other = MiningService(
+            config=ServiceConfig(workers=1, metrics=MetricsRegistry())
+        )
+        try:
+            snapshot = other.metrics.snapshot()
+            assert snapshot.get("repro_scheduler_admitted_total", 0.0) == 0.0
+        finally:
+            other.close()
+
+
+class TestTracedJobs:
+    def test_traced_query_carries_span_tree(self, served):
+        _, _, client = served
+        record = client.query(MINE_QUERY, trace=True)
+        assert record["state"] == "done"
+        trace = record["result"]["trace"]
+        assert trace["spans"], "expected a non-empty span tree"
+        names = {span["name"] for span in trace["spans"]}
+        assert "count" in names
+
+    def test_traced_queries_bypass_the_cache(self, served):
+        _, _, client = served
+        first = client.query(MINE_QUERY, trace=True)
+        second = client.query(MINE_QUERY, trace=True)
+        assert first["cached"] is False and second["cached"] is False
+        # A traced run must not have poisoned the cache for untraced
+        # clients either: the next plain query mines (miss), and its
+        # payload carries no trace key.
+        plain = client.query(MINE_QUERY)
+        assert plain["cached"] is False
+        assert "trace" not in plain["result"]
+
+    def test_untraced_payloads_stay_byte_identical(self, served):
+        """Satellite: tracing OFF leaves result payloads untouched."""
+        service, _, client = served
+        first = client.query(MINE_QUERY)
+        cached = client.query(MINE_QUERY)
+        service.cache.clear()
+        remined = client.query(MINE_QUERY)
+        blobs = {
+            json.dumps(record["result"], sort_keys=True)
+            for record in (first, cached, remined)
+        }
+        assert len(blobs) == 1
+        assert cached["cached"] is True and remined["cached"] is False
+        assert "trace" not in first["result"]
+
+    def test_job_record_flags_trace(self, served):
+        _, _, client = served
+        record = client.query(MINE_QUERY, trace=True)
+        assert record.get("trace") is True
+        plain = client.query("SHOW SUMMARY;")
+        assert "trace" not in plain

@@ -10,7 +10,7 @@ from repro.runtime.budget import RunBudget
 from repro.service.scheduler import CANCELLED, DONE, FAILED, JobScheduler
 
 
-def echo_execute(statement, token, budget):
+def echo_execute(statement, token, budget, trace=False):
     return {"echo": statement}, False
 
 
@@ -40,7 +40,7 @@ class TestLifecycle:
             scheduler.close()
 
     def test_failure_surfaces_error(self):
-        def boom(statement, token, budget):
+        def boom(statement, token, budget, trace=False):
             raise ValueError("bad statement")
 
         scheduler = JobScheduler(boom, workers=1)
@@ -56,7 +56,7 @@ class TestLifecycle:
     def test_budget_travels_to_execute(self):
         seen = {}
 
-        def capture(statement, token, budget):
+        def capture(statement, token, budget, trace=False):
             seen["budget"] = budget
             return {}, False
 
@@ -87,7 +87,7 @@ class TestPriorityAndAdmission:
         release = threading.Event()
         order = []
 
-        def gated(statement, token, budget):
+        def gated(statement, token, budget, trace=False):
             if statement == "gate":
                 release.wait(5.0)
             else:
@@ -111,7 +111,7 @@ class TestPriorityAndAdmission:
     def test_admission_rejects_when_saturated(self):
         release = threading.Event()
 
-        def gated(statement, token, budget):
+        def gated(statement, token, budget, trace=False):
             release.wait(5.0)
             return {}, False
 
@@ -132,7 +132,7 @@ class TestPriorityAndAdmission:
     def test_queue_drains_after_rejection(self):
         release = threading.Event()
 
-        def gated(statement, token, budget):
+        def gated(statement, token, budget, trace=False):
             release.wait(5.0)
             return {}, False
 
@@ -156,7 +156,7 @@ class TestCancellation:
         release = threading.Event()
         ran = []
 
-        def gated(statement, token, budget):
+        def gated(statement, token, budget, trace=False):
             if statement == "gate":
                 release.wait(5.0)
             ran.append(statement)
@@ -179,7 +179,7 @@ class TestCancellation:
     def test_cancel_running_trips_token(self):
         started = threading.Event()
 
-        def cooperative(statement, token, budget):
+        def cooperative(statement, token, budget, trace=False):
             started.set()
             deadline = time.monotonic() + 5.0
             while not token.cancelled and time.monotonic() < deadline:
@@ -201,7 +201,7 @@ class TestCancellation:
     def test_cancel_queued_jobs_releases_queue_capacity(self):
         release = threading.Event()
 
-        def gated(statement, token, budget):
+        def gated(statement, token, budget, trace=False):
             release.wait(5.0)
             return {}, False
 
@@ -247,7 +247,7 @@ class TestShutdownAndStats:
     def test_close_cancels_queued_jobs(self):
         release = threading.Event()
 
-        def gated(statement, token, budget):
+        def gated(statement, token, budget, trace=False):
             release.wait(5.0)
             return {}, False
 

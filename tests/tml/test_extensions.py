@@ -378,3 +378,86 @@ class TestMineTrends:
         )
         assert session.workflow.stage is Stage.RESULT_ANALYSIS
         assert session.workflow.iterations == 1
+
+
+class TestSetTrace:
+    def test_parse_and_roundtrip(self):
+        from repro.tml.ast import SetTraceStatement
+
+        on = parse_statement("SET TRACE ON;")
+        assert on == SetTraceStatement(on=True)
+        assert on.render() == "SET TRACE ON;"
+        off = parse_statement("SET TRACE OFF;")
+        assert off == SetTraceStatement(on=False)
+        assert parse_statement(off.render()) == off
+
+    def test_rejects_other_values(self):
+        with pytest.raises(TmlParseError):
+            parse_statement("SET TRACE maybe;")
+
+    def test_toggles_environment_and_reports(self, seasonal_data):
+        environment = ExecutionEnvironment(store=None)
+        environment.register("sales", seasonal_data.database)
+        executor = TmlExecutor(environment)
+        result = executor.execute("SET TRACE ON;")
+        assert dict(result.payload.rows)["trace"] == "on"
+        assert environment.trace is True
+        mined = executor.execute(
+            "MINE PERIODS FROM sales AT GRANULARITY month "
+            "WITH SUPPORT >= 0.2, CONFIDENCE >= 0.6;"
+        )
+        assert mined.payload.trace is not None
+        executor.execute("SET TRACE OFF;")
+        assert environment.trace is False
+        untraced = executor.execute(
+            "MINE PERIODS FROM sales AT GRANULARITY month "
+            "WITH SUPPORT >= 0.2, CONFIDENCE >= 0.6;"
+        )
+        assert untraced.payload.trace is None
+
+
+class TestExplainAnalyze:
+    def test_parse_and_roundtrip(self):
+        statement = parse_statement(
+            "EXPLAIN ANALYZE MINE PERIODS FROM sales AT GRANULARITY month "
+            "WITH SUPPORT >= 0.2, CONFIDENCE >= 0.6;"
+        )
+        assert isinstance(statement, ExplainStatement)
+        assert statement.analyze is True
+        assert statement.render().startswith("EXPLAIN ANALYZE MINE PERIODS")
+        assert parse_statement(statement.render()) == statement
+
+    def test_plain_explain_keeps_analyze_false(self):
+        statement = parse_statement(
+            "EXPLAIN MINE PERIODS FROM sales AT GRANULARITY month "
+            "WITH SUPPORT >= 0.2, CONFIDENCE >= 0.6;"
+        )
+        assert statement.analyze is False
+
+    def test_runs_and_reports_telemetry(self, seasonal_data):
+        environment = ExecutionEnvironment(store=None)
+        environment.register("sales", seasonal_data.database)
+        executor = TmlExecutor(environment)
+        result = executor.execute(
+            "EXPLAIN ANALYZE MINE PERIODS FROM sales AT GRANULARITY month "
+            "WITH SUPPORT >= 0.2, CONFIDENCE >= 0.6;"
+        )
+        rows = list(result.payload.rows)
+        properties = dict(rows)
+        assert properties["statement"] == "MinePeriodsStatement"
+        assert int(properties["results"]) > 0
+        assert int(properties["passes_completed"]) > 0
+        assert int(properties["candidates_generated"]) > 0
+        trace_lines = [value for name, value in rows if name == "trace"]
+        assert any(line.strip().startswith("count") for line in trace_lines)
+
+    def test_leaves_trace_setting_untouched(self, seasonal_data):
+        environment = ExecutionEnvironment(store=None)
+        environment.register("sales", seasonal_data.database)
+        executor = TmlExecutor(environment)
+        assert environment.trace is False
+        executor.execute(
+            "EXPLAIN ANALYZE MINE PERIODS FROM sales AT GRANULARITY month "
+            "WITH SUPPORT >= 0.2, CONFIDENCE >= 0.6;"
+        )
+        assert environment.trace is False
