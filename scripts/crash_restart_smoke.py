@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""End-to-end crash-restart smoke test for the durable mining service.
+
+Used by CI's service smoke job (and handy interactively)::
+
+    python scripts/crash_restart_smoke.py
+
+The script drives the *real* console entry point as a subprocess:
+
+1. boot ``repro-serve`` on a file-backed store with the journal on,
+2. submit several async mining jobs to a single worker (so at least
+   one is running and the rest are queued),
+3. ``SIGTERM`` the server mid-job — it drains: the running job is
+   interrupted with its partial journaled, queued jobs stay journaled
+   as ``queued``,
+4. boot a fresh server process on the same files,
+5. assert every submitted job finishes ``done`` under its original job
+   id, exactly once.
+
+Exit status 0 on success, 1 with a diagnostic on any failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO = Path(__file__).resolve().parent.parent
+MINE = (
+    "MINE PERIODS FROM transactions AT GRANULARITY month "
+    "WITH SUPPORT >= {support}, CONFIDENCE >= 0.6 HAVING COVERAGE >= 2;"
+)
+
+
+def _free_port() -> int:
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def _api(port: int, path: str, payload: Optional[Dict] = None) -> Dict:
+    body = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=body,
+        headers={"Content-Type": "application/json"} if body else {},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.loads(response.read().decode())
+
+
+def _start_server(port: int, db: str) -> subprocess.Popen:
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.service",
+            "--db",
+            db,
+            "--demo",
+            "--port",
+            str(port),
+            "--workers",
+            "1",
+            "--drain-deadline",
+            "0.2",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+    for _ in range(60):
+        try:
+            _api(port, "/v1/status")
+            return process
+        except (urllib.error.URLError, ConnectionError, OSError):
+            if process.poll() is not None:
+                break
+            time.sleep(0.5)
+    output = process.stdout.read().decode() if process.stdout else ""
+    raise RuntimeError(f"server on port {port} never came up:\n{output}")
+
+
+def main() -> int:
+    workdir = tempfile.mkdtemp(prefix="crash-smoke-")
+    db = os.path.join(workdir, "store.db")
+    port = _free_port()
+
+    print(f"[1/5] booting repro-serve (db={db}, port={port})")
+    server = _start_server(port, db)
+
+    print("[2/5] submitting 3 async jobs to 1 worker")
+    job_ids: List[str] = []
+    for index, support in enumerate((0.2, 0.25, 0.3)):
+        record = _api(
+            port,
+            "/v1/query",
+            {
+                "query": MINE.format(support=support),
+                "async": True,
+                "idempotency_key": f"smoke-{index}",
+            },
+        )
+        job_ids.append(record["job_id"])
+    # Wait for the worker to actually be inside a statement before the
+    # kill, so the drain exercises the interrupt path, not an idle exit.
+    for _ in range(100):
+        if any(
+            _api(port, f"/v1/jobs/{job_id}")["state"] == "running"
+            for job_id in job_ids
+        ):
+            break
+        time.sleep(0.05)
+
+    print("[3/5] SIGTERM mid-job; waiting for the drain to exit")
+    server.send_signal(signal.SIGTERM)
+    code = server.wait(timeout=60)
+    if code != 0:
+        output = server.stdout.read().decode() if server.stdout else ""
+        print(f"FAIL: drain exited with status {code}:\n{output}")
+        return 1
+
+    print("[4/5] restarting on the same store/journal")
+    server = _start_server(port, db)
+    try:
+        print("[5/5] waiting for every submitted job to finish")
+        deadline = time.monotonic() + 120
+        states: Dict[str, str] = {}
+        while time.monotonic() < deadline:
+            states = {
+                job_id: _api(port, f"/v1/jobs/{job_id}")["state"]
+                for job_id in job_ids
+            }
+            if all(state == "done" for state in states.values()):
+                break
+            if any(state in ("failed", "cancelled") for state in states.values()):
+                print(f"FAIL: job reached a wrong terminal state: {states}")
+                return 1
+            time.sleep(0.25)
+        else:
+            print(f"FAIL: jobs never finished after the restart: {states}")
+            return 1
+        status = _api(port, "/v1/status")
+        recovered = status.get("recovered", {})
+        print(
+            f"OK: all {len(job_ids)} jobs done after crash-restart "
+            f"(recovered={recovered}, journal states="
+            f"{status['journal'].get('states')})"
+        )
+        return 0
+    finally:
+        server.send_signal(signal.SIGTERM)
+        try:
+            server.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            server.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

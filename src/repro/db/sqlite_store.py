@@ -96,6 +96,11 @@ class SqliteStore:
         self._fingerprint_key: Optional[Tuple[int, int, int]] = None
         self._retry_policy = retry_policy or RetryPolicy()
         self._sleep = sleep
+        # Per-thread retry deadline: the service sets this from the
+        # running job's RunBudget so backoff sleeps against a contended
+        # store can never overshoot the budget (thread-local because the
+        # store is shared across worker threads with distinct budgets).
+        self._retry_deadlines = threading.local()
         try:
             # check_same_thread=False: the connection is shared across the
             # service's worker threads; every access is serialized by
@@ -165,12 +170,29 @@ class SqliteStore:
     # retry-wrapped SQL primitives
     # ------------------------------------------------------------------
 
+    def set_retry_deadline(self, deadline: Optional[float]) -> None:
+        """Bound this thread's retry backoff by an absolute deadline.
+
+        ``deadline`` is on ``time.monotonic`` (pass
+        ``time.monotonic() + budget.max_seconds``, or
+        :attr:`RunMonitor.deadline
+        <repro.runtime.budget.RunMonitor.deadline>`); ``None`` clears
+        the bound.  Only this thread's subsequent operations are
+        affected.
+        """
+        self._retry_deadlines.value = deadline
+
+    def retry_deadline(self) -> Optional[float]:
+        """This thread's current retry deadline (``None`` = unbounded)."""
+        return getattr(self._retry_deadlines, "value", None)
+
     def _retry(self, operation: Callable[[], object], describe: str):
         return retry_call(
             operation,
             policy=self._retry_policy,
             sleep=self._sleep,
             describe=describe,
+            deadline=self.retry_deadline(),
         )
 
     def _execute(self, sql: str, parameters: Sequence[object] = ()) -> sqlite3.Cursor:
@@ -321,16 +343,29 @@ class SqliteStore:
         """
         with self._lock:
             connection = self.connection
-            version = int(connection.execute("PRAGMA data_version").fetchone()[0])
+            version = int(
+                self._retry(
+                    lambda: connection.execute("PRAGMA data_version").fetchone(),
+                    "execute: PRAGMA data_version",
+                )[0]
+            )
             rows = int(
-                connection.execute("SELECT COUNT(*) FROM transactions").fetchone()[0]
+                self._retry(
+                    lambda: connection.execute(
+                        "SELECT COUNT(*) FROM transactions"
+                    ).fetchone(),
+                    "execute: SELECT COUNT(*) FROM transactions",
+                )[0]
             )
             key = (version, connection.total_changes, rows)
             if self._fingerprint_cache is not None and self._fingerprint_key == key:
                 return self._fingerprint_cache
             digest = hashlib.sha256()
-            cursor = connection.execute(
-                "SELECT tid, ts, item FROM transactions ORDER BY tid, item"
+            cursor = self._retry(
+                lambda: connection.execute(
+                    "SELECT tid, ts, item FROM transactions ORDER BY tid, item"
+                ),
+                "execute: fingerprint scan",
             )
             for tid, stamp, item in cursor:
                 digest.update(f"{tid}\x1f{stamp}\x1f{item}\x1e".encode("utf-8"))

@@ -8,6 +8,8 @@ the message instead of a traceback).
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -127,12 +129,33 @@ class ServiceError(ReproError):
 
 
 class AdmissionError(ServiceError):
-    """The service rejected a job because its queue is saturated.
+    """The service rejected a job because its queue is saturated (or the
+    process is draining for shutdown).
 
     Maps to HTTP 503 at the API boundary; clients should back off and
-    retry.
+    retry.  ``retry_after`` carries the server's backoff hint in
+    seconds (the ``Retry-After`` header), which retrying clients must
+    treat as the *floor* of their next backoff delay.
     """
+
+    def __init__(self, message: str, retry_after: Optional[float] = None):
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class JobNotFoundError(ServiceError):
     """No job with the requested id exists (maps to HTTP 404)."""
+
+
+class ServiceUnreachableError(ServiceError):
+    """The client could not reach the service (connect/read failure).
+
+    Transient by nature — the client's retry loop treats it as
+    retryable for idempotent requests.  A request that may have been
+    *received* before the connection died is only retried when it
+    carries an idempotency key.
+    """
+
+
+class JournalError(ServiceError):
+    """The durable job journal could not record or recover state."""

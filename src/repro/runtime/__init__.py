@@ -23,6 +23,7 @@ from repro.runtime.faultinject import (
     DbFaultPlan,
     FlakyConnection,
     GranuleFaults,
+    SimulatedCrash,
     inject_db_faults,
 )
 from repro.runtime.retry import (
@@ -45,6 +46,7 @@ __all__ = [
     "STOP_DEADLINE",
     "STOP_MAX_CANDIDATES",
     "STOP_MAX_RULES",
+    "SimulatedCrash",
     "inject_db_faults",
     "is_transient_db_error",
     "retry_call",

@@ -101,6 +101,36 @@ class RunBudget:
             and self.max_rules is None
         )
 
+    def to_dict(self) -> dict:
+        """The JSON-able spec (the HTTP API's ``budget`` object shape).
+
+        Round-trips through :meth:`from_dict`; the service journal
+        persists budgets in this form so a recovered job re-runs under
+        the exact limits it was submitted with.
+        """
+        spec: dict = {}
+        if self.max_seconds is not None:
+            spec["time"] = self.max_seconds
+        if self.max_candidates is not None:
+            spec["candidates"] = self.max_candidates
+        if self.max_rules is not None:
+            spec["rules"] = self.max_rules
+        if self.strict:
+            spec["strict"] = True
+        return spec
+
+    @classmethod
+    def from_dict(cls, spec: Optional[dict]) -> Optional["RunBudget"]:
+        """Rebuild a budget from its :meth:`to_dict` spec (``None`` passes)."""
+        if not spec:
+            return None
+        return cls(
+            max_seconds=spec.get("time"),
+            max_candidates=spec.get("candidates"),
+            max_rules=spec.get("rules"),
+            strict=bool(spec.get("strict", False)),
+        )
+
     def describe(self) -> str:
         parts = []
         if self.max_seconds is not None:
@@ -285,6 +315,16 @@ class RunMonitor:
 
     def elapsed(self) -> float:
         return self._clock() - self._started
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """The absolute wall-clock deadline (monitor clock), or ``None``.
+
+        Retry layers pass this to
+        :func:`repro.runtime.retry.retry_call` so backoff sleeps are
+        clamped to the run budget and can never overshoot it.
+        """
+        return self._deadline
 
     # ------------------------------------------------------------------
     # charging (called from the hot loops)

@@ -35,6 +35,19 @@ from repro.runtime.budget import CancellationToken
 _LOCKED = "database is locked"
 
 
+class SimulatedCrash(BaseException):
+    """Deterministic stand-in for a worker-thread death or process kill.
+
+    Deliberately derives from :class:`BaseException`, not
+    :class:`Exception`: the service scheduler's job-isolation handler
+    catches ordinary errors and journals the job as *failed*, but a
+    crash must leave the job **orphaned in the running state** — exactly
+    what a ``kill -9`` leaves behind — so the journal recovery path can
+    be exercised.  The scheduler lets this exception terminate the
+    worker thread without recording any lifecycle transition.
+    """
+
+
 @dataclass(frozen=True)
 class DbFaultPlan:
     """Which store operations fail, by 1-based execution index.
@@ -173,6 +186,9 @@ class GranuleFaults:
     Attributes:
         slow_ticks: tick index (1-based) → extra seconds to stall.
         cancel_at_tick: cancel ``token`` when this tick is reached.
+        crash_at_tick: raise :class:`SimulatedCrash` at this tick —
+            the service-tier chaos seam for killing a worker thread
+            mid-job (the job is left orphaned in the running state).
         token: the run's cancellation token (required for cancellation).
         sleeper: injectable stall function (tests pass a recorder or a
             fake-clock advancer instead of really sleeping).
@@ -180,6 +196,7 @@ class GranuleFaults:
 
     slow_ticks: Dict[int, float] = field(default_factory=dict)
     cancel_at_tick: Optional[int] = None
+    crash_at_tick: Optional[int] = None
     token: Optional[CancellationToken] = None
     sleeper: Callable[[float], None] = time.sleep
     ticks_seen: int = 0
@@ -216,3 +233,7 @@ class GranuleFaults:
             and self.token is not None
         ):
             self.token.cancel()
+        if self.crash_at_tick is not None and self.ticks_seen == self.crash_at_tick:
+            raise SimulatedCrash(
+                f"injected worker crash at granule tick {self.ticks_seen}"
+            )

@@ -81,6 +81,8 @@ def retry_call(
     sleep: Callable[[float], None] = time.sleep,
     rng: Optional[random.Random] = None,
     describe: str = "store operation",
+    deadline: Optional[float] = None,
+    clock: Callable[[], float] = time.monotonic,
 ) -> T:
     """Run ``operation``, retrying transient SQLite failures.
 
@@ -91,13 +93,22 @@ def retry_call(
         rng: injectable jitter source; defaults to a fixed-seed
             generator so schedules are reproducible.
         describe: operation label for the exhaustion error message.
+        deadline: absolute time (on ``clock``) past which no further
+            backoff sleep may extend.  Sleeps are clamped to the
+            remaining time and the retry loop gives up once the
+            deadline is reached, so a budgeted run's retries can never
+            overshoot its :class:`~repro.runtime.budget.RunBudget`
+            deadline (pass :attr:`RunMonitor.deadline
+            <repro.runtime.budget.RunMonitor.deadline>`).
+        clock: the clock ``deadline`` is measured on.
 
     Returns:
         The operation's result.
 
     Raises:
         TransientDatabaseError: the failure stayed transient through
-            every attempt.
+            every attempt (or through every attempt the deadline
+            allowed).
         Exception: any non-transient error, unchanged, immediately.
     """
     policy = policy if policy is not None else RetryPolicy()
@@ -118,4 +129,14 @@ def retry_call(
                     f"{error}",
                     attempts=attempts,
                 ) from error
+            if deadline is not None:
+                remaining = deadline - clock()
+                if remaining <= 0.0:
+                    raise TransientDatabaseError(
+                        f"{describe} still failing after {attempts} "
+                        f"attempt(s) and the run budget deadline has "
+                        f"passed: {error}",
+                        attempts=attempts,
+                    ) from error
+                delay = min(delay, remaining)
             sleep(delay)

@@ -5,7 +5,11 @@ system* shared by many analysts; this subsystem is that layer for the
 reproduction: a job scheduler with admission control and per-job
 budgets/cancellation, a TML-over-HTTP JSON API, and a content-addressed
 result cache keyed on (canonical query, dataset fingerprint, engine
-settings).  Stdlib-only.
+settings).  Since PR 6 the tier is also *durable*: a SQLite-WAL job
+journal records every lifecycle transition (restart recovery replays
+unfinished jobs without double execution), the result cache spills to
+disk so warm results survive restarts, and SIGTERM triggers a graceful
+drain that preserves sound partial results.  Stdlib-only.
 
 Quickstart::
 
@@ -20,13 +24,21 @@ Command line: ``python -m repro.service --demo`` (or the installed
 """
 
 from repro.service.cache import CacheEntry, ResultCache, cache_key
-from repro.service.client import ServiceClient
+from repro.service.client import ServiceClient, generate_idempotency_key
 from repro.service.core import MiningService, ServiceConfig
+from repro.service.durability import (
+    DiskCacheTier,
+    JobJournal,
+    JournalRecord,
+    JournalRecovery,
+    canonical_json,
+)
 from repro.service.http import MiningHTTPServer, start_server
 from repro.service.scheduler import (
     CANCELLED,
     DONE,
     FAILED,
+    INTERRUPTED,
     QUEUED,
     RUNNING,
     Job,
@@ -42,9 +54,14 @@ __all__ = [
     "CANCELLED",
     "CacheEntry",
     "DONE",
+    "DiskCacheTier",
     "FAILED",
+    "INTERRUPTED",
     "Job",
+    "JobJournal",
     "JobScheduler",
+    "JournalRecord",
+    "JournalRecovery",
     "MiningHTTPServer",
     "MiningService",
     "QUEUED",
@@ -53,6 +70,8 @@ __all__ = [
     "ServiceClient",
     "ServiceConfig",
     "cache_key",
+    "canonical_json",
+    "generate_idempotency_key",
     "payload_to_dict",
     "query_result_to_dict",
     "report_to_dict",

@@ -2,7 +2,8 @@
 
 Examples::
 
-    # serve an existing store
+    # serve an existing store durably (journal + disk cache derived
+    # from the store path; restart recovery replays unfinished jobs)
     repro-serve --db sales.db --port 8765 --workers 4
 
     # demo mode: synthesize a seasonal dataset and serve it
@@ -13,14 +14,24 @@ Examples::
         "query": "MINE PERIODS FROM transactions AT GRANULARITY month
                   WITH SUPPORT >= 0.2, CONFIDENCE >= 0.6;"
     }'
+
+Shutdown: ``SIGTERM`` or ``SIGINT`` (Ctrl-C) starts a graceful drain —
+new submissions get 503 + ``Retry-After`` while running jobs get
+``--drain-deadline`` seconds to land (stragglers are interrupted at a
+pass boundary, their sound partial results journaled); queued jobs stay
+journaled and resume when the service is next started on the same
+``--journal`` path.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import threading
 from typing import Optional, Sequence
 
+from repro.db.sqlite_store import SqliteStore
 from repro.obs.logs import configure_logging
 from repro.runtime.budget import RunBudget
 from repro.service.core import MiningService, ServiceConfig
@@ -40,7 +51,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--demo",
         action="store_true",
-        help="load the bundled synthetic seasonal demo dataset at startup",
+        help="load the bundled synthetic seasonal demo dataset at startup "
+        "(skipped when the store already holds data)",
     )
     parser.add_argument(
         "--workers", type=int, default=2, help="concurrent statements (worker threads)"
@@ -75,6 +87,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="default per-run wall-clock budget in seconds",
     )
     parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="durable job-journal file (default: <db>.journal for a "
+        "file-backed store, disabled for :memory:)",
+    )
+    parser.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="disable the job journal (jobs die with the process)",
+    )
+    parser.add_argument(
+        "--disk-cache",
+        default=None,
+        metavar="PATH",
+        help="result-cache spill file (default: <db>.cache for a "
+        "file-backed store, disabled for :memory:)",
+    )
+    parser.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="disable the disk cache tier (warm results die with the process)",
+    )
+    parser.add_argument(
+        "--drain-deadline",
+        type=float,
+        default=10.0,
+        help="seconds a SIGTERM drain lets running jobs finish before "
+        "interrupting them (their partials are journaled)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
     parser.add_argument(
@@ -84,6 +127,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="threshold for the repro.* loggers on stderr",
     )
     return parser
+
+
+def _durable_path(
+    explicit: Optional[str], disabled: bool, db_path: str, suffix: str
+) -> Optional[str]:
+    """Resolve a journal/disk-cache path from the flags and the store."""
+    if disabled:
+        return None
+    if explicit is not None:
+        return explicit
+    if db_path == ":memory:":
+        return None
+    return db_path + suffix
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -100,11 +156,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         engine=args.engine,
         mining_workers=args.mining_workers,
         default_budget=default_budget,
+        journal_path=_durable_path(
+            args.journal, args.no_journal, args.db, ".journal"
+        ),
+        disk_cache_path=_durable_path(
+            args.disk_cache, args.no_disk_cache, args.db, ".cache"
+        ),
+        drain_deadline_seconds=args.drain_deadline,
     )
-    service = MiningService(store=args.db, config=config)
-    if args.demo:
-        loaded = service.load_demo()
+    # The store is prepared *before* the service exists: journal
+    # recovery starts workers immediately, and a recovered job must
+    # never mine a half-loaded dataset.
+    store = SqliteStore(args.db)
+    if args.demo and store.count_transactions() == 0:
+        from repro.datagen import seasonal_dataset
+
+        dataset = seasonal_dataset(n_transactions=4000, seed=7)
+        loaded = store.save_database(dataset.database)
         print(f"loaded demo dataset: {loaded} transactions", file=sys.stderr)
+    service = MiningService(store=store, config=config)
+    if service.recovered.get("requeued"):
+        print(
+            f"journal recovery: re-admitted {service.recovered['requeued']} "
+            f"unfinished job(s)",
+            file=sys.stderr,
+        )
     server = MiningHTTPServer(
         service, host=args.host, port=args.port, verbose=args.verbose
     )
@@ -112,14 +188,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print("endpoints: POST /v1/query  GET /v1/jobs/{id}  "
           "DELETE /v1/jobs/{id}  GET /v1/status  GET /v1/metrics",
           file=sys.stderr)
+
+    # The HTTP server runs on a background thread so the main thread
+    # can own signal handling: on SIGTERM/SIGINT it drains the service
+    # while the API keeps answering (503 for new work, 200 for polls),
+    # then stops the listener.
+    stop = threading.Event()
+
+    def _request_shutdown(signum, frame):  # noqa: ARG001 — signal API
+        print(
+            f"\nreceived {signal.Signals(signum).name}: draining "
+            f"(deadline {args.drain_deadline:g}s)",
+            file=sys.stderr,
+        )
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _request_shutdown)
+    signal.signal(signal.SIGINT, _request_shutdown)
+    serve_thread = threading.Thread(
+        target=server.serve_forever, name="repro-service-http", daemon=True
+    )
+    serve_thread.start()
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        print("\nshutting down", file=sys.stderr)
+        stop.wait()
     finally:
+        summary = service.drain()
+        print(f"drain: {summary}", file=sys.stderr)
         server.shutdown()
         server.server_close()
-        service.close()
+        store.close()
     return 0
 
 

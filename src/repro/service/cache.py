@@ -22,6 +22,12 @@ re-run, compare).  The cache exploits that by addressing results with
 Eviction is LRU with an optional TTL; invalidation removes exactly the
 entries recorded under one dataset fingerprint (the mutation hook of
 the service core).  All operations are thread-safe.
+
+With a :class:`~repro.service.durability.spill.DiskCacheTier` attached,
+every put is mirrored to disk and a memory miss falls through to the
+spill file (promoting the entry back into memory), so warm results
+survive a process restart.  The spill tier is failure-isolated: a
+broken disk is logged and counted, never surfaced to the request.
 """
 
 from __future__ import annotations
@@ -29,13 +35,21 @@ from __future__ import annotations
 import copy
 import hashlib
 import json
+import sqlite3
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, Mapping, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Mapping, Optional
 
+from repro.errors import DatabaseError
+from repro.obs.logs import get_logger
 from repro.obs.metrics import MetricsRegistry, default_registry
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard (type-only)
+    from repro.service.durability.spill import DiskCacheTier
+
+logger = get_logger(__name__)
 
 
 def cache_key(
@@ -77,6 +91,8 @@ class CacheStats:
     evictions: int = 0
     expirations: int = 0
     invalidations: int = 0
+    disk_hits: int = 0
+    disk_errors: int = 0
 
 
 class ResultCache:
@@ -94,6 +110,7 @@ class ResultCache:
         ttl_seconds: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
         metrics: Optional[MetricsRegistry] = None,
+        spill: Optional["DiskCacheTier"] = None,
     ):
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
@@ -101,6 +118,7 @@ class ResultCache:
             raise ValueError(f"ttl_seconds must be > 0, got {ttl_seconds}")
         self.max_entries = max_entries
         self.ttl_seconds = ttl_seconds
+        self.spill = spill
         self._clock = clock
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
         self._lock = threading.Lock()
@@ -120,13 +138,17 @@ class ResultCache:
             return len(self._entries)
 
     def get(self, key: str) -> Optional[Dict]:
-        """The cached value, or ``None`` on miss/expiry (counted apart)."""
+        """The cached value, or ``None`` on miss/expiry (counted apart).
+
+        A memory miss falls through to the disk spill tier when one is
+        attached; a disk hit is promoted back into the memory tier.
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self._stats.misses += 1
                 self._m_events.inc(event="miss")
-                return None
+                return self._spill_get(key)
             if (
                 self.ttl_seconds is not None
                 and self._clock() - entry.created_at > self.ttl_seconds
@@ -137,7 +159,7 @@ class ResultCache:
                 self._m_events.inc(event="expiration")
                 self._m_events.inc(event="miss")
                 self._m_entries.set(len(self._entries))
-                return None
+                return self._spill_get(key)
             self._entries.move_to_end(key)
             entry.hits += 1
             self._stats.hits += 1
@@ -147,8 +169,48 @@ class ResultCache:
             # there must never reach back into the shared entry.
             return copy.deepcopy(entry.value)
 
+    def _spill_get(self, key: str) -> Optional[Dict]:
+        """Disk fallback for a memory miss (caller holds the lock).
+
+        A disk hit is promoted into the memory tier (counted as a
+        ``disk_hit``, not a ``put``); any spill failure degrades to a
+        miss.
+        """
+        if self.spill is None:
+            return None
+        try:
+            found = self.spill.get(key)
+        except (DatabaseError, sqlite3.Error, ValueError) as error:
+            self._stats.disk_errors += 1
+            self._m_events.inc(event="disk_error")
+            logger.warning("disk cache get failed for %s: %s", key[:12], error)
+            return None
+        if found is None:
+            return None
+        value, fingerprint = found
+        self._entries[key] = CacheEntry(
+            key=key,
+            value=copy.deepcopy(value),
+            dataset_fingerprint=fingerprint,
+            created_at=self._clock(),
+        )
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self._stats.evictions += 1
+            self._m_events.inc(event="eviction")
+        self._m_entries.set(len(self._entries))
+        self._stats.disk_hits += 1
+        self._m_events.inc(event="disk_hit")
+        return value
+
     def put(self, key: str, value: Dict, dataset_fingerprint: str) -> None:
-        """Insert (or refresh) an entry, evicting LRU past capacity."""
+        """Insert (or refresh) an entry, evicting LRU past capacity.
+
+        Mirrored to the disk spill tier when one is attached (disk
+        failures are counted and logged, never raised — losing the
+        spill copy only costs a future restart its warmth).
+        """
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
@@ -165,6 +227,15 @@ class ResultCache:
                 self._stats.evictions += 1
                 self._m_events.inc(event="eviction")
             self._m_entries.set(len(self._entries))
+            if self.spill is not None:
+                try:
+                    self.spill.put(key, value, dataset_fingerprint)
+                except (DatabaseError, sqlite3.Error, ValueError) as error:
+                    self._stats.disk_errors += 1
+                    self._m_events.inc(event="disk_error")
+                    logger.warning(
+                        "disk cache put failed for %s: %s", key[:12], error
+                    )
 
     def invalidate_fingerprint(self, dataset_fingerprint: str) -> int:
         """Drop exactly the entries cached under one dataset fingerprint.
@@ -181,27 +252,42 @@ class ResultCache:
             ]
             for key in doomed:
                 del self._entries[key]
-            self._stats.invalidations += len(doomed)
+            removed = len(doomed)
+            if self.spill is not None:
+                try:
+                    removed += self.spill.invalidate_fingerprint(dataset_fingerprint)
+                except (DatabaseError, sqlite3.Error) as error:
+                    self._stats.disk_errors += 1
+                    self._m_events.inc(event="disk_error")
+                    logger.warning("disk cache invalidation failed: %s", error)
+            self._stats.invalidations += removed
             if doomed:
                 self._m_events.inc(len(doomed), event="invalidation")
                 self._m_entries.set(len(self._entries))
-            return len(doomed)
+            return removed
 
     def clear(self) -> int:
-        """Drop everything; returns the number of entries removed."""
+        """Drop everything (both tiers); returns entries removed."""
         with self._lock:
             n = len(self._entries)
             self._entries.clear()
+            if self.spill is not None:
+                try:
+                    n += self.spill.clear()
+                except (DatabaseError, sqlite3.Error) as error:
+                    self._stats.disk_errors += 1
+                    self._m_events.inc(event="disk_error")
+                    logger.warning("disk cache clear failed: %s", error)
             self._stats.invalidations += n
             if n:
                 self._m_events.inc(n, event="invalidation")
             self._m_entries.set(0)
             return n
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, object]:
         """A snapshot of the counters plus the current entry count."""
         with self._lock:
-            return {
+            snapshot: Dict[str, object] = {
                 "entries": len(self._entries),
                 "max_entries": self.max_entries,
                 "hits": self._stats.hits,
@@ -210,4 +296,12 @@ class ResultCache:
                 "evictions": self._stats.evictions,
                 "expirations": self._stats.expirations,
                 "invalidations": self._stats.invalidations,
+                "disk_hits": self._stats.disk_hits,
+                "disk_errors": self._stats.disk_errors,
             }
+            if self.spill is not None:
+                try:
+                    snapshot["disk"] = self.spill.stats()
+                except (DatabaseError, sqlite3.Error):  # pragma: no cover
+                    snapshot["disk"] = {"error": "unavailable"}
+            return snapshot

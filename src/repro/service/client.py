@@ -1,8 +1,25 @@
 """A minimal stdlib client for the mining service's HTTP API.
 
 Used by the REPL's ``.serve``-adjacent workflows, the smoke tests and
-the E17 benchmark; also a reference for what the API looks like from
-the outside.
+the E17/E19 benchmarks; also a reference for what the API looks like
+from the outside.
+
+Hardened for an unreliable network and a restartable server:
+
+* **Socket timeouts everywhere** — control-plane calls default to
+  ``timeout`` (30 s); a synchronous query's socket timeout is derived
+  from its *server-side* wait (server wait + a grace margin), so a long
+  mine never trips the client first but a stalled server cannot hang it
+  forever.
+* **Retry with backoff and jitter** — connect/read failures and 503
+  rejections are retried on the PR 1 :class:`~repro.runtime.retry.RetryPolicy`
+  schedule.  A ``Retry-After`` hint from the server is honoured as the
+  *floor* of the next delay.
+* **Idempotency keys** — :meth:`query`/:meth:`query_async` attach a
+  generated idempotency key, so a retried POST re-attaches to the job
+  the first attempt admitted instead of running the statement twice.
+  Connection-failure retries of a POST happen *only* when a key is
+  attached; 503s are always safe to retry (the job was never admitted).
 
 >>> client = ServiceClient("http://127.0.0.1:8765")      # doctest: +SKIP
 >>> client.query("SHOW SUMMARY;")                        # doctest: +SKIP
@@ -13,28 +30,93 @@ the outside.
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
 import time
 import urllib.error
 import urllib.request
-from typing import Dict, Optional
+import uuid
+from typing import Callable, Dict, Optional
 
-from repro.errors import AdmissionError, JobNotFoundError, ServiceError
+from repro.errors import (
+    AdmissionError,
+    JobNotFoundError,
+    ServiceError,
+    ServiceUnreachableError,
+)
+from repro.runtime.retry import RetryPolicy
+
+#: Default socket timeout for control-plane requests (status, polls).
+DEFAULT_TIMEOUT_SECONDS = 30.0
+
+#: Default *server-side* wait for a synchronous query (mirrors the
+#: server's own default before it answers 504).
+DEFAULT_SYNC_WAIT_SECONDS = 300.0
+
+#: Socket-timeout headroom over a synchronous query's server-side wait:
+#: the server must win the race and answer 504 with a pollable job id —
+#: a client-side socket timeout would lose the id.
+SYNC_GRACE_SECONDS = 30.0
+
+#: Network failures the retry loop may clear.  ``HTTPError`` is *not*
+#: transient here — it is a served response — and is handled separately.
+_TRANSPORT_ERRORS = (
+    urllib.error.URLError,
+    ConnectionError,
+    TimeoutError,
+    http.client.HTTPException,
+)
+
+#: Client-side retry schedule: a few patient attempts with jitter, so a
+#: fleet of clients re-knocking on a restarted service fans out in time.
+DEFAULT_CLIENT_RETRY_POLICY = RetryPolicy(
+    max_attempts=4, base_delay=0.2, multiplier=2.0, max_delay=5.0, jitter=0.25
+)
+
+
+def generate_idempotency_key() -> str:
+    """A fresh idempotency key (one per *logical* submission)."""
+    return uuid.uuid4().hex
 
 
 class ServiceClient:
-    """Talk JSON to a :class:`~repro.service.http.MiningHTTPServer`."""
+    """Talk JSON to a :class:`~repro.service.http.MiningHTTPServer`.
 
-    def __init__(self, base_url: str, timeout: float = 330.0):
+    Args:
+        base_url: the service root, e.g. ``http://127.0.0.1:8765``.
+        timeout: socket timeout for control-plane requests, seconds.
+        retry_policy: backoff schedule for transient failures (pass
+            ``RetryPolicy(max_attempts=1)`` to disable retries).
+        sleep / rng: injectable sleeper and jitter source (tests).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = DEFAULT_TIMEOUT_SECONDS,
+        retry_policy: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else DEFAULT_CLIENT_RETRY_POLICY
+        )
+        self._sleep = sleep
+        self._rng = rng
 
     # ------------------------------------------------------------------
     # raw HTTP
     # ------------------------------------------------------------------
 
-    def _request(
-        self, method: str, path: str, payload: Optional[Dict] = None
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict] = None,
+        timeout: Optional[float] = None,
     ) -> Dict:
         body = json.dumps(payload).encode("utf-8") if payload is not None else None
         request = urllib.request.Request(
@@ -43,8 +125,9 @@ class ServiceClient:
             method=method,
             headers={"Content-Type": "application/json"} if body else {},
         )
+        socket_timeout = timeout if timeout is not None else self.timeout
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            with urllib.request.urlopen(request, timeout=socket_timeout) as response:
                 return json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as error:
             try:
@@ -53,7 +136,9 @@ class ServiceClient:
                 document = {"error": str(error)}
             message = document.get("error") or f"HTTP {error.code}"
             if error.code == 503:
-                raise AdmissionError(message) from None
+                raise AdmissionError(
+                    message, retry_after=_retry_after_seconds(error)
+                ) from None
             if error.code == 404:
                 raise JobNotFoundError(message) from None
             if error.code in (422, 504):
@@ -62,19 +147,64 @@ class ServiceClient:
                 document.setdefault("http_status", error.code)
                 return document
             raise ServiceError(f"HTTP {error.code}: {message}") from None
-        except urllib.error.URLError as error:
-            raise ServiceError(f"cannot reach {self.base_url}: {error}") from None
+        except _TRANSPORT_ERRORS as error:
+            raise ServiceUnreachableError(
+                f"cannot reach {self.base_url}: {error}"
+            ) from None
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict:
+        """One API call through the retry loop.
+
+        503s are always retryable (the job was never admitted).
+        Transport failures are retryable for GET/DELETE, and for POSTs
+        that carry an idempotency key — a keyless POST that died
+        mid-flight may or may not have been admitted, so it must
+        surface instead of risking a duplicate run.
+        """
+        transport_retryable = method in ("GET", "DELETE") or bool(
+            payload and payload.get("idempotency_key")
+        )
+        schedule = self.retry_policy.delays(self._rng)
+        while True:
+            try:
+                return self._request_once(method, path, payload, timeout)
+            except AdmissionError as error:
+                delay = next(schedule, None)
+                if delay is None:
+                    raise
+                # Retry-After is a floor, not a replacement: the server
+                # knows when it might accept again, the jittered policy
+                # keeps a client fleet from re-knocking in lockstep.
+                self._sleep(max(delay, error.retry_after or 0.0))
+            except ServiceUnreachableError:
+                delay = None if not transport_retryable else next(schedule, None)
+                if delay is None:
+                    raise
+                self._sleep(delay)
 
     def _request_text(self, method: str, path: str) -> str:
         """Fetch a non-JSON endpoint (the Prometheus exposition)."""
-        request = urllib.request.Request(self.base_url + path, method=method)
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return response.read().decode("utf-8")
-        except urllib.error.HTTPError as error:
-            raise ServiceError(f"HTTP {error.code}: {error.reason}") from None
-        except urllib.error.URLError as error:
-            raise ServiceError(f"cannot reach {self.base_url}: {error}") from None
+        schedule = self.retry_policy.delays(self._rng)
+        while True:
+            request = urllib.request.Request(self.base_url + path, method=method)
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                    return response.read().decode("utf-8")
+            except urllib.error.HTTPError as error:
+                raise ServiceError(f"HTTP {error.code}: {error.reason}") from None
+            except _TRANSPORT_ERRORS as error:
+                delay = next(schedule, None)
+                if delay is None:
+                    raise ServiceUnreachableError(
+                        f"cannot reach {self.base_url}: {error}"
+                    ) from None
+                self._sleep(delay)
 
     # ------------------------------------------------------------------
     # API surface
@@ -87,16 +217,35 @@ class ServiceClient:
         budget: Optional[Dict] = None,
         timeout: Optional[float] = None,
         trace: bool = False,
+        idempotency_key: Optional[str] = None,
     ) -> Dict:
-        """Run one statement synchronously; returns the job record."""
-        payload: Dict = {"query": text, "priority": priority}
+        """Run one statement synchronously; returns the job record.
+
+        ``timeout`` is the *server-side* wait before the server answers
+        504; the socket timeout is derived from it (plus a grace
+        margin) so the server always wins that race and the client
+        keeps a pollable job id.  An idempotency key is generated when
+        none is passed, making the POST retry-safe.
+        """
+        payload: Dict = {
+            "query": text,
+            "priority": priority,
+            "idempotency_key": (
+                idempotency_key
+                if idempotency_key is not None
+                else generate_idempotency_key()
+            ),
+        }
         if budget:
             payload["budget"] = budget
         if timeout is not None:
             payload["timeout"] = timeout
         if trace:
             payload["trace"] = True
-        return self._request("POST", "/v1/query", payload)
+        server_wait = timeout if timeout is not None else DEFAULT_SYNC_WAIT_SECONDS
+        return self._request(
+            "POST", "/v1/query", payload, timeout=server_wait + SYNC_GRACE_SECONDS
+        )
 
     def query_async(
         self,
@@ -104,9 +253,19 @@ class ServiceClient:
         priority: int = 0,
         budget: Optional[Dict] = None,
         trace: bool = False,
+        idempotency_key: Optional[str] = None,
     ) -> Dict:
         """Submit one statement; returns the queued job record."""
-        payload: Dict = {"query": text, "priority": priority, "async": True}
+        payload: Dict = {
+            "query": text,
+            "priority": priority,
+            "async": True,
+            "idempotency_key": (
+                idempotency_key
+                if idempotency_key is not None
+                else generate_idempotency_key()
+            ),
+        }
         if budget:
             payload["budget"] = budget
         if trace:
@@ -135,14 +294,31 @@ class ServiceClient:
         timeout: float = 300.0,
         poll_seconds: float = 0.05,
     ) -> Dict:
-        """Poll until the job is terminal (or raise on timeout)."""
+        """Poll until the job is terminal (or raise on timeout).
+
+        ``interrupted`` counts as terminal: the record is final in the
+        serving process — the statement finishes after its restart,
+        under the same job id.
+        """
         deadline = time.monotonic() + timeout
         while True:
             record = self.job(job_id)
-            if record["state"] in ("done", "failed", "cancelled"):
+            if record["state"] in ("done", "failed", "cancelled", "interrupted"):
                 return record
             if time.monotonic() > deadline:
                 raise ServiceError(
                     f"job {job_id} still {record['state']} after {timeout:g}s"
                 )
             time.sleep(poll_seconds)
+
+
+def _retry_after_seconds(error: urllib.error.HTTPError) -> Optional[float]:
+    """Parse a numeric ``Retry-After`` header, if present and sane."""
+    raw = error.headers.get("Retry-After") if error.headers else None
+    if raw is None:
+        return None
+    try:
+        value = float(raw)
+    except (TypeError, ValueError):
+        return None
+    return value if value >= 0 else None

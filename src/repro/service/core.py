@@ -46,6 +46,7 @@ from repro.obs.logs import get_logger
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.runtime.budget import CancellationToken, RunBudget
 from repro.service.cache import ResultCache, cache_key
+from repro.service.durability import DiskCacheTier, JobJournal
 from repro.service.scheduler import Job, JobScheduler
 from repro.service.serialize import payload_to_dict
 from repro.tml.ast import (
@@ -101,6 +102,19 @@ class ServiceConfig:
             monitor — a test/chaos seam, ``None`` in production.
         metrics: registry every service component instruments through
             (the process-global default registry when ``None``).
+        journal_path: durable job-journal file; ``None`` disables the
+            journal (jobs die with the process, the PR 4 behaviour).
+        journal_synchronous: the journal's SQLite ``synchronous`` pragma
+            (``"FULL"`` fsyncs every transition; see
+            :class:`~repro.service.durability.JobJournal`).
+        disk_cache_path: result-cache spill file; ``None`` disables the
+            disk tier (warm results die with the process).
+        disk_cache_entries: LRU bound of the spill tier.
+        drain_deadline_seconds: how long :meth:`MiningService.drain`
+            lets running jobs finish before interrupting them.
+        recovery_max_attempts: crash-loop cap — a journaled job that
+            *started* this many times without finishing is failed at
+            recovery instead of re-admitted.
     """
 
     workers: int = 2
@@ -113,6 +127,12 @@ class ServiceConfig:
     history_limit: int = 1024
     granule_hook: Optional[Callable[[int], None]] = None
     metrics: Optional[MetricsRegistry] = None
+    journal_path: Optional[Union[str, Path]] = None
+    journal_synchronous: str = "FULL"
+    disk_cache_path: Optional[Union[str, Path]] = None
+    disk_cache_entries: int = 4096
+    drain_deadline_seconds: float = 10.0
+    recovery_max_attempts: int = 3
 
 
 class MiningService:
@@ -142,18 +162,36 @@ class MiningService:
         else:
             self.store = SqliteStore(store if store is not None else ":memory:")
             self._owns_store = True
+        self.spill: Optional[DiskCacheTier] = None
+        if self.config.disk_cache_path is not None:
+            self.spill = DiskCacheTier(
+                self.config.disk_cache_path,
+                max_entries=self.config.disk_cache_entries,
+                ttl_seconds=self.config.cache_ttl_seconds,
+                metrics=self.metrics,
+            )
         self.cache = ResultCache(
             max_entries=self.config.cache_entries,
             ttl_seconds=self.config.cache_ttl_seconds,
             metrics=self.metrics,
+            spill=self.spill,
         )
+        self.journal: Optional[JobJournal] = None
+        if self.config.journal_path is not None:
+            self.journal = JobJournal(
+                self.config.journal_path,
+                synchronous=self.config.journal_synchronous,
+                metrics=self.metrics,
+            )
         self.scheduler = JobScheduler(
             self._execute_job,
             workers=self.config.workers,
             max_queue_depth=self.config.max_queue_depth,
             history_limit=self.config.history_limit,
             metrics=self.metrics,
+            journal=self.journal,
         )
+        self.recovered: Dict[str, int] = {}
         self._m_single_flight_waits = self.metrics.counter(
             "repro_cache_single_flight_waits_total",
             "Queries that waited on an identical in-flight run.",
@@ -165,6 +203,10 @@ class MiningService:
         self._inflight: Dict[str, List] = {}
         self._inflight_lock = threading.Lock()
         self._closed = False
+        # Recovery must run last: re-admitted jobs start the worker
+        # pool, and workers touch every field initialised above.
+        if self.journal is not None:
+            self._recover_from_journal()
 
     # ------------------------------------------------------------------
     # data management
@@ -194,22 +236,68 @@ class MiningService:
     # job API (what the HTTP layer drives)
     # ------------------------------------------------------------------
 
+    def _recover_from_journal(self) -> None:
+        """Replay the journal into the scheduler (restart recovery).
+
+        Terminal and crash-looped jobs come back as pollable records;
+        queued/orphaned/interrupted jobs are re-admitted in original
+        submission order and the worker pool starts immediately —
+        recovered work must run even if no new request ever arrives.
+        """
+        plan = self.journal.recover(max_attempts=self.config.recovery_max_attempts)
+        for record in plan.terminal:
+            self.scheduler.restore_terminal(record)
+        for record in plan.crash_looped:
+            self.scheduler.restore_terminal(record)
+        for record in plan.requeue:
+            self.scheduler.resubmit(record)
+        self.recovered = {
+            "terminal": len(plan.terminal),
+            "requeued": len(plan.requeue),
+            "crash_looped": len(plan.crash_looped),
+        }
+        if plan.requeue:
+            self.scheduler.start()
+
     def submit(
         self,
         statement: str,
         priority: int = 0,
         budget: Optional[RunBudget] = None,
         trace: bool = False,
+        idempotency_key: Optional[str] = None,
     ) -> Job:
         """Queue one statement; returns its :class:`Job` immediately.
 
         ``trace=True`` runs the statement under span tracing: the result
         carries a ``trace`` section, and the run bypasses the result
         cache (traced payloads embed run-specific timings).
+
+        ``idempotency_key`` makes the submission retry-safe: a second
+        submission carrying the same key returns the *existing* job
+        instead of admitting a duplicate (the key is also journaled, so
+        the guarantee spans a crash-restart).
         """
         return self.scheduler.submit(
-            statement, priority=priority, budget=budget, trace=trace
+            statement,
+            priority=priority,
+            budget=budget,
+            trace=trace,
+            idempotency_key=idempotency_key,
+            canonical_key=self._canonical_key(statement),
         )
+
+    @staticmethod
+    def _canonical_key(statement: str) -> Optional[str]:
+        """Best-effort canonical TML for the journal row (audit field).
+
+        Unparseable statements still get admitted (the worker reports
+        the parse error as the job failure), so this must never raise.
+        """
+        try:
+            return canonicalize_statement(parse_statement(statement))
+        except Exception:  # noqa: BLE001 — journal metadata only
+            return None
 
     def run_sync(
         self,
@@ -236,6 +324,12 @@ class MiningService:
             "service": "repro-iqms",
             "uptime_seconds": time.time() - self.started_at,
             "scheduler": self.scheduler.stats(),
+            "journal": (
+                self.journal.stats()
+                if self.journal is not None
+                else {"enabled": False}
+            ),
+            "recovered": self.recovered,
             "cache": self.cache.stats(),
             "metrics": self.metrics.snapshot(),
             "store": {
@@ -257,9 +351,50 @@ class MiningService:
             },
         }
 
+    def drain(self, deadline_seconds: Optional[float] = None) -> Dict[str, int]:
+        """Graceful shutdown: land running work, checkpoint, close.
+
+        The SIGTERM path of ``repro-serve``.  Running jobs get the
+        drain deadline to finish; stragglers are interrupted at a pass
+        boundary and journaled with their sound partial results; queued
+        jobs stay journaled ``queued``.  The journal WAL is
+        checkpointed so the next boot reads one clean file.  Returns
+        the scheduler's drain summary.
+        """
+        deadline = (
+            deadline_seconds
+            if deadline_seconds is not None
+            else self.config.drain_deadline_seconds
+        )
+        summary = self.scheduler.drain(deadline)
+        if self.journal is not None:
+            try:
+                self.journal.checkpoint()
+            except Exception as error:  # noqa: BLE001 — exit path, log only
+                logger.error("journal checkpoint at drain failed: %s", error)
+        self.close()
+        return summary
+
+    def simulate_crash(self) -> None:
+        """Chaos seam: emulate ``kill -9`` without leaving the process.
+
+        The journal is frozen (writes after this point never happened,
+        exactly what an abrupt power loss leaves on disk) and the
+        scheduler abandons its workers without recording anything —
+        running jobs stay orphaned as ``running`` journal rows.  The
+        store/journal/spill *files* are untouched: a new
+        :class:`MiningService` opened on the same paths is the
+        "restarted process" the chaos suite asserts against.
+        """
+        if self.journal is not None:
+            self.journal.freeze()
+        self.scheduler.abandon()
+        self._closed = True
+
     def close(self) -> None:
         """Shut down: drain the scheduler, release miners, close the store."""
         if self._closed:
+            self._close_durable()
             return
         self._closed = True
         self.scheduler.close()
@@ -269,6 +404,13 @@ class MiningService:
             self._environments.clear()
         if self._owns_store:
             self.store.close()
+        self._close_durable()
+
+    def _close_durable(self) -> None:
+        if self.journal is not None:
+            self.journal.close()
+        if self.spill is not None:
+            self.spill.close()
 
     def __enter__(self) -> "MiningService":
         return self
@@ -350,11 +492,21 @@ class MiningService:
     ) -> Dict:
         environment, executor = self._environment()
         self._refresh_environment(environment, fingerprint)
-        environment.budget = budget if budget is not None else self.config.default_budget
+        effective = budget if budget is not None else self.config.default_budget
+        environment.budget = effective
         environment.cancel_token = token
         if environment.trace != trace:
             environment.set_trace(trace)
-        execution = executor.execute_statement(statement)
+        # Bound DB retry backoff by the run's own deadline: a budgeted
+        # run must never sleep past the point where its budget would
+        # have stopped it anyway (thread-local — budgets are per job,
+        # the store is shared).
+        if effective is not None and effective.max_seconds is not None:
+            self.store.set_retry_deadline(time.monotonic() + effective.max_seconds)
+        try:
+            execution = executor.execute_statement(statement)
+        finally:
+            self.store.set_retry_deadline(None)
         catalog = None
         source = getattr(statement, "source", None)
         if source is not None:

@@ -1,0 +1,44 @@
+"""``repro.service.durability`` — crash-safe state for the IQMS service.
+
+The service tier keeps three kinds of state that must survive a process
+death (``kill -9``, OOM, node reboot) for the "millions of users" north
+star to hold:
+
+* **The job queue** — every accepted job is a promise to a client.
+  :class:`JobJournal` records each lifecycle transition in a SQLite-WAL
+  journal, fsync'd at transition boundaries, so a restarted
+  ``repro-serve`` replays queued jobs, marks orphaned running jobs
+  *interrupted* and re-admits them (bounded by a crash-loop attempt
+  cap), and serves terminal job records — results included — exactly as
+  the pre-crash process would have.
+* **Warm results** — :class:`DiskCacheTier` spills the content-addressed
+  result cache to disk (SHA-256 key → canonical JSON blob, LRU + TTL
+  preserved), so a restart keeps its warm set and scale-out workers can
+  later share one spill file.
+* **In-flight work at shutdown** — graceful drain
+  (:meth:`MiningService.drain <repro.service.core.MiningService.drain>`)
+  stops admission, lets running jobs reach a pass boundary, persists
+  their sound partial results, journal-checkpoints and exits; the next
+  boot finishes what the drain could not.
+
+Everything here is stdlib-only, like the rest of the service tier.
+"""
+
+from repro.service.durability.journal import (
+    JOURNAL_STATES,
+    RECOVERABLE_STATES,
+    JobJournal,
+    JournalRecord,
+    JournalRecovery,
+)
+from repro.service.durability.spill import DiskCacheTier, canonical_json
+
+__all__ = [
+    "DiskCacheTier",
+    "JOURNAL_STATES",
+    "JobJournal",
+    "JournalRecord",
+    "JournalRecovery",
+    "RECOVERABLE_STATES",
+    "canonical_json",
+]

@@ -1,0 +1,545 @@
+"""The durable job journal — every lifecycle transition, fsync'd.
+
+One :class:`JobJournal` is a SQLite database (WAL mode, ``synchronous =
+FULL`` so every admission and finish reaches the platters before the
+transition is acknowledged; the ``running`` edge alone commits without
+an fsync, because losing it is provably recoverable) holding two
+tables:
+
+``jobs``
+    One row per job the service ever admitted: the statement text, its
+    canonical-TML key, priority, budget spec, trace flag, idempotency
+    key, current state, timestamps, error, serialized result (terminal
+    and drain-interrupted jobs), and the attempt counter that bounds
+    crash loops.
+
+``transitions``
+    The append-only history — ``(seq, job_id, state, at, detail)`` — one
+    row per lifecycle edge.  Recovery decisions are made from the
+    ``jobs`` snapshot; the transition log is the audit trail the chaos
+    suite replays its invariants against.
+
+Journal states and their recovery meaning::
+
+    queued       re-admit on restart (the client is still owed a run)
+    running      orphaned by a crash -> mark interrupted, re-admit
+    interrupted  a drain or crash stopped it mid-run -> re-admit
+    done/failed/cancelled   terminal: restore the record, never re-run
+
+Re-admission increments nothing by itself; the attempt counter bumps
+when a run *starts*, and :meth:`recover` fails jobs whose counter
+reaches the crash-loop cap instead of re-admitting them forever.
+
+The journal is deliberately tolerant of a frozen (crashed) writer: the
+:meth:`freeze` seam makes every subsequent write a no-op, which is how
+the chaos suite emulates power loss at an exact point — everything
+after the freeze is invisible to the journal a restarted service opens.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.errors import JournalError
+from repro.obs.logs import get_logger
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.runtime.budget import RunBudget
+from repro.runtime.retry import RetryPolicy, retry_call
+
+logger = get_logger(__name__)
+
+#: Every state a journal row can hold.
+JOURNAL_STATES = ("queued", "running", "interrupted", "done", "failed", "cancelled")
+
+#: States that owe the client a (re-)run after a restart.
+RECOVERABLE_STATES = frozenset({"queued", "running", "interrupted"})
+
+#: States a journal row never leaves.
+TERMINAL_JOURNAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+#: Default cap on how many times a job may *start* before recovery
+#: declares it a crash loop and fails it instead of re-admitting.
+DEFAULT_MAX_ATTEMPTS = 3
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id          TEXT PRIMARY KEY,
+    statement       TEXT NOT NULL,
+    priority        INTEGER NOT NULL DEFAULT 0,
+    budget          TEXT,
+    trace           INTEGER NOT NULL DEFAULT 0,
+    idempotency_key TEXT,
+    canonical_key   TEXT,
+    state           TEXT NOT NULL,
+    submitted_at    REAL NOT NULL,
+    started_at      REAL,
+    finished_at     REAL,
+    error           TEXT,
+    result          TEXT,
+    attempts        INTEGER NOT NULL DEFAULT 0
+);
+CREATE UNIQUE INDEX IF NOT EXISTS idx_jobs_idempotency
+    ON jobs (idempotency_key) WHERE idempotency_key IS NOT NULL;
+CREATE INDEX IF NOT EXISTS idx_jobs_state ON jobs (state);
+CREATE TABLE IF NOT EXISTS transitions (
+    seq    INTEGER PRIMARY KEY,
+    job_id TEXT NOT NULL,
+    state  TEXT NOT NULL,
+    at     REAL NOT NULL,
+    detail TEXT
+);
+"""
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One journal row, decoded (budget/result back to Python values)."""
+
+    job_id: str
+    statement: str
+    priority: int
+    budget: Optional[RunBudget]
+    trace: bool
+    idempotency_key: Optional[str]
+    canonical_key: Optional[str]
+    state: str
+    submitted_at: float
+    started_at: Optional[float]
+    finished_at: Optional[float]
+    error: Optional[str]
+    result: Optional[Dict]
+    attempts: int
+
+
+@dataclass(frozen=True)
+class JournalRecovery:
+    """What :meth:`JobJournal.recover` decided for every journaled job.
+
+    Attributes:
+        terminal: jobs already in a terminal state — restore their
+            records (results included) so clients can still poll them;
+            never re-run.
+        requeue: jobs owed a run (queued / orphaned-running /
+            interrupted) — re-admit in original submission order.
+        crash_looped: jobs whose attempt counter hit the cap — recovery
+            marked them failed; restore as terminal.
+    """
+
+    terminal: Tuple[JournalRecord, ...]
+    requeue: Tuple[JournalRecord, ...]
+    crash_looped: Tuple[JournalRecord, ...]
+
+
+class JobJournal:
+    """A crash-safe, fsync'd record of every job lifecycle transition.
+
+    Thread-safe: one connection, serialized behind an internal lock
+    (transition writes are short single-transaction commits).  Writes
+    are retried through the PR 1 backoff policy, so a concurrently
+    checkpointing reader can never fail a transition permanently.
+
+    Args:
+        path: journal database file (``":memory:"`` works for tests but
+            obviously survives nothing).
+        synchronous: SQLite ``synchronous`` pragma — ``"FULL"``
+            (default) fsyncs the WAL at every transition boundary;
+            ``"NORMAL"`` trades the per-transition fsync for speed
+            while still surviving application crashes.
+        clock: injectable wall clock (journal timestamps are wall time —
+            they must be comparable across process restarts).
+        metrics: registry for the journal's instruments.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        synchronous: str = "FULL",
+        clock: Callable[[], float] = time.time,
+        retry_policy: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if synchronous.upper() not in ("FULL", "NORMAL", "OFF"):
+            raise JournalError(
+                f'journal synchronous must be FULL, NORMAL or OFF, got {synchronous!r}'
+            )
+        self.path = str(path)
+        self.synchronous = synchronous.upper()
+        self._clock = clock
+        self._retry_policy = retry_policy or RetryPolicy()
+        self._sleep = sleep
+        self._lock = threading.RLock()
+        self._frozen = False
+        self._closed = False
+        registry = metrics if metrics is not None else default_registry()
+        self._m_transitions = registry.counter(
+            "repro_journal_transitions_total",
+            "Job lifecycle transitions recorded in the durable journal.",
+            labelnames=("state",),
+        )
+        self._m_recovered = registry.counter(
+            "repro_journal_recovered_total",
+            "Journaled jobs handled by restart recovery, by outcome.",
+            labelnames=("outcome",),
+        )
+        try:
+            self._connection = sqlite3.connect(self.path, check_same_thread=False)
+        except sqlite3.Error as error:
+            raise JournalError(f"cannot open journal {self.path!r}: {error}") from error
+        if self.path != ":memory:":
+            self._connection.execute("PRAGMA journal_mode = WAL")
+        self._connection.execute(f"PRAGMA synchronous = {self.synchronous}")
+        self._connection.execute("PRAGMA busy_timeout = 5000")
+        self._connection.executescript(_SCHEMA)
+        self._connection.commit()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the journal connection (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._connection.close()
+            except sqlite3.Error:  # pragma: no cover — close best-effort
+                pass
+
+    def freeze(self) -> None:
+        """Chaos seam: emulate the writer dying — all later writes no-op.
+
+        A frozen journal is what a ``kill -9`` leaves on disk: every
+        transition after the freeze point never happened as far as the
+        journal file is concerned.  Reads keep working so tests can
+        inspect the pre-crash state.
+        """
+        with self._lock:
+            self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        with self._lock:
+            return self._frozen
+
+    def checkpoint(self) -> None:
+        """Flush the WAL into the main database file (drain/exit path)."""
+        with self._lock:
+            if self._frozen or self._closed:
+                return
+            self._write(
+                lambda: self._connection.execute("PRAGMA wal_checkpoint(TRUNCATE)"),
+                "journal checkpoint",
+            )
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # transition writes (called by the scheduler at state edges)
+    # ------------------------------------------------------------------
+
+    def _write(self, operation: Callable[[], object], describe: str):
+        return retry_call(
+            operation,
+            policy=self._retry_policy,
+            sleep=self._sleep,
+            describe=describe,
+        )
+
+    def _transition(self, job_id: str, state: str, detail: Optional[str]) -> None:
+        self._connection.execute(
+            "INSERT INTO transitions (job_id, state, at, detail) VALUES (?, ?, ?, ?)",
+            (job_id, state, self._clock(), detail),
+        )
+        self._m_transitions.inc(state=state)
+
+    def record_admitted(
+        self,
+        job_id: str,
+        statement: str,
+        priority: int = 0,
+        budget: Optional[RunBudget] = None,
+        trace: bool = False,
+        idempotency_key: Optional[str] = None,
+        canonical_key: Optional[str] = None,
+        submitted_at: Optional[float] = None,
+        attempts: int = 0,
+    ) -> None:
+        """Record one admitted job as ``queued`` (also used to re-admit).
+
+        The full row is (re)written: re-admission after a crash resets
+        the state to ``queued`` while *preserving* the attempt counter
+        passed in, which is how the crash-loop cap survives restarts.
+        """
+        budget_spec = json.dumps(budget.to_dict()) if budget is not None else None
+        submitted = submitted_at if submitted_at is not None else self._clock()
+        with self._lock:
+            if self._frozen or self._closed:
+                return
+
+            def _admit():
+                self._connection.execute(
+                    "INSERT OR REPLACE INTO jobs (job_id, statement, priority,"
+                    " budget, trace, idempotency_key, canonical_key, state,"
+                    " submitted_at, attempts)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, 'queued', ?, ?)",
+                    (
+                        job_id,
+                        statement,
+                        priority,
+                        budget_spec,
+                        int(trace),
+                        idempotency_key,
+                        canonical_key,
+                        submitted,
+                        attempts,
+                    ),
+                )
+                self._transition(job_id, "queued", None)
+                self._connection.commit()
+
+            self._write(_admit, f"journal admit {job_id}")
+
+    def record_running(self, job_id: str, started_at: Optional[float] = None) -> None:
+        """Record a worker picking the job up (bumps the attempt counter).
+
+        This is the one transition committed *without* an fsync (the
+        ``synchronous`` pragma is dropped to ``NORMAL`` around the
+        commit): losing a ``running`` mark to a power cut is sound —
+        recovery sees ``queued`` and re-admits, exactly as if the crash
+        had landed a moment earlier.  In WAL mode the frame becomes
+        durable anyway at the next fsync'd commit (usually the job's own
+        finish), so the loss window is one in-flight statement, while
+        the saved fsync is a third of the journal's per-job cost.
+        """
+        started = started_at if started_at is not None else self._clock()
+        with self._lock:
+            if self._frozen or self._closed:
+                return
+
+            def _start():
+                relax = self.synchronous == "FULL"
+                if relax:
+                    self._connection.execute("PRAGMA synchronous = NORMAL")
+                try:
+                    self._connection.execute(
+                        "UPDATE jobs SET state = 'running', started_at = ?,"
+                        " attempts = attempts + 1 WHERE job_id = ?",
+                        (started, job_id),
+                    )
+                    self._transition(job_id, "running", None)
+                    self._connection.commit()
+                finally:
+                    if relax:
+                        self._connection.execute("PRAGMA synchronous = FULL")
+
+            self._write(_start, f"journal start {job_id}")
+
+    def record_finished(
+        self,
+        job_id: str,
+        state: str,
+        error: Optional[str] = None,
+        result: Optional[Dict] = None,
+        finished_at: Optional[float] = None,
+    ) -> None:
+        """Record a job landing in ``done``/``failed``/``cancelled`` — or
+        ``interrupted``, the drain outcome that re-admits on restart.
+
+        The serialized result rides along (terminal results so a
+        restarted service can still serve them; interrupted partials so
+        the drain's sound partial work is never lost).
+        """
+        if state not in TERMINAL_JOURNAL_STATES and state != "interrupted":
+            raise JournalError(f"not a journal finish state: {state!r}")
+        finished = finished_at if finished_at is not None else self._clock()
+        blob = (
+            json.dumps(result, sort_keys=True, separators=(",", ":"))
+            if result is not None
+            else None
+        )
+        with self._lock:
+            if self._frozen or self._closed:
+                return
+
+            def _finish():
+                self._connection.execute(
+                    "UPDATE jobs SET state = ?, finished_at = ?, error = ?,"
+                    " result = ? WHERE job_id = ?",
+                    (state, finished, error, blob, job_id),
+                )
+                self._transition(job_id, state, error)
+                self._connection.commit()
+
+            self._write(_finish, f"journal finish {job_id}")
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    _COLUMNS = (
+        "job_id, statement, priority, budget, trace, idempotency_key,"
+        " canonical_key, state, submitted_at, started_at, finished_at,"
+        " error, result, attempts"
+    )
+
+    @staticmethod
+    def _decode(row: Tuple) -> JournalRecord:
+        budget = RunBudget.from_dict(json.loads(row[3])) if row[3] else None
+        result = json.loads(row[12]) if row[12] else None
+        return JournalRecord(
+            job_id=row[0],
+            statement=row[1],
+            priority=row[2],
+            budget=budget,
+            trace=bool(row[4]),
+            idempotency_key=row[5],
+            canonical_key=row[6],
+            state=row[7],
+            submitted_at=row[8],
+            started_at=row[9],
+            finished_at=row[10],
+            error=row[11],
+            result=result,
+            attempts=row[13],
+        )
+
+    def get(self, job_id: str) -> Optional[JournalRecord]:
+        """The journal row for one job, or ``None``."""
+        with self._lock:
+            row = self._connection.execute(
+                f"SELECT {self._COLUMNS} FROM jobs WHERE job_id = ?", (job_id,)
+            ).fetchone()
+        return self._decode(row) if row is not None else None
+
+    def lookup_idempotency_key(self, key: str) -> Optional[str]:
+        """The job_id already recorded under an idempotency key, if any."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT job_id FROM jobs WHERE idempotency_key = ?", (key,)
+            ).fetchone()
+        return row[0] if row is not None else None
+
+    def all_records(self) -> List[JournalRecord]:
+        """Every journal row in original submission (rowid) order."""
+        with self._lock:
+            rows = self._connection.execute(
+                f"SELECT {self._COLUMNS} FROM jobs ORDER BY rowid"
+            ).fetchall()
+        return [self._decode(row) for row in rows]
+
+    def transitions(self, job_id: Optional[str] = None) -> List[Tuple[str, str, float]]:
+        """The ``(job_id, state, at)`` transition log, oldest first."""
+        with self._lock:
+            if job_id is None:
+                rows = self._connection.execute(
+                    "SELECT job_id, state, at FROM transitions ORDER BY seq"
+                ).fetchall()
+            else:
+                rows = self._connection.execute(
+                    "SELECT job_id, state, at FROM transitions"
+                    " WHERE job_id = ? ORDER BY seq",
+                    (job_id,),
+                ).fetchall()
+        return list(rows)
+
+    def states(self) -> Dict[str, int]:
+        """Job counts by current journal state."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT state, COUNT(*) FROM jobs GROUP BY state"
+            ).fetchall()
+        return {state: count for state, count in rows}
+
+    def stats(self) -> Dict[str, object]:
+        """The ``/v1/status`` journal section."""
+        with self._lock:
+            transitions = self._connection.execute(
+                "SELECT COUNT(*) FROM transitions"
+            ).fetchone()[0]
+        return {
+            "enabled": True,
+            "path": self.path,
+            "synchronous": self.synchronous,
+            "states": self.states(),
+            "transitions": transitions,
+        }
+
+    # ------------------------------------------------------------------
+    # restart recovery
+    # ------------------------------------------------------------------
+
+    def recover(self, max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> JournalRecovery:
+        """Replay the journal into a recovery plan (and repair orphans).
+
+        * Terminal rows are returned for record restoration only.
+        * ``running`` rows were orphaned by a crash — they are flipped
+          to ``interrupted`` (journaled as such) and re-admitted.
+        * ``queued`` / ``interrupted`` rows are re-admitted as-is.
+        * Any recoverable row whose attempt counter has reached
+          ``max_attempts`` is failed with a crash-loop error instead —
+          a poison statement that kills its worker must not take the
+          service down on every boot, forever.
+
+        Re-admission order is original submission order, so a restarted
+        queue drains in the sequence clients observed before the crash.
+        """
+        if max_attempts < 1:
+            raise JournalError(f"max_attempts must be >= 1, got {max_attempts}")
+        terminal: List[JournalRecord] = []
+        requeue: List[JournalRecord] = []
+        crash_looped: List[JournalRecord] = []
+        with self._lock:
+            for record in self.all_records():
+                if record.state in TERMINAL_JOURNAL_STATES:
+                    terminal.append(record)
+                    self._m_recovered.inc(outcome="terminal")
+                    continue
+                if record.attempts >= max_attempts:
+                    error = (
+                        f"crash loop: job started {record.attempts} time(s) "
+                        f"without finishing (cap {max_attempts})"
+                    )
+                    self.record_finished(record.job_id, "failed", error=error)
+                    crash_looped.append(self.get(record.job_id) or record)
+                    self._m_recovered.inc(outcome="crash_looped")
+                    logger.warning("recovery failed job %s: %s", record.job_id, error)
+                    continue
+                if record.state == "running":
+                    # Orphaned by the crash: the run died with its
+                    # process.  Mark it interrupted (a journaled fact)
+                    # before re-admitting.
+                    self.record_finished(
+                        record.job_id,
+                        "interrupted",
+                        error="interrupted by service crash",
+                    )
+                    record = self.get(record.job_id) or record
+                    self._m_recovered.inc(outcome="interrupted")
+                else:
+                    self._m_recovered.inc(outcome="requeued")
+                requeue.append(record)
+        if terminal or requeue or crash_looped:
+            logger.info(
+                "journal recovery: %d terminal, %d re-admitted, %d crash-looped",
+                len(terminal),
+                len(requeue),
+                len(crash_looped),
+            )
+        return JournalRecovery(
+            terminal=tuple(terminal),
+            requeue=tuple(requeue),
+            crash_looped=tuple(crash_looped),
+        )

@@ -8,11 +8,14 @@ Endpoints (all JSON):
 ``POST /v1/query``
     Body ``{"query": "<TML>", "async": bool, "priority": int,
     "budget": {"time": s, "candidates": n, "rules": n, "strict": bool},
-    "timeout": seconds}``.
+    "timeout": seconds, "idempotency_key": str}``.
     Synchronous by default — the request is admitted through the
     scheduler (bounded concurrency applies) and the response carries the
     finished job record.  With ``"async": true`` the response is ``202``
-    with the job id to poll.
+    with the job id to poll.  ``idempotency_key`` makes the POST
+    retry-safe: a resubmission carrying a key the service has seen
+    returns the existing job instead of admitting a duplicate (the key
+    is journaled, so the guarantee spans a crash-restart).
 
 ``GET /v1/jobs/{id}``
     The job record (state, result, error, timings, cache provenance).
@@ -31,9 +34,10 @@ Endpoints (all JSON):
     format 0.0.4 (scrapeable; see :mod:`repro.obs.metrics`).
 
 Error mapping: malformed requests → 400, unknown jobs → 404,
-admission rejection → 503 (with ``Retry-After``), sync timeout → 504
-(with the job id, so the client can keep polling), statement errors →
-422 on the job record / response.
+admission rejection → 503 (with ``Retry-After`` — honest when the
+service is draining for shutdown, where it reflects the drain
+deadline), sync timeout → 504 (with the job id, so the client can keep
+polling), statement errors → 422 on the job record / response.
 
 Every request is itself metered: ``repro_http_requests_total``
 (method/route/status) and the per-route ``repro_http_request_seconds``
@@ -75,12 +79,7 @@ def budget_from_request(spec: Optional[Dict]) -> Optional[RunBudget]:
         raise MiningParameterError(
             f"unknown budget field(s): {', '.join(sorted(unknown))}"
         )
-    return RunBudget(
-        max_seconds=spec.get("time"),
-        max_candidates=spec.get("candidates"),
-        max_rules=spec.get("rules"),
-        strict=bool(spec.get("strict", False)),
-    )
+    return RunBudget.from_dict(spec)
 
 
 class MiningRequestHandler(BaseHTTPRequestHandler):
@@ -236,15 +235,28 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
             wants_async = bool(payload.get("async", False))
             trace = bool(payload.get("trace", False))
             timeout = float(payload.get("timeout", SYNC_TIMEOUT_SECONDS))
+            idempotency_key = payload.get("idempotency_key")
+            if idempotency_key is not None and (
+                not isinstance(idempotency_key, str) or not idempotency_key.strip()
+            ):
+                raise ValueError('"idempotency_key" must be a non-empty string')
         except (ValueError, TypeError, MiningParameterError) as error:
             self._send_json(400, {"error": str(error)})
             return
         try:
             job = self.server.service.submit(
-                query, priority=priority, budget=budget, trace=trace
+                query,
+                priority=priority,
+                budget=budget,
+                trace=trace,
+                idempotency_key=idempotency_key,
             )
         except AdmissionError as error:
-            self._send_json(503, {"error": str(error)}, headers={"Retry-After": "1"})
+            retry_after = getattr(error, "retry_after", None)
+            header = str(max(1, int(round(retry_after)))) if retry_after else "1"
+            self._send_json(
+                503, {"error": str(error)}, headers={"Retry-After": header}
+            )
             return
         except ReproError as error:
             self._send_json(500, {"error": str(error)})

@@ -68,6 +68,7 @@ Dot commands:
   .profile <src> <g> <item...>   support-over-time sparkline of an itemset
   .export <path>      write the last mining report to <path>.csv/.json
   .serve [port]       share this session's store over HTTP (0 = ephemeral)
+  .serve status       queue depth, drain state and journal summary
   .serve stop         shut the HTTP server down
   .stats              last-run diagnostics, span tree, metric counters
   .log                show the IQMI workflow log
@@ -163,8 +164,27 @@ def _dispatch_dot(session: IqmsSession, line: str) -> Optional[str]:
                 return "not serving"
             session.stop_serving()
             return "stopped serving"
+        if len(parts) == 2 and parts[1] == "status":
+            if session.serving_url is None or session._service is None:
+                return "not serving"
+            status = session._service.status()
+            scheduler = status["scheduler"]
+            journal = status.get("journal", {})
+            journal_line = (
+                f"journal: {journal.get('path')} "
+                f"(states {journal.get('states')})"
+                if journal.get("enabled")
+                else "journal: disabled"
+            )
+            return (
+                f"serving on {session.serving_url}\n"
+                f"queue: {scheduler['queue_depth']}/{scheduler['max_queue_depth']}"
+                f" queued, {scheduler['running']} running"
+                f"{' (draining)' if scheduler.get('draining') else ''}\n"
+                f"{journal_line}"
+            )
         if len(parts) > 2 or (len(parts) == 2 and not parts[1].isdigit()):
-            return "usage: .serve [<port>|stop]"
+            return "usage: .serve [<port>|stop|status]"
         if session.serving_url is not None:
             return f"already serving on {session.serving_url} (.serve stop first)"
         port = int(parts[1]) if len(parts) == 2 else 0

@@ -155,7 +155,12 @@ class IqmsSession:
     # serving
     # ------------------------------------------------------------------
 
-    def serve(self, host: str = "127.0.0.1", port: int = 0) -> str:
+    def serve(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        journal_path: Optional[str] = None,
+    ) -> str:
         """Expose this session's store over HTTP; returns the URL.
 
         Starts a :class:`~repro.service.core.MiningService` sharing this
@@ -165,6 +170,10 @@ class IqmsSession:
         see the store's current contents — a mutation made here shows up
         there as a new dataset fingerprint, so cached results are never
         served stale.  ``port=0`` picks an ephemeral port.
+
+        ``journal_path`` attaches the durable job journal: jobs
+        submitted over HTTP survive a session crash and are recovered
+        by whichever service next opens the same journal.
         """
         if self._server is not None:
             raise TmlExecutionError(
@@ -179,6 +188,7 @@ class IqmsSession:
                 engine=self.environment.engine,
                 mining_workers=self.environment.workers,
                 default_budget=self.environment.budget,
+                journal_path=journal_path,
             ),
         )
         self._server, _ = start_server(self._service, host=host, port=port)

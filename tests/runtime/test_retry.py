@@ -96,6 +96,86 @@ class TestRetryCall:
         assert isinstance(info.value, DatabaseError)  # part of the taxonomy
 
 
+class TestDeadlineBoundRetries:
+    """Retry backoff must never overshoot a run-budget deadline."""
+
+    @staticmethod
+    def _always_locked():
+        raise sqlite3.OperationalError("database is locked")
+
+    def test_backoff_sleeps_are_clamped_to_the_deadline(self):
+        clock = {"now": 100.0}
+        sleeps = []
+
+        def sleep(seconds):
+            sleeps.append(seconds)
+            clock["now"] += seconds
+
+        with pytest.raises(TransientDatabaseError) as info:
+            retry_call(
+                self._always_locked,
+                policy=RetryPolicy(
+                    max_attempts=10, base_delay=0.4, multiplier=2.0, jitter=0.0
+                ),
+                sleep=sleep,
+                deadline=101.0,  # 1 s of budget left
+                clock=lambda: clock["now"],
+            )
+        # The clamp lets backoff consume exactly the remaining budget —
+        # never a millisecond more — and then gives up.
+        assert sum(sleeps) == pytest.approx(1.0)
+        assert clock["now"] == pytest.approx(101.0)
+        assert "deadline" in str(info.value)
+
+    def test_expired_deadline_fails_without_sleeping(self):
+        sleeps = []
+        with pytest.raises(TransientDatabaseError) as info:
+            retry_call(
+                self._always_locked,
+                policy=RetryPolicy(max_attempts=10, jitter=0.0),
+                sleep=sleeps.append,
+                deadline=50.0,
+                clock=lambda: 100.0,  # already past the deadline
+            )
+        assert sleeps == []
+        assert info.value.attempts == 1
+        assert "deadline" in str(info.value)
+
+    def test_success_inside_deadline_is_unaffected(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise sqlite3.OperationalError("database is locked")
+            return "ok"
+
+        assert (
+            retry_call(
+                flaky,
+                policy=RetryPolicy(max_attempts=5, base_delay=0.1, jitter=0.0),
+                sleep=lambda _s: None,
+                deadline=1000.0,
+                clock=lambda: 0.0,
+            )
+            == "ok"
+        )
+
+    def test_store_thread_local_deadline_bounds_store_retries(self):
+        from repro.runtime.faultinject import DbFaultPlan, inject_db_faults
+
+        store = SqliteStore(":memory:", sleep=lambda _s: None)
+        inject_db_faults(store, DbFaultPlan.first(50))
+        store.set_retry_deadline(0.0)  # monotonic zero: always in the past
+        try:
+            with pytest.raises(TransientDatabaseError) as info:
+                store.count_transactions()
+            assert "deadline" in str(info.value)
+        finally:
+            store.set_retry_deadline(None)
+            store.close()
+
+
 class TestHardenedStore:
     def test_close_is_idempotent(self):
         store = SqliteStore(":memory:")

@@ -1,0 +1,332 @@
+"""Service-tier chaos suite: crash, restart, and verify the promises.
+
+Every scenario here drives a real :class:`MiningService` (journal +
+disk cache on real files) through a deterministic disaster —
+``simulate_crash()`` freezes the journal and abandons the workers
+exactly as ``kill -9`` would, :class:`GranuleFaults` kills a worker
+thread mid-job, :func:`inject_db_faults` makes the store flaky — and
+then opens a *new* service on the same files (the "restarted process")
+to assert the durability invariants:
+
+* **no job lost** — every admitted job reaches a terminal journal state
+  eventually, across any number of crash-restarts (bounded by the
+  crash-loop cap);
+* **no job runs twice** — a job that reached ``done`` is never started
+  again, on any boot;
+* **recovered results are bit-identical** — a result served from the
+  journal or the disk cache re-serializes to the same canonical JSON
+  bytes as the pre-crash original.
+
+Run with ``pytest -m chaos``.
+"""
+
+import time
+
+import pytest
+
+from repro.datagen import seasonal_dataset
+from repro.db.sqlite_store import SqliteStore
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.faultinject import DbFaultPlan, GranuleFaults, inject_db_faults
+from repro.service.core import MiningService, ServiceConfig
+from repro.service.durability import JobJournal, canonical_json
+
+pytestmark = pytest.mark.chaos
+
+MINE_FAST = (
+    "MINE PERIODS FROM transactions AT GRANULARITY month "
+    "WITH SUPPORT >= 0.2, CONFIDENCE >= 0.6 HAVING COVERAGE >= 2;"
+)
+MINE_VARIANT = (
+    "MINE PERIODS FROM transactions AT GRANULARITY month "
+    "WITH SUPPORT >= 0.3, CONFIDENCE >= 0.7 HAVING COVERAGE >= 2;"
+)
+SQL_COUNT = "SELECT COUNT(*) AS n FROM transactions;"
+BAD_QUERY = "MINE GIBBERISH FROM nowhere;"
+
+
+@pytest.fixture
+def durable_paths(tmp_path):
+    """(store, journal, spill) file paths with a small dataset loaded."""
+    store_path = str(tmp_path / "store.db")
+    store = SqliteStore(store_path)
+    store.save_database(seasonal_dataset(n_transactions=600, seed=11).database)
+    store.close()
+    return store_path, str(tmp_path / "jobs.journal"), str(tmp_path / "results.cache")
+
+
+def _service(paths, **config_overrides):
+    store_path, journal_path, spill_path = paths
+    config = ServiceConfig(
+        workers=config_overrides.pop("workers", 2),
+        journal_path=journal_path,
+        disk_cache_path=spill_path,
+        metrics=MetricsRegistry(),
+        **config_overrides,
+    )
+    return MiningService(store=store_path, config=config)
+
+
+def _wait_until(predicate, timeout=30.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def _journal_settled(journal_path):
+    """True when no journaled job is queued/running/interrupted."""
+    with JobJournal(journal_path, metrics=MetricsRegistry()) as journal:
+        states = journal.states()
+    return not any(
+        states.get(state) for state in ("queued", "running", "interrupted")
+    )
+
+
+def _assert_no_job_ran_after_done(journal_path):
+    """The no-double-execution invariant, from the transition log."""
+    with JobJournal(journal_path, metrics=MetricsRegistry()) as journal:
+        transitions = journal.transitions()
+    done_seen = set()
+    for job_id, state, _ in transitions:
+        if state == "running":
+            assert job_id not in done_seen, f"job {job_id} re-ran after done"
+        if state == "done":
+            done_seen.add(job_id)
+
+
+class TestCrashRestart:
+    def test_no_job_lost_and_none_run_twice(self, durable_paths):
+        _, journal_path, _ = durable_paths
+        service = _service(durable_paths, workers=1)
+        finished = service.run_sync(MINE_FAST, timeout=60)
+        assert finished.state == "done"
+        pre_crash_result = finished.result
+        # A burst the single worker cannot finish before the "crash".
+        pending = [
+            service.submit(MINE_VARIANT),
+            service.submit(SQL_COUNT),
+            service.submit(BAD_QUERY),
+        ]
+        service.simulate_crash()
+
+        restarted = _service(durable_paths)
+        try:
+            recovered = restarted.recovered
+            assert recovered["terminal"] >= 1
+            assert recovered["requeued"] + recovered["terminal"] == 4
+            assert _wait_until(lambda: _journal_settled(journal_path))
+
+            with JobJournal(journal_path, metrics=MetricsRegistry()) as journal:
+                records = {r.job_id: r for r in journal.all_records()}
+            # No job lost: all four admissions are journaled terminal.
+            assert len(records) == 4
+            for job in [finished, *pending]:
+                assert records[job.job_id].state in ("done", "failed", "cancelled")
+            assert records[pending[2].job_id].state == "failed"
+            _assert_no_job_ran_after_done(journal_path)
+
+            # The pre-crash result is still served, bit-identically.
+            restored = restarted.job(finished.job_id)
+            assert restored.recovered
+            assert canonical_json(restored.result) == canonical_json(
+                pre_crash_result
+            )
+        finally:
+            restarted.close()
+
+    def test_repeated_crashes_converge(self, durable_paths):
+        """Crash after every admission; the journal drains regardless."""
+        _, journal_path, _ = durable_paths
+        statements = [MINE_FAST, MINE_VARIANT, SQL_COUNT]
+        service = _service(durable_paths, workers=1)
+        for statement in statements:
+            service.submit(statement)
+        service.simulate_crash()
+        for _ in range(3):  # three crash-restart cycles
+            service = _service(durable_paths, workers=1)
+            time.sleep(0.1)  # let recovery make some progress
+            service.simulate_crash()
+        final = _service(durable_paths, workers=1)
+        try:
+            assert _wait_until(lambda: _journal_settled(journal_path))
+            with JobJournal(journal_path, metrics=MetricsRegistry()) as journal:
+                states = journal.states()
+            # Every admission is accounted for: finished, or failed by
+            # the crash-loop cap — never silently dropped.
+            assert sum(states.values()) == len(statements)
+            assert set(states) <= {"done", "failed", "cancelled"}
+            _assert_no_job_ran_after_done(journal_path)
+        finally:
+            final.close()
+
+    def test_warm_disk_cache_serves_bit_identical_after_crash(self, durable_paths):
+        service = _service(durable_paths)
+        first = service.run_sync(MINE_FAST, timeout=60)
+        assert first.state == "done" and not first.cached
+        service.simulate_crash()
+
+        restarted = _service(durable_paths)
+        try:
+            warm = restarted.run_sync(MINE_FAST, timeout=60)
+            assert warm.state == "done"
+            assert warm.cached, "expected the disk tier to serve the result"
+            assert canonical_json(warm.result) == canonical_json(first.result)
+            assert restarted.cache.stats()["disk_hits"] == 1
+        finally:
+            restarted.close()
+
+
+class TestWorkerDeath:
+    def test_worker_thread_death_orphans_then_recovery_reruns(self, durable_paths):
+        _, journal_path, _ = durable_paths
+        faults = GranuleFaults(crash_at_tick=3)
+        service = _service(durable_paths, workers=1, granule_hook=faults)
+        job = service.submit(MINE_FAST)
+        # The injected SimulatedCrash kills the only worker mid-job: the
+        # job must be left orphaned RUNNING with no terminal transition.
+        assert _wait_until(
+            lambda: faults.ticks_seen >= 3
+            and service.scheduler.stats()["running"] == 0
+        )
+        assert job.state == "running"
+        with JobJournal(journal_path, metrics=MetricsRegistry()) as journal:
+            assert journal.get(job.job_id).state == "running"
+        service.simulate_crash()
+
+        restarted = _service(durable_paths, workers=1)  # healthy boot
+        try:
+            assert restarted.recovered["requeued"] == 1
+            assert _wait_until(lambda: _journal_settled(journal_path))
+            with JobJournal(journal_path, metrics=MetricsRegistry()) as journal:
+                record = journal.get(job.job_id)
+            assert record.state == "done"
+            assert record.attempts == 2  # one doomed start, one good one
+            assert record.result["n_results"] >= 0
+        finally:
+            restarted.close()
+
+    def test_crash_loop_cap_fails_poison_job(self, durable_paths):
+        _, journal_path, _ = durable_paths
+        cap = 3
+
+        def crashing_boot():
+            faults = GranuleFaults(crash_at_tick=3)
+            return (
+                _service(
+                    durable_paths,
+                    workers=1,
+                    granule_hook=faults,
+                    recovery_max_attempts=cap,
+                ),
+                faults,
+            )
+
+        def worker_died(service, faults):
+            return (
+                faults.ticks_seen >= 3
+                and service.scheduler.stats()["running"] == 0
+            )
+
+        service, faults = crashing_boot()
+        job = service.submit(MINE_FAST)
+        assert _wait_until(lambda: worker_died(service, faults))
+        service.simulate_crash()
+        # Every boot re-injects the same fault: the job keeps killing
+        # its worker.  Recovery must give up at the cap, not boot-loop.
+        for _ in range(cap - 1):
+            service, faults = crashing_boot()
+            assert _wait_until(lambda: worker_died(service, faults))
+            service.simulate_crash()
+        final = _service(durable_paths, workers=1, recovery_max_attempts=cap)
+        try:
+            with JobJournal(journal_path, metrics=MetricsRegistry()) as journal:
+                record = journal.get(job.job_id)
+            assert record.state == "failed"
+            assert "crash loop" in record.error
+            assert record.attempts >= cap
+        finally:
+            final.close()
+
+
+class TestFlakyStore:
+    def test_transient_store_errors_are_absorbed(self, durable_paths):
+        service = _service(durable_paths, workers=1)
+        try:
+            flaky = inject_db_faults(service.store, DbFaultPlan.first(2))
+            job = service.run_sync(MINE_FAST, timeout=60)
+            assert job.state == "done"
+            assert flaky.failures_injected == 2
+        finally:
+            service.close()
+
+
+class TestDrain:
+    def test_drain_interrupts_preserves_partials_and_restart_completes(
+        self, durable_paths
+    ):
+        _, journal_path, _ = durable_paths
+        # ~20 ms per granule makes the mine slow enough to catch mid-run.
+        service = _service(
+            durable_paths, workers=1, granule_hook=lambda offset: time.sleep(0.02)
+        )
+        running = service.submit(MINE_FAST)
+        queued = [service.submit(MINE_VARIANT), service.submit(SQL_COUNT)]
+        assert _wait_until(lambda: running.state == "running", timeout=10)
+        summary = service.drain(deadline_seconds=0.05)
+        assert summary["interrupted"] == 1
+        assert summary["requeued"] == 2
+
+        with JobJournal(journal_path, metrics=MetricsRegistry()) as journal:
+            interrupted = journal.get(running.job_id)
+            assert interrupted.state == "interrupted"
+            # The sound partial work survived the drain.
+            assert interrupted.result is not None
+            assert interrupted.result.get("partial") is True
+            for job in queued:
+                assert journal.get(job.job_id).state == "queued"
+
+        restarted = _service(durable_paths, workers=1)
+        try:
+            assert restarted.recovered["requeued"] == 3
+            assert _wait_until(lambda: _journal_settled(journal_path))
+            with JobJournal(journal_path, metrics=MetricsRegistry()) as journal:
+                final = journal.get(running.job_id)
+            assert final.state == "done"
+            assert not final.result.get("partial")
+            # The re-run result matches a never-interrupted run.
+            clean = restarted.run_sync(MINE_FAST, timeout=60)
+            assert canonical_json(final.result) == canonical_json(clean.result)
+        finally:
+            restarted.close()
+
+    def test_drain_rejects_new_submissions_with_retry_after(self, durable_paths):
+        from repro.errors import AdmissionError
+
+        service = _service(
+            durable_paths, workers=1, granule_hook=lambda offset: time.sleep(0.02)
+        )
+        running = service.submit(MINE_FAST)
+        assert _wait_until(lambda: running.state == "running", timeout=10)
+        drain_thread = _start_drain(service, deadline_seconds=1.0)
+        try:
+            assert _wait_until(
+                lambda: service.scheduler.stats()["draining"], timeout=5
+            )
+            with pytest.raises(AdmissionError) as excinfo:
+                service.submit(MINE_VARIANT)
+            assert excinfo.value.retry_after >= 1.0
+        finally:
+            drain_thread.join(timeout=30)
+
+
+def _start_drain(service, deadline_seconds):
+    import threading
+
+    thread = threading.Thread(
+        target=service.drain, kwargs={"deadline_seconds": deadline_seconds}
+    )
+    thread.start()
+    return thread

@@ -149,6 +149,38 @@ class TestAcceptanceE2E:
             service.close()
 
 
+class TestIdempotency:
+    def test_double_submit_with_same_key_reattaches(self, served):
+        """A retried POST carrying the same idempotency key must return
+        the originally admitted job, not run the statement twice."""
+        _, client = served
+        first = client.query_async(MINE_QUERY, idempotency_key="retry-1")
+        second = client.query_async(MINE_QUERY, idempotency_key="retry-1")
+        assert second["job_id"] == first["job_id"]
+        record = client.wait(first["job_id"], timeout=60.0)
+        assert record["state"] == "done"
+        # The key round-trips on the job record for auditability.
+        assert record["idempotency_key"] == "retry-1"
+
+    def test_distinct_keys_admit_distinct_jobs(self, served):
+        _, client = served
+        first = client.query_async("SHOW SUMMARY;", idempotency_key="a-1")
+        second = client.query_async("SHOW SUMMARY;", idempotency_key="a-2")
+        assert first["job_id"] != second["job_id"]
+        assert client.wait(first["job_id"])["state"] == "done"
+        assert client.wait(second["job_id"])["state"] == "done"
+
+    def test_blank_idempotency_key_is_rejected(self, served):
+        from repro.errors import ServiceError
+
+        _, client = served
+        with pytest.raises(ServiceError) as excinfo:
+            client._request(
+                "POST", "/v1/query", {"query": "SHOW SUMMARY;", "idempotency_key": ""}
+            )
+        assert "400" in str(excinfo.value)
+
+
 class TestErrorMapping:
     def test_unknown_job_404(self, served):
         _, client = served

@@ -1,0 +1,270 @@
+"""Unit and property tests for the durable job journal."""
+
+import random
+import sqlite3
+
+import pytest
+
+from repro.errors import JournalError
+from repro.runtime.budget import RunBudget
+from repro.service.durability import JobJournal, RECOVERABLE_STATES
+
+
+@pytest.fixture
+def journal_path(tmp_path):
+    return str(tmp_path / "jobs.journal")
+
+
+class TestTransitionRoundTrip:
+    def test_admit_start_finish_round_trip(self, journal_path):
+        with JobJournal(journal_path) as journal:
+            budget = RunBudget(max_seconds=5.0, max_candidates=100, strict=True)
+            journal.record_admitted(
+                "j1",
+                "MINE PERIODS ...;",
+                priority=3,
+                budget=budget,
+                trace=True,
+                idempotency_key="key-1",
+                canonical_key="mine periods ...;",
+                submitted_at=100.0,
+            )
+            record = journal.get("j1")
+            assert record.state == "queued"
+            assert record.priority == 3
+            assert record.trace is True
+            assert record.idempotency_key == "key-1"
+            assert record.canonical_key == "mine periods ...;"
+            assert record.submitted_at == 100.0
+            assert record.attempts == 0
+            assert record.budget.max_seconds == 5.0
+            assert record.budget.max_candidates == 100
+            assert record.budget.strict is True
+
+            journal.record_running("j1", started_at=101.0)
+            record = journal.get("j1")
+            assert record.state == "running"
+            assert record.started_at == 101.0
+            assert record.attempts == 1
+
+            journal.record_finished(
+                "j1", "done", result={"n_results": 2}, finished_at=102.0
+            )
+            record = journal.get("j1")
+            assert record.state == "done"
+            assert record.finished_at == 102.0
+            assert record.result == {"n_results": 2}
+            assert record.error is None
+
+    def test_round_trip_survives_reopen(self, journal_path):
+        with JobJournal(journal_path) as journal:
+            journal.record_admitted("j1", "Q1;")
+            journal.record_running("j1")
+            journal.record_finished("j1", "done", result={"rows": [1, 2]})
+            journal.record_admitted("j2", "Q2;")
+        with JobJournal(journal_path) as reopened:
+            assert reopened.get("j1").result == {"rows": [1, 2]}
+            assert reopened.get("j2").state == "queued"
+            assert [r.job_id for r in reopened.all_records()] == ["j1", "j2"]
+
+    def test_transition_log_is_append_only_and_ordered(self, journal_path):
+        with JobJournal(journal_path) as journal:
+            journal.record_admitted("a", "Q;")
+            journal.record_admitted("b", "Q;")
+            journal.record_running("a")
+            journal.record_finished("a", "failed", error="boom")
+            states = [(job_id, state) for job_id, state, _ in journal.transitions()]
+            assert states == [
+                ("a", "queued"),
+                ("b", "queued"),
+                ("a", "running"),
+                ("a", "failed"),
+            ]
+            assert [s for _, s, _ in journal.transitions("a")] == [
+                "queued",
+                "running",
+                "failed",
+            ]
+
+    def test_finish_state_is_validated(self, journal_path):
+        with JobJournal(journal_path) as journal:
+            journal.record_admitted("j1", "Q;")
+            with pytest.raises(JournalError, match="finish state"):
+                journal.record_finished("j1", "queued")
+
+    def test_bad_synchronous_pragma_rejected(self, journal_path):
+        with pytest.raises(JournalError, match="synchronous"):
+            JobJournal(journal_path, synchronous="EXTREME")
+
+    def test_idempotency_key_lookup(self, journal_path):
+        with JobJournal(journal_path) as journal:
+            journal.record_admitted("j1", "Q;", idempotency_key="k")
+            assert journal.lookup_idempotency_key("k") == "j1"
+            assert journal.lookup_idempotency_key("missing") is None
+
+
+class TestFreeze:
+    def test_frozen_journal_drops_all_writes(self, journal_path):
+        journal = JobJournal(journal_path)
+        journal.record_admitted("j1", "Q;")
+        journal.record_running("j1")
+        journal.freeze()
+        # Everything after the freeze point "never happened".
+        journal.record_finished("j1", "done", result={"n": 1})
+        journal.record_admitted("j2", "Q;")
+        assert journal.frozen
+        assert journal.get("j1").state == "running"
+        assert journal.get("j2") is None
+        journal.close()
+        with JobJournal(journal_path) as reopened:
+            assert reopened.get("j1").state == "running"
+            assert reopened.get("j2") is None
+
+
+class TestRecovery:
+    def test_recovery_classifies_every_state(self, journal_path):
+        with JobJournal(journal_path) as journal:
+            journal.record_admitted("queued", "Q;")
+            journal.record_admitted("orphan", "Q;")
+            journal.record_running("orphan")
+            journal.record_admitted("finished", "Q;")
+            journal.record_running("finished")
+            journal.record_finished("finished", "done", result={"n": 1})
+            journal.record_admitted("dead", "Q;")
+            journal.record_finished("dead", "cancelled", error="user cancel")
+
+            plan = journal.recover()
+            assert [r.job_id for r in plan.terminal] == ["finished", "dead"]
+            assert [r.job_id for r in plan.requeue] == ["queued", "orphan"]
+            assert plan.crash_looped == ()
+            # The orphaned running row was repaired to a journaled fact.
+            orphan = journal.get("orphan")
+            assert orphan.state == "interrupted"
+            assert "crash" in orphan.error
+
+    def test_crash_loop_cap_fails_poison_jobs(self, journal_path):
+        with JobJournal(journal_path) as journal:
+            journal.record_admitted("poison", "Q;")
+            for _ in range(3):
+                journal.record_running("poison")
+            plan = journal.recover(max_attempts=3)
+            assert plan.requeue == ()
+            assert [r.job_id for r in plan.crash_looped] == ["poison"]
+            record = journal.get("poison")
+            assert record.state == "failed"
+            assert "crash loop" in record.error
+
+    def test_readmission_preserves_attempts(self, journal_path):
+        with JobJournal(journal_path) as journal:
+            journal.record_admitted("j1", "Q;")
+            journal.record_running("j1")
+        with JobJournal(journal_path) as journal:
+            plan = journal.recover(max_attempts=3)
+            (record,) = plan.requeue
+            journal.record_admitted(
+                record.job_id,
+                record.statement,
+                submitted_at=record.submitted_at,
+                attempts=record.attempts,
+            )
+            assert journal.get("j1").state == "queued"
+            assert journal.get("j1").attempts == 1
+            journal.record_running("j1")
+            assert journal.get("j1").attempts == 2
+
+    def test_recover_validates_cap(self, journal_path):
+        with JobJournal(journal_path) as journal:
+            with pytest.raises(JournalError, match="max_attempts"):
+                journal.recover(max_attempts=0)
+
+
+class TestKillReopenProperty:
+    """Property test: random lifecycles + a random freeze (power loss)
+    point must always recover to a sound plan."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_lifecycle_interleaving_recovers_soundly(self, tmp_path, seed):
+        rng = random.Random(seed)
+        path = str(tmp_path / f"prop-{seed}.journal")
+        journal = JobJournal(path)
+
+        n_jobs = rng.randint(3, 12)
+        # Build a random interleaved schedule of lifecycle edges.
+        events = []
+        for index in range(n_jobs):
+            job_id = f"job-{index}"
+            events.append(("admit", job_id))
+            stage = rng.random()
+            if stage > 0.3:
+                events.append(("start", job_id))
+            if stage > 0.6:
+                terminal = rng.choice(["done", "failed", "cancelled"])
+                events.append(("finish", job_id, terminal))
+        # Interleave across jobs while preserving each job's own order.
+        rng.shuffle(events)
+        per_job_rank = {"admit": 0, "start": 1, "finish": 2}
+        events.sort(key=lambda e: per_job_rank[e[0]])
+        cut = rng.randint(0, len(events))  # the power-loss point
+
+        expected_states = {}
+        for position, event in enumerate(events):
+            if position == cut:
+                journal.freeze()
+            kind, job_id = event[0], event[1]
+            if kind == "admit":
+                journal.record_admitted(job_id, f"QUERY {job_id};")
+                applied = "queued"
+            elif kind == "start":
+                journal.record_running(job_id)
+                applied = "running"
+            else:
+                journal.record_finished(job_id, event[2], result={"job": job_id})
+                applied = event[2]
+            if position < cut:
+                expected_states[job_id] = applied
+        journal.close()
+
+        reopened = JobJournal(path)
+        assert reopened.states() == _count(expected_states.values())
+        plan = reopened.recover(max_attempts=5)
+        planned = (
+            [r.job_id for r in plan.terminal]
+            + [r.job_id for r in plan.requeue]
+            + [r.job_id for r in plan.crash_looped]
+        )
+        # Every journaled job is handled exactly once, no matter where
+        # the power loss landed.
+        assert sorted(planned) == sorted(expected_states)
+        for record in plan.requeue:
+            assert record.state in RECOVERABLE_STATES
+        for record in plan.terminal:
+            assert expected_states[record.job_id] == record.state
+        reopened.close()
+
+
+def _count(values):
+    counts = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    return counts
+
+
+class TestStats:
+    def test_stats_document(self, journal_path):
+        with JobJournal(journal_path) as journal:
+            journal.record_admitted("j1", "Q;")
+            stats = journal.stats()
+            assert stats["enabled"] is True
+            assert stats["states"] == {"queued": 1}
+            assert stats["transitions"] == 1
+            assert stats["synchronous"] == "FULL"
+
+    def test_checkpoint_truncates_wal(self, journal_path):
+        with JobJournal(journal_path) as journal:
+            journal.record_admitted("j1", "Q;")
+            journal.checkpoint()
+            # After TRUNCATE the WAL file is empty; the row must be in
+            # the main database file for any fresh reader.
+            raw = sqlite3.connect(journal_path)
+            assert raw.execute("SELECT COUNT(*) FROM jobs").fetchone()[0] == 1
+            raw.close()

@@ -1,0 +1,171 @@
+"""Tests for the disk cache tier and its wiring into ResultCache."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.cache import ResultCache
+from repro.service.durability import DiskCacheTier, canonical_json
+
+
+@pytest.fixture
+def spill_path(tmp_path):
+    return str(tmp_path / "results.cache")
+
+
+def _registry():
+    return MetricsRegistry()
+
+
+class TestDiskCacheTier:
+    def test_round_trip_and_fingerprint(self, spill_path):
+        with DiskCacheTier(spill_path, metrics=_registry()) as tier:
+            tier.put("k" * 64, {"b": 2, "a": [1, {"z": None}]}, "fp-1")
+            value, fingerprint = tier.get("k" * 64)
+            assert value == {"b": 2, "a": [1, {"z": None}]}
+            assert fingerprint == "fp-1"
+            assert tier.get("missing") is None
+
+    def test_byte_identity_across_the_disk_round_trip(self, spill_path):
+        """The spilled blob re-serializes to the identical bytes."""
+        result = {"rules": [{"lhs": ["a"], "conf": 0.5}], "n_results": 1}
+        with DiskCacheTier(spill_path, metrics=_registry()) as tier:
+            tier.put("key", result, "fp")
+            restored, _ = tier.get("key")
+        assert canonical_json(restored) == canonical_json(result)
+        assert canonical_json(restored).encode("utf-8") == json.dumps(
+            result, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+
+    def test_entries_survive_restart(self, spill_path):
+        with DiskCacheTier(spill_path, metrics=_registry()) as tier:
+            tier.put("key", {"n": 1}, "fp")
+        with DiskCacheTier(spill_path, metrics=_registry()) as reopened:
+            assert reopened.get("key") == ({"n": 1}, "fp")
+            assert len(reopened) == 1
+
+    def test_lru_eviction_prefers_recently_used(self, spill_path):
+        with DiskCacheTier(spill_path, max_entries=2, metrics=_registry()) as tier:
+            tier.put("a", {"n": 1}, "fp")
+            tier.put("b", {"n": 2}, "fp")
+            assert tier.get("a") is not None  # refresh a's LRU position
+            tier.put("c", {"n": 3}, "fp")  # evicts b, the stalest
+            assert tier.get("b") is None
+            assert tier.get("a") is not None
+            assert tier.get("c") is not None
+
+    def test_lru_sequence_survives_restart(self, spill_path):
+        with DiskCacheTier(spill_path, max_entries=2, metrics=_registry()) as tier:
+            tier.put("a", {"n": 1}, "fp")
+            tier.put("b", {"n": 2}, "fp")
+            tier.get("a")
+        with DiskCacheTier(
+            spill_path, max_entries=2, metrics=_registry()
+        ) as reopened:
+            reopened.put("c", {"n": 3}, "fp")  # must still evict b, not a
+            assert reopened.get("b") is None
+            assert reopened.get("a") is not None
+
+    def test_ttl_expiry_on_wall_clock(self, spill_path):
+        clock = {"now": 1000.0}
+        with DiskCacheTier(
+            spill_path,
+            ttl_seconds=10.0,
+            clock=lambda: clock["now"],
+            metrics=_registry(),
+        ) as tier:
+            tier.put("key", {"n": 1}, "fp")
+            clock["now"] += 5.0
+            assert tier.get("key") is not None
+            clock["now"] += 6.0
+            assert tier.get("key") is None  # expired and deleted
+            assert len(tier) == 0
+
+    def test_invalidate_fingerprint_is_exact(self, spill_path):
+        with DiskCacheTier(spill_path, metrics=_registry()) as tier:
+            tier.put("a", {"n": 1}, "fp-old")
+            tier.put("b", {"n": 2}, "fp-old")
+            tier.put("c", {"n": 3}, "fp-new")
+            assert tier.invalidate_fingerprint("fp-old") == 2
+            assert tier.get("a") is None
+            assert tier.get("c") is not None
+
+    def test_clear_and_stats(self, spill_path):
+        with DiskCacheTier(spill_path, max_entries=8, metrics=_registry()) as tier:
+            tier.put("a", {"n": 1}, "fp")
+            stats = tier.stats()
+            assert stats["entries"] == 1
+            assert stats["max_entries"] == 8
+            assert tier.clear() == 1
+            assert len(tier) == 0
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="max_entries"):
+            DiskCacheTier(tmp_path / "x", max_entries=0, metrics=_registry())
+        with pytest.raises(ValueError, match="ttl_seconds"):
+            DiskCacheTier(tmp_path / "x", ttl_seconds=0, metrics=_registry())
+
+
+class TestResultCacheSpillWiring:
+    def test_memory_miss_falls_through_and_promotes(self, spill_path):
+        registry = _registry()
+        tier = DiskCacheTier(spill_path, metrics=registry)
+        warm = ResultCache(max_entries=4, metrics=registry, spill=tier)
+        warm.put("key", {"n": 1}, "fp")
+
+        # A "restarted" cache: empty memory, same spill file.
+        cold = ResultCache(max_entries=4, metrics=_registry(), spill=tier)
+        assert cold.get("key") == {"n": 1}
+        stats = cold.stats()
+        assert stats["disk_hits"] == 1
+        assert stats["misses"] == 1
+        # Promotion: the second get is a pure memory hit.
+        assert cold.get("key") == {"n": 1}
+        assert cold.stats()["hits"] == 1
+        tier.close()
+
+    def test_promoted_value_is_isolated_from_mutation(self, spill_path):
+        tier = DiskCacheTier(spill_path, metrics=_registry())
+        cache = ResultCache(max_entries=4, metrics=_registry(), spill=tier)
+        cache.put("key", {"rows": [1, 2]}, "fp")
+        cold = ResultCache(max_entries=4, metrics=_registry(), spill=tier)
+        value = cold.get("key")
+        value["rows"].append(99)
+        assert cold.get("key") == {"rows": [1, 2]}
+        tier.close()
+
+    def test_invalidation_reaches_both_tiers(self, spill_path):
+        tier = DiskCacheTier(spill_path, metrics=_registry())
+        cache = ResultCache(max_entries=4, metrics=_registry(), spill=tier)
+        cache.put("key", {"n": 1}, "fp")
+        assert cache.invalidate_fingerprint("fp") == 2  # memory + disk copy
+        assert cache.get("key") is None
+        assert tier.get("key") is None
+        tier.close()
+
+    def test_clear_reaches_both_tiers(self, spill_path):
+        tier = DiskCacheTier(spill_path, metrics=_registry())
+        cache = ResultCache(max_entries=4, metrics=_registry(), spill=tier)
+        cache.put("key", {"n": 1}, "fp")
+        assert cache.clear() == 2
+        assert len(tier) == 0
+        tier.close()
+
+    def test_broken_spill_degrades_to_memory_only(self, spill_path):
+        """A dead disk is a statistic, never an error."""
+        tier = DiskCacheTier(spill_path, metrics=_registry())
+        cache = ResultCache(max_entries=4, metrics=_registry(), spill=tier)
+        tier.close()  # every spill operation now raises
+        cache.put("key", {"n": 1}, "fp")  # mirrored put fails silently
+        assert cache.get("key") == {"n": 1}  # memory tier still works
+        assert cache.get("other") is None  # disk fallback fails silently
+        stats = cache.stats()
+        assert stats["disk_errors"] >= 2
+
+    def test_stats_exposes_disk_section(self, spill_path):
+        tier = DiskCacheTier(spill_path, metrics=_registry())
+        cache = ResultCache(max_entries=4, metrics=_registry(), spill=tier)
+        cache.put("key", {"n": 1}, "fp")
+        assert cache.stats()["disk"]["entries"] == 1
+        tier.close()
