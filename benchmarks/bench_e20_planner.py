@@ -1,0 +1,155 @@
+"""E20 — does the cost-based planner actually pick good plans?
+
+The planner's headline claim: ``TemporalMiner(db)`` with no knobs
+(``SET ENGINE AUTO`` / ``SET WORKERS AUTO``) lands within 0.9x of the
+*best* manual (backend x workers) configuration — without the user
+sweeping the grid — while the *worst* manual cell shows what a wrong
+pin costs.  Measured on the E6 size-up workload at |D| in {2.5k, 20k,
+80k} plus a basket-density sweep at fixed |D|; every cell is asserted
+bit-identical to the planned run, so the comparison is purely about
+time.
+
+Also pinned here: the ``packed`` (chunked whole-block AND/popcount)
+backend beats plain ``vertical`` at |D|=20k, which is why the planner
+prefers it for large candidate volumes.
+"""
+
+import os
+import time
+
+import pytest
+
+from benchmarks.bench_e6_sizeup import config_for
+from benchmarks.conftest import emit
+from repro.datagen import QuestConfig
+from repro.mining import RuleThresholds, TemporalMiner, ValidPeriodTask
+from repro.temporal import Granularity
+
+SIZES = (2500, 20000, 80000)
+BACKENDS = ("dict", "hashtree", "vertical", "packed")
+WORKER_COUNTS = (1, 2)
+PACKED_VS_VERTICAL_SIZE = 20000
+PLANNED_VS_BEST_FLOOR = 0.9
+MULTICORE = (os.cpu_count() or 1) >= 2
+
+#: Basket-density sweep: average items per basket at fixed |D|.
+DENSITY_SIZE = 10000
+DENSITIES = (4, 8, 16)
+
+
+def _task():
+    return ValidPeriodTask(
+        granularity=Granularity.MONTH,
+        thresholds=RuleThresholds(0.02, 0.6),
+        min_coverage=2,
+        max_rule_size=3,
+    )
+
+
+def density_config(avg_transaction_size):
+    return QuestConfig(
+        n_transactions=DENSITY_SIZE,
+        avg_transaction_size=avg_transaction_size,
+        avg_pattern_size=4,
+        n_items=500,
+        n_patterns=100,
+        seed=17,
+    )
+
+
+def _mine(db, rounds, **miner_kwargs):
+    """Best-of-``rounds`` wall time for one miner configuration."""
+    best = float("inf")
+    report = None
+    for _ in range(rounds):
+        with TemporalMiner(db, **miner_kwargs) as miner:
+            started = time.perf_counter()
+            report = miner.valid_periods(_task())
+            best = min(best, time.perf_counter() - started)
+    return report, best
+
+
+def _sweep(db, rounds):
+    """Time the full manual grid plus the planned run on one database."""
+    grid = {}
+    reference = None
+    for backend in BACKENDS:
+        for workers in WORKER_COUNTS:
+            report, seconds = _mine(
+                db, rounds, counting=backend, workers=workers
+            )
+            grid[(backend, workers)] = seconds
+            if reference is None:
+                reference = report
+            # The grid exists to compare times; results must not move.
+            assert report.results == reference.results, (backend, workers)
+    planned_report, planned_seconds = _mine(db, rounds)
+    assert planned_report.results == reference.results
+    return grid, planned_report, planned_seconds
+
+
+def _planned_cell_seconds(grid, plan, planned_seconds):
+    """The fairest time for the planner's choice: its own cell's grid
+    measurement when the chosen (backend, workers) was swept (so a
+    noisy re-run of the identical configuration cannot fail the bar),
+    else the planned run's wall time."""
+    cell = (plan["backend"], plan["workers"])
+    return min(planned_seconds, grid.get(cell, planned_seconds))
+
+
+@pytest.fixture(autouse=True)
+def _no_plan_env(monkeypatch):
+    """The planned leg must be the real planner, not a host env pin."""
+    monkeypatch.delenv("REPRO_PLAN", raising=False)
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_PLAN_CPUS", raising=False)
+
+
+@pytest.mark.parametrize("n_transactions", SIZES)
+def test_e20_planned_vs_manual_sizeup(quest_db_cache, n_transactions):
+    db = quest_db_cache(config_for(n_transactions))
+    rounds = 2 if n_transactions < 80000 else 1
+    grid, planned_report, planned_seconds = _sweep(db, rounds)
+    (best_cell, best_seconds) = min(grid.items(), key=lambda kv: kv[1])
+    (worst_cell, worst_seconds) = max(grid.items(), key=lambda kv: kv[1])
+    plan = planned_report.plan
+    emit(
+        "E20",
+        f"D={n_transactions}",
+        f"planned_s={planned_seconds:.3f}",
+        f"best_s={best_seconds:.3f}",
+        f"best={best_cell[0]}/w{best_cell[1]}",
+        f"worst_s={worst_seconds:.3f}",
+        f"worst={worst_cell[0]}/w{worst_cell[1]}",
+        f"plan={plan['backend']}/w{plan['workers']}",
+        f"findings={len(planned_report.results)}",
+    )
+    assert plan is not None and not plan["backend_pinned"]
+    # The acceptance bar: no-knobs mining keeps >= 0.9x of the best
+    # manual configuration's throughput.
+    planned = _planned_cell_seconds(grid, plan, planned_seconds)
+    assert planned <= best_seconds / PLANNED_VS_BEST_FLOOR
+    if n_transactions == PACKED_VS_VERTICAL_SIZE:
+        # The vectorized kernel's own acceptance bar, serial vs serial.
+        assert grid[("packed", 1)] < grid[("vertical", 1)]
+
+
+@pytest.mark.parametrize("avg_size", DENSITIES)
+def test_e20_density_sweep(quest_db_cache, avg_size):
+    db = quest_db_cache(density_config(avg_size))
+    grid, planned_report, planned_seconds = _sweep(db, rounds=1)
+    (best_cell, best_seconds) = min(grid.items(), key=lambda kv: kv[1])
+    plan = planned_report.plan
+    emit(
+        "E20",
+        f"density={avg_size}",
+        f"D={DENSITY_SIZE}",
+        f"planned_s={planned_seconds:.3f}",
+        f"best_s={best_seconds:.3f}",
+        f"best={best_cell[0]}/w{best_cell[1]}",
+        f"plan={plan['backend']}/w{plan['workers']}",
+        f"findings={len(planned_report.results)}",
+    )
+    # Density changes which backend wins; the planner must keep up.
+    planned = _planned_cell_seconds(grid, plan, planned_seconds)
+    assert planned <= best_seconds / PLANNED_VS_BEST_FLOOR

@@ -9,9 +9,10 @@ This package is the data plane underneath every mining pass:
   transaction range; candidate support is bitmap intersection plus
   popcount, the Eclat-style vertical representation.
 * The :data:`counting-backend registry <repro.columnar.backends>` —
-  ``dict``, ``hashtree`` and ``vertical`` strategies behind one
-  pass-level interface, selectable from :mod:`repro.core.apriori`,
-  :mod:`repro.mining.context`, the engine, and TML ``SET ENGINE``.
+  ``dict``, ``hashtree``, ``vertical`` and ``packed`` strategies behind
+  one pass-level interface, selectable from :mod:`repro.core.apriori`,
+  :mod:`repro.mining.context`, the engine, and TML ``SET ENGINE``
+  (where ``AUTO`` delegates the choice to :mod:`repro.planner`).
 
 All backends produce bit-identical support counts; only the work they
 do to obtain them differs.  The property suite enforces the agreement.

@@ -1,4 +1,4 @@
-"""The counting-backend registry: dict, hashtree and vertical.
+"""The counting-backend registry: dict, hashtree, vertical and packed.
 
 A :class:`CountingBackend` counts one Apriori pass — all the same-size
 candidates against one transaction segment — and returns the support of
@@ -7,7 +7,9 @@ every candidate.  The two classic horizontal strategies
 Agrawal–Srikant hash tree) walk basket tuples; the ``vertical`` backend
 intersects the segment's per-item bitmaps instead
 (:class:`~repro.columnar.bitmaps.VerticalIndex`), which moves the hot
-path out of the interpreter entirely.
+path out of the interpreter entirely; ``packed`` intersects whole
+candidate blocks column-wise, removing even the per-prefix-group Python
+loop.
 
 Every backend is registered by name; ``resolve_backend`` also implements
 the ``"auto"`` heuristic shared with
@@ -146,6 +148,29 @@ class VerticalBackend(CountingBackend):
         return segment.vertical().count_candidates(candidates, monitor=monitor)
 
 
+class PackedBackend(CountingBackend):
+    """Chunked-int popcount over whole candidate blocks.
+
+    The planner's vectorized kernel: instead of walking shared-prefix
+    groups, it intersects the vertical index one item *column* at a time
+    across thousands of candidates per numpy call
+    (:meth:`~repro.columnar.bitmaps.VerticalIndex.count_candidates_packed`).
+    """
+
+    name = "packed"
+    uses_vertical = True
+
+    def count_pass(
+        self,
+        candidates: Sequence[Itemset],
+        segment,
+        monitor: Optional[RunMonitor] = None,
+    ) -> Dict[Itemset, int]:
+        return segment.vertical().count_candidates_packed(
+            candidates, monitor=monitor
+        )
+
+
 _REGISTRY: Dict[str, CountingBackend] = {}
 
 
@@ -192,3 +217,4 @@ def resolve_backend(
 register_backend(DictBackend())
 register_backend(HashTreeBackend())
 register_backend(VerticalBackend())
+register_backend(PackedBackend())

@@ -33,7 +33,15 @@ from repro.temporal.granularity import Granularity, unit_index
 class EncodedDatabase:
     """Transactions in columnar CSR form, ordered by (timestamp, tid)."""
 
-    __slots__ = ("item_ids", "offsets", "tids", "timestamps", "catalog", "_n_items")
+    __slots__ = (
+        "item_ids",
+        "offsets",
+        "tids",
+        "timestamps",
+        "catalog",
+        "_n_items",
+        "_stats",
+    )
 
     def __init__(
         self,
@@ -50,6 +58,9 @@ class EncodedDatabase:
         self.catalog = catalog if catalog is not None else ItemCatalog()
         highest = int(item_ids.max()) + 1 if item_ids.size else 0
         self._n_items = max(highest, len(self.catalog))
+        #: Planner statistics memo (see :func:`repro.planner.stats_of_encoded`);
+        #: safe to cache here because the layout is immutable once built.
+        self._stats = None
 
     # ------------------------------------------------------------------
     # construction

@@ -32,7 +32,12 @@ from typing import (
     Union,
 )
 
-from repro.columnar.backends import BasketSegment, available_backends, resolve_backend
+from repro.columnar.backends import (
+    BasketSegment,
+    available_backends,
+    get_backend,
+    resolve_backend,
+)
 from repro.columnar.encoded import EncodedDatabase
 from repro.core.items import Item, Itemset
 from repro.core.transactions import TransactionDatabase
@@ -231,14 +236,19 @@ def apriori(
             monitor.complete_pass()
             monitor.checkpoint()
 
-        # The vertical backend counts against one bitmap index built
-        # once over the whole database and reused by every pass, so its
-        # segment is prepared up front; horizontal backends re-scan a
-        # working basket list that transaction reduction may shrink.
+        # Bitmap backends (vertical/packed) count against one index
+        # built once over the whole database and reused by every pass,
+        # so their segment is prepared up front; horizontal backends
+        # re-scan a working basket list that transaction reduction may
+        # shrink.
+        bitmap_counting = (
+            options.counting != "auto"
+            and get_backend(options.counting).uses_vertical
+        )
         vertical_segment = None
         baskets: List[Tuple[Item, ...]] = []
         encoded_parallel = None
-        if options.counting == "vertical" or executor is not None:
+        if bitmap_counting or executor is not None:
             encoded = (
                 database
                 if isinstance(database, EncodedDatabase)
@@ -246,9 +256,9 @@ def apriori(
             )
             if executor is not None:
                 encoded_parallel = encoded
-            if options.counting == "vertical":
+            if bitmap_counting:
                 vertical_segment = encoded.segment()
-        if options.counting != "vertical":
+        if not bitmap_counting:
             # Serial fallback scans these baskets even when a parallel
             # executor is attached (it may decline or degrade mid-run).
             if isinstance(database, EncodedDatabase):

@@ -94,6 +94,11 @@ class SqliteStore:
         self._lock = threading.RLock()
         self._fingerprint_cache: Optional[str] = None
         self._fingerprint_key: Optional[Tuple[int, int, int]] = None
+        # Planner statistics share the fingerprint's change key, so a
+        # mutation invalidates both memos together (a plan can never be
+        # built from stale stats against a fresh fingerprint).
+        self._stats_cache = None
+        self._stats_key: Optional[Tuple[int, int, int]] = None
         self._retry_policy = retry_policy or RetryPolicy()
         self._sleep = sleep
         # Per-thread retry deadline: the service sets this from the
@@ -327,6 +332,62 @@ class SqliteStore:
             return None
         return datetime.fromisoformat(row[0]), datetime.fromisoformat(row[1])
 
+    def _change_key(self) -> Tuple[int, int, int]:
+        """Cheap change marker keying both memos (fingerprint + stats).
+
+        ``PRAGMA data_version`` catches other connections' commits,
+        :attr:`sqlite3.Connection.total_changes` rows changed through
+        this connection, and the row count guards the
+        ``DELETE``-without-``WHERE`` truncate optimization (which older
+        SQLite builds do not count).  Callers must hold :attr:`lock`.
+        """
+        connection = self.connection
+        version = int(
+            self._retry(
+                lambda: connection.execute("PRAGMA data_version").fetchone(),
+                "execute: PRAGMA data_version",
+            )[0]
+        )
+        rows = int(
+            self._retry(
+                lambda: connection.execute(
+                    "SELECT COUNT(*) FROM transactions"
+                ).fetchone(),
+                "execute: SELECT COUNT(*) FROM transactions",
+            )[0]
+        )
+        return (version, connection.total_changes, rows)
+
+    def stats(self):
+        """Planner statistics of the store, as a ``StoreStats``.
+
+        One aggregate query; memoized against the same change key as
+        :meth:`fingerprint`, so both caches go stale (and refresh)
+        together when the store mutates — the planner can never pair
+        fresh content addressing with stale statistics.
+        """
+        from repro.planner.stats import StoreStats
+
+        with self._lock:
+            key = self._change_key()
+            if self._stats_cache is not None and self._stats_key == key:
+                return self._stats_cache
+            row = self._execute(
+                "SELECT COUNT(DISTINCT tid), COUNT(DISTINCT item), COUNT(*), "
+                "MIN(ts), MAX(ts) FROM transactions"
+            ).fetchone()
+            first = datetime.fromisoformat(row[3]) if row[3] is not None else None
+            last = datetime.fromisoformat(row[4]) if row[4] is not None else None
+            self._stats_cache = StoreStats(
+                n_transactions=int(row[0]),
+                n_items=int(row[1]),
+                n_occurrences=int(row[2]),
+                first_timestamp=first,
+                last_timestamp=last,
+            )
+            self._stats_key = key
+            return self._stats_cache
+
     def fingerprint(self) -> str:
         """A content digest of the store — the dataset half of a cache key.
 
@@ -343,21 +404,7 @@ class SqliteStore:
         """
         with self._lock:
             connection = self.connection
-            version = int(
-                self._retry(
-                    lambda: connection.execute("PRAGMA data_version").fetchone(),
-                    "execute: PRAGMA data_version",
-                )[0]
-            )
-            rows = int(
-                self._retry(
-                    lambda: connection.execute(
-                        "SELECT COUNT(*) FROM transactions"
-                    ).fetchone(),
-                    "execute: SELECT COUNT(*) FROM transactions",
-                )[0]
-            )
-            key = (version, connection.total_changes, rows)
+            key = self._change_key()
             if self._fingerprint_cache is not None and self._fingerprint_key == key:
                 return self._fingerprint_cache
             digest = hashlib.sha256()

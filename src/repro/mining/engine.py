@@ -34,6 +34,15 @@ from repro.obs.logs import get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.parallel.executor import ShardedExecutor
+from repro.planner import (
+    QueryPlan,
+    StatementShape,
+    StoreStats,
+    compute_stats,
+    plan_query,
+    record_observed,
+    stats_of_encoded,
+)
 from repro.runtime.budget import CancellationToken, RunBudget, RunMonitor
 from repro.temporal.granularity import Granularity
 
@@ -41,6 +50,33 @@ logger = get_logger(__name__)
 
 #: ``trace=`` accepts a switch or a JSONL sink path.
 TraceSetting = Union[bool, str, "os.PathLike[str]"]
+
+
+def _shape_of(
+    task: Union[ValidPeriodTask, PeriodicityTask, ConstrainedTask],
+    interleaved: bool = False,
+    cacheable: bool = False,
+) -> StatementShape:
+    """The planner's view of one task object."""
+    if isinstance(task, ConstrainedTask):
+        # Task 3 mines one Apriori over the feature-restricted segment;
+        # there is no per-unit loop, so the shape is unitless.
+        return StatementShape(
+            task="constrained",
+            granularity=None,
+            min_support=task.thresholds.min_support,
+            cacheable=cacheable,
+            passes=task.max_rule_size if task.max_rule_size else 3,
+        )
+    name = "valid_periods" if isinstance(task, ValidPeriodTask) else "periodicities"
+    return StatementShape(
+        task=name,
+        granularity=task.granularity,
+        min_support=task.thresholds.min_support,
+        interleaved=interleaved,
+        cacheable=cacheable,
+        passes=task.max_rule_size if task.max_rule_size else 3,
+    )
 
 
 def _make_monitor(
@@ -60,36 +96,38 @@ def _make_monitor(
     )
 
 
-def _workers_from_env() -> int:
-    """The ``REPRO_WORKERS`` default (1 when unset or malformed).
+def _workers_from_env() -> Optional[int]:
+    """The ``REPRO_WORKERS`` pin (``None`` = AUTO when unset).
 
-    Lets CI run the *entire* suite in sharded mode without touching any
-    test: every miner built with the default worker count picks it up,
-    and bit-identical semantics mean all assertions must still hold.
+    Lets CI run the *entire* suite with a pinned worker count without
+    touching any test: every miner built with the default worker setting
+    picks it up, and bit-identical semantics mean all assertions must
+    still hold.  When the variable is absent the planner chooses per
+    query (AUTO).
 
-    A set-but-malformed value (``"two"``, ``"0"``, ``"-3"``) still falls
-    back to 1, but emits a :class:`RuntimeWarning` naming the rejected
-    value — a misconfigured deployment should degrade loudly, not
-    silently run serial.
+    A set-but-malformed value (``"two"``, ``"0"``, ``"-3"``) also falls
+    back to AUTO, but emits a :class:`RuntimeWarning` naming the
+    rejected value — a misconfigured deployment should degrade loudly,
+    not silently change behaviour.
     """
     raw = os.environ.get("REPRO_WORKERS")
     if raw is None or not raw.strip():
-        return 1
+        return None
     text = raw.strip()
     if text.isdigit() and int(text) >= 1:
         return int(text)
     logger.warning(
         "ignoring malformed REPRO_WORKERS value %r "
-        "(expected an integer >= 1); defaulting to 1 worker (serial)",
+        "(expected an integer >= 1); leaving worker selection to the planner",
         raw,
     )
     warnings.warn(
         f"ignoring malformed REPRO_WORKERS value {raw!r} "
-        "(expected an integer >= 1); defaulting to 1 worker (serial)",
+        "(expected an integer >= 1); leaving worker selection to the planner",
         RuntimeWarning,
         stacklevel=2,
     )
-    return 1
+    return None
 
 
 class TemporalMiner:
@@ -112,8 +150,9 @@ class TemporalMiner:
         self.metrics = metrics
         self.trace = trace
         self._contexts: Dict[Granularity, TemporalContext] = {}
-        self.workers = 1
+        self.workers: Optional[int] = None
         self._executor: Optional[ShardedExecutor] = None
+        self._db_stats: Optional[StoreStats] = None
         self.set_workers(workers if workers is not None else _workers_from_env())
 
     def set_trace(self, trace: TraceSetting) -> None:
@@ -126,15 +165,17 @@ class TemporalMiner:
         """
         self.trace = trace
 
-    def set_workers(self, workers: int) -> None:
-        """Select the worker-process count for subsequent runs.
+    def set_workers(self, workers: Optional[int]) -> None:
+        """Pin the worker-process count for subsequent runs, or un-pin.
 
-        ``1`` runs everything serially; ``N >= 2`` fans counting passes
-        out to a sharded process pool (results stay bit-identical — see
-        :mod:`repro.parallel`).  Changing the count tears the existing
-        pool down; the next run builds a fresh one lazily.
+        ``None`` (AUTO, the default) lets the planner choose per query.
+        ``1`` pins everything serial; ``N >= 2`` pins counting passes to
+        a sharded process pool of that size (results stay bit-identical
+        either way — see :mod:`repro.parallel`).  Changing the setting
+        tears the existing pool down; the next run builds a fresh one
+        lazily.
         """
-        if workers < 1:
+        if workers is not None and workers < 1:
             raise MiningParameterError(f"workers must be >= 1, got {workers}")
         if self._executor is not None:
             self._executor.close()
@@ -143,12 +184,33 @@ class TemporalMiner:
 
     @property
     def executor(self) -> Optional[ShardedExecutor]:
-        """The (lazily created) sharded executor; ``None`` when serial."""
-        if self.workers < 2:
-            return None
-        if self._executor is None:
+        """The current sharded executor; ``None`` while serial.
+
+        With a pinned ``workers >= 2`` the executor is created on
+        demand; under AUTO it exists only after a planned run that chose
+        to fan out.
+        """
+        if self.workers is not None and self.workers >= 2 and self._executor is None:
             self._executor = ShardedExecutor(self.workers, metrics=self.metrics)
         return self._executor
+
+    def _executor_for(self, plan: QueryPlan) -> Optional[ShardedExecutor]:
+        """The executor matching one plan's worker/shard decision."""
+        if plan.workers < 2:
+            return None
+        executor = self._executor
+        if (
+            executor is None
+            or executor.workers != plan.workers
+            or executor.n_shards != plan.n_shards
+        ):
+            if executor is not None:
+                executor.close()
+            executor = ShardedExecutor(
+                plan.workers, metrics=self.metrics, n_shards=plan.n_shards
+            )
+            self._executor = executor
+        return executor
 
     def close(self) -> None:
         """Release the worker pool (safe to call repeatedly)."""
@@ -187,6 +249,43 @@ class TemporalMiner:
     def invalidate(self) -> None:
         """Drop cached partitionings (call after mutating the database)."""
         self._contexts.clear()
+        self._db_stats = None
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+
+    def stats(self) -> StoreStats:
+        """Planner statistics of the attached database (memoized)."""
+        if self._db_stats is None:
+            if self._contexts:
+                context = next(iter(self._contexts.values()))
+                self._db_stats = stats_of_encoded(context.encoded)
+            else:
+                self._db_stats = compute_stats(self.database)
+        return self._db_stats
+
+    def plan_for(
+        self,
+        task: Union[ValidPeriodTask, PeriodicityTask, ConstrainedTask],
+        interleaved: bool = False,
+        cacheable: bool = False,
+    ) -> QueryPlan:
+        """Resolve the execution plan one task would run under *now*.
+
+        Explicit ``counting=``/``set_counting`` and ``workers=``/
+        ``set_workers`` settings become pins; everything left on AUTO is
+        decided by the cost model.  ``EXPLAIN`` calls this without
+        mining.
+        """
+        pin_backend = None if self.counting == "auto" else self.counting
+        return plan_query(
+            self.stats(),
+            _shape_of(task, interleaved=interleaved, cacheable=cacheable),
+            pin_backend=pin_backend,
+            pin_workers=self.workers,
+            metrics=self.metrics,
+        )
 
     # ------------------------------------------------------------------
     # per-run telemetry plumbing
@@ -217,11 +316,25 @@ class TemporalMiner:
         resolved.trace = tracer
         return resolved, tracer
 
-    def _finalize(self, report: MiningReport, tracer: Optional[Tracer]) -> MiningReport:
-        """Attach (and optionally export) the run's trace to the report."""
+    def _finalize(
+        self,
+        report: MiningReport,
+        tracer: Optional[Tracer],
+        plan: Optional[QueryPlan] = None,
+    ) -> MiningReport:
+        """Attach the plan and the run's trace to the report.
+
+        Also feeds the observed wall time back into the planner's
+        calibration counters, so later plans correct for model bias.
+        """
+        if plan is not None:
+            record_observed(plan, report.elapsed_seconds, self.metrics)
+            report = dataclasses.replace(report, plan=plan.to_dict())
         if tracer is None:
             return report
         trace = tracer.to_dict()
+        if plan is not None:
+            trace = {**trace, "plan": report.plan}
         report = dataclasses.replace(report, trace=trace)
         if not isinstance(self.trace, bool):
             record = {"task": report.task_name, **trace}
@@ -243,15 +356,17 @@ class TemporalMiner:
     ) -> MiningReport:
         """Task 1 — discover the valid periods of rules."""
         resolved, tracer = self._monitor_for_run(budget, token, monitor, granule_hook)
+        context = self.context(task.granularity)
+        plan = self.plan_for(task)
         report = discover_valid_periods(
             self.database,
             task,
-            context=self.context(task.granularity),
-            counting=self.counting,
+            context=context,
+            counting=plan.backend,
             monitor=resolved,
-            executor=self.executor,
+            executor=self._executor_for(plan),
         )
-        return self._finalize(report, tracer)
+        return self._finalize(report, tracer, plan)
 
     def periodicities(
         self,
@@ -269,25 +384,18 @@ class TemporalMiner:
         :func:`repro.mining.periodicities.discover_cyclic_interleaved`).
         """
         resolved, tracer = self._monitor_for_run(budget, token, monitor, granule_hook)
-        if interleaved:
-            report = discover_cyclic_interleaved(
-                self.database,
-                task,
-                context=self.context(task.granularity),
-                counting=self.counting,
-                monitor=resolved,
-                executor=self.executor,
-            )
-        else:
-            report = discover_periodicities(
-                self.database,
-                task,
-                context=self.context(task.granularity),
-                counting=self.counting,
-                monitor=resolved,
-                executor=self.executor,
-            )
-        return self._finalize(report, tracer)
+        context = self.context(task.granularity)
+        plan = self.plan_for(task, interleaved=interleaved)
+        discover = discover_cyclic_interleaved if interleaved else discover_periodicities
+        report = discover(
+            self.database,
+            task,
+            context=context,
+            counting=plan.backend,
+            monitor=resolved,
+            executor=self._executor_for(plan),
+        )
+        return self._finalize(report, tracer, plan)
 
     def with_feature(
         self,
@@ -300,12 +408,13 @@ class TemporalMiner:
     ) -> MiningReport:
         """Task 3 — mine rules inside a given temporal feature."""
         resolved, tracer = self._monitor_for_run(budget, token, monitor, granule_hook)
+        plan = self.plan_for(task)
         report = mine_with_feature(
             self.database,
             task,
             apriori_options=apriori_options,
-            counting=self.counting,
+            counting=plan.backend,
             monitor=resolved,
-            executor=self.executor,
+            executor=self._executor_for(plan),
         )
-        return self._finalize(report, tracer)
+        return self._finalize(report, tracer, plan)

@@ -145,6 +145,9 @@ class MiningReport:
         trace: the serialized span tree for the run (populated only
             when the miner ran with tracing enabled; see
             :mod:`repro.obs.trace`).
+        plan: the resolved :class:`~repro.planner.QueryPlan` (as a
+            dict) the run executed under, when the run went through
+            :class:`~repro.mining.engine.TemporalMiner`.
     """
 
     task_name: str
@@ -155,6 +158,7 @@ class MiningReport:
     partial: bool = False
     diagnostics: Optional[RunDiagnostics] = None
     trace: Optional[Dict] = None
+    plan: Optional[Dict] = None
 
     def __len__(self) -> int:
         return len(self.results)

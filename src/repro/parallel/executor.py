@@ -90,10 +90,16 @@ class ShardedExecutor:
         fault_plan=None,
         start_method: Optional[str] = None,
         metrics: Optional[MetricsRegistry] = None,
+        n_shards: Optional[int] = None,
     ):
         if workers < 1:
             raise MiningParameterError(f"workers must be >= 1, got {workers}")
+        if n_shards is not None and n_shards < 1:
+            raise MiningParameterError(f"n_shards must be >= 1, got {n_shards}")
         self.workers = workers
+        #: Shard fan-out per pass; the planner may set it independently
+        #: of the pool size (defaults to one shard per worker).
+        self.n_shards = n_shards if n_shards is not None else workers
         self.fault_plan = fault_plan
         self.degraded_reason: Optional[str] = None
         self._start_method = start_method or _start_method()
@@ -302,7 +308,7 @@ class ShardedExecutor:
         """
         if not self.effective():
             return None
-        shards = plan_shards(bounds, self.workers)
+        shards = plan_shards(bounds, self.n_shards)
         if len(shards) < 2:
             return None
         results = self._run_pass(
@@ -336,7 +342,7 @@ class ShardedExecutor:
         """
         if not self.effective() or not candidates:
             return None
-        shards = plan_shards(bounds, self.workers)
+        shards = plan_shards(bounds, self.n_shards)
         if len(shards) < 2:
             return None
 
@@ -388,7 +394,7 @@ class ShardedExecutor:
         """
         if not self.effective() or not candidates:
             return None
-        shards = plan_transaction_shards(len(encoded), self.workers)
+        shards = plan_transaction_shards(len(encoded), self.n_shards)
         if len(shards) < 2:
             return None
         bounds = np.array(

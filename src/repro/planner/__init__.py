@@ -1,0 +1,62 @@
+"""Cost-based query planning: stats, cost model, and ``QueryPlan``.
+
+The paper's IQMS is a *system* — users state TML queries and the system
+decides how to execute them.  This package is that decision layer:
+
+* :class:`StoreStats` summarizes a store (|D|, item cardinality,
+  density, span), memoized per store fingerprint;
+* :mod:`repro.planner.cost` scores every counting backend and the
+  serial-vs-sharded trade-off from those stats plus the statement shape;
+* :func:`plan_query` resolves it all — honouring explicit ``SET
+  ENGINE`` / ``SET WORKERS`` pins, the ``REPRO_PLAN`` environment pin,
+  and calibration learned from the metrics history — into a frozen
+  :class:`QueryPlan` consumed by the miner, the parallel executor, the
+  service scheduler, ``EXPLAIN`` and the trace/metrics pipeline.
+
+Plans affect *performance only*: every backend and worker count
+produces bit-identical mining results (the differential suites enforce
+this), so the planner can never change an answer, only its latency.
+"""
+
+from repro.planner.cost import (
+    COSTED_BACKENDS,
+    BackendCost,
+    StatementShape,
+    WorkloadEstimate,
+    backend_costs,
+    estimate_workload,
+)
+from repro.planner.plan import QueryPlan, pinned_plan
+from repro.planner.planner import (
+    PLAN_CPUS_ENV,
+    PLAN_ENV,
+    calibration_factors,
+    plan_query,
+    record_observed,
+)
+from repro.planner.stats import (
+    StoreStats,
+    compute_stats,
+    stats_of_database,
+    stats_of_encoded,
+)
+
+__all__ = [
+    "COSTED_BACKENDS",
+    "PLAN_CPUS_ENV",
+    "PLAN_ENV",
+    "BackendCost",
+    "QueryPlan",
+    "StatementShape",
+    "StoreStats",
+    "WorkloadEstimate",
+    "backend_costs",
+    "calibration_factors",
+    "compute_stats",
+    "estimate_workload",
+    "pinned_plan",
+    "plan_query",
+    "record_observed",
+    "stats_of_database",
+    "stats_of_encoded",
+]

@@ -1,0 +1,221 @@
+"""The planner's cost model.
+
+Everything here is a *deterministic* function of :class:`StoreStats` and
+:class:`StatementShape` — the same stats and shape always produce the
+same estimates, which is what makes ``EXPLAIN`` output snapshotable.
+The absolute numbers are rough (constants were fitted against the
+``bench_e15``/``bench_e16`` measurements, not derived), but only the
+*ordering* of backends and the serial-vs-parallel break-even matter for
+planning; observed-timing calibration (:mod:`repro.planner.planner`)
+corrects persistent model bias at runtime.
+
+The model follows the shape of the kernels:
+
+* the horizontal backends (``dict``, ``hashtree``) pay per transaction
+  and per enumerated subset;
+* ``vertical`` pays a bitmap-index build plus per-candidate word ANDs
+  plus a *per-prefix-group* Python overhead;
+* ``packed`` pays roughly double the word ANDs (it intersects all ``k``
+  columns instead of sharing a prefix accumulator) but no per-group
+  overhead — so it overtakes ``vertical`` exactly when passes carry
+  many fragmented candidate groups, i.e. large |D| and low minsup.
+
+Candidate volume is estimated from a Zipf-flavoured frequent-item count:
+under a 1/rank popularity law an item of rank *r* appears in about
+``avg_basket / (r · H)`` of the baskets, so ranks up to
+``avg_basket / (minsup · H)`` clear the support threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.planner.stats import StoreStats
+from repro.temporal.granularity import Granularity
+
+#: Backends the model knows how to score, in presentation order.
+COSTED_BACKENDS: Tuple[str, ...] = ("dict", "hashtree", "vertical", "packed")
+
+# Fitted primitive costs (seconds per operation), CPython + numpy.
+_W_DICT = 150e-9  # one subset lookup in the candidate dict
+_W_HASH = 260e-9  # one hash-tree node visit per (transaction, item)
+_W_BUILD = 25e-9  # one occurrence inserted into the bitmap index
+_W_WORD = 1.2e-9  # one uint64 AND+popcount lane
+_W_CAND = 110e-9  # per-candidate Python (zip/dict store), both bitmap kernels
+_W_GROUP = 5.0e-6  # per prefix-group Python overhead (vertical only)
+_PASS_FLOOR = 30e-6  # fixed per-pass dispatch overhead
+
+# Parallel execution overheads.
+_FORK_SECONDS = 0.050  # pool spin-up, amortized over the first pass
+_SHARD_DISPATCH = 0.004  # per shard per pass: pickle + submit + merge share
+_MIN_PARALLEL_GAIN = 0.15  # don't fork unless we expect to win this much
+
+
+@dataclass(frozen=True)
+class StatementShape:
+    """What the planner knows about a statement before running it."""
+
+    task: str  # "valid_periods" | "periodicities" | "constrained"
+    granularity: Optional[Granularity] = None
+    min_support: float = 0.1
+    interleaved: bool = False
+    cacheable: bool = False
+    passes: int = 3  # expected Apriori depth
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "task": self.task,
+            "granularity": str(self.granularity) if self.granularity else None,
+            "min_support": self.min_support,
+            "interleaved": self.interleaved,
+            "cacheable": self.cacheable,
+        }
+
+
+@dataclass(frozen=True)
+class WorkloadEstimate:
+    """Derived per-unit workload figures shared by all backend models."""
+
+    n_units: int
+    unit_transactions: float
+    avg_basket: float
+    est_frequent_items: int
+    est_candidates: int  # total candidates across passes, per unit
+    words_per_unit: float  # uint64 words per bitmap row
+
+
+@dataclass(frozen=True)
+class BackendCost:
+    """One backend's estimated serial cost for the whole statement."""
+
+    backend: str
+    seconds: float
+    detail: str = ""
+    calibration: float = field(default=1.0, compare=False)
+
+    @property
+    def calibrated_seconds(self) -> float:
+        return self.seconds * self.calibration
+
+
+def estimate_workload(stats: StoreStats, shape: StatementShape) -> WorkloadEstimate:
+    """Candidate/frequent-item volume estimates for one statement."""
+    n_units = max(1, stats.units_spanned(shape.granularity))
+    unit_tx = stats.n_transactions / n_units
+    basket = stats.avg_basket_size
+    n_items = max(1, stats.n_items)
+    # Zipf-flavoured frequent-item estimate (see module docstring).
+    harmonic = math.log(n_items) + 1.0
+    min_support = max(shape.min_support, 1.0 / max(unit_tx, 1.0))
+    f1 = min(float(n_items), basket / (min_support * harmonic) + 1.0)
+    f1 = max(f1, 1.0)
+    pairs = f1 * (f1 - 1.0) / 2.0
+    # Pass 2 dominates; later passes decay as the lattice thins out.
+    candidates = f1 + pairs * (1.0 + 0.35 * max(shape.passes - 2, 0))
+    return WorkloadEstimate(
+        n_units=n_units,
+        unit_transactions=unit_tx,
+        avg_basket=basket,
+        est_frequent_items=int(round(f1)),
+        est_candidates=int(round(candidates)),
+        words_per_unit=max(1.0, math.ceil(unit_tx / 64.0)),
+    )
+
+
+def _unit_cost(backend: str, load: WorkloadEstimate, shape: StatementShape) -> float:
+    """Estimated serial seconds to count one unit's passes on ``backend``."""
+    tx = load.unit_transactions
+    basket = load.avg_basket
+    candidates = load.est_candidates
+    words = load.words_per_unit
+    build = tx * basket * _W_BUILD
+    if backend == "dict":
+        subsets = basket + basket * basket / 2.0
+        return tx * subsets * _W_DICT + shape.passes * _PASS_FLOOR
+    if backend == "hashtree":
+        depth = 1.0 + math.log2(1.0 + candidates)
+        return tx * basket * depth * _W_HASH + shape.passes * _PASS_FLOOR
+    if backend == "vertical":
+        groups = load.est_frequent_items * 1.3 + 1.0
+        return (
+            build
+            + candidates * (_W_CAND + words * _W_WORD)
+            + groups * _W_GROUP
+            + shape.passes * _PASS_FLOOR
+        )
+    if backend == "packed":
+        # All k columns intersected (~2x the word lanes of vertical's
+        # shared-prefix walk) but zero per-group Python overhead.
+        return (
+            build
+            + candidates * (_W_CAND + 2.0 * words * _W_WORD)
+            + shape.passes * _PASS_FLOOR
+        )
+    raise ValueError(f"no cost model for backend {backend!r}")
+
+
+def backend_costs(
+    stats: StoreStats,
+    shape: StatementShape,
+    calibrations: Optional[Dict[str, float]] = None,
+) -> Tuple[BackendCost, ...]:
+    """Estimated serial cost of every modelled backend, model order."""
+    load = estimate_workload(stats, shape)
+    results = []
+    for backend in COSTED_BACKENDS:
+        seconds = load.n_units * _unit_cost(backend, load, shape)
+        factor = (calibrations or {}).get(backend, 1.0)
+        results.append(
+            BackendCost(
+                backend=backend,
+                seconds=seconds,
+                detail=(
+                    f"{load.n_units} units x "
+                    f"{_unit_cost(backend, load, shape):.2e}s/unit"
+                ),
+                calibration=factor,
+            )
+        )
+    return tuple(results)
+
+
+def parallel_seconds(serial_seconds: float, workers: int, n_shards: int) -> float:
+    """Estimated wall seconds when fanned out over ``workers``."""
+    if workers <= 1:
+        return serial_seconds
+    return (
+        serial_seconds / workers
+        + _FORK_SECONDS
+        + n_shards * _SHARD_DISPATCH
+    )
+
+
+def choose_workers(
+    serial_seconds: float,
+    cpu_count: int,
+    max_shards: int,
+    pin: Optional[int] = None,
+) -> Tuple[int, int]:
+    """Pick ``(workers, n_shards)`` minimizing estimated wall time.
+
+    Shards are contiguous time ranges, so the fan-out is bounded by the
+    shardable unit count; a worker count is only chosen when the model
+    expects at least ``_MIN_PARALLEL_GAIN`` seconds of real savings —
+    fork overhead makes small wins losses in practice.
+    """
+    if pin is not None:
+        return pin, min(max(pin, 1), max(max_shards, 1))
+    best_workers, best_shards = 1, 1
+    best_seconds = serial_seconds
+    limit = max(1, min(cpu_count, max_shards))
+    candidate = 2
+    while candidate <= limit:
+        shards = min(candidate, max_shards)
+        seconds = parallel_seconds(serial_seconds, candidate, shards)
+        if seconds < best_seconds - _MIN_PARALLEL_GAIN:
+            best_workers, best_shards = candidate, shards
+            best_seconds = seconds
+        candidate *= 2
+    return best_workers, best_shards

@@ -1,0 +1,125 @@
+"""The :class:`QueryPlan` — one statement's resolved execution plan.
+
+A plan is the single object every layer consumes instead of reading the
+old knobs directly: the miner takes ``backend``/``workers`` from it, the
+parallel executor takes ``n_shards``, the service records it on the job,
+``EXPLAIN`` renders :meth:`QueryPlan.describe_rows`, and traces/metrics
+carry :meth:`QueryPlan.to_dict`.  Plans are frozen and fully determined
+by (stats, shape, pins, calibration), so planner behaviour is
+golden-snapshot testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.planner.cost import BackendCost, StatementShape, WorkloadEstimate
+from repro.planner.stats import StoreStats
+
+
+def _fmt_seconds(seconds: float) -> str:
+    """Stable, snapshot-friendly seconds formatting (3 significant digits)."""
+    return f"{seconds:.3g}s"
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The planner's decision for one statement against one store."""
+
+    backend: str
+    workers: int
+    n_shards: int
+    cache_policy: str  # "reuse" | "bypass"
+    backend_pinned: bool
+    workers_pinned: bool
+    est_seconds: float  # estimated wall seconds of the chosen configuration
+    est_serial_seconds: float  # chosen backend, workers=1
+    costs: Tuple[BackendCost, ...]
+    workload: WorkloadEstimate
+    stats: StoreStats
+    shape: StatementShape
+    reasons: Tuple[str, ...] = ()
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+
+    def cost_summary(self) -> str:
+        """One line of per-backend serial estimates, model order."""
+        return "  ".join(
+            f"{cost.backend}={_fmt_seconds(cost.calibrated_seconds)}"
+            for cost in self.costs
+        )
+
+    def describe_rows(self) -> List[Tuple[str, str]]:
+        """(property, value) rows for ``EXPLAIN``-style tabular output."""
+        pin = lambda flag: " (pinned)" if flag else ""  # noqa: E731
+        rows = [
+            ("plan: backend", f"{self.backend}{pin(self.backend_pinned)}"),
+            ("plan: workers", f"{self.workers}{pin(self.workers_pinned)}"),
+            ("plan: shards", str(self.n_shards)),
+            ("plan: cache", self.cache_policy),
+            ("plan: est cost", _fmt_seconds(self.est_seconds)),
+            ("plan: backend costs", self.cost_summary()),
+            (
+                "plan: est workload",
+                f"{self.workload.est_frequent_items} frequent items, "
+                f"{self.workload.est_candidates} candidates/unit "
+                f"over {self.workload.n_units} units",
+            ),
+        ]
+        for reason in self.reasons:
+            rows.append(("plan: note", reason))
+        return rows
+
+    def describe(self) -> str:
+        """Multi-line human-readable plan (REPL / logs)."""
+        width = max(len(name) for name, _ in self.describe_rows())
+        return "\n".join(
+            f"{name.ljust(width)}  {value}" for name, value in self.describe_rows()
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form (job records, traces, reports)."""
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "n_shards": self.n_shards,
+            "cache_policy": self.cache_policy,
+            "backend_pinned": self.backend_pinned,
+            "workers_pinned": self.workers_pinned,
+            "est_seconds": round(self.est_seconds, 6),
+            "est_serial_seconds": round(self.est_serial_seconds, 6),
+            "costs": {
+                cost.backend: round(cost.calibrated_seconds, 6)
+                for cost in self.costs
+            },
+            "est_frequent_items": self.workload.est_frequent_items,
+            "est_candidates": self.workload.est_candidates,
+            "n_units": self.workload.n_units,
+            "stats": self.stats.to_dict(),
+            "shape": self.shape.to_dict(),
+            "reasons": list(self.reasons),
+        }
+
+
+def pinned_plan(
+    backend: str,
+    workers: int,
+    plan: "QueryPlan",
+) -> "QueryPlan":
+    """A copy of ``plan`` with both decisions forced (testing helper)."""
+    from dataclasses import replace
+
+    return replace(
+        plan,
+        backend=backend,
+        workers=workers,
+        n_shards=min(max(workers, 1), max(plan.n_shards, 1)),
+        backend_pinned=True,
+        workers_pinned=True,
+    )
+
+
+__all__ = ["QueryPlan", "pinned_plan"]

@@ -1,0 +1,224 @@
+"""``plan_query`` — turn stats + statement shape + pins into a plan.
+
+The decision procedure, in order:
+
+1. Score every registered-and-modelled backend with the cost model,
+   applying per-backend calibration factors learned from observed run
+   times (see :func:`calibration_factors`).
+2. Honour pins: an explicit ``SET ENGINE x`` / ``TemporalMiner(counting=
+   "x")`` or ``SET WORKERS n`` forces that decision and the plan marks
+   it ``(pinned)``; the ``REPRO_PLAN`` environment variable pins the
+   backend process-wide (CI uses this to prove plan-independence of
+   results).
+3. Otherwise pick the cheapest calibrated backend, then the worker
+   count/shard fan-out that minimizes estimated wall time on this
+   host's CPUs (``REPRO_PLAN_CPUS`` overrides ``os.cpu_count()`` so
+   planner decisions are reproducible across machines).
+
+Every decision increments ``repro_planner_decisions_total`` so the
+chosen backends/worker counts are visible at ``/v1/metrics``.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Dict, Optional
+
+from repro.columnar.backends import available_backends
+from repro.errors import MiningParameterError
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.planner.cost import (
+    COSTED_BACKENDS,
+    StatementShape,
+    backend_costs,
+    choose_workers,
+    estimate_workload,
+    parallel_seconds,
+)
+from repro.planner.plan import QueryPlan
+from repro.planner.stats import StoreStats, compute_stats
+
+#: Environment variable pinning the planner's backend choice ("auto" = off).
+PLAN_ENV = "REPRO_PLAN"
+#: Environment variable overriding the CPU count the planner sees.
+PLAN_CPUS_ENV = "REPRO_PLAN_CPUS"
+
+#: Calibration factors are clamped to this band — a wildly skewed factor
+#: means the observations and the model disagree on workload, not speed.
+_CALIBRATION_BAND = (0.2, 5.0)
+
+
+def _plan_cpu_count() -> int:
+    """CPUs the planner may fan out over (env override wins)."""
+    raw = os.environ.get(PLAN_CPUS_ENV)
+    if raw is not None:
+        try:
+            value = int(raw)
+            if value >= 1:
+                return value
+        except ValueError:
+            pass
+        warnings.warn(
+            f"ignoring malformed {PLAN_CPUS_ENV}={raw!r} (want an integer >= 1)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return max(os.cpu_count() or 1, 1)
+
+
+def _env_backend_pin() -> Optional[str]:
+    """Backend pinned via ``REPRO_PLAN``, or ``None`` for auto."""
+    raw = os.environ.get(PLAN_ENV)
+    if raw is None or raw.strip().lower() in ("", "auto"):
+        return None
+    name = raw.strip().lower()
+    if name in available_backends():
+        return name
+    warnings.warn(
+        f"ignoring malformed {PLAN_ENV}={raw!r} "
+        f"(want 'auto' or one of: {', '.join(available_backends())})",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return None
+
+
+def record_observed(
+    plan: QueryPlan,
+    actual_seconds: float,
+    metrics: Optional[MetricsRegistry] = None,
+) -> None:
+    """Feed one finished run back into the calibration counters.
+
+    Both the model's estimate and the wall clock are accumulated per
+    backend; :func:`calibration_factors` later uses their ratio to
+    correct persistent model bias.  Skipped for instant runs, which are
+    all dispatch noise.
+    """
+    if actual_seconds <= 0 or plan.est_serial_seconds <= 0:
+        return
+    registry = metrics if metrics is not None else default_registry()
+    labels = {"backend": plan.backend}
+    registry.counter(
+        "repro_planner_actual_seconds_total",
+        "Observed wall seconds of planned runs, by chosen backend.",
+        labelnames=("backend",),
+    ).inc(actual_seconds, **labels)
+    registry.counter(
+        "repro_planner_estimated_seconds_total",
+        "Cost-model estimates of planned runs, by chosen backend.",
+        labelnames=("backend",),
+    ).inc(plan.est_seconds, **labels)
+
+
+def calibration_factors(
+    metrics: Optional[MetricsRegistry] = None,
+) -> Dict[str, float]:
+    """Per-backend observed/estimated ratios from the metrics history.
+
+    A factor above 1 means the model has been optimistic for that
+    backend on this workload mix; estimates are multiplied by it before
+    backends are compared.  Empty (no correction) until at least one
+    planned run has completed, so fresh processes plan deterministically
+    from the model alone.
+    """
+    registry = metrics if metrics is not None else default_registry()
+    actual = registry.counter(
+        "repro_planner_actual_seconds_total",
+        "Observed wall seconds of planned runs, by chosen backend.",
+        labelnames=("backend",),
+    )
+    estimated = registry.counter(
+        "repro_planner_estimated_seconds_total",
+        "Cost-model estimates of planned runs, by chosen backend.",
+        labelnames=("backend",),
+    )
+    factors: Dict[str, float] = {}
+    lo, hi = _CALIBRATION_BAND
+    for backend in COSTED_BACKENDS:
+        est = estimated.value(backend=backend)
+        act = actual.value(backend=backend)
+        if est > 0 and act > 0:
+            factors[backend] = min(max(act / est, lo), hi)
+    return factors
+
+
+def plan_query(
+    source,
+    shape: StatementShape,
+    pin_backend: Optional[str] = None,
+    pin_workers: Optional[int] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    cpu_count: Optional[int] = None,
+) -> QueryPlan:
+    """Plan one statement against one store.
+
+    ``source`` is anything :func:`repro.planner.stats.compute_stats`
+    accepts.  ``pin_backend``/``pin_workers`` come from explicit ``SET``
+    statements or miner arguments; ``None`` means AUTO.
+    """
+    registry = metrics if metrics is not None else default_registry()
+    stats = compute_stats(source)
+    reasons = []
+
+    if pin_backend is None:
+        env_pin = _env_backend_pin()
+        if env_pin is not None:
+            pin_backend = env_pin
+            reasons.append(f"backend pinned by {PLAN_ENV}={env_pin}")
+    if pin_backend is not None and pin_backend not in available_backends():
+        known = ", ".join(available_backends())
+        raise MiningParameterError(
+            f"unknown counting backend {pin_backend!r}; available: {known}"
+        )
+
+    costs = backend_costs(stats, shape, calibration_factors(registry))
+    by_name = {cost.backend: cost for cost in costs}
+    if pin_backend is not None and pin_backend in by_name:
+        backend = pin_backend
+    elif pin_backend is not None:
+        backend = pin_backend  # registered but unmodelled: trust the pin
+        reasons.append("pinned backend has no cost model; estimates omitted")
+    else:
+        backend = min(costs, key=lambda c: (c.calibrated_seconds, c.backend)).backend
+
+    chosen = by_name.get(backend)
+    serial_seconds = chosen.calibrated_seconds if chosen else 0.0
+
+    workload = estimate_workload(stats, shape)
+    cpus = cpu_count if cpu_count is not None else _plan_cpu_count()
+    max_shards = workload.n_units if workload.n_units > 1 else max(
+        1, min(cpus, stats.n_transactions // 2048)
+    )
+    workers, n_shards = choose_workers(
+        serial_seconds, cpus, max_shards, pin=pin_workers
+    )
+    est_seconds = parallel_seconds(serial_seconds, workers, n_shards)
+    if workers > 1 and pin_workers is None:
+        reasons.append(
+            f"fan-out over {workers} workers saves "
+            f"~{serial_seconds - est_seconds:.2g}s of {serial_seconds:.2g}s"
+        )
+
+    plan = QueryPlan(
+        backend=backend,
+        workers=workers,
+        n_shards=n_shards,
+        cache_policy="reuse" if shape.cacheable else "bypass",
+        backend_pinned=pin_backend is not None,
+        workers_pinned=pin_workers is not None,
+        est_seconds=est_seconds,
+        est_serial_seconds=serial_seconds,
+        costs=costs,
+        workload=workload,
+        stats=stats,
+        shape=shape,
+        reasons=tuple(reasons),
+    )
+    registry.counter(
+        "repro_planner_decisions_total",
+        "Query plans emitted, by chosen backend and worker count.",
+        labelnames=("backend", "workers"),
+    ).inc(backend=plan.backend, workers=str(plan.workers))
+    return plan

@@ -59,14 +59,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--mining-workers",
-        type=int,
-        default=1,
-        help="process shards per mining run (1 = serial counting)",
+        type=lambda v: None if v.lower() == "auto" else int(v),
+        default=None,
+        metavar="N|auto",
+        help="process shards per mining run (auto = planner-sized, 1 = serial)",
     )
     parser.add_argument(
         "--engine",
         default="auto",
-        help="counting backend (auto|dict|hashtree|vertical)",
+        help="counting backend (auto|dict|hashtree|vertical|packed)",
     )
     parser.add_argument(
         "--queue-depth", type=int, default=64, help="queued-job admission bound"

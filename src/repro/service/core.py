@@ -94,8 +94,9 @@ class ServiceConfig:
         workers: scheduler worker threads (concurrent statements).
         max_queue_depth: queued-job bound (admission control).
         cache_entries / cache_ttl_seconds: result-cache sizing.
-        engine: counting backend for every run (``"auto"`` = heuristic).
-        mining_workers: PR 3 process shards *per mining run* (1 = serial).
+        engine: counting backend for every run (``"auto"`` = planner).
+        mining_workers: PR 3 process shards *per mining run*
+            (``None`` = planner-sized per query, ``1`` = serial).
         default_budget: budget applied when a request carries none.
         history_limit: finished jobs retained for polling.
         granule_hook: per-granule observer threaded into every run's
@@ -122,7 +123,7 @@ class ServiceConfig:
     cache_entries: int = 256
     cache_ttl_seconds: Optional[float] = None
     engine: str = "auto"
-    mining_workers: int = 1
+    mining_workers: Optional[int] = None
     default_budget: Optional[RunBudget] = None
     history_limit: int = 1024
     granule_hook: Optional[Callable[[int], None]] = None
@@ -340,7 +341,11 @@ class MiningService:
                 "workers": self.config.workers,
                 "max_queue_depth": self.config.max_queue_depth,
                 "engine": self.config.engine,
-                "mining_workers": self.config.mining_workers,
+                "mining_workers": (
+                    self.config.mining_workers
+                    if self.config.mining_workers is not None
+                    else "auto"
+                ),
                 "cache_entries": self.config.cache_entries,
                 "cache_ttl_seconds": self.config.cache_ttl_seconds,
                 "default_budget": (
@@ -428,8 +433,15 @@ class MiningService:
         token: CancellationToken,
         budget: Optional[RunBudget],
         trace: bool = False,
-    ) -> Tuple[Dict, bool]:
-        """The scheduler callback: execute one statement, maybe cached."""
+    ) -> Tuple[Dict, bool, Optional[Dict]]:
+        """The scheduler callback: execute one statement, maybe cached.
+
+        Returns ``(result, cached, plan)`` — the plan is the planner's
+        decision dict for MINE runs (``None`` on cache hits: no run
+        happened, so there is no plan to report) and lands on the job
+        record rather than in the cacheable payload, keeping cached
+        results byte-identical across runs while calibration drifts.
+        """
         statement = parse_statement(statement_text)
         if isinstance(statement, SESSION_ONLY_STATEMENTS):
             raise TmlExecutionError(
@@ -446,10 +458,10 @@ class MiningService:
             statement.sql
         )
         old_fingerprint = self.store.fingerprint() if mutating else None
-        result = self._run_statement(statement, token, budget, trace=trace)
+        result, plan = self._run_statement(statement, token, budget, trace=trace)
         if mutating:
             result["invalidated_entries"] = self._note_mutation(old_fingerprint)
-        return result, False
+        return result, False, plan
 
     def _execute_cacheable(
         self,
@@ -457,7 +469,7 @@ class MiningService:
         canonical: str,
         token: CancellationToken,
         budget: Optional[RunBudget],
-    ) -> Tuple[Dict, bool]:
+    ) -> Tuple[Dict, bool, Optional[Dict]]:
         fingerprint = self.store.fingerprint()
         key = cache_key(canonical, fingerprint, self._settings(budget))
         # Single flight per key: concurrent identical queries block here
@@ -467,8 +479,8 @@ class MiningService:
                 self._m_single_flight_waits.inc()
             cached = self.cache.get(key)
             if cached is not None:
-                return cached, True
-            result = self._run_statement(
+                return cached, True, None
+            result, plan = self._run_statement(
                 statement, token, budget, fingerprint=fingerprint
             )
             # Guard against a mutation racing this run: a mutating
@@ -480,7 +492,7 @@ class MiningService:
             # the poisoned entry).
             if not result.get("partial") and self.store.fingerprint() == fingerprint:
                 self.cache.put(key, result, fingerprint)
-            return result, False
+            return result, False, plan
 
     def _run_statement(
         self,
@@ -489,7 +501,13 @@ class MiningService:
         budget: Optional[RunBudget],
         fingerprint: Optional[str] = None,
         trace: bool = False,
-    ) -> Dict:
+    ) -> Tuple[Dict, Optional[Dict]]:
+        """Run one statement; returns (serialized payload, plan dict).
+
+        The plan travels *next to* the payload, never inside it: the
+        payload may be cached and must stay byte-identical across runs,
+        while the plan's cost estimates move as calibration accumulates.
+        """
         environment, executor = self._environment()
         self._refresh_environment(environment, fingerprint)
         effective = budget if budget is not None else self.config.default_budget
@@ -511,7 +529,8 @@ class MiningService:
         source = getattr(statement, "source", None)
         if source is not None:
             catalog = environment.resolve(source).catalog
-        return payload_to_dict(execution.payload, catalog)
+        plan = getattr(execution.payload, "plan", None)
+        return payload_to_dict(execution.payload, catalog), plan
 
     # ------------------------------------------------------------------
     # worker environments / invalidation

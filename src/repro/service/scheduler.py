@@ -89,6 +89,9 @@ class Job:
     result: Optional[Dict] = None
     error: Optional[str] = None
     cached: bool = False
+    #: The planner's decision for this run (``QueryPlan.to_dict()``);
+    #: ``None`` for cache hits (no run happened) and non-MINE statements.
+    plan: Optional[Dict] = None
     cancel_requested: bool = False
     idempotency_key: Optional[str] = None
     #: Times a worker has *started* this job (journaled; caps crash loops).
@@ -120,6 +123,8 @@ class Job:
             "error": self.error,
             "result": self.result,
         }
+        if self.plan is not None:
+            record["plan"] = self.plan
         if self.budget is not None:
             record["budget"] = self.budget.describe()
         if self.trace:
@@ -138,9 +143,12 @@ class JobScheduler:
 
     Args:
         execute: ``execute(statement_text, token, budget, trace) ->
-            (result, cached)`` — the service core's statement runner.
-            It must honour the token cooperatively (PR 1 semantics) and
-            may raise any :class:`~repro.errors.ReproError`.
+            (result, cached, plan)`` — the service core's statement
+            runner.  ``plan`` is the planner's decision dict (``None``
+            for cache hits and non-MINE statements) and lands on the
+            job record.  It must honour the token cooperatively (PR 1
+            semantics) and may raise any
+            :class:`~repro.errors.ReproError`.
         workers: worker-thread count (>= 1).
         max_queue_depth: queued-job bound enforced at admission.
         history_limit: finished jobs retained for ``GET /v1/jobs/{id}``.
@@ -156,7 +164,7 @@ class JobScheduler:
 
     def __init__(
         self,
-        execute: Callable[..., Tuple[Dict, bool]],
+        execute: Callable[..., Tuple[Dict, bool, Optional[Dict]]],
         workers: int = 2,
         max_queue_depth: int = 64,
         history_limit: int = 1024,
@@ -671,7 +679,7 @@ class JobScheduler:
             if job is None:
                 return
             try:
-                result, cached = self._execute(
+                result, cached, plan = self._execute(
                     job.statement, job.token, job.budget, job.trace
                 )
                 if self._abandoned:
@@ -681,6 +689,7 @@ class JobScheduler:
                     self._m_running.set(self._running)
                     job.result = result
                     job.cached = cached
+                    job.plan = plan
                     # A cancel/interrupt that landed mid-run surfaces as
                     # a sound partial result on the job record — it
                     # keeps what the run managed to compute.

@@ -55,6 +55,8 @@ def report_to_dict(
     }
     # The trace key appears only on traced runs so that untraced payloads
     # stay byte-identical across runs (the cache-stability invariant).
+    # The plan is excluded for the same reason — its cost estimates move
+    # as planner calibration accumulates; it travels on the job record.
     if report.trace is not None:
         document["trace"] = report.trace
     return document

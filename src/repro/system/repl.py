@@ -46,10 +46,11 @@ TML statements (end with ';'):
   EXPLAIN ANALYZE MINE ...;                      -- run + timing/span breakdown
   SET BUDGET TIME <s>, CANDIDATES <n>, RULES <n> [STRICT];
   SET BUDGET OFF;                                -- clear run limits
-  SET ENGINE dict|hashtree|vertical;             -- pin counting backend
-  SET ENGINE OFF;                                -- back to auto selection
-  SET WORKERS <n>;                               -- parallel counting passes
-  SET WORKERS OFF;                               -- back to serial execution
+  SET ENGINE dict|hashtree|vertical|packed;      -- pin counting backend
+  SET ENGINE AUTO;                               -- back to planner selection
+  SET WORKERS <n>;                               -- pin parallel counting passes
+  SET WORKERS AUTO;                              -- planner sizes the fan-out
+  SET WORKERS OFF;                               -- pin serial execution
   SET TRACE ON|OFF;                              -- span trees on mining runs
 
 Ctrl-C during a MINE cancels that run (a partial report is printed);
@@ -59,7 +60,7 @@ Dot commands:
   .help               this text
   .budget             show the session mining budget
   .engine [name]      show or set the counting backend (auto to unpin)
-  .workers [n]        show or set the worker-process count (1 = serial)
+  .workers [n|auto]   show or set the worker-process count (auto = planner)
   .demo               load a bundled synthetic demo dataset as 'sales'
   .load <name> <csv>  load a (tid,ts,item) CSV as dataset <name>
   .datasets           list registered datasets
@@ -112,10 +113,15 @@ def _dispatch_dot(session: IqmsSession, line: str) -> Optional[str]:
         return f"engine: {session.engine}"
     if command == ".workers":
         if len(parts) == 1:
+            if session.workers is None:
+                return "workers: auto (planner-sized)"
             mode = "serial" if session.workers == 1 else "sharded"
             return f"workers: {session.workers} ({mode})"
+        if len(parts) == 2 and parts[1].lower() == "auto":
+            session.set_workers(None)
+            return "workers: auto (planner-sized)"
         if len(parts) != 2 or not parts[1].isdigit() or int(parts[1]) < 1:
-            return "usage: .workers [<n>=1]"
+            return "usage: .workers [auto|<n>=1]"
         session.set_workers(int(parts[1]))
         return f"workers: {session.workers}"
     if command == ".demo":

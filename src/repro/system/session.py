@@ -122,14 +122,19 @@ class IqmsSession:
         self.workflow.record(f"set engine: {engine}")
 
     @property
-    def workers(self) -> int:
-        """Worker-process count for mining runs (1 = serial)."""
+    def workers(self) -> Optional[int]:
+        """Worker-process count for mining runs (None = planner AUTO)."""
         return self.environment.workers
 
-    def set_workers(self, workers: int) -> None:
-        """Fan counting out to ``workers`` processes (1 restores serial)."""
+    def set_workers(self, workers: Optional[int]) -> None:
+        """Fan counting out to ``workers`` processes.
+
+        ``None`` (AUTO) lets the planner size the fan-out per query;
+        ``1`` pins serial.
+        """
         self.environment.set_workers(workers)
-        self.workflow.record(f"set workers: {workers}")
+        shown = "auto" if workers is None else workers
+        self.workflow.record(f"set workers: {shown}")
 
     @property
     def trace(self) -> bool:

@@ -343,10 +343,11 @@ class SetBudgetStatement:
 class SetEngineStatement:
     """``SET ENGINE <backend>;`` — pin the counting backend.
 
-    ``SET ENGINE OFF;`` restores automatic selection.  Backend names are
-    validated at execution time against the registry in
-    :mod:`repro.columnar.backends`, so the statement stays in sync with
-    whatever backends are registered.
+    ``SET ENGINE AUTO;`` (the session default) leaves the choice to the
+    cost-based planner; ``SET ENGINE OFF;`` is a back-compat alias for
+    AUTO.  Backend names are validated at *parse* time against the
+    registry in :mod:`repro.columnar.backends`, so a typo fails with the
+    valid choices instead of deep in the engine.
     """
 
     engine: str = ""
@@ -355,25 +356,30 @@ class SetEngineStatement:
     def render(self) -> str:
         if self.off:
             return "SET ENGINE OFF;"
+        if self.engine == "auto":
+            return "SET ENGINE AUTO;"
         return f"SET ENGINE {self.engine};"
 
 
 @dataclass(frozen=True)
 class SetWorkersStatement:
-    """``SET WORKERS <n>;`` — fan counting passes out to ``n`` processes.
+    """``SET WORKERS <n>;`` — pin counting passes to ``n`` processes.
 
-    ``SET WORKERS OFF;`` (equivalently ``SET WORKERS 1;``) restores
-    serial execution.  Sharded runs produce bit-identical results to
-    serial ones (see :mod:`repro.parallel`), so this is purely a
-    performance knob.
+    ``SET WORKERS AUTO;`` (the session default, ``workers=None``) lets
+    the planner size the fan-out per query; ``SET WORKERS OFF;``
+    (equivalently ``SET WORKERS 1;``) pins serial execution.  Sharded
+    runs produce bit-identical results to serial ones (see
+    :mod:`repro.parallel`), so this is purely a performance knob.
     """
 
-    workers: int = 1
+    workers: Optional[int] = 1
     off: bool = False
 
     def render(self) -> str:
         if self.off:
             return "SET WORKERS OFF;"
+        if self.workers is None:
+            return "SET WORKERS AUTO;"
         return f"SET WORKERS {self.workers};"
 
 

@@ -103,7 +103,7 @@ class ExecutionEnvironment:
         self._store_backed: set = set()
         self.budget: Optional[RunBudget] = None
         self.engine: str = "auto"
-        self.workers: int = _workers_from_env()
+        self.workers: Optional[int] = _workers_from_env()
         self.metrics = metrics
         self.trace: bool = False
         self.cancel_token = CancellationToken()
@@ -151,11 +151,11 @@ class ExecutionEnvironment:
         return miner
 
     def set_engine(self, engine: str) -> None:
-        """Select the counting backend for every subsequent ``MINE``.
+        """Pin the counting backend for every subsequent ``MINE``.
 
-        ``"auto"`` restores automatic selection.  Validates against the
-        backend registry and updates cached miners in place (their
-        partitioning caches survive — backends share the layout).
+        ``"auto"`` (the default) restores planner selection.  Validates
+        against the backend registry and updates cached miners in place
+        (their partitioning caches survive — backends share the layout).
         """
         if engine != "auto" and engine not in available_backends():
             known = ", ".join(["auto"] + available_backends())
@@ -166,13 +166,15 @@ class ExecutionEnvironment:
         for miner in self._miners.values():
             miner.set_counting(engine)
 
-    def set_workers(self, workers: int) -> None:
-        """Select the worker-process count for every subsequent ``MINE``.
+    def set_workers(self, workers: Optional[int]) -> None:
+        """Pin the worker-process count for every subsequent ``MINE``.
 
-        ``1`` is serial; cached miners are updated in place (each tears
-        down its pool and lazily builds a new one on the next run).
+        ``None`` (AUTO, the default) lets the planner size the fan-out
+        per query; ``1`` pins serial.  Cached miners are updated in
+        place (each tears down its pool and lazily builds a new one on
+        the next run).
         """
-        if workers < 1:
+        if workers is not None and workers < 1:
             raise TmlExecutionError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         for miner in self._miners.values():
@@ -256,15 +258,54 @@ class TmlExecutor:
 
     # ------------------------------------------------------------------
 
+    def _build_task(self, statement: Statement):
+        """Task object for a planner-backed MINE statement, or None.
+
+        Shared by execution and ``EXPLAIN`` so the plan shown without
+        mining is built from exactly the task the run would use.
+        """
+        if isinstance(statement, MinePeriodsStatement):
+            return ValidPeriodTask(
+                granularity=statement.granularity,
+                thresholds=RuleThresholds(
+                    statement.min_support, statement.min_confidence
+                ),
+                min_frequency=statement.min_frequency,
+                min_coverage=statement.min_coverage,
+                max_rule_size=statement.max_size,
+                max_consequent_size=statement.max_consequent,
+            )
+        if isinstance(statement, MinePeriodicitiesStatement):
+            patterns = tuple(
+                CalendarPattern.parse(text) for text in statement.calendars
+            )
+            return PeriodicityTask(
+                granularity=statement.granularity,
+                thresholds=RuleThresholds(
+                    statement.min_support, statement.min_confidence
+                ),
+                max_period=statement.max_period,
+                min_match=statement.min_match,
+                min_repetitions=statement.min_repetitions,
+                calendar_patterns=patterns,
+                max_rule_size=statement.max_size,
+                max_consequent_size=statement.max_consequent,
+            )
+        if isinstance(statement, MineRulesStatement):
+            return ConstrainedTask(
+                feature=resolve_feature(statement.feature),
+                thresholds=RuleThresholds(
+                    statement.min_support, statement.min_confidence
+                ),
+                granularity=statement.granularity,
+                required_items=statement.containing,
+                max_rule_size=statement.max_size,
+                max_consequent_size=statement.max_consequent,
+            )
+        return None
+
     def _mine_periods(self, statement: MinePeriodsStatement) -> ExecutionResult:
-        task = ValidPeriodTask(
-            granularity=statement.granularity,
-            thresholds=RuleThresholds(statement.min_support, statement.min_confidence),
-            min_frequency=statement.min_frequency,
-            min_coverage=statement.min_coverage,
-            max_rule_size=statement.max_size,
-            max_consequent_size=statement.max_consequent,
-        )
+        task = self._build_task(statement)
         report = self.environment.miner(statement.source).valid_periods(
             task,
             budget=self.environment.budget,
@@ -277,19 +318,7 @@ class TmlExecutor:
     def _mine_periodicities(
         self, statement: MinePeriodicitiesStatement
     ) -> ExecutionResult:
-        patterns = tuple(
-            CalendarPattern.parse(text) for text in statement.calendars
-        )
-        task = PeriodicityTask(
-            granularity=statement.granularity,
-            thresholds=RuleThresholds(statement.min_support, statement.min_confidence),
-            max_period=statement.max_period,
-            min_match=statement.min_match,
-            min_repetitions=statement.min_repetitions,
-            calendar_patterns=patterns,
-            max_rule_size=statement.max_size,
-            max_consequent_size=statement.max_consequent,
-        )
+        task = self._build_task(statement)
         report = self.environment.miner(statement.source).periodicities(
             task,
             interleaved=statement.interleaved,
@@ -301,15 +330,7 @@ class TmlExecutor:
         return ExecutionResult(statement, report, report.format(catalog, limit=50))
 
     def _mine_rules(self, statement: MineRulesStatement) -> ExecutionResult:
-        feature = resolve_feature(statement.feature)
-        task = ConstrainedTask(
-            feature=feature,
-            thresholds=RuleThresholds(statement.min_support, statement.min_confidence),
-            granularity=statement.granularity,
-            required_items=statement.containing,
-            max_rule_size=statement.max_size,
-            max_consequent_size=statement.max_consequent,
-        )
+        task = self._build_task(statement)
         report = self.environment.miner(statement.source).with_feature(
             task,
             budget=self.environment.budget,
@@ -405,6 +426,13 @@ class TmlExecutor:
             properties.append(
                 ("algorithm", "interleaved" if inner.interleaved else "generic")
             )
+        task = self._build_task(inner)
+        if task is not None:
+            interleaved = bool(getattr(inner, "interleaved", False))
+            plan = self.environment.miner(inner.source).plan_for(
+                task, interleaved=interleaved
+            )
+            properties.extend(plan.describe_rows())
         result = QueryResult(
             columns=("property", "value"),
             rows=tuple((name, str(value)) for name, value in properties),
@@ -443,6 +471,26 @@ class TmlExecutor:
             )
             if diagnostics.stop_reason is not None:
                 rows.append(("stop_reason", diagnostics.stop_reason))
+        plan = getattr(report, "plan", None)
+        if plan is not None:
+            pin = lambda key: " (pinned)" if plan.get(key) else ""  # noqa: E731
+            rows.append(("plan: backend", f"{plan['backend']}{pin('backend_pinned')}"))
+            rows.append(("plan: workers", f"{plan['workers']}{pin('workers_pinned')}"))
+            rows.append(("plan: shards", str(plan["n_shards"])))
+            rows.append(
+                (
+                    "plan: est vs actual seconds",
+                    f"{plan['est_seconds']:.3g} vs {report.elapsed_seconds:.3g}",
+                )
+            )
+            if diagnostics is not None:
+                est_total = plan["est_candidates"] * max(plan["n_units"], 1)
+                rows.append(
+                    (
+                        "plan: est vs actual candidates",
+                        f"{est_total} vs {diagnostics.candidates_generated}",
+                    )
+                )
         if report.trace is not None:
             for line in format_trace(report.trace).splitlines():
                 rows.append(("trace", line))
@@ -493,8 +541,9 @@ class TmlExecutor:
     def _set_workers(self, statement: SetWorkersStatement) -> ExecutionResult:
         workers = 1 if statement.off else statement.workers
         self.environment.set_workers(workers)
+        shown = "auto" if workers is None else str(workers)
         result = QueryResult(
-            columns=("property", "value"), rows=(("workers", str(workers)),)
+            columns=("property", "value"), rows=(("workers", shown),)
         )
         return ExecutionResult(statement, result, result.format(limit=0))
 

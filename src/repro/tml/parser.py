@@ -37,8 +37,8 @@ Grammar (keywords case-insensitive; ``[...]`` optional, ``{...}`` repeated)::
                    | SHOW VOLUME BY g ';'
     set_stmt      := SET BUDGET OFF ';'
                    | SET BUDGET budget_term {',' budget_term} [STRICT] ';'
-                   | SET ENGINE (ident | OFF) ';'
-                   | SET WORKERS (number | OFF) ';'
+                   | SET ENGINE (ident | AUTO | OFF) ';'
+                   | SET WORKERS (number | AUTO | OFF) ';'
                    | SET TRACE (ON | OFF) ';'
     budget_term   := TIME number | CANDIDATES number | RULES number
     sql_stmt      := anything else, passed through verbatim up to ';'
@@ -52,6 +52,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple, Union
 
+from repro.columnar.backends import available_backends
 from repro.errors import TmlParseError
 from repro.temporal.granularity import Granularity
 from repro.tml.ast import (
@@ -305,15 +306,43 @@ class _Parser:
         if self._accept_keyword("OFF"):
             self._finish()
             return SetEngineStatement(off=True)
-        token = self._expect(TokenType.IDENT, "a counting backend name")
+        token = self._expect(TokenType.IDENT, "a counting engine name or AUTO")
+        name = token.value.lower()
+        if name != "auto" and name not in available_backends():
+            choices = ", ".join(["AUTO"] + available_backends())
+            raise TmlParseError(
+                f"unknown counting engine {token.value!r}; "
+                f"valid choices: {choices}",
+                token.line,
+                token.column,
+            )
         self._finish()
-        return SetEngineStatement(engine=token.value.lower())
+        return SetEngineStatement(engine=name)
 
     def _parse_set_workers(self) -> SetWorkersStatement:
         if self._accept_keyword("OFF"):
             self._finish()
-            return SetWorkersStatement(off=True)
-        workers = self._integer("a worker count")
+            return SetWorkersStatement(workers=1, off=True)
+        token = self._peek()
+        if token.type is TokenType.IDENT and token.value.lower() == "auto":
+            self._advance()
+            self._finish()
+            return SetWorkersStatement(workers=None)
+        valid = "valid choices: AUTO, OFF, or an integer >= 1"
+        if token.type is not TokenType.NUMBER or "." in token.value:
+            raise TmlParseError(
+                f"invalid worker count {token.value!r}; {valid}",
+                token.line,
+                token.column,
+            )
+        workers = int(token.value)
+        if workers < 1:
+            raise TmlParseError(
+                f"invalid worker count {token.value!r}; {valid}",
+                token.line,
+                token.column,
+            )
+        self._advance()
         self._finish()
         return SetWorkersStatement(workers=workers)
 

@@ -1,4 +1,4 @@
-"""The counting-backend registry and its three built-in strategies."""
+"""The counting-backend registry and its four built-in strategies."""
 
 from datetime import datetime, timedelta
 
@@ -35,7 +35,7 @@ EXPECTED = {
 
 
 def test_registry_lists_builtin_backends():
-    assert available_backends() == ["dict", "hashtree", "vertical"]
+    assert available_backends() == ["dict", "hashtree", "packed", "vertical"]
 
 
 def test_get_backend_unknown_name():
@@ -52,14 +52,14 @@ def test_register_requires_name():
         register_backend(Anonymous())
 
 
-@pytest.mark.parametrize("name", ["dict", "hashtree", "vertical"])
+@pytest.mark.parametrize("name", ["dict", "hashtree", "vertical", "packed"])
 def test_count_pass_on_basket_segment(name):
     backend = get_backend(name)
     counted = backend.count_pass(CANDIDATES, BasketSegment(BASKETS))
     assert counted == EXPECTED
 
 
-@pytest.mark.parametrize("name", ["dict", "hashtree", "vertical"])
+@pytest.mark.parametrize("name", ["dict", "hashtree", "vertical", "packed"])
 def test_count_pass_on_encoded_segment(name):
     db = TransactionDatabase()
     base = datetime(2026, 1, 1)
@@ -70,7 +70,7 @@ def test_count_pass_on_encoded_segment(name):
     assert counted == EXPECTED
 
 
-@pytest.mark.parametrize("name", ["dict", "hashtree", "vertical"])
+@pytest.mark.parametrize("name", ["dict", "hashtree", "vertical", "packed"])
 def test_count_pass_empty_segment(name):
     counted = get_backend(name).count_pass(CANDIDATES, BasketSegment([]))
     assert counted == {candidate: 0 for candidate in CANDIDATES}

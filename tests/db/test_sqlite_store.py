@@ -311,3 +311,66 @@ class TestFingerprint:
         digest = store.fingerprint()
         assert len(digest) == 64
         int(digest, 16)
+
+
+class TestStoreStats:
+    """Planner statistics share the fingerprint's change key."""
+
+    def test_stats_match_content(self, store, tiny_db):
+        store.save_database(tiny_db)
+        stats = store.stats()
+        assert stats.n_transactions == store.count_transactions()
+        assert stats.n_items == store.count_items()
+        assert (stats.first_timestamp, stats.last_timestamp) == store.time_span()
+
+    def test_stats_memoized_on_unchanged_store(self, store, tiny_db):
+        store.save_database(tiny_db)
+        assert store.stats() is store.stats()
+
+    def test_empty_store_stats(self, store):
+        stats = store.stats()
+        assert stats.n_transactions == 0
+        assert stats.first_timestamp is None
+
+    def test_mutation_invalidates_stats_and_fingerprint_together(
+        self, store, tiny_db
+    ):
+        store.save_database(tiny_db)
+        fingerprint_before = store.fingerprint()
+        stats_before = store.stats()
+        store.insert_transaction(datetime(2026, 7, 1), ["anchovies"])
+        assert store.fingerprint() != fingerprint_before
+        stats_after = store.stats()
+        assert stats_after is not stats_before
+        assert stats_after.n_transactions == stats_before.n_transactions + 1
+
+    def test_mutate_during_mine_then_plan_sees_fresh_stats(self, store, tiny_db):
+        """Regression: a store mutated *mid-run* (via the granule hook
+        seam) must not leave a fresh fingerprint paired with stale
+        statistics — the next plan would size itself for the old data."""
+        from repro.tml.executor import ExecutionEnvironment, TmlExecutor
+
+        store.save_database(tiny_db)
+        environment = ExecutionEnvironment(store=store)
+        executor = TmlExecutor(environment)
+        baseline = store.stats()
+        mutated = []
+
+        def mutate_once(offset):
+            if not mutated:
+                mutated.append(offset)
+                store.insert_transaction(datetime(2026, 8, 1), ["anchovies"])
+
+        environment.granule_hook = mutate_once
+        executor.execute(
+            "MINE PERIODS FROM transactions AT GRANULARITY day "
+            "WITH SUPPORT >= 0.2, CONFIDENCE >= 0.5 HAVING SIZE <= 2;"
+        )
+        assert mutated  # the hook fired mid-run
+        fresh = store.stats()
+        assert fresh is not baseline
+        assert fresh.n_transactions == baseline.n_transactions + 1
+        # Both memos observe the same change cookie: a fingerprint
+        # recomputed now can never pair with the pre-mutation stats.
+        assert store.fingerprint() == store.fingerprint()
+        assert store.stats() is fresh

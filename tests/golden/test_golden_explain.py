@@ -1,0 +1,76 @@
+"""Golden snapshots of ``EXPLAIN`` output — the planner's public face.
+
+Each test renders ``EXPLAIN MINE ...`` (no mining happens) against a
+deterministic dataset and locks the complete row set — statement
+properties *and* the planner's decision rows (backend, workers, shards,
+cache policy, cost estimates) — into a JSON snapshot.  Any change to the
+cost model, the statistics layer, or the EXPLAIN rendering shows up as a
+readable diff; rewrite intentionally with ``--update-golden``.
+
+Determinism:
+
+* ``REPRO_PLAN_CPUS`` is pinned so plans do not depend on the host;
+* each test uses a fresh :class:`~repro.obs.metrics.MetricsRegistry`,
+  so planner calibration is empty and cost estimates are the model's
+  raw output;
+* ``REPRO_PLAN`` / ``REPRO_WORKERS`` are cleared so host environments
+  cannot pin a backend or worker count under the test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.tml.executor import ExecutionEnvironment, TmlExecutor
+
+from tests.golden.test_golden_mining import canonical_basket_db, canonical_quest_db
+
+#: (snapshot suffix, dataset builder) — small vs large synthetic store.
+STORES = (
+    ("small", canonical_basket_db),
+    ("large", canonical_quest_db),
+)
+
+EXPLAIN_STATEMENTS = {
+    "valid_periods": (
+        "EXPLAIN MINE PERIODS FROM sales AT GRANULARITY day "
+        "WITH SUPPORT >= 0.3, CONFIDENCE >= 0.6 "
+        "HAVING FREQUENCY >= 0.8, COVERAGE >= 2;"
+    ),
+    "periodicities": (
+        "EXPLAIN MINE PERIODICITIES FROM sales AT GRANULARITY day "
+        "WITH SUPPORT >= 0.3, CONFIDENCE >= 0.6 "
+        "HAVING PERIOD <= 7, REPETITIONS >= 2;"
+    ),
+    "constrained": (
+        "EXPLAIN MINE RULES FROM sales "
+        "DURING PERIOD '2026-03-02' TO '2026-03-09' "
+        "WITH SUPPORT >= 0.2, CONFIDENCE >= 0.6;"
+    ),
+}
+
+
+@pytest.fixture(autouse=True)
+def pinned_planner_host(monkeypatch):
+    """Plans must not depend on the machine running the suite."""
+    monkeypatch.setenv("REPRO_PLAN_CPUS", "4")
+    monkeypatch.delenv("REPRO_PLAN", raising=False)
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+
+
+def _explain_rows(database, statement: str) -> dict:
+    environment = ExecutionEnvironment(metrics=MetricsRegistry())
+    environment.register("sales", database)
+    try:
+        result = TmlExecutor(environment).execute(statement)
+    finally:
+        environment.close()
+    return {"rows": [list(row) for row in result.payload.rows]}
+
+
+@pytest.mark.parametrize("store_name,build", STORES, ids=[s for s, _ in STORES])
+@pytest.mark.parametrize("task", sorted(EXPLAIN_STATEMENTS))
+def test_golden_explain(golden_check, store_name, build, task):
+    rows = _explain_rows(build(), EXPLAIN_STATEMENTS[task])
+    golden_check(f"explain_{task}_{store_name}", rows)

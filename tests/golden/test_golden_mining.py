@@ -196,7 +196,7 @@ def test_golden_constrained_baskets(basket_db, golden_check, workers):
     golden_check("constrained_baskets", serialize_report(report))
 
 
-@pytest.mark.parametrize("backend", ("dict", "hashtree", "vertical"))
+@pytest.mark.parametrize("backend", ("dict", "hashtree", "vertical", "packed"))
 @pytest.mark.parametrize("workers", WORKER_MODES)
 def test_golden_valid_periods_quest(quest_db, golden_check, backend, workers):
     task = ValidPeriodTask(

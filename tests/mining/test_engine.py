@@ -175,7 +175,11 @@ class TestCountingSelection:
 
 
 class TestWorkersFromEnv:
-    """REPRO_WORKERS parsing: valid values apply, malformed values warn."""
+    """REPRO_WORKERS parsing: valid values pin, malformed values warn.
+
+    Unset/blank/malformed all resolve to ``None`` — worker selection is
+    left to the planner (AUTO) rather than forced serial.
+    """
 
     def test_valid_value(self, monkeypatch):
         from repro.mining.engine import _workers_from_env
@@ -183,17 +187,17 @@ class TestWorkersFromEnv:
         monkeypatch.setenv("REPRO_WORKERS", "4")
         assert _workers_from_env() == 4
 
-    def test_unset_defaults_to_serial(self, monkeypatch):
+    def test_unset_defaults_to_auto(self, monkeypatch):
         from repro.mining.engine import _workers_from_env
 
         monkeypatch.delenv("REPRO_WORKERS", raising=False)
-        assert _workers_from_env() == 1
+        assert _workers_from_env() is None
 
     def test_blank_defaults_without_warning(self, monkeypatch, recwarn):
         from repro.mining.engine import _workers_from_env
 
         monkeypatch.setenv("REPRO_WORKERS", "   ")
-        assert _workers_from_env() == 1
+        assert _workers_from_env() is None
         assert not [w for w in recwarn.list if w.category is RuntimeWarning]
 
     @pytest.mark.parametrize("value", ["zero", "-2", "0", "1.5", "2 workers"])
@@ -202,7 +206,7 @@ class TestWorkersFromEnv:
 
         monkeypatch.setenv("REPRO_WORKERS", value)
         with pytest.warns(RuntimeWarning, match="REPRO_WORKERS"):
-            assert _workers_from_env() == 1
+            assert _workers_from_env() is None
         with pytest.warns(RuntimeWarning) as record:
             _workers_from_env()
         assert repr(value) in str(record[0].message)

@@ -18,7 +18,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.runtime.budget import RunMonitor
 from repro.temporal.granularity import Granularity
 
-BACKENDS = ("dict", "hashtree", "vertical")
+BACKENDS = ("dict", "hashtree", "vertical", "packed")
 
 
 def _mining_counters(seasonal_data, backend, workers):

@@ -32,7 +32,7 @@ from repro.parallel import ShardedExecutor, plan_shards, plan_transaction_shards
 from repro.temporal.granularity import Granularity
 from repro.temporal.interval import TimeInterval
 
-BACKENDS = ("dict", "hashtree", "vertical")
+BACKENDS = ("dict", "hashtree", "vertical", "packed")
 WORKER_COUNTS = (1, 2, 3, 4)
 SEEDS = (11, 23)
 
@@ -202,6 +202,69 @@ def test_apriori_count_distribution_bit_identical(database, backend):
         assert not executor.degraded
     assert serial.as_dict() == parallel.as_dict()
     assert serial.n_transactions == parallel.n_transactions
+
+
+# ----------------------------------------------------------------------
+# planned (AUTO) vs pinned execution
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def no_plan_env(monkeypatch):
+    """The differential must compare the real planner, not a host pin."""
+    monkeypatch.delenv("REPRO_PLAN", raising=False)
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_PLAN_CPUS", raising=False)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_planned_equals_pinned_valid_periods(
+    database, backend, workers, no_plan_env
+):
+    task = ValidPeriodTask(
+        granularity=Granularity.DAY,
+        thresholds=_THRESHOLDS,
+        min_frequency=0.8,
+        min_coverage=2,
+    )
+    with TemporalMiner(database) as miner:  # planner picks backend + workers
+        planned = miner.valid_periods(task)
+    with TemporalMiner(database, counting=backend, workers=workers) as miner:
+        pinned = miner.valid_periods(task)
+    assert planned.results == pinned.results
+    assert planned.plan is not None and not planned.plan["backend_pinned"]
+    assert pinned.plan is not None and pinned.plan["backend_pinned"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_planned_equals_pinned_periodicities(database, backend, no_plan_env):
+    task = PeriodicityTask(
+        granularity=Granularity.DAY,
+        thresholds=_THRESHOLDS,
+        max_period=7,
+        min_repetitions=2,
+        min_match=0.75,
+    )
+    with TemporalMiner(database) as miner:
+        planned = miner.periodicities(task)
+    with TemporalMiner(database, counting=backend, workers=3) as miner:
+        pinned = miner.periodicities(task)
+    assert planned.results == pinned.results
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_planned_equals_pinned_constrained(database, backend, no_plan_env):
+    start, end = database.time_span()
+    task = ConstrainedTask(
+        feature=TimeInterval(start, start + (end - start) / 2),
+        thresholds=RuleThresholds(min_support=0.1, min_confidence=0.4),
+    )
+    with TemporalMiner(database) as miner:
+        planned = miner.with_feature(task)
+    with TemporalMiner(database, counting=backend, workers=2) as miner:
+        pinned = miner.with_feature(task)
+    assert planned.results == pinned.results
 
 
 # ----------------------------------------------------------------------

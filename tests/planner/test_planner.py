@@ -1,0 +1,284 @@
+"""Unit tests for the cost-based query planner.
+
+Statistics, cost model, plan rendering and the ``plan_query`` decision
+procedure — plus the feedback loop (``record_observed`` →
+``calibration_factors``) and the environment pins (``REPRO_PLAN``,
+``REPRO_PLAN_CPUS``).
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.columnar.encoded import EncodedDatabase
+from repro.core.transactions import TransactionDatabase
+from repro.errors import MiningParameterError
+from repro.obs.metrics import MetricsRegistry
+from repro.planner import (
+    COSTED_BACKENDS,
+    StatementShape,
+    StoreStats,
+    backend_costs,
+    calibration_factors,
+    compute_stats,
+    estimate_workload,
+    pinned_plan,
+    plan_query,
+    record_observed,
+    stats_of_database,
+    stats_of_encoded,
+)
+from repro.temporal.granularity import Granularity
+
+
+def _db(n_transactions: int = 40, basket: int = 4, n_items: int = 12):
+    db = TransactionDatabase()
+    start = datetime(2026, 1, 1)
+    for i in range(n_transactions):
+        items = [f"item{(i + j) % n_items}" for j in range(basket)]
+        db.add(start + timedelta(hours=i), items)
+    return db
+
+
+BIG_STATS = StoreStats(
+    n_transactions=200_000,
+    n_items=500,
+    n_occurrences=2_000_000,
+    first_timestamp=datetime(2026, 1, 1),
+    last_timestamp=datetime(2026, 1, 30),
+)
+
+SHAPE = StatementShape(
+    task="valid_periods", granularity=Granularity.DAY, min_support=0.05
+)
+
+
+class TestStats:
+    def test_database_stats(self):
+        stats = stats_of_database(_db(40, basket=4, n_items=12))
+        assert stats.n_transactions == 40
+        assert stats.n_items == 12
+        assert stats.n_occurrences == 160
+        assert stats.avg_basket_size == pytest.approx(4.0)
+        assert 0.0 < stats.density <= 1.0
+
+    def test_encoded_stats_agree_and_memoize(self):
+        db = _db()
+        encoded = EncodedDatabase.from_database(db)
+        from_encoded = stats_of_encoded(encoded)
+        assert from_encoded == stats_of_database(db)
+        assert stats_of_encoded(encoded) is from_encoded  # memo hit
+
+    def test_compute_stats_dispatch(self):
+        db = _db()
+        encoded = EncodedDatabase.from_database(db)
+        direct = stats_of_database(db)
+        assert compute_stats(direct) is direct
+        assert compute_stats(encoded) == direct
+        assert compute_stats(db) == direct
+
+    def test_units_spanned(self):
+        stats = stats_of_database(_db(48))  # 48 hourly transactions = 2 days
+        assert stats.units_spanned(Granularity.DAY) == 2
+        assert stats.units_spanned(None) == 1
+
+    def test_empty_stats(self):
+        stats = stats_of_database(TransactionDatabase())
+        assert stats.n_transactions == 0
+        assert stats.avg_basket_size == 0.0
+        assert stats.units_spanned(Granularity.DAY) == 1
+
+
+class TestCostModel:
+    def test_all_costed_backends_scored(self):
+        costs = backend_costs(BIG_STATS, SHAPE, {})
+        assert tuple(c.backend for c in costs) == COSTED_BACKENDS
+        assert all(c.seconds > 0 for c in costs)
+
+    def test_estimates_deterministic(self):
+        a = backend_costs(BIG_STATS, SHAPE, {})
+        b = backend_costs(BIG_STATS, SHAPE, {})
+        assert a == b
+
+    def test_more_data_costs_more(self):
+        small = StoreStats(
+            2_000, 500, 20_000, BIG_STATS.first_timestamp, BIG_STATS.last_timestamp
+        )
+        cheap = {c.backend: c.seconds for c in backend_costs(small, SHAPE, {})}
+        dear = {c.backend: c.seconds for c in backend_costs(BIG_STATS, SHAPE, {})}
+        for backend in COSTED_BACKENDS:
+            assert dear[backend] > cheap[backend]
+
+    def test_calibration_scales_comparison(self):
+        plain = backend_costs(BIG_STATS, SHAPE, {})
+        skewed = backend_costs(BIG_STATS, SHAPE, {"packed": 4.0})
+        by_name = {c.backend: c for c in skewed}
+        assert by_name["packed"].calibrated_seconds == pytest.approx(
+            4.0 * next(c.seconds for c in plain if c.backend == "packed")
+        )
+
+    def test_workload_estimate_shrinks_with_support(self):
+        loose = estimate_workload(BIG_STATS, SHAPE)
+        strict = estimate_workload(
+            BIG_STATS,
+            StatementShape(
+                task=SHAPE.task, granularity=SHAPE.granularity, min_support=0.5
+            ),
+        )
+        assert strict.est_candidates <= loose.est_candidates
+
+
+class TestPlanQuery:
+    def test_small_store_plans_serial(self):
+        plan = plan_query(
+            _db(), SHAPE, metrics=MetricsRegistry(), cpu_count=8
+        )
+        assert plan.workers == 1
+        assert plan.n_shards == 1
+        assert not plan.backend_pinned and not plan.workers_pinned
+
+    def test_cheapest_backend_wins(self):
+        registry = MetricsRegistry()
+        plan = plan_query(BIG_STATS, SHAPE, metrics=registry, cpu_count=4)
+        cheapest = min(
+            plan.costs, key=lambda c: (c.calibrated_seconds, c.backend)
+        )
+        assert plan.backend == cheapest.backend
+
+    def test_pins_honoured(self):
+        plan = plan_query(
+            BIG_STATS,
+            SHAPE,
+            pin_backend="dict",
+            pin_workers=2,
+            metrics=MetricsRegistry(),
+            cpu_count=8,
+        )
+        assert plan.backend == "dict" and plan.backend_pinned
+        assert plan.workers == 2 and plan.workers_pinned
+
+    def test_unknown_pin_rejected(self):
+        with pytest.raises(MiningParameterError, match="unknown counting backend"):
+            plan_query(_db(), SHAPE, pin_backend="btree", metrics=MetricsRegistry())
+
+    def test_env_pin(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PLAN", "hashtree")
+        plan = plan_query(_db(), SHAPE, metrics=MetricsRegistry(), cpu_count=2)
+        assert plan.backend == "hashtree" and plan.backend_pinned
+        assert any("REPRO_PLAN" in reason for reason in plan.reasons)
+
+    def test_malformed_env_pin_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PLAN", "btree")
+        with pytest.warns(RuntimeWarning, match="REPRO_PLAN"):
+            plan = plan_query(_db(), SHAPE, metrics=MetricsRegistry(), cpu_count=2)
+        assert not plan.backend_pinned
+
+    def test_explicit_pin_beats_env_pin(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PLAN", "hashtree")
+        plan = plan_query(
+            _db(), SHAPE, pin_backend="dict", metrics=MetricsRegistry(), cpu_count=2
+        )
+        assert plan.backend == "dict"
+
+    def test_cpus_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PLAN_CPUS", "1")
+        plan = plan_query(BIG_STATS, SHAPE, metrics=MetricsRegistry())
+        assert plan.workers == 1  # a 1-CPU host never forks
+
+    def test_cache_policy_follows_shape(self):
+        cacheable = StatementShape(
+            task="valid_periods",
+            granularity=Granularity.DAY,
+            min_support=0.05,
+            cacheable=True,
+        )
+        registry = MetricsRegistry()
+        assert plan_query(_db(), cacheable, metrics=registry).cache_policy == "reuse"
+        assert plan_query(_db(), SHAPE, metrics=registry).cache_policy == "bypass"
+
+    def test_decision_counter_increments(self):
+        registry = MetricsRegistry()
+        plan = plan_query(_db(), SHAPE, metrics=registry, cpu_count=2)
+        counter = registry.counter(
+            "repro_planner_decisions_total",
+            "Query plans emitted, by chosen backend and worker count.",
+            labelnames=("backend", "workers"),
+        )
+        assert counter.value(backend=plan.backend, workers=str(plan.workers)) == 1
+
+
+class TestPlanRendering:
+    def test_describe_rows_cover_every_knob(self):
+        plan = plan_query(BIG_STATS, SHAPE, metrics=MetricsRegistry(), cpu_count=4)
+        names = [name for name, _ in plan.describe_rows()]
+        for expected in (
+            "plan: backend",
+            "plan: workers",
+            "plan: shards",
+            "plan: cache",
+            "plan: est cost",
+            "plan: backend costs",
+            "plan: est workload",
+        ):
+            assert expected in names
+
+    def test_pinned_marker_rendered(self):
+        plan = plan_query(
+            _db(),
+            SHAPE,
+            pin_backend="vertical",
+            pin_workers=1,
+            metrics=MetricsRegistry(),
+            cpu_count=2,
+        )
+        rows = dict(plan.describe_rows())
+        assert rows["plan: backend"] == "vertical (pinned)"
+        assert rows["plan: workers"] == "1 (pinned)"
+
+    def test_to_dict_json_round_trip(self):
+        plan = plan_query(BIG_STATS, SHAPE, metrics=MetricsRegistry(), cpu_count=4)
+        document = plan.to_dict()
+        assert json.loads(json.dumps(document)) == document
+        assert set(document["costs"]) == set(COSTED_BACKENDS)
+
+    def test_pinned_plan_helper(self):
+        plan = plan_query(BIG_STATS, SHAPE, metrics=MetricsRegistry(), cpu_count=4)
+        forced = pinned_plan("dict", 2, plan)
+        assert forced.backend == "dict" and forced.backend_pinned
+        assert forced.workers == 2 and forced.workers_pinned
+
+
+class TestCalibration:
+    def test_fresh_registry_has_no_factors(self):
+        assert calibration_factors(MetricsRegistry()) == {}
+
+    def test_observed_runs_produce_clamped_factors(self):
+        registry = MetricsRegistry()
+        plan = plan_query(BIG_STATS, SHAPE, metrics=registry, cpu_count=1)
+        record_observed(plan, plan.est_seconds * 2.0, metrics=registry)
+        factors = calibration_factors(registry)
+        assert factors[plan.backend] == pytest.approx(2.0, rel=1e-6)
+        # A wildly skewed observation clamps instead of dominating.
+        record_observed(plan, plan.est_seconds * 1000.0, metrics=registry)
+        assert calibration_factors(registry)[plan.backend] == 5.0
+
+    def test_instant_runs_ignored(self):
+        registry = MetricsRegistry()
+        plan = plan_query(BIG_STATS, SHAPE, metrics=registry, cpu_count=1)
+        record_observed(plan, 0.0, metrics=registry)
+        assert calibration_factors(registry) == {}
+
+    def test_calibration_can_flip_the_decision(self):
+        registry = MetricsRegistry()
+        baseline = plan_query(BIG_STATS, SHAPE, metrics=registry, cpu_count=1)
+        # Report the chosen backend as persistently 5x slower than
+        # modelled; with every rival unchanged the planner must defect.
+        for _ in range(3):
+            record_observed(
+                baseline, baseline.est_seconds * 100.0, metrics=registry
+            )
+        recalibrated = plan_query(BIG_STATS, SHAPE, metrics=registry, cpu_count=1)
+        assert recalibrated.backend != baseline.backend

@@ -11,7 +11,7 @@ from repro.service.scheduler import CANCELLED, DONE, FAILED, JobScheduler
 
 
 def echo_execute(statement, token, budget, trace=False):
-    return {"echo": statement}, False
+    return {"echo": statement}, False, None
 
 
 class TestLifecycle:
@@ -58,7 +58,7 @@ class TestLifecycle:
 
         def capture(statement, token, budget, trace=False):
             seen["budget"] = budget
-            return {}, False
+            return {}, False, None
 
         scheduler = JobScheduler(capture, workers=1)
         try:
@@ -92,7 +92,7 @@ class TestPriorityAndAdmission:
                 release.wait(5.0)
             else:
                 order.append(statement)
-            return {}, False
+            return {}, False, None
 
         scheduler = JobScheduler(gated, workers=1, max_queue_depth=16)
         try:
@@ -113,7 +113,7 @@ class TestPriorityAndAdmission:
 
         def gated(statement, token, budget, trace=False):
             release.wait(5.0)
-            return {}, False
+            return {}, False, None
 
         scheduler = JobScheduler(gated, workers=1, max_queue_depth=2)
         try:
@@ -134,7 +134,7 @@ class TestPriorityAndAdmission:
 
         def gated(statement, token, budget, trace=False):
             release.wait(5.0)
-            return {}, False
+            return {}, False, None
 
         scheduler = JobScheduler(gated, workers=1, max_queue_depth=1)
         try:
@@ -160,7 +160,7 @@ class TestCancellation:
             if statement == "gate":
                 release.wait(5.0)
             ran.append(statement)
-            return {}, False
+            return {}, False, None
 
         scheduler = JobScheduler(gated, workers=1)
         try:
@@ -184,7 +184,7 @@ class TestCancellation:
             deadline = time.monotonic() + 5.0
             while not token.cancelled and time.monotonic() < deadline:
                 time.sleep(0.005)
-            return {"partial": True, "progress": "stopped at boundary"}, False
+            return {"partial": True, "progress": "stopped at boundary"}, False, None
 
         scheduler = JobScheduler(cooperative, workers=1)
         try:
@@ -203,7 +203,7 @@ class TestCancellation:
 
         def gated(statement, token, budget, trace=False):
             release.wait(5.0)
-            return {}, False
+            return {}, False, None
 
         scheduler = JobScheduler(gated, workers=1, max_queue_depth=2)
         try:
@@ -249,7 +249,7 @@ class TestShutdownAndStats:
 
         def gated(statement, token, budget, trace=False):
             release.wait(5.0)
-            return {}, False
+            return {}, False, None
 
         scheduler = JobScheduler(gated, workers=1)
         scheduler.submit("running")

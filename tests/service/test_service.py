@@ -197,3 +197,41 @@ class TestStatus:
         assert document["cache"]["max_entries"] == 256
         assert document["store"]["transactions"] > 0
         assert document["config"]["default_budget"] == "off"
+        assert document["config"]["mining_workers"] == "auto"
+
+
+class TestPlanOnJobRecord:
+    def test_mine_job_records_its_plan(self, service):
+        job = service.run_sync(MINE_QUERY)
+        assert job.state == "done"
+        assert job.plan is not None
+        assert job.plan["backend"] in ("dict", "hashtree", "vertical", "packed")
+        assert job.plan["workers"] >= 1
+        assert job.plan["n_shards"] >= 1
+        assert "est_seconds" in job.plan
+        assert job.to_dict()["plan"] == job.plan
+
+    def test_cache_hit_carries_no_plan(self, service):
+        service.run_sync(MINE_QUERY)
+        warm = service.run_sync(MINE_QUERY)
+        assert warm.cached is True
+        assert warm.plan is None
+        assert "plan" not in warm.to_dict()
+
+    def test_plan_never_leaks_into_cached_payload(self, service):
+        cold = service.run_sync(MINE_QUERY)
+        warm = service.run_sync(MINE_QUERY)
+        assert "plan" not in cold.result
+        assert warm.result == cold.result
+
+    def test_planner_decisions_visible_in_metrics(self, service):
+        service.run_sync(MINE_QUERY)
+        snapshot = service.metrics.snapshot()
+        decisions = snapshot.get("repro_planner_decisions_total")
+        assert decisions, f"planner decision counter missing: {sorted(snapshot)}"
+        assert sum(decisions.values()) >= 1
+
+    def test_sql_job_has_no_plan(self, service):
+        job = service.run_sync("SELECT COUNT(*) FROM transactions;")
+        assert job.state == "done"
+        assert job.plan is None

@@ -8,7 +8,7 @@ from repro.core.items import Itemset
 from repro.core.rulegen import RuleKey
 from repro.db.query import QueryResult
 from repro.db.sqlite_store import SqliteStore
-from repro.errors import TmlExecutionError
+from repro.errors import TmlExecutionError, TmlParseError
 from repro.mining.results import MiningReport
 from repro.temporal import CyclicPeriodicity, Granularity, TimeInterval
 from repro.tml.ast import CalendarFeature, CyclicFeature, PeriodFeature
@@ -78,10 +78,19 @@ class TestSetEngine:
         executor.execute("SET ENGINE OFF;")
         assert executor.environment.engine == "auto"
 
-    def test_unknown_engine_rejected(self, executor):
-        with pytest.raises(TmlExecutionError, match="unknown counting engine"):
+    def test_unknown_engine_rejected_at_parse_time(self, executor):
+        with pytest.raises(TmlParseError, match="unknown counting engine"):
             executor.execute("SET ENGINE btree;")
         assert executor.environment.engine == "auto"
+
+    def test_unknown_engine_error_names_valid_choices(self, executor):
+        with pytest.raises(TmlParseError, match="btree.*AUTO.*packed"):
+            executor.execute("SET ENGINE btree;")
+
+    def test_set_engine_auto_round_trips(self, executor):
+        result = executor.execute("SET ENGINE AUTO;")
+        assert executor.environment.engine == "auto"
+        assert ("engine", "auto") in result.payload.rows
 
     def test_engine_applies_to_cached_miners(self, executor):
         miner = executor.environment.miner("sales")

@@ -12,6 +12,7 @@ from repro.tml.ast import (
     MineRulesStatement,
     PeriodFeature,
     SetEngineStatement,
+    SetWorkersStatement,
     ShowStatement,
     SqlStatement,
 )
@@ -253,9 +254,49 @@ class TestSetEngine:
         with pytest.raises(TmlParseError):
             parse_statement("SET ENGINE;")
 
+    def test_engine_auto(self):
+        statement = parse_statement("SET ENGINE AUTO;")
+        assert statement == SetEngineStatement(engine="auto")
+
+    def test_unknown_engine_rejected_at_parse_time(self):
+        with pytest.raises(TmlParseError) as excinfo:
+            parse_statement("SET ENGINE btree;")
+        message = str(excinfo.value)
+        assert "'btree'" in message
+        assert "AUTO" in message
+        assert "packed" in message and "vertical" in message
+
     def test_render(self):
         assert SetEngineStatement(engine="dict").render() == "SET ENGINE dict;"
         assert SetEngineStatement(off=True).render() == "SET ENGINE OFF;"
+        assert SetEngineStatement(engine="auto").render() == "SET ENGINE AUTO;"
+
+
+class TestSetWorkers:
+    def test_integer(self):
+        assert parse_statement("SET WORKERS 4;") == SetWorkersStatement(workers=4)
+
+    def test_auto(self):
+        assert parse_statement("SET WORKERS AUTO;") == SetWorkersStatement(
+            workers=None
+        )
+
+    def test_off_pins_serial(self):
+        statement = parse_statement("SET WORKERS OFF;")
+        assert statement == SetWorkersStatement(workers=1, off=True)
+
+    @pytest.mark.parametrize("value", ["zero", "0", "2.5"])
+    def test_malformed_count_names_value_and_choices(self, value):
+        with pytest.raises(TmlParseError) as excinfo:
+            parse_statement(f"SET WORKERS {value};")
+        message = str(excinfo.value)
+        assert "invalid worker count" in message
+        assert "AUTO, OFF, or an integer >= 1" in message
+
+    def test_render(self):
+        assert SetWorkersStatement(workers=4).render() == "SET WORKERS 4;"
+        assert SetWorkersStatement(workers=None).render() == "SET WORKERS AUTO;"
+        assert SetWorkersStatement(workers=1, off=True).render() == "SET WORKERS OFF;"
 
 
 class TestRoundTrips:
@@ -307,7 +348,11 @@ class TestRoundTrips:
             max_consequent=2,
         ),
         SetEngineStatement(engine="vertical"),
+        SetEngineStatement(engine="auto"),
         SetEngineStatement(off=True),
+        SetWorkersStatement(workers=2),
+        SetWorkersStatement(workers=None),
+        SetWorkersStatement(workers=1, off=True),
         ShowStatement(what="summary"),
         ShowStatement(what="items", limit=7),
         ShowStatement(what="volume", granularity=Granularity.WEEK),
