@@ -37,6 +37,8 @@ from datetime import datetime
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from dataclasses import dataclass
+
 from repro.core.items import ItemCatalog
 from repro.core.transactions import Transaction, TransactionDatabase
 from repro.errors import DatabaseError, SchemaError
@@ -51,7 +53,29 @@ CREATE TABLE IF NOT EXISTS transactions (
 );
 CREATE INDEX IF NOT EXISTS idx_transactions_ts ON transactions (ts);
 CREATE INDEX IF NOT EXISTS idx_transactions_item ON transactions (item);
+CREATE TABLE IF NOT EXISTS applied_appends (
+    append_id      TEXT PRIMARY KEY,
+    applied_at     TEXT    NOT NULL,
+    n_transactions INTEGER NOT NULL
+);
 """
+
+
+@dataclass(frozen=True)
+class AppendOutcome:
+    """Result of one :meth:`SqliteStore.append_batch` call.
+
+    Attributes:
+        applied: ``False`` when the batch's ``append_id`` was already
+            applied (the exactly-once dedupe), ``True`` otherwise.
+        count: transactions written by *this* call (0 on a duplicate).
+        tids: the tids assigned/used, in batch order (empty on a
+            duplicate).
+    """
+
+    applied: bool
+    count: int
+    tids: Tuple[int, ...]
 
 
 class SqliteStore:
@@ -293,6 +317,74 @@ class SqliteStore:
             self._commit()
         return count
 
+    def append_batch(
+        self,
+        transactions: Iterable[
+            Union[
+                Tuple[datetime, Sequence[str]],
+                Tuple[datetime, Sequence[str], Optional[int]],
+            ]
+        ],
+        append_id: Optional[str] = None,
+    ) -> AppendOutcome:
+        """Append a batch of transactions atomically, exactly once.
+
+        ``transactions`` holds ``(timestamp, items)`` or
+        ``(timestamp, items, tid)`` entries (``tid=None`` auto-assigns
+        sequentially from :meth:`next_tid`).  When ``append_id`` is
+        given, a marker row in ``applied_appends`` is written **in the
+        same SQLite transaction** as the data rows, so a crash-replay of
+        the same batch (see the durability journal) is a no-op: either
+        the original commit landed — marker present, replay skipped — or
+        it did not, and the replay applies it for the first time.  An
+        empty batch is a complete no-op (no marker, no commit).
+        """
+        batch = list(transactions)
+        with self._lock:
+            if append_id is not None:
+                row = self._execute(
+                    "SELECT n_transactions FROM applied_appends WHERE append_id = ?",
+                    (append_id,),
+                ).fetchone()
+                if row is not None:
+                    return AppendOutcome(applied=False, count=0, tids=())
+            if not batch:
+                return AppendOutcome(applied=True, count=0, tids=())
+            next_tid = self.next_tid()
+            rows: List[Tuple[int, str, str]] = []
+            tids: List[int] = []
+            for entry in batch:
+                timestamp, items = entry[0], entry[1]
+                tid = entry[2] if len(entry) > 2 else None
+                labels = sorted(set(items))
+                if not labels:
+                    raise DatabaseError("cannot append an empty transaction")
+                if tid is None:
+                    tid = next_tid
+                next_tid = max(next_tid, tid + 1)
+                tids.append(int(tid))
+                rows.extend(
+                    (int(tid), timestamp.isoformat(), label) for label in labels
+                )
+            try:
+                self._executemany(
+                    "INSERT INTO transactions (tid, ts, item) VALUES (?, ?, ?)",
+                    rows,
+                )
+                if append_id is not None:
+                    self._execute(
+                        "INSERT INTO applied_appends "
+                        "(append_id, applied_at, n_transactions) VALUES (?, ?, ?)",
+                        (append_id, datetime.now().isoformat(), len(tids)),
+                    )
+            except sqlite3.IntegrityError as error:
+                self.connection.rollback()
+                raise DatabaseError(
+                    f"append batch conflicts with existing rows: {error}"
+                ) from error
+            self._commit()
+        return AppendOutcome(applied=True, count=len(tids), tids=tuple(tids))
+
     def save_database(self, database: TransactionDatabase, replace: bool = False) -> int:
         """Persist an in-memory database; returns transactions written."""
         if replace:
@@ -310,8 +402,10 @@ class SqliteStore:
         return len(database)
 
     def clear(self) -> None:
-        """Delete every transaction."""
+        """Delete every transaction (and the applied-append markers —
+        a cleared store has no append history to dedupe against)."""
         self._execute("DELETE FROM transactions")
+        self._execute("DELETE FROM applied_appends")
         self._commit()
 
     # ------------------------------------------------------------------

@@ -1,0 +1,30 @@
+"""Incremental & streaming mining: delta-maintained CSR and dirty-unit recount.
+
+The paper's IQMS assumes a static database; this package removes that
+assumption for the append-only case (Ben Ahmed & Gouider, *Towards an
+incremental maintenance of cyclic association rules*, arXiv:1009.5149).
+Two pieces:
+
+* :func:`append_encoded` folds a batch of new transactions into an
+  existing :class:`~repro.columnar.encoded.EncodedDatabase` without a
+  full re-encode — a pure tail concatenation for in-order streams, a
+  run-preserving stable merge otherwise;
+* :class:`IncrementalContext` extends the per-unit counting context
+  with epoch-based dirty tracking: per-unit count rows are cached, and
+  after an append only the *dirty* units (those actually touched) are
+  re-counted and spliced into the cached rows — bit-identical to a cold
+  re-count because per-unit counting is a pure function of unit content.
+
+The planner side (incremental-vs-full by dirty fraction) lives in
+:mod:`repro.planner.refresh`; the engine wiring in
+:meth:`repro.mining.engine.TemporalMiner.apply_append`.
+"""
+
+from repro.incremental.csr import AppendResult, append_encoded
+from repro.incremental.context import IncrementalContext
+
+__all__ = [
+    "AppendResult",
+    "IncrementalContext",
+    "append_encoded",
+]

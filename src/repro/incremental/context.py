@@ -1,0 +1,312 @@
+"""Epoch-based dirty tracking and delta re-counting of per-unit supports.
+
+:class:`IncrementalContext` is a :class:`~repro.mining.context.TemporalContext`
+that remembers per-unit count rows across runs and, after an append,
+re-counts only the *dirty* units — the time units an appended
+transaction actually landed in — splicing fresh values into the cached
+rows.  Correctness rests on one fact: a per-unit support count is a pure
+function of that unit's transactions, so recount-and-splice is
+bit-identical to counting every unit from scratch (the differential
+suite in ``tests/incremental`` pins this).
+
+Staleness is tracked with *epochs* rather than a single dirty mask:
+
+* the context has a current ``epoch`` (bumped once per append batch by
+  :meth:`rebased`) and a per-unit array ``_unit_epochs`` recording the
+  epoch at which each unit last changed;
+* every cached row carries the epoch it was counted at; the row is
+  stale exactly in the units where ``_unit_epochs > row_epoch``.
+
+Rows cached at different times therefore each see precisely their own
+stale set, and there is no "when do we clear the mask" problem — a
+recount simply commits the row at the current epoch.  Cache commits
+happen only *after* a counting pass returns, so a
+:class:`~repro.runtime.budget.RunInterrupted` mid-pass can never poison
+the cache with partial counts.
+
+Calls with a ``unit_mask`` or per-candidate masks (the cycle-skipping
+paths) bypass the cache entirely: their skipped-unit zeros are not real
+counts and must never be committed.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.columnar.encoded import EncodedDatabase
+from repro.core.items import Item, Itemset
+from repro.core.transactions import TransactionDatabase
+from repro.mining.context import TemporalContext
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.budget import RunMonitor
+from repro.temporal.granularity import Granularity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.parallel.executor import ShardedExecutor
+
+
+class IncrementalContext(TemporalContext):
+    """A temporal context whose per-unit counts survive appends.
+
+    Drop-in compatible with :class:`TemporalContext` — every counting
+    method returns exactly what the base class would — plus the
+    incremental protocol: :meth:`rebased` folds an append in,
+    :meth:`dirty_fraction` feeds the planner's refresh decision, and
+    :meth:`reset_cache` falls back to cold counting.
+    """
+
+    #: Cap on cached candidate rows; beyond it, new rows are counted but
+    #: not retained (a perf valve, never a correctness concern).
+    MAX_CACHED_ROWS = 65536
+
+    def __init__(
+        self,
+        database: Union[TransactionDatabase, EncodedDatabase],
+        granularity: Granularity,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        super().__init__(database, granularity)
+        self.metrics = metrics
+        #: Bumped once per applied append batch.
+        self.epoch = 0
+        #: Epoch at which each unit last changed (0 = initial load).
+        self._unit_epochs = np.zeros(self.n_units, dtype=np.int64)
+        #: Cached pass-1 matrix (n_items × n_units) and its commit epoch.
+        self._item_matrix: Optional[np.ndarray] = None
+        self._item_epoch = -1
+        #: Cached candidate rows: itemset -> (row, commit epoch).
+        self._rows: Dict[Itemset, Tuple[np.ndarray, int]] = {}
+
+    # ------------------------------------------------------------------
+    # staleness accounting
+    # ------------------------------------------------------------------
+
+    def has_state(self) -> bool:
+        """Whether any per-unit counts are cached to delta-maintain."""
+        return self._item_matrix is not None
+
+    def dirty_mask(self, row_epoch: int) -> np.ndarray:
+        """Boolean per-unit mask: changed since ``row_epoch``."""
+        return self._unit_epochs > row_epoch
+
+    def dirty_units(self) -> FrozenSet[int]:
+        """Absolute indices of units stale w.r.t. the cached pass-1 counts.
+
+        Every unit counts as dirty while no state is cached.
+        """
+        if self._item_matrix is None:
+            return frozenset(self.unit_range)
+        offsets = np.flatnonzero(self.dirty_mask(self._item_epoch))
+        return frozenset(self.to_absolute(int(offset)) for offset in offsets)
+
+    def dirty_unit_count(self) -> int:
+        if self._item_matrix is None:
+            return self.n_units
+        return int(np.count_nonzero(self.dirty_mask(self._item_epoch)))
+
+    def dirty_fraction(self) -> float:
+        """Fraction of units needing a recount (1.0 while cold)."""
+        if not self.n_units:
+            return 0.0
+        return self.dirty_unit_count() / self.n_units
+
+    def reset_cache(self) -> None:
+        """Drop all cached rows — subsequent counting runs cold."""
+        self._item_matrix = None
+        self._item_epoch = -1
+        self._rows.clear()
+
+    def cached_row_count(self) -> int:
+        return len(self._rows)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+
+    def _record_delta(self, dirty_units: int, seconds: float) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.counter(
+            "repro_incremental_dirty_units_total",
+            "Time units re-counted by the incremental delta path",
+        ).inc(dirty_units)
+        self.metrics.counter(
+            "repro_incremental_delta_seconds_total",
+            "Wall seconds spent in incremental delta re-counts",
+        ).inc(seconds)
+
+    # ------------------------------------------------------------------
+    # counting overrides
+    # ------------------------------------------------------------------
+
+    def count_items_per_unit(
+        self,
+        monitor: Optional[RunMonitor] = None,
+        executor: Optional["ShardedExecutor"] = None,
+    ) -> Dict[Item, np.ndarray]:
+        matrix = self._item_matrix
+        if matrix is None:
+            counted = super().count_items_per_unit(monitor=monitor, executor=executor)
+            matrix = np.zeros((self.encoded.n_items, self.n_units), dtype=np.int64)
+            for item, row in counted.items():
+                matrix[item] = row
+            self._item_matrix = matrix
+            self._item_epoch = self.epoch
+            return counted
+        stale = self.dirty_mask(self._item_epoch)
+        dirty = int(np.count_nonzero(stale))
+        started = perf_counter()
+        n_items = self.encoded.n_items
+        fresh: Optional[np.ndarray] = None
+        if dirty:
+            fresh = np.zeros((n_items, self.n_units), dtype=np.int64)
+            fresh[: matrix.shape[0]] = matrix
+        ids = self.encoded.item_ids
+        offsets = self.encoded.offsets
+        bounds = self._bounds
+        # Tick every unit, not just the stale ones: a clean unit served
+        # from cache is still covered by this pass, and the run report
+        # (granules, budget charge, chaos hook) must match a cold run
+        # granule for granule.
+        for offset in range(self.n_units):
+            if monitor is not None:
+                monitor.tick_granule(offset)
+            if fresh is None or not stale[offset]:
+                continue
+            lo, hi = bounds[offset], bounds[offset + 1]
+            if hi > lo:
+                unit_ids = ids[offsets[lo] : offsets[hi]]
+                fresh[:, offset] = np.bincount(unit_ids, minlength=n_items)
+            else:
+                fresh[:, offset] = 0
+        if fresh is not None:
+            # Commit only after the full recount: RunInterrupted above
+            # leaves the previous matrix (and its epoch) untouched.
+            self._item_matrix = matrix = fresh
+            self._item_epoch = self.epoch
+            self._record_delta(dirty, perf_counter() - started)
+        present = np.flatnonzero(matrix.any(axis=1))
+        return {int(item): matrix[item] for item in present}
+
+    def count_candidates_per_unit(
+        self,
+        candidates: Sequence[Itemset],
+        unit_mask: Optional[np.ndarray] = None,
+        counting: str = "auto",
+        monitor: Optional[RunMonitor] = None,
+        executor: Optional["ShardedExecutor"] = None,
+    ) -> Dict[Itemset, np.ndarray]:
+        if unit_mask is not None or not candidates:
+            # Masked counting produces skip-zeros, not real counts.
+            return super().count_candidates_per_unit(
+                candidates,
+                unit_mask=unit_mask,
+                counting=counting,
+                monitor=monitor,
+                executor=executor,
+            )
+        results: Dict[Itemset, np.ndarray] = {}
+        fresh: list = []
+        by_epoch: Dict[int, list] = {}
+        for candidate in candidates:
+            entry = self._rows.get(candidate)
+            if entry is None:
+                fresh.append(candidate)
+            else:
+                by_epoch.setdefault(entry[1], []).append(candidate)
+
+        # One pass over the candidate list ticks every unit exactly once,
+        # exactly like the base class's serial loop — cached units count
+        # as covered, and the budget/chaos seam fires per granule here
+        # rather than inside the (monitor-less) recount calls below, so
+        # a warm run's report is granule-identical to a cold one.
+        if monitor is not None:
+            for offset in range(self.n_units):
+                monitor.tick_granule(offset)
+
+        for row_epoch in sorted(by_epoch):
+            group = by_epoch[row_epoch]
+            stale = self.dirty_mask(row_epoch)
+            dirty = int(np.count_nonzero(stale))
+            if not dirty:
+                for candidate in group:
+                    results[candidate] = self._rows[candidate][0].copy()
+                continue
+            started = perf_counter()
+            recounted = super().count_candidates_per_unit(
+                group,
+                unit_mask=stale,
+                counting=counting,
+                monitor=None,
+                executor=executor,
+            )
+            for candidate in group:
+                spliced = np.where(stale, recounted[candidate], self._rows[candidate][0])
+                self._rows[candidate] = (spliced, self.epoch)
+                results[candidate] = spliced.copy()
+            self._record_delta(dirty, perf_counter() - started)
+
+        if fresh:
+            counted = super().count_candidates_per_unit(
+                fresh,
+                counting=counting,
+                monitor=None,
+                executor=executor,
+            )
+            retain = len(self._rows) < self.MAX_CACHED_ROWS
+            for candidate in fresh:
+                row = counted[candidate]
+                if retain and len(self._rows) < self.MAX_CACHED_ROWS:
+                    self._rows[candidate] = (row.copy(), self.epoch)
+                results[candidate] = row
+        return results
+
+    # ------------------------------------------------------------------
+    # append protocol
+    # ------------------------------------------------------------------
+
+    def rebased(
+        self,
+        new_encoded: EncodedDatabase,
+        touched_units: Iterable[int],
+    ) -> "IncrementalContext":
+        """A new context over ``new_encoded`` inheriting this cache.
+
+        ``touched_units`` are the *absolute* unit indices containing at
+        least one appended transaction; they (and only they) become
+        dirty at the new epoch.  Units the append grew the span with but
+        left empty stay clean — a zero count is already exact for them.
+        Cached rows and the pass-1 matrix are realigned by absolute unit
+        index and keep their commit epochs, so each sees exactly the
+        units that changed since it was counted.
+        """
+        clone = IncrementalContext(new_encoded, self.granularity, metrics=self.metrics)
+        clone.epoch = self.epoch + 1
+        shift = self.first_unit - clone.first_unit
+        n_old, n_new = self.n_units, clone.n_units
+        if shift < 0 or shift + n_old > n_new:
+            # The new span does not cover the old one — appends can only
+            # widen the span, so this indicates caller misuse; run cold.
+            return clone
+
+        epochs = np.zeros(n_new, dtype=np.int64)
+        epochs[shift : shift + n_old] = self._unit_epochs
+        for unit in touched_units:
+            offset = unit - clone.first_unit
+            if 0 <= offset < n_new:
+                epochs[offset] = clone.epoch
+        clone._unit_epochs = epochs
+
+        if self._item_matrix is not None:
+            matrix = np.zeros((new_encoded.n_items, n_new), dtype=np.int64)
+            matrix[: self._item_matrix.shape[0], shift : shift + n_old] = self._item_matrix
+            clone._item_matrix = matrix
+            clone._item_epoch = self._item_epoch
+        for candidate, (row, row_epoch) in self._rows.items():
+            wide = np.zeros(n_new, dtype=np.int64)
+            wide[shift : shift + n_old] = row
+            clone._rows[candidate] = (wide, row_epoch)
+        return clone

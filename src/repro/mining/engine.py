@@ -24,6 +24,7 @@ from repro.columnar.backends import available_backends
 from repro.core.apriori import AprioriOptions
 from repro.core.transactions import TransactionDatabase
 from repro.errors import MiningParameterError
+from repro.incremental import IncrementalContext, append_encoded
 from repro.mining.constrained import mine_with_feature
 from repro.mining.context import TemporalContext
 from repro.mining.periodicities import discover_cyclic_interleaved, discover_periodicities
@@ -35,16 +36,19 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.parallel.executor import ShardedExecutor
 from repro.planner import (
+    INCREMENTAL_MODES,
     QueryPlan,
+    RefreshDecision,
     StatementShape,
     StoreStats,
+    choose_refresh,
     compute_stats,
     plan_query,
     record_observed,
     stats_of_encoded,
 )
 from repro.runtime.budget import CancellationToken, RunBudget, RunMonitor
-from repro.temporal.granularity import Granularity
+from repro.temporal.granularity import Granularity, unit_index
 
 logger = get_logger(__name__)
 
@@ -130,6 +134,34 @@ def _workers_from_env() -> Optional[int]:
     return None
 
 
+def _incremental_from_env() -> str:
+    """The ``REPRO_INCREMENTAL`` default mode (``"off"`` when unset).
+
+    Mirrors :func:`_workers_from_env`: CI flips the whole suite to
+    ``auto`` without touching a test, bit-identical semantics mean every
+    assertion must still hold, and a malformed value degrades loudly to
+    ``"off"`` rather than silently changing behaviour.
+    """
+    raw = os.environ.get("REPRO_INCREMENTAL")
+    if raw is None or not raw.strip():
+        return "off"
+    text = raw.strip().lower()
+    if text in INCREMENTAL_MODES:
+        return text
+    logger.warning(
+        "ignoring malformed REPRO_INCREMENTAL value %r (expected ON, OFF or "
+        "AUTO); incremental maintenance stays off",
+        raw,
+    )
+    warnings.warn(
+        f"ignoring malformed REPRO_INCREMENTAL value {raw!r} (expected ON, "
+        "OFF or AUTO); incremental maintenance stays off",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    return "off"
+
+
 class TemporalMiner:
     """High-level entry point for temporal association rule discovery.
 
@@ -144,6 +176,7 @@ class TemporalMiner:
         workers: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
         trace: TraceSetting = False,
+        incremental: Optional[str] = None,
     ):
         self.database = database
         self.counting = counting
@@ -153,6 +186,10 @@ class TemporalMiner:
         self.workers: Optional[int] = None
         self._executor: Optional[ShardedExecutor] = None
         self._db_stats: Optional[StoreStats] = None
+        self.incremental = "off"
+        self.set_incremental(
+            incremental if incremental is not None else _incremental_from_env()
+        )
         self.set_workers(workers if workers is not None else _workers_from_env())
 
     def set_trace(self, trace: TraceSetting) -> None:
@@ -238,11 +275,36 @@ class TemporalMiner:
             )
         self.counting = counting
 
+    def set_incremental(self, mode: str) -> None:
+        """Select the incremental-maintenance mode for subsequent runs.
+
+        ``"off"`` (the default) keeps no per-unit state between runs;
+        ``"on"`` always takes the delta path once state exists; ``"auto"``
+        lets the planner fall back to a full recount above the dirty
+        fraction threshold.  Results are bit-identical under every mode
+        (the differential suite in ``tests/incremental`` enforces it) —
+        only latency changes.  Switching modes drops cached contexts.
+        """
+        normalized = str(mode).strip().lower()
+        if normalized not in INCREMENTAL_MODES:
+            known = ", ".join(INCREMENTAL_MODES)
+            raise MiningParameterError(
+                f"unknown incremental mode {mode!r}; expected one of: {known}"
+            )
+        if normalized != self.incremental:
+            self.incremental = normalized
+            self._contexts.clear()
+
     def context(self, granularity: Granularity) -> TemporalContext:
         """The (cached) temporal partitioning at ``granularity``."""
         context = self._contexts.get(granularity)
         if context is None:
-            context = TemporalContext(self.database, granularity)
+            if self.incremental != "off":
+                context = IncrementalContext(
+                    self.database, granularity, metrics=self.metrics
+                )
+            else:
+                context = TemporalContext(self.database, granularity)
             self._contexts[granularity] = context
         return context
 
@@ -250,6 +312,88 @@ class TemporalMiner:
         """Drop cached partitionings (call after mutating the database)."""
         self._contexts.clear()
         self._db_stats = None
+
+    def apply_append(self, transactions) -> int:
+        """Fold appended transactions into the miner without a rebuild.
+
+        ``transactions`` is an iterable of ``(timestamp, items)`` or
+        ``(timestamp, items, tid)`` tuples (items may be labels or ids;
+        ``tid=None`` auto-assigns).  The attached database gains the
+        rows either way; with incremental maintenance enabled the cached
+        per-granularity contexts are *rebased* — the CSR layout extended
+        in place of a re-encode, the touched units marked dirty, cached
+        per-unit counts retained — otherwise they are simply dropped.
+        Returns the number of transactions applied.
+        """
+        batch = list(transactions)
+        if not batch:
+            return 0
+        added = []
+        for entry in batch:
+            timestamp, items = entry[0], entry[1]
+            tid = entry[2] if len(entry) > 2 else None
+            added.append(self.database.add(timestamp, items, tid=tid))
+        self._db_stats = None
+        if self.incremental == "off" or not self._contexts:
+            self.invalidate()
+            return len(added)
+        triples = [
+            (transaction.tid, transaction.timestamp, transaction.items.items)
+            for transaction in added
+        ]
+        for granularity, context in list(self._contexts.items()):
+            if not isinstance(context, IncrementalContext):
+                del self._contexts[granularity]
+                continue
+            result = append_encoded(context.encoded, triples)
+            touched = {
+                unit_index(transaction.timestamp, granularity)
+                for transaction in added
+            }
+            self._contexts[granularity] = context.rebased(result.encoded, touched)
+        return len(added)
+
+    def refresh_for(self, granularity: Granularity) -> Optional[RefreshDecision]:
+        """The refresh decision the next run at ``granularity`` would take.
+
+        ``None`` while incremental maintenance is off (there is no
+        decision to make).  Side-effect free — ``EXPLAIN`` calls this.
+        """
+        if self.incremental == "off":
+            return None
+        context = self.context(granularity)
+        if not isinstance(context, IncrementalContext):
+            return None
+        return choose_refresh(
+            self.incremental,
+            context.dirty_unit_count(),
+            context.n_units,
+            context.has_state(),
+        )
+
+    def _refresh_for_run(self, granularity: Granularity) -> Optional[RefreshDecision]:
+        """Resolve and *apply* the refresh decision for one run.
+
+        A ``full`` decision over cached state resets the context cache so
+        the run counts cold (and records the fallback metric); a
+        ``delta`` decision leaves the cache in place for the counting
+        overrides to splice against.
+        """
+        if self.incremental == "off":
+            return None
+        context = self.context(granularity)
+        if not isinstance(context, IncrementalContext):
+            return None
+        decision = choose_refresh(
+            self.incremental,
+            context.dirty_unit_count(),
+            context.n_units,
+            context.has_state(),
+            metrics=self.metrics,
+        )
+        if decision.strategy == "full" and context.has_state():
+            context.reset_cache()
+        return decision
 
     # ------------------------------------------------------------------
     # planning
@@ -321,15 +465,19 @@ class TemporalMiner:
         report: MiningReport,
         tracer: Optional[Tracer],
         plan: Optional[QueryPlan] = None,
+        refresh: Optional[RefreshDecision] = None,
     ) -> MiningReport:
-        """Attach the plan and the run's trace to the report.
+        """Attach the plan, refresh decision and run trace to the report.
 
         Also feeds the observed wall time back into the planner's
         calibration counters, so later plans correct for model bias.
         """
         if plan is not None:
             record_observed(plan, report.elapsed_seconds, self.metrics)
-            report = dataclasses.replace(report, plan=plan.to_dict())
+            plan_dict = plan.to_dict()
+            if refresh is not None:
+                plan_dict["refresh"] = refresh.to_dict()
+            report = dataclasses.replace(report, plan=plan_dict)
         if tracer is None:
             return report
         trace = tracer.to_dict()
@@ -357,6 +505,7 @@ class TemporalMiner:
         """Task 1 — discover the valid periods of rules."""
         resolved, tracer = self._monitor_for_run(budget, token, monitor, granule_hook)
         context = self.context(task.granularity)
+        refresh = self._refresh_for_run(task.granularity)
         plan = self.plan_for(task)
         report = discover_valid_periods(
             self.database,
@@ -366,7 +515,7 @@ class TemporalMiner:
             monitor=resolved,
             executor=self._executor_for(plan),
         )
-        return self._finalize(report, tracer, plan)
+        return self._finalize(report, tracer, plan, refresh=refresh)
 
     def periodicities(
         self,
@@ -385,6 +534,7 @@ class TemporalMiner:
         """
         resolved, tracer = self._monitor_for_run(budget, token, monitor, granule_hook)
         context = self.context(task.granularity)
+        refresh = self._refresh_for_run(task.granularity)
         plan = self.plan_for(task, interleaved=interleaved)
         discover = discover_cyclic_interleaved if interleaved else discover_periodicities
         report = discover(
@@ -395,7 +545,7 @@ class TemporalMiner:
             monitor=resolved,
             executor=self._executor_for(plan),
         )
-        return self._finalize(report, tracer, plan)
+        return self._finalize(report, tracer, plan, refresh=refresh)
 
     def with_feature(
         self,

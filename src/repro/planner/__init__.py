@@ -34,6 +34,12 @@ from repro.planner.planner import (
     plan_query,
     record_observed,
 )
+from repro.planner.refresh import (
+    DIRTY_FRACTION_THRESHOLD,
+    INCREMENTAL_MODES,
+    RefreshDecision,
+    choose_refresh,
+)
 from repro.planner.stats import (
     StoreStats,
     compute_stats,
@@ -43,15 +49,19 @@ from repro.planner.stats import (
 
 __all__ = [
     "COSTED_BACKENDS",
+    "DIRTY_FRACTION_THRESHOLD",
+    "INCREMENTAL_MODES",
     "PLAN_CPUS_ENV",
     "PLAN_ENV",
     "BackendCost",
     "QueryPlan",
+    "RefreshDecision",
     "StatementShape",
     "StoreStats",
     "WorkloadEstimate",
     "backend_costs",
     "calibration_factors",
+    "choose_refresh",
     "compute_stats",
     "estimate_workload",
     "pinned_plan",

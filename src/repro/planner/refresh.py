@@ -1,0 +1,157 @@
+"""The incremental-vs-full refresh decision.
+
+When a query arrives over a database that has seen appends, the miner
+can either re-count every time unit (full refresh) or re-count only the
+dirty units and splice into cached rows (delta refresh — see
+:mod:`repro.incremental`).  Both produce bit-identical results, so like
+every other planner decision this one affects *latency only*; it is
+driven by the ``SET INCREMENTAL`` mode and the dirty fraction:
+
+===========  ==========================================================
+mode         strategy
+===========  ==========================================================
+``off``      always full (cached per-unit state is not even kept)
+``on``       always delta once per-unit state exists
+``auto``     delta while ``dirty_fraction <= DIRTY_FRACTION_THRESHOLD``,
+             full beyond it (counted as a *fallback*) — recounting
+             nearly everything through the splice path costs more than
+             a straight scan
+===========  ==========================================================
+
+Without cached state there is nothing to delta against, so the first
+run under any mode is a full count (not a fallback, just a cold start).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+#: AUTO falls back to a full refresh above this dirty fraction.
+DIRTY_FRACTION_THRESHOLD = 0.25
+
+#: Valid ``SET INCREMENTAL`` modes.
+INCREMENTAL_MODES = ("off", "on", "auto")
+
+
+@dataclass(frozen=True)
+class RefreshDecision:
+    """One resolved incremental-vs-full choice (recorded per run).
+
+    Attributes:
+        mode: the ``SET INCREMENTAL`` mode in force.
+        strategy: ``"delta"`` (dirty-unit recount + splice) or
+            ``"full"`` (cold per-unit count).
+        dirty_units / n_units / dirty_fraction: staleness at decision
+            time (fraction is 1.0 on a cold start).
+        reasons: human-readable decision trail for EXPLAIN.
+    """
+
+    mode: str
+    strategy: str
+    dirty_units: int
+    n_units: int
+    dirty_fraction: float
+    reasons: Tuple[str, ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "strategy": self.strategy,
+            "dirty_units": self.dirty_units,
+            "n_units": self.n_units,
+            "dirty_fraction": round(self.dirty_fraction, 6),
+            "reasons": list(self.reasons),
+        }
+
+    def describe_rows(self) -> List[Tuple[str, str]]:
+        """EXPLAIN rows, styled after ``QueryPlan.describe_rows``."""
+        rows = [
+            ("incremental: mode", self.mode.upper()),
+            ("incremental: strategy", self.strategy),
+            (
+                "incremental: dirty units",
+                f"{self.dirty_units}/{self.n_units} ({self.dirty_fraction:.1%})",
+            ),
+        ]
+        rows.extend(("incremental: note", reason) for reason in self.reasons)
+        return rows
+
+
+def choose_refresh(
+    mode: str,
+    dirty_units: int,
+    n_units: int,
+    has_state: bool,
+    metrics: Optional[MetricsRegistry] = None,
+) -> RefreshDecision:
+    """Resolve the refresh strategy for one run.
+
+    A chosen ``"full"`` under mode ``auto`` *with* cached state is a
+    fallback and increments ``repro_incremental_fallbacks_total``
+    (labelled by reason); a cold start is not — there was never a delta
+    to take.
+    """
+    fraction = (dirty_units / n_units) if n_units else 0.0
+    if mode not in INCREMENTAL_MODES:
+        raise ValueError(
+            f"unknown incremental mode {mode!r}; expected one of {INCREMENTAL_MODES}"
+        )
+    if mode == "off":
+        return RefreshDecision(
+            mode=mode,
+            strategy="full",
+            dirty_units=dirty_units,
+            n_units=n_units,
+            dirty_fraction=1.0,
+            reasons=("incremental maintenance disabled (SET INCREMENTAL OFF)",),
+        )
+    if not has_state:
+        return RefreshDecision(
+            mode=mode,
+            strategy="full",
+            dirty_units=dirty_units,
+            n_units=n_units,
+            dirty_fraction=1.0,
+            reasons=("no cached per-unit counts to delta-maintain (cold start)",),
+        )
+    if mode == "on":
+        return RefreshDecision(
+            mode=mode,
+            strategy="delta",
+            dirty_units=dirty_units,
+            n_units=n_units,
+            dirty_fraction=fraction,
+            reasons=("delta refresh pinned (SET INCREMENTAL ON)",),
+        )
+    if fraction <= DIRTY_FRACTION_THRESHOLD:
+        return RefreshDecision(
+            mode=mode,
+            strategy="delta",
+            dirty_units=dirty_units,
+            n_units=n_units,
+            dirty_fraction=fraction,
+            reasons=(
+                f"dirty fraction {fraction:.1%} <= threshold "
+                f"{DIRTY_FRACTION_THRESHOLD:.0%}: recount only dirty units",
+            ),
+        )
+    if metrics is not None:
+        metrics.counter(
+            "repro_incremental_fallbacks_total",
+            "Delta refreshes abandoned in favour of a full recount",
+            labelnames=("reason",),
+        ).inc(1, reason="dirty_fraction")
+    return RefreshDecision(
+        mode=mode,
+        strategy="full",
+        dirty_units=dirty_units,
+        n_units=n_units,
+        dirty_fraction=fraction,
+        reasons=(
+            f"dirty fraction {fraction:.1%} > threshold "
+            f"{DIRTY_FRACTION_THRESHOLD:.0%}: full recount is cheaper",
+        ),
+    )

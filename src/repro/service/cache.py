@@ -91,6 +91,7 @@ class CacheStats:
     evictions: int = 0
     expirations: int = 0
     invalidations: int = 0
+    delta_refreshes: int = 0
     disk_hits: int = 0
     disk_errors: int = 0
 
@@ -266,6 +267,42 @@ class ResultCache:
                 self._m_entries.set(len(self._entries))
             return removed
 
+    def note_append(self, old_fingerprint: str, new_fingerprint: str) -> int:
+        """Retire entries superseded by an append-only store mutation.
+
+        Semantically this is an invalidation of ``old_fingerprint`` — the
+        results are stale and must not be served — but it is counted
+        under a distinct ``delta_refreshes`` stat (and a
+        ``delta_refresh`` event) because the *engine* state behind those
+        entries was not discarded: the incremental contexts delta-refresh
+        from the old counts, so the replacement entries are cheap to
+        rebuild.  Distinguishing the two in telemetry is what lets the
+        operator see appends as refreshes rather than cache churn.
+        """
+        if old_fingerprint == new_fingerprint:
+            return 0
+        with self._lock:
+            doomed = [
+                key
+                for key, entry in self._entries.items()
+                if entry.dataset_fingerprint == old_fingerprint
+            ]
+            for key in doomed:
+                del self._entries[key]
+            removed = len(doomed)
+            if self.spill is not None:
+                try:
+                    removed += self.spill.invalidate_fingerprint(old_fingerprint)
+                except (DatabaseError, sqlite3.Error) as error:
+                    self._stats.disk_errors += 1
+                    self._m_events.inc(event="disk_error")
+                    logger.warning("disk cache delta refresh failed: %s", error)
+            self._stats.delta_refreshes += removed
+            if removed:
+                self._m_events.inc(removed, event="delta_refresh")
+            self._m_entries.set(len(self._entries))
+            return removed
+
     def clear(self) -> int:
         """Drop everything (both tiers); returns entries removed."""
         with self._lock:
@@ -296,6 +333,7 @@ class ResultCache:
                 "evictions": self._stats.evictions,
                 "expirations": self._stats.expirations,
                 "invalidations": self._stats.invalidations,
+                "delta_refreshes": self._stats.delta_refreshes,
                 "disk_hits": self._stats.disk_hits,
                 "disk_errors": self._stats.disk_errors,
             }

@@ -272,6 +272,44 @@ class ServiceClient:
             payload["trace"] = True
         return self._request("POST", "/v1/query", payload)
 
+    def append_transactions(
+        self,
+        transactions,
+        idempotency_key: Optional[str] = None,
+    ) -> Dict:
+        """Stream a batch of transactions into the service's store.
+
+        ``transactions`` holds ``{"ts": ISO timestamp, "items": [...]}``
+        objects (optionally with ``"tid"``) or ``(timestamp, items[,
+        tid])`` tuples.  An idempotency key is generated when none is
+        passed, so a retried POST can never double-apply the batch.
+        """
+        entries = []
+        for entry in transactions:
+            if isinstance(entry, dict):
+                entries.append(entry)
+                continue
+            timestamp, items = entry[0], entry[1]
+            tid = entry[2] if len(entry) > 2 else None
+            document: Dict = {
+                "ts": timestamp.isoformat()
+                if hasattr(timestamp, "isoformat")
+                else str(timestamp),
+                "items": list(items),
+            }
+            if tid is not None:
+                document["tid"] = tid
+            entries.append(document)
+        payload: Dict = {
+            "transactions": entries,
+            "idempotency_key": (
+                idempotency_key
+                if idempotency_key is not None
+                else generate_idempotency_key()
+            ),
+        }
+        return self._request("POST", "/v1/transactions", payload)
+
     def job(self, job_id: str) -> Dict:
         """Poll one job record."""
         return self._request("GET", f"/v1/jobs/{job_id}")

@@ -31,17 +31,22 @@ Execution semantics:
 
 from __future__ import annotations
 
+import json
 import threading
 import time
+import uuid
+from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
+from datetime import datetime
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.transactions import TransactionDatabase
 from repro.db.query import is_mutating_sql
 from repro.db.sqlite_store import SqliteStore
-from repro.errors import TmlExecutionError
+from repro.errors import DatabaseError, TmlExecutionError
+from repro.mining.engine import _incremental_from_env
 from repro.obs.logs import get_logger
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.runtime.budget import CancellationToken, RunBudget
@@ -57,6 +62,7 @@ from repro.tml.ast import (
     MineTrendsStatement,
     SetBudgetStatement,
     SetEngineStatement,
+    SetIncrementalStatement,
     SetTraceStatement,
     SetWorkersStatement,
     SqlStatement,
@@ -81,9 +87,16 @@ CACHEABLE_STATEMENTS = (
 SESSION_ONLY_STATEMENTS = (
     SetBudgetStatement,
     SetEngineStatement,
+    SetIncrementalStatement,
     SetTraceStatement,
     SetWorkersStatement,
 )
+
+#: How many append fingerprint transitions the in-memory delta chain
+#: retains.  A worker whose last-seen fingerprint fell off the chain
+#: simply falls back to a full dataset reload — correctness never
+#: depends on the bound.
+APPEND_LOG_LIMIT = 64
 
 
 @dataclass
@@ -116,6 +129,9 @@ class ServiceConfig:
         recovery_max_attempts: crash-loop cap — a journaled job that
             *started* this many times without finishing is failed at
             recovery instead of re-admitted.
+        incremental: incremental-maintenance mode for every worker
+            environment (``"off"``/``"on"``/``"auto"``); ``None`` defers
+            to the ``REPRO_INCREMENTAL`` environment variable.
     """
 
     workers: int = 2
@@ -134,6 +150,7 @@ class ServiceConfig:
     disk_cache_entries: int = 4096
     drain_deadline_seconds: float = 10.0
     recovery_max_attempts: int = 3
+    incremental: Optional[str] = None
 
 
 class MiningService:
@@ -197,7 +214,16 @@ class MiningService:
             "repro_cache_single_flight_waits_total",
             "Queries that waited on an identical in-flight run.",
         )
+        self._m_appends = self.metrics.counter(
+            "repro_service_appends_total",
+            "Streaming transaction-append batches, by outcome.",
+            labelnames=("outcome",),
+        )
         self.started_at = time.time()
+        # old fingerprint -> (new fingerprint, applied batch): the delta
+        # chain worker environments walk instead of reloading wholesale.
+        self._append_log: "OrderedDict[str, Tuple[str, List[Tuple]]]" = OrderedDict()
+        self._append_lock = threading.Lock()
         self._tls = threading.local()
         self._environments: List[ExecutionEnvironment] = []
         self._environments_lock = threading.Lock()
@@ -233,6 +259,142 @@ class MiningService:
         dataset = seasonal_dataset(n_transactions=n_transactions, seed=seed)
         return self.load_database(dataset.database)
 
+    @staticmethod
+    def _normalize_append(
+        transactions: Sequence,
+    ) -> List[Tuple[datetime, List[str], Optional[int]]]:
+        """Validate and normalize a streamed batch to (ts, items, tid)."""
+        batch: List[Tuple[datetime, List[str], Optional[int]]] = []
+        for entry in transactions:
+            timestamp, items = entry[0], entry[1]
+            tid = entry[2] if len(entry) > 2 else None
+            if not isinstance(timestamp, datetime):
+                raise DatabaseError(
+                    f"append timestamps must be datetimes, got {timestamp!r}"
+                )
+            batch.append((timestamp, list(items), tid))
+        return batch
+
+    def append_transactions(
+        self,
+        transactions: Sequence,
+        idempotency_key: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """Stream a batch of new transactions into the shared store.
+
+        The append-only counterpart of :meth:`load_database`: rows are
+        journaled as a write-ahead intent, committed to the store under
+        an idempotent append id, and the fingerprint transition is
+        recorded on the delta chain so worker environments *fold* the
+        new rows into their encoded layouts (and, with incremental
+        maintenance on, their per-unit count caches) instead of
+        reloading from scratch.  Cache entries for the superseded
+        fingerprint are retired as delta refreshes.
+
+        ``transactions`` holds ``(timestamp, items)`` or
+        ``(timestamp, items, tid)`` tuples; ``idempotency_key`` makes
+        the call retry-safe — a repeated key is acknowledged without
+        applying the rows twice (the guarantee spans a crash-restart,
+        because the store's marker row commits atomically with the
+        data).
+        """
+        if self._closed:
+            raise DatabaseError("service is closed")
+        batch = self._normalize_append(transactions)
+        append_id = (
+            idempotency_key if idempotency_key is not None else uuid.uuid4().hex
+        )
+        if self.journal is not None:
+            self.journal.record_append_intent(
+                append_id,
+                {
+                    "transactions": [
+                        [ts.isoformat(), list(items), tid]
+                        for ts, items, tid in batch
+                    ]
+                },
+            )
+        old_fingerprint = self.store.fingerprint()
+        outcome = self.store.append_batch(batch, append_id=append_id)
+        if not outcome.applied:
+            # The idempotency key already committed once; acknowledge
+            # without re-applying (and settle the journal intent).
+            self._m_appends.inc(outcome="duplicate")
+            if self.journal is not None:
+                self.journal.record_append_applied(append_id, detail="duplicate")
+            return {
+                "applied": False,
+                "appended": 0,
+                "tids": [],
+                "delta_refreshed": 0,
+            }
+        new_fingerprint = self.store.fingerprint()
+        refreshed = self.cache.note_append(old_fingerprint, new_fingerprint)
+        applied = [
+            (ts, items, tid)
+            for (ts, items, _), tid in zip(batch, outcome.tids)
+        ]
+        self._record_append(old_fingerprint, new_fingerprint, applied)
+        self._m_appends.inc(outcome="applied")
+        if self.journal is not None:
+            self.journal.record_append_applied(
+                append_id,
+                detail=json.dumps(
+                    {
+                        "old_fingerprint": old_fingerprint,
+                        "new_fingerprint": new_fingerprint,
+                        "delta_refreshed": refreshed,
+                    },
+                    sort_keys=True,
+                ),
+            )
+        return {
+            "applied": True,
+            "appended": outcome.count,
+            "tids": list(outcome.tids),
+            "delta_refreshed": refreshed,
+        }
+
+    def _record_append(
+        self,
+        old_fingerprint: str,
+        new_fingerprint: str,
+        batch: List[Tuple[datetime, List[str], Optional[int]]],
+    ) -> None:
+        """Push one fingerprint transition onto the bounded delta chain."""
+        if old_fingerprint == new_fingerprint:
+            return
+        with self._append_lock:
+            self._append_log[old_fingerprint] = (new_fingerprint, batch)
+            self._append_log.move_to_end(old_fingerprint)
+            while len(self._append_log) > APPEND_LOG_LIMIT:
+                self._append_log.popitem(last=False)
+
+    def _append_chain(
+        self, start: Optional[str], target: str
+    ) -> Optional[List[List[Tuple]]]:
+        """The append batches linking ``start`` to ``target``, or ``None``.
+
+        ``None`` means the chain is broken (a non-append mutation, or the
+        transition aged off the bounded log) and the caller must fall
+        back to a full reload.
+        """
+        if start is None:
+            return None
+        with self._append_lock:
+            log = dict(self._append_log)
+        chain: List[List[Tuple]] = []
+        fingerprint = start
+        for _ in range(len(log) + 1):
+            if fingerprint == target:
+                return chain
+            entry = log.get(fingerprint)
+            if entry is None:
+                return None
+            fingerprint = entry[0]
+            chain.append(entry[1])
+        return None
+
     # ------------------------------------------------------------------
     # job API (what the HTTP layer drives)
     # ------------------------------------------------------------------
@@ -244,7 +406,15 @@ class MiningService:
         queued/orphaned/interrupted jobs are re-admitted in original
         submission order and the worker pool starts immediately —
         recovered work must run even if no new request ever arrives.
+
+        Pending append intents replay *first*: a re-admitted job must
+        mine the data its client had already streamed in before the
+        crash.  Replay goes through the store's idempotent
+        :meth:`~repro.db.sqlite_store.SqliteStore.append_batch`, so an
+        intent whose store commit survived the crash dedupes instead of
+        double-applying.
         """
+        appends_replayed = self._replay_pending_appends()
         plan = self.journal.recover(max_attempts=self.config.recovery_max_attempts)
         for record in plan.terminal:
             self.scheduler.restore_terminal(record)
@@ -256,9 +426,42 @@ class MiningService:
             "terminal": len(plan.terminal),
             "requeued": len(plan.requeue),
             "crash_looped": len(plan.crash_looped),
+            "appends_replayed": appends_replayed,
         }
         if plan.requeue:
             self.scheduler.start()
+
+    def _replay_pending_appends(self) -> int:
+        """Re-apply journaled append intents the crash left unsettled.
+
+        Returns how many pending intents actually re-inserted rows (an
+        intent whose store commit already landed dedupes to a no-op but
+        is still settled as applied in the journal).
+        """
+        replayed = 0
+        for append_id, payload in self.journal.pending_appends():
+            try:
+                batch = [
+                    (datetime.fromisoformat(ts), list(items), tid)
+                    for ts, items, tid in payload.get("transactions", [])
+                ]
+                old_fingerprint = self.store.fingerprint()
+                outcome = self.store.append_batch(batch, append_id=append_id)
+            except (DatabaseError, TypeError, ValueError) as error:
+                logger.error("append replay %s failed: %s", append_id, error)
+                self._m_appends.inc(outcome="replay_failed")
+                continue
+            if outcome.applied and outcome.count:
+                self.cache.note_append(old_fingerprint, self.store.fingerprint())
+                replayed += 1
+                self._m_appends.inc(outcome="replayed")
+                detail = "replayed after crash"
+            else:
+                self._m_appends.inc(outcome="duplicate")
+                detail = "store commit survived the crash; deduplicated"
+            self.journal.record_append_applied(append_id, detail=detail)
+            logger.info("append intent %s: %s", append_id, detail)
+        return replayed
 
     def submit(
         self,
@@ -353,6 +556,7 @@ class MiningService:
                     if self.config.default_budget is not None
                     else "off"
                 ),
+                "incremental": self._effective_incremental(),
             },
         }
 
@@ -543,6 +747,8 @@ class MiningService:
             environment = ExecutionEnvironment(store=self.store, metrics=self.metrics)
             environment.set_engine(self.config.engine)
             environment.set_workers(self.config.mining_workers)
+            if self.config.incremental is not None:
+                environment.set_incremental(self.config.incremental)
             environment.granule_hook = self.config.granule_hook
             self._tls.environment = environment
             self._tls.executor = TmlExecutor(environment)
@@ -562,9 +768,20 @@ class MiningService:
         can never disagree.
         """
         current = fingerprint if fingerprint is not None else self.store.fingerprint()
-        if getattr(self._tls, "fingerprint", None) != current:
+        known = getattr(self._tls, "fingerprint", None)
+        if known == current:
+            return
+        chain = self._append_chain(known, current)
+        if chain is not None:
+            # Every transition between the last-seen content and the
+            # current one was an append: fold the batches in, in order,
+            # instead of reloading — cached miners keep their encoded
+            # layouts (and per-unit counts under incremental modes).
+            for batch in chain:
+                environment.apply_store_append(batch)
+        else:
             environment.note_store_mutation()
-            self._tls.fingerprint = current
+        self._tls.fingerprint = current
 
     def _note_mutation(self, old_fingerprint: Optional[str]) -> int:
         """Invalidate exactly the pre-mutation content's cache entries."""
@@ -579,7 +796,14 @@ class MiningService:
             "engine": self.config.engine,
             "workers": self.config.mining_workers,
             "budget": effective.describe() if effective is not None else "off",
+            "incremental": self._effective_incremental(),
         }
+
+    def _effective_incremental(self) -> str:
+        """The incremental mode every worker environment runs under."""
+        if self.config.incremental is not None:
+            return self.config.incremental
+        return _incremental_from_env()
 
     @contextmanager
     def _single_flight(self, key: str):

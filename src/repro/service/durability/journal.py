@@ -19,6 +19,14 @@ tables:
     ``jobs`` snapshot; the transition log is the audit trail the chaos
     suite replays its invariants against.
 
+``appends``
+    Write-ahead intents for streaming transaction appends (PR 8): the
+    batch payload is journaled as ``intent`` before the store commit and
+    flipped to ``applied`` after it.  Recovery replays every intent left
+    behind by a crash through the store's idempotent
+    :meth:`~repro.db.sqlite_store.SqliteStore.append_batch`, so no
+    transaction is lost or double-applied.
+
 Journal states and their recovery meaning::
 
     queued       re-admit on restart (the client is still owed a run)
@@ -93,6 +101,14 @@ CREATE TABLE IF NOT EXISTS transitions (
     state  TEXT NOT NULL,
     at     REAL NOT NULL,
     detail TEXT
+);
+CREATE TABLE IF NOT EXISTS appends (
+    append_id  TEXT PRIMARY KEY,
+    payload    TEXT NOT NULL,
+    state      TEXT NOT NULL,
+    created_at REAL NOT NULL,
+    applied_at REAL,
+    detail     TEXT
 );
 """
 
@@ -386,6 +402,69 @@ class JobJournal:
             self._write(_finish, f"journal finish {job_id}")
 
     # ------------------------------------------------------------------
+    # streaming appends (write-ahead intents for POST /v1/transactions)
+    # ------------------------------------------------------------------
+
+    def record_append_intent(self, append_id: str, payload: Dict) -> None:
+        """Journal an append *before* it touches the store.
+
+        The payload is the full batch (ISO timestamps, item labels,
+        assigned-or-``None`` tids), so a crash between this fsync and the
+        store commit leaves enough on disk to replay the append exactly.
+        The store-side marker row (``applied_appends``) makes the replay
+        idempotent — re-applying an already-committed intent is a no-op.
+        """
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            if self._frozen or self._closed:
+                return
+
+            def _intent():
+                self._connection.execute(
+                    "INSERT OR REPLACE INTO appends"
+                    " (append_id, payload, state, created_at)"
+                    " VALUES (?, ?, 'intent', ?)",
+                    (append_id, blob, self._clock()),
+                )
+                self._connection.commit()
+
+            self._write(_intent, f"journal append intent {append_id}")
+
+    def record_append_applied(self, append_id: str, detail: Optional[str] = None) -> None:
+        """Mark a journaled append as committed to the store."""
+        with self._lock:
+            if self._frozen or self._closed:
+                return
+
+            def _applied():
+                self._connection.execute(
+                    "UPDATE appends SET state = 'applied', applied_at = ?,"
+                    " detail = ? WHERE append_id = ?",
+                    (self._clock(), detail, append_id),
+                )
+                self._connection.commit()
+
+            self._write(_applied, f"journal append applied {append_id}")
+
+    def pending_appends(self) -> List[Tuple[str, Dict]]:
+        """``(append_id, payload)`` for every intent never marked applied,
+        in original submission (rowid) order — the crash-replay worklist."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT append_id, payload FROM appends"
+                " WHERE state = 'intent' ORDER BY rowid"
+            ).fetchall()
+        return [(append_id, json.loads(blob)) for append_id, blob in rows]
+
+    def append_states(self) -> Dict[str, int]:
+        """Append-intent counts by state (status/stats section)."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT state, COUNT(*) FROM appends GROUP BY state"
+            ).fetchall()
+        return {state: count for state, count in rows}
+
+    # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------
 
@@ -475,6 +554,7 @@ class JobJournal:
             "synchronous": self.synchronous,
             "states": self.states(),
             "transitions": transitions,
+            "appends": self.append_states(),
         }
 
     # ------------------------------------------------------------------

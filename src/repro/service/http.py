@@ -17,6 +17,15 @@ Endpoints (all JSON):
     returns the existing job instead of admitting a duplicate (the key
     is journaled, so the guarantee spans a crash-restart).
 
+``POST /v1/transactions``
+    Body ``{"transactions": [{"ts": "<ISO timestamp>", "items":
+    ["a", "b"], "tid": optional int}, ...], "idempotency_key": str}``.
+    Streams a batch of new transactions into the shared store without a
+    full reload: the append is journaled as a write-ahead intent,
+    committed idempotently, and folded into worker environments as a
+    delta (cached per-unit counts survive under incremental modes).
+    Returns ``{"applied", "appended", "tids", "delta_refreshed"}``.
+
 ``GET /v1/jobs/{id}``
     The job record (state, result, error, timings, cache provenance).
 
@@ -50,6 +59,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+from datetime import datetime
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
@@ -153,7 +163,7 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0]
         if self._job_path_id() is not None:
             return "/v1/jobs/{id}"
-        if path in ("/v1/status", "/v1/metrics", "/v1/query"):
+        if path in ("/v1/status", "/v1/metrics", "/v1/query", "/v1/transactions"):
             return path
         return "(unknown)"
 
@@ -222,6 +232,9 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
 
     def _handle_post(self) -> None:
         path = self.path.split("?", 1)[0]
+        if path == "/v1/transactions":
+            self._handle_append()
+            return
         if path != "/v1/query":
             self._send_json(404, {"error": f"unknown path {path!r}"})
             return
@@ -272,6 +285,46 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
             self._send_json(504, document)
         else:
             self._send_json(200, document)
+
+    def _handle_append(self) -> None:
+        """``POST /v1/transactions`` — stream a batch into the store."""
+        try:
+            payload = self._read_json()
+            entries = payload.get("transactions")
+            if not isinstance(entries, list):
+                raise ValueError('missing required array field "transactions"')
+            idempotency_key = payload.get("idempotency_key")
+            if idempotency_key is not None and (
+                not isinstance(idempotency_key, str) or not idempotency_key.strip()
+            ):
+                raise ValueError('"idempotency_key" must be a non-empty string')
+            batch = []
+            for entry in entries:
+                if not isinstance(entry, dict) or "ts" not in entry:
+                    raise ValueError(
+                        'each transaction must be an object with "ts" and "items"'
+                    )
+                timestamp = datetime.fromisoformat(str(entry["ts"]))
+                items = entry.get("items")
+                if not isinstance(items, list) or not items:
+                    raise ValueError(
+                        'each transaction needs a non-empty "items" array'
+                    )
+                tid = entry.get("tid")
+                if tid is not None:
+                    tid = int(tid)
+                batch.append((timestamp, [str(item) for item in items], tid))
+        except (ValueError, TypeError) as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        try:
+            outcome = self.server.service.append_transactions(
+                batch, idempotency_key=idempotency_key
+            )
+        except ReproError as error:
+            self._send_json(500, {"error": str(error)})
+            return
+        self._send_json(200, outcome)
 
 
 class MiningHTTPServer(ThreadingHTTPServer):

@@ -42,6 +42,14 @@ def report_to_dict(
     ``format(catalog)`` rendering — the same deterministic text the
     library surfaces everywhere else, which makes "bit-identical to the
     serial library path" directly checkable.
+
+    The rendered findings are sorted: the engine emits rules in item-id
+    order, and item ids follow the order labels were first *seen* — a
+    streaming append that backfills an early time unit shifts that order
+    relative to a cold reload of the very same store content.  Sorting
+    by the canonical text keys the serialized result to the store
+    *content*, so a delta-folded run and a from-scratch reload serialize
+    byte-identically (the append chaos suite pins this).
     """
     document = {
         "type": "mining_report",
@@ -51,7 +59,9 @@ def report_to_dict(
         "n_units": report.n_units,
         "partial": report.partial,
         "diagnostics": diagnostics_to_dict(report.diagnostics),
-        "results": [_record_text(record, catalog) for record in report.results],
+        "results": sorted(
+            _record_text(record, catalog) for record in report.results
+        ),
     }
     # The trace key appears only on traced runs so that untraced payloads
     # stay byte-identical across runs (the cache-stability invariant).

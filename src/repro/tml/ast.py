@@ -384,6 +384,24 @@ class SetWorkersStatement:
 
 
 @dataclass(frozen=True)
+class SetIncrementalStatement:
+    """``SET INCREMENTAL ON|OFF|AUTO;`` — incremental maintenance mode.
+
+    Controls whether per-unit count state survives appends and is
+    delta-refreshed (see :mod:`repro.incremental`): ``OFF`` (the session
+    default) re-counts from scratch every run, ``ON`` pins the delta
+    path, ``AUTO`` lets the planner fall back to a full recount above
+    the dirty-fraction threshold.  Every mode yields bit-identical
+    results; this is purely a performance knob.
+    """
+
+    mode: str = "off"
+
+    def render(self) -> str:
+        return f"SET INCREMENTAL {self.mode.upper()};"
+
+
+@dataclass(frozen=True)
 class SetTraceStatement:
     """``SET TRACE ON|OFF;`` — toggle per-run span tracing.
 
@@ -438,6 +456,7 @@ Statement = Union[
     ProfileStatement,
     SetBudgetStatement,
     SetEngineStatement,
+    SetIncrementalStatement,
     SetTraceStatement,
     SetWorkersStatement,
     ShowStatement,

@@ -31,7 +31,11 @@ from repro.db.query import (
 )
 from repro.db.sqlite_store import SqliteStore
 from repro.errors import TmlExecutionError
-from repro.mining.engine import TemporalMiner, _workers_from_env
+from repro.mining.engine import (
+    TemporalMiner,
+    _incremental_from_env,
+    _workers_from_env,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import format_trace
 from repro.runtime.budget import CancellationToken, RunBudget
@@ -62,6 +66,7 @@ from repro.tml.ast import (
     PeriodFeature,
     SetBudgetStatement,
     SetEngineStatement,
+    SetIncrementalStatement,
     SetTraceStatement,
     SetWorkersStatement,
     ShowStatement,
@@ -104,6 +109,7 @@ class ExecutionEnvironment:
         self.budget: Optional[RunBudget] = None
         self.engine: str = "auto"
         self.workers: Optional[int] = _workers_from_env()
+        self.incremental: str = _incremental_from_env()
         self.metrics = metrics
         self.trace: bool = False
         self.cancel_token = CancellationToken()
@@ -146,6 +152,7 @@ class ExecutionEnvironment:
                 workers=self.workers,
                 metrics=self.metrics,
                 trace=self.trace,
+                incremental=self.incremental,
             )
             self._miners[name] = miner
         return miner
@@ -190,6 +197,27 @@ class ExecutionEnvironment:
         for miner in self._miners.values():
             miner.set_trace(self.trace)
 
+    def set_incremental(self, mode: str) -> None:
+        """Select the incremental-maintenance mode for every ``MINE``.
+
+        ``"off"`` (the default) re-counts from scratch each run; ``"on"``
+        pins the delta path; ``"auto"`` leaves the delta-vs-full choice
+        to the planner's dirty-fraction threshold.  Cached miners are
+        updated in place (an invalid mode raises before any state
+        changes).
+        """
+        normalized = str(mode).strip().lower()
+        from repro.planner import INCREMENTAL_MODES
+
+        if normalized not in INCREMENTAL_MODES:
+            known = ", ".join(INCREMENTAL_MODES)
+            raise TmlExecutionError(
+                f"unknown incremental mode {mode!r}; expected one of: {known}"
+            )
+        self.incremental = normalized
+        for miner in self._miners.values():
+            miner.set_incremental(normalized)
+
     def close(self) -> None:
         """Release every cached miner's worker pool."""
         for miner in self._miners.values():
@@ -209,6 +237,36 @@ class ExecutionEnvironment:
                 catalog = self.datasets[name].catalog
                 self.datasets[name] = self.store.load_database(catalog=catalog)
             self._miners.pop(name, None)
+
+    def apply_store_append(self, transactions) -> None:
+        """Fold appended store rows into mirrored datasets — no reload.
+
+        The delta counterpart of :meth:`note_store_mutation` for
+        append-only mutations: each store-backed dataset gains the new
+        rows in place, and cached miners fold them into their encoded
+        layouts via :meth:`TemporalMiner.apply_append` (retaining
+        per-unit count state when incremental maintenance is enabled).
+        ``transactions`` holds ``(timestamp, items, tid)`` tuples using
+        the tids the store actually assigned, so the in-memory mirror
+        stays identical to what a full reload would produce.
+        """
+        if self.store is None:
+            return
+        batch = list(transactions)
+        if not batch:
+            return
+        for name in sorted(self._store_backed):
+            if name not in self.datasets:
+                continue
+            miner = self._miners.get(name)
+            if miner is not None:
+                miner.apply_append(batch)
+                continue
+            database = self.datasets[name]
+            for entry in batch:
+                timestamp, items = entry[0], entry[1]
+                tid = entry[2] if len(entry) > 2 else None
+                database.add(timestamp, items, tid=tid)
 
 
 class TmlExecutor:
@@ -252,6 +310,8 @@ class TmlExecutor:
             return self._set_workers(statement)
         if isinstance(statement, SetTraceStatement):
             return self._set_trace(statement)
+        if isinstance(statement, SetIncrementalStatement):
+            return self._set_incremental(statement)
         if isinstance(statement, SqlStatement):
             return self._sql(statement)
         raise TmlExecutionError(f"cannot execute {statement!r}")
@@ -429,10 +489,13 @@ class TmlExecutor:
         task = self._build_task(inner)
         if task is not None:
             interleaved = bool(getattr(inner, "interleaved", False))
-            plan = self.environment.miner(inner.source).plan_for(
-                task, interleaved=interleaved
-            )
+            miner = self.environment.miner(inner.source)
+            plan = miner.plan_for(task, interleaved=interleaved)
             properties.extend(plan.describe_rows())
+            if isinstance(task, (ValidPeriodTask, PeriodicityTask)):
+                decision = miner.refresh_for(task.granularity)
+                if decision is not None:
+                    properties.extend(decision.describe_rows())
         result = QueryResult(
             columns=("property", "value"),
             rows=tuple((name, str(value)) for name, value in properties),
@@ -552,6 +615,14 @@ class TmlExecutor:
         result = QueryResult(
             columns=("property", "value"),
             rows=(("trace", "on" if statement.on else "off"),),
+        )
+        return ExecutionResult(statement, result, result.format(limit=0))
+
+    def _set_incremental(self, statement: SetIncrementalStatement) -> ExecutionResult:
+        self.environment.set_incremental(statement.mode)
+        result = QueryResult(
+            columns=("property", "value"),
+            rows=(("incremental", self.environment.incremental),),
         )
         return ExecutionResult(statement, result, result.format(limit=0))
 

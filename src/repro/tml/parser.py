@@ -40,6 +40,7 @@ Grammar (keywords case-insensitive; ``[...]`` optional, ``{...}`` repeated)::
                    | SET ENGINE (ident | AUTO | OFF) ';'
                    | SET WORKERS (number | AUTO | OFF) ';'
                    | SET TRACE (ON | OFF) ';'
+                   | SET INCREMENTAL (ON | OFF | AUTO) ';'
     budget_term   := TIME number | CANDIDATES number | RULES number
     sql_stmt      := anything else, passed through verbatim up to ';'
 
@@ -69,6 +70,7 @@ from repro.tml.ast import (
     NamedCalendarFeature,
     SetBudgetStatement,
     SetEngineStatement,
+    SetIncrementalStatement,
     SetTraceStatement,
     SetWorkersStatement,
     ShowStatement,
@@ -252,6 +254,7 @@ class _Parser:
     ) -> Union[
         SetBudgetStatement,
         SetEngineStatement,
+        SetIncrementalStatement,
         SetTraceStatement,
         SetWorkersStatement,
     ]:
@@ -262,6 +265,8 @@ class _Parser:
             return self._parse_set_workers()
         if self._accept_keyword("TRACE"):
             return self._parse_set_trace()
+        if self._accept_keyword("INCREMENTAL"):
+            return self._parse_set_incremental()
         self._expect_keyword("BUDGET")
         if self._accept_keyword("OFF"):
             self._finish()
@@ -350,6 +355,20 @@ class _Parser:
         token = self._expect_keyword("ON", "OFF")
         self._finish()
         return SetTraceStatement(on=token.value == "ON")
+
+    def _parse_set_incremental(self) -> SetIncrementalStatement:
+        if self._accept_keyword("ON"):
+            self._finish()
+            return SetIncrementalStatement(mode="on")
+        if self._accept_keyword("OFF"):
+            self._finish()
+            return SetIncrementalStatement(mode="off")
+        token = self._peek()
+        if token.type is TokenType.IDENT and token.value.lower() == "auto":
+            self._advance()
+            self._finish()
+            return SetIncrementalStatement(mode="auto")
+        raise self._error("expected ON, OFF or AUTO")
 
     def parse_explain(self) -> Statement:
         self._expect_keyword("EXPLAIN")

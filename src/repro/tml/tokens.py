@@ -38,7 +38,7 @@ KEYWORDS: Tuple[str, ...] = (
     "LIMIT", "AND", "EXPLAIN", "OR", "MINUS", "CONTAINING",
     "ITEMSETS", "PROFILE", "TRENDS", "CHANGE", "FIT",
     "SET", "BUDGET", "TIME", "CANDIDATES", "STRICT", "OFF", "ENGINE",
-    "WORKERS", "TRACE", "ON", "ANALYZE",
+    "WORKERS", "TRACE", "ON", "ANALYZE", "INCREMENTAL",
 )
 
 

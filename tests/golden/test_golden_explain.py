@@ -13,8 +13,10 @@ Determinism:
 * each test uses a fresh :class:`~repro.obs.metrics.MetricsRegistry`,
   so planner calibration is empty and cost estimates are the model's
   raw output;
-* ``REPRO_PLAN`` / ``REPRO_WORKERS`` are cleared so host environments
-  cannot pin a backend or worker count under the test.
+* ``REPRO_PLAN`` / ``REPRO_WORKERS`` / ``REPRO_INCREMENTAL`` are
+  cleared so host environments cannot pin a backend, worker count or
+  refresh mode under the test (the incremental decision has its own
+  env-pinned snapshots in ``test_golden_incremental.py``).
 """
 
 from __future__ import annotations
@@ -57,6 +59,7 @@ def pinned_planner_host(monkeypatch):
     monkeypatch.setenv("REPRO_PLAN_CPUS", "4")
     monkeypatch.delenv("REPRO_PLAN", raising=False)
     monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_INCREMENTAL", raising=False)
 
 
 def _explain_rows(database, statement: str) -> dict:

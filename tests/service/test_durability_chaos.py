@@ -15,12 +15,17 @@ to assert the durability invariants:
   again, on any boot;
 * **recovered results are bit-identical** — a result served from the
   journal or the disk cache re-serializes to the same canonical JSON
-  bytes as the pre-crash original.
+  bytes as the pre-crash original;
+* **streaming appends are atomic** — an append racing a running MINE
+  never blends pre- and post-append counts in one result, and a crash
+  at any point of the append protocol replays from the journal with no
+  transaction lost or applied twice.
 
 Run with ``pytest -m chaos``.
 """
 
 import time
+from datetime import datetime, timedelta
 
 import pytest
 
@@ -42,6 +47,7 @@ MINE_VARIANT = (
     "WITH SUPPORT >= 0.3, CONFIDENCE >= 0.7 HAVING COVERAGE >= 2;"
 )
 SQL_COUNT = "SELECT COUNT(*) AS n FROM transactions;"
+SQL_TXN_COUNT = "SELECT COUNT(DISTINCT tid) AS n FROM transactions;"
 BAD_QUERY = "MINE GIBBERISH FROM nowhere;"
 
 
@@ -320,6 +326,236 @@ class TestDrain:
             assert excinfo.value.retry_after >= 1.0
         finally:
             drain_thread.join(timeout=30)
+
+
+#: A deterministic burst dense enough to change MINE_FAST's answer:
+#: ~25 identical baskets land in 2025-01 (a month holding ~50 base
+#: rows), pushing the pair over the 20% support line there.
+RACE_ROWS = [
+    (datetime(2025, 1, 10) + timedelta(hours=i), ["season0_a", "season0_b"])
+    for i in range(25)
+]
+
+
+def _fresh_store(tmp_path, name):
+    """A new store file holding the same base dataset as durable_paths."""
+    store_path = str(tmp_path / f"{name}.db")
+    store = SqliteStore(store_path)
+    store.save_database(seasonal_dataset(n_transactions=600, seed=11).database)
+    store.close()
+    return (
+        store_path,
+        str(tmp_path / f"{name}.journal"),
+        str(tmp_path / f"{name}.cache"),
+    )
+
+
+def _control_result(tmp_path, name, statement, extra_rows=()):
+    """``statement``'s result from a quiet, single-shot control service."""
+    service = _service(_fresh_store(tmp_path, name), workers=1)
+    try:
+        if extra_rows:
+            outcome = service.append_transactions(extra_rows)
+            assert outcome["applied"]
+        job = service.run_sync(statement, timeout=60)
+        assert job.state == "done"
+        return job.result
+    finally:
+        service.close()
+
+
+class _AppendMidMine:
+    """Granule hook that streams an append into the service mid-MINE."""
+
+    def __init__(self, at_tick, rows):
+        self.at_tick = at_tick
+        self.rows = rows
+        self.ticks_seen = 0
+        self.outcome = None
+        self.service = None
+
+    def __call__(self, offset):
+        self.ticks_seen += 1
+        if (
+            self.outcome is None
+            and self.ticks_seen >= self.at_tick
+            and self.service is not None
+        ):
+            self.outcome = self.service.append_transactions(
+                self.rows, idempotency_key="race-append"
+            )
+
+
+class TestAppendRace:
+    def test_append_racing_mine_never_blends_counts(self, durable_paths, tmp_path):
+        """A MINE overtaken by an append serves one snapshot, never a mix.
+
+        The racing result must be bit-identical to a control mine over
+        the *pre-append* data (the snapshot the run started from), must
+        not be cached under the moved fingerprint, and the next run must
+        be bit-identical to a control mine over the *post-append* data.
+        """
+        pre_control = _control_result(tmp_path, "pre", MINE_FAST)
+        post_control = _control_result(
+            tmp_path, "post", MINE_FAST, extra_rows=RACE_ROWS
+        )
+        # The burst is dense enough that a blend cannot hide.
+        assert canonical_json(pre_control) != canonical_json(post_control)
+
+        hook = _AppendMidMine(at_tick=3, rows=RACE_ROWS)
+        service = _service(durable_paths, workers=1, granule_hook=hook)
+        hook.service = service
+        try:
+            racing = service.run_sync(MINE_FAST, timeout=60)
+            assert racing.state == "done" and not racing.cached
+            assert hook.outcome is not None and hook.outcome["applied"]
+            # The served result is the full pre-append answer — no
+            # post-append row leaked into any count.
+            assert canonical_json(racing.result) == canonical_json(pre_control)
+
+            # The moved fingerprint kept the stale result out of the
+            # cache: the re-run recomputes (cache miss) over the folded
+            # post-append data and matches the cold control exactly.
+            fresh = service.run_sync(MINE_FAST, timeout=60)
+            assert fresh.state == "done" and not fresh.cached
+            assert canonical_json(fresh.result) == canonical_json(post_control)
+
+            # With the store settled, caching resumes as normal.
+            warm = service.run_sync(MINE_FAST, timeout=60)
+            assert warm.cached
+            assert canonical_json(warm.result) == canonical_json(post_control)
+        finally:
+            service.close()
+
+    def test_append_during_mine_is_durable_across_crash(
+        self, durable_paths, tmp_path
+    ):
+        """Rows streamed in mid-MINE survive a crash right after the run."""
+        post_control = _control_result(
+            tmp_path, "post", MINE_FAST, extra_rows=RACE_ROWS
+        )
+        hook = _AppendMidMine(at_tick=3, rows=RACE_ROWS)
+        service = _service(durable_paths, workers=1, granule_hook=hook)
+        hook.service = service
+        racing = service.run_sync(MINE_FAST, timeout=60)
+        assert racing.state == "done" and hook.outcome is not None
+        service.simulate_crash()
+
+        restarted = _service(durable_paths, workers=1)
+        try:
+            # The append committed with the data; nothing to replay.
+            assert restarted.recovered.get("appends_replayed", 0) == 0
+            count = restarted.run_sync(SQL_TXN_COUNT, timeout=60)
+            assert count.result["rows"][0][0] == 600 + len(RACE_ROWS)
+            mined = restarted.run_sync(MINE_FAST, timeout=60)
+            assert canonical_json(mined.result) == canonical_json(post_control)
+        finally:
+            restarted.close()
+
+
+class TestAppendCrashReplay:
+    PAYLOAD = {
+        "transactions": [
+            ["2025-01-05T10:00:00", ["replay_a", "replay_b"], None],
+            ["2025-01-05T11:00:00", ["replay_a"], None],
+        ]
+    }
+
+    def _count(self, service):
+        """Distinct transactions in the store, via the SQL surface."""
+        job = service.run_sync(SQL_TXN_COUNT, timeout=60)
+        assert job.state == "done"
+        return job.result["rows"][0][0]
+
+    def test_intent_without_commit_replays_exactly_once(self, durable_paths):
+        """Crash between the WAL intent and the store commit: the rows
+        are replayed on the next boot — once, and never again."""
+        _, journal_path, _ = durable_paths
+        service = _service(durable_paths, workers=1)
+        assert self._count(service) == 600
+        # The append protocol journals the intent first; the "crash"
+        # lands before the store commit ever happens.
+        service.journal.record_append_intent("append-lost", self.PAYLOAD)
+        service.simulate_crash()
+
+        restarted = _service(durable_paths, workers=1)
+        try:
+            assert restarted.recovered["appends_replayed"] == 1
+            assert self._count(restarted) == 602  # no transaction lost
+            with JobJournal(journal_path, metrics=MetricsRegistry()) as journal:
+                assert journal.append_states() == {"applied": 1}
+                assert journal.pending_appends() == []
+        finally:
+            restarted.close()
+
+        # A second restart finds the intent settled: no double-apply.
+        third = _service(durable_paths, workers=1)
+        try:
+            assert third.recovered["appends_replayed"] == 0
+            assert self._count(third) == 602
+        finally:
+            third.close()
+
+    def test_commit_without_applied_mark_dedupes_on_replay(self, durable_paths):
+        """Crash between the store commit and the journal's applied mark:
+        replay must recognise the committed marker and apply nothing."""
+        _, journal_path, _ = durable_paths
+        service = _service(durable_paths, workers=1)
+        batch = [
+            (datetime.fromisoformat(ts), list(items), tid)
+            for ts, items, tid in self.PAYLOAD["transactions"]
+        ]
+        service.journal.record_append_intent("append-committed", self.PAYLOAD)
+        outcome = service.store.append_batch(batch, append_id="append-committed")
+        assert outcome.applied and outcome.count == 2
+        service.simulate_crash()  # before record_append_applied
+
+        restarted = _service(durable_paths, workers=1)
+        try:
+            # The intent settles by deduplication, not re-insertion.
+            assert restarted.recovered["appends_replayed"] == 0
+            assert self._count(restarted) == 602  # exactly once, ever
+            with JobJournal(journal_path, metrics=MetricsRegistry()) as journal:
+                assert journal.append_states() == {"applied": 1}
+                assert journal.pending_appends() == []
+        finally:
+            restarted.close()
+
+    def test_mixed_pending_intents_replay_in_order(self, durable_paths):
+        """Several unsettled intents replay in submission order; settled
+        ones are skipped — the store converges to exactly-once."""
+        _, journal_path, _ = durable_paths
+        service = _service(durable_paths, workers=1)
+        # First append fully settled pre-crash (control group).
+        done = service.append_transactions(
+            [(datetime(2025, 1, 3, 9), ["settled_x"])],
+            idempotency_key="append-settled",
+        )
+        assert done["applied"] and done["appended"] == 1
+        # Second: committed but unmarked; third: intent only.
+        service.journal.record_append_intent("append-committed", self.PAYLOAD)
+        service.store.append_batch(
+            [
+                (datetime.fromisoformat(ts), list(items), tid)
+                for ts, items, tid in self.PAYLOAD["transactions"]
+            ],
+            append_id="append-committed",
+        )
+        service.journal.record_append_intent(
+            "append-lost",
+            {"transactions": [["2025-01-06T08:00:00", ["lost_y"], None]]},
+        )
+        service.simulate_crash()
+
+        restarted = _service(durable_paths, workers=1)
+        try:
+            assert restarted.recovered["appends_replayed"] == 1  # only the lost one
+            assert self._count(restarted) == 600 + 1 + 2 + 1
+            with JobJournal(journal_path, metrics=MetricsRegistry()) as journal:
+                assert journal.append_states() == {"applied": 3}
+                assert journal.pending_appends() == []
+        finally:
+            restarted.close()
 
 
 def _start_drain(service, deadline_seconds):
