@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""End-to-end cluster smoke test: router + 2 workers under fire.
+
+Used by CI's cluster smoke job (and handy interactively)::
+
+    python scripts/cluster_smoke.py
+
+The script drives the *real* cluster entry point as a subprocess:
+
+1. boot ``python -m repro.cluster`` (router + 2 supervised workers on
+   ephemeral ports, demo store),
+2. fire an open-loop :mod:`repro.loadgen` burst (query/append mix,
+   cache-busted) through the router,
+3. mid-burst, ``SIGKILL`` one worker process — the supervisor restarts
+   it, the router fails keyed requests over to the survivor,
+4. assert the burst finished with **zero lost jobs** (every request
+   answered 2xx), that both workers served traffic, and that the fleet
+   ``/v1/status`` shows the kill (restarts >= 1) with 2 healthy
+   workers again,
+5. ``SIGTERM`` the cluster and assert a clean drain (exit 0).
+
+Exit status 0 on success, 1 with a diagnostic on any failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+from typing import Dict, Optional
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = str(REPO / "src")
+sys.path.insert(0, SRC)
+
+from repro.loadgen import LoadSpec, run_load  # noqa: E402
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
+
+BURST_RATE = 8.0
+BURST_SECONDS = 10.0
+KILL_AFTER_SECONDS = 3.0
+
+
+def _api(base_url: str, path: str, payload: Optional[Dict] = None) -> Dict:
+    body = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        base_url + path,
+        data=body,
+        headers={"Content-Type": "application/json"} if body else {},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read().decode())
+
+
+def _fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    run_dir = tempfile.mkdtemp(prefix="repro-cluster-smoke-")
+    port_file = Path(run_dir) / "router.port"
+    env = dict(os.environ, PYTHONPATH=SRC)
+    cluster = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cluster",
+            "--demo",
+            "--workers",
+            "2",
+            "--port",
+            "0",
+            "--port-file",
+            str(port_file),
+            "--threads-per-worker",
+            "1",
+            "--health-interval",
+            "0.2",
+            "--log-level",
+            "warning",
+        ],
+        env=env,
+    )
+    try:
+        deadline = time.monotonic() + 60.0
+        router_port = None
+        while time.monotonic() < deadline:
+            if cluster.poll() is not None:
+                _fail(f"cluster exited early with {cluster.returncode}")
+            try:
+                text = port_file.read_text().strip()
+                if text:
+                    router_port = int(text)
+                    break
+            except OSError:
+                pass
+            time.sleep(0.1)
+        if router_port is None:
+            _fail("router wrote no port file within 60s")
+        base_url = f"http://127.0.0.1:{router_port}"
+
+        status = _api(base_url, "/v1/status")
+        if status["healthy_workers"] != 2:
+            _fail(f"expected 2 healthy workers, got {status['healthy_workers']}")
+        victim = status["workers"][0]
+        print(
+            f"cluster up at {base_url}; workers: "
+            + ", ".join(
+                f"{w['id']}(pid={w['pid']})" for w in status["workers"]
+            )
+        )
+
+        # Kill one worker mid-burst from a timer thread.
+        def kill_victim() -> None:
+            print(f"killing worker {victim['id']} (pid {victim['pid']})")
+            os.kill(victim["pid"], signal.SIGKILL)
+
+        timer = threading.Timer(KILL_AFTER_SECONDS, kill_victim)
+        timer.start()
+        spec = LoadSpec(
+            rate=BURST_RATE,
+            duration_seconds=BURST_SECONDS,
+            append_fraction=0.2,
+            append_batch=8,
+            unique_queries=True,
+            timeout=120.0,
+            seed=29,
+        )
+        report = run_load(base_url, spec, metrics=MetricsRegistry())
+        timer.join()
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+
+        if report.failed:
+            _fail(
+                f"{report.failed}/{report.offered} requests lost "
+                f"(errors: {report.errors[:5]})"
+            )
+        if report.completed != report.offered:
+            _fail("request accounting does not add up")
+        if len(report.by_worker) < 2:
+            _fail(f"traffic never spread: {report.by_worker}")
+
+        # The supervisor must have restarted the victim.
+        deadline = time.monotonic() + 30.0
+        recovered = None
+        while time.monotonic() < deadline:
+            recovered = _api(base_url, "/v1/status")
+            workers = {w["id"]: w for w in recovered["workers"]}
+            if (
+                recovered["healthy_workers"] == 2
+                and workers[victim["id"]]["restarts"] >= 1
+            ):
+                break
+            time.sleep(0.2)
+        else:
+            _fail(f"victim never recovered: {recovered}")
+        print(
+            f"worker {victim['id']} restarted "
+            f"(restarts={workers[victim['id']]['restarts']}); fleet healthy"
+        )
+
+        # Clean drain on SIGTERM.
+        cluster.send_signal(signal.SIGTERM)
+        try:
+            code = cluster.wait(timeout=60.0)
+        except subprocess.TimeoutExpired:
+            _fail("cluster did not drain within 60s")
+        if code != 0:
+            _fail(f"cluster exited {code} on drain")
+        print("clean drain; cluster smoke OK")
+        return 0
+    finally:
+        if cluster.poll() is None:
+            cluster.kill()
+            cluster.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

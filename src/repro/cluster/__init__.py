@@ -1,0 +1,48 @@
+"""``repro.cluster`` — horizontal scale-out of the mining service.
+
+One ``repro-serve`` process (PR 4) is GIL-bound: no matter how fast the
+planner (PR 7) and the incremental engine (PR 8) make a single query,
+throughput ceilings at one accept loop.  This subsystem multiplies the
+per-process wins across cores:
+
+* :mod:`repro.cluster.supervisor` — spawn and babysit N worker
+  processes (ephemeral ports, per-worker journals, restart-on-death
+  with backoff, graceful fleet drain), all sharing one store and one
+  disk cache tier.
+* :mod:`repro.cluster.router` — the thin HTTP front door: rendezvous
+  routing on ``store fingerprint × canonical TML`` for cache locality,
+  job-id affinity with ranked failover, invalidation fanout on
+  mutation/append, per-tenant token-bucket quotas, and fleet-merged
+  ``/v1/metrics``.
+* :mod:`repro.cluster.hashring` — the rendezvous (HRW) placement
+  primitive.
+* :mod:`repro.cluster.quota` — weighted-fair per-tenant token buckets.
+* :mod:`repro.cluster.metrics` — Prometheus exposition merging.
+
+Entry points: ``python -m repro.cluster --db store.db --workers 4`` or
+the equivalent sugar ``repro-serve --db store.db --cluster 4``.  The
+public address speaks exactly the single-process ``/v1`` API, so every
+existing client — including :class:`repro.service.client.ServiceClient`
+— works unchanged against a fleet.
+"""
+
+from repro.cluster.hashring import pick_worker, rank_workers, rendezvous_score
+from repro.cluster.metrics import merge_expositions
+from repro.cluster.quota import QuotaDecision, TenantQuotas, TokenBucket
+from repro.cluster.router import ClusterRouter, start_router
+from repro.cluster.supervisor import FleetSupervisor, WorkerConfig, WorkerHandle
+
+__all__ = [
+    "ClusterRouter",
+    "FleetSupervisor",
+    "QuotaDecision",
+    "TenantQuotas",
+    "TokenBucket",
+    "WorkerConfig",
+    "WorkerHandle",
+    "merge_expositions",
+    "pick_worker",
+    "rank_workers",
+    "rendezvous_score",
+    "start_router",
+]

@@ -1,0 +1,62 @@
+"""Rendezvous (highest-random-weight) hashing for request routing.
+
+The router's placement primitive: every request carries a *routing key*
+(store fingerprint × canonical query for ``/v1/query``, the raw job id
+for job paths) and the fleet holds a set of worker ids.  Rendezvous
+hashing scores every ``(key, worker)`` pair with an independent hash and
+picks the highest score, which buys exactly the properties a
+cache-locality router needs:
+
+* **Deterministic** — the same key always lands on the same worker while
+  the healthy set is stable, so a worker's in-memory result cache and
+  its incremental ``ExecutionEnvironment`` stay hot for "its" queries.
+* **Minimal disruption** — removing a worker only moves the keys that
+  worker owned (they re-rank among the survivors); adding one steals
+  ~1/N of each peer's keys.  No ring state, no token management.
+* **Ranked failover for free** — the full preference order is just the
+  score-sorted worker list, so "owner dead, try the next one" is the
+  second element, not a special case.
+
+SHA-256 keeps the scores independent of Python's randomized ``hash()``
+(routing must agree across processes and restarts).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional, Sequence
+
+__all__ = ["rendezvous_score", "rank_workers", "pick_worker"]
+
+
+def rendezvous_score(key: str, worker_id: str) -> int:
+    """The HRW score of one ``(routing key, worker)`` pair."""
+    digest = hashlib.sha256(
+        f"{worker_id}\x00{key}".encode("utf-8", "surrogatepass")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def rank_workers(key: str, worker_ids: Sequence[str]) -> List[str]:
+    """Worker ids ordered by preference for ``key`` (best first).
+
+    Ties (astronomically unlikely with 64-bit scores, but ids may be
+    duplicated by a buggy caller) break on the worker id itself so the
+    order stays total and deterministic.
+    """
+    return sorted(
+        dict.fromkeys(worker_ids),
+        key=lambda worker_id: (rendezvous_score(key, worker_id), worker_id),
+        reverse=True,
+    )
+
+
+def pick_worker(key: str, worker_ids: Sequence[str]) -> Optional[str]:
+    """The preferred worker for ``key``, or ``None`` for an empty fleet."""
+    best: Optional[str] = None
+    best_score = -1
+    for worker_id in worker_ids:
+        score = rendezvous_score(key, worker_id)
+        if score > best_score or (score == best_score and (best is None or worker_id > best)):
+            best, best_score = worker_id, score
+    return best

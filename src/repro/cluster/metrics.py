@@ -1,0 +1,99 @@
+"""Fleet-wide Prometheus exposition aggregation.
+
+The router's ``GET /v1/metrics`` must describe the *fleet*, not one
+process: N workers each expose their own registry, and an operator's
+scrape should see one coherent document.  :func:`merge_expositions`
+parses each worker's text-format 0.0.4 exposition with the strict
+:func:`repro.obs.metrics.parse_prometheus_text` parser (a worker
+emitting something a real scraper would reject must fail loudly here
+too) and sums samples pointwise:
+
+* **Counters and histograms sum** — ``repro_http_requests_total``
+  across the fleet is exactly the sum of per-worker totals, and
+  histogram ``_bucket``/``_sum``/``_count`` series stay internally
+  consistent under addition (cumulative buckets are linear).
+* **Gauges sum too** — queue depths, running jobs and cache entries are
+  all "how much is resident in this process" quantities where the fleet
+  total is the meaningful number.  (A gauge whose fleet aggregate
+  should be an average does not exist in this codebase today; if one
+  appears it belongs on a label, not a new merge mode.)
+
+``HELP``/``TYPE`` headers are taken from the first exposition that
+declares each metric; samples of metrics only some workers have seen
+yet merge fine (missing series count as zero).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.obs.metrics import _format_value, parse_prometheus_text
+
+__all__ = ["merge_expositions"]
+
+
+def _headers(text: str) -> "Dict[str, Tuple[str, str]]":
+    """``{metric_name: (help_line, type_line)}`` from one exposition."""
+    headers: Dict[str, Tuple[str, str]] = {}
+    help_lines: Dict[str, str] = {}
+    for line in text.splitlines():
+        if not line.startswith("#"):
+            continue
+        parts = line.split(None, 3)
+        if len(parts) >= 3 and parts[1] == "HELP":
+            help_lines[parts[2]] = line
+        elif len(parts) == 4 and parts[1] == "TYPE":
+            headers[parts[2]] = (help_lines.get(parts[2], ""), line)
+    return headers
+
+
+def _base_name(sample_name: str, histogram_bases: "set[str]") -> str:
+    """Map a ``_bucket``/``_sum``/``_count`` sample to its histogram."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in histogram_bases:
+                return base
+    return sample_name
+
+
+def merge_expositions(texts: Iterable[str]) -> str:
+    """Sum several text-format 0.0.4 expositions into one.
+
+    Raises :class:`ValueError` on any malformed input — aggregating a
+    broken exposition would silently hide a worker-side regression.
+    """
+    merged: "Dict[str, Dict[str, float]]" = {}
+    headers: Dict[str, Tuple[str, str]] = {}
+    histogram_bases: "set[str]" = set()
+    # Sample names in first-seen order so the merged document is stable
+    # across scrapes (dict preserves insertion order).
+    sample_order: List[str] = []
+
+    for text in texts:
+        for name, (help_line, type_line) in _headers(text).items():
+            if name not in headers:
+                headers[name] = (help_line, type_line)
+                if type_line.split()[-1] == "histogram":
+                    histogram_bases.add(name)
+        for sample_name, series in parse_prometheus_text(text).items():
+            bucket = merged.get(sample_name)
+            if bucket is None:
+                bucket = merged[sample_name] = {}
+                sample_order.append(sample_name)
+            for label_block, value in series.items():
+                bucket[label_block] = bucket.get(label_block, 0.0) + value
+
+    lines: List[str] = []
+    emitted_headers: "set[str]" = set()
+    for sample_name in sample_order:
+        base = _base_name(sample_name, histogram_bases)
+        if base in headers and base not in emitted_headers:
+            emitted_headers.add(base)
+            help_line, type_line = headers[base]
+            if help_line:
+                lines.append(help_line)
+            lines.append(type_line)
+        for label_block, value in merged[sample_name].items():
+            lines.append(f"{sample_name}{label_block} {_format_value(value)}")
+    return "\n".join(lines) + "\n"

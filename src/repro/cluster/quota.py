@@ -1,0 +1,188 @@
+"""Per-tenant token-bucket quotas with weighted-fair admission.
+
+The router's admission layer, sitting *above* the per-worker scheduler
+admission control from PR 4: the workers bound how much work one
+process accepts, this module bounds how much of the fleet's capacity
+any one tenant may claim.
+
+Model:
+
+* Every tenant (the ``X-Tenant`` request header; ``"default"`` when
+  absent) owns a token bucket.  A mining/append request costs one
+  token; control-plane polls are free.
+* The bucket refills continuously at ``rate × weight`` tokens/second up
+  to ``burst × weight`` — so weights are *fair shares*, not absolute
+  rates: a weight-2 tenant sustains twice the throughput of a weight-1
+  tenant under contention, and bursts twice as deep.
+* An empty bucket rejects with the exact time until the next token, so
+  the router can answer ``429`` with an honest ``Retry-After`` that the
+  hardened :class:`~repro.service.client.ServiceClient` backoff honours.
+
+Buckets are created lazily and pruned once full-and-idle (an unbounded
+tenant-name space must not leak memory).  All operations are
+thread-safe and the clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional
+
+__all__ = ["QuotaDecision", "TokenBucket", "TenantQuotas"]
+
+#: Tenant label used when a request carries no ``X-Tenant`` header.
+DEFAULT_TENANT = "default"
+
+
+@dataclass
+class QuotaDecision:
+    """One admission verdict: admitted or rejected-with-retry-hint."""
+
+    admitted: bool
+    tenant: str
+    #: Seconds until a token is available (0.0 when admitted).
+    retry_after: float = 0.0
+    #: Tokens left after the decision (diagnostic, floored at 0).
+    remaining: float = 0.0
+
+
+class TokenBucket:
+    """A continuously-refilling token bucket (monotonic-clock based)."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    def try_take(self, tokens: float = 1.0) -> "tuple[bool, float, float]":
+        """``(taken, retry_after_seconds, remaining)`` for one request."""
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True, 0.0, self._tokens
+            deficit = tokens - self._tokens
+            return False, deficit / self.rate, self._tokens
+
+    def available(self) -> float:
+        """Current token balance (refilled to now)."""
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+    def is_idle_full(self) -> bool:
+        """True when the bucket is back at burst — safe to prune."""
+        return self.available() >= self.burst
+
+
+class TenantQuotas:
+    """Lazily-created per-tenant buckets with weighted fair shares.
+
+    Args:
+        rate: base sustained tokens/second for a weight-1 tenant.
+        burst: base bucket depth for a weight-1 tenant.
+        weights: per-tenant fair-share multipliers (default 1.0).
+        clock: injectable monotonic clock (tests).
+
+    ``rate=None`` disables quotas entirely — every request is admitted
+    (the standalone/default router configuration; quotas are opt-in).
+    """
+
+    #: Prune idle-full buckets once the table exceeds this many tenants.
+    PRUNE_THRESHOLD = 1024
+
+    def __init__(
+        self,
+        rate: Optional[float] = None,
+        burst: float = 10.0,
+        weights: Optional[Mapping[str, float]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rate = rate
+        self.burst = burst
+        self.weights: Dict[str, float] = dict(weights or {})
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate is not None
+
+    def weight_of(self, tenant: str) -> float:
+        weight = float(self.weights.get(tenant, 1.0))
+        return weight if weight > 0 else 1.0
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                weight = self.weight_of(tenant)
+                assert self.rate is not None  # guarded by enabled
+                bucket = TokenBucket(
+                    rate=self.rate * weight,
+                    burst=max(1.0, self.burst * weight),
+                    clock=self._clock,
+                )
+                self._buckets[tenant] = bucket
+                if len(self._buckets) > self.PRUNE_THRESHOLD:
+                    self._prune_locked(keep=tenant)
+            return bucket
+
+    def _prune_locked(self, keep: str) -> None:
+        for name in [
+            name
+            for name, bucket in self._buckets.items()
+            if name != keep and bucket.is_idle_full()
+        ]:
+            del self._buckets[name]
+
+    def admit(self, tenant: Optional[str]) -> QuotaDecision:
+        """Charge one token to ``tenant``; never blocks."""
+        name = tenant or DEFAULT_TENANT
+        if not self.enabled:
+            return QuotaDecision(admitted=True, tenant=name)
+        taken, retry_after, remaining = self._bucket(name).try_take()
+        return QuotaDecision(
+            admitted=taken,
+            tenant=name,
+            retry_after=retry_after,
+            remaining=remaining,
+        )
+
+    def stats(self) -> Dict[str, object]:
+        """The quota section of the router's status document."""
+        if not self.enabled:
+            return {"enabled": False}
+        with self._lock:
+            balances = {
+                name: round(bucket.available(), 3)
+                for name, bucket in sorted(self._buckets.items())
+            }
+        return {
+            "enabled": True,
+            "rate_per_second": self.rate,
+            "burst": self.burst,
+            "weights": dict(self.weights),
+            "tenants": balances,
+        }

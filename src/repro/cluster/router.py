@@ -1,0 +1,723 @@
+"""The cluster front door: a thin routing/failover HTTP proxy.
+
+One :class:`ClusterRouter` sits in front of a fleet of worker processes
+(usually owned by a :class:`~repro.cluster.supervisor.FleetSupervisor`,
+but anything exposing the same small *fleet view* works — the tests run
+in-process worker servers behind a static fleet).  The router is
+deliberately thin: it never mines, never caches results, and holds no
+durable state — every hard problem stays in the workers, where PRs 4–8
+already solved it.  What the router adds:
+
+* **Cache-locality routing.**  ``POST /v1/query`` routes by rendezvous
+  hashing over ``store fingerprint × canonical TML`` — the same
+  normalization the PR 4 result cache keys on — so repeated and
+  whitespace-variant forms of a query always land on the worker whose
+  memory cache and incremental ``ExecutionEnvironment`` are already hot
+  for it, while *distinct* queries spread uniformly across the fleet.
+* **Job affinity with failover.**  The worker that admits a job owns
+  its record; ``GET``/``DELETE /v1/jobs/{id}`` route back to the owner.
+  A dead owner fails over: other healthy workers are tried in
+  rendezvous order, and when none knows the job the router answers
+  ``503 + Retry-After`` (not 404) — the supervisor is restarting the
+  owner, whose journal replay will finish the job under its original
+  id, so the hardened client's retry loop lands naturally.
+* **Transport failover on idempotent requests.**  A proxied request
+  that dies on the socket marks the worker suspect immediately and —
+  for GET/DELETE and keyed POSTs (the PR 6 idempotency contract) — is
+  retried on the next-ranked healthy worker.  Keyless POSTs surface a
+  ``502`` instead: the job may have been admitted, and a blind retry
+  could run it twice.
+* **Invalidation fanout.**  A mutation or append lands on one worker,
+  which purges the *shared* disk cache tier itself; the router then
+  tells every other worker to drop its private memory-tier entries for
+  the superseded fingerprint (``POST /v1/cache/invalidate``), so no
+  process serves from memory what the fleet already knows is stale.
+* **Per-tenant quotas.**  Token-bucket admission (``X-Tenant`` header,
+  weighted fair shares) answers ``429 + Retry-After`` *before* a
+  request consumes a worker — fleet-level fairness on top of each
+  worker's own PR 4 admission control.
+* **Fleet observability.**  ``GET /v1/metrics`` merges every worker's
+  Prometheus exposition with the router's own ``repro_cluster_*``
+  series; ``GET /v1/status`` reports per-worker identity and health.
+
+Append routing: ``POST /v1/transactions`` routes by a *stable* key (not
+the fingerprint — which the append itself changes) so one worker keeps
+the hot delta-fold chain of PR 8, and the batch reaches every other
+worker as a fingerprint bump they notice on their next store check.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.cluster.hashring import rank_workers
+from repro.cluster.metrics import merge_expositions
+from repro.cluster.quota import TenantQuotas
+from repro.obs.logs import get_logger
+from repro.obs.metrics import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsRegistry,
+    default_registry,
+)
+
+logger = get_logger(__name__)
+
+__all__ = ["ClusterRouter", "RouterRequestHandler", "start_router"]
+
+#: Socket timeout for control-plane proxying (status, polls, cancels).
+CONTROL_TIMEOUT_SECONDS = 15.0
+
+#: Socket timeout for proxied appends.
+APPEND_TIMEOUT_SECONDS = 60.0
+
+#: Default server-side wait of a proxied synchronous query (mirrors the
+#: worker's own default) plus the grace the client protocol already uses.
+SYNC_WAIT_SECONDS = 300.0
+SYNC_GRACE_SECONDS = 30.0
+
+#: Most job ids the affinity map remembers (LRU).  Affinity is a
+#: routing hint, not a correctness requirement — an evicted id just
+#: means the poll walks the rendezvous order.
+AFFINITY_CAP = 8192
+
+#: Retry-After the router answers when a job's owner is mid-restart.
+OWNER_RESTART_RETRY_AFTER = 1.0
+
+
+def _canonical_query(text: str) -> str:
+    """Canonical TML for routing (same collapse the result cache uses).
+
+    Falls back to the raw text for statements the canonicalizer cannot
+    parse — routing only needs determinism, the worker will produce the
+    real 400/422.
+    """
+    try:
+        from repro.tml.canonical import canonicalize
+
+        return canonicalize(text)
+    except Exception:  # noqa: BLE001 — any parse problem routes on raw text
+        return text
+
+
+class ClusterRouter(ThreadingHTTPServer):
+    """The fleet's single public address.
+
+    Args:
+        fleet: the fleet view — an object with ``healthy_workers()``
+            (ordered handles carrying ``worker_id``/``base_url``),
+            ``all_workers()``, ``note_failure(worker_id)`` and
+            ``fingerprint()``.  A
+            :class:`~repro.cluster.supervisor.FleetSupervisor` is one.
+        host / port: bind address (``port=0`` binds ephemerally).
+        quotas: per-tenant admission; default is unlimited.
+        metrics: registry for ``repro_cluster_*`` series (the
+            supervisor should share it so one scrape shows both).
+    """
+
+    daemon_threads = True
+    request_queue_size = 128
+
+    def __init__(
+        self,
+        fleet,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        quotas: Optional[TenantQuotas] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        verbose: bool = False,
+    ):
+        self.fleet = fleet
+        self.quotas = quotas if quotas is not None else TenantQuotas()
+        self.verbose = verbose
+        self.draining = False
+        self.drain_retry_after = 10.0
+        self.started_at = time.time()
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._affinity: "OrderedDict[str, str]" = OrderedDict()
+        self._affinity_lock = threading.Lock()
+        self._fingerprint: Optional[str] = None
+        self.m_requests = self.metrics.counter(
+            "repro_cluster_requests_total",
+            "Requests through the router, by route and status.",
+            labelnames=("route", "status"),
+        )
+        self.m_request_seconds = self.metrics.histogram(
+            "repro_cluster_request_seconds",
+            "Router request latency (incl. the proxied worker), by route.",
+            labelnames=("route",),
+        )
+        self.m_proxied = self.metrics.counter(
+            "repro_cluster_proxied_total",
+            "Requests proxied to each worker.",
+            labelnames=("worker",),
+        )
+        self.m_failovers = self.metrics.counter(
+            "repro_cluster_failovers_total",
+            "Requests that failed over past the preferred worker, by route.",
+            labelnames=("route",),
+        )
+        self.m_quota_rejected = self.metrics.counter(
+            "repro_cluster_quota_rejected_total",
+            "Requests rejected by per-tenant quota, by tenant.",
+            labelnames=("tenant",),
+        )
+        self.m_fanout = self.metrics.counter(
+            "repro_cluster_invalidation_fanout_total",
+            "Cache-invalidation fanout calls sent to peer workers.",
+        )
+        super().__init__((host, port), RouterRequestHandler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    # ------------------------------------------------------------------
+    # routing state
+    # ------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """The routing fingerprint (sticky: last known wins)."""
+        current = self.fleet.fingerprint()
+        if current:
+            self._fingerprint = current
+        return self._fingerprint or ""
+
+    def note_fingerprint(self, fingerprint: Optional[str]) -> None:
+        if isinstance(fingerprint, str) and fingerprint:
+            self._fingerprint = fingerprint
+
+    def preference(self, key: str) -> List[object]:
+        """Healthy worker handles in rendezvous order for ``key``."""
+        handles = {
+            worker.worker_id: worker for worker in self.fleet.healthy_workers()
+        }
+        return [
+            handles[worker_id]
+            for worker_id in rank_workers(key, list(handles))
+        ]
+
+    def record_job(self, job_id: str, worker_id: str) -> None:
+        with self._affinity_lock:
+            self._affinity[job_id] = worker_id
+            self._affinity.move_to_end(job_id)
+            while len(self._affinity) > AFFINITY_CAP:
+                self._affinity.popitem(last=False)
+
+    def job_owner(self, job_id: str) -> Optional[str]:
+        with self._affinity_lock:
+            return self._affinity.get(job_id)
+
+    def jobs_routed(self) -> int:
+        with self._affinity_lock:
+            return len(self._affinity)
+
+    # ------------------------------------------------------------------
+    # proxy primitives
+    # ------------------------------------------------------------------
+
+    def proxy(
+        self,
+        worker,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        timeout: float,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One proxied request; raises ``OSError`` on transport failure."""
+        parts = urlsplit(worker.base_url)
+        connection = http.client.HTTPConnection(
+            parts.hostname, parts.port, timeout=timeout
+        )
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            payload = response.read()
+            passthrough = {}
+            for name in ("Retry-After", "X-Repro-Worker", "Content-Type"):
+                value = response.headers.get(name)
+                if value is not None:
+                    passthrough[name] = value
+            self.m_proxied.inc(worker=worker.worker_id)
+            return response.status, passthrough, payload
+        finally:
+            connection.close()
+
+    def fan_out_invalidation(
+        self, fingerprint: str, except_worker: Optional[str] = None
+    ) -> int:
+        """Tell every other worker to drop one fingerprint's entries.
+
+        Synchronous and best-effort: a worker that cannot be reached is
+        marked suspect and skipped — its memory-tier entries are keyed
+        by fingerprint and therefore unservable, so missing the fanout
+        costs memory, never correctness.
+        """
+        body = json.dumps({"fingerprint": fingerprint}).encode("utf-8")
+        reached = 0
+        for worker in self.fleet.healthy_workers():
+            if worker.worker_id == except_worker:
+                continue
+            try:
+                self.proxy(
+                    worker,
+                    "POST",
+                    "/v1/cache/invalidate",
+                    body,
+                    CONTROL_TIMEOUT_SECONDS,
+                )
+                reached += 1
+                self.m_fanout.inc()
+            except OSError:
+                self.fleet.note_failure(worker.worker_id)
+        return reached
+
+    # ------------------------------------------------------------------
+    # documents
+    # ------------------------------------------------------------------
+
+    def status_document(self) -> Dict[str, object]:
+        workers = []
+        for worker in self.fleet.all_workers():
+            if hasattr(worker, "to_dict"):
+                workers.append(worker.to_dict())
+            else:  # a bare test handle: report what the router knows
+                workers.append(
+                    {
+                        "id": worker.worker_id,
+                        "url": worker.base_url,
+                        "healthy": bool(getattr(worker, "healthy", True)),
+                    }
+                )
+        healthy = sum(1 for worker in workers if worker.get("healthy"))
+        return {
+            "service": "repro-cluster-router",
+            "uptime_seconds": time.time() - self.started_at,
+            "draining": self.draining,
+            "fingerprint": self.fingerprint() or None,
+            "workers": workers,
+            "healthy_workers": healthy,
+            "jobs_routed": self.jobs_routed(),
+            "quota": self.quotas.stats(),
+        }
+
+    def merged_metrics(self) -> str:
+        """The fleet-wide exposition: router series + every worker's."""
+        texts = [self.metrics.render_prometheus()]
+        for worker in self.fleet.healthy_workers():
+            try:
+                status, _, payload = self.proxy(
+                    worker, "GET", "/v1/metrics", None, CONTROL_TIMEOUT_SECONDS
+                )
+            except OSError:
+                self.fleet.note_failure(worker.worker_id)
+                continue
+            if status == 200:
+                texts.append(payload.decode("utf-8"))
+        return merge_expositions(texts)
+
+
+class RouterRequestHandler(BaseHTTPRequestHandler):
+    """Routes the public ``/v1`` API onto the worker fleet."""
+
+    server: ClusterRouter
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    # -- plumbing -------------------------------------------------------
+
+    def _send(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str = "application/json",
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self._status = status
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            if name.lower() == "content-type":
+                continue
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(
+        self, status: int, payload: Dict, headers: Optional[Dict[str, str]] = None
+    ) -> None:
+        self._send(
+            status, json.dumps(payload).encode("utf-8"), headers=headers
+        )
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length else b""
+
+    def _job_path_id(self) -> Optional[str]:
+        parts = [p for p in self.path.split("?", 1)[0].split("/") if p]
+        if len(parts) == 3 and parts[0] == "v1" and parts[1] == "jobs":
+            return parts[2]
+        return None
+
+    def _route_label(self) -> str:
+        path = self.path.split("?", 1)[0]
+        if self._job_path_id() is not None:
+            return "/v1/jobs/{id}"
+        if path in (
+            "/v1/status",
+            "/v1/metrics",
+            "/v1/query",
+            "/v1/transactions",
+            "/v1/cache/invalidate",
+        ):
+            return path
+        return "(unknown)"
+
+    def _instrumented(self, handler) -> None:
+        route = self._route_label()
+        self._status = 0
+        started = time.perf_counter()
+        try:
+            handler()
+        finally:
+            self.server.m_requests.inc(route=route, status=str(self._status))
+            self.server.m_request_seconds.observe(
+                time.perf_counter() - started, route=route
+            )
+
+    # -- verbs ----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        self._instrumented(self._handle_get)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._instrumented(self._handle_delete)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._instrumented(self._handle_post)
+
+    # -- control plane --------------------------------------------------
+
+    def _handle_get(self) -> None:
+        path = self.path.split("?", 1)[0]
+        if path == "/v1/status":
+            self._send_json(200, self.server.status_document())
+            return
+        if path == "/v1/metrics":
+            try:
+                text = self.server.merged_metrics()
+            except ValueError as error:
+                self._send_json(502, {"error": f"metrics merge failed: {error}"})
+                return
+            self._send(200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE)
+            return
+        job_id = self._job_path_id()
+        if job_id is not None:
+            self._proxy_job(job_id, "GET")
+            return
+        self._send_json(404, {"error": f"unknown path {path!r}"})
+
+    def _handle_delete(self) -> None:
+        job_id = self._job_path_id()
+        if job_id is None:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        self._proxy_job(job_id, "DELETE")
+
+    # -- data plane -----------------------------------------------------
+
+    def _handle_post(self) -> None:
+        path = self.path.split("?", 1)[0]
+        if path == "/v1/cache/invalidate":
+            self._handle_invalidate()
+            return
+        if path not in ("/v1/query", "/v1/transactions"):
+            self._send_json(404, {"error": f"unknown path {path!r}"})
+            return
+        if self.server.draining:
+            self._send_json(
+                503,
+                {"error": "cluster is draining for shutdown"},
+                headers={
+                    "Retry-After": str(
+                        max(1, int(round(self.server.drain_retry_after)))
+                    )
+                },
+            )
+            return
+        body = self._read_body()
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+            if not isinstance(payload, dict):
+                raise ValueError("request body must be a JSON object")
+        except (ValueError, UnicodeDecodeError) as error:
+            self._send_json(400, {"error": f"invalid JSON body: {error}"})
+            return
+        tenant = self.headers.get("X-Tenant")
+        decision = self.server.quotas.admit(tenant)
+        if not decision.admitted:
+            self.server.m_quota_rejected.inc(tenant=decision.tenant)
+            self._send_json(
+                429,
+                {
+                    "error": (
+                        f"tenant {decision.tenant!r} is over its quota"
+                    ),
+                    "tenant": decision.tenant,
+                },
+                headers={
+                    "Retry-After": f"{max(decision.retry_after, 0.001):.3f}"
+                },
+            )
+            return
+        if path == "/v1/query":
+            self._proxy_query(payload, body)
+        else:
+            self._proxy_append(payload, body)
+
+    def _proxy_query(self, payload: Dict, body: bytes) -> None:
+        query = payload.get("query")
+        routing_query = _canonical_query(query) if isinstance(query, str) else ""
+        key = f"{self.server.fingerprint()}\x00{routing_query}"
+        idempotent = bool(payload.get("idempotency_key"))
+        timeout = SYNC_WAIT_SECONDS
+        try:
+            timeout = float(payload.get("timeout", SYNC_WAIT_SECONDS))
+        except (TypeError, ValueError):
+            pass
+        status, headers, response = self._proxy_with_failover(
+            "POST",
+            "/v1/query",
+            body,
+            key=key,
+            idempotent=idempotent,
+            timeout=timeout + SYNC_GRACE_SECONDS,
+            route="/v1/query",
+        )
+        if status is None:
+            return
+        served_by = headers.get("X-Repro-Worker")
+        document = self._maybe_json(response)
+        if document is not None:
+            job_id = document.get("job_id")
+            if isinstance(job_id, str) and served_by:
+                self.server.record_job(job_id, served_by)
+            # A mutating statement's result carries the superseded
+            # fingerprint — fan the invalidation out to the peers.
+            result = document.get("result")
+            if isinstance(result, dict):
+                old = result.get("old_fingerprint")
+                if isinstance(old, str) and old:
+                    self.server.fan_out_invalidation(old, except_worker=served_by)
+        self._send(status, response, headers=headers)
+
+    def _proxy_append(self, payload: Dict, body: bytes) -> None:
+        # Appends route on a stable per-store key (NOT the fingerprint,
+        # which the append itself is about to change): one worker owns
+        # the hot PR 8 delta-fold chain.
+        idempotent = bool(payload.get("idempotency_key"))
+        status, headers, response = self._proxy_with_failover(
+            "POST",
+            "/v1/transactions",
+            body,
+            key="store-append",
+            idempotent=idempotent,
+            timeout=APPEND_TIMEOUT_SECONDS,
+            route="/v1/transactions",
+        )
+        if status is None:
+            return
+        document = self._maybe_json(response)
+        if document is not None and document.get("applied"):
+            served_by = headers.get("X-Repro-Worker")
+            old = document.get("old_fingerprint")
+            new = document.get("new_fingerprint")
+            self.server.note_fingerprint(new if isinstance(new, str) else None)
+            if isinstance(old, str) and old and old != new:
+                self.server.fan_out_invalidation(old, except_worker=served_by)
+        self._send(status, response, headers=headers)
+
+    def _handle_invalidate(self) -> None:
+        body = self._read_body()
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+            fingerprint = payload.get("fingerprint")
+            if not isinstance(fingerprint, str) or not fingerprint.strip():
+                raise ValueError('missing required string field "fingerprint"')
+        except (ValueError, UnicodeDecodeError) as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        reached = self.server.fan_out_invalidation(fingerprint)
+        self._send_json(
+            200, {"fingerprint": fingerprint, "workers_reached": reached}
+        )
+
+    def _proxy_job(self, job_id: str, method: str) -> None:
+        """Affinity-first job routing with ranked failover.
+
+        The owner (if healthy) is always tried first; failing that,
+        every other healthy worker in rendezvous order.  A 404 from a
+        non-owner is *not* authoritative while the owner is down — the
+        job lives in the owner's journal and will reappear when the
+        supervisor restarts it — so that case answers 503 + Retry-After
+        and lets the client's retry loop do the waiting.
+        """
+        owner_id = self.server.job_owner(job_id)
+        candidates = self.server.preference(job_id)
+        owner_down = False
+        if owner_id is not None:
+            owner = next(
+                (w for w in candidates if w.worker_id == owner_id), None
+            )
+            if owner is not None:
+                candidates = [owner] + [w for w in candidates if w is not owner]
+            else:
+                owner_down = True
+        if not candidates:
+            self._send_json(
+                503,
+                {"error": "no healthy workers"},
+                headers={"Retry-After": "1"},
+            )
+            return
+        attempted = False
+        for index, worker in enumerate(candidates):
+            if index:
+                self.server.m_failovers.inc(route="/v1/jobs/{id}")
+            try:
+                status, headers, response = self.server.proxy(
+                    worker,
+                    method,
+                    f"/v1/jobs/{job_id}",
+                    None,
+                    CONTROL_TIMEOUT_SECONDS,
+                )
+            except OSError:
+                self.server.fleet.note_failure(worker.worker_id)
+                if worker.worker_id == owner_id:
+                    # The owner died on the socket mid-loop: any 404 a
+                    # peer answers from here on is non-authoritative.
+                    owner_down = True
+                continue
+            attempted = True
+            if status == 404 and worker.worker_id != owner_id:
+                # Only the owner's 404 is authoritative — any other
+                # worker has simply never heard of the job; keep looking.
+                continue
+            self._send(status, response, headers=headers)
+            return
+        if owner_down or not attempted:
+            self._send_json(
+                503,
+                {
+                    "error": (
+                        f"job {job_id!r} is owned by a worker that is "
+                        f"restarting; retry shortly"
+                    )
+                },
+                headers={
+                    "Retry-After": str(OWNER_RESTART_RETRY_AFTER)
+                },
+            )
+            return
+        self._send_json(404, {"error": f"no such job: {job_id}"})
+
+    def _proxy_with_failover(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        key: str,
+        idempotent: bool,
+        timeout: float,
+        route: str,
+    ) -> Tuple[Optional[int], Dict[str, str], bytes]:
+        """Proxy to the rendezvous-preferred worker, failing over.
+
+        Returns ``(None, {}, b"")`` after having already sent an error
+        response (no healthy workers / non-idempotent transport death).
+        """
+        candidates = self.server.preference(key)
+        if not candidates:
+            self._send_json(
+                503,
+                {"error": "no healthy workers"},
+                headers={"Retry-After": "1"},
+            )
+            return None, {}, b""
+        for index, worker in enumerate(candidates):
+            if index:
+                self.server.m_failovers.inc(route=route)
+            try:
+                return self.server.proxy(worker, method, path, body, timeout)
+            except OSError as error:
+                self.server.fleet.note_failure(worker.worker_id)
+                logger.warning(
+                    "proxy to %s failed (%s): %s",
+                    worker.worker_id,
+                    path,
+                    error,
+                )
+                if not idempotent:
+                    self._send_json(
+                        502,
+                        {
+                            "error": (
+                                f"worker {worker.worker_id} died mid-request; "
+                                "resubmit with an idempotency_key to make "
+                                "this retry-safe"
+                            )
+                        },
+                    )
+                    return None, {}, b""
+        self._send_json(
+            503,
+            {"error": "all workers failed; fleet is restarting"},
+            headers={"Retry-After": "1"},
+        )
+        return None, {}, b""
+
+    @staticmethod
+    def _maybe_json(response: bytes) -> Optional[Dict]:
+        try:
+            document = json.loads(response.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None
+        return document if isinstance(document, dict) else None
+
+
+def start_router(
+    fleet,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quotas: Optional[TenantQuotas] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    verbose: bool = False,
+) -> Tuple[ClusterRouter, threading.Thread]:
+    """Start a router on a background thread; returns (router, thread)."""
+    router = ClusterRouter(
+        fleet,
+        host=host,
+        port=port,
+        quotas=quotas,
+        metrics=metrics,
+        verbose=verbose,
+    )
+    thread = threading.Thread(
+        target=router.serve_forever, name="repro-cluster-router", daemon=True
+    )
+    thread.start()
+    return router, thread

@@ -1,0 +1,374 @@
+"""``repro.loadgen`` — an open-loop load generator for the service tier.
+
+Scale claims must be measured, not asserted, and measured *honestly*:
+a closed-loop client (send, wait, send again) self-throttles when the
+server slows down, hiding exactly the latency it should expose
+(coordinated omission).  This generator is **open-loop**: every request
+has a scheduled arrival time fixed in advance from the target rate, the
+dispatcher fires each one at its appointed instant regardless of how
+previous requests are faring, and a request's reported latency is
+measured from its *scheduled arrival* — queueing delay caused by a
+saturated server counts against the server, as it does for real users.
+
+The workload is a query/append mix: queries cycle through a pool of TML
+statements (the interactive IQMI shape — repeated near-identical
+mining), appends stream small transaction batches through
+``POST /v1/transactions`` (the PR 8 streaming-ingestion shape, which
+also exercises fingerprint invalidation fanout when pointed at a
+cluster router).  Every response is attributed to the worker process
+that served it via the ``X-Repro-Worker`` header, so a cluster run
+shows the routing spread, and latencies ride on a
+:mod:`repro.obs` histogram (``repro_loadgen_latency_seconds``) next to
+exact percentiles computed from the raw samples.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import re
+import threading
+import time
+import urllib.error
+import urllib.request
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry, default_registry
+
+__all__ = ["LoadSpec", "LoadReport", "RequestOutcome", "run_load", "percentile"]
+
+#: Default query pool: distinct support thresholds so a cache-busting
+#: run is available without composing TML by hand.
+DEFAULT_QUERIES = tuple(
+    "MINE PERIODS FROM transactions AT GRANULARITY month "
+    f"WITH SUPPORT >= {0.2 + i * 0.01:.2f}, CONFIDENCE >= 0.6;"
+    for i in range(8)
+)
+
+#: Items appended transactions draw from.
+APPEND_ITEMS = ("bread", "milk", "coffee", "tea", "jam", "butter")
+
+
+@dataclass
+class LoadSpec:
+    """One load run: rate, duration, mix.
+
+    Args:
+        rate: target arrivals per second (open loop).
+        duration_seconds: length of the arrival schedule.
+        queries: TML statement pool, cycled per query request.
+        append_fraction: fraction of arrivals that are transaction
+            appends instead of queries (0.0 disables appends).
+        append_batch: transactions per append request.
+        unique_queries: make every query textually distinct (appends a
+            tightening ``HAVING COVERAGE`` no-op variant via a support
+            epsilon) so no request hits the result cache — the
+            cache-busting mode benches use to measure *mining*
+            throughput rather than cache throughput.
+        tenant: value for the ``X-Tenant`` header (quota attribution).
+        poisson: exponential inter-arrivals (seeded) instead of a fixed
+            spacing — a more realistic arrival process.
+        timeout: per-request socket timeout, seconds.
+        max_inflight: sender-pool size; the schedule never waits for a
+            free sender (open loop), but past this many in-flight
+            requests new arrivals queue in-process and their queueing
+            time still counts in reported latency.
+        seed: RNG seed for the Poisson schedule, query order jitter and
+            append contents.
+    """
+
+    rate: float = 10.0
+    duration_seconds: float = 5.0
+    queries: Sequence[str] = DEFAULT_QUERIES
+    append_fraction: float = 0.0
+    append_batch: int = 16
+    unique_queries: bool = False
+    tenant: Optional[str] = None
+    poisson: bool = False
+    timeout: float = 120.0
+    max_inflight: int = 64
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be > 0, got {self.rate}")
+        if self.duration_seconds <= 0:
+            raise ValueError(
+                f"duration_seconds must be > 0, got {self.duration_seconds}"
+            )
+        if not 0.0 <= self.append_fraction <= 1.0:
+            raise ValueError(
+                f"append_fraction must be in [0, 1], got {self.append_fraction}"
+            )
+        if self.append_fraction < 1.0 and not self.queries:
+            raise ValueError("queries must be non-empty")
+
+    def arrivals(self) -> List[float]:
+        """Scheduled arrival offsets (seconds from start), fixed up front."""
+        offsets: List[float] = []
+        if self.poisson:
+            rng = random.Random(self.seed)
+            t = rng.expovariate(self.rate)
+            while t < self.duration_seconds:
+                offsets.append(t)
+                t += rng.expovariate(self.rate)
+        else:
+            n = int(self.rate * self.duration_seconds)
+            offsets = [index / self.rate for index in range(n)]
+        return offsets
+
+
+@dataclass
+class RequestOutcome:
+    """One request's fate."""
+
+    kind: str  # "query" | "append"
+    ok: bool
+    status: int
+    #: Seconds from *scheduled arrival* to response (open-loop latency).
+    latency: float
+    #: Seconds from the actual send to the response.
+    service_latency: float
+    worker: Optional[str] = None
+    error: Optional[str] = None
+
+
+@dataclass
+class LoadReport:
+    """The measured result of one load run."""
+
+    offered: int
+    completed: int
+    failed: int
+    duration_seconds: float
+    target_rate: float
+    achieved_rate: float
+    throughput: float
+    latency: Dict[str, float]
+    service_latency: Dict[str, float]
+    by_worker: Dict[str, int] = field(default_factory=dict)
+    by_status: Dict[str, int] = field(default_factory=dict)
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    errors: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "offered": self.offered,
+            "completed": self.completed,
+            "failed": self.failed,
+            "duration_seconds": self.duration_seconds,
+            "target_rate": self.target_rate,
+            "achieved_rate": self.achieved_rate,
+            "throughput": self.throughput,
+            "latency": dict(self.latency),
+            "service_latency": dict(self.service_latency),
+            "by_worker": dict(self.by_worker),
+            "by_status": dict(self.by_status),
+            "by_kind": dict(self.by_kind),
+            "errors": list(self.errors[:10]),
+        }
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0 < q <= 1) of ``samples`` (nearest-rank)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, min(len(ordered), math.ceil(q * len(ordered))))
+    return ordered[rank - 1]
+
+
+def _uniquify(query: str, index: int) -> str:
+    """Nudge the support threshold by a per-request epsilon.
+
+    Keeps every statement canonically distinct so nothing hits the
+    result cache — the cache-busting mode that turns a load run into a
+    measurement of *mining* throughput.  The nudge is far below any
+    support granularity a dataset of realistic size can resolve.
+    """
+
+    def bump(match: "re.Match[str]") -> str:
+        return f"SUPPORT >= {float(match.group(1)) + (index + 1) * 1e-6:.6f}"
+
+    return re.sub(r"SUPPORT\s*>=\s*([0-9.]+)", bump, query, count=1)
+
+
+def _summary(samples: Sequence[float]) -> Dict[str, float]:
+    if not samples:
+        return {"p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0, "mean": 0.0}
+    return {
+        "p50": percentile(samples, 0.50),
+        "p90": percentile(samples, 0.90),
+        "p99": percentile(samples, 0.99),
+        "max": max(samples),
+        "mean": sum(samples) / len(samples),
+    }
+
+
+class _Sender:
+    """The shared state one load run's sender threads append into."""
+
+    def __init__(self, base_url: str, spec: LoadSpec, registry: MetricsRegistry):
+        self.base_url = base_url.rstrip("/")
+        self.spec = spec
+        self.outcomes: List[RequestOutcome] = []
+        self._lock = threading.Lock()
+        self._m_latency = registry.histogram(
+            "repro_loadgen_latency_seconds",
+            "Open-loop request latency measured from scheduled arrival.",
+            labelnames=("kind",),
+        )
+        self._m_requests = registry.counter(
+            "repro_loadgen_requests_total",
+            "Load-generator requests, by kind and outcome.",
+            labelnames=("kind", "outcome"),
+        )
+
+    def fire(self, path: str, payload: Dict, kind: str, scheduled_at: float) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        if self.spec.tenant:
+            headers["X-Tenant"] = self.spec.tenant
+        request = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers, method="POST"
+        )
+        sent_at = time.perf_counter()
+        status, worker, error = 0, None, None
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.spec.timeout
+            ) as response:
+                response.read()
+                status = response.status
+                worker = response.headers.get("X-Repro-Worker")
+        except urllib.error.HTTPError as http_error:
+            status = http_error.code
+            worker = http_error.headers.get("X-Repro-Worker")
+            error = f"HTTP {http_error.code}"
+            http_error.read()
+        except OSError as os_error:
+            error = str(os_error) or type(os_error).__name__
+        finished = time.perf_counter()
+        ok = error is None and 200 <= status < 300
+        outcome = RequestOutcome(
+            kind=kind,
+            ok=ok,
+            status=status,
+            latency=finished - scheduled_at,
+            service_latency=finished - sent_at,
+            worker=worker,
+            error=error,
+        )
+        self._m_latency.observe(outcome.latency, kind=kind)
+        self._m_requests.inc(kind=kind, outcome="ok" if ok else "error")
+        with self._lock:
+            self.outcomes.append(outcome)
+
+
+def run_load(
+    base_url: str,
+    spec: LoadSpec,
+    metrics: Optional[MetricsRegistry] = None,
+) -> LoadReport:
+    """Run one open-loop load schedule against ``base_url``.
+
+    Blocks until every request of the schedule has completed (or
+    failed); returns the measured :class:`LoadReport`.
+    """
+    registry = metrics if metrics is not None else default_registry()
+    sender = _Sender(base_url, spec, registry)
+    rng = random.Random(spec.seed)
+    arrivals = spec.arrivals()
+    # Appends use a timestamp cursor far past any existing data so the
+    # batches are in-order (the PR 8 tail fast path) and deterministic.
+    append_cursor = datetime(2031, 1, 1)
+    append_tick = 0
+
+    requests: List[Dict] = []
+    for index, offset in enumerate(arrivals):
+        is_append = (
+            spec.append_fraction > 0.0 and rng.random() < spec.append_fraction
+        )
+        if is_append:
+            batch = []
+            for _ in range(spec.append_batch):
+                append_tick += 1
+                stamp = append_cursor + timedelta(minutes=append_tick)
+                items = rng.sample(APPEND_ITEMS, k=rng.randint(1, 3))
+                batch.append({"ts": stamp.isoformat(), "items": items})
+            requests.append(
+                {
+                    "offset": offset,
+                    "kind": "append",
+                    "path": "/v1/transactions",
+                    "payload": {
+                        "transactions": batch,
+                        "idempotency_key": uuid.uuid4().hex,
+                    },
+                }
+            )
+            continue
+        query = spec.queries[index % len(spec.queries)]
+        if spec.unique_queries:
+            query = _uniquify(query, index)
+        requests.append(
+            {
+                "offset": offset,
+                "kind": "query",
+                "path": "/v1/query",
+                "payload": {
+                    "query": query,
+                    "idempotency_key": uuid.uuid4().hex,
+                },
+            }
+        )
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=spec.max_inflight) as pool:
+        for entry in requests:
+            # Open loop: sleep until the scheduled arrival, then hand
+            # off — never wait for earlier requests to finish.
+            delay = start + entry["offset"] - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            pool.submit(
+                sender.fire,
+                entry["path"],
+                entry["payload"],
+                entry["kind"],
+                start + entry["offset"],
+            )
+    duration = time.perf_counter() - start
+
+    outcomes = sender.outcomes
+    completed = [o for o in outcomes if o.ok]
+    failed = [o for o in outcomes if not o.ok]
+    by_worker: Dict[str, int] = {}
+    by_status: Dict[str, int] = {}
+    by_kind: Dict[str, int] = {}
+    for outcome in outcomes:
+        if outcome.worker:
+            by_worker[outcome.worker] = by_worker.get(outcome.worker, 0) + 1
+        key = str(outcome.status) if outcome.status else "transport-error"
+        by_status[key] = by_status.get(key, 0) + 1
+        by_kind[outcome.kind] = by_kind.get(outcome.kind, 0) + 1
+    return LoadReport(
+        offered=len(requests),
+        completed=len(completed),
+        failed=len(failed),
+        duration_seconds=duration,
+        target_rate=spec.rate,
+        achieved_rate=len(requests) / duration if duration > 0 else 0.0,
+        throughput=len(completed) / duration if duration > 0 else 0.0,
+        latency=_summary([o.latency for o in completed]),
+        service_latency=_summary([o.service_latency for o in completed]),
+        by_worker=dict(sorted(by_worker.items())),
+        by_status=dict(sorted(by_status.items())),
+        by_kind=dict(sorted(by_kind.items())),
+        errors=[o.error for o in failed if o.error][:25],
+    )

@@ -29,6 +29,7 @@ import argparse
 import signal
 import sys
 import threading
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.db.sqlite_store import SqliteStore
@@ -44,7 +45,36 @@ def build_parser() -> argparse.ArgumentParser:
         description="Serve TML mining queries over HTTP (IQMS as a service).",
     )
     parser.add_argument("--host", default="127.0.0.1", help="bind address")
-    parser.add_argument("--port", type=int, default=8765, help="bind port (0 = ephemeral)")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="bind port (0 = ephemeral; the resolved port is printed and "
+        "written to --port-file)",
+    )
+    parser.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help="write the resolved bind port to this file once listening "
+        "(how a cluster supervisor discovers an ephemeral port)",
+    )
+    parser.add_argument(
+        "--worker-id",
+        default=None,
+        metavar="ID",
+        help="stable identity of this process in a cluster fleet "
+        "(surfaces in /v1/status and the X-Repro-Worker header)",
+    )
+    parser.add_argument(
+        "--cluster",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve through a fingerprint-routed router in front of N "
+        "worker processes instead of a single process "
+        "(delegates to python -m repro.cluster; requires a file-backed --db)",
+    )
     parser.add_argument(
         "--db", default=":memory:", help="SQLite store path (default: in-memory)"
     )
@@ -145,6 +175,26 @@ def _durable_path(
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.cluster is not None:
+        # ``repro-serve --cluster N`` is sugar for the scale-out entry
+        # point: a router supervising N of these processes.
+        from repro.cluster.__main__ import main as cluster_main
+
+        cluster_argv = [
+            "--db", args.db,
+            "--host", args.host,
+            "--port", str(args.port),
+            "--workers", str(args.cluster),
+            "--threads-per-worker", str(args.workers),
+            "--engine", args.engine,
+            "--drain-deadline", str(args.drain_deadline),
+            "--log-level", args.log_level,
+        ]
+        if args.demo:
+            cluster_argv.append("--demo")
+        if args.verbose:
+            cluster_argv.append("--verbose")
+        return cluster_main(cluster_argv)
     configure_logging(args.log_level)
     default_budget = (
         RunBudget(max_seconds=args.budget_time) if args.budget_time else None
@@ -164,6 +214,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.disk_cache, args.no_disk_cache, args.db, ".cache"
         ),
         drain_deadline_seconds=args.drain_deadline,
+        worker_id=args.worker_id,
     )
     # The store is prepared *before* the service exists: journal
     # recovery starts workers immediately, and a recovered job must
@@ -186,6 +237,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         service, host=args.host, port=args.port, verbose=args.verbose
     )
     print(f"repro mining service listening on {server.url}", file=sys.stderr)
+    if args.port_file:
+        # Written atomically (tmp + rename): a supervisor polling the
+        # path must never read a half-written port.
+        port_file = Path(args.port_file)
+        tmp = port_file.with_name(port_file.name + ".tmp")
+        tmp.write_text(f"{server.server_address[1]}\n")
+        tmp.replace(port_file)
     print("endpoints: POST /v1/query  GET /v1/jobs/{id}  "
           "DELETE /v1/jobs/{id}  GET /v1/status  GET /v1/metrics",
           file=sys.stderr)

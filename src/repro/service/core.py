@@ -31,7 +31,10 @@ Execution semantics:
 
 from __future__ import annotations
 
+import functools
 import json
+import os
+import subprocess
 import threading
 import time
 import uuid
@@ -92,6 +95,29 @@ SESSION_ONLY_STATEMENTS = (
     SetWorkersStatement,
 )
 
+@functools.lru_cache(maxsize=1)
+def _git_sha() -> str:
+    """The short git SHA of the serving code (``"unknown"`` off-checkout).
+
+    Part of the worker identity block in ``GET /v1/status``: a cluster
+    router's health checks — and the load-generator report — attribute
+    latency to a specific worker *build*, so a mid-rollout fleet mixing
+    two revisions is visible instead of a mystery.
+    """
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        sha = ""
+    return sha or "unknown"
+
+
 #: How many append fingerprint transitions the in-memory delta chain
 #: retains.  A worker whose last-seen fingerprint fell off the chain
 #: simply falls back to a full dataset reload — correctness never
@@ -132,6 +158,10 @@ class ServiceConfig:
         incremental: incremental-maintenance mode for every worker
             environment (``"off"``/``"on"``/``"auto"``); ``None`` defers
             to the ``REPRO_INCREMENTAL`` environment variable.
+        worker_id: stable identity of this process in a cluster fleet
+            (e.g. ``"w0"``); surfaces in ``GET /v1/status`` and the
+            ``X-Repro-Worker`` response header.  ``None`` (standalone)
+            falls back to ``pid:<os pid>``.
     """
 
     workers: int = 2
@@ -151,6 +181,7 @@ class ServiceConfig:
     drain_deadline_seconds: float = 10.0
     recovery_max_attempts: int = 3
     incremental: Optional[str] = None
+    worker_id: Optional[str] = None
 
 
 class MiningService:
@@ -220,6 +251,9 @@ class MiningService:
             labelnames=("outcome",),
         )
         self.started_at = time.time()
+        # Set by the HTTP server once its socket is bound (port 0 binds
+        # ephemerally); None when the service runs without an API.
+        self.advertised_port: Optional[int] = None
         # old fingerprint -> (new fingerprint, applied batch): the delta
         # chain worker environments walk instead of reloading wholesale.
         self._append_log: "OrderedDict[str, Tuple[str, List[Tuple]]]" = OrderedDict()
@@ -327,6 +361,8 @@ class MiningService:
                 "appended": 0,
                 "tids": [],
                 "delta_refreshed": 0,
+                "old_fingerprint": old_fingerprint,
+                "new_fingerprint": old_fingerprint,
             }
         new_fingerprint = self.store.fingerprint()
         refreshed = self.cache.note_append(old_fingerprint, new_fingerprint)
@@ -348,11 +384,18 @@ class MiningService:
                     sort_keys=True,
                 ),
             )
+        # The fingerprints ride on the outcome so a cluster router can
+        # fan exact invalidation of the superseded content out to the
+        # rest of the fleet (each peer's *memory* cache tier still holds
+        # entries keyed under the old fingerprint — never served, since
+        # keys embed the fingerprint, but dead weight until evicted).
         return {
             "applied": True,
             "appended": outcome.count,
             "tids": list(outcome.tids),
             "delta_refreshed": refreshed,
+            "old_fingerprint": old_fingerprint,
+            "new_fingerprint": new_fingerprint,
         }
 
     def _record_append(
@@ -522,10 +565,34 @@ class MiningService:
     def cancel(self, job_id: str) -> Job:
         return self.scheduler.cancel(job_id)
 
+    @property
+    def worker_label(self) -> str:
+        """The short identity stamped on responses (``X-Repro-Worker``)."""
+        if self.config.worker_id is not None:
+            return self.config.worker_id
+        return f"pid:{os.getpid()}"
+
+    def identity(self) -> Dict[str, object]:
+        """Who is serving: the ``worker`` block of ``GET /v1/status``.
+
+        A cluster router's health checks key on this, and the load-gen
+        report uses it to attribute latency to a specific process.
+        """
+        return {
+            "id": self.worker_label,
+            "pid": os.getpid(),
+            "port": self.advertised_port,
+            "git_sha": _git_sha(),
+            "started_at": datetime.fromtimestamp(self.started_at)
+            .astimezone()
+            .isoformat(),
+        }
+
     def status(self) -> Dict:
         """The ``GET /v1/status`` document."""
         return {
             "service": "repro-iqms",
+            "worker": self.identity(),
             "uptime_seconds": time.time() - self.started_at,
             "scheduler": self.scheduler.stats(),
             "journal": (
@@ -539,6 +606,9 @@ class MiningService:
             "store": {
                 "path": self.store.path,
                 "transactions": self.store.count_transactions(),
+                # The router's rendezvous routing keys on this, and a
+                # fleet whose workers disagree on it is mid-append.
+                "fingerprint": self.store.fingerprint(),
             },
             "config": {
                 "workers": self.config.workers,
@@ -665,6 +735,10 @@ class MiningService:
         result, plan = self._run_statement(statement, token, budget, trace=trace)
         if mutating:
             result["invalidated_entries"] = self._note_mutation(old_fingerprint)
+            # Mutating results are never cached, so the fingerprint can
+            # travel on them; the cluster router uses it to fan exact
+            # invalidation out to the other workers' memory tiers.
+            result["old_fingerprint"] = old_fingerprint
         return result, False, plan
 
     def _execute_cacheable(
@@ -788,6 +862,19 @@ class MiningService:
         if old_fingerprint is None:
             return 0
         return self.cache.invalidate_fingerprint(old_fingerprint)
+
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        """Drop one store fingerprint's cache entries (both tiers).
+
+        The ``POST /v1/cache/invalidate`` surface: when a peer worker
+        mutates the shared store, the cluster router fans the superseded
+        fingerprint out here so this process's memory tier drops its
+        stale (never-servable, key-mismatched) entries immediately
+        instead of bleeding them out through LRU.  Idempotent — the
+        shared disk tier was already purged by the mutating worker, so
+        the second pass there removes nothing.
+        """
+        return self.cache.invalidate_fingerprint(fingerprint)
 
     def _settings(self, budget: Optional[RunBudget]) -> Dict[str, object]:
         """The result-relevant settings mixed into every cache key."""

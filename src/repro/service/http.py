@@ -34,9 +34,16 @@ Endpoints (all JSON):
     token so it stops at the next pass boundary and keeps its sound
     partial result on the record.
 
+``POST /v1/cache/invalidate``
+    Body ``{"fingerprint": str}``.  Drops this process's cache entries
+    recorded under one store fingerprint — the invalidation-fanout
+    surface a cluster router calls on every peer after a mutation or
+    append lands on one worker.
+
 ``GET /v1/status``
     Queue depth, worker config, cache counters, metrics snapshot,
-    store summary.
+    store summary, and the worker identity block (id, pid, port,
+    git SHA, started-at) that cluster health checks key on.
 
 ``GET /v1/metrics``
     The service's metrics registry in Prometheus text exposition
@@ -127,6 +134,10 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        # Every response names the process that served it, so a cluster
+        # router (and the load-gen report behind it) can attribute
+        # latency to a specific worker without re-parsing bodies.
+        self.send_header("X-Repro-Worker", self.server.service.worker_label)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -163,7 +174,13 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0]
         if self._job_path_id() is not None:
             return "/v1/jobs/{id}"
-        if path in ("/v1/status", "/v1/metrics", "/v1/query", "/v1/transactions"):
+        if path in (
+            "/v1/status",
+            "/v1/metrics",
+            "/v1/query",
+            "/v1/transactions",
+            "/v1/cache/invalidate",
+        ):
             return path
         return "(unknown)"
 
@@ -234,6 +251,9 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0]
         if path == "/v1/transactions":
             self._handle_append()
+            return
+        if path == "/v1/cache/invalidate":
+            self._handle_invalidate()
             return
         if path != "/v1/query":
             self._send_json(404, {"error": f"unknown path {path!r}"})
@@ -326,6 +346,28 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
             return
         self._send_json(200, outcome)
 
+    def _handle_invalidate(self) -> None:
+        """``POST /v1/cache/invalidate`` — drop one fingerprint's entries.
+
+        The cluster fanout surface: a peer worker mutated the shared
+        store, and the router tells this process to retire its memory
+        tier's entries for the superseded fingerprint.
+        """
+        try:
+            payload = self._read_json()
+            fingerprint = payload.get("fingerprint")
+            if not isinstance(fingerprint, str) or not fingerprint.strip():
+                raise ValueError('missing required string field "fingerprint"')
+        except (ValueError, TypeError) as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        try:
+            removed = self.server.service.invalidate_fingerprint(fingerprint)
+        except ReproError as error:
+            self._send_json(500, {"error": str(error)})
+            return
+        self._send_json(200, {"invalidated": removed, "fingerprint": fingerprint})
+
 
 class MiningHTTPServer(ThreadingHTTPServer):
     """A threading HTTP server bound to one :class:`MiningService`.
@@ -365,6 +407,9 @@ class MiningHTTPServer(ThreadingHTTPServer):
             labelnames=("route",),
         )
         super().__init__((host, port), MiningRequestHandler)
+        # ``port=0`` resolves only at bind time; advertise the real one
+        # so ``/v1/status`` identity (and cluster port files) are honest.
+        service.advertised_port = int(self.server_address[1])
 
     @property
     def url(self) -> str:

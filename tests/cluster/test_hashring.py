@@ -1,0 +1,79 @@
+"""Rendezvous-hashing unit suite: the routing properties the router
+
+leans on — determinism across processes, minimal disruption when the
+healthy set changes, and uniform spread — are asserted directly here so
+router-level failures can never be a placement-primitive bug in
+disguise.
+"""
+
+from collections import Counter
+
+from repro.cluster.hashring import pick_worker, rank_workers, rendezvous_score
+
+WORKERS = ["w0", "w1", "w2", "w3"]
+
+
+def test_scores_are_deterministic_and_distinct():
+    assert rendezvous_score("key", "w0") == rendezvous_score("key", "w0")
+    # Distinct pairs virtually never collide (64-bit scores).
+    scores = {rendezvous_score("key", worker) for worker in WORKERS}
+    assert len(scores) == len(WORKERS)
+
+
+def test_pick_matches_rank_head():
+    for key in ("a", "b", "fingerprint\x00MINE ...;", "job-123"):
+        assert pick_worker(key, WORKERS) == rank_workers(key, WORKERS)[0]
+
+
+def test_rank_is_a_permutation():
+    ranked = rank_workers("some-key", WORKERS)
+    assert sorted(ranked) == sorted(WORKERS)
+
+
+def test_empty_fleet():
+    assert pick_worker("key", []) is None
+    assert rank_workers("key", []) == []
+
+
+def test_duplicate_ids_collapse():
+    assert rank_workers("key", ["w0", "w0", "w1"]) == rank_workers(
+        "key", ["w0", "w1"]
+    )
+
+
+def test_minimal_disruption_on_worker_loss():
+    """Removing one worker only moves the keys that worker owned."""
+    keys = [f"key-{index}" for index in range(400)]
+    before = {key: pick_worker(key, WORKERS) for key in keys}
+    survivors = [worker for worker in WORKERS if worker != "w2"]
+    for key in keys:
+        after = pick_worker(key, survivors)
+        if before[key] != "w2":
+            assert after == before[key], "a surviving owner's keys must not move"
+        else:
+            assert after in survivors
+
+
+def test_failover_order_is_rank_order():
+    """The second-ranked worker is exactly where an owner's keys land."""
+    keys = [f"key-{index}" for index in range(200)]
+    for key in keys:
+        ranked = rank_workers(key, WORKERS)
+        survivors = [worker for worker in WORKERS if worker != ranked[0]]
+        assert pick_worker(key, survivors) == ranked[1]
+
+
+def test_spread_is_roughly_uniform():
+    counts = Counter(
+        pick_worker(f"key-{index}", WORKERS) for index in range(4000)
+    )
+    assert set(counts) == set(WORKERS)
+    for worker in WORKERS:
+        # 1000 expected per worker; 3-sigma ~ 3% of 4000.
+        assert 800 <= counts[worker] <= 1200, counts
+
+
+def test_insensitive_to_listing_order():
+    assert rank_workers("key", WORKERS) == rank_workers(
+        "key", list(reversed(WORKERS))
+    )

@@ -1,0 +1,133 @@
+"""Load-generator unit + integration suite.
+
+The schedule math, uniquifier and percentile helper are pure and tested
+directly; one integration test drives a real in-process worker to check
+the end-to-end report (worker attribution, latency summaries, mixed
+query/append traffic)."""
+
+import pytest
+
+from repro.loadgen import (
+    DEFAULT_QUERIES,
+    LoadSpec,
+    _uniquify,
+    percentile,
+    run_load,
+)
+from repro.obs.metrics import MetricsRegistry, parse_prometheus_text
+from repro.tml.canonical import canonicalize
+
+from .conftest import InProcWorker
+
+
+class TestSchedule:
+    def test_fixed_spacing_arrivals(self):
+        spec = LoadSpec(rate=10.0, duration_seconds=2.0)
+        arrivals = spec.arrivals()
+        assert len(arrivals) == 20
+        assert arrivals[0] == 0.0
+        gaps = {
+            round(b - a, 9) for a, b in zip(arrivals, arrivals[1:])
+        }
+        assert gaps == {0.1}
+
+    def test_poisson_arrivals_are_seeded_and_bounded(self):
+        spec = LoadSpec(rate=50.0, duration_seconds=2.0, poisson=True)
+        arrivals = spec.arrivals()
+        assert arrivals == spec.arrivals(), "same seed, same schedule"
+        assert all(0 < t < 2.0 for t in arrivals)
+        # Law of large numbers: ~100 expected, very loose bounds.
+        assert 50 < len(arrivals) < 180
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            LoadSpec(rate=0.0)
+        with pytest.raises(ValueError):
+            LoadSpec(duration_seconds=0.0)
+        with pytest.raises(ValueError):
+            LoadSpec(append_fraction=1.5)
+        with pytest.raises(ValueError):
+            LoadSpec(queries=())
+
+
+class TestUniquify:
+    def test_uniquified_queries_are_canonically_distinct(self):
+        base = DEFAULT_QUERIES[0]
+        variants = {
+            canonicalize(_uniquify(base, index)) for index in range(50)
+        }
+        assert len(variants) == 50
+        assert canonicalize(base) not in variants
+
+    def test_uniquify_preserves_validity_and_rough_threshold(self):
+        bumped = _uniquify(
+            "MINE PERIODS FROM t AT GRANULARITY month "
+            "WITH SUPPORT >= 0.25, CONFIDENCE >= 0.6;",
+            3,
+        )
+        assert "SUPPORT >= 0.250004" in bumped
+
+    def test_query_without_support_is_unchanged(self):
+        assert _uniquify("SHOW SUMMARY;", 5) == "SHOW SUMMARY;"
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        samples = list(range(1, 101))  # 1..100
+        assert percentile(samples, 0.50) == 50
+        assert percentile(samples, 0.99) == 99
+        assert percentile(samples, 1.0) == 100
+
+    def test_small_and_empty(self):
+        assert percentile([], 0.99) == 0.0
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([7.0], 0.99) == 7.0
+
+
+class TestEndToEnd:
+    def test_report_against_real_worker(self, cluster_db, tmp_path):
+        worker = InProcWorker("w0", cluster_db, threads=2)
+        try:
+            spec = LoadSpec(
+                rate=20.0,
+                duration_seconds=1.0,
+                queries=("SELECT COUNT(*) AS n FROM transactions;",),
+                append_fraction=0.25,
+                append_batch=4,
+                timeout=60.0,
+                seed=11,
+            )
+            registry = MetricsRegistry()
+            report = run_load(worker.base_url, spec, metrics=registry)
+            assert report.offered == 20
+            assert report.completed == 20 and report.failed == 0
+            assert report.by_worker == {"w0": 20}
+            assert set(report.by_kind) == {"query", "append"}
+            assert report.by_status == {"200": 20}
+            assert report.latency["p99"] >= report.latency["p50"] > 0
+            assert (
+                report.latency["p50"] >= report.service_latency["p50"]
+            ), "open-loop latency includes scheduling delay"
+            document = report.to_dict()
+            assert document["offered"] == 20
+            assert document["errors"] == []
+            # The obs histogram saw every request.
+            samples = parse_prometheus_text(registry.render_prometheus())
+            total = sum(
+                value
+                for name, series in samples.items()
+                if name == "repro_loadgen_requests_total"
+                for value in series.values()
+            )
+            assert total == 20.0
+        finally:
+            worker.close()
+
+    def test_failures_are_reported_not_raised(self):
+        # Nothing listens on this port: every request is a transport error.
+        spec = LoadSpec(rate=10.0, duration_seconds=0.5, timeout=2.0)
+        report = run_load("http://127.0.0.1:9", spec)
+        assert report.offered == 5
+        assert report.completed == 0 and report.failed == 5
+        assert report.by_status == {"transport-error": 5}
+        assert report.errors

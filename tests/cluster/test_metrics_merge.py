@@ -1,0 +1,112 @@
+"""Fleet metrics aggregation: merged expositions must be exactly the
+pointwise sum of the per-worker ones, and must stay parseable by the
+same strict parser the workers' endpoints are held to."""
+
+import pytest
+
+from repro.cluster.metrics import merge_expositions
+from repro.obs.metrics import MetricsRegistry, parse_prometheus_text
+
+
+def _registry_with_counts(requests: int, latencies) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    counter = registry.counter(
+        "repro_http_requests_total", "requests", ["route"]
+    )
+    for _ in range(requests):
+        counter.inc(route="query")
+    histogram = registry.histogram(
+        "repro_http_request_seconds",
+        "latency",
+        buckets=[0.1, 1.0, 10.0],
+    )
+    for latency in latencies:
+        histogram.observe(latency)
+    registry.gauge("repro_service_queue_depth", "depth").set(requests)
+    return registry
+
+
+def test_counters_sum_pointwise():
+    a = _registry_with_counts(3, [0.05]).render_prometheus()
+    b = _registry_with_counts(4, [5.0]).render_prometheus()
+    merged = parse_prometheus_text(merge_expositions([a, b]))
+    assert merged["repro_http_requests_total"]['{route="query"}'] == 7.0
+
+
+def test_gauges_sum_pointwise():
+    a = _registry_with_counts(2, []).render_prometheus()
+    b = _registry_with_counts(5, []).render_prometheus()
+    merged = parse_prometheus_text(merge_expositions([a, b]))
+    assert merged["repro_service_queue_depth"][""] == 7.0
+
+
+def test_histograms_stay_internally_consistent():
+    a = _registry_with_counts(0, [0.05, 0.5]).render_prometheus()
+    b = _registry_with_counts(0, [0.5, 5.0, 20.0]).render_prometheus()
+    merged = parse_prometheus_text(merge_expositions([a, b]))
+    buckets = merged["repro_http_request_seconds_bucket"]
+    count = merged["repro_http_request_seconds_count"][""]
+    total = merged["repro_http_request_seconds_sum"][""]
+    assert count == 5.0
+    assert total == pytest.approx(0.05 + 0.5 + 0.5 + 5.0 + 20.0)
+    # +Inf bucket equals _count, and buckets are monotone cumulative.
+    inf_key = [key for key in buckets if "+Inf" in key][0]
+    assert buckets[inf_key] == count
+    ordered = [
+        buckets[key]
+        for key in sorted(
+            buckets, key=lambda k: float("inf") if "+Inf" in k else float(
+                k.split('le="')[1].split('"')[0]
+            )
+        )
+    ]
+    assert ordered == sorted(ordered)
+
+
+def test_help_and_type_headers_survive():
+    text = merge_expositions(
+        [_registry_with_counts(1, [0.2]).render_prometheus()]
+    )
+    assert "# HELP repro_http_requests_total" in text
+    assert "# TYPE repro_http_requests_total counter" in text
+    assert "# TYPE repro_http_request_seconds histogram" in text
+
+
+def test_disjoint_metrics_union():
+    registry = MetricsRegistry()
+    registry.counter("only_here_total", "x").inc()
+    merged = parse_prometheus_text(
+        merge_expositions(
+            [
+                registry.render_prometheus(),
+                _registry_with_counts(2, []).render_prometheus(),
+            ]
+        )
+    )
+    assert merged["only_here_total"][""] == 1.0
+    assert merged["repro_http_requests_total"]['{route="query"}'] == 2.0
+
+
+def test_merge_is_idempotent_for_single_input():
+    text = _registry_with_counts(3, [0.1, 2.0]).render_prometheus()
+    assert parse_prometheus_text(merge_expositions([text])) == (
+        parse_prometheus_text(text)
+    )
+
+
+def test_merged_document_is_reparseable_and_remergeable():
+    a = _registry_with_counts(1, [0.2]).render_prometheus()
+    b = _registry_with_counts(2, [3.0]).render_prometheus()
+    once = merge_expositions([a, b])
+    twice = merge_expositions([once])
+    assert parse_prometheus_text(once) == parse_prometheus_text(twice)
+
+
+def test_malformed_exposition_raises():
+    good = _registry_with_counts(1, []).render_prometheus()
+    with pytest.raises(ValueError):
+        merge_expositions([good, "this is { not metrics\n"])
+
+
+def test_empty_input():
+    assert parse_prometheus_text(merge_expositions([])) == {}

@@ -1,0 +1,160 @@
+"""Per-tenant quota unit suite (deterministic via an injectable clock)."""
+
+import threading
+
+import pytest
+
+from repro.cluster.quota import DEFAULT_TENANT, TenantQuotas, TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# TokenBucket
+# ----------------------------------------------------------------------
+
+
+def test_bucket_burst_then_rejects():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+    assert all(bucket.try_take()[0] for _ in range(3))
+    taken, retry_after, remaining = bucket.try_take()
+    assert not taken
+    assert retry_after == pytest.approx(1.0)
+    assert remaining == pytest.approx(0.0)
+
+
+def test_bucket_refills_continuously():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+    for _ in range(2):
+        assert bucket.try_take()[0]
+    assert not bucket.try_take()[0]
+    clock.advance(0.5)  # 1 token back at 2/s
+    assert bucket.try_take()[0]
+    assert not bucket.try_take()[0]
+
+
+def test_bucket_never_exceeds_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10.0, burst=4.0, clock=clock)
+    clock.advance(100.0)
+    assert bucket.available() == pytest.approx(4.0)
+
+
+def test_bucket_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0.0, burst=1.0)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=1.0, burst=0.5)
+
+
+def test_retry_after_is_honest():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=4.0, burst=1.0, clock=clock)
+    assert bucket.try_take()[0]
+    _, retry_after, _ = bucket.try_take()
+    clock.advance(retry_after)
+    assert bucket.try_take()[0], "waiting exactly Retry-After must succeed"
+
+
+# ----------------------------------------------------------------------
+# TenantQuotas
+# ----------------------------------------------------------------------
+
+
+def test_disabled_quotas_admit_everything():
+    quotas = TenantQuotas()  # rate=None
+    assert not quotas.enabled
+    for _ in range(1000):
+        assert quotas.admit("anyone").admitted
+    assert quotas.stats() == {"enabled": False}
+
+
+def test_default_tenant_label():
+    clock = FakeClock()
+    quotas = TenantQuotas(rate=1.0, burst=1.0, clock=clock)
+    decision = quotas.admit(None)
+    assert decision.tenant == DEFAULT_TENANT
+    assert decision.admitted
+
+
+def test_tenants_are_isolated():
+    clock = FakeClock()
+    quotas = TenantQuotas(rate=1.0, burst=1.0, clock=clock)
+    assert quotas.admit("a").admitted
+    assert not quotas.admit("a").admitted
+    assert quotas.admit("b").admitted, "tenant b must not pay for tenant a"
+
+
+def test_weighted_fair_shares():
+    clock = FakeClock()
+    quotas = TenantQuotas(
+        rate=1.0, burst=2.0, weights={"heavy": 2.0}, clock=clock
+    )
+    # heavy bursts twice as deep...
+    heavy = sum(1 for _ in range(10) if quotas.admit("heavy").admitted)
+    light = sum(1 for _ in range(10) if quotas.admit("light").admitted)
+    assert heavy == 4 and light == 2
+    # ...and refills twice as fast.
+    clock.advance(1.0)
+    assert sum(1 for _ in range(10) if quotas.admit("heavy").admitted) == 2
+    assert sum(1 for _ in range(10) if quotas.admit("light").admitted) == 1
+
+
+def test_rejection_carries_retry_after():
+    clock = FakeClock()
+    quotas = TenantQuotas(rate=2.0, burst=1.0, clock=clock)
+    assert quotas.admit("t").admitted
+    decision = quotas.admit("t")
+    assert not decision.admitted
+    assert decision.retry_after == pytest.approx(0.5)
+
+
+def test_stats_shape():
+    clock = FakeClock()
+    quotas = TenantQuotas(rate=5.0, burst=10.0, weights={"a": 2.0}, clock=clock)
+    quotas.admit("a")
+    stats = quotas.stats()
+    assert stats["enabled"] is True
+    assert stats["rate_per_second"] == 5.0
+    assert stats["weights"] == {"a": 2.0}
+    assert "a" in stats["tenants"]
+
+
+def test_idle_full_buckets_are_pruned():
+    clock = FakeClock()
+    quotas = TenantQuotas(rate=100.0, burst=1.0, clock=clock)
+    quotas.PRUNE_THRESHOLD = 8
+    for index in range(9):
+        quotas.admit(f"tenant-{index}")
+        clock.advance(1.0)  # everyone refills to full
+    # The 9th creation crossed the threshold and pruned idle-full peers.
+    assert len(quotas._buckets) <= 9
+
+
+def test_thread_safety_no_overspend():
+    quotas = TenantQuotas(rate=0.001, burst=50.0)
+    admitted = []
+
+    def worker():
+        for _ in range(20):
+            if quotas.admit("shared").admitted:
+                admitted.append(1)
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    # 160 attempts against a 50-token bucket that refills ~nothing.
+    assert len(admitted) == 50
