@@ -17,7 +17,13 @@ The script drives the *real* cluster entry point as a subprocess:
    answered 2xx), that both workers served traffic, and that the fleet
    ``/v1/status`` shows the kill (restarts >= 1) with 2 healthy
    workers again,
-5. ``SIGTERM`` the cluster and assert a clean drain (exit 0).
+5. run one **traced** query and fetch its fleet-merged trace from the
+   router — the span tree must cover every hop (``router.request`` →
+   ``worker.job`` → ``scheduler.wait`` → at least one mining ``pass``)
+   with resource attribution on the worker root, the slow log must
+   answer, and the exemplar-bearing ``/v1/metrics`` exposition must
+   pass ``scripts/check_prometheus.py`` strictly,
+6. ``SIGTERM`` the cluster and assert a clean drain (exit 0).
 
 Exit status 0 on success, 1 with a diagnostic on any failure.
 """
@@ -46,6 +52,70 @@ from repro.obs.metrics import MetricsRegistry  # noqa: E402
 BURST_RATE = 8.0
 BURST_SECONDS = 10.0
 KILL_AFTER_SECONDS = 3.0
+
+TRACED_QUERY = (
+    "MINE PERIODS FROM transactions AT GRANULARITY month "
+    "WITH SUPPORT >= 0.21, CONFIDENCE >= 0.6 HAVING COVERAGE >= 2;"
+)
+
+#: Every hop a traced cluster query must leave a span for.
+REQUIRED_HOPS = {"router.request", "worker.job", "scheduler.wait", "execute"}
+
+
+def _walk_spans(spans):
+    for span in spans:
+        yield span
+        yield from _walk_spans(span.get("children") or ())
+
+
+def check_tracing(base_url: str) -> None:
+    """One traced query end to end: hop coverage, slow log, exemplars."""
+    answer = _api(base_url, "/v1/query", {"query": TRACED_QUERY, "trace": True})
+    trace_id = answer.get("trace_id")
+    if not trace_id:
+        _fail(f"traced query returned no trace_id: {answer}")
+
+    document = _api(base_url, f"/v1/traces/{trace_id}")
+    spans = list(_walk_spans(document.get("spans") or []))
+    names = {span["name"] for span in spans}
+    missing = REQUIRED_HOPS - names
+    if missing:
+        _fail(f"trace {trace_id} missing hops {sorted(missing)}; got {sorted(names)}")
+    if "pass" not in names:
+        _fail(f"trace {trace_id} has no mining pass span: {sorted(names)}")
+    root = next(s for s in spans if s["name"] == "worker.job")
+    attrs = root.get("attrs") or {}
+    for key in ("cpu_seconds", "wait_seconds", "cache"):
+        if key not in attrs:
+            _fail(f"worker.job span lacks attribution key {key!r}: {attrs}")
+    print(
+        f"traced query OK: trace {trace_id} covers "
+        f"{len(spans)} spans across router+worker "
+        f"(cache={attrs['cache']}, cpu={attrs['cpu_seconds']}s)"
+    )
+
+    slow = _api(base_url, "/v1/debug/slow")
+    if "entries" not in slow or "workers" not in slow:
+        _fail(f"/v1/debug/slow malformed: {slow}")
+
+    # The fleet-merged exposition now carries exemplars; the strict
+    # format checker must still accept every line of it.
+    check = subprocess.run(
+        [
+            sys.executable,
+            str(REPO / "scripts" / "check_prometheus.py"),
+            f"{base_url}/v1/metrics",
+            "--require",
+            "repro_http_requests_total",
+            "--require",
+            "repro_http_request_seconds",
+        ],
+        capture_output=True,
+        text=True,
+    )
+    if check.returncode != 0:
+        _fail(f"check_prometheus rejected the exposition: {check.stderr}")
+    print(check.stdout.strip())
 
 
 def _api(base_url: str, path: str, payload: Optional[Dict] = None) -> Dict:
@@ -166,6 +236,8 @@ def main() -> int:
             f"worker {victim['id']} restarted "
             f"(restarts={workers[victim['id']]['restarts']}); fleet healthy"
         )
+
+        check_tracing(base_url)
 
         # Clean drain on SIGTERM.
         cluster.send_signal(signal.SIGTERM)

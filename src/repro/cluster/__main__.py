@@ -146,6 +146,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds each worker's SIGTERM drain lets running jobs finish",
     )
     parser.add_argument(
+        "--slow-threshold",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="latency past which each worker's flight recorder captures "
+        "a query in full (merged at GET /v1/debug/slow)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log every routed request"
     )
     parser.add_argument(
@@ -200,6 +208,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         mining_workers=args.mining_workers,
         engine=args.engine,
         drain_deadline=args.drain_deadline,
+        slow_threshold=args.slow_threshold,
         log_level=args.log_level,
     )
     supervisor = FleetSupervisor(

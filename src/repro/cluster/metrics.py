@@ -21,15 +21,28 @@ too) and sums samples pointwise:
 ``HELP``/``TYPE`` headers are taken from the first exposition that
 declares each metric; samples of metrics only some workers have seen
 yet merge fine (missing series count as zero).
+
+Exemplar annotations on ``_bucket`` lines carry through the merge: for
+each fleet-wide bucket the exemplar with the **largest observed value**
+wins (the slowest concrete request is the one an operator chasing a p99
+wants a trace id for).  A suffixed sample (``_bucket``/``_sum``/
+``_count``) whose base histogram no worker declared is merged as a
+plain sample — but logged, once per family, instead of silently: it
+usually means a worker emitted a family the merge cannot reason about.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.obs.metrics import _format_value, parse_prometheus_text
+from repro.obs.logs import get_logger
+from repro.obs.metrics import _format_value, _render_labels, parse_prometheus_text
 
 __all__ = ["merge_expositions"]
+
+_log = get_logger("cluster.metrics")
+
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
 
 
 def _headers(text: str) -> "Dict[str, Tuple[str, str]]":
@@ -49,12 +62,20 @@ def _headers(text: str) -> "Dict[str, Tuple[str, str]]":
 
 def _base_name(sample_name: str, histogram_bases: "set[str]") -> str:
     """Map a ``_bucket``/``_sum``/``_count`` sample to its histogram."""
-    for suffix in ("_bucket", "_sum", "_count"):
+    for suffix in _HISTOGRAM_SUFFIXES:
         if sample_name.endswith(suffix):
             base = sample_name[: -len(suffix)]
             if base in histogram_bases:
                 return base
     return sample_name
+
+
+def _suffixed_base(sample_name: str) -> Optional[str]:
+    """The would-be histogram base of a suffixed sample, if any."""
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return None
 
 
 def merge_expositions(texts: Iterable[str]) -> str:
@@ -66,6 +87,9 @@ def merge_expositions(texts: Iterable[str]) -> str:
     merged: "Dict[str, Dict[str, float]]" = {}
     headers: Dict[str, Tuple[str, str]] = {}
     histogram_bases: "set[str]" = set()
+    # Per merged bucket series, the exemplar with the largest observed
+    # value across the fleet: (sample_name, label_block) -> (labels, value).
+    exemplars: "Dict[Tuple[str, str], Tuple[Dict[str, str], float]]" = {}
     # Sample names in first-seen order so the merged document is stable
     # across scrapes (dict preserves insertion order).
     sample_order: List[str] = []
@@ -76,18 +100,37 @@ def merge_expositions(texts: Iterable[str]) -> str:
                 headers[name] = (help_line, type_line)
                 if type_line.split()[-1] == "histogram":
                     histogram_bases.add(name)
-        for sample_name, series in parse_prometheus_text(text).items():
+        collected: List[Tuple[str, str, Dict[str, str], float]] = []
+        for sample_name, series in parse_prometheus_text(
+            text, collect_exemplars=collected
+        ).items():
             bucket = merged.get(sample_name)
             if bucket is None:
                 bucket = merged[sample_name] = {}
                 sample_order.append(sample_name)
             for label_block, value in series.items():
                 bucket[label_block] = bucket.get(label_block, 0.0) + value
+        for sample_name, label_block, ex_labels, ex_value in collected:
+            key = (sample_name, label_block)
+            current = exemplars.get(key)
+            if current is None or ex_value > current[1]:
+                exemplars[key] = (ex_labels, ex_value)
 
     lines: List[str] = []
     emitted_headers: "set[str]" = set()
+    warned_families: "set[str]" = set()
     for sample_name in sample_order:
         base = _base_name(sample_name, histogram_bases)
+        if base == sample_name and sample_name not in headers:
+            orphan_base = _suffixed_base(sample_name)
+            if orphan_base is not None and orphan_base not in warned_families:
+                warned_families.add(orphan_base)
+                _log.warning(
+                    "merging suffixed sample family %r with no declared "
+                    "histogram %r; summed as a plain sample",
+                    sample_name,
+                    orphan_base,
+                )
         if base in headers and base not in emitted_headers:
             emitted_headers.add(base)
             help_line, type_line = headers[base]
@@ -95,5 +138,14 @@ def merge_expositions(texts: Iterable[str]) -> str:
                 lines.append(help_line)
             lines.append(type_line)
         for label_block, value in merged[sample_name].items():
-            lines.append(f"{sample_name}{label_block} {_format_value(value)}")
+            line = f"{sample_name}{label_block} {_format_value(value)}"
+            entry = exemplars.get((sample_name, label_block))
+            if entry is not None:
+                ex_labels, ex_value = entry
+                line += (
+                    " # "
+                    + _render_labels(tuple(ex_labels), tuple(ex_labels.values()))
+                    + f" {_format_value(ex_value)}"
+                )
+            lines.append(line)
     return "\n".join(lines) + "\n"

@@ -39,6 +39,16 @@ already solved it.  What the router adds:
 * **Fleet observability.**  ``GET /v1/metrics`` merges every worker's
   Prometheus exposition with the router's own ``repro_cluster_*``
   series; ``GET /v1/status`` reports per-worker identity and health.
+* **Fleet-wide distributed tracing.**  A traced query (body
+  ``"trace": true`` or an incoming W3C ``traceparent``) makes the
+  router the first recorded hop: it mints/joins a
+  :class:`~repro.obs.distributed.TraceContext`, forwards the child
+  context to the worker it routes to, stores its own ``router.request``
+  span and remembers which worker served the trace.  ``GET
+  /v1/traces/{id}`` then grafts the owning worker's span subtree under
+  the router span — one connected tree, router → worker → scheduler →
+  mining passes; ``GET /v1/traces`` and ``GET /v1/debug/slow`` fan out
+  and merge the fleet's trace lists and flight-recorder captures.
 
 Append routing: ``POST /v1/transactions`` routes by a *stable* key (not
 the fingerprint — which the append itself changes) so one worker keeps
@@ -55,11 +65,18 @@ import time
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple
-from urllib.parse import urlsplit
+from urllib.parse import parse_qs, urlsplit
 
 from repro.cluster.hashring import rank_workers
 from repro.cluster.metrics import merge_expositions
 from repro.cluster.quota import TenantQuotas
+from repro.obs.distributed import (
+    TraceContext,
+    TraceStore,
+    new_trace_context,
+    parse_traceparent,
+    span_node,
+)
 from repro.obs.logs import get_logger
 from repro.obs.metrics import (
     PROMETHEUS_CONTENT_TYPE,
@@ -89,6 +106,10 @@ AFFINITY_CAP = 8192
 
 #: Retry-After the router answers when a job's owner is mid-restart.
 OWNER_RESTART_RETRY_AFTER = 1.0
+
+#: Most router-side trace documents held in memory (the workers keep
+#: the heavyweight span trees; the router only stores its own hop).
+TRACE_STORE_ENTRIES = 512
 
 
 def _canonical_query(text: str) -> str:
@@ -143,6 +164,12 @@ class ClusterRouter(ThreadingHTTPServer):
         self._affinity: "OrderedDict[str, str]" = OrderedDict()
         self._affinity_lock = threading.Lock()
         self._fingerprint: Optional[str] = None
+        #: The router's own hop of each distributed trace, keyed by
+        #: trace id; worker subtrees are grafted on at read time.
+        self.traces = TraceStore(capacity=TRACE_STORE_ENTRIES)
+        #: trace_id -> worker_id of the worker that served the traced
+        #: request (LRU, same cap/semantics as the job-affinity map).
+        self._trace_affinity: "OrderedDict[str, str]" = OrderedDict()
         self.m_requests = self.metrics.counter(
             "repro_cluster_requests_total",
             "Requests through the router, by route and status.",
@@ -219,6 +246,17 @@ class ClusterRouter(ThreadingHTTPServer):
         with self._affinity_lock:
             return len(self._affinity)
 
+    def record_trace_owner(self, trace_id: str, worker_id: str) -> None:
+        with self._affinity_lock:
+            self._trace_affinity[trace_id] = worker_id
+            self._trace_affinity.move_to_end(trace_id)
+            while len(self._trace_affinity) > AFFINITY_CAP:
+                self._trace_affinity.popitem(last=False)
+
+    def trace_owner(self, trace_id: str) -> Optional[str]:
+        with self._affinity_lock:
+            return self._trace_affinity.get(trace_id)
+
     # ------------------------------------------------------------------
     # proxy primitives
     # ------------------------------------------------------------------
@@ -230,6 +268,7 @@ class ClusterRouter(ThreadingHTTPServer):
         path: str,
         body: Optional[bytes],
         timeout: float,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, str], bytes]:
         """One proxied request; raises ``OSError`` on transport failure."""
         parts = urlsplit(worker.base_url)
@@ -237,8 +276,10 @@ class ClusterRouter(ThreadingHTTPServer):
             parts.hostname, parts.port, timeout=timeout
         )
         try:
-            headers = {"Content-Type": "application/json"} if body else {}
-            connection.request(method, path, body=body, headers=headers)
+            request_headers: Dict[str, str] = dict(headers) if headers else {}
+            if body:
+                request_headers.setdefault("Content-Type", "application/json")
+            connection.request(method, path, body=body, headers=request_headers)
             response = connection.getresponse()
             payload = response.read()
             passthrough = {}
@@ -306,6 +347,7 @@ class ClusterRouter(ThreadingHTTPServer):
             "workers": workers,
             "healthy_workers": healthy,
             "jobs_routed": self.jobs_routed(),
+            "traces_held": len(self.traces),
             "quota": self.quotas.stats(),
         }
 
@@ -323,6 +365,164 @@ class ClusterRouter(ThreadingHTTPServer):
             if status == 200:
                 texts.append(payload.decode("utf-8"))
         return merge_expositions(texts)
+
+    # ------------------------------------------------------------------
+    # distributed tracing
+    # ------------------------------------------------------------------
+
+    def record_router_trace(
+        self,
+        context: TraceContext,
+        route: str,
+        status: int,
+        served_by: Optional[str],
+        duration_seconds: float,
+        job_id: Optional[str],
+    ) -> None:
+        """Store the router's own hop of a distributed trace.
+
+        The document holds exactly one span — ``router.request`` — in
+        the same node shape the worker stores; the worker's subtree is
+        grafted under it at read time (:meth:`fleet_trace`), so the
+        stored form stays cheap and the graft always reflects the
+        freshest worker-side document.
+        """
+        duration_ms = round(duration_seconds * 1000.0, 3)
+        attrs: Dict[str, object] = {
+            "route": route,
+            "status": status,
+            "router": "router",
+        }
+        if served_by:
+            attrs["served_by"] = served_by
+        if job_id:
+            attrs["job_id"] = job_id
+        document: Dict[str, object] = {
+            "trace_id": context.trace_id,
+            "span_id": context.span_id,
+            "worker": "router",
+            "job_id": job_id,
+            "duration_ms": duration_ms,
+            "spans": [
+                span_node("router.request", 0.0, duration_ms, attrs=attrs)
+            ],
+        }
+        self.traces.put(context.trace_id, document)
+        if served_by:
+            self.record_trace_owner(context.trace_id, served_by)
+
+    def _worker_json(
+        self, worker, path: str
+    ) -> Tuple[Optional[int], Optional[Dict[str, object]]]:
+        """GET one worker's JSON document; ``(None, None)`` on transport
+        failure (the worker is marked suspect)."""
+        try:
+            status, _, payload = self.proxy(
+                worker, "GET", path, None, CONTROL_TIMEOUT_SECONDS
+            )
+        except OSError:
+            self.fleet.note_failure(worker.worker_id)
+            return None, None
+        try:
+            document = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return status, None
+        return status, document if isinstance(document, dict) else None
+
+    def fleet_trace(self, trace_id: str) -> Optional[Dict[str, object]]:
+        """One connected trace: router hop + the owning worker's subtree.
+
+        The trace-affinity map names the worker that served the traced
+        request; a miss (evicted entry, restarted router) falls back to
+        asking every healthy worker — the store is small and traces are
+        a debugging surface, not a hot path.  Worker span ``start_ms``
+        values keep their own process-local origin; durations are the
+        cross-process meaningful quantity.
+        """
+        router_doc = self.traces.get(trace_id)
+        owner_id = self.trace_owner(trace_id)
+        workers = list(self.fleet.healthy_workers())
+        if owner_id is not None:
+            workers.sort(key=lambda worker: worker.worker_id != owner_id)
+        worker_doc: Optional[Dict[str, object]] = None
+        for worker in workers:
+            status, document = self._worker_json(
+                worker, f"/v1/traces/{trace_id}"
+            )
+            if status == 200 and document is not None:
+                worker_doc = document
+                break
+        if router_doc is None:
+            return worker_doc
+        merged = dict(router_doc)
+        if worker_doc is not None:
+            spans = [dict(span) for span in merged.get("spans") or []]
+            if spans:
+                children = list(spans[0].get("children") or [])
+                children.extend(worker_doc.get("spans") or [])
+                spans[0]["children"] = children
+            merged["spans"] = spans
+            merged["worker"] = worker_doc.get("worker")
+            if merged.get("job_id") is None:
+                merged["job_id"] = worker_doc.get("job_id")
+        return merged
+
+    def fleet_traces(
+        self, min_ms: float = 0.0, limit: int = 50
+    ) -> List[Dict[str, object]]:
+        """Fleet-wide trace list, slowest first (router + every worker).
+
+        Router-hop documents for trace ids a worker also reported are
+        dropped in favour of the worker's richer document.
+        """
+        merged: Dict[str, Dict[str, object]] = {}
+        for worker in self.fleet.healthy_workers():
+            status, document = self._worker_json(
+                worker, f"/v1/traces?min_ms={min_ms:g}&limit={int(limit)}"
+            )
+            if status != 200 or document is None:
+                continue
+            for entry in document.get("traces") or []:
+                if isinstance(entry, dict) and isinstance(
+                    entry.get("trace_id"), str
+                ):
+                    merged[entry["trace_id"]] = entry
+        for entry in self.traces.query(min_ms=min_ms, limit=limit):
+            trace_id = entry.get("trace_id")
+            if isinstance(trace_id, str) and trace_id not in merged:
+                merged[trace_id] = entry
+        ranked = sorted(
+            merged.values(),
+            key=lambda doc: float(doc.get("duration_ms", 0.0) or 0.0),
+            reverse=True,
+        )
+        return ranked[: max(0, int(limit))]
+
+    def fleet_slow(self) -> Dict[str, object]:
+        """The fleet's merged flight-recorder log, slowest first."""
+        entries: List[Dict[str, object]] = []
+        workers: List[Dict[str, object]] = []
+        top_k = 0
+        for worker in self.fleet.healthy_workers():
+            status, document = self._worker_json(worker, "/v1/debug/slow")
+            if status != 200 or document is None:
+                continue
+            stats = document.get("stats")
+            if isinstance(stats, dict):
+                top_k = max(top_k, int(stats.get("top_k", 0) or 0))
+                workers.append(
+                    {"worker": document.get("worker"), "stats": stats}
+                )
+            for entry in document.get("entries") or []:
+                if isinstance(entry, dict):
+                    entries.append(entry)
+        entries.sort(
+            key=lambda e: float(e.get("duration_seconds", 0.0) or 0.0),
+            reverse=True,
+        )
+        if top_k:
+            entries = entries[:top_k]
+        return {"service": "repro-cluster-router", "workers": workers, "entries": entries}
 
 
 class RouterRequestHandler(BaseHTTPRequestHandler):
@@ -372,16 +572,32 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
             return parts[2]
         return None
 
+    def _trace_path_id(self) -> Optional[str]:
+        parts = [p for p in self.path.split("?", 1)[0].split("/") if p]
+        if len(parts) == 3 and parts[0] == "v1" and parts[1] == "traces":
+            return parts[2]
+        return None
+
+    def _query_params(self) -> Dict[str, str]:
+        query = self.path.split("?", 1)[1] if "?" in self.path else ""
+        return {
+            name: values[-1] for name, values in parse_qs(query).items()
+        }
+
     def _route_label(self) -> str:
         path = self.path.split("?", 1)[0]
         if self._job_path_id() is not None:
             return "/v1/jobs/{id}"
+        if self._trace_path_id() is not None:
+            return "/v1/traces/{id}"
         if path in (
             "/v1/status",
             "/v1/metrics",
             "/v1/query",
             "/v1/transactions",
             "/v1/cache/invalidate",
+            "/v1/traces",
+            "/v1/debug/slow",
         ):
             return path
         return "(unknown)"
@@ -389,13 +605,17 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
     def _instrumented(self, handler) -> None:
         route = self._route_label()
         self._status = 0
+        self._trace_id: Optional[str] = None
         started = time.perf_counter()
         try:
             handler()
         finally:
             self.server.m_requests.inc(route=route, status=str(self._status))
+            exemplar = (
+                {"trace_id": self._trace_id} if self._trace_id else None
+            )
             self.server.m_request_seconds.observe(
-                time.perf_counter() - started, route=route
+                time.perf_counter() - started, exemplar=exemplar, route=route
             )
 
     # -- verbs ----------------------------------------------------------
@@ -423,6 +643,30 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(502, {"error": f"metrics merge failed: {error}"})
                 return
             self._send(200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE)
+            return
+        trace_id = self._trace_path_id()
+        if trace_id is not None:
+            document = self.server.fleet_trace(trace_id)
+            if document is None:
+                self._send_json(404, {"error": f"no such trace: {trace_id}"})
+            else:
+                self._send_json(200, document)
+            return
+        if path == "/v1/traces":
+            params = self._query_params()
+            try:
+                min_ms = float(params.get("min_ms", 0.0))
+                limit = int(params.get("limit", 50))
+            except (TypeError, ValueError) as error:
+                self._send_json(400, {"error": f"bad query parameter: {error}"})
+                return
+            self._send_json(
+                200,
+                {"traces": self.server.fleet_traces(min_ms=min_ms, limit=limit)},
+            )
+            return
+        if path == "/v1/debug/slow":
+            self._send_json(200, self.server.fleet_slow())
             return
         job_id = self._job_path_id()
         if job_id is not None:
@@ -498,6 +742,23 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
             timeout = float(payload.get("timeout", SYNC_WAIT_SECONDS))
         except (TypeError, ValueError):
             pass
+        # Distributed tracing: a traced payload (or an incoming W3C
+        # ``traceparent``) makes the router a hop of the trace.  The
+        # router's context is forwarded to the worker, which joins the
+        # same trace id — an invalid incoming header restarts the trace
+        # rather than erroring (per the W3C processing model).
+        context: Optional[TraceContext] = None
+        parent = parse_traceparent(self.headers.get("traceparent"))
+        if parent is not None:
+            context = parent.child()
+        elif payload.get("trace"):
+            context = new_trace_context()
+        trace_headers = (
+            {"traceparent": context.to_traceparent()}
+            if context is not None
+            else None
+        )
+        started = time.perf_counter()
         status, headers, response = self._proxy_with_failover(
             "POST",
             "/v1/query",
@@ -506,15 +767,32 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
             idempotent=idempotent,
             timeout=timeout + SYNC_GRACE_SECONDS,
             route="/v1/query",
+            headers=trace_headers,
         )
         if status is None:
             return
         served_by = headers.get("X-Repro-Worker")
         document = self._maybe_json(response)
+        job_id: Optional[str] = None
         if document is not None:
-            job_id = document.get("job_id")
-            if isinstance(job_id, str) and served_by:
+            job_id = (
+                document.get("job_id")
+                if isinstance(document.get("job_id"), str)
+                else None
+            )
+            if job_id and served_by:
                 self.server.record_job(job_id, served_by)
+        if context is not None:
+            self._trace_id = context.trace_id
+            self.server.record_router_trace(
+                context,
+                route="/v1/query",
+                status=status,
+                served_by=served_by,
+                duration_seconds=time.perf_counter() - started,
+                job_id=job_id,
+            )
+        if document is not None:
             # A mutating statement's result carries the superseded
             # fingerprint — fan the invalidation out to the peers.
             result = document.get("result")
@@ -644,6 +922,7 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
         idempotent: bool,
         timeout: float,
         route: str,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[Optional[int], Dict[str, str], bytes]:
         """Proxy to the rendezvous-preferred worker, failing over.
 
@@ -662,7 +941,9 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
             if index:
                 self.server.m_failovers.inc(route=route)
             try:
-                return self.server.proxy(worker, method, path, body, timeout)
+                return self.server.proxy(
+                    worker, method, path, body, timeout, headers=headers
+                )
             except OSError as error:
                 self.server.fleet.note_failure(worker.worker_id)
                 logger.warning(

@@ -101,6 +101,7 @@ class WorkerConfig:
     queue_depth: int = 64
     cache_entries: int = 256
     drain_deadline: float = 10.0
+    slow_threshold: float = 1.0
     log_level: str = "warning"
     shared_cache_path: Optional[str] = None
     extra_args: Sequence[str] = field(default_factory=tuple)
@@ -133,6 +134,7 @@ class WorkerConfig:
             "--journal", self.journal_path(worker_id),
             "--disk-cache", self.resolved_cache_path(),
             "--drain-deadline", str(self.drain_deadline),
+            "--slow-threshold", str(self.slow_threshold),
             "--log-level", self.log_level,
         ]
         if self.mining_workers is not None:

@@ -19,6 +19,15 @@ Three pieces (see ``docs/observability.md`` for the full catalogue):
   library root.
 """
 
+from repro.obs.distributed import (
+    FlightRecorder,
+    ResourceProbe,
+    TraceContext,
+    TraceStore,
+    new_trace_context,
+    parse_traceparent,
+    span_node,
+)
 from repro.obs.logs import configure_logging, get_logger
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -44,6 +53,7 @@ from repro.obs.trace import (
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricError",
@@ -51,13 +61,19 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "PROMETHEUS_CONTENT_TYPE",
+    "ResourceProbe",
     "Span",
+    "TraceContext",
+    "TraceStore",
     "Tracer",
     "configure_logging",
     "default_registry",
     "format_trace",
     "get_logger",
+    "new_trace_context",
     "parse_prometheus_text",
+    "parse_traceparent",
     "set_default_registry",
+    "span_node",
     "tracer_of",
 ]

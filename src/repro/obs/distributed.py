@@ -1,0 +1,392 @@
+"""Distributed tracing: context propagation, trace storage, slow-query capture.
+
+PR 5 gave every *process* a span tree; since the cluster (PR 9) a single
+query crosses router → worker → scheduler → mining passes, and each hop
+used to keep its spans to itself.  This module is the fleet-wide glue:
+
+* :class:`TraceContext` — W3C ``traceparent`` propagation.  One 128-bit
+  trace id minted at the first hop (client or router) travels in an HTTP
+  header through every subsequent hop; each hop contributes spans under
+  its own 64-bit parent span id.
+* :func:`span_node` — build serialized span-tree nodes *by hand*, in the
+  exact shape :meth:`repro.obs.trace.Tracer.to_dict` emits.  Service
+  layers know span boundaries only after the fact (admission wait is
+  measured between two scheduler callbacks), so they compose documents
+  from measured timestamps instead of running a live tracer.
+* :class:`TraceStore` — a bounded, thread-safe ring buffer of finished
+  trace documents per process, with an optional SQLite write-through
+  spill (same WAL/LRU idiom as the PR 6 disk cache tier) so traces
+  survive a restart.  Served at ``GET /v1/traces/{id}``.
+* :class:`FlightRecorder` — the slow-query recorder: requests past a
+  latency threshold are captured in full (trace + plan + TML +
+  attribution) into a ranked top-K log served at ``/v1/debug/slow``.
+* :class:`ResourceProbe` — per-job resource attribution: CPU seconds via
+  :func:`os.times` deltas and peak RSS via ``resource.getrusage``.
+
+Stdlib-only, imports nothing from the rest of ``repro`` — it sits next
+to :mod:`repro.obs.trace` at the bottom of the dependency graph.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import sqlite3
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+try:  # pragma: no cover - always present on the POSIX targets we run on
+    import resource as _resource
+except ImportError:  # pragma: no cover
+    _resource = None  # type: ignore[assignment]
+
+__all__ = [
+    "TraceContext",
+    "TraceStore",
+    "FlightRecorder",
+    "ResourceProbe",
+    "new_trace_context",
+    "parse_traceparent",
+    "span_node",
+]
+
+#: ``version-traceid-spanid-flags`` per the W3C Trace Context spec.
+_TRACEPARENT_RE = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-"
+    r"(?P<trace_id>[0-9a-f]{32})-"
+    r"(?P<span_id>[0-9a-f]{16})-"
+    r"(?P<flags>[0-9a-f]{2})$"
+)
+
+
+class TraceContext:
+    """One hop's view of a distributed trace (immutable value object)."""
+
+    __slots__ = ("trace_id", "span_id", "sampled")
+
+    def __init__(self, trace_id: str, span_id: str, sampled: bool = True):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.sampled = sampled
+
+    def __bool__(self) -> bool:
+        # A context is always "tracing on": call sites that used to take
+        # ``trace: bool`` can take ``bool | TraceContext`` unchanged.
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceContext({self.to_traceparent()!r})"
+
+    def to_traceparent(self) -> str:
+        """Render as a ``traceparent`` header value."""
+        flags = "01" if self.sampled else "00"
+        return f"00-{self.trace_id}-{self.span_id}-{flags}"
+
+    def child(self) -> "TraceContext":
+        """A new context for the next hop: same trace, fresh span id."""
+        return TraceContext(self.trace_id, os.urandom(8).hex(), self.sampled)
+
+
+def new_trace_context() -> TraceContext:
+    """Mint a fresh root context (the first hop of a trace)."""
+    return TraceContext(os.urandom(16).hex(), os.urandom(8).hex(), True)
+
+
+def parse_traceparent(header: Optional[str]) -> Optional[TraceContext]:
+    """Parse a ``traceparent`` header; ``None`` when absent or invalid.
+
+    Invalid headers are *dropped*, not errors — per the W3C spec a
+    receiver that cannot parse the header restarts the trace rather than
+    failing the request.  All-zero ids and version ``ff`` are invalid.
+    """
+    if not header:
+        return None
+    match = _TRACEPARENT_RE.match(header.strip().lower())
+    if match is None:
+        return None
+    if match.group("version") == "ff":
+        return None
+    trace_id = match.group("trace_id")
+    span_id = match.group("span_id")
+    if set(trace_id) == {"0"} or set(span_id) == {"0"}:
+        return None
+    sampled = bool(int(match.group("flags"), 16) & 0x01)
+    return TraceContext(trace_id, span_id, sampled)
+
+
+def span_node(
+    name: str,
+    start_ms: float,
+    duration_ms: float,
+    attrs: Optional[Dict[str, object]] = None,
+    children: Optional[List[Dict[str, object]]] = None,
+    status: str = "ok",
+) -> Dict[str, object]:
+    """A serialized span-tree node in the :meth:`Tracer.to_dict` shape.
+
+    ``start_ms`` is relative to the enclosing document's origin — within
+    one process that is meaningful; across processes only ``duration_ms``
+    is (monotonic clocks don't share an origin), which is why grafted
+    subtrees keep their own relative offsets.
+    """
+    node: Dict[str, object] = {
+        "name": name,
+        "start_ms": round(float(start_ms), 3),
+        "duration_ms": round(float(duration_ms), 3),
+    }
+    if attrs:
+        node["attrs"] = dict(attrs)
+    if status != "ok":
+        node["status"] = status
+    if children:
+        node["children"] = list(children)
+    return node
+
+
+_SPILL_SCHEMA = """
+CREATE TABLE IF NOT EXISTS traces (
+    trace_id    TEXT PRIMARY KEY,
+    duration_ms REAL NOT NULL,
+    blob        TEXT NOT NULL,
+    use_seq     INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_traces_use ON traces (use_seq);
+CREATE INDEX IF NOT EXISTS idx_traces_duration ON traces (duration_ms);
+"""
+
+
+class TraceStore:
+    """A bounded, thread-safe store of finished trace documents.
+
+    The memory tier is an LRU ring buffer (``capacity`` entries, eldest
+    evicted).  With ``spill_path`` set, every put is also written through
+    to a SQLite file (WAL, ``use_seq`` LRU capped at ``spill_entries``)
+    so traces survive a worker restart and outlive the ring; reads fall
+    back to the spill on a memory miss.  Disk faults never break the
+    memory tier — they increment :attr:`disk_errors` and disable the
+    spill for the lifetime of the store.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        spill_path: Optional[str] = None,
+        spill_entries: int = 4096,
+    ):
+        if capacity < 1:
+            raise ValueError("TraceStore capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.spill_path = spill_path
+        self.spill_entries = int(spill_entries)
+        self.disk_errors = 0
+        self._lock = threading.Lock()
+        self._ring: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._connection: Optional[sqlite3.Connection] = None
+        self._use_seq = 0
+        if spill_path is not None:
+            try:
+                self._connection = sqlite3.connect(
+                    spill_path, check_same_thread=False
+                )
+                self._connection.execute("PRAGMA journal_mode = WAL")
+                self._connection.execute("PRAGMA synchronous = NORMAL")
+                self._connection.execute("PRAGMA busy_timeout = 5000")
+                self._connection.executescript(_SPILL_SCHEMA)
+                row = self._connection.execute(
+                    "SELECT MAX(use_seq) FROM traces"
+                ).fetchone()
+                self._use_seq = int(row[0] or 0)
+                self._connection.commit()
+            except sqlite3.Error:
+                self.disk_errors += 1
+                self._connection = None
+
+    def put(self, trace_id: str, document: Dict[str, Any]) -> None:
+        """Store a finished trace document (latest write wins)."""
+        with self._lock:
+            self._ring[trace_id] = document
+            self._ring.move_to_end(trace_id)
+            while len(self._ring) > self.capacity:
+                self._ring.popitem(last=False)
+            if self._connection is not None:
+                self._spill_put_locked(trace_id, document)
+
+    def _spill_put_locked(self, trace_id: str, document: Dict[str, Any]) -> None:
+        assert self._connection is not None
+        try:
+            self._use_seq += 1
+            duration = float(document.get("duration_ms", 0.0) or 0.0)
+            self._connection.execute(
+                "INSERT OR REPLACE INTO traces"
+                " (trace_id, duration_ms, blob, use_seq) VALUES (?, ?, ?, ?)",
+                (trace_id, duration, json.dumps(document), self._use_seq),
+            )
+            self._connection.execute(
+                "DELETE FROM traces WHERE trace_id IN ("
+                "  SELECT trace_id FROM traces ORDER BY use_seq DESC"
+                "  LIMIT -1 OFFSET ?)",
+                (self.spill_entries,),
+            )
+            self._connection.commit()
+        except sqlite3.Error:
+            self.disk_errors += 1
+            self._close_spill_locked()
+
+    def get(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        """The document for ``trace_id``, or ``None`` (checks spill too)."""
+        with self._lock:
+            document = self._ring.get(trace_id)
+            if document is not None:
+                self._ring.move_to_end(trace_id)
+                return document
+            if self._connection is None:
+                return None
+            try:
+                row = self._connection.execute(
+                    "SELECT blob FROM traces WHERE trace_id = ?", (trace_id,)
+                ).fetchone()
+            except sqlite3.Error:
+                self.disk_errors += 1
+                self._close_spill_locked()
+                return None
+            if row is None:
+                return None
+            loaded: Dict[str, Any] = json.loads(row[0])
+            return loaded
+
+    def query(self, min_ms: float = 0.0, limit: int = 50) -> List[Dict[str, Any]]:
+        """Traces at least ``min_ms`` long, slowest first, capped at ``limit``."""
+        limit = max(0, int(limit))
+        with self._lock:
+            matches = {
+                trace_id: document
+                for trace_id, document in self._ring.items()
+                if float(document.get("duration_ms", 0.0) or 0.0) >= min_ms
+            }
+            if self._connection is not None:
+                try:
+                    rows = self._connection.execute(
+                        "SELECT trace_id, blob FROM traces"
+                        " WHERE duration_ms >= ?"
+                        " ORDER BY duration_ms DESC LIMIT ?",
+                        (float(min_ms), limit + len(matches)),
+                    ).fetchall()
+                    for trace_id, blob in rows:
+                        if trace_id not in matches:
+                            matches[trace_id] = json.loads(blob)
+                except sqlite3.Error:
+                    self.disk_errors += 1
+                    self._close_spill_locked()
+        ranked = sorted(
+            matches.values(),
+            key=lambda document: float(document.get("duration_ms", 0.0) or 0.0),
+            reverse=True,
+        )
+        return ranked[:limit]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def _close_spill_locked(self) -> None:
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except sqlite3.Error:  # pragma: no cover - close is best-effort
+                pass
+            self._connection = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._close_spill_locked()
+
+
+class FlightRecorder:
+    """Ranked top-K capture of requests past a latency threshold.
+
+    ``consider()`` is cheap in the common (fast) case: one comparison.
+    Slow requests are kept in a list sorted slowest-first, truncated at
+    ``top_k`` — the flight recorder answers "what were the worst
+    requests lately and *why*", so each entry carries everything needed
+    to answer without reproducing: statement, plan, trace id,
+    attribution.
+    """
+
+    def __init__(self, threshold_seconds: float = 1.0, top_k: int = 32):
+        if threshold_seconds < 0:
+            raise ValueError("threshold_seconds must be >= 0")
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        self.threshold_seconds = float(threshold_seconds)
+        self.top_k = int(top_k)
+        self._lock = threading.Lock()
+        self._entries: List[Tuple[float, int, Dict[str, Any]]] = []
+        self._considered = 0
+        self._captured = 0
+        self._seq = 0
+
+    def consider(self, duration_seconds: float, entry: Dict[str, Any]) -> bool:
+        """Capture ``entry`` if slow enough; returns whether it was kept."""
+        duration_seconds = float(duration_seconds)
+        with self._lock:
+            self._considered += 1
+            if duration_seconds < self.threshold_seconds:
+                return False
+            self._captured += 1
+            self._seq += 1
+            record = dict(entry)
+            record["duration_seconds"] = round(duration_seconds, 6)
+            # The descending sort breaks duration ties toward the
+            # *newest* capture (largest seq).
+            self._entries.append((duration_seconds, self._seq, record))
+            self._entries.sort(key=lambda item: (item[0], item[1]), reverse=True)
+            del self._entries[self.top_k:]
+            return True
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """The captured entries, slowest first."""
+        with self._lock:
+            return [dict(record) for _, _, record in self._entries]
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "threshold_seconds": self.threshold_seconds,
+                "top_k": self.top_k,
+                "considered": self._considered,
+                "captured": self._captured,
+                "held": len(self._entries),
+            }
+
+
+class ResourceProbe:
+    """Per-job resource attribution bracket.
+
+    Construct at job start, :meth:`finish` at job end; the delta is the
+    job's attribution.  Caveat (documented, not worked around): both
+    :func:`os.times` and ``ru_maxrss`` are *process-wide*, so CPU
+    seconds of concurrently running jobs overlap and peak RSS is a
+    high-water mark, not a per-job allocation.
+    """
+
+    __slots__ = ("_times", "_wall")
+
+    def __init__(self) -> None:
+        self._times = os.times()
+        self._wall = time.perf_counter()
+
+    def finish(self) -> Dict[str, object]:
+        times = os.times()
+        cpu = (times.user - self._times.user) + (times.system - self._times.system)
+        attribution: Dict[str, object] = {
+            "cpu_seconds": round(cpu, 6),
+            "elapsed_seconds": round(time.perf_counter() - self._wall, 6),
+        }
+        if _resource is not None:
+            usage = _resource.getrusage(_resource.RUSAGE_SELF)
+            # Linux reports ru_maxrss in kilobytes.
+            attribution["peak_rss_kb"] = int(usage.ru_maxrss)
+        return attribution

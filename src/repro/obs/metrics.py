@@ -218,12 +218,18 @@ class Gauge(_Metric):
 
 
 class _HistogramChild:
-    __slots__ = ("bucket_counts", "sum", "count")
+    __slots__ = ("bucket_counts", "sum", "count", "exemplars")
 
     def __init__(self, n_buckets: int):
         self.bucket_counts = [0] * n_buckets
         self.sum = 0.0
         self.count = 0
+        # Latest exemplar per bucket (``+Inf`` slot last): OpenMetrics-
+        # style ``(labels, observed_value)`` pairs linking a bucket to a
+        # concrete observation (e.g. a trace id).  ``None`` = no exemplar.
+        self.exemplars: List[Optional[Tuple[Dict[str, str], float]]] = (
+            [None] * (n_buckets + 1)
+        )
 
 
 class Histogram(_Metric):
@@ -248,7 +254,20 @@ class Histogram(_Metric):
             bounds = bounds[:-1]
         self.buckets: Tuple[float, ...] = tuple(bounds)
 
-    def observe(self, value: float, **labels: object) -> None:
+    def observe(
+        self,
+        value: float,
+        exemplar: Optional[Mapping[str, object]] = None,
+        **labels: object,
+    ) -> None:
+        """Record ``value``; optionally attach an exemplar to its bucket.
+
+        An exemplar is a small label set (typically ``{"trace_id": ...}``)
+        stored on the *tightest* bucket admitting the observation — the
+        OpenMetrics convention — so a scrape can link a latency bucket
+        back to one concrete traced request.  Later exemplars for the
+        same bucket replace earlier ones (latest wins).
+        """
         key = self._key(labels)
         value = float(value)
         with self._lock:
@@ -256,11 +275,35 @@ class Histogram(_Metric):
             if child is None:
                 child = _HistogramChild(len(self.buckets))
                 self._children[key] = child
+            tightest = len(self.buckets)  # the +Inf slot
             for index, bound in enumerate(self.buckets):
                 if value <= bound:
                     child.bucket_counts[index] += 1
+                    if index < tightest:
+                        tightest = index
             child.sum += value
             child.count += 1
+            if exemplar:
+                child.exemplars[tightest] = (
+                    {str(k): str(v) for k, v in dict(exemplar).items()},
+                    value,
+                )
+
+    def exemplar_rows(self) -> Dict[Tuple[Tuple[str, ...], str], Tuple[Dict[str, str], float]]:
+        """``(labelvalues, le) -> (exemplar_labels, observed_value)``."""
+        rows: Dict[Tuple[Tuple[str, ...], str], Tuple[Dict[str, str], float]] = {}
+        with self._lock:
+            for key, child in self._children.items():
+                for index, entry in enumerate(child.exemplars):
+                    if entry is None:
+                        continue
+                    le = (
+                        _format_value(self.buckets[index])
+                        if index < len(self.buckets)
+                        else "+Inf"
+                    )
+                    rows[(key, le)] = (dict(entry[0]), entry[1])
+        return rows
 
     def samples(self):
         rows = []
@@ -360,16 +403,38 @@ class MetricsRegistry:
         return {metric.name: metric.snapshot() for metric in self.collect()}
 
     def render_prometheus(self) -> str:
-        """The registry as Prometheus text exposition format 0.0.4."""
+        """The registry as Prometheus text exposition format 0.0.4.
+
+        Histogram ``_bucket`` lines additionally carry OpenMetrics-style
+        exemplar annotations (``... # {trace_id="..."} value``) when one
+        was attached via :meth:`Histogram.observe`; scrapers that only
+        speak 0.0.4 should use :func:`parse_prometheus_text`, which
+        validates and tolerates the suffix.
+        """
         lines: List[str] = []
         for metric in self.collect():
             lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {metric.name} {metric.kind}")
+            exemplars = (
+                metric.exemplar_rows() if isinstance(metric, Histogram) else {}
+            )
             for sample_name, labelnames, labelvalues, value in metric.samples():
-                lines.append(
+                line = (
                     f"{sample_name}{_render_labels(labelnames, labelvalues)} "
                     f"{_format_value(value)}"
                 )
+                if exemplars and sample_name.endswith("_bucket"):
+                    entry = exemplars.get((labelvalues[:-1], labelvalues[-1]))
+                    if entry is not None:
+                        ex_labels, ex_value = entry
+                        line += (
+                            " # "
+                            + _render_labels(
+                                tuple(ex_labels), tuple(ex_labels.values())
+                            )
+                            + f" {_format_value(ex_value)}"
+                        )
+                lines.append(line)
         return "\n".join(lines) + "\n"
 
 
@@ -400,11 +465,20 @@ def set_default_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry
 
 # The label block is matched pair-by-pair (not ``[^}]*``): quoted label
 # values may legally contain ``{``/``}`` (e.g. a ``/v1/jobs/{id}`` route).
+_LABEL_BLOCK = (
+    r"\{(?:\s*[a-zA-Z_][a-zA-Z0-9_]*\s*=\s*\"(?:[^\"\\]|\\.)*\"\s*,?)*\s*\}"
+)
+# A sample line, optionally followed by an OpenMetrics exemplar
+# annotation (`` # {labels} value [timestamp]``) — only ``_bucket``
+# samples may legally carry one (enforced in the parser, not here).
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?P<labels>\{(?:\s*[a-zA-Z_][a-zA-Z0-9_]*\s*=\s*\"(?:[^\"\\]|\\.)*\"\s*,?)*\s*\})?"
-    r"\s+(?P<value>[^\s]+)"
-    r"(?:\s+(?P<timestamp>-?[0-9]+))?$"
+    r"(?P<labels>" + _LABEL_BLOCK + r")?"
+    r"\s+(?P<value>[^\s#]+)"
+    r"(?:\s+(?P<timestamp>-?[0-9]+))?"
+    r"(?:\s+#\s+(?P<ex_labels>" + _LABEL_BLOCK + r")"
+    r"\s+(?P<ex_value>[^\s]+)"
+    r"(?:\s+(?P<ex_timestamp>[0-9]+(?:\.[0-9]+)?))?)?$"
 )
 _LABEL_PAIR_RE = re.compile(
     r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
@@ -421,7 +495,23 @@ def _parse_value(text: str) -> float:
     return float(text)  # raises ValueError on garbage
 
 
-def parse_prometheus_text(text: str) -> Dict[str, Dict[str, float]]:
+def _validate_label_block(labels: str, lineno: int) -> Dict[str, str]:
+    """Strictly re-validate a matched ``{...}`` block; return its pairs."""
+    pairs: Dict[str, str] = {}
+    consumed = 0
+    body = labels[1:-1]
+    for pair in _LABEL_PAIR_RE.finditer(body):
+        consumed = pair.end()
+        pairs[pair.group("name")] = pair.group("value")
+    if body.strip() and consumed < len(body.rstrip()):
+        raise ValueError(f"line {lineno}: malformed label block: {labels!r}")
+    return pairs
+
+
+def parse_prometheus_text(
+    text: str,
+    collect_exemplars: Optional[List[Tuple[str, str, Dict[str, str], float]]] = None,
+) -> Dict[str, Dict[str, float]]:
     """Strictly parse a text-format 0.0.4 exposition.
 
     Returns ``{metric_name: {label_repr: value}}`` where ``label_repr``
@@ -429,6 +519,12 @@ def parse_prometheus_text(text: str) -> Dict[str, Dict[str, float]]:
     Raises :class:`ValueError` on any malformed line — the point of this
     parser is to *fail* when the endpoint emits something a real scraper
     would reject.
+
+    OpenMetrics exemplar annotations (`` # {trace_id="..."} value``) are
+    accepted on ``_bucket`` sample lines only, validated as strictly as
+    the sample itself, and — when ``collect_exemplars`` is a list —
+    appended to it as ``(sample_name, label_repr, exemplar_labels,
+    exemplar_value)`` tuples.
     """
     samples: Dict[str, Dict[str, float]] = {}
     typed: Dict[str, str] = {}
@@ -456,12 +552,18 @@ def parse_prometheus_text(text: str) -> Dict[str, Dict[str, float]]:
             raise ValueError(f"line {lineno}: malformed sample line: {line!r}")
         labels = match.group("labels") or ""
         if labels:
-            consumed = 0
-            body = labels[1:-1]
-            for pair in _LABEL_PAIR_RE.finditer(body):
-                consumed = pair.end()
-            if body.strip() and consumed < len(body.rstrip()):
-                raise ValueError(f"line {lineno}: malformed label block: {labels!r}")
+            _validate_label_block(labels, lineno)
+        name = match.group("name")
+        ex_labels = match.group("ex_labels")
+        if ex_labels is not None:
+            if not name.endswith("_bucket"):
+                raise ValueError(
+                    f"line {lineno}: exemplar on non-bucket sample {name!r}"
+                )
+            pairs = _validate_label_block(ex_labels, lineno)
+            ex_value = _parse_value(match.group("ex_value"))
+            if collect_exemplars is not None:
+                collect_exemplars.append((name, labels, pairs, ex_value))
         value = _parse_value(match.group("value"))
-        samples.setdefault(match.group("name"), {})[labels] = value
+        samples.setdefault(name, {})[labels] = value
     return samples

@@ -137,15 +137,28 @@ class Tracer:
         with self._lock:
             ended = self._clock()
             # Snapshot open spans too (a mid-run export must not crash).
+            # Rendered recursively rather than via Span.to_dict: an open
+            # span can sit at ANY depth (a budget stop unwinding through
+            # nested passes, or a mid-run export), and every open span —
+            # child or root — must get the same fallback end time, never
+            # a zero/negative duration.
             def render(span: Span) -> Dict[str, object]:
-                if span.ended is None:
-                    closed = Span(span.name, span.attrs)
-                    closed.started = span.started
-                    closed.ended = ended
-                    closed.status = "open"
-                    closed.children = span.children
-                    return closed.to_dict(self._origin)
-                return span.to_dict(self._origin)
+                span_end = span.ended if span.ended is not None else ended
+                node: Dict[str, object] = {
+                    "name": span.name,
+                    "start_ms": round((span.started - self._origin) * 1000.0, 3),
+                    "duration_ms": round((span_end - span.started) * 1000.0, 3),
+                }
+                if span.attrs:
+                    node["attrs"] = dict(span.attrs)
+                status = span.status
+                if span.ended is None and status == "ok":
+                    status = "open"
+                if status != "ok":
+                    node["status"] = status
+                if span.children:
+                    node["children"] = [render(child) for child in span.children]
+                return node
 
             return {
                 "spans": [render(root) for root in self._roots],

@@ -149,6 +149,35 @@ def build_parser() -> argparse.ArgumentParser:
         "interrupting them (their partials are journaled)",
     )
     parser.add_argument(
+        "--trace-store-entries",
+        type=int,
+        default=512,
+        metavar="N",
+        help="trace documents held in memory (GET /v1/traces)",
+    )
+    parser.add_argument(
+        "--trace-spill",
+        default=None,
+        metavar="PATH",
+        help="SQLite spill file for evicted trace documents "
+        "(default: memory only)",
+    )
+    parser.add_argument(
+        "--slow-threshold",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="latency past which the flight recorder captures a query "
+        "in full (GET /v1/debug/slow)",
+    )
+    parser.add_argument(
+        "--slow-top-k",
+        type=int,
+        default=32,
+        metavar="K",
+        help="slowest captures the flight recorder keeps",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
     parser.add_argument(
@@ -188,6 +217,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "--threads-per-worker", str(args.workers),
             "--engine", args.engine,
             "--drain-deadline", str(args.drain_deadline),
+            "--slow-threshold", str(args.slow_threshold),
             "--log-level", args.log_level,
         ]
         if args.demo:
@@ -215,6 +245,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ),
         drain_deadline_seconds=args.drain_deadline,
         worker_id=args.worker_id,
+        trace_store_entries=args.trace_store_entries,
+        trace_spill_path=args.trace_spill,
+        slow_threshold_seconds=args.slow_threshold,
+        slow_top_k=args.slow_top_k,
     )
     # The store is prepared *before* the service exists: journal
     # recovery starts workers immediately, and a recovered job must

@@ -35,6 +35,7 @@ import json
 import random
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 import uuid
 from typing import Callable, Dict, Optional
@@ -45,6 +46,7 @@ from repro.errors import (
     ServiceError,
     ServiceUnreachableError,
 )
+from repro.obs.distributed import TraceContext, new_trace_context
 from repro.runtime.retry import RetryPolicy
 
 #: Default socket timeout for control-plane requests (status, polls).
@@ -117,13 +119,17 @@ class ServiceClient:
         path: str,
         payload: Optional[Dict] = None,
         timeout: Optional[float] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Dict:
         body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        request_headers: Dict[str, str] = dict(headers) if headers else {}
+        if body:
+            request_headers.setdefault("Content-Type", "application/json")
         request = urllib.request.Request(
             self.base_url + path,
             data=body,
             method=method,
-            headers={"Content-Type": "application/json"} if body else {},
+            headers=request_headers,
         )
         socket_timeout = timeout if timeout is not None else self.timeout
         try:
@@ -158,6 +164,7 @@ class ServiceClient:
         path: str,
         payload: Optional[Dict] = None,
         timeout: Optional[float] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Dict:
         """One API call through the retry loop.
 
@@ -173,7 +180,7 @@ class ServiceClient:
         schedule = self.retry_policy.delays(self._rng)
         while True:
             try:
-                return self._request_once(method, path, payload, timeout)
+                return self._request_once(method, path, payload, timeout, headers)
             except AdmissionError as error:
                 delay = next(schedule, None)
                 if delay is None:
@@ -216,7 +223,7 @@ class ServiceClient:
         priority: int = 0,
         budget: Optional[Dict] = None,
         timeout: Optional[float] = None,
-        trace: bool = False,
+        trace: object = False,
         idempotency_key: Optional[str] = None,
     ) -> Dict:
         """Run one statement synchronously; returns the job record.
@@ -226,6 +233,12 @@ class ServiceClient:
         margin) so the server always wins that race and the client
         keeps a pollable job id.  An idempotency key is generated when
         none is passed, making the POST retry-safe.
+
+        ``trace`` may be ``True`` (the client mints a fresh
+        :class:`~repro.obs.distributed.TraceContext` and sends its
+        ``traceparent``, so the client is the first hop of the trace)
+        or an existing ``TraceContext`` to join a caller's trace.  The
+        resulting trace id comes back on the job record.
         """
         payload: Dict = {
             "query": text,
@@ -240,11 +253,14 @@ class ServiceClient:
             payload["budget"] = budget
         if timeout is not None:
             payload["timeout"] = timeout
-        if trace:
-            payload["trace"] = True
+        headers = self._trace_headers(payload, trace)
         server_wait = timeout if timeout is not None else DEFAULT_SYNC_WAIT_SECONDS
         return self._request(
-            "POST", "/v1/query", payload, timeout=server_wait + SYNC_GRACE_SECONDS
+            "POST",
+            "/v1/query",
+            payload,
+            timeout=server_wait + SYNC_GRACE_SECONDS,
+            headers=headers,
         )
 
     def query_async(
@@ -252,7 +268,7 @@ class ServiceClient:
         text: str,
         priority: int = 0,
         budget: Optional[Dict] = None,
-        trace: bool = False,
+        trace: object = False,
         idempotency_key: Optional[str] = None,
     ) -> Dict:
         """Submit one statement; returns the queued job record."""
@@ -268,9 +284,21 @@ class ServiceClient:
         }
         if budget:
             payload["budget"] = budget
-        if trace:
-            payload["trace"] = True
-        return self._request("POST", "/v1/query", payload)
+        headers = self._trace_headers(payload, trace)
+        return self._request("POST", "/v1/query", payload, headers=headers)
+
+    @staticmethod
+    def _trace_headers(payload: Dict, trace: object) -> Optional[Dict[str, str]]:
+        """Set ``payload["trace"]`` and build the ``traceparent`` header.
+
+        A retried POST re-sends the same header, so the re-attached job
+        lands in the same trace as the first attempt.
+        """
+        if not trace:
+            return None
+        payload["trace"] = True
+        context = trace if isinstance(trace, TraceContext) else new_trace_context()
+        return {"traceparent": context.to_traceparent()}
 
     def append_transactions(
         self,
@@ -325,6 +353,23 @@ class ServiceClient:
     def metrics(self) -> str:
         """The service metrics in Prometheus text exposition format."""
         return self._request_text("GET", "/v1/metrics")
+
+    def trace(self, trace_id: str) -> Dict:
+        """Fetch one stored trace document by trace id.
+
+        Raises :class:`~repro.errors.JobNotFoundError` when the trace
+        has been evicted (or never existed).
+        """
+        return self._request("GET", f"/v1/traces/{trace_id}")
+
+    def traces(self, min_ms: float = 0.0, limit: int = 50) -> Dict:
+        """List stored trace summaries, slowest first."""
+        query = urllib.parse.urlencode({"min_ms": min_ms, "limit": limit})
+        return self._request("GET", f"/v1/traces?{query}")
+
+    def slow(self) -> Dict:
+        """The slow-query flight recorder's ranked capture log."""
+        return self._request("GET", "/v1/debug/slow")
 
     def wait(
         self,

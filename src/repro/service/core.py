@@ -50,12 +50,20 @@ from repro.db.query import is_mutating_sql
 from repro.db.sqlite_store import SqliteStore
 from repro.errors import DatabaseError, TmlExecutionError
 from repro.mining.engine import _incremental_from_env
+from repro.obs.distributed import (
+    FlightRecorder,
+    ResourceProbe,
+    TraceContext,
+    TraceStore,
+    new_trace_context,
+    span_node,
+)
 from repro.obs.logs import get_logger
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.runtime.budget import CancellationToken, RunBudget
 from repro.service.cache import ResultCache, cache_key
 from repro.service.durability import DiskCacheTier, JobJournal
-from repro.service.scheduler import Job, JobScheduler
+from repro.service.scheduler import DONE, Job, JobScheduler
 from repro.service.serialize import payload_to_dict
 from repro.tml.ast import (
     MineItemsetsStatement,
@@ -162,6 +170,14 @@ class ServiceConfig:
             (e.g. ``"w0"``); surfaces in ``GET /v1/status`` and the
             ``X-Repro-Worker`` response header.  ``None`` (standalone)
             falls back to ``pid:<os pid>``.
+        trace_store_entries: finished traces retained in memory for
+            ``GET /v1/traces/{id}``.
+        trace_spill_path: optional SQLite spill for the trace store so
+            traces survive a restart; ``None`` (the default) keeps
+            traces in memory only.
+        slow_threshold_seconds: requests slower than this are captured
+            in full by the flight recorder (``GET /v1/debug/slow``).
+        slow_top_k: flight-recorder capacity (slowest-K retained).
     """
 
     workers: int = 2
@@ -182,6 +198,10 @@ class ServiceConfig:
     recovery_max_attempts: int = 3
     incremental: Optional[str] = None
     worker_id: Optional[str] = None
+    trace_store_entries: int = 512
+    trace_spill_path: Optional[Union[str, Path]] = None
+    slow_threshold_seconds: float = 1.0
+    slow_top_k: int = 32
 
 
 class MiningService:
@@ -232,6 +252,18 @@ class MiningService:
                 synchronous=self.config.journal_synchronous,
                 metrics=self.metrics,
             )
+        self.traces = TraceStore(
+            capacity=self.config.trace_store_entries,
+            spill_path=(
+                str(self.config.trace_spill_path)
+                if self.config.trace_spill_path is not None
+                else None
+            ),
+        )
+        self.flight_recorder = FlightRecorder(
+            threshold_seconds=self.config.slow_threshold_seconds,
+            top_k=self.config.slow_top_k,
+        )
         self.scheduler = JobScheduler(
             self._execute_job,
             workers=self.config.workers,
@@ -240,10 +272,21 @@ class MiningService:
             metrics=self.metrics,
             journal=self.journal,
         )
+        # Runs on the worker thread before the job's done event is set,
+        # so synchronous waiters always see attribution and trace id.
+        self.scheduler.on_finished = self._on_job_finished
         self.recovered: Dict[str, int] = {}
         self._m_single_flight_waits = self.metrics.counter(
             "repro_cache_single_flight_waits_total",
             "Queries that waited on an identical in-flight run.",
+        )
+        self._m_traces = self.metrics.counter(
+            "repro_traces_stored_total",
+            "Distributed trace documents stored by this worker.",
+        )
+        self._m_slow = self.metrics.counter(
+            "repro_slow_captures_total",
+            "Requests captured by the slow-query flight recorder.",
         )
         self._m_appends = self.metrics.counter(
             "repro_service_appends_total",
@@ -511,14 +554,20 @@ class MiningService:
         statement: str,
         priority: int = 0,
         budget: Optional[RunBudget] = None,
-        trace: bool = False,
+        trace: object = False,
         idempotency_key: Optional[str] = None,
     ) -> Job:
         """Queue one statement; returns its :class:`Job` immediately.
 
-        ``trace=True`` runs the statement under span tracing: the result
-        carries a ``trace`` section, and the run bypasses the result
-        cache (traced payloads embed run-specific timings).
+        ``trace`` truthy runs the statement under span tracing: the
+        result carries a ``trace`` section, the run bypasses the result
+        cache (traced payloads embed run-specific timings), and the
+        finished job's full span tree lands in the worker's
+        :class:`~repro.obs.distributed.TraceStore` under ``trace_id``.
+        Pass a :class:`~repro.obs.distributed.TraceContext` (instead of
+        ``True``) to join a distributed trace propagated from an
+        upstream hop — the stored document keeps the propagated trace
+        id and records the upstream span as its parent.
 
         ``idempotency_key`` makes the submission retry-safe: a second
         submission carrying the same key returns the *existing* job
@@ -565,6 +614,26 @@ class MiningService:
     def cancel(self, job_id: str) -> Job:
         return self.scheduler.cancel(job_id)
 
+    # ------------------------------------------------------------------
+    # traces / slow queries (what GET /v1/traces* and /v1/debug/slow serve)
+    # ------------------------------------------------------------------
+
+    def trace(self, trace_id: str) -> Optional[Dict]:
+        """The stored trace document for ``trace_id``, or ``None``."""
+        return self.traces.get(trace_id)
+
+    def list_traces(self, min_ms: float = 0.0, limit: int = 50) -> List[Dict]:
+        """Stored traces at least ``min_ms`` long, slowest first."""
+        return self.traces.query(min_ms=min_ms, limit=limit)
+
+    def slow_queries(self) -> Dict[str, object]:
+        """The flight recorder's document (``GET /v1/debug/slow``)."""
+        return {
+            "worker": self.worker_label,
+            "stats": self.flight_recorder.stats(),
+            "entries": self.flight_recorder.snapshot(),
+        }
+
     @property
     def worker_label(self) -> str:
         """The short identity stamped on responses (``X-Repro-Worker``)."""
@@ -601,6 +670,15 @@ class MiningService:
                 else {"enabled": False}
             ),
             "recovered": self.recovered,
+            "tracing": {
+                "traces_held": len(self.traces),
+                "trace_spill": (
+                    str(self.config.trace_spill_path)
+                    if self.config.trace_spill_path is not None
+                    else None
+                ),
+                "slow_queries": self.flight_recorder.stats(),
+            },
             "cache": self.cache.stats(),
             "metrics": self.metrics.snapshot(),
             "store": {
@@ -683,6 +761,7 @@ class MiningService:
             self._environments.clear()
         if self._owns_store:
             self.store.close()
+        self.traces.close()
         self._close_durable()
 
     def _close_durable(self) -> None:
@@ -706,9 +785,32 @@ class MiningService:
         statement_text: str,
         token: CancellationToken,
         budget: Optional[RunBudget],
-        trace: bool = False,
+        trace: object = False,
     ) -> Tuple[Dict, bool, Optional[Dict]]:
-        """The scheduler callback: execute one statement, maybe cached.
+        """The scheduler callback: execute one statement, with attribution.
+
+        Wraps :meth:`_execute_statement` in a
+        :class:`~repro.obs.distributed.ResourceProbe` and stashes the
+        measured attribution thread-locally — :meth:`_on_job_finished`
+        (called by the scheduler on this same worker thread, before
+        waiters wake) picks it up and attaches it to the job record and
+        the root span.  The stash survives the error path too: failed
+        jobs still carry their resource cost.
+        """
+        probe = ResourceProbe()
+        try:
+            return self._execute_statement(statement_text, token, budget, trace)
+        finally:
+            self._tls.attribution = probe.finish()
+
+    def _execute_statement(
+        self,
+        statement_text: str,
+        token: CancellationToken,
+        budget: Optional[RunBudget],
+        trace: object = False,
+    ) -> Tuple[Dict, bool, Optional[Dict]]:
+        """Execute one statement, maybe cached.
 
         Returns ``(result, cached, plan)`` — the plan is the planner's
         decision dict for MINE runs (``None`` on cache hits: no run
@@ -778,7 +880,7 @@ class MiningService:
         token: CancellationToken,
         budget: Optional[RunBudget],
         fingerprint: Optional[str] = None,
-        trace: bool = False,
+        trace: object = False,
     ) -> Tuple[Dict, Optional[Dict]]:
         """Run one statement; returns (serialized payload, plan dict).
 
@@ -791,8 +893,12 @@ class MiningService:
         effective = budget if budget is not None else self.config.default_budget
         environment.budget = effective
         environment.cancel_token = token
-        if environment.trace != trace:
-            environment.set_trace(trace)
+        # The environment only knows tracing on/off; a distributed
+        # TraceContext still means "on" here (its ids are attached at
+        # trace-assembly time, not inside the miner).
+        trace_on = bool(trace)
+        if environment.trace != trace_on:
+            environment.set_trace(trace_on)
         # Bound DB retry backoff by the run's own deadline: a budgeted
         # run must never sleep past the point where its budget would
         # have stopped it anyway (thread-local — budgets are per job,
@@ -809,6 +915,106 @@ class MiningService:
             catalog = environment.resolve(source).catalog
         plan = getattr(execution.payload, "plan", None)
         return payload_to_dict(execution.payload, catalog), plan
+
+    def _on_job_finished(self, job: Job, state: str) -> None:
+        """Scheduler hook: attach attribution + assemble the trace.
+
+        Runs on the worker thread that executed the job, with the
+        scheduler lock held, *before* the terminal transition wakes
+        waiters — so the rendered job record (and, for traced jobs, the
+        stored trace document) is complete the moment ``job.wait()``
+        returns.  The attribution was stashed thread-locally by
+        :meth:`_execute_job` on this same thread.
+        """
+        attribution = getattr(self._tls, "attribution", None)
+        self._tls.attribution = None
+        wait_seconds = 0.0
+        if job.started_at is not None:
+            wait_seconds = max(0.0, job.started_at - job.submitted_at)
+        elapsed = float((attribution or {}).get("elapsed_seconds", 0.0))
+        resources: Dict[str, object] = dict(attribution or {})
+        resources["wait_seconds"] = round(wait_seconds, 6)
+        # The cache tier outcome: traced runs bypass by design (PR 5
+        # invariant), cache hits never ran, everything else mined.
+        resources["cache"] = (
+            "hit" if job.cached else ("bypassed" if job.trace else "miss")
+        )
+        if job.plan is not None:
+            # Planner estimate-vs-actual is the calibration-loop truth
+            # the planner's aggregate counters cannot give per query.
+            resources["plan_backend"] = job.plan.get("backend")
+            resources["plan_workers"] = job.plan.get("workers")
+            resources["shards"] = job.plan.get("n_shards")
+            resources["planner_est_seconds"] = job.plan.get("est_seconds")
+            resources["actual_seconds"] = round(elapsed, 6)
+        job.resources = resources
+
+        trace_id: Optional[str] = None
+        trace_document: Optional[Dict] = None
+        if job.trace:
+            context = (
+                job.trace
+                if isinstance(job.trace, TraceContext)
+                else new_trace_context()
+            )
+            trace_id = context.trace_id
+            job.trace_id = trace_id
+            wait_ms = wait_seconds * 1000.0
+            exec_ms = elapsed * 1000.0
+            miner_trace = (
+                job.result.get("trace") if isinstance(job.result, dict) else None
+            )
+            execute_children = list((miner_trace or {}).get("spans") or [])
+            root_attrs: Dict[str, object] = {
+                "job_id": job.job_id,
+                "worker": self.worker_label,
+                "statement": job.statement,
+                "state": state,
+            }
+            root_attrs.update(resources)
+            root = span_node(
+                "worker.job",
+                0.0,
+                wait_ms + exec_ms,
+                attrs=root_attrs,
+                children=[
+                    span_node("scheduler.wait", 0.0, wait_ms),
+                    # The miner's own span tree (mine → passes) grafts
+                    # under the execute span; its start_ms offsets stay
+                    # relative to the miner's clock origin — durations
+                    # are the cross-process meaningful quantity.
+                    span_node(
+                        "execute", wait_ms, exec_ms, children=execute_children
+                    ),
+                ],
+                status="ok" if state == DONE else state,
+            )
+            trace_document = {
+                "trace_id": trace_id,
+                "span_id": context.span_id,
+                "worker": self.worker_label,
+                "job_id": job.job_id,
+                "duration_ms": round((wait_seconds + elapsed) * 1000.0, 3),
+                "spans": [root],
+            }
+            self.traces.put(trace_id, trace_document)
+            self._m_traces.inc()
+
+        entry: Dict[str, object] = {
+            "job_id": job.job_id,
+            "statement": job.statement,
+            "state": state,
+            "worker": self.worker_label,
+            "resources": resources,
+        }
+        if job.plan is not None:
+            entry["plan"] = job.plan
+        if trace_id is not None:
+            entry["trace_id"] = trace_id
+        if trace_document is not None:
+            entry["trace"] = trace_document
+        if self.flight_recorder.consider(wait_seconds + elapsed, entry):
+            self._m_slow.inc()
 
     # ------------------------------------------------------------------
     # worker environments / invalidation

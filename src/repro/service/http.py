@@ -40,6 +40,19 @@ Endpoints (all JSON):
     surface a cluster router calls on every peer after a mutation or
     append lands on one worker.
 
+``GET /v1/traces/{id}`` / ``GET /v1/traces?min_ms=&limit=``
+    Distributed tracing (PR 10): one stored trace document by id, or
+    the worker's stored traces ranked slowest-first.  Tracing is
+    enabled per query by ``"trace": true`` *or* by a W3C
+    ``traceparent`` request header — the header additionally joins
+    this worker's spans to the caller's trace id, which is how one
+    trace covers router → worker → scheduler → mining passes.
+
+``GET /v1/debug/slow``
+    The slow-query flight recorder: requests past the configured
+    latency threshold, captured in full (trace + plan + TML +
+    resource attribution), ranked slowest-first.
+
 ``GET /v1/status``
     Queue depth, worker config, cache counters, metrics snapshot,
     store summary, and the worker identity block (id, pid, port,
@@ -69,6 +82,7 @@ import time
 from datetime import datetime
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs
 
 from repro.errors import (
     AdmissionError,
@@ -76,6 +90,7 @@ from repro.errors import (
     MiningParameterError,
     ReproError,
 )
+from repro.obs.distributed import parse_traceparent
 from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
 from repro.runtime.budget import RunBudget
 from repro.service.core import MiningService
@@ -162,6 +177,21 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
             return parts[2]
         return None
 
+    def _trace_path_id(self) -> Optional[str]:
+        parts = [p for p in self.path.split("?", 1)[0].split("/") if p]
+        if len(parts) == 3 and parts[0] == "v1" and parts[1] == "traces":
+            return parts[2]
+        return None
+
+    def _query_params(self) -> Dict[str, str]:
+        """Flattened (last value wins) query-string parameters."""
+        if "?" not in self.path:
+            return {}
+        return {
+            key: values[-1]
+            for key, values in parse_qs(self.path.split("?", 1)[1]).items()
+        }
+
     @staticmethod
     def _job_document(job) -> Dict:
         record = job.to_dict()
@@ -174,20 +204,31 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0]
         if self._job_path_id() is not None:
             return "/v1/jobs/{id}"
+        if self._trace_path_id() is not None:
+            return "/v1/traces/{id}"
         if path in (
             "/v1/status",
             "/v1/metrics",
             "/v1/query",
             "/v1/transactions",
+            "/v1/traces",
+            "/v1/debug/slow",
             "/v1/cache/invalidate",
         ):
             return path
         return "(unknown)"
 
     def _instrumented(self, method: str, handler) -> None:
-        """Run a route handler, metering request count and latency."""
+        """Run a route handler, metering request count and latency.
+
+        A handler that resolved a trace id for the request (a traced
+        sync query) leaves it in ``self._trace_id``; it becomes the
+        latency histogram's exemplar, linking the bucket the request
+        landed in to the one concrete trace that explains it.
+        """
         route = self._route_label()
         self._status = 0
+        self._trace_id: Optional[str] = None
         started = time.perf_counter()
         try:
             handler()
@@ -196,7 +237,12 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
             self.server.m_requests.inc(
                 method=method, route=route, status=str(self._status)
             )
-            self.server.m_request_seconds.observe(elapsed, route=route)
+            exemplar = (
+                {"trace_id": self._trace_id} if self._trace_id else None
+            )
+            self.server.m_request_seconds.observe(
+                elapsed, exemplar=exemplar, route=route
+            )
 
     # ------------------------------------------------------------------
     # routes
@@ -223,6 +269,28 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
                     self.server.service.metrics.render_prometheus(),
                     PROMETHEUS_CONTENT_TYPE,
                 )
+                return
+            trace_id = self._trace_path_id()
+            if trace_id is not None:
+                document = self.server.service.trace(trace_id)
+                if document is None:
+                    self._send_json(404, {"error": f"no such trace: {trace_id!r}"})
+                else:
+                    self._send_json(200, document)
+                return
+            if path == "/v1/traces":
+                params = self._query_params()
+                try:
+                    min_ms = float(params.get("min_ms", 0.0))
+                    limit = int(params.get("limit", 50))
+                except (TypeError, ValueError) as error:
+                    self._send_json(400, {"error": f"bad query parameter: {error}"})
+                    return
+                traces = self.server.service.list_traces(min_ms=min_ms, limit=limit)
+                self._send_json(200, {"traces": traces})
+                return
+            if path == "/v1/debug/slow":
+                self._send_json(200, self.server.service.slow_queries())
                 return
             job_id = self._job_path_id()
             if job_id is not None:
@@ -266,7 +334,15 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
             priority = int(payload.get("priority", 0))
             budget = budget_from_request(payload.get("budget"))
             wants_async = bool(payload.get("async", False))
-            trace = bool(payload.get("trace", False))
+            # Tracing turns on via the body flag OR a propagated W3C
+            # traceparent header; the header additionally carries the
+            # upstream trace id, so this worker's spans join the
+            # caller's trace instead of starting a fresh one.  (An
+            # invalid header is dropped per spec — the trace restarts.)
+            trace: object = bool(payload.get("trace", False))
+            parent = parse_traceparent(self.headers.get("traceparent"))
+            if parent is not None:
+                trace = parent.child()
             timeout = float(payload.get("timeout", SYNC_TIMEOUT_SECONDS))
             idempotency_key = payload.get("idempotency_key")
             if idempotency_key is not None and (
@@ -298,6 +374,7 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
             self._send_json(202, self._job_document(job))
             return
         job.wait(timeout)
+        self._trace_id = job.trace_id
         document = self._job_document(job)
         if job.state == "failed":
             self._send_json(422, document)

@@ -81,7 +81,11 @@ class Job:
     statement: str
     priority: int = 0
     budget: Optional[RunBudget] = None
-    trace: bool = False
+    #: Truthy = tracing on.  Either a plain ``True`` (local tracing) or a
+    #: :class:`~repro.obs.distributed.TraceContext` (distributed parent
+    #: propagated from the HTTP hop); execute callbacks that only care
+    #: about on/off can keep treating it as a bool.
+    trace: object = False
     state: str = QUEUED
     submitted_at: float = 0.0
     started_at: Optional[float] = None
@@ -101,6 +105,12 @@ class Job:
     interrupted: bool = False
     #: True when this record was rebuilt from the journal after a restart.
     recovered: bool = False
+    #: Per-job resource attribution (CPU seconds, peak RSS, cache tier
+    #: outcome, ...) measured by the execute callback; attached by the
+    #: scheduler's ``on_finished`` hook before waiters wake.
+    resources: Optional[Dict] = None
+    #: The distributed trace id covering this job (traced jobs only).
+    trace_id: Optional[str] = None
     token: CancellationToken = field(default_factory=CancellationToken)
     _done: threading.Event = field(default_factory=threading.Event, repr=False)
 
@@ -129,6 +139,10 @@ class Job:
             record["budget"] = self.budget.describe()
         if self.trace:
             record["trace"] = True
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
+        if self.resources is not None:
+            record["resources"] = self.resources
         if self.idempotency_key is not None:
             record["idempotency_key"] = self.idempotency_key
         if self.attempts > 1 or self.recovered:
@@ -238,6 +252,13 @@ class JobScheduler:
         self._idempotency: Dict[str, str] = {}
         self._threads: List[threading.Thread] = []
         self._started = False
+        #: Optional ``on_finished(job, state)`` hook, called on the
+        #: worker thread *before* the terminal transition is recorded —
+        #: i.e. before ``job.wait()`` returns and before the record is
+        #: served — so it can attach attribution/trace data that
+        #: synchronous waiters must observe.  Exceptions are logged and
+        #: never fail the job.
+        self.on_finished: Optional[Callable[[Job, str], None]] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -415,7 +436,7 @@ class JobScheduler:
         statement: str,
         priority: int = 0,
         budget: Optional[RunBudget] = None,
-        trace: bool = False,
+        trace: object = False,
         idempotency_key: Optional[str] = None,
         canonical_key: Optional[str] = None,
     ) -> Job:
@@ -478,12 +499,16 @@ class JobScheduler:
             self._queued += 1
             self._m_admitted.inc()
             self._journal_safe(
+                # The journal stores trace as a bool: a distributed
+                # parent context does not survive a restart (the remote
+                # caller is gone), so a recovered job re-runs with local
+                # tracing only.
                 lambda: self._journal.record_admitted(
                     job.job_id,
                     statement,
                     priority=priority,
                     budget=budget,
-                    trace=trace,
+                    trace=bool(trace),
                     idempotency_key=idempotency_key,
                     canonical_key=canonical_key,
                     submitted_at=job.submitted_at,
@@ -693,7 +718,9 @@ class JobScheduler:
                     # A cancel/interrupt that landed mid-run surfaces as
                     # a sound partial result on the job record — it
                     # keeps what the run managed to compute.
-                    self._finish_locked(job, self._terminal_state_for(job))
+                    state = self._terminal_state_for(job)
+                    self._call_on_finished(job, state)
+                    self._finish_locked(job, state)
             except SimulatedCrash as error:
                 # Chaos seam: the fault emulates the worker thread dying
                 # mid-job (segfault/OOM analogue).  No transition is
@@ -721,7 +748,28 @@ class JobScheduler:
                     state = self._terminal_state_for(job)
                     if state == DONE:
                         state = FAILED
+                    self._call_on_finished(job, state)
                     self._finish_locked(job, state, error=f"{type(error).__name__}: {error}")
+
+    def _call_on_finished(self, job: Job, state: str) -> None:
+        """Run the on_finished hook; its failures never fail the job.
+
+        Called with the scheduler lock held, deliberately *before*
+        :meth:`_finish_locked` sets the job's done event: whatever the
+        hook attaches (resource attribution, the trace id) is visible to
+        every waiter and every rendering of the record.
+        """
+        if self.on_finished is None:
+            return
+        try:
+            self.on_finished(job, state)
+        except Exception as error:  # noqa: BLE001 — observability only
+            logger.warning(
+                "on_finished hook failed for job %s: %s: %s",
+                job.job_id,
+                type(error).__name__,
+                error,
+            )
 
     def _finish_locked(
         self,

@@ -72,9 +72,35 @@ Dot commands:
   .serve status       queue depth, drain state and journal summary
   .serve stop         shut the HTTP server down
   .stats              last-run diagnostics, span tree, metric counters
+  .slow               slow-statement flight recorder (ranked captures)
   .log                show the IQMI workflow log
   .quit               leave the shell
 """
+
+
+def _format_slow(document) -> str:
+    """Render the session flight recorder for the ``.slow`` command."""
+    stats = document["stats"]
+    entries = document["entries"]
+    header = (
+        f"flight recorder: threshold {stats['threshold_seconds']:g}s, "
+        f"{stats['captured']}/{stats['considered']} statement(s) captured, "
+        f"{stats['held']} held (top {stats['top_k']})"
+    )
+    if not entries:
+        return header + "\n(no slow statements captured)"
+    lines = [header]
+    for rank, entry in enumerate(entries, start=1):
+        statement = " ".join(str(entry.get("statement", "")).split())
+        if len(statement) > 100:
+            statement = statement[:97] + "..."
+        suffix = " (partial)" if entry.get("partial") else ""
+        traced = " [traced]" if "trace" in entry else ""
+        lines.append(
+            f"{rank:3d}. {entry.get('duration_seconds', 0.0):8.3f}s"
+            f"{suffix}{traced}  {statement}"
+        )
+    return "\n".join(lines)
 
 
 def _demo_session(session: IqmsSession) -> str:
@@ -202,6 +228,8 @@ def _dispatch_dot(session: IqmsSession, line: str) -> Optional[str]:
         )
     if command == ".stats":
         return session.stats()
+    if command == ".slow":
+        return _format_slow(session.slow_queries())
     if command == ".log":
         return session.workflow.format_log()
     return f"unknown command {command!r}; try .help"

@@ -9,6 +9,7 @@ REPL (:mod:`repro.system.repl`) drives.
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -39,7 +40,12 @@ from repro.tml.ast import (
     ShowStatement,
     SqlStatement,
 )
+from repro.obs.distributed import FlightRecorder
 from repro.tml.executor import ExecutionEnvironment, ExecutionResult, TmlExecutor
+
+#: Default slow-statement threshold for the session flight recorder
+#: (mirrors :class:`~repro.service.core.ServiceConfig.slow_threshold_seconds`).
+SLOW_THRESHOLD_SECONDS = 1.0
 
 
 class IqmsSession:
@@ -62,6 +68,12 @@ class IqmsSession:
         self._last_mine_source: Optional[str] = None
         self._server = None
         self._service = None
+        #: Library-side slow-query flight recorder: statements past the
+        #: threshold are captured (with their span tree when tracing is
+        #: on) for the REPL's ``.slow``.
+        self.flight_recorder = FlightRecorder(
+            threshold_seconds=SLOW_THRESHOLD_SECONDS
+        )
 
     # ------------------------------------------------------------------
     # data management
@@ -225,17 +237,47 @@ class IqmsSession:
     def run(self, text: str) -> ExecutionResult:
         """Execute one TML/SQL statement, advancing the workflow."""
         self.environment.cancel_token.reset()
+        started = time.perf_counter()
         result = self.executor.execute(text)
+        self._record_slow(text, result, time.perf_counter() - started)
         self._account(result)
         return result
 
     def run_script(self, text: str) -> List[ExecutionResult]:
         """Execute a multi-statement script, advancing the workflow."""
         self.environment.cancel_token.reset()
+        started = time.perf_counter()
         results = self.executor.execute_script(text)
+        elapsed = time.perf_counter() - started
+        if results:
+            # A script is captured as one entry — statement-level
+            # timings are not observable from the script API.
+            self._record_slow(text, results[-1], elapsed)
         for result in results:
             self._account(result)
         return results
+
+    def _record_slow(
+        self, text: str, result: ExecutionResult, elapsed: float
+    ) -> None:
+        entry: Dict[str, object] = {
+            "statement": text.strip(),
+            "kind": type(result.statement).__name__,
+        }
+        payload = result.payload
+        if isinstance(payload, MiningReport):
+            if payload.partial:
+                entry["partial"] = True
+            if payload.trace is not None:
+                entry["trace"] = payload.trace
+        self.flight_recorder.consider(elapsed, entry)
+
+    def slow_queries(self) -> Dict[str, object]:
+        """The flight recorder's captures (backs the REPL's ``.slow``)."""
+        return {
+            "stats": self.flight_recorder.stats(),
+            "entries": self.flight_recorder.snapshot(),
+        }
 
     def _account(self, result: ExecutionResult) -> None:
         self.history.append(result)

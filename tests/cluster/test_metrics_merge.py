@@ -110,3 +110,72 @@ def test_malformed_exposition_raises():
 
 def test_empty_input():
     assert parse_prometheus_text(merge_expositions([])) == {}
+
+
+def _registry_with_exemplar(latency, trace_id) -> str:
+    registry = MetricsRegistry()
+    registry.histogram(
+        "repro_http_request_seconds", "latency", buckets=[0.1, 1.0, 10.0]
+    ).observe(latency, exemplar={"trace_id": trace_id})
+    return registry.render_prometheus()
+
+
+def test_exemplars_carry_through_the_merge():
+    """Satellite: exemplar annotations survive aggregation."""
+    merged = merge_expositions([_registry_with_exemplar(0.5, "abc")])
+    (line,) = [ln for ln in merged.splitlines() if " # " in ln]
+    assert line.startswith("repro_http_request_seconds_bucket")
+    assert 'trace_id="abc"' in line
+    # The merged document still parses strictly, exemplars and all.
+    parse_prometheus_text(merged)
+
+
+def test_largest_observed_value_wins_across_the_fleet():
+    a = _registry_with_exemplar(0.5, "fast-worker")
+    b = _registry_with_exemplar(0.9, "slow-worker")
+    merged = merge_expositions([a, b])
+    exemplar_lines = [ln for ln in merged.splitlines() if " # " in ln]
+    assert len(exemplar_lines) == 1
+    assert 'trace_id="slow-worker"' in exemplar_lines[0]
+    assert exemplar_lines[0].rstrip().endswith("0.9")
+
+
+def test_exemplars_on_different_buckets_all_survive():
+    a = _registry_with_exemplar(0.05, "tight")
+    b = _registry_with_exemplar(5.0, "loose")
+    merged = merge_expositions([a, b])
+    joined = "\n".join(ln for ln in merged.splitlines() if " # " in ln)
+    assert 'trace_id="tight"' in joined and 'trace_id="loose"' in joined
+
+
+def test_undeclared_suffixed_family_warns_once(caplog):
+    """Satellite: a _bucket/_sum/_count sample with no declared
+    histogram merges as a plain sample but logs one warning per family."""
+    import logging
+
+    orphan = (
+        'ghost_seconds_bucket{le="+Inf"} 1\n'
+        "ghost_seconds_sum 0.5\n"
+        "ghost_seconds_count 1\n"
+    )
+    with caplog.at_level(logging.WARNING, logger="repro.cluster.metrics"):
+        merged = merge_expositions([orphan, orphan])
+    warnings = [
+        record
+        for record in caplog.records
+        if record.name == "repro.cluster.metrics"
+    ]
+    assert len(warnings) == 1
+    assert "ghost_seconds" in warnings[0].getMessage()
+    # The samples still merged (summed pointwise) despite the warning.
+    parsed = parse_prometheus_text(merged)
+    assert parsed["ghost_seconds_count"][""] == 2.0
+
+
+def test_declared_histograms_do_not_warn(caplog):
+    import logging
+
+    text = _registry_with_counts(1, [0.2]).render_prometheus()
+    with caplog.at_level(logging.WARNING, logger="repro.cluster.metrics"):
+        merge_expositions([text, text])
+    assert [r for r in caplog.records if r.name == "repro.cluster.metrics"] == []

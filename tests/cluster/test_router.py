@@ -366,3 +366,174 @@ class TestInvalidationFanout:
         )
         assert status == 200
         assert document["workers_reached"] == 2
+
+
+def _span_structure(spans):
+    """(name, children) shape only — wall-clock and attrs excluded."""
+    return [
+        (span["name"], _span_structure(span.get("children") or []))
+        for span in spans
+    ]
+
+
+def _span_names(spans):
+    names = set()
+    for span in spans:
+        names.add(span["name"])
+        names |= _span_names(span.get("children") or [])
+    return names
+
+
+class TestDistributedTracing:
+    def test_traced_query_yields_one_connected_fleet_trace(self, routed):
+        """The tentpole, fleet-side: one trace id covers the router hop,
+        the worker's job, admission wait and the mining passes — fetched
+        through the router as a single connected tree."""
+        router, _, _ = routed
+        status, _, record = _request(
+            f"{router.url}/v1/query",
+            "POST",
+            {"query": MINE_QUERY, "trace": True},
+        )
+        assert status == 200 and record["state"] == "done"
+        trace_id = record["trace_id"]
+        status, _, document = _request(f"{router.url}/v1/traces/{trace_id}")
+        assert status == 200
+        assert document["trace_id"] == trace_id
+        (root,) = document["spans"]
+        assert root["name"] == "router.request"
+        worker_ids = {worker.worker_id for worker in routed[2]}
+        assert root["attrs"]["served_by"] in worker_ids
+        (worker_span,) = root["children"]
+        assert worker_span["name"] == "worker.job"
+        hop_names = _span_names(document["spans"])
+        # Root-to-leaf hop coverage: router, worker, scheduler, passes.
+        assert {"router.request", "worker.job", "scheduler.wait"} <= hop_names
+        assert "count" in hop_names
+
+    def test_incoming_traceparent_joins_the_trace(self, routed):
+        from repro.obs.distributed import new_trace_context
+
+        router, _, _ = routed
+        context = new_trace_context()
+        status, _, record = _request(
+            f"{router.url}/v1/query",
+            "POST",
+            {"query": "SHOW SUMMARY;"},
+            headers={"traceparent": context.to_traceparent()},
+        )
+        assert status == 200
+        assert record["trace_id"] == context.trace_id
+        status, _, document = _request(
+            f"{router.url}/v1/traces/{context.trace_id}"
+        )
+        assert status == 200
+        # The router's span is a child of the caller's, not the caller's.
+        assert document["span_id"] != context.span_id
+
+    def test_worker_only_trace_served_without_router_hop(self, routed):
+        """A trace the router never saw (direct-to-worker query) is
+        still reachable through the router's fan-out fallback."""
+        router, _, workers = routed
+        client = ServiceClient(workers[0].base_url)
+        record = client.query("SHOW SUMMARY;", trace=True)
+        status, _, document = _request(
+            f"{router.url}/v1/traces/{record['trace_id']}"
+        )
+        assert status == 200
+        (root,) = document["spans"]
+        assert root["name"] == "worker.job"
+
+    def test_unknown_trace_is_404(self, routed):
+        router, _, _ = routed
+        status, _, _ = _request(f"{router.url}/v1/traces/{'f' * 32}")
+        assert status == 404
+
+    def test_fleet_trace_listing_merges_and_ranks(self, routed):
+        router, _, _ = routed
+        for _ in range(2):
+            _request(
+                f"{router.url}/v1/query",
+                "POST",
+                {"query": "SHOW SUMMARY;", "trace": True},
+            )
+        status, _, document = _request(f"{router.url}/v1/traces?min_ms=0")
+        assert status == 200
+        listing = document["traces"]
+        assert len(listing) >= 2
+        durations = [entry["duration_ms"] for entry in listing]
+        assert durations == sorted(durations, reverse=True)
+        status, _, document = _request(
+            f"{router.url}/v1/traces?min_ms=999999999"
+        )
+        assert status == 200 and document["traces"] == []
+
+    def test_bad_listing_parameters_are_400(self, routed):
+        router, _, _ = routed
+        status, _, _ = _request(f"{router.url}/v1/traces?min_ms=banana")
+        assert status == 400
+
+    def test_fleet_slow_log_merges_worker_captures(self, routed):
+        router, _, workers = routed
+        for worker in workers:
+            worker.service.flight_recorder.threshold_seconds = 0.0
+        _request(
+            f"{router.url}/v1/query", "POST", {"query": MINE_QUERY, "trace": True}
+        )
+        status, _, document = _request(f"{router.url}/v1/debug/slow")
+        assert status == 200
+        entries = document["entries"]
+        assert any(e["statement"].startswith("MINE PERIODS") for e in entries)
+        durations = [e["duration_seconds"] for e in entries]
+        assert durations == sorted(durations, reverse=True)
+        assert document["workers"], "per-worker recorder stats surface"
+
+    def test_router_exposes_trace_exemplars_fleet_wide(self, routed):
+        router, _, _ = routed
+        _, _, record = _request(
+            f"{router.url}/v1/query", "POST", {"query": MINE_QUERY, "trace": True}
+        )
+        exposition = urllib.request.urlopen(
+            f"{router.url}/v1/metrics", timeout=30
+        ).read().decode("utf-8")
+        parse_prometheus_text(exposition)  # exemplars don't break parsing
+        lines = [line for line in exposition.splitlines() if " # " in line]
+        assert any(record["trace_id"] in line for line in lines)
+
+    def test_cluster_and_library_traces_share_span_structure(
+        self, routed, cluster_db
+    ):
+        """Differential satellite: the mining subtree of a traced
+        cluster query is structurally identical (names + parent edges;
+        wall-clock excluded) to a traced in-library run of the same
+        statement over the same store."""
+        from repro.db.sqlite_store import SqliteStore
+        from repro.system.session import IqmsSession
+
+        router, _, _ = routed
+        status, _, record = _request(
+            f"{router.url}/v1/query",
+            "POST",
+            {"query": MINE_QUERY, "trace": True},
+        )
+        assert status == 200 and record["state"] == "done"
+        _, _, document = _request(
+            f"{router.url}/v1/traces/{record['trace_id']}"
+        )
+        (router_span,) = document["spans"]
+        (worker_span,) = router_span["children"]
+        execute = next(
+            c for c in worker_span["children"] if c["name"] == "execute"
+        )
+        cluster_structure = _span_structure(execute.get("children") or [])
+
+        store = SqliteStore(cluster_db)
+        try:
+            session = IqmsSession(store=store)
+            session.set_trace(True)
+            session.set_workers(1)  # the in-process fleet pins 1 shard
+            report = session.run(MINE_QUERY).payload
+        finally:
+            store.close()
+        library_structure = _span_structure(report.trace["spans"])
+        assert cluster_structure == library_structure

@@ -1,0 +1,300 @@
+"""Distributed-tracing substrate: context propagation, the bounded
+trace store (including its SQLite spill and 16-thread hammering), the
+slow-query flight recorder, and resource attribution probes."""
+
+import json
+import sqlite3
+import threading
+
+import pytest
+
+from repro.obs.distributed import (
+    FlightRecorder,
+    ResourceProbe,
+    TraceContext,
+    TraceStore,
+    new_trace_context,
+    parse_traceparent,
+    span_node,
+)
+
+
+class TestTraceContext:
+    def test_roundtrips_through_traceparent(self):
+        context = new_trace_context()
+        parsed = parse_traceparent(context.to_traceparent())
+        assert parsed is not None
+        assert parsed.trace_id == context.trace_id
+        assert parsed.span_id == context.span_id
+        assert parsed.sampled is context.sampled
+
+    def test_mints_well_formed_ids(self):
+        context = new_trace_context()
+        assert len(context.trace_id) == 32
+        assert len(context.span_id) == 16
+        int(context.trace_id, 16)  # both are hex
+        int(context.span_id, 16)
+
+    def test_child_keeps_trace_id_and_changes_span_id(self):
+        parent = new_trace_context()
+        child = parent.child()
+        assert child.trace_id == parent.trace_id
+        assert child.span_id != parent.span_id
+        assert child.sampled is parent.sampled
+
+    def test_context_is_truthy(self):
+        # Call sites widened from ``trace: bool`` rely on this.
+        assert bool(new_trace_context()) is True
+        assert bool(TraceContext("ab" * 16, "cd" * 8, sampled=False)) is True
+
+    def test_unsampled_flags_roundtrip(self):
+        context = TraceContext("ab" * 16, "cd" * 8, sampled=False)
+        assert context.to_traceparent().endswith("-00")
+        parsed = parse_traceparent(context.to_traceparent())
+        assert parsed is not None and parsed.sampled is False
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "garbage",
+            "00-short-cdcdcdcdcdcdcdcd-01",
+            # version ff is explicitly invalid per the spec
+            "ff-" + "ab" * 16 + "-" + "cd" * 8 + "-01",
+            # all-zero trace id / span id are invalid
+            "00-" + "0" * 32 + "-" + "cd" * 8 + "-01",
+            "00-" + "ab" * 16 + "-" + "0" * 16 + "-01",
+            # uppercase-only is tolerated via lowering, but non-hex is not
+            "00-" + "zz" * 16 + "-" + "cd" * 8 + "-01",
+        ],
+    )
+    def test_invalid_headers_are_dropped_not_errors(self, header):
+        assert parse_traceparent(header) is None
+
+    def test_whitespace_and_case_are_tolerated(self):
+        raw = "  00-" + "AB" * 16 + "-" + "CD" * 8 + "-01  "
+        parsed = parse_traceparent(raw)
+        assert parsed is not None
+        assert parsed.trace_id == "ab" * 16
+
+
+class TestSpanNode:
+    def test_minimal_node_shape(self):
+        node = span_node("x", 1.23456, 7.0)
+        assert node == {"name": "x", "start_ms": 1.235, "duration_ms": 7.0}
+
+    def test_full_node_shape(self):
+        child = span_node("child", 0.0, 1.0)
+        node = span_node(
+            "parent", 0.0, 2.0, attrs={"k": 1}, children=[child], status="failed"
+        )
+        assert node["attrs"] == {"k": 1}
+        assert node["status"] == "failed"
+        assert node["children"] == [child]
+
+    def test_is_json_serializable(self):
+        json.dumps(span_node("a", 0.0, 1.0, attrs={"n": 2}))
+
+
+def _doc(trace_id, duration_ms=1.0):
+    return {"trace_id": trace_id, "duration_ms": duration_ms, "spans": []}
+
+
+class TestTraceStore:
+    def test_put_get_roundtrip(self):
+        store = TraceStore(capacity=4)
+        store.put("t1", _doc("t1"))
+        assert store.get("t1") == _doc("t1")
+        assert store.get("missing") is None
+
+    def test_ring_evicts_eldest(self):
+        store = TraceStore(capacity=2)
+        for tid in ("a", "b", "c"):
+            store.put(tid, _doc(tid))
+        assert store.get("a") is None
+        assert store.get("b") is not None and store.get("c") is not None
+        assert len(store) == 2
+
+    def test_get_refreshes_recency(self):
+        store = TraceStore(capacity=2)
+        store.put("a", _doc("a"))
+        store.put("b", _doc("b"))
+        store.get("a")  # touch: "b" is now the eldest
+        store.put("c", _doc("c"))
+        assert store.get("a") is not None
+        assert store.get("b") is None
+
+    def test_query_ranks_by_duration_and_filters(self):
+        store = TraceStore(capacity=8)
+        for tid, duration in (("a", 5.0), ("b", 50.0), ("c", 0.5)):
+            store.put(tid, _doc(tid, duration))
+        ranked = store.query(min_ms=1.0, limit=10)
+        assert [doc["trace_id"] for doc in ranked] == ["b", "a"]
+        assert len(store.query(min_ms=0.0, limit=1)) == 1
+
+    def test_spill_survives_ring_eviction_and_reopen(self, tmp_path):
+        path = str(tmp_path / "traces.db")
+        store = TraceStore(capacity=1, spill_path=path)
+        store.put("old", _doc("old", 9.0))
+        store.put("new", _doc("new", 2.0))  # evicts "old" from the ring
+        assert store.get("old") == _doc("old", 9.0)  # spill fallback
+        store.close()
+        reopened = TraceStore(capacity=1, spill_path=path)
+        assert reopened.get("old") == _doc("old", 9.0)
+        assert [d["trace_id"] for d in reopened.query()] == ["old", "new"]
+        reopened.close()
+
+    def test_spill_lru_caps_entries(self, tmp_path):
+        path = str(tmp_path / "traces.db")
+        store = TraceStore(capacity=1, spill_path=path)
+        store.spill_entries = 3
+        for index in range(6):
+            store.put(f"t{index}", _doc(f"t{index}"))
+        store.close()
+        with sqlite3.connect(path) as connection:
+            kept = {
+                row[0]
+                for row in connection.execute("SELECT trace_id FROM traces")
+            }
+        assert kept == {"t3", "t4", "t5"}
+
+    def test_disk_fault_disables_spill_not_memory(self, tmp_path):
+        path = str(tmp_path / "traces.db")
+        store = TraceStore(capacity=4, spill_path=path)
+        store.put("a", _doc("a"))
+        # Break the spill out from under the store.
+        store._connection.close()  # noqa: SLF001 — fault injection
+        store.put("b", _doc("b"))
+        assert store.disk_errors >= 1
+        assert store._connection is None  # noqa: SLF001
+        # The memory tier keeps serving.
+        assert store.get("b") == _doc("b")
+        store.put("c", _doc("c"))
+        assert store.get("c") == _doc("c")
+
+    def test_unwritable_spill_path_degrades_to_memory_only(self, tmp_path):
+        store = TraceStore(
+            capacity=4, spill_path=str(tmp_path / "nope" / "x" / "traces.db")
+        )
+        assert store.disk_errors == 1
+        store.put("a", _doc("a"))
+        assert store.get("a") == _doc("a")
+
+    def test_sixteen_threads_put_get_evict(self, tmp_path):
+        """Satellite: 16 threads hammering put/get/query against a
+        store small enough that eviction churns constantly."""
+        store = TraceStore(
+            capacity=8, spill_path=str(tmp_path / "traces.db"), spill_entries=16
+        )
+        errors = []
+        barrier = threading.Barrier(16)
+
+        def worker(slot):
+            try:
+                barrier.wait(timeout=10)
+                for round_ in range(50):
+                    tid = f"t{slot}-{round_}"
+                    store.put(tid, _doc(tid, float(slot + round_)))
+                    got = store.get(tid)
+                    # Eviction may have raced the read; a hit must be intact.
+                    if got is not None:
+                        assert got["trace_id"] == tid
+                    store.get(f"t{(slot + 1) % 16}-{round_}")
+                    ranked = store.query(min_ms=0.0, limit=5)
+                    assert len(ranked) <= 5
+                    durations = [d["duration_ms"] for d in ranked]
+                    assert durations == sorted(durations, reverse=True)
+            except Exception as error:  # noqa: BLE001 — recorded for assert
+                errors.append(repr(error))
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,)) for slot in range(16)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(store) <= 8
+        store.close()
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceStore(capacity=0)
+
+
+class TestFlightRecorder:
+    def test_fast_requests_are_not_captured(self):
+        recorder = FlightRecorder(threshold_seconds=1.0, top_k=4)
+        assert recorder.consider(0.5, {"statement": "fast"}) is False
+        assert recorder.snapshot() == []
+        assert recorder.stats()["considered"] == 1
+        assert recorder.stats()["captured"] == 0
+
+    def test_slow_requests_rank_slowest_first(self):
+        recorder = FlightRecorder(threshold_seconds=0.0, top_k=4)
+        for duration in (1.0, 3.0, 2.0):
+            recorder.consider(duration, {"statement": f"q{duration}"})
+        captured = [e["duration_seconds"] for e in recorder.snapshot()]
+        assert captured == [3.0, 2.0, 1.0]
+
+    def test_top_k_truncates_the_fastest_captures(self):
+        recorder = FlightRecorder(threshold_seconds=0.0, top_k=2)
+        for duration in (1.0, 5.0, 3.0, 4.0):
+            recorder.consider(duration, {})
+        assert [e["duration_seconds"] for e in recorder.snapshot()] == [5.0, 4.0]
+        stats = recorder.stats()
+        assert stats["captured"] == 4 and stats["held"] == 2
+
+    def test_entry_is_copied_and_stamped(self):
+        recorder = FlightRecorder(threshold_seconds=0.0)
+        entry = {"statement": "MINE ...;"}
+        recorder.consider(2.0, entry)
+        entry["statement"] = "mutated"
+        snapshot = recorder.snapshot()
+        assert snapshot[0]["statement"] == "MINE ...;"
+        assert snapshot[0]["duration_seconds"] == 2.0
+
+    def test_ties_break_toward_newest(self):
+        recorder = FlightRecorder(threshold_seconds=0.0, top_k=8)
+        recorder.consider(1.0, {"n": "first"})
+        recorder.consider(1.0, {"n": "second"})
+        assert [e["n"] for e in recorder.snapshot()] == ["second", "first"]
+
+    def test_concurrent_considers_stay_consistent(self):
+        recorder = FlightRecorder(threshold_seconds=0.0, top_k=8)
+
+        def hammer(base):
+            for index in range(100):
+                recorder.consider(base + index / 1000.0, {"slot": base})
+
+        threads = [
+            threading.Thread(target=hammer, args=(float(slot),))
+            for slot in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = recorder.stats()
+        assert stats["considered"] == 800 and stats["captured"] == 800
+        assert stats["held"] == 8
+        durations = [e["duration_seconds"] for e in recorder.snapshot()]
+        assert durations == sorted(durations, reverse=True)
+
+    def test_validates_configuration(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(threshold_seconds=-1.0)
+        with pytest.raises(ValueError):
+            FlightRecorder(top_k=0)
+
+
+class TestResourceProbe:
+    def test_attribution_shape(self):
+        probe = ResourceProbe()
+        sum(index * index for index in range(50_000))  # burn a little CPU
+        attribution = probe.finish()
+        assert attribution["cpu_seconds"] >= 0.0
+        assert attribution["elapsed_seconds"] > 0.0
+        assert attribution.get("peak_rss_kb", 1) > 0

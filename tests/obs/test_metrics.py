@@ -186,3 +186,89 @@ class TestExposition:
 
     def test_default_buckets_strictly_increasing(self):
         assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
+
+
+class TestExemplars:
+    def test_exemplar_lands_on_tightest_bucket_only(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "lat_seconds", "Latency.", buckets=(0.1, 1.0, 10.0)
+        )
+        histogram.observe(0.5, exemplar={"trace_id": "abc123"})
+        text = registry.render_prometheus()
+        exemplar_lines = [line for line in text.splitlines() if " # " in line]
+        assert len(exemplar_lines) == 1
+        (line,) = exemplar_lines
+        assert line.startswith("lat_seconds_bucket")
+        assert 'le="1"' in line
+        assert 'trace_id="abc123"' in line
+        assert line.rstrip().endswith("0.5")
+
+    def test_latest_exemplar_wins_per_bucket(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "lat_seconds", "Latency.", buckets=(1.0,)
+        )
+        histogram.observe(0.3, exemplar={"trace_id": "first"})
+        histogram.observe(0.7, exemplar={"trace_id": "second"})
+        rows = histogram.exemplar_rows()
+        assert rows[((), "1")] == ({"trace_id": "second"}, 0.7)
+
+    def test_observation_without_exemplar_keeps_previous(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "lat_seconds", "Latency.", buckets=(1.0,)
+        )
+        histogram.observe(0.3, exemplar={"trace_id": "kept"})
+        histogram.observe(0.4)
+        assert histogram.exemplar_rows()[((), "1")][0] == {"trace_id": "kept"}
+
+    def test_overflow_observation_exemplar_on_inf_bucket(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "lat_seconds", "Latency.", buckets=(1.0,)
+        )
+        histogram.observe(5.0, exemplar={"trace_id": "slow"})
+        assert ((), "+Inf") in histogram.exemplar_rows()
+
+    def test_exemplars_work_with_labels(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "lat_seconds", "Latency.", labelnames=("route",), buckets=(1.0,)
+        )
+        histogram.observe(0.5, exemplar={"trace_id": "t1"}, route="/v1/query")
+        text = registry.render_prometheus()
+        (line,) = [ln for ln in text.splitlines() if " # " in ln]
+        assert 'route="/v1/query"' in line
+
+    def test_parser_roundtrips_exemplars(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "lat_seconds", "Latency.", buckets=(0.1, 1.0)
+        )
+        histogram.observe(0.5, exemplar={"trace_id": "abc"})
+        histogram.observe(0.05)
+        text = registry.render_prometheus()
+        collected = []
+        parsed = parse_prometheus_text(text, collect_exemplars=collected)
+        # The annotation is transparent to plain value parsing (the
+        # bucket is cumulative: both observations admit at le=1)...
+        assert parsed["lat_seconds_bucket"]['{le="1"}'] == 2.0
+        assert parsed["lat_seconds_count"][""] == 2.0
+        # ...and surfaces through the collector.
+        assert collected == [
+            ("lat_seconds_bucket", '{le="1"}', {"trace_id": "abc"}, 0.5)
+        ]
+
+    def test_parser_rejects_exemplar_on_non_bucket_sample(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text(
+                'x_total 3 # {trace_id="abc"} 1.0\n'
+            )
+
+    def test_parse_without_collector_still_accepts_exemplars(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat_seconds", "L.", buckets=(1.0,)).observe(
+            0.5, exemplar={"trace_id": "x"}
+        )
+        parse_prometheus_text(registry.render_prometheus())

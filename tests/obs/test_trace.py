@@ -70,6 +70,44 @@ class TestTracer:
             pass
         json.dumps(tracer.to_dict())
 
+    def test_open_child_snapshot_never_zero_or_negative(self):
+        """Satellite: a mid-run export must clamp *open children* (not
+        just open roots) to the export instant — durations in a
+        snapshot are always > 0 for spans that have been open a while."""
+        import time as _time
+
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        outer.__enter__()
+        inner = tracer.span("inner")
+        inner.__enter__()
+        _time.sleep(0.005)
+        (root,) = tracer.to_dict()["spans"]
+        child = root["children"][0]
+        assert child["status"] == "open"
+        assert child["duration_ms"] > 0.0
+        assert root["duration_ms"] >= child["duration_ms"]
+        inner.__exit__(None, None, None)
+        outer.__exit__(None, None, None)
+
+    def test_closed_child_under_open_root_keeps_real_end(self):
+        import time as _time
+
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        outer.__enter__()
+        with tracer.span("inner"):
+            _time.sleep(0.005)
+        _time.sleep(0.005)
+        (root,) = tracer.to_dict()["spans"]
+        child = root["children"][0]
+        assert "status" not in child  # closed cleanly, not "open"
+        assert child["duration_ms"] > 0.0
+        # The closed child's duration froze at its own end, not the
+        # export instant: the root has kept running well past it.
+        assert root["duration_ms"] > child["duration_ms"]
+        outer.__exit__(None, None, None)
+
 
 class TestNullTracer:
     def test_span_is_a_reusable_noop(self):

@@ -61,6 +61,36 @@ class TestDotCommands:
         drive("SET ENGINE OFF;\n.quit\n", session=session)
         assert session.engine == "auto"
 
+    def test_slow_empty(self):
+        output = drive(".slow\n.quit\n")
+        assert "no slow statements captured" in output
+        assert "threshold 1s" in output
+
+    def test_slow_lists_ranked_captures(self):
+        session = IqmsSession()
+        # An eager recorder so even trivial statements are captured.
+        session.flight_recorder.threshold_seconds = 0.0
+        output = drive(
+            ".demo\nSET TRACE ON;\n"
+            "MINE PERIODS FROM sales AT GRANULARITY month "
+            "WITH SUPPORT >= 0.2, CONFIDENCE >= 0.6 HAVING COVERAGE >= 2;\n"
+            ".slow\n.quit\n",
+            session=session,
+        )
+        assert "MINE PERIODS" in output
+        assert "[traced]" in output
+        assert "statement(s) captured" in output
+        entries = session.slow_queries()["entries"]
+        durations = [entry["duration_seconds"] for entry in entries]
+        assert durations == sorted(durations, reverse=True)
+        mine = next(
+            e for e in entries if e["statement"].startswith("MINE PERIODS")
+        )
+        assert mine["trace"]["spans"]
+
+    def test_slow_mentioned_in_help(self):
+        assert ".slow" in drive(".help\n.quit\n")
+
 
 class TestStatements:
     def test_error_reported_not_raised(self):
